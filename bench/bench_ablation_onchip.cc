@@ -1,0 +1,80 @@
+// Ablation A1: next-generation on-chip logger (Section 4.6) versus the
+// prototype's bus logger.
+//
+// With logging support inside the CPU's VM unit there are no FIFOs to
+// overload and no write-through mode: a logged write should cost
+// essentially the same as an unlogged write (plus the bus overhead of the
+// record), at any write rate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+struct Point {
+  double cycles_per_write = 0;
+  uint64_t overloads = 0;
+};
+
+Point Measure(LoggerKind kind, bool logged, uint32_t compute) {
+  LvmConfig config;
+  config.logger_kind = kind;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  uint32_t span = 64 * kPageSize;
+  StdSegment* segment = system.CreateSegment(span);
+  Region* region = system.CreateRegion(segment);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  if (logged) {
+    LogSegment* log = system.CreateLogSegment(128);
+    system.AttachLog(region, log);
+  }
+  system.Activate(as);
+  system.TouchRegion(&cpu, region);
+  cpu.DrainWriteBuffer();
+
+  constexpr uint32_t kIterations = 20000;
+  Cycles start = cpu.now();
+  uint32_t address = 0;
+  for (uint32_t i = 0; i < kIterations; ++i) {
+    cpu.Compute(compute);
+    cpu.Write(base + address, i);
+    address = (address + 4) % span;
+  }
+  cpu.DrainWriteBuffer();
+  Point point;
+  point.cycles_per_write =
+      static_cast<double>(cpu.now() - start - static_cast<Cycles>(kIterations) * compute) /
+      kIterations;
+  point.overloads = system.overload_suspensions();
+  return point;
+}
+
+void Run() {
+  bench::Header("Ablation A1: On-chip Logger (Section 4.6) vs Bus Logger",
+                "on-chip: logged ~= unlogged at any rate, no overload; bus logger "
+                "overloads below c~27");
+
+  std::printf("%-8s %-14s %-16s %-14s %-12s\n", "c", "bus logged", "onchip logged",
+              "unlogged", "bus overloads");
+  for (uint32_t c : {0u, 5u, 10u, 20u, 27u, 40u, 80u, 200u}) {
+    Point bus = Measure(LoggerKind::kBusLogger, true, c);
+    Point onchip = Measure(LoggerKind::kOnChip, true, c);
+    Point plain = Measure(LoggerKind::kBusLogger, false, c);
+    bench::Row("%-8u %-14.2f %-16.2f %-14.2f %-12llu", c, bus.cycles_per_write,
+               onchip.cycles_per_write, plain.cycles_per_write,
+               static_cast<unsigned long long>(bus.overloads));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main() {
+  lvm::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A8: transaction length (Section 4.2's closing observation).
+//
+// "Longer transactions would also show greater benefit from LVM, assuming
+// correspondingly more write operations as well. TPC-A is a sequence of
+// simple debit-credit operations. Transactions in object-oriented database
+// systems tend to be longer and involve far more processing."
+//
+// Sweeps the number of recoverable writes per transaction: the commit and
+// force costs amortize, so the set_range overhead inside the transaction
+// becomes the dominant term and RLVM's advantage grows toward the raw
+// single-write ratio.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/rvm/ram_disk.h"
+#include "src/rvm/rlvm.h"
+#include "src/rvm/rvm.h"
+
+namespace lvm {
+namespace {
+
+template <typename StoreT>
+Cycles PerTransactionCycles(uint32_t writes_per_tx) {
+  LvmSystem system;
+  RamDisk disk;
+  AddressSpace* as = system.CreateAddressSpace();
+  StoreT store(&system, as, &disk, 2u << 20);
+  system.Activate(as);
+  Cpu& cpu = system.cpu();
+  Rng rng(9);
+
+  constexpr int kTransactions = 60;
+  // Warm one transaction.
+  store.Begin(&cpu);
+  store.SetRange(&cpu, store.data_base(), 4);
+  store.Write(&cpu, store.data_base(), 1);
+  store.Commit(&cpu);
+
+  Cycles t0 = cpu.now();
+  for (int tx = 0; tx < kTransactions; ++tx) {
+    store.Begin(&cpu);
+    for (uint32_t w = 0; w < writes_per_tx; ++w) {
+      uint32_t offset = static_cast<uint32_t>(rng.Uniform((1u << 20) / 4)) * 4;
+      store.SetRange(&cpu, store.data_base() + offset, 4);
+      store.Write(&cpu, store.data_base() + offset, w);
+      cpu.Compute(200);  // The "far more processing" of OODB transactions.
+    }
+    store.Commit(&cpu);
+    store.MaybeTruncate(&cpu);
+  }
+  return (cpu.now() - t0) / kTransactions;
+}
+
+void Run() {
+  bench::Header("Ablation A8: Transaction Length (Section 4.2)",
+                "commit/force amortize with longer transactions, so RLVM's advantage "
+                "grows toward the single-write ratio");
+
+  std::printf("%-14s %-18s %-18s %-10s\n", "writes/tx", "RVM (kcyc/tx)", "RLVM (kcyc/tx)",
+              "speedup");
+  for (uint32_t writes : {4u, 16u, 64u, 256u, 1024u}) {
+    Cycles rvm = PerTransactionCycles<Rvm>(writes);
+    Cycles rlvm = PerTransactionCycles<Rlvm>(writes);
+    bench::Row("%-14u %-18.1f %-18.1f %.2fx", writes, rvm / 1000.0, rlvm / 1000.0,
+               static_cast<double>(rvm) / static_cast<double>(rlvm));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main() {
+  lvm::Run();
+  return 0;
+}

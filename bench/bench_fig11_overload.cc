@@ -1,0 +1,37 @@
+// Figure 11: total cost of a logged write under overload.
+//
+// The Section 4.5.3 series: iterations of c compute cycles plus one logged
+// write (l=1), sweeping c over [0..63]. Plots average cycles per iteration
+// with and without logging. The paper reports overload so expensive that
+// the time per iteration *decreases* as computation per loop increases,
+// until overload vanishes and the c term dominates.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/overload_series.h"
+
+namespace lvm {
+namespace {
+
+void Run() {
+  bench::Header("Figure 11: Total Cost of Logged Write (l=1, c=[0..63])",
+                "with logging, time/iteration decreases as c grows while overloads "
+                "fade out; each overload costs >30k cycles");
+
+  std::printf("%-8s %-22s %-22s\n", "c", "logged cyc/iter", "unlogged cyc/iter");
+  for (uint32_t c = 0; c <= 63; c += 3) {
+    bench::OverloadSeries logged = bench::RunOverloadSeries(true, c);
+    bench::OverloadSeries unlogged = bench::RunOverloadSeries(false, c);
+    bench::Row("%-8u %-22.1f %-22.1f", c, logged.cycles_per_iteration,
+               unlogged.cycles_per_iteration);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main() {
+  lvm::Run();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 12: overload events.
+//
+// For the l=1 series of Section 4.5.3, how often the logger's FIFO
+// threshold is exceeded (overload events per 1000 iterations) as a function
+// of compute cycles per iteration. The paper reports events fading to zero
+// once there is no more than one logged write per ~27 compute cycles.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/overload_series.h"
+
+namespace lvm {
+namespace {
+
+void Run() {
+  bench::Header("Figure 12: Overload Events (l=1)",
+                "overload events per 1000 iterations drop to zero around c ~= 27-30");
+
+  std::printf("%-8s %-24s\n", "c", "overloads / 1000 iter");
+  for (uint32_t c = 0; c <= 63; c += 3) {
+    bench::OverloadSeries series = bench::RunOverloadSeries(/*logged=*/true, c);
+    bench::Row("%-8u %-24.2f", c, series.overloads_per_1000);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main() {
+  lvm::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8: effect of the number of writes on LVM performance.
+//
+// Speedup of LVM over copy-based checkpointing as a function of the
+// fraction of the object written per event, for the paper's four curves
+// (s=32,c=256) (s=64,c=512) (s=128,c=1024) (s=256,c=2048). The paper
+// reports a slow decrease as the fraction grows, with the difference only
+// becoming significant as the fraction approaches one (write-through
+// overhead), up to the onset of logger overload.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sim_workload.h"
+
+namespace lvm {
+namespace {
+
+void Run() {
+  bench::Header("Figure 8: Effect of Number of Writes on LVM Performance",
+                "speedup decreases slowly with fraction written; significant only as "
+                "the fraction approaches 1");
+
+  struct Curve {
+    uint32_t object_size;
+    uint32_t compute_cycles;
+  };
+  const Curve curves[] = {{32, 256}, {64, 512}, {128, 1024}, {256, 2048}};
+  const double fractions[] = {0.125, 0.25, 0.5, 0.75, 1.0};
+
+  std::printf("%-10s", "fraction");
+  for (const Curve& curve : curves) {
+    std::printf("  s=%u,c=%-6u", curve.object_size, curve.compute_cycles);
+  }
+  std::printf("\n");
+
+  for (double fraction : fractions) {
+    std::printf("%-10.3f", fraction);
+    for (const Curve& curve : curves) {
+      auto writes = static_cast<uint32_t>(fraction * curve.object_size / 4.0);
+      if (writes == 0) {
+        writes = 1;
+      }
+      bench::ForwardParams params;
+      params.compute_cycles = curve.compute_cycles;
+      params.object_size = curve.object_size;
+      params.writes = writes;
+      params.events = 8000;
+      uint64_t overloads = 0;
+      double speedup = bench::ForwardSpeedup(params, &overloads);
+      std::printf("  %9.3f%s ", speedup, overloads > 0 ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("(* = logger overload occurred)\n\n");
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main() {
+  lvm::Run();
+  return 0;
+}

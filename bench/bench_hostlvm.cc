@@ -1,0 +1,165 @@
+// Ablation A5: real-host measurements (google-benchmark, wall clock).
+//
+// The software mechanisms LVM competes against, measured on the machine
+// this runs on: plain stores, instrumented (write-barrier) stores, the cost
+// of a write-protection fault, dirty-page collection, Munin-style word
+// diffing, and Li/Appel checkpoint/restore. These are the real-hardware
+// companions to the simulated Section 5.1/5.3 comparisons: page-protection
+// faults cost microseconds (thousands of cycles), which is exactly why the
+// paper argues for hardware logging support.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/hostlvm/host_checkpoint.h"
+#include "src/hostlvm/host_transaction.h"
+#include "src/hostlvm/logged_value.h"
+#include "src/hostlvm/protected_region.h"
+#include "src/hostlvm/write_protect_logger.h"
+
+namespace lvm {
+namespace {
+
+constexpr size_t kPages = 256;
+
+void BM_PlainWrite(benchmark::State& state) {
+  std::vector<uint32_t> data(kPages * 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    data[i % data.size()] = static_cast<uint32_t>(i);
+    benchmark::ClobberMemory();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlainWrite);
+
+void BM_WriteBarrierLogged(benchmark::State& state) {
+  HostLog log;
+  Logged<uint32_t> value(&log, 0);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    value = i++;
+    benchmark::ClobberMemory();
+    if (log.size() > 1u << 20) {
+      log.Truncate();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteBarrierLogged);
+
+void BM_ProtectionFaultPerPage(benchmark::State& state) {
+  // One write-protection fault per iteration: write to a fresh page, then
+  // re-arm. Dominated by the SIGSEGV round trip + mprotect.
+  ProtectedRegion region(kPages, /*keep_twins=*/false);
+  size_t page = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    region.Arm();
+    state.ResumeTiming();
+    region.data()[page * ProtectedRegion::kHostPageSize] = 1;
+    page = (page + 1) % kPages;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtectionFaultPerPage);
+
+void BM_ProtectionFaultWithTwin(benchmark::State& state) {
+  // Fault plus the 4 KB twin copy (Munin / Li-Appel first-write cost).
+  ProtectedRegion region(kPages, /*keep_twins=*/true);
+  size_t page = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    region.Arm();
+    state.ResumeTiming();
+    region.data()[page * ProtectedRegion::kHostPageSize] = 1;
+    page = (page + 1) % kPages;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtectionFaultWithTwin);
+
+void BM_CollectDirtyPages(benchmark::State& state) {
+  // A release interval: dirty 16 pages, collect, re-arm.
+  WriteProtectLogger logger(kPages, /*word_level=*/false);
+  for (auto _ : state) {
+    for (size_t page = 0; page < 16; ++page) {
+      logger.data()[page * ProtectedRegion::kHostPageSize + 8] = 1;
+    }
+    auto pages = logger.CollectDirtyPages();
+    benchmark::DoNotOptimize(pages);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_CollectDirtyPages);
+
+void BM_MuninWordDiffInterval(benchmark::State& state) {
+  // Munin-style interval: sparse writes to 16 pages, then word-level diff.
+  WriteProtectLogger logger(kPages, /*word_level=*/true);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    auto* words = reinterpret_cast<uint32_t*>(logger.data());
+    for (size_t page = 0; page < 16; ++page) {
+      words[page * 1024 + 3] = ++i;
+    }
+    auto updates = logger.CollectWordUpdates();
+    benchmark::DoNotOptimize(updates);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_MuninWordDiffInterval);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  // Li/Appel interval: dirty `pages` pages, then roll back.
+  const auto pages = static_cast<size_t>(state.range(0));
+  HostCheckpoint ckpt(kPages);
+  for (auto _ : state) {
+    for (size_t page = 0; page < pages; ++page) {
+      ckpt.data()[page * ProtectedRegion::kHostPageSize + 16] = 1;
+    }
+    ckpt.Restore();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pages) *
+                          static_cast<int64_t>(ProtectedRegion::kHostPageSize));
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_HostTransactionCommit(benchmark::State& state) {
+  // One transaction touching `pages` pages, committed (twin + diff cost).
+  const auto pages = static_cast<size_t>(state.range(0));
+  HostTransactionalRegion region(kPages);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    region.Begin();
+    for (size_t page = 0; page < pages; ++page) {
+      region.data<uint32_t>()[page * 1024 + 5] = ++i;
+    }
+    auto redo = region.Commit();
+    benchmark::DoNotOptimize(redo);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostTransactionCommit)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_HostTransactionAbort(benchmark::State& state) {
+  const auto pages = static_cast<size_t>(state.range(0));
+  HostTransactionalRegion region(kPages);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    region.Begin();
+    for (size_t page = 0; page < pages; ++page) {
+      region.data<uint32_t>()[page * 1024 + 5] = ++i;
+    }
+    region.Abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostTransactionAbort)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace lvm
+
+BENCHMARK_MAIN();

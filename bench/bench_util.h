@@ -1,0 +1,44 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// The simulated experiments are deterministic cycle-accounted runs, so the
+// benchmarks print the paper's tables and series directly rather than
+// sampling wall-clock time. Each binary reproduces one table or figure and
+// states what shape the paper reports.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+#include "src/base/types.h"
+
+namespace lvm {
+namespace bench {
+
+// The prototype's 25 MHz clock.
+inline constexpr double kCyclesPerSecond = 25e6;
+
+inline double CyclesToSeconds(Cycles cycles) {
+  return static_cast<double>(cycles) / kCyclesPerSecond;
+}
+
+inline void Header(const char* experiment, const char* claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper: %s\n", claim);
+  std::printf("==============================================================================\n");
+}
+
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace lvm
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,54 @@
+// The Section 4.5.3 measurement series shared by the Figure 11 and Figure
+// 12 benchmarks: iterations of c compute cycles plus one logged write.
+#ifndef BENCH_OVERLOAD_SERIES_H_
+#define BENCH_OVERLOAD_SERIES_H_
+
+#include <cstdint>
+
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace bench {
+
+struct OverloadSeries {
+  double cycles_per_iteration = 0;
+  double overloads_per_1000 = 0;
+};
+
+inline OverloadSeries RunOverloadSeries(bool logged, uint32_t compute,
+                                        uint32_t iterations = 20000) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  uint32_t span = 64 * kPageSize;
+  StdSegment* segment = system.CreateSegment(span);
+  Region* region = system.CreateRegion(segment);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  if (logged) {
+    LogSegment* log = system.CreateLogSegment(128);
+    system.AttachLog(region, log);
+  }
+  system.Activate(as);
+  system.TouchRegion(&cpu, region);
+  cpu.DrainWriteBuffer();
+
+  Cycles start = cpu.now();
+  uint32_t address = 0;
+  for (uint32_t i = 0; i < iterations; ++i) {
+    cpu.Compute(compute);
+    cpu.Write(base + address, i);
+    address = (address + 4) % span;
+  }
+  cpu.DrainWriteBuffer();
+
+  OverloadSeries series;
+  series.cycles_per_iteration = static_cast<double>(cpu.now() - start) / iterations;
+  series.overloads_per_1000 =
+      1000.0 * static_cast<double>(system.overload_suspensions()) / iterations;
+  return series;
+}
+
+}  // namespace bench
+}  // namespace lvm
+
+#endif  // BENCH_OVERLOAD_SERIES_H_

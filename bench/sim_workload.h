@@ -1,0 +1,108 @@
+// The Section 4.3 "'simulated' simulation" forward-execution workload used
+// by the Figure 7 and Figure 8 benchmarks.
+//
+// Per event: the scheduler's LVT marker write, the state-saving work
+// (nothing for LVM, an object copy for the conventional approach), w word
+// writes to an object of s bytes, and c cycles of computation. As in the
+// paper, the measurements exclude rollbacks, GVT advancement and log
+// truncation (checkpoint maintenance runs but its cycles are subtracted).
+#ifndef BENCH_SIM_WORKLOAD_H_
+#define BENCH_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/lvm/lvm_system.h"
+#include "src/timewarp/copy_state_saver.h"
+#include "src/timewarp/lvm_state_saver.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+namespace bench {
+
+struct ForwardParams {
+  uint32_t compute_cycles = 512;  // c
+  uint32_t object_size = 64;      // s (bytes)
+  uint32_t writes = 2;            // w (word writes per event)
+  uint32_t objects = 16;
+  uint32_t events = 20000;
+  uint32_t checkpoint_every = 2048;  // CULT interval (cycles excluded).
+};
+
+struct ForwardResult {
+  Cycles elapsed = 0;           // Event-processing cycles (CULT excluded).
+  uint64_t overload_events = 0; // Logger overload suspensions (LVM only).
+};
+
+inline ForwardResult RunForward(StateSaving saving, const ForwardParams& params) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  std::unique_ptr<StateSaver> saver;
+  if (saving == StateSaving::kLvm) {
+    saver = std::make_unique<LvmStateSaver>();
+  } else {
+    saver = std::make_unique<CopyStateSaver>();
+  }
+  AddressSpace* as = system.CreateAddressSpace();
+  uint32_t bytes = Scheduler::kStateHeaderBytes + params.objects * params.object_size;
+  StateSaver::StateLayout layout = saver->Setup(&system, as, bytes);
+  system.Activate(as);
+
+  // Fault everything in before timing.
+  for (Region* r : as->regions()) {
+    system.TouchRegion(&cpu, r);
+  }
+  cpu.DrainWriteBuffer();
+
+  Cycles excluded = 0;
+  Cycles start = cpu.now();
+  for (uint32_t e = 0; e < params.events; ++e) {
+    VirtualTime t = e + 1;
+    uint32_t object = e % params.objects;
+    VirtAddr object_base =
+        layout.state_base + Scheduler::kStateHeaderBytes + object * params.object_size;
+
+    saver->OnLvtAdvance(&cpu, t);
+    Event event;
+    event.time = t;
+    event.target_object = object;
+    saver->BeforeEvent(&cpu, event, object_base, params.object_size);
+    for (uint32_t w = 0; w < params.writes; ++w) {
+      uint32_t offset = ((static_cast<uint64_t>(e) * params.writes + w) * 4) %
+                        params.object_size;
+      cpu.Write(object_base + offset, e * 2654435761u + w);
+    }
+    cpu.Compute(params.compute_cycles);
+
+    if ((e + 1) % params.checkpoint_every == 0) {
+      // Checkpoint maintenance runs for realism but does not count: the
+      // paper's Figure 7/8 measurements exclude CULT.
+      Cycles t0 = cpu.now();
+      saver->AdvanceCheckpoint(&cpu, t + 1);
+      cpu.DrainWriteBuffer();
+      excluded += cpu.now() - t0;
+    }
+  }
+  cpu.DrainWriteBuffer();
+
+  ForwardResult result;
+  result.elapsed = cpu.now() - start - excluded;
+  result.overload_events = system.overload_suspensions();
+  return result;
+}
+
+// Speedup of LVM state saving over copy-based state saving for one
+// parameter point (elapsed-time ratio, as Figures 7 and 8 plot).
+inline double ForwardSpeedup(const ForwardParams& params, uint64_t* overloads = nullptr) {
+  ForwardResult copy = RunForward(StateSaving::kCopy, params);
+  ForwardResult lvm = RunForward(StateSaving::kLvm, params);
+  if (overloads != nullptr) {
+    *overloads = lvm.overload_events;
+  }
+  return static_cast<double>(copy.elapsed) / static_cast<double>(lvm.elapsed);
+}
+
+}  // namespace bench
+}  // namespace lvm
+
+#endif  // BENCH_SIM_WORKLOAD_H_

@@ -1,0 +1,49 @@
+// Log-based distributed consistency (Section 2.6): a producer keeps a
+// consumer's replica of a write-shared region consistent by streaming LVM
+// log records at release points, side by side with the Munin-style
+// twin/diff protocol.
+#include <cstdio>
+
+#include "src/consistency/protocols.h"
+
+namespace {
+
+template <typename Protocol>
+void Demo(const char* name) {
+  lvm::LvmSystem system;
+  Protocol protocol(&system, 16 * lvm::kPageSize, lvm::ConsistencyCosts{});
+  lvm::Cpu& cpu = system.cpu();
+
+  // Interval 1: the producer updates a few scattered fields.
+  protocol.Write(&cpu, 0, 11);
+  protocol.Write(&cpu, lvm::kPageSize + 40, 22);
+  protocol.Write(&cpu, 5 * lvm::kPageSize + 8, 33);
+  protocol.Release(&cpu);  // Lock release: updates flow to the consumer.
+
+  // Interval 2: a hot counter bumped many times.
+  for (uint32_t i = 1; i <= 100; ++i) {
+    protocol.Write(&cpu, 64, i);
+  }
+  protocol.Release(&cpu);
+
+  std::printf("%-8s consumer sees: [0]=%u [p1+40]=%u [p5+8]=%u counter=%u\n", name,
+              protocol.replica().ReadWord(0),
+              protocol.replica().ReadWord(lvm::kPageSize + 40),
+              protocol.replica().ReadWord(5 * lvm::kPageSize + 8),
+              protocol.replica().ReadWord(64));
+  std::printf("%-8s producer cycles: %-10llu bytes shipped: %-8llu messages: %llu\n\n", name,
+              static_cast<unsigned long long>(cpu.now()),
+              static_cast<unsigned long long>(protocol.channel().bytes_sent()),
+              static_cast<unsigned long long>(protocol.channel().messages()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("producer/consumer consistency over a 64 KB write-shared region\n\n");
+  Demo<lvm::LogBasedProtocol>("lvm");
+  Demo<lvm::MuninTwinProtocol>("munin");
+  std::printf("log-based consistency identifies updates for free at write time;\n"
+              "munin coalesces the hot counter but pays twins and full-page diffs.\n");
+  return 0;
+}

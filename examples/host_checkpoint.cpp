@@ -1,0 +1,49 @@
+// Real-host demonstration: page-protection write logging and Li/Appel
+// checkpointing on the running Linux kernel (the software end of the
+// design space, Sections 2.6 and 5.1).
+//
+// An editor-like application mutates a buffer; mprotect/SIGSEGV machinery
+// tracks dirty pages, produces Munin-style word-level updates, and rolls
+// the buffer back to a checkpoint — no simulator involved.
+#include <cstdio>
+#include <cstring>
+
+#include "src/hostlvm/host_checkpoint.h"
+#include "src/hostlvm/write_protect_logger.h"
+
+int main() {
+  // --- Word-level write logging over 64 pages of real memory. ---
+  lvm::WriteProtectLogger logger(64, /*word_level=*/true);
+  auto* words = reinterpret_cast<uint32_t*>(logger.data());
+  words[0] = 42;
+  words[1024 + 7] = 43;  // Page 1.
+  for (uint32_t i = 0; i < 50; ++i) {
+    words[2048 + 3] = i;  // Page 2, rewritten 50 times.
+  }
+  auto updates = logger.CollectWordUpdates();
+  std::printf("word-level log of the interval (%llu protection faults):\n",
+              static_cast<unsigned long long>(logger.faults()));
+  for (const lvm::HostWordUpdate& update : updates) {
+    std::printf("  offset %-8llu = %u\n", static_cast<unsigned long long>(update.offset),
+                update.value);
+  }
+  std::printf("  (50 rewrites of the same word coalesced to one update)\n\n");
+
+  // --- Li/Appel incremental checkpointing. ---
+  lvm::HostCheckpoint ckpt(64);
+  auto* buffer = reinterpret_cast<char*>(ckpt.data());
+  std::strcpy(buffer, "The quick brown fox");
+  ckpt.Checkpoint();
+  std::printf("checkpointed: \"%s\"\n", buffer);
+
+  std::strcpy(buffer, "A catastrophic edit");
+  std::printf("modified:     \"%s\" (%zu dirty pages)\n", buffer, ckpt.dirty_pages());
+
+  ckpt.Restore();
+  std::printf("restored:     \"%s\"\n", buffer);
+
+  bool ok = std::strcmp(buffer, "The quick brown fox") == 0;
+  std::printf("\nrollback %s; %llu faults total\n", ok ? "succeeded" : "FAILED",
+              static_cast<unsigned long long>(ckpt.faults()));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,15 @@
+#include "src/base/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lvm {
+
+void CheckFailed(const char* condition, const char* file, int line, const char* message) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", condition, file, line,
+               message != nullptr ? ": " : "", message != nullptr ? message : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lvm

@@ -1,0 +1,39 @@
+// Lightweight assertion macros for invariant checking.
+//
+// CHECK is always on; DCHECK compiles out in NDEBUG builds. Failures print the
+// condition and location and abort. These are for programming errors only;
+// recoverable conditions use explicit status returns.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+namespace lvm {
+
+// Prints a failure message and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* condition, const char* file, int line,
+                              const char* message);
+
+}  // namespace lvm
+
+#define LVM_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::lvm::CheckFailed(#cond, __FILE__, __LINE__, nullptr);  \
+    }                                                          \
+  } while (0)
+
+#define LVM_CHECK_MSG(cond, msg)                            \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::lvm::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define LVM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define LVM_DCHECK(cond) LVM_CHECK(cond)
+#endif
+
+#endif  // SRC_BASE_CHECK_H_

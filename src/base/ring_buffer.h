@@ -1,0 +1,61 @@
+// Fixed-capacity FIFO ring buffer.
+//
+// Models the hardware FIFOs of the bus logger (write FIFO and log-record
+// FIFO): bounded, no allocation after construction, strict FIFO order.
+#ifndef SRC_BASE_RING_BUFFER_H_
+#define SRC_BASE_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : slots_(capacity) { LVM_CHECK(capacity > 0); }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+
+  // Appends an element. The buffer must not be full.
+  void Push(T value) {
+    LVM_CHECK_MSG(!full(), "RingBuffer overflow");
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+  }
+
+  // Returns the oldest element without removing it.
+  const T& Front() const {
+    LVM_CHECK_MSG(!empty(), "RingBuffer underflow");
+    return slots_[head_];
+  }
+
+  // Removes and returns the oldest element.
+  T Pop() {
+    LVM_CHECK_MSG(!empty(), "RingBuffer underflow");
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return value;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_BASE_RING_BUFFER_H_

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generator (splitmix64 / xoshiro-style).
+//
+// All stochastic workloads in the benchmarks use this generator with fixed
+// seeds so every experiment is exactly reproducible run to run.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace lvm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  // Next raw 64-bit value (splitmix64).
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). `bound` must be nonzero.
+  uint64_t Uniform(uint64_t bound) { return Next64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next64() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed value with the given mean (for event
+  // inter-arrival times in the Time Warp workloads).
+  double Exponential(double mean) { return -mean * std::log1p(-NextDouble()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_BASE_RNG_H_

@@ -1,0 +1,50 @@
+// Fundamental types shared across the LVM libraries.
+//
+// The simulated machine reproduces the ParaDiGM prototype of the paper: a
+// 32-bit physical/virtual address space with 4-kilobyte pages and 16-byte
+// cache lines. Cycle counts are 64-bit so long benchmark runs cannot
+// overflow.
+#ifndef SRC_BASE_TYPES_H_
+#define SRC_BASE_TYPES_H_
+
+#include <cstdint>
+
+namespace lvm {
+
+// Virtual address within one address space.
+using VirtAddr = uint32_t;
+// Physical memory address.
+using PhysAddr = uint32_t;
+// Simulated machine time, in CPU cycles (40 ns at the prototype's 25 MHz).
+using Cycles = uint64_t;
+
+inline constexpr uint32_t kPageShift = 12;
+inline constexpr uint32_t kPageSize = 1u << kPageShift;  // 4 KB, as the prototype.
+inline constexpr uint32_t kPageOffsetMask = kPageSize - 1;
+
+inline constexpr uint32_t kLineShift = 4;
+inline constexpr uint32_t kLineSize = 1u << kLineShift;  // 16-byte cache lines.
+inline constexpr uint32_t kLineOffsetMask = kLineSize - 1;
+inline constexpr uint32_t kLinesPerPage = kPageSize / kLineSize;
+
+// Page number of an address (virtual or physical).
+constexpr uint32_t PageNumber(uint32_t addr) { return addr >> kPageShift; }
+// Address of the start of the page containing `addr`.
+constexpr uint32_t PageBase(uint32_t addr) { return addr & ~kPageOffsetMask; }
+// Offset of `addr` within its page.
+constexpr uint32_t PageOffset(uint32_t addr) { return addr & kPageOffsetMask; }
+// Address of the start of the cache line containing `addr`.
+constexpr uint32_t LineBase(uint32_t addr) { return addr & ~kLineOffsetMask; }
+// Index of the cache line within its page.
+constexpr uint32_t LineIndexInPage(uint32_t addr) {
+  return (addr & kPageOffsetMask) >> kLineShift;
+}
+
+// Rounds `value` up to the next multiple of `alignment` (a power of two).
+constexpr uint32_t AlignUp(uint32_t value, uint32_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace lvm
+
+#endif  // SRC_BASE_TYPES_H_

@@ -1,0 +1,94 @@
+#include "src/ckpt/page_protect.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+PageProtectCheckpoint::PageProtectCheckpoint(LvmSystem* system, uint32_t size,
+                                             const PageProtectCosts& costs)
+    : system_(system),
+      costs_(costs),
+      segment_(system->CreateSegment(size)),
+      region_(system->CreateRegion(segment_)),
+      as_(system->CreateAddressSpace()) {
+  size_ = AlignUp(size, kPageSize);
+  base_ = as_->BindRegion(region_);
+  system->Activate(as_);
+}
+
+void PageProtectCheckpoint::Write(Cpu* cpu, uint32_t offset, uint32_t value, uint8_t size) {
+  LVM_DCHECK(offset + size <= size_);
+  uint32_t page = PageNumber(offset);
+  if (saved_pages_.find(page) == saved_pages_.end()) {
+    // First write to a protected page: trap and save the page as part of
+    // the previous checkpoint (Li and Appel).
+    ++write_faults_;
+    cpu->AddCycles(costs_.write_fault_cycles);
+    PhysAddr frame = system_->EnsureSegmentPage(segment_, page);
+    std::vector<uint8_t> copy(kPageSize);
+    for (uint32_t line = 0; line < kPageSize; line += kLineSize) {
+      system_->ReadEffectiveLine(frame + line, &copy[line]);
+    }
+    cpu->AddCycles(static_cast<Cycles>(kLinesPerPage) *
+                   system_->machine().params().bcopy_block_cycles);
+    saved_pages_.emplace(page, std::move(copy));
+  }
+  cpu->Write(base_ + offset, value, size);
+}
+
+uint32_t PageProtectCheckpoint::Read(Cpu* cpu, uint32_t offset, uint8_t size) {
+  return cpu->Read(base_ + offset, size);
+}
+
+void PageProtectCheckpoint::Checkpoint(Cpu* cpu) {
+  // Creating a new checkpoint re-protects every page written since the
+  // last one and drops the old saved copies.
+  cpu->AddCycles(static_cast<Cycles>(saved_pages_.size()) * costs_.protect_page_cycles);
+  saved_pages_.clear();
+}
+
+void PageProtectCheckpoint::Restore(Cpu* cpu) {
+  // Reset the modified pages to their saved copies.
+  for (const auto& [page, copy] : saved_pages_) {
+    PhysAddr frame = segment_->FrameAt(page);
+    for (uint32_t offset = 0; offset < kPageSize; offset += 4) {
+      uint32_t value = 0;
+      std::memcpy(&value, &copy[offset], 4);
+      system_->machine().l2().Write(frame + offset, value, 4);
+    }
+    cpu->AddCycles(static_cast<Cycles>(kLinesPerPage) *
+                   system_->machine().params().bcopy_block_cycles);
+    cpu->AddCycles(costs_.protect_page_cycles);
+  }
+  saved_pages_.clear();
+}
+
+PageProtectWriteLogger::PageProtectWriteLogger(LvmSystem* system, uint32_t size,
+                                               const PageProtectCosts& costs)
+    : system_(system),
+      costs_(costs),
+      segment_(system->CreateSegment(size)),
+      region_(system->CreateRegion(segment_)),
+      as_(system->CreateAddressSpace()) {
+  base_ = as_->BindRegion(region_);
+  system->Activate(as_);
+}
+
+void PageProtectWriteLogger::Write(Cpu* cpu, uint32_t offset, uint32_t value, uint8_t size) {
+  // Every write traps: the kernel completes the store and logs it
+  // (Section 5.1: over 300 cycles on then-current processors).
+  cpu->AddCycles(costs_.write_fault_cycles + costs_.append_record_cycles);
+  cpu->Write(base_ + offset, value, size);
+  PhysAddr frame = segment_->FrameAt(PageNumber(offset));
+  log_.push_back(LogRecord{
+      .addr = frame + PageOffset(offset),
+      .value = value,
+      .size = size,
+      .flags = 0,
+      .timestamp = static_cast<uint32_t>(cpu->now() / system_->machine().params().timestamp_divider),
+  });
+}
+
+}  // namespace lvm

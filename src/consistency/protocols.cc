@@ -1,0 +1,119 @@
+#include "src/consistency/protocols.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+Replica::Replica(LvmSystem* system, uint32_t size)
+    : system_(system), segment_(system->CreateSegment(size)), size_(AlignUp(size, kPageSize)) {}
+
+void Replica::Apply(uint32_t offset, uint32_t value, uint8_t size) {
+  LVM_DCHECK(offset + size <= size_);
+  PhysAddr frame = system_->EnsureSegmentPage(segment_, PageNumber(offset));
+  system_->machine().l2().Write(frame + PageOffset(offset), value, size);
+}
+
+uint32_t Replica::ReadWord(uint32_t offset) const {
+  const_cast<LvmSystem*>(system_)->EnsureSegmentPage(segment_, PageNumber(offset));
+  return system_->machine().l2().Read(segment_->FrameAt(PageNumber(offset)) +
+                                      PageOffset(offset), 4);
+}
+
+LogBasedProtocol::LogBasedProtocol(LvmSystem* system, uint32_t size,
+                                   const ConsistencyCosts& costs)
+    : system_(system),
+      costs_(costs),
+      segment_(system->CreateSegment(size)),
+      region_(system->CreateRegion(segment_)),
+      log_(system->CreateLogSegment(16)),
+      as_(system->CreateAddressSpace()),
+      replica_(system, size) {
+  base_ = as_->BindRegion(region_);
+  system->AttachLog(region_, log_);
+  system->Activate(as_);
+}
+
+void LogBasedProtocol::Write(Cpu* cpu, uint32_t offset, uint32_t value) {
+  cpu->Write(base_ + offset, value);
+}
+
+void LogBasedProtocol::Release(Cpu* cpu) {
+  // "The output process executes asynchronously ... and only synchronizes
+  // on the end of the log" (Section 2.6).
+  system_->SyncLog(cpu, log_);
+  LogReader reader(system_->memory(), *log_);
+  uint32_t bytes = 0;
+  for (size_t i = 0; i < reader.size(); ++i) {
+    LogRecord record = reader.At(i);
+    int32_t page_index = segment_->PageIndexOfFrame(record.addr);
+    LVM_DCHECK(page_index >= 0);
+    uint32_t offset = static_cast<uint32_t>(page_index) * kPageSize + PageOffset(record.addr);
+    replica_.Apply(offset, record.value, static_cast<uint8_t>(record.size));
+    bytes += kUpdateWireBytes;
+    cpu->AddCycles(costs_.send_update_cycles);
+  }
+  if (bytes > 0) {
+    channel_.Transmit(bytes);
+  }
+  system_->TruncateLog(cpu, log_);
+}
+
+MuninTwinProtocol::MuninTwinProtocol(LvmSystem* system, uint32_t size,
+                                     const ConsistencyCosts& costs)
+    : system_(system),
+      costs_(costs),
+      segment_(system->CreateSegment(size)),
+      region_(system->CreateRegion(segment_)),
+      as_(system->CreateAddressSpace()),
+      replica_(system, size) {
+  base_ = as_->BindRegion(region_);
+  system->Activate(as_);
+}
+
+void MuninTwinProtocol::Write(Cpu* cpu, uint32_t offset, uint32_t value) {
+  uint32_t page = PageNumber(offset);
+  auto it = twins_.find(page);
+  if (it == twins_.end()) {
+    // First write to this page in the interval: protection fault, twin it,
+    // unprotect (Section 2.6's description of Munin).
+    ++twin_faults_;
+    cpu->AddCycles(costs_.twin_fault_cycles);
+    PhysAddr frame = system_->EnsureSegmentPage(segment_, page);
+    std::vector<uint8_t> twin(kPageSize);
+    for (uint32_t line = 0; line < kPageSize; line += kLineSize) {
+      system_->ReadEffectiveLine(frame + line, &twin[line]);
+    }
+    cpu->AddCycles(static_cast<Cycles>(kLinesPerPage) *
+                   system_->machine().params().bcopy_block_cycles);
+    twins_.emplace(page, std::move(twin));
+  }
+  cpu->Write(base_ + offset, value);
+}
+
+void MuninTwinProtocol::Release(Cpu* cpu) {
+  uint32_t bytes = 0;
+  for (auto& [page, twin] : twins_) {
+    PhysAddr frame = segment_->FrameAt(page);
+    // Word-by-word comparison against the twin.
+    for (uint32_t offset = 0; offset < kPageSize; offset += 4) {
+      uint32_t current = system_->machine().l2().Read(frame + offset, 4);
+      uint32_t old = 0;
+      std::memcpy(&old, &twin[offset], 4);
+      if (current != old) {
+        replica_.Apply(page * kPageSize + offset, current, 4);
+        bytes += kUpdateWireBytes;
+        cpu->AddCycles(costs_.send_update_cycles);
+      }
+    }
+    cpu->AddCycles(static_cast<Cycles>(kPageSize / 4) * costs_.diff_word_cycles);
+    cpu->AddCycles(costs_.protect_page_cycles);
+  }
+  twins_.clear();
+  if (bytes > 0) {
+    channel_.Transmit(bytes);
+  }
+}
+
+}  // namespace lvm

@@ -1,0 +1,125 @@
+// Log-based consistency versus Munin-style twin/diff consistency
+// (Section 2.6).
+//
+// Both protocols keep a consumer replica of a producer's write-shared
+// region consistent at release (lock-release / flush) points:
+//
+//   - LogBasedProtocol: the producer's region is logged; at release the
+//     producer synchronizes with the log, streams each record's
+//     {offset, value, size} to the consumers, applies it to the replica,
+//     and truncates. Update identification is free at write time; the time
+//     to process a release shrinks to the synchronization with the log.
+//
+//   - MuninTwinProtocol: the region is write-protected; the first write to
+//     a page in an interval faults, makes a twin (a copy) of the page, and
+//     unprotects it. At release every twinned page is compared word by
+//     word against its twin; the differences are transmitted and the pages
+//     re-protected.
+//
+// The trade-off the paper notes: LVM can transmit *more* than Munin when
+// the same location is written repeatedly between acquire and release
+// (every write is a record), while Munin pays twin copies, diff scans and
+// a protection fault per page per interval.
+#ifndef SRC_CONSISTENCY_PROTOCOLS_H_
+#define SRC_CONSISTENCY_PROTOCOLS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/consistency/update_channel.h"
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+
+// Per-update wire overhead: a 2-byte offset tag plus the datum, rounded to
+// {offset(4), value(<=4)} = 8 bytes for word updates.
+inline constexpr uint32_t kUpdateWireBytes = 8;
+
+struct ConsistencyCosts {
+  // Protection-fault cost of Munin's first write to a page per interval
+  // (trap, twin allocation bookkeeping).
+  uint32_t twin_fault_cycles = 350;
+  // Word-by-word diff scan: two reads and a compare per word.
+  uint32_t diff_word_cycles = 6;
+  // Re-protecting a page at release.
+  uint32_t protect_page_cycles = 60;
+  // Per-update transmission processing (either protocol).
+  uint32_t send_update_cycles = 12;
+};
+
+// Common consumer-side replica over a plain segment.
+class Replica {
+ public:
+  Replica(LvmSystem* system, uint32_t size);
+
+  // Applies one update at `offset` within the shared region.
+  void Apply(uint32_t offset, uint32_t value, uint8_t size);
+  uint32_t ReadWord(uint32_t offset) const;
+  uint32_t size() const { return size_; }
+
+ private:
+  LvmSystem* system_;
+  StdSegment* segment_;
+  uint32_t size_;
+};
+
+class LogBasedProtocol {
+ public:
+  LogBasedProtocol(LvmSystem* system, uint32_t size, const ConsistencyCosts& costs);
+
+  // Producer-side write (an ordinary write to the logged region).
+  void Write(Cpu* cpu, uint32_t offset, uint32_t value);
+  // Release point: stream the accumulated updates to the replica.
+  void Release(Cpu* cpu);
+
+  Replica& replica() { return replica_; }
+  UpdateChannel& channel() { return channel_; }
+  VirtAddr base() const { return base_; }
+
+ private:
+  LvmSystem* system_;
+  ConsistencyCosts costs_;
+  StdSegment* segment_;
+  Region* region_;
+  LogSegment* log_;
+  AddressSpace* as_;
+  VirtAddr base_ = 0;
+  Replica replica_;
+  UpdateChannel channel_;
+};
+
+class MuninTwinProtocol {
+ public:
+  MuninTwinProtocol(LvmSystem* system, uint32_t size, const ConsistencyCosts& costs);
+
+  // Producer-side write: first write to a page in the interval pays the
+  // protection fault and twin copy.
+  void Write(Cpu* cpu, uint32_t offset, uint32_t value);
+  // Release point: diff twinned pages, transmit differences, re-protect.
+  void Release(Cpu* cpu);
+
+  Replica& replica() { return replica_; }
+  UpdateChannel& channel() { return channel_; }
+  VirtAddr base() const { return base_; }
+  uint64_t twin_faults() const { return twin_faults_; }
+
+ private:
+  LvmSystem* system_;
+  ConsistencyCosts costs_;
+  StdSegment* segment_;
+  Region* region_;
+  AddressSpace* as_;
+  VirtAddr base_ = 0;
+  Replica replica_;
+  UpdateChannel channel_;
+  // Page index -> twin copy made at the first write of this interval.
+  std::unordered_map<uint32_t, std::vector<uint8_t>> twins_;
+  uint64_t twin_faults_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_CONSISTENCY_PROTOCOLS_H_

@@ -1,0 +1,27 @@
+// Transmission accounting for the distributed-consistency protocols
+// (Section 2.6): bytes and messages a producer ships to its consumers.
+#ifndef SRC_CONSISTENCY_UPDATE_CHANNEL_H_
+#define SRC_CONSISTENCY_UPDATE_CHANNEL_H_
+
+#include <cstdint>
+
+namespace lvm {
+
+class UpdateChannel {
+ public:
+  void Transmit(uint32_t bytes) {
+    bytes_sent_ += bytes;
+    ++messages_;
+  }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages() const { return messages_; }
+
+ private:
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_CONSISTENCY_UPDATE_CHANNEL_H_

@@ -1,0 +1,42 @@
+// Li/Appel-style incremental checkpointing on the real host (the Section
+// 5.1 comparator, working for real): after Checkpoint(), the first write
+// to each page traps and saves a copy; Restore() rolls every modified page
+// back to the checkpoint.
+#ifndef SRC_HOSTLVM_HOST_CHECKPOINT_H_
+#define SRC_HOSTLVM_HOST_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/hostlvm/protected_region.h"
+
+namespace lvm {
+
+class HostCheckpoint {
+ public:
+  explicit HostCheckpoint(size_t pages) : region_(pages, /*keep_twins=*/true) {
+    region_.Arm();
+  }
+
+  uint8_t* data() { return region_.data(); }
+  size_t size_bytes() const { return region_.size_bytes(); }
+
+  // Commits the current state as the new checkpoint.
+  void Checkpoint() { region_.Arm(); }
+
+  // Rolls back to the last checkpoint and starts a fresh interval.
+  void Restore() {
+    region_.RestoreDirtyPagesFromTwins();
+    region_.Arm();
+  }
+
+  size_t dirty_pages() const { return region_.DirtyPages().size(); }
+  uint64_t faults() const { return region_.faults(); }
+
+ private:
+  ProtectedRegion region_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_HOST_CHECKPOINT_H_

@@ -1,0 +1,88 @@
+// Transactional memory region on the real host: composes the
+// mprotect/SIGSEGV machinery into begin/commit/abort semantics over
+// ordinary heap-like memory — the closest a stock Unix process gets to the
+// paper's RLVM without hardware logging.
+//
+//   HostTransactionalRegion region(64);
+//   auto* data = region.data<MyStruct>();
+//   region.Begin();
+//   data->field = 42;        // Plain stores; faults track dirty pages.
+//   region.Abort();          // Page-granularity rollback, no undo code.
+//
+// Commit additionally reports the word-level updates of the transaction
+// (by diffing dirty pages against their twins), usable as a redo log.
+#ifndef SRC_HOSTLVM_HOST_TRANSACTION_H_
+#define SRC_HOSTLVM_HOST_TRANSACTION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/hostlvm/protected_region.h"
+#include "src/hostlvm/write_protect_logger.h"
+
+namespace lvm {
+
+class HostTransactionalRegion {
+ public:
+  explicit HostTransactionalRegion(size_t pages) : region_(pages, /*keep_twins=*/true) {}
+
+  template <typename T = uint8_t>
+  T* data() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return reinterpret_cast<T*>(region_.data());
+  }
+  size_t size_bytes() const { return region_.size_bytes(); }
+
+  void Begin() {
+    LVM_CHECK_MSG(!active_, "transactions do not nest");
+    region_.Arm();
+    active_ = true;
+  }
+
+  // Commits: returns the word-level redo records of the transaction.
+  std::vector<HostWordUpdate> Commit() {
+    LVM_CHECK(active_);
+    std::vector<HostWordUpdate> updates;
+    for (size_t page : region_.DirtyPages()) {
+      const uint8_t* current = region_.data() + page * ProtectedRegion::kHostPageSize;
+      const uint8_t* twin = region_.Twin(page);
+      for (size_t offset = 0; offset < ProtectedRegion::kHostPageSize; offset += 4) {
+        uint32_t now_value = 0;
+        uint32_t old_value = 0;
+        std::memcpy(&now_value, current + offset, 4);
+        std::memcpy(&old_value, twin + offset, 4);
+        if (now_value != old_value) {
+          updates.push_back(
+              HostWordUpdate{page * ProtectedRegion::kHostPageSize + offset, now_value});
+        }
+      }
+    }
+    active_ = false;
+    ++commits_;
+    return updates;
+  }
+
+  void Abort() {
+    LVM_CHECK(active_);
+    region_.RestoreDirtyPagesFromTwins();
+    active_ = false;
+    ++aborts_;
+  }
+
+  uint64_t faults() const { return region_.faults(); }
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  ProtectedRegion region_;
+  bool active_ = false;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_HOST_TRANSACTION_H_

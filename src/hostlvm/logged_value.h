@@ -1,0 +1,74 @@
+// Instrumented write-barrier logging: the "modify the application code"
+// alternative of Section 5.3, done with C++ operator overloading.
+//
+// A Logged<T> behaves like a T, but every assignment appends a record
+// {address, old value, new value} to its HostLog. This is what LVM
+// replaces: it needs no hardware, but every logged field must be declared
+// as such in the source (thousands of annotations in a non-trivial
+// program), it taxes every store, and a missed annotation is silent.
+#ifndef SRC_HOSTLVM_LOGGED_VALUE_H_
+#define SRC_HOSTLVM_LOGGED_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lvm {
+
+struct HostLogRecord {
+  uintptr_t addr = 0;
+  uint64_t old_value = 0;
+  uint64_t new_value = 0;
+  uint32_t size = 0;
+};
+
+class HostLog {
+ public:
+  void Append(const void* addr, uint64_t old_value, uint64_t new_value, uint32_t size) {
+    records_.push_back(
+        HostLogRecord{reinterpret_cast<uintptr_t>(addr), old_value, new_value, size});
+  }
+
+  const std::vector<HostLogRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Truncate() { records_.clear(); }
+
+  // Undoes the logged writes (newest first) by storing old values back.
+  void UndoAll() {
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+      std::memcpy(reinterpret_cast<void*>(it->addr), &it->old_value, it->size);
+    }
+    records_.clear();
+  }
+
+ private:
+  std::vector<HostLogRecord> records_;
+};
+
+template <typename T>
+class Logged {
+  static_assert(sizeof(T) <= sizeof(uint64_t), "Logged<T> supports word-sized types");
+
+ public:
+  Logged(HostLog* log, T initial = T{}) : log_(log), value_(initial) {}
+
+  Logged& operator=(T value) {
+    log_->Append(&value_, static_cast<uint64_t>(value_), static_cast<uint64_t>(value),
+                 sizeof(T));
+    value_ = value;
+    return *this;
+  }
+  Logged& operator+=(T delta) { return *this = static_cast<T>(value_ + delta); }
+  Logged& operator-=(T delta) { return *this = static_cast<T>(value_ - delta); }
+
+  operator T() const { return value_; }  // NOLINT(google-explicit-constructor)
+  T value() const { return value_; }
+
+ private:
+  HostLog* log_;
+  T value_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_LOGGED_VALUE_H_

@@ -1,0 +1,154 @@
+#include "src/hostlvm/protected_region.h"
+
+#include <signal.h>
+#include <string.h>
+#include <sys/mman.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+// Global SIGSEGV dispatcher: routes faults to the owning ProtectedRegion.
+// Registration happens on the normal path (constructor/destructor); the
+// handler only reads the fixed-size table.
+class SegvDispatcher {
+ public:
+  static constexpr int kMaxRegions = 64;
+
+  static SegvDispatcher& Instance() {
+    static SegvDispatcher instance;
+    return instance;
+  }
+
+  void Register(ProtectedRegion* region) {
+    EnsureHandlerInstalled();
+    for (auto& slot : regions_) {
+      if (slot == nullptr) {
+        slot = region;
+        return;
+      }
+    }
+    LVM_CHECK_MSG(false, "too many protected regions");
+  }
+
+  void Unregister(ProtectedRegion* region) {
+    for (auto& slot : regions_) {
+      if (slot == region) {
+        slot = nullptr;
+      }
+    }
+  }
+
+ private:
+  SegvDispatcher() {
+    for (auto& slot : regions_) {
+      slot = nullptr;
+    }
+  }
+
+  void EnsureHandlerInstalled() {
+    if (installed_) {
+      return;
+    }
+    struct sigaction action;
+    memset(&action, 0, sizeof(action));
+    action.sa_sigaction = &SegvDispatcher::HandleSignal;
+    action.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&action.sa_mask);
+    int rc = sigaction(SIGSEGV, &action, &previous_);
+    LVM_CHECK(rc == 0);
+    installed_ = true;
+  }
+
+  static void HandleSignal(int signo, siginfo_t* info, void* context) {
+    SegvDispatcher& dispatcher = Instance();
+    for (ProtectedRegion* region : dispatcher.regions_) {
+      if (region != nullptr && region->HandleFault(info->si_addr)) {
+        return;
+      }
+    }
+    // Not ours: restore the previous disposition and re-raise so genuine
+    // crashes still crash.
+    sigaction(SIGSEGV, &dispatcher.previous_, nullptr);
+    (void)signo;
+    (void)context;
+  }
+
+  ProtectedRegion* regions_[kMaxRegions] = {};
+  struct sigaction previous_ = {};
+  bool installed_ = false;
+};
+
+ProtectedRegion::ProtectedRegion(size_t pages, bool keep_twins)
+    : pages_(pages), keep_twins_(keep_twins), dirty_(pages, 0) {
+  LVM_CHECK(pages > 0);
+  void* mem = mmap(nullptr, pages * kHostPageSize, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  LVM_CHECK_MSG(mem != MAP_FAILED, "mmap failed");
+  base_ = static_cast<uint8_t*>(mem);
+  if (keep_twins_) {
+    twins_.resize(pages * kHostPageSize);
+  }
+  SegvDispatcher::Instance().Register(this);
+}
+
+ProtectedRegion::~ProtectedRegion() {
+  SegvDispatcher::Instance().Unregister(this);
+  munmap(base_, pages_ * kHostPageSize);
+}
+
+void ProtectedRegion::Arm() {
+  int rc = mprotect(base_, pages_ * kHostPageSize, PROT_READ);
+  LVM_CHECK(rc == 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  armed_ = true;
+}
+
+bool ProtectedRegion::HandleFault(void* addr) {
+  auto* byte_addr = static_cast<uint8_t*>(addr);
+  if (!armed_ || byte_addr < base_ || byte_addr >= base_ + pages_ * kHostPageSize) {
+    return false;
+  }
+  size_t page = static_cast<size_t>(byte_addr - base_) / kHostPageSize;
+  if (keep_twins_) {
+    memcpy(&twins_[page * kHostPageSize], base_ + page * kHostPageSize, kHostPageSize);
+  }
+  dirty_[page] = 1;
+  faults_ = faults_ + 1;
+  mprotect(base_ + page * kHostPageSize, kHostPageSize, PROT_READ | PROT_WRITE);
+  return true;
+}
+
+std::vector<size_t> ProtectedRegion::DirtyPages() const {
+  std::vector<size_t> pages;
+  for (size_t i = 0; i < pages_; ++i) {
+    if (dirty_[i] != 0) {
+      pages.push_back(i);
+    }
+  }
+  return pages;
+}
+
+const uint8_t* ProtectedRegion::Twin(size_t page) const {
+  LVM_CHECK(keep_twins_ && page < pages_);
+  return &twins_[page * kHostPageSize];
+}
+
+void ProtectedRegion::RestoreDirtyPagesFromTwins() {
+  LVM_CHECK(keep_twins_);
+  // Make everything writable first, then copy the twins back.
+  int rc = mprotect(base_, pages_ * kHostPageSize, PROT_READ | PROT_WRITE);
+  LVM_CHECK(rc == 0);
+  armed_ = false;
+  for (size_t page = 0; page < pages_; ++page) {
+    if (dirty_[page] != 0) {
+      memcpy(base_ + page * kHostPageSize, &twins_[page * kHostPageSize], kHostPageSize);
+      dirty_[page] = 0;
+    }
+  }
+}
+
+}  // namespace lvm

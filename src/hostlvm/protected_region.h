@@ -1,0 +1,77 @@
+// Real page-protection machinery on the host Linux kernel.
+//
+// This is the software-only end of the design space the paper argues about
+// (Section 5.1): write-protect a region with mprotect(2), catch the first
+// store to each page in a SIGSEGV handler, optionally twin the page, and
+// unprotect it. On top of this the repository builds page-granularity
+// write logging (WriteProtectLogger), Munin-style word diffs, and Li/Appel
+// incremental checkpointing (HostCheckpoint) — all measurable on real
+// hardware next to the simulated LVM results.
+//
+// Signal-handler discipline: everything the handler touches is
+// preallocated at registration time (dirty bitmap, twin buffer, registry
+// slots), so no allocation happens in signal context.
+#ifndef SRC_HOSTLVM_PROTECTED_REGION_H_
+#define SRC_HOSTLVM_PROTECTED_REGION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lvm {
+
+class ProtectedRegion {
+ public:
+  static constexpr size_t kHostPageSize = 4096;
+
+  // Allocates `pages` pages of anonymous memory and registers the region
+  // with the global SIGSEGV dispatcher. When `keep_twins` is set, the
+  // handler snapshots each page before its first modification.
+  ProtectedRegion(size_t pages, bool keep_twins);
+  ~ProtectedRegion();
+
+  ProtectedRegion(const ProtectedRegion&) = delete;
+  ProtectedRegion& operator=(const ProtectedRegion&) = delete;
+
+  uint8_t* data() { return base_; }
+  const uint8_t* data() const { return base_; }
+  size_t size_bytes() const { return pages_ * kHostPageSize; }
+  size_t pages() const { return pages_; }
+
+  // Write-protects the whole region and clears dirty state. Twins are
+  // refreshed lazily at the next fault.
+  void Arm();
+
+  // Indices of pages written since the last Arm().
+  std::vector<size_t> DirtyPages() const;
+  bool IsDirty(size_t page) const { return dirty_[page] != 0; }
+
+  // Pre-modification snapshot of `page` (valid only if dirty and twinning
+  // is enabled).
+  const uint8_t* Twin(size_t page) const;
+
+  // Copies the twin back over every dirty page (rollback), leaving the
+  // region unprotected and clean.
+  void RestoreDirtyPagesFromTwins();
+
+  uint64_t faults() const { return faults_; }
+
+ private:
+  friend class SegvDispatcher;
+
+  // Handles a fault at `addr` if it falls in this region. Runs in signal
+  // context: async-signal-safe only.
+  bool HandleFault(void* addr);
+
+  uint8_t* base_ = nullptr;
+  size_t pages_ = 0;
+  bool keep_twins_ = false;
+  bool armed_ = false;
+  std::vector<uint8_t> dirty_;
+  std::vector<uint8_t> twins_;
+  volatile uint64_t faults_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_PROTECTED_REGION_H_

@@ -1,0 +1,77 @@
+// Page-protection write logging on the real host (the practical cousin of
+// the paper's LVM for machines without logging hardware).
+//
+// WriteProtectLogger tracks which pages of a region were written between
+// synchronization points (page-granularity logging) and, with twinning
+// enabled, produces Munin-style word-level update lists by diffing each
+// dirty page against its pre-modification twin — the exact mechanism
+// Section 2.6 describes for write-shared objects.
+#ifndef SRC_HOSTLVM_WRITE_PROTECT_LOGGER_H_
+#define SRC_HOSTLVM_WRITE_PROTECT_LOGGER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/hostlvm/protected_region.h"
+
+namespace lvm {
+
+struct HostWordUpdate {
+  uint64_t offset = 0;  // Byte offset within the region.
+  uint32_t value = 0;   // New 32-bit value.
+};
+
+class WriteProtectLogger {
+ public:
+  // `word_level`: keep twins and report word diffs; otherwise only dirty
+  // pages are reported.
+  WriteProtectLogger(size_t pages, bool word_level)
+      : region_(pages, /*keep_twins=*/word_level), word_level_(word_level) {
+    region_.Arm();
+  }
+
+  uint8_t* data() { return region_.data(); }
+  size_t size_bytes() const { return region_.size_bytes(); }
+
+  // Synchronization point: returns the pages written since the last call
+  // and re-arms protection.
+  std::vector<size_t> CollectDirtyPages() {
+    std::vector<size_t> pages = region_.DirtyPages();
+    region_.Arm();
+    return pages;
+  }
+
+  // Synchronization point for word-level mode: diffs every dirty page
+  // against its twin, returns the changed words, re-arms.
+  std::vector<HostWordUpdate> CollectWordUpdates() {
+    std::vector<HostWordUpdate> updates;
+    for (size_t page : region_.DirtyPages()) {
+      const uint8_t* current = region_.data() + page * ProtectedRegion::kHostPageSize;
+      const uint8_t* twin = region_.Twin(page);
+      for (size_t offset = 0; offset < ProtectedRegion::kHostPageSize; offset += 4) {
+        uint32_t now_value = 0;
+        uint32_t old_value = 0;
+        std::memcpy(&now_value, current + offset, 4);
+        std::memcpy(&old_value, twin + offset, 4);
+        if (now_value != old_value) {
+          updates.push_back(HostWordUpdate{
+              page * ProtectedRegion::kHostPageSize + offset, now_value});
+        }
+      }
+    }
+    region_.Arm();
+    return updates;
+  }
+
+  uint64_t faults() const { return region_.faults(); }
+  bool word_level() const { return word_level_; }
+
+ private:
+  ProtectedRegion region_;
+  bool word_level_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_WRITE_PROTECT_LOGGER_H_

@@ -1,0 +1,137 @@
+#include "src/logger/hardware_logger.h"
+
+namespace lvm {
+
+HardwareLogger::HardwareLogger(const MachineParams* params, PhysicalMemory* memory, Bus* bus)
+    : params_(params), memory_(memory), bus_(bus), fifo_(params->logger_fifo_capacity) {}
+
+void HardwareLogger::OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bool logged,
+                                Cycles time, int cpu_id) {
+  if (!logged) {
+    return;
+  }
+  DrainUpTo(time);
+  if (fifo_.full()) {
+    // With the overload threshold below capacity this cannot happen unless a
+    // client ignores OnOverload; count rather than crash.
+    ++records_dropped_;
+    return;
+  }
+  fifo_.Push(FifoEntry{paddr, value, size, static_cast<uint8_t>(cpu_id), time});
+  if (fifo_.size() >= params_->logger_fifo_threshold) {
+    ++overload_events_;
+    // The kernel suspends the logging processes; the FIFOs drain completely
+    // at the Table-2 DMA rate before execution resumes.
+    if (service_free_ < time) {
+      service_free_ = time;
+    }
+    while (!fifo_.empty()) {
+      ProcessOne(params_->logger_service_drain_cycles);
+    }
+    if (client_ != nullptr) {
+      client_->OnOverload(time, service_free_);
+    }
+  }
+}
+
+void HardwareLogger::DrainUpTo(Cycles time) {
+  while (!fifo_.empty()) {
+    Cycles start = fifo_.Front().time > service_free_ ? fifo_.Front().time : service_free_;
+    if (start + params_->logger_service_active_cycles > time) {
+      return;
+    }
+    ProcessOne(params_->logger_service_active_cycles);
+  }
+}
+
+void HardwareLogger::ProcessOne(uint32_t service_cycles) {
+  FifoEntry entry = fifo_.Pop();
+  if (entry.time > service_free_) {
+    service_free_ = entry.time;
+  }
+  if (EmitRecord(entry)) {
+    ++records_logged_;
+    if (params_->dma_contends_bus && bus_ != nullptr) {
+      bus_->Acquire(service_free_, params_->log_record_dma_bus);
+    }
+  } else {
+    ++records_dropped_;
+  }
+  service_free_ += service_cycles;
+}
+
+bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
+  const PageMappingTable::Entry* mapping = page_mapping_table_.Lookup(entry.paddr);
+  if (mapping == nullptr) {
+    ++mapping_faults_;
+    service_free_ += params_->logging_fault_logger_stall;
+    if (client_ == nullptr || !client_->OnMappingFault(entry.paddr, service_free_)) {
+      return false;
+    }
+    mapping = page_mapping_table_.Lookup(entry.paddr);
+    if (mapping == nullptr) {
+      return false;
+    }
+  }
+
+  // Per-processor logs: the writing CPU selects within the group.
+  uint32_t log_index = mapping->log_index;
+  if (mapping->per_cpu) {
+    log_index += entry.cpu_id;
+  }
+  LogTable::Entry& log = log_table_.at(log_index);
+  switch (log.mode) {
+    case LogMode::kDirectMapped: {
+      // The datum lands at the corresponding offset of the log segment; no
+      // tail, no boundary faults.
+      memory_->Write(mapping->direct_frame + PageOffset(entry.paddr), entry.value, entry.size);
+      return true;
+    }
+    case LogMode::kNormal:
+    case LogMode::kIndexed:
+      break;
+  }
+
+  if (!log.tail_valid) {
+    ++tail_faults_;
+    service_free_ += params_->logging_fault_logger_stall;
+    if (client_ == nullptr || !client_->OnLogTailFault(log_index, service_free_)) {
+      return false;
+    }
+    if (!log.tail_valid) {
+      return false;
+    }
+  }
+
+  if (log.mode == LogMode::kNormal) {
+    // With reverse translation loaded (ASIC option, Section 3.1.2) the
+    // record carries the virtual address.
+    uint32_t record_addr = mapping->has_va ? mapping->va_page + PageOffset(entry.paddr)
+                                           : entry.paddr;
+    LogRecord record{
+        .addr = record_addr,
+        .value = entry.value,
+        .size = entry.size,
+        .flags = 0,
+        .timestamp = static_cast<uint32_t>(entry.time / params_->timestamp_divider),
+    };
+    StoreLogRecord(memory_, log.tail, record);
+    log.tail += kLogRecordSize;
+  } else {  // LogMode::kIndexed: just the data values, back to back.
+    memory_->Write(log.tail, entry.value, entry.size);
+    log.tail += entry.size;
+  }
+  if (PageOffset(log.tail) == 0) {
+    log.tail_valid = false;
+  }
+  return true;
+}
+
+Cycles HardwareLogger::SyncDrain(Cycles now) {
+  while (!fifo_.empty()) {
+    ProcessOne(params_->logger_service_active_cycles);
+  }
+  return service_free_ > now ? service_free_ : now;
+}
+
+}  // namespace lvm

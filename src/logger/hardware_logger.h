@@ -1,0 +1,123 @@
+// The bus-snooping hardware logger of the prototype (Section 3.1, Figure 5).
+//
+// The logger watches the system bus for write operations whose page mapping
+// asserts the "logged" bus signal. Captured writes enter the write FIFO;
+// when an entry reaches the head, the logger looks up the physical page in
+// its direct-mapped page mapping table to find the log index, fetches the
+// log's tail address from the log table, and DMAs a 16-byte record into the
+// log segment, advancing the tail. A tail that crosses a page boundary is
+// invalidated; the next record for that log raises a *logging fault* to the
+// kernel, as does a page mapping miss. When FIFO occupancy reaches the
+// overload threshold the logger interrupts the kernel, which suspends the
+// logging processes until the FIFOs drain (Section 3.1.3).
+//
+// Timing model: the logger is an asynchronous agent simulated lazily on the
+// same cycle clock as the CPUs. While processors run, one record completes
+// every MachineParams::logger_service_active_cycles (the FPGA pipeline,
+// contended by CPU bus traffic: Section 4.5.3 measures that overload is
+// avoided only below one logged write per ~270 cycles). During an overload
+// drain the processors are quiesced and records retire at the Table-2 DMA
+// rate.
+#ifndef SRC_LOGGER_HARDWARE_LOGGER_H_
+#define SRC_LOGGER_HARDWARE_LOGGER_H_
+
+#include <cstdint>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/types.h"
+#include "src/logger/log_record.h"
+#include "src/logger/tables.h"
+#include "src/sim/bus.h"
+#include "src/sim/interfaces.h"
+#include "src/sim/params.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+// Kernel-side handling of logger interrupts. Implemented by lvm::LvmSystem.
+class LoggerFaultClient {
+ public:
+  virtual ~LoggerFaultClient() = default;
+
+  // Page mapping table miss for the page containing `paddr`: the kernel
+  // loads a mapping (and, if needed, log table) entry. Returns false if the
+  // page is not actually logged any more and the record must be dropped.
+  virtual bool OnMappingFault(PhysAddr paddr, Cycles time) = 0;
+
+  // Log `log_index` has an invalid tail (just crossed a page boundary): the
+  // kernel installs the next frame of the log segment, or the default absorb
+  // page. Returns false to drop the record.
+  virtual bool OnLogTailFault(uint32_t log_index, Cycles time) = 0;
+
+  // FIFO occupancy reached the threshold at `interrupt_time`. The kernel
+  // must suspend every process that may generate log data until
+  // `drain_complete` (plus its own interrupt-handling cost).
+  virtual void OnOverload(Cycles interrupt_time, Cycles drain_complete) = 0;
+};
+
+class HardwareLogger : public BusSnooper {
+ public:
+  // `bus` may be null; it is only used when params->dma_contends_bus.
+  HardwareLogger(const MachineParams* params, PhysicalMemory* memory, Bus* bus);
+
+  void set_fault_client(LoggerFaultClient* client) { client_ = client; }
+
+  PageMappingTable& page_mapping_table() { return page_mapping_table_; }
+  LogTable& log_table() { return log_table_; }
+
+  // BusSnooper: captures logged writes into the write FIFO.
+  void OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bool logged, Cycles time,
+                  int cpu_id) override;
+
+  // Processes every pending FIFO entry at the running-system rate and
+  // returns the completion time (>= `now`). Applications use this through
+  // LvmSystem to synchronize with the end of the log before reading it.
+  Cycles SyncDrain(Cycles now);
+
+  // --- statistics ---
+  uint64_t records_logged() const { return records_logged_; }
+  uint64_t records_dropped() const { return records_dropped_; }
+  uint64_t mapping_faults() const { return mapping_faults_; }
+  uint64_t tail_faults() const { return tail_faults_; }
+  uint64_t overload_events() const { return overload_events_; }
+  size_t fifo_occupancy() const { return fifo_.size(); }
+
+ private:
+  struct FifoEntry {
+    PhysAddr paddr = 0;
+    uint32_t value = 0;
+    uint8_t size = 0;
+    // Writing processor, for per-processor logs (Section 3.1.2 extension).
+    uint8_t cpu_id = 0;
+    Cycles time = 0;
+  };
+
+  // Retires FIFO entries whose service completes by `time`.
+  void DrainUpTo(Cycles time);
+  // Retires the head entry with the given per-record service time.
+  void ProcessOne(uint32_t service_cycles);
+  // Emits the record for `entry` according to its log's mode. Returns false
+  // if the record had to be dropped.
+  bool EmitRecord(const FifoEntry& entry);
+
+  const MachineParams* params_;
+  PhysicalMemory* memory_;
+  Bus* bus_;
+  LoggerFaultClient* client_ = nullptr;
+
+  PageMappingTable page_mapping_table_;
+  LogTable log_table_;
+  RingBuffer<FifoEntry> fifo_;
+  // Time at which the logger pipeline is free.
+  Cycles service_free_ = 0;
+
+  uint64_t records_logged_ = 0;
+  uint64_t records_dropped_ = 0;
+  uint64_t mapping_faults_ = 0;
+  uint64_t tail_faults_ = 0;
+  uint64_t overload_events_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_LOGGER_HARDWARE_LOGGER_H_

@@ -1,0 +1,52 @@
+// The 16-byte log record the logger DMAs into a log segment (Section 3.1).
+//
+// Each record describes one memory write: the address written (physical in
+// the prototype's bus logger, virtual with the on-chip logger of Section
+// 4.6), the datum, its size, and a high-resolution timestamp in 6.25 MHz
+// ticks. Records are stored little-endian, packed back to back, earlier
+// writes at lower offsets.
+#ifndef SRC_LOGGER_LOG_RECORD_H_
+#define SRC_LOGGER_LOG_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/base/types.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+// Record flags. The prototype's records carry none; the Section 4.6
+// on-chip design has "the option of placing other information in the log
+// records (such as the memory data before the write)": a record flagged
+// kRecordFlagOldValue holds the *previous* datum of the address and
+// immediately precedes the new-value record of the same write.
+inline constexpr uint16_t kRecordFlagOldValue = 0x1;
+
+struct LogRecord {
+  uint32_t addr = 0;
+  uint32_t value = 0;
+  uint16_t size = 0;
+  uint16_t flags = 0;
+  // 6.25 MHz timestamp (one tick per four CPU cycles).
+  uint32_t timestamp = 0;
+};
+static_assert(sizeof(LogRecord) == 16, "log records are exactly 16 bytes");
+
+inline constexpr uint32_t kLogRecordSize = sizeof(LogRecord);
+
+// Serializes `record` into simulated memory at `paddr`.
+inline void StoreLogRecord(PhysicalMemory* memory, PhysAddr paddr, const LogRecord& record) {
+  memory->WriteBlock(paddr, &record, kLogRecordSize);
+}
+
+// Deserializes a record from simulated memory at `paddr`.
+inline LogRecord LoadLogRecord(const PhysicalMemory& memory, PhysAddr paddr) {
+  LogRecord record;
+  memory.ReadBlock(paddr, &record, kLogRecordSize);
+  return record;
+}
+
+}  // namespace lvm
+
+#endif  // SRC_LOGGER_LOG_RECORD_H_

@@ -1,0 +1,109 @@
+#include "src/logger/onchip_logger.h"
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+OnChipLogger::OnChipLogger(const MachineParams* params, PhysicalMemory* memory, Bus* bus,
+                           int num_cpus)
+    : params_(params),
+      memory_(memory),
+      bus_(bus),
+      descriptors_(static_cast<size_t>(num_cpus)),
+      record_buffers_(static_cast<size_t>(num_cpus)) {
+  LVM_CHECK(num_cpus >= 1);
+}
+
+void OnChipLogger::LoadDescriptor(int cpu_id, VirtAddr vpage, uint32_t log_index) {
+  descriptors_.at(static_cast<size_t>(cpu_id))[PageNumber(vpage)] = log_index;
+}
+
+void OnChipLogger::InvalidateDescriptor(int cpu_id, VirtAddr vpage) {
+  descriptors_.at(static_cast<size_t>(cpu_id)).erase(PageNumber(vpage));
+}
+
+void OnChipLogger::ClearCpu(int cpu_id) {
+  descriptors_.at(static_cast<size_t>(cpu_id)).clear();
+}
+
+bool OnChipLogger::EmitRecord(Cpu* cpu, uint32_t log_index, const LogRecord& record) {
+  LogTable::Entry& log = log_table_.at(log_index);
+  if (!log.tail_valid) {
+    ++tail_faults_;
+    // Synchronous kernel fixup; the fault client charges the CPU cost.
+    if (client_ == nullptr || !client_->OnLogTailFault(log_index, cpu->now())) {
+      ++records_dropped_;
+      return false;
+    }
+    if (!log.tail_valid) {
+      ++records_dropped_;
+      return false;
+    }
+  }
+
+  // Rate-limit record emission through the CPU's store buffer: the record
+  // goes out over the bus at the DMA rate; the processor stalls only when
+  // the buffer is full (no FIFOs, no overload interrupts).
+  auto& buffer = record_buffers_.at(static_cast<size_t>(cpu->id()));
+  while (!buffer.empty() && buffer.front() <= cpu->now()) {
+    buffer.pop_front();
+  }
+  if (buffer.size() >= params_->write_buffer_depth) {
+    cpu->AdvanceTo(buffer.front());
+    buffer.pop_front();
+  }
+  Cycles grant = bus_->Acquire(cpu->now(), params_->log_record_dma_bus);
+  buffer.push_back(grant + params_->log_record_dma_bus);
+
+  if (log.mode == LogMode::kNormal) {
+    StoreLogRecord(memory_, log.tail, record);
+    log.tail += kLogRecordSize;
+  } else {
+    memory_->Write(log.tail, record.value, static_cast<uint8_t>(record.size));
+    log.tail += record.size;
+  }
+  ++records_logged_;
+  if (PageOffset(log.tail) == 0) {
+    log.tail_valid = false;
+  }
+  return true;
+}
+
+void OnChipLogger::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t value,
+                                 uint8_t size) {
+  auto& table = descriptors_.at(static_cast<size_t>(cpu->id()));
+  auto it = table.find(PageNumber(va));
+  if (it == table.end()) {
+    // The kernel did not register this page with the on-chip logger.
+    ++records_dropped_;
+    return;
+  }
+  uint32_t log_index = it->second;
+  auto timestamp = static_cast<uint32_t>(cpu->now() / params_->timestamp_divider);
+
+  if (capture_old_values_ && l2_ != nullptr &&
+      log_table_.at(log_index).mode == LogMode::kNormal) {
+    // Section 4.6 extension: place the memory data before the write in the
+    // log. The sink runs before the data store, so the old datum is still
+    // readable.
+    LogRecord old_record{
+        .addr = va,
+        .value = l2_->Read(paddr, size),
+        .size = size,
+        .flags = kRecordFlagOldValue,
+        .timestamp = timestamp,
+    };
+    EmitRecord(cpu, log_index, old_record);
+  }
+
+  LogRecord record{
+      .addr = va,
+      .value = value,
+      .size = size,
+      .flags = 0,
+      .timestamp = timestamp,
+  };
+  EmitRecord(cpu, log_index, record);
+}
+
+}  // namespace lvm

@@ -1,0 +1,94 @@
+// Next-generation on-chip logger (Section 4.6, Figure 13).
+//
+// A processor designed to support logging carries a log descriptor table in
+// its VM unit: TLB entries are extended with a log index, records carry the
+// *virtual* address, per-region logs are directly supported, and overload is
+// impossible — the processor simply stalls when record traffic exceeds what
+// its write buffers absorb, exactly as rapid write-through does. The cost of
+// a logged write approaches an unlogged write plus the bus overhead of the
+// record.
+//
+// The model keeps one kernel-loaded descriptor table per CPU mapping virtual
+// pages to log indices (loaded on page faults, cleared on context switch),
+// shares the LogTable tail mechanism with the bus logger, and rate-limits
+// record emission through a small per-CPU store buffer draining at the
+// Table-2 DMA bus rate.
+#ifndef SRC_LOGGER_ONCHIP_LOGGER_H_
+#define SRC_LOGGER_ONCHIP_LOGGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/logger/hardware_logger.h"
+#include "src/logger/log_record.h"
+#include "src/logger/tables.h"
+#include "src/sim/bus.h"
+#include "src/sim/cpu.h"
+#include "src/sim/interfaces.h"
+#include "src/sim/params.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+class OnChipLogger : public LoggedWriteSink {
+ public:
+  OnChipLogger(const MachineParams* params, PhysicalMemory* memory, Bus* bus, int num_cpus);
+
+  void set_fault_client(LoggerFaultClient* client) { client_ = client; }
+
+  // Section 4.6 extension: also log the memory data *before* each write
+  // (an extra record flagged kRecordFlagOldValue preceding the new-value
+  // record). Requires the L2 cache for the pre-image read. Enables direct
+  // undo-based rollback (LogApplier::UndoVirtual).
+  void EnableOldValueCapture(L2Cache* l2) {
+    capture_old_values_ = true;
+    l2_ = l2;
+  }
+  bool capture_old_values() const { return capture_old_values_; }
+
+  LogTable& log_table() { return log_table_; }
+
+  // Kernel interface: loads / removes descriptor-table entries mapping a
+  // virtual page on `cpu_id` to a log.
+  void LoadDescriptor(int cpu_id, VirtAddr vpage, uint32_t log_index);
+  void InvalidateDescriptor(int cpu_id, VirtAddr vpage);
+  // Context switch: the kernel unloads this CPU's descriptors.
+  void ClearCpu(int cpu_id);
+
+  // LoggedWriteSink: called by the CPU for every write to a logged page.
+  void OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t value,
+                     uint8_t size) override;
+
+  uint64_t records_logged() const { return records_logged_; }
+  uint64_t records_dropped() const { return records_dropped_; }
+  uint64_t tail_faults() const { return tail_faults_; }
+
+ private:
+  // Emits one record into `log_index` (tail fault handling, store-buffer
+  // rate limiting, DMA). Returns false if the record had to be dropped.
+  bool EmitRecord(Cpu* cpu, uint32_t log_index, const LogRecord& record);
+
+  const MachineParams* params_;
+  PhysicalMemory* memory_;
+  Bus* bus_;
+  LoggerFaultClient* client_ = nullptr;
+  L2Cache* l2_ = nullptr;
+  bool capture_old_values_ = false;
+
+  LogTable log_table_;
+  // Per-CPU descriptor tables: virtual page number -> log index.
+  std::vector<std::unordered_map<uint32_t, uint32_t>> descriptors_;
+  // Per-CPU record store buffers: completion times of in-flight records.
+  std::vector<std::deque<Cycles>> record_buffers_;
+
+  uint64_t records_logged_ = 0;
+  uint64_t records_dropped_ = 0;
+  uint64_t tail_faults_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_LOGGER_ONCHIP_LOGGER_H_

@@ -1,0 +1,169 @@
+// The logger's on-board lookup tables (Section 3.1, Figures 5 and 6).
+//
+// The page mapping table is a direct-mapped, TLB-like structure that maps a
+// physical page to a log table index: the 20-bit physical page number is
+// split into a 5-bit tag (upper bits) and a 15-bit index (lower bits). The
+// log table holds, per log, the physical address at which the next record is
+// written; crossing a page boundary invalidates the entry, raising a logging
+// fault on the next record.
+#ifndef SRC_LOGGER_TABLES_H_
+#define SRC_LOGGER_TABLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace lvm {
+
+// How records for a log are placed in its log segment (Section 2.6).
+enum class LogMode : uint8_t {
+  // Append 16-byte records sequentially (the standard mode).
+  kNormal,
+  // Write the datum at the offset in the log segment corresponding to its
+  // offset in the data segment (mapped-I/O output).
+  kDirectMapped,
+  // Append just the data values, without addresses or timestamps
+  // (streamed-output mode).
+  kIndexed,
+};
+
+class PageMappingTable {
+ public:
+  static constexpr uint32_t kIndexBits = 15;
+  static constexpr uint32_t kEntries = 1u << kIndexBits;
+  static constexpr uint32_t kIndexMask = kEntries - 1;
+
+  struct Entry {
+    bool valid = false;
+    uint8_t tag = 0;         // Upper 5 bits of the physical page number.
+    uint16_t log_index = 0;  // Index into the log table.
+    // Per-processor logging (the Section 3.1.2 extension the prototype
+    // lacked space for): the effective log is log_index + cpu_id.
+    bool per_cpu = false;
+    // Reverse translation (Section 3.1.2: "the logger could store a
+    // reverse-translation in its page mapping table, relying on there
+    // being a single logged region per segment"): when set, records carry
+    // va_page + offset instead of the physical address. An ASIC would have
+    // the table space; the FPGA prototype did not.
+    bool has_va = false;
+    VirtAddr va_page = 0;
+    // Direct-mapped mode only: physical frame in the log segment that
+    // mirrors this data page.
+    PhysAddr direct_frame = 0;
+  };
+
+  PageMappingTable() : entries_(kEntries) {}
+
+  static uint32_t IndexOf(PhysAddr paddr) { return PageNumber(paddr) & kIndexMask; }
+  static uint8_t TagOf(PhysAddr paddr) {
+    return static_cast<uint8_t>(PageNumber(paddr) >> kIndexBits);
+  }
+
+  // Returns the entry for `paddr`'s page if present and tag-matching,
+  // nullptr otherwise (a logging fault in hardware).
+  const Entry* Lookup(PhysAddr paddr) const {
+    const Entry& entry = entries_[IndexOf(paddr)];
+    if (!entry.valid || entry.tag != TagOf(paddr)) {
+      return nullptr;
+    }
+    return &entry;
+  }
+
+  // Loads the entry for `paddr`'s page, displacing whatever shared its
+  // direct-mapped slot. Returns true if a valid entry was displaced.
+  bool Load(PhysAddr paddr, uint16_t log_index, PhysAddr direct_frame = 0,
+            bool per_cpu = false, bool has_va = false, VirtAddr va_page = 0) {
+    Entry& entry = entries_[IndexOf(paddr)];
+    bool displaced = entry.valid && entry.tag != TagOf(paddr);
+    entry.valid = true;
+    entry.tag = TagOf(paddr);
+    entry.log_index = log_index;
+    entry.per_cpu = per_cpu;
+    entry.has_va = has_va;
+    entry.va_page = va_page;
+    entry.direct_frame = direct_frame;
+    return displaced;
+  }
+
+  // Invalidates the entry for `paddr`'s page if it is currently loaded.
+  void Invalidate(PhysAddr paddr) {
+    Entry& entry = entries_[IndexOf(paddr)];
+    if (entry.valid && entry.tag == TagOf(paddr)) {
+      entry.valid = false;
+    }
+  }
+
+  void Clear() {
+    for (Entry& entry : entries_) {
+      entry.valid = false;
+    }
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+class LogTable {
+ public:
+  struct Entry {
+    bool in_use = false;   // Allocated to a log by the kernel.
+    bool tail_valid = false;
+    LogMode mode = LogMode::kNormal;
+    PhysAddr tail = 0;  // Physical address of the next record.
+  };
+
+  explicit LogTable(uint32_t entries = 64) : entries_(entries) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+
+  Entry& at(uint32_t index) { return entries_.at(index); }
+  const Entry& at(uint32_t index) const { return entries_.at(index); }
+
+  // Allocates a free slot; returns false if the table is full.
+  bool Allocate(LogMode mode, uint32_t* out_index) {
+    return AllocateRange(mode, 1, out_index);
+  }
+
+  // Allocates `count` consecutive free slots (per-processor log groups use
+  // log_index + cpu_id). Returns false if no such run exists.
+  bool AllocateRange(LogMode mode, uint32_t count, uint32_t* out_first) {
+    for (uint32_t start = 0; start + count <= entries_.size(); ++start) {
+      bool free = true;
+      for (uint32_t i = 0; i < count; ++i) {
+        if (entries_[start + i].in_use) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) {
+        continue;
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        entries_[start + i] =
+            Entry{.in_use = true, .tail_valid = false, .mode = mode, .tail = 0};
+      }
+      *out_first = start;
+      return true;
+    }
+    return false;
+  }
+
+  void Release(uint32_t index) { entries_.at(index) = Entry{}; }
+
+  // Sets the tail (next record address) for a log and validates the entry.
+  void SetTail(uint32_t index, PhysAddr tail) {
+    Entry& entry = entries_.at(index);
+    LVM_CHECK(entry.in_use);
+    entry.tail = tail;
+    entry.tail_valid = true;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_LOGGER_TABLES_H_

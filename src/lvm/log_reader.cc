@@ -1,0 +1,93 @@
+#include "src/lvm/log_reader.h"
+
+namespace lvm {
+
+bool RecordVirtualAddress(const LogRecord& record, const Region& region, VirtAddr* out) {
+  int32_t page_index = region.segment()->PageIndexOfFrame(record.addr);
+  if (page_index < 0 || !region.bound()) {
+    return false;
+  }
+  *out = region.base() + static_cast<uint32_t>(page_index) * kPageSize +
+         PageOffset(record.addr);
+  return true;
+}
+
+void LogApplier::ApplyPhysical(Cpu* cpu, const LogReader& reader, size_t first, size_t last) {
+  const MachineParams& params = system_->machine().params();
+  for (size_t i = first; i < last; ++i) {
+    LogRecord record = reader.At(i);
+    system_->machine().l2().Write(record.addr, record.value,
+                                  static_cast<uint8_t>(record.size));
+    cpu->AddCycles(params.log_apply_record_cycles);
+  }
+}
+
+void LogApplier::ApplyRetargeted(Cpu* cpu, const LogReader& reader, size_t first, size_t last,
+                                 const Segment& recorded_in, Segment* target) {
+  const MachineParams& params = system_->machine().params();
+  for (size_t i = first; i < last; ++i) {
+    LogRecord record = reader.At(i);
+    int32_t page_index = recorded_in.PageIndexOfFrame(record.addr);
+    cpu->AddCycles(params.log_apply_record_cycles);
+    if (page_index < 0 || static_cast<uint32_t>(page_index) >= target->page_count()) {
+      continue;
+    }
+    PhysAddr frame = target->EnsureFrame(static_cast<uint32_t>(page_index));
+    system_->machine().l2().Write(frame + PageOffset(record.addr), record.value,
+                                  static_cast<uint8_t>(record.size));
+  }
+}
+
+bool LogApplier::ResolveVirtual(const LogRecord& record, AddressSpace* as, PhysAddr* frame) {
+  const AddressSpace::Pte* pte = as->FindPte(record.addr);
+  if (pte != nullptr) {
+    *frame = pte->frame;
+    return true;
+  }
+  // Unmapped page of a bound region: materialize it, as a kernel touch
+  // would.
+  Region* region = as->FindRegion(record.addr);
+  if (region == nullptr) {
+    return false;  // Record outside every region of this space.
+  }
+  *frame = system_->EnsureSegmentPage(region->segment(), region->PageIndexOf(record.addr));
+  return true;
+}
+
+void LogApplier::ApplyVirtual(Cpu* cpu, const LogReader& reader, size_t first, size_t last,
+                              AddressSpace* as) {
+  const MachineParams& params = system_->machine().params();
+  for (size_t i = first; i < last; ++i) {
+    LogRecord record = reader.At(i);
+    cpu->AddCycles(params.log_apply_record_cycles);
+    if (record.flags & kRecordFlagOldValue) {
+      continue;  // Pre-images do not participate in roll-forward.
+    }
+    PhysAddr frame = 0;
+    if (!ResolveVirtual(record, as, &frame)) {
+      continue;
+    }
+    system_->machine().l2().Write(frame + PageOffset(record.addr), record.value,
+                                  static_cast<uint8_t>(record.size));
+  }
+}
+
+void LogApplier::UndoVirtual(Cpu* cpu, const LogReader& reader, size_t first, size_t last,
+                             AddressSpace* as) {
+  const MachineParams& params = system_->machine().params();
+  for (size_t i = last; i > first; --i) {
+    LogRecord record = reader.At(i - 1);
+    cpu->AddCycles(params.log_apply_record_cycles);
+    if (!(record.flags & kRecordFlagOldValue)) {
+      continue;  // Only pre-images participate in undo.
+    }
+    PhysAddr frame = 0;
+    if (!ResolveVirtual(record, as, &frame)) {
+      continue;
+    }
+    system_->machine().l2().Write(frame + PageOffset(record.addr), record.value,
+                                  static_cast<uint8_t>(record.size));
+  }
+}
+
+}  // namespace lvm

@@ -1,0 +1,142 @@
+// Reading and replaying logs.
+//
+// LogReader presents a (normal-mode) log segment as a random-access sequence
+// of LogRecords, reading them straight out of the simulated memory frames
+// the logger DMA'd them into. Synchronize with the end of the log first
+// (LvmSystem::SyncLog) so the append offset is current.
+//
+// LogApplier rolls logged updates forward: onto the segment they were
+// recorded against (rollback roll-forward) or onto another segment's
+// corresponding pages (the checkpoint-update half of CULT).
+#ifndef SRC_LVM_LOG_READER_H_
+#define SRC_LVM_LOG_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/logger/log_record.h"
+#include "src/lvm/lvm_system.h"
+#include "src/vm/region.h"
+#include "src/vm/segment.h"
+
+namespace lvm {
+
+class LogReader {
+ public:
+  LogReader(const PhysicalMemory& memory, const LogSegment& log)
+      : memory_(&memory), log_(&log) {}
+
+  // Number of complete records in the log.
+  size_t size() const { return log_->append_offset / kLogRecordSize; }
+  bool empty() const { return size() == 0; }
+
+  // The i-th record (0 is the earliest write).
+  LogRecord At(size_t i) const {
+    LVM_DCHECK(i < size());
+    uint32_t offset = static_cast<uint32_t>(i) * kLogRecordSize;
+    PhysAddr frame = log_->FrameAt(PageNumber(offset));
+    return LoadLogRecord(*memory_, frame + PageOffset(offset));
+  }
+  LogRecord operator[](size_t i) const { return At(i); }
+
+  class Iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = LogRecord;
+    using difference_type = std::ptrdiff_t;
+
+    Iterator(const LogReader* reader, size_t index) : reader_(reader), index_(index) {}
+    LogRecord operator*() const { return reader_->At(index_); }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator copy = *this;
+      ++index_;
+      return copy;
+    }
+    bool operator==(const Iterator& other) const { return index_ == other.index_; }
+
+   private:
+    const LogReader* reader_;
+    size_t index_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+
+ private:
+  const PhysicalMemory* memory_;
+  const LogSegment* log_;
+};
+
+// Reads an indexed-mode log (a stream of values without addresses) as
+// 32-bit words. Indexed logs with uniform word-sized writes are the
+// streamed-output mode of Section 2.6.
+class IndexedLogReader {
+ public:
+  IndexedLogReader(const PhysicalMemory& memory, const LogSegment& log)
+      : memory_(&memory), log_(&log) {}
+
+  size_t size() const { return log_->append_offset / sizeof(uint32_t); }
+
+  uint32_t At(size_t i) const {
+    LVM_DCHECK(i < size());
+    uint32_t offset = static_cast<uint32_t>(i * sizeof(uint32_t));
+    PhysAddr frame = log_->FrameAt(PageNumber(offset));
+    return memory_->Read(frame + PageOffset(offset), 4);
+  }
+
+ private:
+  const PhysicalMemory* memory_;
+  const LogSegment* log_;
+};
+
+// Reconstructs the virtual address of a physically-addressed record for a
+// region mapping the logged segment (the reverse translation an ASIC logger
+// would do in hardware, Section 3.1.2). Returns false if the record's frame
+// does not back the region's segment.
+bool RecordVirtualAddress(const LogRecord& record, const Region& region, VirtAddr* out);
+
+class LogApplier {
+ public:
+  explicit LogApplier(LvmSystem* system) : system_(system) {}
+
+  // Applies records [first, last) at their recorded physical addresses
+  // (roll-forward after resetDeferredCopy). Kernel writes: they do not
+  // generate new log records.
+  void ApplyPhysical(Cpu* cpu, const LogReader& reader, size_t first, size_t last);
+
+  // Applies records [first, last), retargeting each from its page in
+  // `recorded_in` to the corresponding page of `target` (checkpoint
+  // update). Records against frames outside `recorded_in` are skipped.
+  void ApplyRetargeted(Cpu* cpu, const LogReader& reader, size_t first, size_t last,
+                       const Segment& recorded_in, Segment* target);
+
+  // Applies virtually-addressed records (on-chip logger) through `as`'s
+  // page table.
+  void ApplyVirtual(Cpu* cpu, const LogReader& reader, size_t first, size_t last,
+                    AddressSpace* as);
+
+  // Undoes the writes in records [first, last), newest first, by storing
+  // the old-value records back (requires a log produced with old-value
+  // capture, the Section 4.6 extension). Virtually addressed.
+  void UndoVirtual(Cpu* cpu, const LogReader& reader, size_t first, size_t last,
+                   AddressSpace* as);
+
+ private:
+  // Resolves a virtually-addressed record to a frame in `as`, materializing
+  // the page if its region is bound but untouched. Returns false when the
+  // record falls outside every region.
+  bool ResolveVirtual(const LogRecord& record, AddressSpace* as, PhysAddr* frame);
+
+  LvmSystem* system_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_LVM_LOG_READER_H_

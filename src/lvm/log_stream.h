@@ -1,0 +1,58 @@
+// Incremental log consumption: a cursor that remembers its position in a
+// log across synchronizations, so consumers (output processes, consistency
+// protocols, monitors) process each record exactly once without rescanning
+// (Section 2.6's asynchronous output process, which "only synchronizes on
+// the end of the log").
+#ifndef SRC_LVM_LOG_STREAM_H_
+#define SRC_LVM_LOG_STREAM_H_
+
+#include <cstddef>
+
+#include "src/base/check.h"
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+
+class LogStream {
+ public:
+  LogStream(LvmSystem* system, LogSegment* log) : system_(system), log_(log) {}
+
+  // Synchronizes with the end of the log and returns how many unconsumed
+  // records are available.
+  size_t Refresh(Cpu* cpu) {
+    system_->SyncLog(cpu, log_);
+    size_t total = log_->append_offset / kLogRecordSize;
+    LVM_CHECK_MSG(consumed_ <= total, "log was truncated under a live stream");
+    return total - consumed_;
+  }
+
+  bool HasNext() const { return consumed_ < log_->append_offset / kLogRecordSize; }
+
+  // Returns the next unconsumed record and advances. Call Refresh first.
+  LogRecord Next() {
+    LVM_CHECK(HasNext());
+    LogReader reader(system_->memory(), *log_);
+    return reader.At(consumed_++);
+  }
+
+  // Records consumed so far (an index into the log).
+  size_t position() const { return consumed_; }
+
+  // The producer truncated/compacted the log after the consumer caught up:
+  // restart from the front.
+  void Rebase() { consumed_ = 0; }
+
+  // Consumed everything and the producer may now truncate: returns the
+  // number of records that can be dropped.
+  size_t Consumable() const { return consumed_; }
+
+ private:
+  LvmSystem* system_;
+  LogSegment* log_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_LVM_LOG_STREAM_H_

@@ -1,0 +1,610 @@
+#include "src/lvm/lvm_system.h"
+
+#include "src/logger/log_record.h"
+
+namespace lvm {
+
+namespace {
+// Frame layout of the low physical pages: frame 0 is never used (so a zero
+// physical address is always a bug), frame 1 absorbs overflowing log
+// records, general allocation starts at frame 2.
+constexpr PhysAddr kAbsorbFrame = kPageSize;
+constexpr PhysAddr kFirstAllocatableFrame = 2 * kPageSize;
+}  // namespace
+
+LvmSystem::LvmSystem(const LvmConfig& config)
+    : config_(config),
+      machine_(config.params, config.memory_size, config.num_cpus),
+      frame_allocator_(&machine_.memory(), kFirstAllocatableFrame),
+      absorb_frame_(kAbsorbFrame),
+      active_as_(static_cast<size_t>(config.num_cpus), nullptr) {
+  machine_.l2().set_policy(&deferred_copy_);
+  switch (config_.logger_kind) {
+    case LoggerKind::kBusLogger:
+      bus_logger_ =
+          std::make_unique<HardwareLogger>(&machine_.params(), &machine_.memory(),
+                                           &machine_.bus());
+      bus_logger_->set_fault_client(this);
+      machine_.bus().AddSnooper(bus_logger_.get());
+      break;
+    case LoggerKind::kOnChip:
+      onchip_logger_ = std::make_unique<OnChipLogger>(&machine_.params(), &machine_.memory(),
+                                                      &machine_.bus(), config_.num_cpus);
+      onchip_logger_->set_fault_client(this);
+      if (config_.onchip_log_old_values) {
+        onchip_logger_->EnableOldValueCapture(&machine_.l2());
+      }
+      for (int i = 0; i < machine_.num_cpus(); ++i) {
+        machine_.cpu(i).set_log_sink(onchip_logger_.get());
+      }
+      break;
+  }
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    machine_.cpu(i).set_fault_handler(this);
+  }
+}
+
+LvmSystem::~LvmSystem() = default;
+
+LogTable& LvmSystem::log_table() {
+  return bus_logger_ != nullptr ? bus_logger_->log_table() : onchip_logger_->log_table();
+}
+
+AddressSpace* LvmSystem::CreateAddressSpace() {
+  address_spaces_.push_back(std::make_unique<AddressSpace>());
+  return address_spaces_.back().get();
+}
+
+StdSegment* LvmSystem::CreateSegment(uint32_t size_bytes, uint32_t flags,
+                                     SegmentManager* manager) {
+  auto segment = std::make_unique<StdSegment>(&frame_allocator_, size_bytes, flags, manager);
+  StdSegment* raw = segment.get();
+  segments_.push_back(std::move(segment));
+  return raw;
+}
+
+LogSegment* LvmSystem::CreateLogSegment(uint32_t initial_pages) {
+  auto segment = std::make_unique<LogSegment>(&frame_allocator_);
+  segment->Extend(initial_pages);
+  LogSegment* raw = segment.get();
+  segments_.push_back(std::move(segment));
+  return raw;
+}
+
+Region* LvmSystem::CreateRegion(Segment* segment) {
+  regions_.push_back(std::make_unique<Region>(segment));
+  return regions_.back().get();
+}
+
+void LvmSystem::Activate(AddressSpace* as, int cpu_id) {
+  active_as_.at(static_cast<size_t>(cpu_id)) = as;
+  machine_.cpu(cpu_id).set_translator(as);
+  if (onchip_logger_ != nullptr) {
+    // Context switch: reload the on-chip log descriptor table for the
+    // incoming address space's logged pages.
+    onchip_logger_->ClearCpu(cpu_id);
+    if (as != nullptr) {
+      for (Region* region : as->regions()) {
+        if (!region->logging_enabled() || region->log_segment() == nullptr) {
+          continue;
+        }
+        uint32_t log_index = region->log_segment()->log_index;
+        for (uint32_t page = 0; page < region->size(); page += kPageSize) {
+          VirtAddr va = region->base() + page;
+          if (as->FindPte(va) != nullptr) {
+            onchip_logger_->LoadDescriptor(cpu_id, va, log_index);
+          }
+        }
+      }
+    }
+  }
+}
+
+void LvmSystem::UnbindRegion(Region* region) {
+  LVM_CHECK(region != nullptr);
+  if (!region->bound()) {
+    return;
+  }
+  // Retire in-flight logged writes before dismantling the logger mappings,
+  // or their FIFO entries would fault against nothing and be dropped.
+  if (bus_logger_ != nullptr) {
+    bus_logger_->SyncDrain(0);
+  }
+  AddressSpace* as = region->address_space();
+  for (uint32_t offset = 0; offset < region->size(); offset += kPageSize) {
+    VirtAddr va = region->base() + offset;
+    AddressSpace::Pte* pte = as->FindPte(va);
+    if (pte == nullptr) {
+      continue;
+    }
+    if (pte->logged) {
+      DisarmLoggedPage(region, va, pte);
+    }
+    // Deferred-copy state is a segment-to-segment relation (Table 1's
+    // Segment::sourceSegment) and survives unbinding; DetachSource severs
+    // it explicitly.
+    machine_.InvalidateL1PageAllCpus(pte->frame);
+    as->RemovePte(va);
+  }
+  as->UnbindRegion(region);
+}
+
+void LvmSystem::DetachSource(Cpu* cpu, Segment* segment) {
+  LVM_CHECK(segment != nullptr);
+  if (segment->source_segment() == nullptr) {
+    return;
+  }
+  const MachineParams& params = machine_.params();
+  for (uint32_t page = 0; page < segment->page_count(); ++page) {
+    if (!segment->HasFrame(page)) {
+      continue;
+    }
+    PhysAddr frame = segment->FrameAt(page);
+    if (!deferred_copy_.IsMapped(frame)) {
+      continue;
+    }
+    // Materialize the effective contents into the frame so the segment
+    // stands alone, then drop the deferred state.
+    for (uint32_t line = 0; line < kPageSize; line += kLineSize) {
+      uint8_t bytes[kLineSize];
+      ReadEffectiveLine(frame + line, bytes);
+      machine_.memory().WriteBlock(frame + line, bytes, kLineSize);
+    }
+    machine_.l2().InvalidatePage(frame);
+    deferred_copy_.UnmapPage(frame);
+    machine_.InvalidateL1PageAllCpus(frame);
+    cpu->AddCycles(static_cast<Cycles>(kLinesPerPage) * params.bcopy_block_cycles);
+  }
+  segment->SetSourceSegment(nullptr);
+}
+
+void LvmSystem::RegisterLog(LogSegment* log, LogMode mode) {
+  if (log->log_index != LogSegment::kUnregistered) {
+    LVM_CHECK_MSG(log_table().at(log->log_index).mode == mode,
+                  "log segment already registered with a different mode");
+    return;
+  }
+  uint32_t index = 0;
+  bool allocated = log_table().Allocate(mode, &index);
+  LVM_CHECK_MSG(allocated, "hardware log table is full");
+  log->log_index = index;
+  logs_by_index_[index] = log;
+  absorbing_[index] = false;
+}
+
+void LvmSystem::AttachLog(Region* region, LogSegment* log, LogMode mode) {
+  LVM_CHECK(region != nullptr && log != nullptr);
+  if (config_.logger_kind == LoggerKind::kBusLogger) {
+    // Prototype restriction (Section 3.1.2): the bus logger sees physical
+    // addresses, so a segment can feed only one log. The on-chip logger
+    // lifts this and supports per-region logs.
+    auto [it, inserted] = segment_log_.try_emplace(region->segment(), log);
+    LVM_CHECK_MSG(inserted || it->second == log,
+                  "bus-logger prototype supports a single log per segment (Section 3.1.2)");
+  }
+  RegisterLog(log, mode);
+  region->SetLogSegment(log, mode);
+  // Arm pages of the region that are already mapped (a debugger attaching a
+  // log to a running program, Section 2.7).
+  if (region->bound()) {
+    AddressSpace* as = region->address_space();
+    for (uint32_t offset = 0; offset < region->size(); offset += kPageSize) {
+      VirtAddr va = region->base() + offset;
+      AddressSpace::Pte* pte = as->FindPte(va);
+      if (pte != nullptr) {
+        ArmLoggedPage(region, va, pte);
+      }
+    }
+  }
+}
+
+void LvmSystem::AttachPerCpuLogs(Region* region, const std::vector<LogSegment*>& logs) {
+  LVM_CHECK(region != nullptr);
+  LVM_CHECK_MSG(config_.logger_kind == LoggerKind::kBusLogger,
+                "per-CPU log groups are a bus-logger extension; the on-chip logger "
+                "already supports per-region logs");
+  LVM_CHECK_MSG(logs.size() == static_cast<size_t>(machine_.num_cpus()),
+                "per-CPU log group needs one log per processor");
+  auto [it, inserted] = segment_log_.try_emplace(region->segment(), logs[0]);
+  LVM_CHECK_MSG(inserted || it->second == logs[0],
+                "bus-logger prototype supports a single log per segment (Section 3.1.2)");
+  // The hardware selects log_index + cpu_id, so the group's log-table
+  // entries must be consecutive.
+  uint32_t first = 0;
+  bool allocated =
+      log_table().AllocateRange(LogMode::kNormal, static_cast<uint32_t>(logs.size()), &first);
+  LVM_CHECK_MSG(allocated, "hardware log table has no free run for the group");
+  for (size_t i = 0; i < logs.size(); ++i) {
+    LVM_CHECK(logs[i] != nullptr &&
+              logs[i]->log_index == LogSegment::kUnregistered);
+    logs[i]->log_index = first + static_cast<uint32_t>(i);
+    logs_by_index_[logs[i]->log_index] = logs[i];
+    absorbing_[logs[i]->log_index] = false;
+    SetTailToAppendOffset(logs[i]);
+  }
+  region->SetLogSegment(logs[0], LogMode::kNormal);
+  region->per_cpu_logging_ = true;
+  per_cpu_logs_[region] = logs;
+  if (region->bound()) {
+    AddressSpace* as = region->address_space();
+    for (uint32_t offset = 0; offset < region->size(); offset += kPageSize) {
+      VirtAddr va = region->base() + offset;
+      AddressSpace::Pte* pte = as->FindPte(va);
+      if (pte != nullptr) {
+        ArmLoggedPage(region, va, pte);
+      }
+    }
+  }
+}
+
+void LvmSystem::SetRegionLogging(Region* region, bool enabled) {
+  LVM_CHECK_MSG(region->log_segment() != nullptr, "region has no log segment attached");
+  if (region->logging_enabled_ == enabled) {
+    return;
+  }
+  region->logging_enabled_ = enabled;
+  if (!region->bound()) {
+    return;
+  }
+  AddressSpace* as = region->address_space();
+  for (uint32_t offset = 0; offset < region->size(); offset += kPageSize) {
+    VirtAddr va = region->base() + offset;
+    AddressSpace::Pte* pte = as->FindPte(va);
+    if (pte == nullptr) {
+      continue;
+    }
+    if (enabled) {
+      ArmLoggedPage(region, va, pte);
+    } else {
+      DisarmLoggedPage(region, va, pte);
+    }
+  }
+}
+
+void LvmSystem::ArmLoggedPage(Region* region, VirtAddr va, AddressSpace::Pte* pte) {
+  LogSegment* log = region->log_segment();
+  uint32_t log_index = log->log_index;
+  pte->logged = true;
+  if (config_.logger_kind == LoggerKind::kBusLogger) {
+    // Write-through mode makes every write visible on the bus (Section 3.2).
+    pte->write_through = true;
+    PhysAddr direct_frame = 0;
+    if (region->log_mode() == LogMode::kDirectMapped) {
+      uint32_t page_index = region->PageIndexOf(va);
+      while (log->page_count() <= page_index) {
+        log->Extend(1);
+      }
+      direct_frame = log->EnsureFrame(page_index);
+    } else if (!log_table().at(log_index).tail_valid && !log->hw_tail_initialized) {
+      // Load the log table entry eagerly so the first record does not fault.
+      SetTailToAppendOffset(log);
+    }
+    bool per_cpu = region->per_cpu_logging();
+    bool has_va = config_.bus_logger_virtual_records;
+    VirtAddr va_page = PageBase(va);
+    logged_frames_[PageNumber(pte->frame)] =
+        LoggedFrameBinding{log_index, direct_frame, per_cpu, has_va, va_page};
+    bus_logger_->page_mapping_table().Load(pte->frame, static_cast<uint16_t>(log_index),
+                                           direct_frame, per_cpu, has_va, va_page);
+  } else {
+    // On-chip logging leaves the page copyback-cached; the VM unit sees
+    // every write internally (Section 4.6).
+    pte->write_through = false;
+    if (!log_table().at(log_index).tail_valid && !log->hw_tail_initialized) {
+      SetTailToAppendOffset(log);
+    }
+    for (int cpu_id = 0; cpu_id < machine_.num_cpus(); ++cpu_id) {
+      if (active_as_[static_cast<size_t>(cpu_id)] == region->address_space()) {
+        onchip_logger_->LoadDescriptor(cpu_id, va, log_index);
+      }
+    }
+  }
+}
+
+void LvmSystem::DisarmLoggedPage(Region* region, VirtAddr va, AddressSpace::Pte* pte) {
+  pte->logged = false;
+  pte->write_through = false;
+  if (config_.logger_kind == LoggerKind::kBusLogger) {
+    logged_frames_.erase(PageNumber(pte->frame));
+    bus_logger_->page_mapping_table().Invalidate(pte->frame);
+  } else {
+    for (int cpu_id = 0; cpu_id < machine_.num_cpus(); ++cpu_id) {
+      if (active_as_[static_cast<size_t>(cpu_id)] == region->address_space()) {
+        onchip_logger_->InvalidateDescriptor(cpu_id, va);
+      }
+    }
+  }
+}
+
+bool LvmSystem::OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) {
+  (void)access;
+  cpu->AddCycles(machine_.params().page_fault_cycles);
+  AddressSpace* as = active_as_.at(static_cast<size_t>(cpu->id()));
+  if (as == nullptr) {
+    return false;
+  }
+  Region* region = as->FindRegion(va);
+  if (region == nullptr) {
+    return false;
+  }
+  uint32_t page_index = region->PageIndexOf(va);
+  PhysAddr frame = EnsureSegmentPage(region->segment(), page_index);
+
+  AddressSpace::Pte pte;
+  pte.frame = frame;
+  pte.region = region;
+  as->InstallPte(va, pte);
+  if (region->logging_enabled() && region->log_segment() != nullptr) {
+    ArmLoggedPage(region, va, as->FindPte(va));
+  }
+  return true;
+}
+
+bool LvmSystem::OnMappingFault(PhysAddr paddr, Cycles time) {
+  (void)time;
+  ++logging_faults_handled_;
+  machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
+  auto it = logged_frames_.find(PageNumber(paddr));
+  if (it == logged_frames_.end()) {
+    return false;
+  }
+  bus_logger_->page_mapping_table().Load(paddr, static_cast<uint16_t>(it->second.log_index),
+                                         it->second.direct_frame, it->second.per_cpu,
+                                         it->second.has_va, it->second.va_page);
+  return true;
+}
+
+bool LvmSystem::OnLogTailFault(uint32_t log_index, Cycles time) {
+  (void)time;
+  ++logging_faults_handled_;
+  machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
+  auto it = logs_by_index_.find(log_index);
+  if (it == logs_by_index_.end()) {
+    return false;
+  }
+  LogSegment* log = it->second;
+  if (absorbing_[log_index]) {
+    // The absorb page filled up; those records are gone (Section 3.2).
+    log->records_lost += kPageSize / kLogRecordSize;
+  } else if (log->hw_tail_initialized) {
+    // The tail crossed out of the active frame: that frame is now full.
+    log->append_offset = (log->active_frame + 1) * kPageSize;
+  }
+  SetTailToAppendOffset(log);
+  return log_table().at(log_index).tail_valid;
+}
+
+void LvmSystem::OnOverload(Cycles interrupt_time, Cycles drain_complete) {
+  (void)interrupt_time;
+  ++overload_suspensions_;
+  // Suspend every process that might be generating log data until the FIFOs
+  // drain, then pay the kernel's interrupt/suspend/resume overhead.
+  Cycles resume = drain_complete + machine_.params().overload_kernel_cycles;
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    machine_.cpu(i).AdvanceTo(resume);
+  }
+}
+
+void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
+  uint32_t log_index = log->log_index;
+  LVM_CHECK(log_index != LogSegment::kUnregistered);
+  uint32_t frame_index = log->append_offset / kPageSize;
+  if (frame_index >= log->page_count()) {
+    if (config_.auto_extend_logs) {
+      log->Extend(frame_index + 1 - log->page_count());
+    } else {
+      // No frame available: absorb records into the default page.
+      log_table().SetTail(log_index, absorb_frame_);
+      absorbing_[log_index] = true;
+      return;
+    }
+  }
+  log_table().SetTail(log_index, log->FrameAt(frame_index) + PageOffset(log->append_offset));
+  log->active_frame = frame_index;
+  log->hw_tail_initialized = true;
+  absorbing_[log_index] = false;
+}
+
+void LvmSystem::RefreshAppendOffset(LogSegment* log) {
+  if (log->log_index == LogSegment::kUnregistered || !log->hw_tail_initialized) {
+    return;
+  }
+  const LogTable::Entry& entry = log_table().at(log->log_index);
+  if (absorbing_[log->log_index]) {
+    return;  // The real segment's append offset is frozen while absorbing.
+  }
+  if (entry.tail_valid) {
+    PhysAddr frame = log->FrameAt(log->active_frame);
+    log->append_offset = log->active_frame * kPageSize + (entry.tail - frame);
+  } else {
+    log->append_offset = (log->active_frame + 1) * kPageSize;
+  }
+}
+
+void LvmSystem::SyncLog(Cpu* cpu, LogSegment* log) {
+  cpu->DrainWriteBuffer();
+  if (bus_logger_ != nullptr) {
+    Cycles done = bus_logger_->SyncDrain(cpu->now());
+    cpu->AdvanceTo(done);
+  }
+  RefreshAppendOffset(log);
+}
+
+void LvmSystem::TruncateLog(Cpu* cpu, LogSegment* log) {
+  SyncLog(cpu, log);
+  cpu->AddCycles(machine_.params().log_truncate_base_cycles);
+  log->append_offset = 0;
+  log->active_frame = 0;
+  if (log->log_index != LogSegment::kUnregistered) {
+    SetTailToAppendOffset(log);
+  }
+}
+
+void LvmSystem::TruncateLogTo(Cpu* cpu, LogSegment* log, size_t keep_records) {
+  SyncLog(cpu, log);
+  uint32_t keep_bytes = static_cast<uint32_t>(keep_records) * kLogRecordSize;
+  LVM_CHECK(keep_bytes <= log->append_offset);
+  cpu->AddCycles(machine_.params().log_truncate_base_cycles);
+  log->append_offset = keep_bytes;
+  if (log->log_index != LogSegment::kUnregistered) {
+    SetTailToAppendOffset(log);
+  }
+}
+
+void LvmSystem::CompactLog(Cpu* cpu, LogSegment* log, size_t first_record) {
+  SyncLog(cpu, log);
+  const MachineParams& params = machine_.params();
+  size_t total = log->append_offset / kLogRecordSize;
+  LVM_CHECK(first_record <= total);
+  cpu->AddCycles(params.log_truncate_base_cycles);
+  // Slide the surviving suffix to the front: a kernel block copy, one
+  // 16-byte record per block-copy charge.
+  size_t survivors = total - first_record;
+  for (size_t i = 0; i < survivors; ++i) {
+    uint32_t src = static_cast<uint32_t>((first_record + i) * kLogRecordSize);
+    uint32_t dst = static_cast<uint32_t>(i * kLogRecordSize);
+    machine_.memory().CopyBlock(log->FrameAt(PageNumber(dst)) + PageOffset(dst),
+                                log->FrameAt(PageNumber(src)) + PageOffset(src),
+                                kLogRecordSize);
+  }
+  cpu->AddCycles(static_cast<Cycles>(survivors) * params.bcopy_block_cycles);
+  log->append_offset = static_cast<uint32_t>(survivors) * kLogRecordSize;
+  if (log->log_index != LogSegment::kUnregistered) {
+    SetTailToAppendOffset(log);
+  }
+}
+
+void LvmSystem::EnsureLogCapacity(LogSegment* log, uint32_t pages) {
+  uint32_t needed = log->append_offset / kPageSize + pages;
+  if (log->page_count() < needed) {
+    log->Extend(needed - log->page_count());
+  }
+  if (log->log_index != LogSegment::kUnregistered && absorbing_[log->log_index]) {
+    SetTailToAppendOffset(log);
+  }
+}
+
+void LvmSystem::ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, VirtAddr end) {
+  const MachineParams& params = machine_.params();
+  for (VirtAddr va = PageBase(start); va < end; va += kPageSize) {
+    AddressSpace::Pte* pte = as->FindPte(va);
+    if (pte == nullptr || !deferred_copy_.IsMapped(pte->frame)) {
+      continue;
+    }
+    // Reset the page's source pointers; check the per-page dirty bit rather
+    // than inspecting every line (the Section 3.3 optimization).
+    cpu->AddCycles(params.reset_page_cycles);
+    uint32_t written_back = deferred_copy_.WrittenBackLines(pte->frame);
+    bool dirty_in_cache = machine_.l2().PageDirty(pte->frame);
+    if (!dirty_in_cache && written_back == 0) {
+      continue;
+    }
+    cpu->AddCycles(params.reset_dirty_page_cycles);
+    L2Cache::PageOpResult result = machine_.l2().InvalidatePage(pte->frame);
+    deferred_copy_.ResetPage(pte->frame);
+    cpu->AddCycles(static_cast<Cycles>(result.dirty_lines + written_back) *
+                   params.reset_dirty_line_cycles);
+    machine_.InvalidateL1PageAllCpus(pte->frame);
+  }
+}
+
+void LvmSystem::ReadEffectiveLine(PhysAddr line_paddr, uint8_t out[kLineSize]) {
+  PhysAddr line = LineBase(line_paddr);
+  if (machine_.l2().LineDirty(line)) {
+    machine_.memory().ReadBlock(line, out, kLineSize);
+    return;
+  }
+  PhysAddr resolved = deferred_copy_.ResolveClean(line);
+  machine_.memory().ReadBlock(resolved, out, kLineSize);
+}
+
+PhysAddr LvmSystem::EnsureSegmentPage(Segment* segment, uint32_t page_index) {
+  PhysAddr frame = segment->EnsureFrame(page_index);
+  // Deferred-copy destination: tie this frame to the corresponding source
+  // frame so unmodified reads come from the source (Section 3.3).
+  Segment* source = segment->source_segment();
+  if (source != nullptr && !deferred_copy_.IsMapped(frame)) {
+    uint32_t source_page = page_index + PageNumber(segment->source_offset());
+    if (source_page < source->page_count()) {
+      deferred_copy_.MapPage(frame, EnsureSegmentPage(source, source_page));
+    }
+  }
+  return frame;
+}
+
+void LvmSystem::CopySegment(Cpu* cpu, Segment* dest, Segment* source) {
+  uint32_t pages = dest->page_count() < source->page_count() ? dest->page_count()
+                                                             : source->page_count();
+  const MachineParams& params = machine_.params();
+  uint8_t line[kLineSize];
+  for (uint32_t i = 0; i < pages; ++i) {
+    PhysAddr dframe = EnsureSegmentPage(dest, i);
+    PhysAddr sframe = EnsureSegmentPage(source, i);
+    for (uint32_t l = 0; l < kLinesPerPage; ++l) {
+      ReadEffectiveLine(sframe + l * kLineSize, line);
+      machine_.memory().WriteBlock(dframe + l * kLineSize, line, kLineSize);
+    }
+    machine_.l2().InvalidatePage(dframe);
+    if (deferred_copy_.IsMapped(dframe)) {
+      // The copy overwrote the whole destination; its lines all diverge from
+      // the deferred-copy source now.
+      deferred_copy_.MarkAllWrittenBack(dframe);
+    }
+    machine_.InvalidateL1PageAllCpus(dframe);
+    cpu->AddCycles(static_cast<Cycles>(kLinesPerPage) * params.bcopy_block_cycles);
+  }
+}
+
+void LvmSystem::FlushSegment(Cpu* cpu, Segment* segment) {
+  const MachineParams& params = machine_.params();
+  for (uint32_t i = 0; i < segment->page_count(); ++i) {
+    if (!segment->HasFrame(i)) {
+      continue;
+    }
+    L2Cache::PageOpResult result = machine_.l2().FlushPage(segment->FrameAt(i));
+    cpu->AddCycles(static_cast<Cycles>(result.dirty_lines) * params.cache_block_write_total);
+  }
+}
+
+LvmSystem::Stats LvmSystem::GetStats() {
+  Stats stats;
+  if (bus_logger_ != nullptr) {
+    stats.records_logged = bus_logger_->records_logged();
+    stats.records_dropped = bus_logger_->records_dropped();
+    stats.mapping_faults = bus_logger_->mapping_faults();
+    stats.tail_faults = bus_logger_->tail_faults();
+  } else if (onchip_logger_ != nullptr) {
+    stats.records_logged = onchip_logger_->records_logged();
+    stats.records_dropped = onchip_logger_->records_dropped();
+    stats.tail_faults = onchip_logger_->tail_faults();
+  }
+  stats.overload_suspensions = overload_suspensions_;
+  stats.logging_faults_handled = logging_faults_handled_;
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    Cpu& processor = machine_.cpu(i);
+    stats.page_faults += processor.page_faults();
+    stats.logged_writes += processor.logged_writes();
+    stats.writes += processor.writes();
+    if (processor.now() > stats.max_cpu_cycles) {
+      stats.max_cpu_cycles = processor.now();
+    }
+  }
+  stats.bus_busy_cycles = machine_.bus().busy_cycles();
+  stats.l2_fills = machine_.l2().fills();
+  stats.l2_writebacks = machine_.l2().writebacks();
+  return stats;
+}
+
+void LvmSystem::TouchRegion(Cpu* cpu, Region* region) {
+  LVM_CHECK(region->bound());
+  AddressSpace* as = region->address_space();
+  for (uint32_t offset = 0; offset < region->size(); offset += kPageSize) {
+    VirtAddr va = region->base() + offset;
+    if (as->FindPte(va) == nullptr) {
+      bool ok = OnPageFault(cpu, va, AccessKind::kRead);
+      LVM_CHECK(ok);
+    }
+  }
+}
+
+}  // namespace lvm

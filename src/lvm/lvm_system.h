@@ -1,0 +1,254 @@
+// LvmSystem: the kernel of the logged virtual memory prototype.
+//
+// This is the software half of Section 3: it owns the simulated machine,
+// instantiates the bus logger (or the Section 4.6 on-chip logger), and
+// implements the virtual memory system extensions —
+//   - page faults on logged pages put the page in write-through mode and
+//     load the logger's page mapping / log table entries (Section 3.2);
+//   - logging faults reload displaced mapping entries or advance a log's
+//     tail to the next frame of its log segment, falling back to the
+//     default absorb page when the user has not extended the log;
+//   - overload interrupts suspend the logging processors until the FIFOs
+//     drain (Section 3.1.3);
+//   - resetDeferredCopy() (Table 1) undoes all modifications to a
+//     deferred-copy destination without copying (Section 3.3);
+//   - log synchronization, truncation, and the bcopy()-equivalent segment
+//     copy the paper compares against.
+//
+// Applications create segments, regions and address spaces through the
+// factory methods (the objects are owned by the system) and then drive the
+// machine through Cpu::Read / Write / Compute.
+#ifndef SRC_LVM_LVM_SYSTEM_H_
+#define SRC_LVM_LVM_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/logger/hardware_logger.h"
+#include "src/logger/onchip_logger.h"
+#include "src/logger/tables.h"
+#include "src/sim/machine.h"
+#include "src/vm/address_space.h"
+#include "src/vm/deferred_copy.h"
+#include "src/vm/frame_allocator.h"
+#include "src/vm/region.h"
+#include "src/vm/segment.h"
+
+namespace lvm {
+
+// Which logging hardware the machine is built with.
+enum class LoggerKind : uint8_t {
+  // The prototype's FPGA bus snooper (Section 3.1): physical addresses,
+  // write-through logged pages, FIFO overload.
+  kBusLogger,
+  // The next-generation design (Section 4.6): logging inside the CPU's VM
+  // unit, virtual addresses, per-region logs, no overload.
+  kOnChip,
+};
+
+struct LvmConfig {
+  MachineParams params;
+  uint32_t memory_size = 64u << 20;
+  int num_cpus = 1;
+  LoggerKind logger_kind = LoggerKind::kBusLogger;
+  // When true the kernel extends a log segment that runs out of frames;
+  // when false records overflow into the default absorb page and are lost,
+  // as in the prototype when the user has not extended the log in advance.
+  bool auto_extend_logs = true;
+  // On-chip logger only (Section 4.6 extension): also log the memory data
+  // before each write, enabling undo from the log.
+  bool onchip_log_old_values = false;
+  // Bus logger only (Section 3.1.2 ASIC option): load a reverse
+  // translation into the page mapping table so records carry virtual
+  // addresses, relying on the single-logged-region-per-segment rule.
+  bool bus_logger_virtual_records = false;
+};
+
+class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
+ public:
+  explicit LvmSystem(const LvmConfig& config = LvmConfig{});
+  ~LvmSystem() override;
+
+  LvmSystem(const LvmSystem&) = delete;
+  LvmSystem& operator=(const LvmSystem&) = delete;
+
+  Machine& machine() { return machine_; }
+  Cpu& cpu(int i = 0) { return machine_.cpu(i); }
+  PhysicalMemory& memory() { return machine_.memory(); }
+  FrameAllocator& frames() { return frame_allocator_; }
+  DeferredCopyMap& deferred_copy() { return deferred_copy_; }
+  const LvmConfig& config() const { return config_; }
+  // Null unless the corresponding LoggerKind is configured.
+  HardwareLogger* bus_logger() { return bus_logger_.get(); }
+  OnChipLogger* onchip_logger() { return onchip_logger_.get(); }
+
+  // --- object factories (results owned by the system) ---
+  AddressSpace* CreateAddressSpace();
+  StdSegment* CreateSegment(uint32_t size_bytes, uint32_t flags = 0,
+                            SegmentManager* manager = nullptr);
+  LogSegment* CreateLogSegment(uint32_t initial_pages = 4);
+  Region* CreateRegion(Segment* segment);
+
+  // Makes `as` the current address space of CPU `cpu_id`.
+  void Activate(AddressSpace* as, int cpu_id = 0);
+
+  // Tears a region's mapping down: drains in-flight log records, removes
+  // its page table entries and disarms logging. The segment, its contents
+  // and its deferred-copy relation survive; the region may be bound again.
+  void UnbindRegion(Region* region);
+
+  // Severs a segment's deferred-copy relation: materializes the effective
+  // contents (source data where unmodified) into the segment's own frames
+  // and clears the source. The inverse of Segment::SetSourceSegment.
+  void DetachSource(Cpu* cpu, Segment* segment);
+  AddressSpace* active_address_space(int cpu_id = 0) const {
+    return active_as_.at(static_cast<size_t>(cpu_id));
+  }
+
+  // --- logging control ---
+  // Declares `log` as the log segment for `region` (Table 1,
+  // Region::log(ls)) and registers it with the logging hardware. Pages of
+  // the region already mapped become logged immediately, so a debugger can
+  // attach a log to a running program (Section 2.7).
+  void AttachLog(Region* region, LogSegment* log, LogMode mode = LogMode::kNormal);
+  // Section 3.1.2 extension (bus logger): per-processor logs for a shared
+  // region — writes from CPU i land in `logs[i]`. `logs` must have one
+  // entry per machine CPU; the hardware selects within the group by the
+  // writing processor's id.
+  void AttachPerCpuLogs(Region* region, const std::vector<LogSegment*>& logs);
+  // Dynamically enables or disables logging for a region (Section 2.7).
+  void SetRegionLogging(Region* region, bool enabled);
+
+  // Synchronizes with the end of the log: drains the logger (advancing
+  // `cpu`'s clock over the wait) and updates the log's append offset.
+  void SyncLog(Cpu* cpu, LogSegment* log);
+  // Empties the log (the truncation step of CULT). Implies SyncLog.
+  void TruncateLog(Cpu* cpu, LogSegment* log);
+  // Discards everything after the first `keep_records` records (invalidated
+  // speculation after a rollback). Implies SyncLog. Normal-mode logs only.
+  void TruncateLogTo(Cpu* cpu, LogSegment* log, size_t keep_records);
+  // Drops the first `first_record` records, sliding the live suffix to the
+  // front of the segment (the truncation half of CULT when speculative
+  // records newer than GVT must survive). Implies SyncLog. Normal mode only.
+  void CompactLog(Cpu* cpu, LogSegment* log, size_t first_record);
+  // Ensures at least `pages` frames remain beyond the append offset, the
+  // "extend in advance" discipline of Section 3.2.
+  void EnsureLogCapacity(LogSegment* log, uint32_t pages);
+
+  // --- deferred copy / checkpointing ---
+  // Table 1: AddressSpace::resetDeferredCopy(start, end). Undoes all
+  // modifications to deferred-copy destinations in [start, end): the next
+  // read of each address returns the deferred-copy source datum.
+  void ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, VirtAddr end);
+
+  // The conventional alternative: copies `source`'s contents over `dest`
+  // (both materialized fully), charging bcopy() block-copy costs.
+  void CopySegment(Cpu* cpu, Segment* dest, Segment* source);
+
+  // Writes back all dirty second-level cache lines of `segment`, making its
+  // memory image current (and flipping deferred-copy line sources to the
+  // destination).
+  void FlushSegment(Cpu* cpu, Segment* segment);
+
+  // Faults in every page of `region` without disturbing its contents.
+  void TouchRegion(Cpu* cpu, Region* region);
+
+  // Materializes the frame for `segment`'s page `page_index`, registering
+  // the deferred-copy mapping if the segment has a source. All kernel paths
+  // that touch segment frames go through here.
+  PhysAddr EnsureSegmentPage(Segment* segment, uint32_t page_index);
+
+  // Reads the 16 effective bytes at `paddr`'s line, honoring dirty lines and
+  // deferred-copy resolution.
+  void ReadEffectiveLine(PhysAddr line_paddr, uint8_t out[kLineSize]);
+
+  // --- statistics ---
+  uint64_t overload_suspensions() const { return overload_suspensions_; }
+  uint64_t logging_faults_handled() const { return logging_faults_handled_; }
+
+  // A one-shot snapshot of system-wide counters (for monitoring tools and
+  // experiment reports).
+  struct Stats {
+    uint64_t records_logged = 0;
+    uint64_t records_dropped = 0;
+    uint64_t mapping_faults = 0;
+    uint64_t tail_faults = 0;
+    uint64_t overload_suspensions = 0;
+    uint64_t logging_faults_handled = 0;
+    uint64_t page_faults = 0;      // Summed over CPUs.
+    uint64_t logged_writes = 0;    // Summed over CPUs.
+    uint64_t writes = 0;           // Summed over CPUs.
+    uint64_t bus_busy_cycles = 0;
+    uint64_t l2_fills = 0;
+    uint64_t l2_writebacks = 0;
+    Cycles max_cpu_cycles = 0;
+  };
+  Stats GetStats();
+
+  // --- sim::PageFaultHandler ---
+  bool OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) override;
+
+  // --- logger::LoggerFaultClient ---
+  bool OnMappingFault(PhysAddr paddr, Cycles time) override;
+  bool OnLogTailFault(uint32_t log_index, Cycles time) override;
+  void OnOverload(Cycles interrupt_time, Cycles drain_complete) override;
+
+ private:
+  struct LoggedFrameBinding {
+    uint32_t log_index = 0;
+    PhysAddr direct_frame = 0;
+    bool per_cpu = false;
+    bool has_va = false;
+    VirtAddr va_page = 0;
+  };
+
+  LogTable& log_table();
+  // Registers `log` with the hardware log table if not yet registered.
+  void RegisterLog(LogSegment* log, LogMode mode);
+  // Points the hardware tail at the log's current append offset, extending
+  // the segment if allowed and necessary.
+  void SetTailToAppendOffset(LogSegment* log);
+  // Marks one mapped page of a logged region as logged: PTE flags, logged-
+  // frame binding, page mapping table / descriptor-table entries.
+  void ArmLoggedPage(Region* region, VirtAddr va, AddressSpace::Pte* pte);
+  void DisarmLoggedPage(Region* region, VirtAddr va, AddressSpace::Pte* pte);
+  // Refreshes the append offset from the hardware tail.
+  void RefreshAppendOffset(LogSegment* log);
+
+  LvmConfig config_;
+  Machine machine_;
+  FrameAllocator frame_allocator_;
+  DeferredCopyMap deferred_copy_;
+  std::unique_ptr<HardwareLogger> bus_logger_;
+  std::unique_ptr<OnChipLogger> onchip_logger_;
+
+  // The default page that absorbs log records when a log segment has no
+  // frames left (Section 3.2).
+  PhysAddr absorb_frame_;
+
+  std::vector<std::unique_ptr<AddressSpace>> address_spaces_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<Region>> regions_;
+  std::vector<AddressSpace*> active_as_;
+
+  // Logs by hardware log-table index.
+  std::unordered_map<uint32_t, LogSegment*> logs_by_index_;
+  // Bus-logger mode: the single log attached to each segment.
+  std::unordered_map<Segment*, LogSegment*> segment_log_;
+  // Per-processor log groups by region (Section 3.1.2 extension).
+  std::unordered_map<Region*, std::vector<LogSegment*>> per_cpu_logs_;
+  // Physical page number -> log binding, for mapping-fault reloads.
+  std::unordered_map<uint32_t, LoggedFrameBinding> logged_frames_;
+  // Logs currently spilling into the absorb page.
+  std::unordered_map<uint32_t, bool> absorbing_;
+
+  uint64_t overload_suspensions_ = 0;
+  uint64_t logging_faults_handled_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_LVM_LVM_SYSTEM_H_

@@ -1,0 +1,124 @@
+#include "src/lvm/trace_stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lvm {
+
+TraceStats AnalyzeTrace(const LogReader& reader, uint32_t burst_window) {
+  TraceStats stats;
+  stats.burst_window = burst_window;
+  if (reader.empty()) {
+    return stats;
+  }
+
+  std::unordered_set<uint32_t> words;
+  std::unordered_set<uint32_t> lines;
+  std::unordered_map<uint32_t, uint64_t> page_writes;
+
+  // Burst detection: a sliding window over the (sorted) timestamps; the
+  // log is already time ordered.
+  std::vector<uint32_t> timestamps;
+  timestamps.reserve(reader.size());
+
+  stats.first_timestamp = reader.At(0).timestamp;
+  for (size_t i = 0; i < reader.size(); ++i) {
+    LogRecord record = reader.At(i);
+    ++stats.records;
+    stats.bytes_written += record.size;
+    stats.last_timestamp = record.timestamp;
+    timestamps.push_back(record.timestamp);
+
+    uint32_t word = record.addr & ~3u;
+    if (!words.insert(word).second) {
+      ++stats.rewrites;
+    }
+    lines.insert(LineBase(record.addr));
+    ++page_writes[PageNumber(record.addr)];
+  }
+  stats.unique_words = static_cast<uint32_t>(words.size());
+  stats.unique_lines = static_cast<uint32_t>(lines.size());
+  stats.unique_pages = static_cast<uint32_t>(page_writes.size());
+
+  for (const auto& [page, count] : page_writes) {
+    if (count > stats.hottest_page_writes) {
+      stats.hottest_page_writes = count;
+      stats.hottest_page = page;
+    }
+  }
+
+  size_t window_start = 0;
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    while (timestamps[i] - timestamps[window_start] > burst_window) {
+      ++window_start;
+    }
+    auto in_window = static_cast<uint32_t>(i - window_start + 1);
+    if (in_window > stats.peak_burst) {
+      stats.peak_burst = in_window;
+    }
+  }
+  return stats;
+}
+
+double ReuseHistogram::HitFraction(uint32_t lines) const {
+  uint64_t total = 0;
+  uint64_t hits = 0;
+  for (uint32_t bucket = 0; bucket < kBuckets; ++bucket) {
+    total += buckets[bucket];
+    if ((1ull << (bucket + 1)) <= lines) {
+      hits += buckets[bucket];
+    }
+  }
+  total += cold;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+ReuseHistogram ComputeReuseHistogram(const LogReader& reader) {
+  ReuseHistogram histogram;
+  // Stack-distance via an ordered recency list: position of a line in the
+  // list (from the most recent end) is its reuse distance. O(n * d) with
+  // the modest distances of our traces.
+  std::vector<PhysAddr> recency;  // Most recent at the back.
+  for (size_t i = 0; i < reader.size(); ++i) {
+    PhysAddr line = LineBase(reader.At(i).addr);
+    bool found = false;
+    size_t position = 0;
+    for (size_t j = recency.size(); j > 0; --j) {
+      if (recency[j - 1] == line) {
+        position = recency.size() - j;
+        recency.erase(recency.begin() + static_cast<std::ptrdiff_t>(j - 1));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ++histogram.cold;
+    } else {
+      uint32_t bucket = 0;
+      while (bucket + 1 < ReuseHistogram::kBuckets && (1ull << (bucket + 1)) <= position) {
+        ++bucket;
+      }
+      histogram.buckets[bucket] += 1;
+    }
+    recency.push_back(line);
+  }
+  return histogram;
+}
+
+TraceCacheResult SimulateTraceCache(const LogReader& reader, uint32_t lines) {
+  TraceCacheResult result;
+  std::vector<PhysAddr> tags(lines, ~PhysAddr{0});
+  for (size_t i = 0; i < reader.size(); ++i) {
+    PhysAddr line = LineBase(reader.At(i).addr);
+    size_t index = (line >> kLineShift) % lines;
+    ++result.accesses;
+    if (tags[index] != line) {
+      ++result.misses;
+      tags[index] = line;
+    }
+  }
+  return result;
+}
+
+}  // namespace lvm

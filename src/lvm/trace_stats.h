@@ -1,0 +1,86 @@
+// Address-trace analysis over LVM logs (Section 1).
+//
+// A log of a region is a complete, timestamped write trace of that region:
+// "a detailed address trace of a program, which can be useful for detecting
+// and isolating performance problems or as input to memory system
+// simulators". TraceStats summarizes a log (footprint, densities, hot
+// spots, write bursts); TraceCacheSim replays the trace through a small
+// direct-mapped write-back cache model to estimate locality.
+#ifndef SRC_LVM_TRACE_STATS_H_
+#define SRC_LVM_TRACE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/lvm/log_reader.h"
+
+namespace lvm {
+
+struct TraceStats {
+  uint64_t records = 0;
+  uint64_t bytes_written = 0;
+  // Footprint.
+  uint32_t unique_words = 0;
+  uint32_t unique_lines = 0;
+  uint32_t unique_pages = 0;
+  // Rewrite behaviour: how many writes hit a word already written (the
+  // redundancy LVM makes visible, Section 2.7).
+  uint64_t rewrites = 0;
+  // Timing (6.25 MHz timestamp ticks).
+  uint32_t first_timestamp = 0;
+  uint32_t last_timestamp = 0;
+  // Peak writes within any single timestamp-tick window of `burst_window`
+  // ticks (burstiness; bursts are what size the logger FIFOs).
+  uint32_t burst_window = 64;
+  uint32_t peak_burst = 0;
+  // Hottest page and its write count.
+  uint32_t hottest_page = 0;
+  uint64_t hottest_page_writes = 0;
+
+  // Mean write rate in writes per 1000 ticks (0 if the trace is empty or
+  // instantaneous).
+  double WritesPerKilotick() const {
+    if (records == 0 || last_timestamp <= first_timestamp) {
+      return 0.0;
+    }
+    return 1000.0 * static_cast<double>(records) /
+           static_cast<double>(last_timestamp - first_timestamp);
+  }
+};
+
+// Computes statistics over records [0, reader.size()).
+TraceStats AnalyzeTrace(const LogReader& reader, uint32_t burst_window = 64);
+
+// Histogram of line-granularity reuse distances: for each write, how many
+// *distinct* lines were touched since the previous write to the same line
+// (the classic stack-distance metric memory-system studies feed on; cold
+// first touches land in the `cold` bucket). Bucket i counts distances in
+// [2^i, 2^(i+1)).
+struct ReuseHistogram {
+  static constexpr uint32_t kBuckets = 20;
+  uint64_t cold = 0;
+  uint64_t buckets[kBuckets] = {};
+
+  // Fraction of non-cold accesses with reuse distance < `lines` (an
+  // estimate of the hit rate of a fully-associative LRU cache that size).
+  double HitFraction(uint32_t lines) const;
+};
+
+ReuseHistogram ComputeReuseHistogram(const LogReader& reader);
+
+// A small direct-mapped cache fed by the write trace: estimates how well a
+// cache of `lines` 16-byte lines would absorb the write stream.
+struct TraceCacheResult {
+  uint64_t accesses = 0;
+  uint64_t misses = 0;
+  double MissRate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+TraceCacheResult SimulateTraceCache(const LogReader& reader, uint32_t lines);
+
+}  // namespace lvm
+
+#endif  // SRC_LVM_TRACE_STATS_H_

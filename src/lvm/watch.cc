@@ -1,0 +1,70 @@
+#include "src/lvm/watch.h"
+
+namespace lvm {
+
+namespace {
+// Whether [a, a+len) overlaps [lo, hi).
+bool Overlaps(VirtAddr a, uint32_t len, VirtAddr lo, VirtAddr hi) {
+  return a < hi && a + len > lo;
+}
+}  // namespace
+
+std::vector<WatchHit> FindWritesTo(const LogReader& reader, const Region& region,
+                                   VirtAddr va_lo, VirtAddr va_hi) {
+  std::vector<WatchHit> hits;
+  for (size_t i = 0; i < reader.size(); ++i) {
+    LogRecord record = reader.At(i);
+    VirtAddr va = 0;
+    if (!RecordVirtualAddress(record, region, &va)) {
+      continue;
+    }
+    if (!Overlaps(va, record.size, va_lo, va_hi)) {
+      continue;
+    }
+    hits.push_back(WatchHit{i, va, record.value, static_cast<uint8_t>(record.size),
+                            record.timestamp});
+  }
+  return hits;
+}
+
+size_t AuditLogPlacement(const LogReader& reader, const Region& region,
+                         const std::vector<AuditRange>& expected,
+                         std::vector<WatchHit>* strays) {
+  size_t stray_count = 0;
+  for (size_t i = 0; i < reader.size(); ++i) {
+    LogRecord record = reader.At(i);
+    VirtAddr va = 0;
+    if (!RecordVirtualAddress(record, region, &va)) {
+      continue;  // Not a record of this region's segment.
+    }
+    bool covered = false;
+    for (const AuditRange& range : expected) {
+      if (va >= range.lo && va + record.size <= range.hi) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      ++stray_count;
+      if (strays != nullptr) {
+        strays->push_back(WatchHit{i, va, record.value, static_cast<uint8_t>(record.size),
+                                   record.timestamp});
+      }
+    }
+  }
+  return stray_count;
+}
+
+bool LastWriterBefore(const LogReader& reader, const Region& region, VirtAddr va_lo,
+                      VirtAddr va_hi, uint32_t before_timestamp, WatchHit* out) {
+  bool found = false;
+  for (const WatchHit& hit : FindWritesTo(reader, region, va_lo, va_hi)) {
+    if (hit.timestamp < before_timestamp) {
+      *out = hit;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace lvm

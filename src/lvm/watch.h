@@ -1,0 +1,55 @@
+// Debugger-style queries over LVM logs (Sections 1 and 2.7).
+//
+// The log answers "who wrote this, and when?" without breakpoints or
+// program changes: FindWritesTo scans a log for writes landing in a
+// virtual address range of a region; LastWriterBefore locates the most
+// recent write to an address before a timestamp (the reverse-execution
+// primitive: back up to just before that record with LogApplier).
+#ifndef SRC_LVM_WATCH_H_
+#define SRC_LVM_WATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/lvm/log_reader.h"
+#include "src/vm/region.h"
+
+namespace lvm {
+
+struct WatchHit {
+  size_t record_index = 0;
+  VirtAddr va = 0;
+  uint32_t value = 0;
+  uint8_t size = 0;
+  uint32_t timestamp = 0;
+};
+
+// All writes in `reader` that touch [va_lo, va_hi) of `region`, in log
+// order. Works for physically-addressed (bus logger) records; a record's
+// virtual address is reconstructed through the region's segment.
+std::vector<WatchHit> FindWritesTo(const LogReader& reader, const Region& region,
+                                   VirtAddr va_lo, VirtAddr va_hi);
+
+// The latest write to an address overlapping [va_lo, va_hi) with timestamp
+// strictly below `before_timestamp`. Returns false if none.
+bool LastWriterBefore(const LogReader& reader, const Region& region, VirtAddr va_lo,
+                      VirtAddr va_hi, uint32_t before_timestamp, WatchHit* out);
+
+// Placement audit (Section 2.7: "misplacement of objects in regions can be
+// detected by audit code"): checks that every record of the log falls
+// inside one of the expected virtual ranges of `region`. Returns the number
+// of records landing *outside* every range — writes to data that should
+// not live in the logged region (or objects that were misplaced into it).
+struct AuditRange {
+  VirtAddr lo = 0;
+  VirtAddr hi = 0;  // Exclusive.
+};
+size_t AuditLogPlacement(const LogReader& reader, const Region& region,
+                         const std::vector<AuditRange>& expected,
+                         std::vector<WatchHit>* strays = nullptr);
+
+}  // namespace lvm
+
+#endif  // SRC_LVM_WATCH_H_

@@ -1,0 +1,78 @@
+#include "src/mfile/mapped_file.h"
+
+#include <cstring>
+
+namespace lvm {
+
+MappedFile::MappedFile(LvmSystem* system, AddressSpace* as, SimFile* file,
+                       const FileIoParams& params)
+    : system_(system), file_(file), params_(params) {
+  segment_ = system->CreateSegment(file->size(), /*flags=*/0, /*manager=*/this);
+  region_ = system->CreateRegion(segment_);
+  base_ = as->BindRegion(region_);
+  fault_cpu_ = &system->cpu(0);
+}
+
+void MappedFile::FillPage(Segment& segment, uint32_t page_index, uint8_t* bytes) {
+  (void)segment;
+  uint32_t offset = page_index * kPageSize;
+  LVM_CHECK(offset + kPageSize <= file_->size());
+  std::memcpy(bytes, file_->data() + offset, kPageSize);
+  file_->bytes_read_ += kPageSize;
+  fault_cpu_->AddCycles(params_.read_page_cycles);
+}
+
+void MappedFile::AttachLogging() {
+  LVM_CHECK(log_ == nullptr);
+  log_ = system_->CreateLogSegment(16);
+  system_->AttachLog(region_, log_);
+}
+
+void MappedFile::Msync(Cpu* cpu) {
+  cpu->AddCycles(params_.sync_base_cycles);
+  ++file_->sync_operations_;
+  for (uint32_t page = 0; page < segment_->page_count(); ++page) {
+    if (!segment_->HasFrame(page)) {
+      continue;
+    }
+    // Write the page's effective contents (dirty lines and deferred
+    // resolution included) back to the file, whole.
+    PhysAddr frame = segment_->FrameAt(page);
+    for (uint32_t line = 0; line < kPageSize; line += kLineSize) {
+      uint8_t bytes[kLineSize];
+      system_->ReadEffectiveLine(frame + line, bytes);
+      std::memcpy(file_->data() + page * kPageSize + line, bytes, kLineSize);
+    }
+    file_->bytes_written_ += kPageSize;
+    cpu->AddCycles(static_cast<Cycles>(kPageSize) * params_.write_per_byte_cycles);
+  }
+  // If logging is attached, the synced state is the new baseline.
+  if (log_ != nullptr) {
+    system_->TruncateLog(cpu, log_);
+  }
+}
+
+void MappedFile::MsyncFromLog(Cpu* cpu) {
+  LVM_CHECK_MSG(log_ != nullptr, "MsyncFromLog needs AttachLogging()");
+  system_->SyncLog(cpu, log_);
+  cpu->AddCycles(params_.sync_base_cycles);
+  ++file_->sync_operations_;
+  LogReader reader(system_->memory(), *log_);
+  for (size_t i = 0; i < reader.size(); ++i) {
+    LogRecord record = reader.At(i);
+    if (record.flags & kRecordFlagOldValue) {
+      continue;
+    }
+    int32_t page_index = segment_->PageIndexOfFrame(record.addr);
+    LVM_DCHECK(page_index >= 0);
+    uint32_t offset =
+        static_cast<uint32_t>(page_index) * kPageSize + PageOffset(record.addr);
+    std::memcpy(file_->data() + offset, &record.value, record.size);
+    file_->bytes_written_ += record.size;
+    cpu->AddCycles(static_cast<Cycles>(record.size) * params_.write_per_byte_cycles +
+                   system_->machine().params().log_apply_record_cycles);
+  }
+  system_->TruncateLog(cpu, log_);
+}
+
+}  // namespace lvm

@@ -1,0 +1,137 @@
+#include "src/oodb/object_store.h"
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+ObjectStore::ObjectStore(RecoverableStore* store, Cpu* cpu) : store_(store), cpu_(cpu) {
+  if (ReadWordAt(4 * kMagicWord) != kMagic) {
+    // Format the heap in one transaction.
+    store_->Begin(cpu_);
+    store_->SetRange(cpu_, store_->data_base(), 4 * kHeapStartWord);
+    WriteWordAt(4 * kMagicWord, kMagic);
+    WriteWordAt(4 * kBreakWord, 4 * kHeapStartWord);
+    WriteWordAt(4 * kFreeHeadWord, 0);
+    for (uint32_t i = 0; i < 2 * kMaxRoots; ++i) {
+      WriteWordAt(4 * (kRootsWord + i), 0);
+    }
+    store_->Commit(cpu_);
+  }
+}
+
+uint32_t ObjectStore::ReadWordAt(uint32_t byte_offset) {
+  return store_->Read(cpu_, store_->data_base() + byte_offset);
+}
+
+void ObjectStore::WriteWordAt(uint32_t byte_offset, uint32_t value) {
+  // Under plain RVM a caller would have to set_range every one of these;
+  // the ObjectStore conservatively covers each word so it runs on both
+  // store kinds. Under RLVM this is a no-op.
+  store_->SetRange(cpu_, store_->data_base() + byte_offset, 4);
+  store_->Write(cpu_, store_->data_base() + byte_offset, value);
+}
+
+ObjRef ObjectStore::Allocate(uint32_t bytes, uint32_t type_tag) {
+  bytes = AlignUp(bytes, 4);
+  LVM_CHECK(bytes > 0);
+
+  // First-fit search of the persistent free list.
+  uint32_t prev = 0;
+  uint32_t block = ReadWordAt(4 * kFreeHeadWord);
+  while (block != 0) {
+    uint32_t block_bytes = ReadWordAt(block + 4 * kObjSizeWord);
+    uint32_t next = ReadWordAt(block + 4 * kObjTypeWord);  // Next-ptr while free.
+    if (block_bytes >= bytes) {
+      // Unlink and reuse (no splitting: simple and always correct).
+      if (prev == 0) {
+        WriteWordAt(4 * kFreeHeadWord, next);
+      } else {
+        WriteWordAt(prev + 4 * kObjTypeWord, next);
+      }
+      WriteWordAt(block + 4 * kObjSizeWord, block_bytes);
+      WriteWordAt(block + 4 * kObjTypeWord, type_tag);
+      return block;
+    }
+    prev = block;
+    block = next;
+  }
+
+  // Bump allocation from the heap break.
+  uint32_t break_offset = ReadWordAt(4 * kBreakWord);
+  uint32_t total = kObjHeaderBytes + bytes;
+  LVM_CHECK_MSG(break_offset + total <= store_->data_size(), "object heap exhausted");
+  WriteWordAt(4 * kBreakWord, break_offset + total);
+  WriteWordAt(break_offset + 4 * kObjSizeWord, bytes);
+  WriteWordAt(break_offset + 4 * kObjTypeWord, type_tag);
+  return break_offset;
+}
+
+void ObjectStore::Free(ObjRef ref) {
+  LVM_CHECK(ref != kNullRef);
+  // Push onto the persistent free list; the type word becomes the link.
+  WriteWordAt(ref + 4 * kObjTypeWord, ReadWordAt(4 * kFreeHeadWord));
+  WriteWordAt(4 * kFreeHeadWord, ref);
+}
+
+uint32_t ObjectStore::TypeOf(ObjRef ref) { return ReadWordAt(ref + 4 * kObjTypeWord); }
+
+uint32_t ObjectStore::SizeOf(ObjRef ref) { return ReadWordAt(ref + 4 * kObjSizeWord); }
+
+uint32_t ObjectStore::ReadField(ObjRef ref, uint32_t index) {
+  LVM_DCHECK(4 * index < SizeOf(ref));
+  return ReadWordAt(ref + kObjHeaderBytes + 4 * index);
+}
+
+void ObjectStore::WriteField(ObjRef ref, uint32_t index, uint32_t value) {
+  LVM_DCHECK(4 * index < SizeOf(ref));
+  WriteWordAt(ref + kObjHeaderBytes + 4 * index, value);
+}
+
+uint32_t ObjectStore::HashName(std::string_view name) {
+  uint32_t hash = 2166136261u;
+  for (char c : name) {
+    hash = (hash ^ static_cast<uint8_t>(c)) * 16777619u;
+  }
+  return hash != 0 ? hash : 1;  // 0 marks an empty root slot.
+}
+
+void ObjectStore::SetRoot(std::string_view name, ObjRef ref) {
+  uint32_t hash = HashName(name);
+  uint32_t free_slot = kMaxRoots;
+  for (uint32_t i = 0; i < kMaxRoots; ++i) {
+    uint32_t slot_hash = ReadWordAt(4 * (kRootsWord + 2 * i));
+    if (slot_hash == hash) {
+      WriteWordAt(4 * (kRootsWord + 2 * i + 1), ref);
+      return;
+    }
+    if (slot_hash == 0 && free_slot == kMaxRoots) {
+      free_slot = i;
+    }
+  }
+  LVM_CHECK_MSG(free_slot < kMaxRoots, "root directory full");
+  WriteWordAt(4 * (kRootsWord + 2 * free_slot), hash);
+  WriteWordAt(4 * (kRootsWord + 2 * free_slot + 1), ref);
+}
+
+ObjRef ObjectStore::GetRoot(std::string_view name) {
+  uint32_t hash = HashName(name);
+  for (uint32_t i = 0; i < kMaxRoots; ++i) {
+    if (ReadWordAt(4 * (kRootsWord + 2 * i)) == hash) {
+      return ReadWordAt(4 * (kRootsWord + 2 * i + 1));
+    }
+  }
+  return kNullRef;
+}
+
+uint32_t ObjectStore::heap_break() { return ReadWordAt(4 * kBreakWord); }
+
+uint32_t ObjectStore::live_free_blocks() {
+  uint32_t count = 0;
+  for (uint32_t block = ReadWordAt(4 * kFreeHeadWord); block != 0;
+       block = ReadWordAt(block + 4 * kObjTypeWord)) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace lvm

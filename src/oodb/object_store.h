@@ -1,0 +1,94 @@
+// A miniature memory-mapped object database on recoverable logged virtual
+// memory — the paper's motivating application (Sections 1, 2.5): persistent
+// objects read and written in virtual memory with the efficiency of
+// ordinary C++ objects, transaction atomicity and recoverability coming
+// from LVM's automatic logging rather than per-write annotations.
+//
+// Layout of the recoverable heap (all word-aligned, all state persistent):
+//
+//   [0]  magic
+//   [1]  heap break (offset of the next free byte)
+//   [2]  free-list head (offset of the first free block, 0 = empty)
+//   [3]  root directory: kMaxRoots (name-hash, object-offset) pairs
+//   ...  objects: {size, type} header followed by payload
+//
+// Everything, allocator metadata included, lives in recoverable memory, so
+// an abort rolls back allocation and free-list changes along with object
+// contents — the property that is tedious and error-prone to get right
+// with explicit set_range annotations.
+#ifndef SRC_OODB_OBJECT_STORE_H_
+#define SRC_OODB_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/base/types.h"
+#include "src/rvm/recoverable_store.h"
+
+namespace lvm {
+
+// A handle to a persistent object: its offset within the heap.
+using ObjRef = uint32_t;
+inline constexpr ObjRef kNullRef = 0;
+
+class ObjectStore {
+ public:
+  static constexpr uint32_t kMaxRoots = 32;
+
+  // Opens (or formats) an object heap on `store`. The store must be
+  // activated on the CPU used for operations.
+  ObjectStore(RecoverableStore* store, Cpu* cpu);
+
+  // --- transactions (delegated to the recoverable store) ---
+  void Begin() { store_->Begin(cpu_); }
+  void Commit() { store_->Commit(cpu_); }
+  void Abort() { store_->Abort(cpu_); }
+
+  // --- allocation (within a transaction) ---
+  // Allocates a persistent object of `bytes` payload (word aligned) with a
+  // type tag. Returns its reference.
+  ObjRef Allocate(uint32_t bytes, uint32_t type_tag);
+  // Frees an object (its block enters the persistent free list).
+  void Free(ObjRef ref);
+
+  // --- object access ---
+  uint32_t TypeOf(ObjRef ref);
+  uint32_t SizeOf(ObjRef ref);
+  // Reads/writes word `index` of the object's payload.
+  uint32_t ReadField(ObjRef ref, uint32_t index);
+  void WriteField(ObjRef ref, uint32_t index, uint32_t value);
+
+  // --- named roots ---
+  // Binds `name` to `ref` (persistent; within a transaction).
+  void SetRoot(std::string_view name, ObjRef ref);
+  // Looks a root up; kNullRef if absent.
+  ObjRef GetRoot(std::string_view name);
+
+  // --- statistics ---
+  uint32_t heap_break();
+  uint32_t live_free_blocks();
+
+ private:
+  static constexpr uint32_t kMagic = 0x0DB0DB01;
+  // Header word offsets (in words).
+  static constexpr uint32_t kMagicWord = 0;
+  static constexpr uint32_t kBreakWord = 1;
+  static constexpr uint32_t kFreeHeadWord = 2;
+  static constexpr uint32_t kRootsWord = 3;             // kMaxRoots pairs follow.
+  static constexpr uint32_t kHeapStartWord = kRootsWord + 2 * kMaxRoots;
+  // Object header words (before the payload).
+  static constexpr uint32_t kObjSizeWord = 0;  // Payload bytes.
+  static constexpr uint32_t kObjTypeWord = 1;
+  static constexpr uint32_t kObjHeaderBytes = 8;
+
+  uint32_t ReadWordAt(uint32_t byte_offset);
+  void WriteWordAt(uint32_t byte_offset, uint32_t value);
+  static uint32_t HashName(std::string_view name);
+
+  RecoverableStore* store_;
+  Cpu* cpu_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_OODB_OBJECT_STORE_H_

@@ -1,0 +1,81 @@
+#include "src/oodb/persistent_map.h"
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+PersistentMap::PersistentMap(ObjectStore* store, std::string_view root_name, uint32_t buckets)
+    : store_(store) {
+  table_ = store->GetRoot(root_name);
+  if (table_ == kNullRef) {
+    store->Begin();
+    table_ = store->Allocate(4 * (2 + buckets), kTypeTable);
+    store->WriteField(table_, 0, buckets);
+    store->WriteField(table_, 1, 0);
+    for (uint32_t i = 0; i < buckets; ++i) {
+      store->WriteField(table_, 2 + i, kNullRef);
+    }
+    store->SetRoot(root_name, table_);
+    store->Commit();
+  }
+  LVM_CHECK_MSG(store->TypeOf(table_) == kTypeTable, "root is not a map");
+}
+
+uint32_t PersistentMap::buckets() { return store_->ReadField(table_, 0); }
+uint32_t PersistentMap::size() { return store_->ReadField(table_, 1); }
+
+uint32_t PersistentMap::BucketOf(uint32_t key) {
+  uint32_t hash = key * 2654435761u;
+  return 2 + (hash % buckets());
+}
+
+void PersistentMap::Put(uint32_t key, uint32_t value) {
+  uint32_t bucket = BucketOf(key);
+  for (ObjRef node = store_->ReadField(table_, bucket); node != kNullRef;
+       node = store_->ReadField(node, 2)) {
+    if (store_->ReadField(node, 0) == key) {
+      store_->WriteField(node, 1, value);
+      return;
+    }
+  }
+  ObjRef node = store_->Allocate(12, kTypeNode);
+  store_->WriteField(node, 0, key);
+  store_->WriteField(node, 1, value);
+  store_->WriteField(node, 2, store_->ReadField(table_, bucket));
+  store_->WriteField(table_, bucket, node);
+  store_->WriteField(table_, 1, size() + 1);
+}
+
+bool PersistentMap::Get(uint32_t key, uint32_t* value_out) {
+  for (ObjRef node = store_->ReadField(table_, BucketOf(key)); node != kNullRef;
+       node = store_->ReadField(node, 2)) {
+    if (store_->ReadField(node, 0) == key) {
+      *value_out = store_->ReadField(node, 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PersistentMap::Remove(uint32_t key) {
+  uint32_t bucket = BucketOf(key);
+  ObjRef prev = kNullRef;
+  for (ObjRef node = store_->ReadField(table_, bucket); node != kNullRef;
+       node = store_->ReadField(node, 2)) {
+    if (store_->ReadField(node, 0) == key) {
+      ObjRef next = store_->ReadField(node, 2);
+      if (prev == kNullRef) {
+        store_->WriteField(table_, bucket, next);
+      } else {
+        store_->WriteField(prev, 2, next);
+      }
+      store_->Free(node);
+      store_->WriteField(table_, 1, size() - 1);
+      return true;
+    }
+    prev = node;
+  }
+  return false;
+}
+
+}  // namespace lvm

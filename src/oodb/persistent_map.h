@@ -1,0 +1,49 @@
+// A persistent hash map built from ObjectStore objects: chained buckets of
+// {key, value, next} nodes, entirely in recoverable memory. Insertions,
+// updates and removals are transactional — an abort rolls back the node
+// allocations, link updates and values together, with no undo code.
+//
+// This is the paper's OODB pitch in miniature: a pointer-based data
+// structure manipulated like ordinary memory, made atomic and recoverable
+// by the VM system.
+#ifndef SRC_OODB_PERSISTENT_MAP_H_
+#define SRC_OODB_PERSISTENT_MAP_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/oodb/object_store.h"
+
+namespace lvm {
+
+class PersistentMap {
+ public:
+  static constexpr uint32_t kTypeTable = 0x7ab1e;
+  static constexpr uint32_t kTypeNode = 0x0de;
+
+  // Opens the map named `root_name`, creating it (with `buckets` chains)
+  // inside its own transaction if absent.
+  PersistentMap(ObjectStore* store, std::string_view root_name, uint32_t buckets = 16);
+
+  // Inserts or updates (within a caller transaction).
+  void Put(uint32_t key, uint32_t value);
+  // Looks a key up; false if absent.
+  bool Get(uint32_t key, uint32_t* value_out);
+  // Removes a key (node returns to the free list); false if absent.
+  bool Remove(uint32_t key);
+
+  uint32_t size();
+  uint32_t buckets();
+
+ private:
+  // Table payload: [0] buckets, [1] size, [2..] bucket heads.
+  // Node payload: [0] key, [1] value, [2] next ref.
+  uint32_t BucketOf(uint32_t key);
+
+  ObjectStore* store_;
+  ObjRef table_ = kNullRef;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_OODB_PERSISTENT_MAP_H_

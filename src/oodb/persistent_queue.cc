@@ -1,0 +1,85 @@
+#include "src/oodb/persistent_queue.h"
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+PersistentQueue::PersistentQueue(ObjectStore* store, std::string_view root_name)
+    : store_(store) {
+  descriptor_ = store->GetRoot(root_name);
+  if (descriptor_ == kNullRef) {
+    store->Begin();
+    descriptor_ = store->Allocate(20, kTypeDescriptor);
+    ObjRef chunk = NewChunk();
+    store->WriteField(descriptor_, 0, 0);      // Size.
+    store->WriteField(descriptor_, 1, chunk);  // Head chunk.
+    store->WriteField(descriptor_, 2, 0);      // Head index.
+    store->WriteField(descriptor_, 3, chunk);  // Tail chunk.
+    store->WriteField(descriptor_, 4, 0);      // Tail index.
+    store->SetRoot(root_name, descriptor_);
+    store->Commit();
+  }
+  LVM_CHECK_MSG(store->TypeOf(descriptor_) == kTypeDescriptor, "root is not a queue");
+}
+
+ObjRef PersistentQueue::NewChunk() {
+  ObjRef chunk = store_->Allocate(4 * (1 + kChunkSlots), kTypeChunk);
+  store_->WriteField(chunk, 0, kNullRef);
+  return chunk;
+}
+
+uint32_t PersistentQueue::size() { return store_->ReadField(descriptor_, 0); }
+
+void PersistentQueue::Enqueue(uint32_t value) {
+  ObjRef tail_chunk = store_->ReadField(descriptor_, 3);
+  uint32_t tail_index = store_->ReadField(descriptor_, 4);
+  if (tail_index == kChunkSlots) {
+    ObjRef fresh = NewChunk();
+    store_->WriteField(tail_chunk, 0, fresh);
+    store_->WriteField(descriptor_, 3, fresh);
+    store_->WriteField(descriptor_, 4, 0);
+    tail_chunk = fresh;
+    tail_index = 0;
+  }
+  store_->WriteField(tail_chunk, 1 + tail_index, value);
+  store_->WriteField(descriptor_, 4, tail_index + 1);
+  store_->WriteField(descriptor_, 0, size() + 1);
+}
+
+bool PersistentQueue::Peek(uint32_t* value_out) {
+  if (size() == 0) {
+    return false;
+  }
+  ObjRef head_chunk = store_->ReadField(descriptor_, 1);
+  uint32_t head_index = store_->ReadField(descriptor_, 2);
+  *value_out = store_->ReadField(head_chunk, 1 + head_index);
+  return true;
+}
+
+bool PersistentQueue::Dequeue(uint32_t* value_out) {
+  if (!Peek(value_out)) {
+    return false;
+  }
+  ObjRef head_chunk = store_->ReadField(descriptor_, 1);
+  uint32_t head_index = store_->ReadField(descriptor_, 2) + 1;
+  if (head_index == kChunkSlots) {
+    // The head chunk is spent; advance to the next (the tail stays put if
+    // this was also the tail and the queue is now empty — re-point both).
+    ObjRef next = store_->ReadField(head_chunk, 0);
+    if (next == kNullRef) {
+      next = head_chunk;  // Reuse in place: the queue is empty.
+      store_->WriteField(descriptor_, 3, head_chunk);
+      store_->WriteField(descriptor_, 4, 0);
+    } else {
+      store_->Free(head_chunk);
+    }
+    store_->WriteField(descriptor_, 1, next);
+    store_->WriteField(descriptor_, 2, 0);
+  } else {
+    store_->WriteField(descriptor_, 2, head_index);
+  }
+  store_->WriteField(descriptor_, 0, size() - 1);
+  return true;
+}
+
+}  // namespace lvm

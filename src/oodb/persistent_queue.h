@@ -1,0 +1,46 @@
+// A persistent FIFO queue of word values: a linked list of chunk objects
+// threaded through the ObjectStore, with head/tail cursors in a descriptor
+// object. Enqueues and dequeues are transactional like everything else in
+// the heap — an aborted dequeue puts the element logically back.
+#ifndef SRC_OODB_PERSISTENT_QUEUE_H_
+#define SRC_OODB_PERSISTENT_QUEUE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/oodb/object_store.h"
+
+namespace lvm {
+
+class PersistentQueue {
+ public:
+  static constexpr uint32_t kTypeDescriptor = 0x01fe;
+  static constexpr uint32_t kTypeChunk = 0xc4;
+  // Values per chunk.
+  static constexpr uint32_t kChunkSlots = 14;
+
+  // Opens the queue named `root_name`, creating it if absent.
+  PersistentQueue(ObjectStore* store, std::string_view root_name);
+
+  // Appends a value (within a caller transaction).
+  void Enqueue(uint32_t value);
+  // Removes the oldest value; false if empty.
+  bool Dequeue(uint32_t* value_out);
+  // Oldest value without removing it; false if empty.
+  bool Peek(uint32_t* value_out);
+
+  uint32_t size();
+
+ private:
+  // Descriptor payload: [0] size, [1] head chunk, [2] head index,
+  //                     [3] tail chunk, [4] tail index.
+  // Chunk payload: [0] next chunk, [1..kChunkSlots] values.
+  ObjRef NewChunk();
+
+  ObjectStore* store_;
+  ObjRef descriptor_ = kNullRef;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_OODB_PERSISTENT_QUEUE_H_

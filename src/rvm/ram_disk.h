@@ -1,0 +1,143 @@
+// RAM-disk model for the persistent transaction log (Section 4.2).
+//
+// The TPC-A measurements of Table 3 hold the recoverable-memory redo log on
+// a RAM disk. The model charges device costs (append, force, truncate) and
+// *stores the redo contents*, so recovery is real: after a crash the
+// committed state can be rebuilt from the home image plus the forced log.
+//
+// Device format: a stream of {offset, size, value} redo records punctuated
+// by commit markers. Records become durable when the log is forced; a
+// crash discards everything after the last force, and recovery replays
+// durable records only up to the last commit marker (a forced but
+// uncommitted tail would mean a torn transaction).
+#ifndef SRC_RVM_RAM_DISK_H_
+#define SRC_RVM_RAM_DISK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/sim/cpu.h"
+
+namespace lvm {
+
+struct RamDiskParams {
+  // Streaming an appended byte to the device.
+  uint32_t append_per_byte_cycles = 25;
+  // Fixed device-operation overhead per commit's worth of appends.
+  uint32_t append_base_cycles = 2000;
+  // Forcing the log at commit (commit record + synchronization).
+  uint32_t force_cycles = 40000;
+  // Truncation: applying logged bytes to the home image.
+  uint32_t apply_per_byte_cycles = 10;
+  uint32_t apply_base_cycles = 5000;
+  // Wire overhead per record (descriptor) and per commit marker.
+  uint32_t record_descriptor_bytes = 8;
+  uint32_t commit_record_bytes = 16;
+};
+
+// One store-relative redo record.
+struct DeviceRecord {
+  uint32_t offset = 0;
+  uint32_t value = 0;
+  uint8_t size = 0;
+};
+
+class RamDisk {
+ public:
+  explicit RamDisk(const RamDiskParams& params = RamDiskParams{}) : params_(params) {}
+
+  // Begins a transaction's worth of appends (charges the device-operation
+  // base cost once).
+  void BeginAppend(Cpu* cpu) { cpu->AddCycles(params_.append_base_cycles); }
+
+  // Appends one redo record to the volatile tail of the device log.
+  void AppendRecord(Cpu* cpu, const DeviceRecord& record) {
+    uint32_t bytes = record.size + params_.record_descriptor_bytes;
+    cpu->AddCycles(static_cast<Cycles>(bytes) * params_.append_per_byte_cycles);
+    pending_.push_back(record);
+    pending_bytes_ += bytes;
+  }
+
+  // Appends a commit marker and forces the log: everything appended so far
+  // becomes durable. This is the commit point.
+  void CommitAndForce(Cpu* cpu) {
+    cpu->AddCycles(static_cast<Cycles>(params_.commit_record_bytes) *
+                   params_.append_per_byte_cycles);
+    cpu->AddCycles(params_.force_cycles);
+    durable_log_.insert(durable_log_.end(), pending_.begin(), pending_.end());
+    durable_bytes_ += pending_bytes_ + params_.commit_record_bytes;
+    total_bytes_logged_ += pending_bytes_ + params_.commit_record_bytes;
+    pending_.clear();
+    pending_bytes_ = 0;
+    ++forces_;
+  }
+
+  // Discards appended-but-unforced records (a transaction abort).
+  void DiscardPending() {
+    pending_.clear();
+    pending_bytes_ = 0;
+  }
+
+  // Applies the durable log to the home image and empties it (truncation).
+  void TruncateToImage(Cpu* cpu) {
+    cpu->AddCycles(params_.apply_base_cycles +
+                   static_cast<Cycles>(durable_bytes_) * params_.apply_per_byte_cycles);
+    for (const DeviceRecord& record : durable_log_) {
+      ApplyToImage(record);
+    }
+    durable_log_.clear();
+    durable_bytes_ = 0;
+    ++truncations_;
+  }
+
+  // A crash: volatile state (the unforced tail) is lost; the home image
+  // and the forced log survive.
+  void Crash() {
+    pending_.clear();
+    pending_bytes_ = 0;
+  }
+
+  // Rebuilds the committed store contents: home image plus the durable
+  // log, as recovery would after a crash.
+  std::vector<uint8_t> RecoverImage(uint32_t store_bytes) const {
+    std::vector<uint8_t> recovered(store_bytes, 0);
+    auto copy_in = [&recovered, store_bytes](const DeviceRecord& record) {
+      LVM_CHECK(record.offset + record.size <= store_bytes);
+      std::memcpy(&recovered[record.offset], &record.value, record.size);
+    };
+    for (const DeviceRecord& record : image_) {
+      copy_in(record);
+    }
+    for (const DeviceRecord& record : durable_log_) {
+      copy_in(record);
+    }
+    return recovered;
+  }
+
+  // --- statistics ---
+  uint64_t log_bytes() const { return durable_bytes_; }
+  uint64_t total_bytes_logged() const { return total_bytes_logged_; }
+  uint64_t forces() const { return forces_; }
+  uint64_t truncations() const { return truncations_; }
+  size_t durable_records() const { return durable_log_.size(); }
+
+ private:
+  void ApplyToImage(const DeviceRecord& record) { image_.push_back(record); }
+
+  RamDiskParams params_;
+  std::vector<DeviceRecord> pending_;   // Appended, not yet forced.
+  std::vector<DeviceRecord> durable_log_;
+  // The home image as an (append-only) record list; RecoverImage folds it.
+  std::vector<DeviceRecord> image_;
+  uint64_t pending_bytes_ = 0;
+  uint64_t durable_bytes_ = 0;
+  uint64_t total_bytes_logged_ = 0;
+  uint64_t forces_ = 0;
+  uint64_t truncations_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_RVM_RAM_DISK_H_

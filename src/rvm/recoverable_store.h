@@ -1,0 +1,57 @@
+// Common interface of the two recoverable virtual memory implementations
+// the paper compares (Section 2.5, Section 4.2):
+//   - rvm::Rvm: the Coda-RVM baseline, where the application must call
+//     set_range() before every modification of recoverable memory;
+//   - rvm::Rlvm: recoverable *logged* virtual memory, where LVM records
+//     every write automatically and set_range() is unnecessary.
+//
+// Applications address recoverable memory through [data_base, data_base +
+// data_size): virtual addresses within the store's recoverable region.
+#ifndef SRC_RVM_RECOVERABLE_STORE_H_
+#define SRC_RVM_RECOVERABLE_STORE_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/sim/cpu.h"
+
+namespace lvm {
+
+class RecoverableStore {
+ public:
+  virtual ~RecoverableStore() = default;
+
+  // First usable recoverable virtual address.
+  virtual VirtAddr data_base() const = 0;
+  // Usable recoverable bytes.
+  virtual uint32_t data_size() const = 0;
+
+  // Transaction boundaries. Transactions do not nest.
+  virtual void Begin(Cpu* cpu) = 0;
+  virtual void Commit(Cpu* cpu) = 0;
+  virtual void Abort(Cpu* cpu) = 0;
+
+  // Declares that [addr, addr + len) is about to be modified. Mandatory
+  // before writes under Rvm; a no-op under Rlvm.
+  virtual void SetRange(Cpu* cpu, VirtAddr addr, uint32_t len) = 0;
+
+  // Recoverable accesses (within a transaction for writes).
+  virtual void Write(Cpu* cpu, VirtAddr addr, uint32_t value, uint8_t size = 4) = 0;
+  virtual uint32_t Read(Cpu* cpu, VirtAddr addr, uint8_t size = 4) = 0;
+
+  // Applies the store's device-log truncation policy; called by drivers
+  // between transactions.
+  virtual void MaybeTruncate(Cpu* cpu) = 0;
+
+  // --- statistics ---
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ protected:
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_RVM_RECOVERABLE_STORE_H_

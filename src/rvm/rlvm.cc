@@ -1,0 +1,98 @@
+#include "src/rvm/rlvm.h"
+
+namespace lvm {
+
+Rlvm::Rlvm(LvmSystem* system, AddressSpace* as, RamDisk* disk, uint32_t size,
+           const RlvmParams& params)
+    : system_(system), disk_(disk), params_(params), as_(as),
+      size_(AlignUp(size + kHeaderBytes, kPageSize)) {
+  image_ = system_->CreateSegment(size_);
+  working_ = system_->CreateSegment(size_);
+  working_->SetSourceSegment(image_);
+  region_ = system_->CreateRegion(working_);
+  base_ = as->BindRegion(region_);
+  log_ = system_->CreateLogSegment();
+  system_->AttachLog(region_, log_);
+}
+
+void Rlvm::Begin(Cpu* cpu) {
+  LVM_CHECK_MSG(!in_transaction_, "transactions do not nest");
+  in_transaction_ = true;
+  ++transaction_counter_;
+  // Write the transaction identifier to the logged control word; the
+  // resulting record attributes everything that follows to this
+  // transaction (Section 2.5).
+  cpu->Write(base_, transaction_counter_);
+}
+
+void Rlvm::SetRange(Cpu* cpu, VirtAddr addr, uint32_t len) {
+  // Nothing to do: this is the point of RLVM.
+  (void)cpu;
+  (void)addr;
+  (void)len;
+}
+
+void Rlvm::Write(Cpu* cpu, VirtAddr addr, uint32_t value, uint8_t size) {
+  LVM_CHECK(in_transaction_);
+  LVM_CHECK_MSG(addr >= data_base() && addr + size <= base_ + size_,
+                "write outside the recoverable store");
+  cpu->Write(addr, value, size);
+}
+
+uint32_t Rlvm::Read(Cpu* cpu, VirtAddr addr, uint8_t size) { return cpu->Read(addr, size); }
+
+void Rlvm::Commit(Cpu* cpu) {
+  LVM_CHECK(in_transaction_);
+  system_->SyncLog(cpu, log_);
+  LogReader reader(system_->memory(), *log_);
+  // Stream the new values to the RAM-disk redo log. The transaction-id
+  // marker record (the write below the data base) maps to the device's
+  // commit marker rather than a data record.
+  disk_->BeginAppend(cpu);
+  for (size_t i = 0; i < reader.size(); ++i) {
+    LogRecord logged = reader.At(i);
+    int32_t page_index = working_->PageIndexOfFrame(logged.addr);
+    LVM_DCHECK(page_index >= 0);
+    uint32_t segment_offset =
+        static_cast<uint32_t>(page_index) * kPageSize + PageOffset(logged.addr);
+    if (segment_offset < kHeaderBytes) {
+      continue;  // Control-word (transaction-id) record.
+    }
+    DeviceRecord record;
+    record.offset = segment_offset - kHeaderBytes;
+    record.value = logged.value;
+    record.size = static_cast<uint8_t>(logged.size);
+    disk_->AppendRecord(cpu, record);
+  }
+  disk_->CommitAndForce(cpu);
+  // Roll the committed image forward and drop the consumed records: the
+  // working segment's deferred-copy source now reflects this transaction.
+  LogApplier applier(system_);
+  applier.ApplyRetargeted(cpu, reader, 0, reader.size(), *working_, image_);
+  // The working copies of the committed data are identical to the image
+  // now, but their lines still shadow it; keep them (they are correct) and
+  // empty the LVM log.
+  system_->TruncateLog(cpu, log_);
+  in_transaction_ = false;
+  ++commits_;
+  ++commits_since_truncate_;
+}
+
+void Rlvm::Abort(Cpu* cpu) {
+  LVM_CHECK(in_transaction_);
+  system_->SyncLog(cpu, log_);
+  // Roll the working segment back to the committed image: no copying.
+  system_->ResetDeferredCopy(cpu, as_, base_, base_ + size_);
+  system_->TruncateLog(cpu, log_);
+  in_transaction_ = false;
+  ++aborts_;
+}
+
+void Rlvm::MaybeTruncate(Cpu* cpu) {
+  if (commits_since_truncate_ >= params_.truncate_interval) {
+    disk_->TruncateToImage(cpu);
+    commits_since_truncate_ = 0;
+  }
+}
+
+}  // namespace lvm

@@ -1,0 +1,81 @@
+// RLVM: recoverable logged virtual memory (Section 2.5).
+//
+// The recoverable segment is mapped through a *logged* region, so every
+// modification is recorded automatically — no set_range() calls, no
+// old-value copies on the write path. The structure is Figure 3's:
+//
+//   committed-image segment  --deferred copy-->  recoverable (working) segment
+//                                                        |  logging
+//                                                        v
+//                                                   LVM log segment
+//
+// The transaction identifier is written to a special logged control word at
+// the start of the region whenever it changes, so log records can be
+// attributed to transactions (Section 2.5). Commit synchronizes with the
+// log, streams the new values to the RAM-disk redo log (the same
+// commit/force/truncate machinery as Rvm — LVM does not reduce those
+// costs, Section 4.2), rolls the committed image forward by applying the
+// records, and truncates the LVM log. Abort is a resetDeferredCopy(): the
+// working segment falls back to the committed image with no copying.
+#ifndef SRC_RVM_RLVM_H_
+#define SRC_RVM_RLVM_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+#include "src/rvm/ram_disk.h"
+#include "src/rvm/recoverable_store.h"
+
+namespace lvm {
+
+struct RlvmParams {
+  // Apply the device log to the home image every this many commits.
+  uint32_t truncate_interval = 64;
+};
+
+class Rlvm : public RecoverableStore {
+ public:
+  Rlvm(LvmSystem* system, AddressSpace* as, RamDisk* disk, uint32_t size,
+       const RlvmParams& params = RlvmParams{});
+
+  VirtAddr data_base() const override { return base_ + kHeaderBytes; }
+  uint32_t data_size() const override { return size_ - kHeaderBytes; }
+
+  void Begin(Cpu* cpu) override;
+  void Commit(Cpu* cpu) override;
+  void Abort(Cpu* cpu) override;
+  // No-op: LVM logs every write automatically.
+  void SetRange(Cpu* cpu, VirtAddr addr, uint32_t len) override;
+  void Write(Cpu* cpu, VirtAddr addr, uint32_t value, uint8_t size = 4) override;
+  uint32_t Read(Cpu* cpu, VirtAddr addr, uint8_t size = 4) override;
+  void MaybeTruncate(Cpu* cpu) override;
+
+  uint32_t current_transaction() const { return transaction_counter_; }
+  LogSegment* log() { return log_; }
+  RamDisk* disk() { return disk_; }
+
+ private:
+  // The control word (transaction id) lives in the first header bytes of
+  // the region; application data follows.
+  static constexpr uint32_t kHeaderBytes = 64;
+
+  LvmSystem* system_;
+  RamDisk* disk_;
+  RlvmParams params_;
+  StdSegment* working_ = nullptr;
+  StdSegment* image_ = nullptr;
+  Region* region_ = nullptr;
+  LogSegment* log_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  VirtAddr base_ = 0;
+  uint32_t size_ = 0;
+  bool in_transaction_ = false;
+  uint32_t transaction_counter_ = 0;
+  uint32_t commits_since_truncate_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_RVM_RLVM_H_

@@ -1,0 +1,102 @@
+#include "src/rvm/rvm.h"
+
+namespace lvm {
+
+Rvm::Rvm(LvmSystem* system, AddressSpace* as, RamDisk* disk, uint32_t size,
+         const RvmParams& params)
+    : system_(system), disk_(disk), params_(params), size_(AlignUp(size, kPageSize)) {
+  StdSegment* segment = system_->CreateSegment(size_);
+  region_ = system_->CreateRegion(segment);
+  base_ = as->BindRegion(region_);
+}
+
+void Rvm::Begin(Cpu* cpu) {
+  LVM_CHECK_MSG(!in_transaction_, "transactions do not nest");
+  cpu->AddCycles(50);  // Transaction descriptor setup.
+  in_transaction_ = true;
+  ranges_.clear();
+}
+
+void Rvm::SetRange(Cpu* cpu, VirtAddr addr, uint32_t len) {
+  LVM_CHECK(in_transaction_);
+  LVM_CHECK_MSG(addr >= base_ && addr + len <= base_ + size_, "set_range outside the store");
+  ++set_range_calls_;
+  cpu->AddCycles(params_.set_range_base_cycles);
+  RangeRecord record;
+  record.addr = addr;
+  record.len = len;
+  record.old_bytes.resize(len);
+  // Save the old values so the transaction can be undone.
+  for (uint32_t i = 0; i < len; ++i) {
+    record.old_bytes[i] = static_cast<uint8_t>(cpu->Read(addr + i, 1));
+  }
+  cpu->AddCycles(static_cast<Cycles>((len + 3) / 4) * params_.undo_copy_word_cycles);
+  ranges_.push_back(std::move(record));
+}
+
+bool Rvm::Covered(VirtAddr addr, uint8_t size) const {
+  for (const RangeRecord& range : ranges_) {
+    if (addr >= range.addr && addr + size <= range.addr + range.len) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Rvm::Write(Cpu* cpu, VirtAddr addr, uint32_t value, uint8_t size) {
+  LVM_CHECK(in_transaction_);
+  if (!Covered(addr, size)) {
+    // The modification will not be undone or redone: a latent bug the
+    // programmer gets no warning about (Section 2.7).
+    ++unprotected_writes_;
+  }
+  cpu->Write(addr, value, size);
+}
+
+uint32_t Rvm::Read(Cpu* cpu, VirtAddr addr, uint8_t size) { return cpu->Read(addr, size); }
+
+void Rvm::Commit(Cpu* cpu) {
+  LVM_CHECK(in_transaction_);
+  // Gather new values of every registered range into the redo log.
+  disk_->BeginAppend(cpu);
+  for (const RangeRecord& range : ranges_) {
+    cpu->AddCycles(static_cast<Cycles>((range.len + 3) / 4) * params_.redo_gather_word_cycles);
+    for (uint32_t done = 0; done < range.len;) {
+      auto size = static_cast<uint8_t>(range.len - done >= 4 ? 4 : range.len - done);
+      DeviceRecord record;
+      record.offset = range.addr + done - base_;
+      record.size = size;
+      record.value = cpu->Read(range.addr + done, size);
+      disk_->AppendRecord(cpu, record);
+      done += size;
+    }
+  }
+  disk_->CommitAndForce(cpu);
+  ranges_.clear();
+  in_transaction_ = false;
+  ++commits_;
+  ++commits_since_truncate_;
+}
+
+void Rvm::Abort(Cpu* cpu) {
+  LVM_CHECK(in_transaction_);
+  // Restore the old values, newest range first.
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    for (uint32_t i = 0; i < it->len; ++i) {
+      cpu->Write(it->addr + i, it->old_bytes[i], 1);
+    }
+    cpu->AddCycles(static_cast<Cycles>((it->len + 3) / 4) * params_.undo_apply_word_cycles);
+  }
+  ranges_.clear();
+  in_transaction_ = false;
+  ++aborts_;
+}
+
+void Rvm::MaybeTruncate(Cpu* cpu) {
+  if (commits_since_truncate_ >= params_.truncate_interval) {
+    disk_->TruncateToImage(cpu);
+    commits_since_truncate_ = 0;
+  }
+}
+
+}  // namespace lvm

@@ -1,0 +1,57 @@
+// Shared system bus: arbitration timing plus write snooping.
+//
+// The bus is a single shared resource. A transaction requested at `ready`
+// is granted at max(ready, next_free) and occupies the bus for its busy
+// time. Registered snoopers (the bus logger) observe every write together
+// with the page-mapping-controlled "logged" signal, exactly as the
+// prototype's logger snoops the ParaDiGM bus (Section 3.1).
+#ifndef SRC_SIM_BUS_H_
+#define SRC_SIM_BUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/sim/interfaces.h"
+
+namespace lvm {
+
+class Bus {
+ public:
+  // Acquires the bus for `busy` cycles no earlier than `ready`. Returns the
+  // grant time.
+  Cycles Acquire(Cycles ready, uint32_t busy) {
+    Cycles grant = ready > next_free_ ? ready : next_free_;
+    next_free_ = grant + busy;
+    busy_cycles_ += busy;
+    ++transactions_;
+    return grant;
+  }
+
+  // Issues a write transaction: acquires the bus and notifies snoopers.
+  // Returns the grant time.
+  Cycles Write(Cycles ready, uint32_t busy, PhysAddr paddr, uint32_t value, uint8_t size,
+               bool logged, int cpu_id) {
+    Cycles grant = Acquire(ready, busy);
+    for (BusSnooper* snooper : snoopers_) {
+      snooper->OnBusWrite(paddr, value, size, logged, grant, cpu_id);
+    }
+    return grant;
+  }
+
+  void AddSnooper(BusSnooper* snooper) { snoopers_.push_back(snooper); }
+
+  Cycles next_free() const { return next_free_; }
+  uint64_t busy_cycles() const { return busy_cycles_; }
+  uint64_t transactions() const { return transactions_; }
+
+ private:
+  std::vector<BusSnooper*> snoopers_;
+  Cycles next_free_ = 0;
+  uint64_t busy_cycles_ = 0;
+  uint64_t transactions_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_SIM_BUS_H_

@@ -1,0 +1,111 @@
+#include "src/sim/cpu.h"
+
+namespace lvm {
+
+namespace {
+// Sentinel for an empty on-chip tag slot.
+constexpr PhysAddr kInvalidTag = ~PhysAddr{0};
+}  // namespace
+
+Cpu::Cpu(int id, const MachineParams* params, Bus* bus, L2Cache* l2, PhysicalMemory* memory)
+    : id_(id),
+      params_(params),
+      bus_(bus),
+      l2_(l2),
+      memory_(memory),
+      l1_tags_(params->l1_data_lines, kInvalidTag) {}
+
+Translation Cpu::TranslateOrFault(VirtAddr va, AccessKind access) {
+  LVM_CHECK_MSG(translator_ != nullptr, "no address space bound to CPU");
+  Translation translation;
+  if (translator_->Translate(va, access, &translation)) {
+    return translation;
+  }
+  ++page_faults_;
+  LVM_CHECK_MSG(fault_handler_ != nullptr, "page fault with no handler installed");
+  bool resolved = fault_handler_->OnPageFault(this, va, access);
+  LVM_CHECK_MSG(resolved, "unresolvable page fault (bad address)");
+  bool mapped = translator_->Translate(va, access, &translation);
+  LVM_CHECK_MSG(mapped, "page fault handler did not establish the mapping");
+  return translation;
+}
+
+uint32_t Cpu::Read(VirtAddr va, uint8_t size) {
+  ++reads_;
+  Translation translation = TranslateOrFault(va, AccessKind::kRead);
+  now_ += ChargeRead(translation.paddr);
+  return l2_->Read(translation.paddr, size);
+}
+
+uint32_t Cpu::ChargeRead(PhysAddr paddr) {
+  PhysAddr line = LineBase(paddr);
+  size_t index = (line >> kLineShift) % l1_tags_.size();
+  if (l1_tags_[index] == line) {
+    return params_->l1_read_hit_cycles;
+  }
+  l1_tags_[index] = line;
+  if (l2_->Contains(paddr)) {
+    // Block fill from the second-level cache over the bus.
+    bus_->Acquire(now_, params_->cache_block_write_bus);
+    return params_->l2_read_hit_cycles;
+  }
+  l2_->Touch(paddr);
+  bus_->Acquire(now_, params_->cache_block_write_bus);
+  return params_->memory_read_cycles;
+}
+
+void Cpu::Write(VirtAddr va, uint32_t value, uint8_t size) {
+  ++writes_;
+  Translation translation = TranslateOrFault(va, AccessKind::kWrite);
+  if (translation.logged) {
+    ++logged_writes_;
+  }
+  if (translation.write_through) {
+    WriteThrough(translation.paddr, value, size, translation.logged);
+  } else {
+    now_ += params_->unlogged_write_cycles;
+  }
+  if (translation.logged && log_sink_ != nullptr) {
+    log_sink_->OnLoggedWrite(this, va, translation.paddr, value, size);
+  }
+  l2_->Write(translation.paddr, value, size);
+}
+
+void Cpu::WriteThrough(PhysAddr paddr, uint32_t value, uint8_t size, bool logged) {
+  // Retire buffered writes whose bus transactions completed.
+  while (!write_buffer_.empty() && write_buffer_.front() <= now_) {
+    write_buffer_.pop_front();
+  }
+  // Stall when the buffer is full (Section 4.5.2: the write-through penalty
+  // grows with the burst size the buffer cannot absorb).
+  if (write_buffer_.size() >= params_->write_buffer_depth) {
+    AdvanceTo(write_buffer_.front());
+    write_buffer_.pop_front();
+  }
+  // CPU-side cost of issuing the buffered write, then the bus transfer
+  // drains in the background (Table 2: 6 cycles total, 5 of them bus).
+  now_ += params_->word_write_through_total - params_->word_write_through_bus;
+  Cycles grant = bus_->Write(now_, params_->word_write_through_bus, paddr, value, size, logged,
+                             id_);
+  write_buffer_.push_back(grant + params_->word_write_through_bus);
+}
+
+void Cpu::DrainWriteBuffer() {
+  if (!write_buffer_.empty()) {
+    AdvanceTo(write_buffer_.back());
+    write_buffer_.clear();
+  }
+}
+
+void Cpu::InvalidateL1Page(PhysAddr page_base) {
+  page_base = PageBase(page_base);
+  for (uint32_t i = 0; i < kLinesPerPage; ++i) {
+    PhysAddr line = page_base + i * kLineSize;
+    size_t index = (line >> kLineShift) % l1_tags_.size();
+    if (l1_tags_[index] == line) {
+      l1_tags_[index] = kInvalidTag;
+    }
+  }
+}
+
+}  // namespace lvm

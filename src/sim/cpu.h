@@ -1,0 +1,114 @@
+// Simulated processor: a cycle-accounted 25 MHz 68040-class CPU.
+//
+// Workloads drive the machine through Read / Write / Compute. Every call
+// advances this CPU's cycle clock by the modeled cost:
+//   - writes to logged (write-through) pages enter a small write buffer and
+//     issue word transactions on the system bus, where the logger snoops
+//     them; the CPU stalls when the buffer is full (Section 4.5.2);
+//   - writes to ordinary copyback pages cost MachineParams::
+//     unlogged_write_cycles (the on-chip cache absorbs them);
+//   - reads hit the modeled on-chip data cache (timing-only direct-mapped
+//     tag array), the second-level cache, or memory.
+//
+// Translation faults call into the installed PageFaultHandler (the kernel),
+// which charges its own cost and establishes the mapping; the access is then
+// retried.
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/sim/bus.h"
+#include "src/sim/interfaces.h"
+#include "src/sim/l2_cache.h"
+#include "src/sim/params.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+class Cpu {
+ public:
+  Cpu(int id, const MachineParams* params, Bus* bus, L2Cache* l2, PhysicalMemory* memory);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  int id() const { return id_; }
+  Cycles now() const { return now_; }
+
+  // The VM layer installs these before the CPU touches memory.
+  void set_translator(AddressTranslator* translator) { translator_ = translator; }
+  void set_fault_handler(PageFaultHandler* handler) { fault_handler_ = handler; }
+  // Optional on-chip logging hook (Section 4.6); nullptr for the bus logger.
+  void set_log_sink(LoggedWriteSink* sink) { log_sink_ = sink; }
+
+  // Spends `cycles` of pure computation. Buffered write-throughs drain in
+  // the background during this time.
+  void Compute(Cycles cycles) { now_ += cycles; }
+
+  // Advances the clock to `time` if it is in the future (used by the kernel
+  // to model suspensions and interrupt handling).
+  void AdvanceTo(Cycles time) {
+    if (time > now_) {
+      stall_cycles_ += time - now_;
+      now_ = time;
+    }
+  }
+  // Charges `cycles` of kernel overhead to this CPU.
+  void AddCycles(Cycles cycles) { now_ += cycles; }
+
+  // Loads `size` (1, 2, or 4) bytes at virtual address `va`.
+  uint32_t Read(VirtAddr va, uint8_t size = 4);
+  // Stores the low `size` bytes of `value` at virtual address `va`.
+  void Write(VirtAddr va, uint32_t value, uint8_t size = 4);
+
+  // Blocks until every buffered write-through has issued on the bus.
+  void DrainWriteBuffer();
+
+  // Timing-only invalidation of on-chip lines for a physical page; used by
+  // resetDeferredCopy so post-rollback reads refill.
+  void InvalidateL1Page(PhysAddr page_base);
+
+  // --- statistics ---
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t logged_writes() const { return logged_writes_; }
+  uint64_t stall_cycles() const { return stall_cycles_; }
+  uint64_t page_faults() const { return page_faults_; }
+
+ private:
+  Translation TranslateOrFault(VirtAddr va, AccessKind access);
+  void WriteThrough(PhysAddr paddr, uint32_t value, uint8_t size, bool logged);
+  uint32_t ChargeRead(PhysAddr paddr);
+
+  const int id_;
+  const MachineParams* params_;
+  Bus* bus_;
+  L2Cache* l2_;
+  PhysicalMemory* memory_;
+  AddressTranslator* translator_ = nullptr;
+  PageFaultHandler* fault_handler_ = nullptr;
+  LoggedWriteSink* log_sink_ = nullptr;
+
+  Cycles now_ = 0;
+
+  // Completion (bus-drain) times of buffered write-through words.
+  std::deque<Cycles> write_buffer_;
+
+  // Direct-mapped on-chip data-cache tag array (timing only).
+  std::vector<PhysAddr> l1_tags_;
+
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t logged_writes_ = 0;
+  uint64_t stall_cycles_ = 0;
+  uint64_t page_faults_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_SIM_CPU_H_

@@ -1,0 +1,84 @@
+// Interfaces decoupling the machine model from the virtual memory system and
+// the bus logger. `sim` depends only on `base`; the VM layer implements
+// AddressTranslator / PageFaultHandler / DeferredCopyPolicy, and the logger
+// implements BusSnooper.
+#ifndef SRC_SIM_INTERFACES_H_
+#define SRC_SIM_INTERFACES_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace lvm {
+
+class Cpu;
+
+enum class AccessKind : uint8_t { kRead, kWrite };
+
+// Outcome of a virtual-to-physical translation.
+struct Translation {
+  PhysAddr paddr = 0;
+  // Logged pages run the on-chip cache in write-through mode so every write
+  // appears on the system bus (Section 3.2).
+  bool write_through = false;
+  // Asserts the bus signal that tells the logger to capture this write. In
+  // the prototype this is controlled by the page mapping (Section 3.1).
+  bool logged = false;
+};
+
+// Virtual-to-physical translation, implemented by the VM system.
+class AddressTranslator {
+ public:
+  virtual ~AddressTranslator() = default;
+  // Returns true and fills `out` when `va` is mapped with sufficient access;
+  // returns false to signal a page fault.
+  virtual bool Translate(VirtAddr va, AccessKind access, Translation* out) = 0;
+};
+
+// Kernel page-fault entry point.
+class PageFaultHandler {
+ public:
+  virtual ~PageFaultHandler() = default;
+  // Resolves the fault so that a retried translation succeeds. Returns false
+  // for an unresolvable fault (an application addressing error).
+  virtual bool OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) = 0;
+};
+
+// Observes every write that appears on the system bus.
+class BusSnooper {
+ public:
+  virtual ~BusSnooper() = default;
+  // `logged` is the page-mapping-controlled bus signal; `time` is the bus
+  // grant time of the write; `cpu_id` identifies the writing processor.
+  virtual void OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bool logged,
+                          Cycles time, int cpu_id) = 0;
+};
+
+// Receives logged writes with their *virtual* address at the CPU, before
+// they reach the bus. This is the integration point for the next-generation
+// on-chip logger of Section 4.6 (logging inside the CPU's VM unit); the
+// prototype's bus logger instead snoops physical addresses via BusSnooper.
+class LoggedWriteSink {
+ public:
+  virtual ~LoggedWriteSink() = default;
+  virtual void OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t value,
+                             uint8_t size) = 0;
+};
+
+// Resolves deferred-copy indirection for the second-level cache (Section
+// 3.3). The default behaviour is the identity (no deferred copy).
+class DeferredCopyPolicy {
+ public:
+  virtual ~DeferredCopyPolicy() = default;
+  // Physical address whose memory holds the current datum for `paddr` when
+  // the second-level cache line is not dirty: the deferred-copy source, the
+  // destination itself once the line has been written back, or the identity.
+  virtual PhysAddr ResolveClean(PhysAddr paddr) { return paddr; }
+  // A dirty line is being written back to its destination address; loads of
+  // that line must come from the destination from now on.
+  virtual void OnLineWriteback(PhysAddr line_paddr) { (void)line_paddr; }
+};
+
+}  // namespace lvm
+
+#endif  // SRC_SIM_INTERFACES_H_

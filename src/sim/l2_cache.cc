@@ -1,0 +1,128 @@
+#include "src/sim/l2_cache.h"
+
+namespace lvm {
+
+namespace {
+PhysAddr Identity(PhysAddr paddr) { return paddr; }
+}  // namespace
+
+uint32_t L2Cache::Read(PhysAddr paddr, uint8_t size) const {
+  LVM_DCHECK(paddr % size == 0);
+  PhysAddr line = LineBase(paddr);
+  auto it = lines_.find(line);
+  if (it != lines_.end() && it->second.dirty) {
+    return memory_->Read(paddr, size);
+  }
+  PhysAddr resolved = policy_ != nullptr ? policy_->ResolveClean(paddr) : Identity(paddr);
+  return memory_->Read(resolved, size);
+}
+
+void L2Cache::Write(PhysAddr paddr, uint32_t value, uint8_t size) {
+  LVM_DCHECK(paddr % size == 0);
+  PhysAddr line = LineBase(paddr);
+  LineState& state = lines_[line];
+  if (!state.dirty) {
+    if (policy_ != nullptr) {
+      PhysAddr source_line = policy_->ResolveClean(line);
+      if (source_line != line) {
+        // Line fill from the deferred-copy source before the partial write.
+        memory_->CopyBlock(line, source_line, kLineSize);
+        ++fills_;
+      }
+    }
+    MarkDirty(line, &state);
+  }
+  memory_->Write(paddr, value, size);
+}
+
+void L2Cache::Touch(PhysAddr paddr) {
+  PhysAddr line = LineBase(paddr);
+  lines_.try_emplace(line);
+  ++fills_;
+}
+
+L2Cache::PageOpResult L2Cache::FlushPage(PhysAddr page_base) {
+  page_base = PageBase(page_base);
+  PageOpResult result;
+  for (uint32_t i = 0; i < kLinesPerPage; ++i) {
+    PhysAddr line = page_base + i * kLineSize;
+    auto it = lines_.find(line);
+    if (it == lines_.end()) {
+      continue;
+    }
+    ++result.lines_present;
+    if (it->second.dirty) {
+      ++result.dirty_lines;
+      ++writebacks_;
+      if (policy_ != nullptr) {
+        policy_->OnLineWriteback(line);
+      }
+      MarkClean(line, &it->second);
+    }
+  }
+  return result;
+}
+
+L2Cache::PageOpResult L2Cache::InvalidatePage(PhysAddr page_base) {
+  page_base = PageBase(page_base);
+  PageOpResult result;
+  for (uint32_t i = 0; i < kLinesPerPage; ++i) {
+    PhysAddr line = page_base + i * kLineSize;
+    auto it = lines_.find(line);
+    if (it == lines_.end()) {
+      continue;
+    }
+    ++result.lines_present;
+    if (it->second.dirty) {
+      ++result.dirty_lines;
+      MarkClean(line, &it->second);
+    }
+    lines_.erase(it);
+  }
+  return result;
+}
+
+bool L2Cache::FlushLine(PhysAddr paddr) {
+  PhysAddr line = LineBase(paddr);
+  auto it = lines_.find(line);
+  if (it == lines_.end() || !it->second.dirty) {
+    return false;
+  }
+  ++writebacks_;
+  if (policy_ != nullptr) {
+    policy_->OnLineWriteback(line);
+  }
+  MarkClean(line, &it->second);
+  return true;
+}
+
+bool L2Cache::InvalidateLine(PhysAddr paddr) {
+  PhysAddr line = LineBase(paddr);
+  auto it = lines_.find(line);
+  if (it == lines_.end()) {
+    return false;
+  }
+  MarkClean(line, &it->second);
+  lines_.erase(it);
+  return true;
+}
+
+void L2Cache::MarkDirty(PhysAddr line, LineState* state) {
+  if (!state->dirty) {
+    state->dirty = true;
+    ++dirty_lines_in_page_[PageBase(line)];
+  }
+}
+
+void L2Cache::MarkClean(PhysAddr line, LineState* state) {
+  if (state->dirty) {
+    state->dirty = false;
+    auto it = dirty_lines_in_page_.find(PageBase(line));
+    LVM_DCHECK(it != dirty_lines_in_page_.end() && it->second > 0);
+    if (--it->second == 0) {
+      dirty_lines_in_page_.erase(it);
+    }
+  }
+}
+
+}  // namespace lvm

@@ -1,0 +1,117 @@
+// Second-level cache model.
+//
+// The prototype's 4 MB board-level cache sits between the CPUs and memory
+// and implements the deferred-copy mechanism: each line carries a source
+// address, lines of a deferred-copy destination fill from the source
+// segment, and a written-back line's source is reset to the destination so
+// later loads come from the destination (Section 3.3, after VMP).
+//
+// The model keeps the *data* authoritative in PhysicalMemory and tracks
+// per-line presence/dirtiness here:
+//   - a write to a non-dirty line first "fills" the line by copying the
+//     16-byte block from its resolved source into the destination memory,
+//     then applies the write and marks the line dirty;
+//   - reads of a dirty line come from the destination memory; reads of a
+//     clean line resolve through the DeferredCopyPolicy (source segment
+//     until the line has been written back);
+//   - FlushPage writes dirty lines back (notifying the policy, which flips
+//     the line's source to the destination); InvalidatePage drops lines
+//     without writeback, which is what makes resetDeferredCopy() free of
+//     copying.
+//
+// The cache is modeled with unbounded capacity: the prototype's 4 MB cache
+// comfortably holds the largest (2 MB) segments the paper evaluates, so
+// natural evictions do not occur in any experiment. Timing for fills,
+// writebacks and invalidations is charged by the callers using
+// MachineParams.
+#ifndef SRC_SIM_L2_CACHE_H_
+#define SRC_SIM_L2_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/sim/interfaces.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+class L2Cache {
+ public:
+  explicit L2Cache(PhysicalMemory* memory) : memory_(memory) {}
+
+  // Installs the deferred-copy resolution policy (owned by the VM layer).
+  // Passing nullptr restores identity resolution.
+  void set_policy(DeferredCopyPolicy* policy) { policy_ = policy; }
+
+  // Functional read honoring deferred-copy resolution. `paddr` must be
+  // naturally aligned for `size`.
+  uint32_t Read(PhysAddr paddr, uint8_t size) const;
+
+  // Functional write: fill-on-write for deferred lines, marks the line
+  // dirty, stores to destination memory.
+  void Write(PhysAddr paddr, uint32_t value, uint8_t size);
+
+  // Presence tracking for hit/miss timing.
+  bool Contains(PhysAddr paddr) const {
+    return lines_.find(LineBase(paddr)) != lines_.end();
+  }
+  // Installs a (clean) line after a fill, unless already present.
+  void Touch(PhysAddr paddr);
+
+  bool LineDirty(PhysAddr paddr) const {
+    auto it = lines_.find(LineBase(paddr));
+    return it != lines_.end() && it->second.dirty;
+  }
+
+  // O(1) per-page dirty check: the prototype checks the per-page dirty bit
+  // rather than inspecting every line's tags (Section 3.3).
+  bool PageDirty(PhysAddr page_base) const {
+    auto it = dirty_lines_in_page_.find(PageBase(page_base));
+    return it != dirty_lines_in_page_.end() && it->second > 0;
+  }
+
+  struct PageOpResult {
+    uint32_t lines_present = 0;
+    uint32_t dirty_lines = 0;
+  };
+
+  // Writes back every dirty line of the page (policy notified per line) and
+  // leaves lines present but clean.
+  PageOpResult FlushPage(PhysAddr page_base);
+
+  // Drops every line of the page without writeback. Dirty data is discarded
+  // (the essence of resetDeferredCopy).
+  PageOpResult InvalidatePage(PhysAddr page_base);
+
+  // Writes back a single dirty line, if dirty. Returns true if a writeback
+  // happened.
+  bool FlushLine(PhysAddr paddr);
+
+  // Drops a single line without writeback (dirty data discarded). Returns
+  // true if the line was present.
+  bool InvalidateLine(PhysAddr paddr);
+
+  uint64_t fills() const { return fills_; }
+  uint64_t writebacks() const { return writebacks_; }
+
+ private:
+  struct LineState {
+    bool dirty = false;
+  };
+
+  void MarkDirty(PhysAddr line, LineState* state);
+  void MarkClean(PhysAddr line, LineState* state);
+
+  PhysicalMemory* memory_;
+  DeferredCopyPolicy* policy_ = nullptr;
+  std::unordered_map<PhysAddr, LineState> lines_;
+  std::unordered_map<PhysAddr, uint32_t> dirty_lines_in_page_;
+  uint64_t fills_ = 0;
+  uint64_t writebacks_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_SIM_L2_CACHE_H_

@@ -1,0 +1,58 @@
+// The simulated ParaDiGM machine: CPUs, system bus, second-level cache and
+// physical memory, owned together and wired up.
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/sim/bus.h"
+#include "src/sim/cpu.h"
+#include "src/sim/l2_cache.h"
+#include "src/sim/params.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+class Machine {
+ public:
+  // Creates a machine with `memory_size` bytes of physical memory (page
+  // aligned) and `num_cpus` processors. The prototype has four.
+  explicit Machine(const MachineParams& params, uint32_t memory_size = 64u << 20,
+                   int num_cpus = 1)
+      : params_(params), memory_(memory_size), l2_(&memory_) {
+    LVM_CHECK(num_cpus >= 1);
+    cpus_.reserve(static_cast<size_t>(num_cpus));
+    for (int i = 0; i < num_cpus; ++i) {
+      cpus_.push_back(std::make_unique<Cpu>(i, &params_, &bus_, &l2_, &memory_));
+    }
+  }
+
+  const MachineParams& params() const { return params_; }
+  PhysicalMemory& memory() { return memory_; }
+  Bus& bus() { return bus_; }
+  L2Cache& l2() { return l2_; }
+  Cpu& cpu(int i = 0) { return *cpus_.at(static_cast<size_t>(i)); }
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+
+  // Invalidates the on-chip tags for `page_base` on every CPU (used when the
+  // deferred-copy mapping of a page changes underneath the caches).
+  void InvalidateL1PageAllCpus(PhysAddr page_base) {
+    for (auto& cpu : cpus_) {
+      cpu->InvalidateL1Page(page_base);
+    }
+  }
+
+ private:
+  MachineParams params_;
+  PhysicalMemory memory_;
+  Bus bus_;
+  L2Cache l2_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_SIM_MACHINE_H_

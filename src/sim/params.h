@@ -1,0 +1,109 @@
+// Machine cost model for the simulated ParaDiGM multiprocessor.
+//
+// Every timing constant the benchmarks depend on lives here. The defaults
+// reproduce the prototype of the paper: four 25 MHz 68040s sharing a system
+// bus with a 4 MB second-level cache and the FPGA bus logger. Table 2 of the
+// paper calibrates the three bus operations; the remaining values are set so
+// the measured shapes of Figures 7-12 hold (see DESIGN.md section 5 and
+// EXPERIMENTS.md for the derivations).
+#ifndef SRC_SIM_PARAMS_H_
+#define SRC_SIM_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace lvm {
+
+struct MachineParams {
+  // --- Clock ---
+  // 25 MHz CPU clock: one cycle is 40 ns.
+  uint32_t cycle_ns = 40;
+  // Log record timestamps tick at 6.25 MHz, i.e. once every 4 CPU cycles.
+  uint32_t timestamp_divider = 4;
+
+  // --- Table 2: basic machine operations ---
+  // Word write in write-through mode (logged pages): total / bus portion.
+  uint32_t word_write_through_total = 6;
+  uint32_t word_write_through_bus = 5;
+  // Cache block (16-byte line) write to the bus: total / bus portion.
+  uint32_t cache_block_write_total = 9;
+  uint32_t cache_block_write_bus = 8;
+  // DMA of one 16-byte log record into memory: total / bus portion.
+  uint32_t log_record_dma_total = 18;
+  uint32_t log_record_dma_bus = 8;
+
+  // --- CPU-side memory costs ---
+  // Effective cost of a write to an unlogged (copyback-cached) page. The
+  // 68040's on-chip cache absorbs these; writebacks overlap with computation.
+  uint32_t unlogged_write_cycles = 2;
+  // Read hitting the on-chip cache.
+  uint32_t l1_read_hit_cycles = 1;
+  // Read missing on-chip but hitting the second-level cache (block fill).
+  uint32_t l2_read_hit_cycles = 9;
+  // Read missing both caches (main-memory block fetch).
+  uint32_t memory_read_cycles = 24;
+  // Number of outstanding write-through words the CPU write buffer absorbs
+  // before the processor stalls. Section 4.5.2: the write-through penalty
+  // grows with the burst size because the prototype's buffer is small.
+  uint32_t write_buffer_depth = 2;
+  // On-chip data cache modeled for read timing: 8 KB split I/D, so 4 KB of
+  // data lines (256 direct-mapped 16-byte lines).
+  uint32_t l1_data_lines = 256;
+
+  // --- Kernel costs ---
+  // Page-fault handling (allocate frame, map, logger table loads).
+  uint32_t page_fault_cycles = 800;
+  // Kernel share of a logging fault (reload mapping / advance log tail).
+  uint32_t logging_fault_cpu_cycles = 400;
+  // Logger pipeline stall while the kernel services a logging fault.
+  uint32_t logging_fault_logger_stall = 100;
+  // Kernel cost of an overload interrupt: suspend every logging process,
+  // then resume them once the FIFOs drain. Section 4.5.3 measures the whole
+  // overload event at more than 30,000 cycles; the drain itself accounts for
+  // the rest (fifo_overload_threshold * log_record_dma_total).
+  uint32_t overload_kernel_cycles = 21000;
+
+  // --- Bus logger (Section 3.1) ---
+  // FIFO capacity in entries and the occupancy that triggers overload.
+  uint32_t logger_fifo_capacity = 819;
+  uint32_t logger_fifo_threshold = 512;
+  // End-to-end service time per record while the CPUs are running: the
+  // FPGA logger's snoop -> lookup -> record FIFO -> DMA pipeline, contended
+  // by CPU bus traffic. Section 4.5.3: overload is avoided as long as there
+  // is no more than one logged write per 27 compute cycles on average; this
+  // also yields Figure 7's drop-off below c ~= 200 for w = 8 and Figure
+  // 12's overload events vanishing around c ~= 30 for l = 1.
+  uint32_t logger_service_active_cycles = 27;
+  // Service time per record while the processors are suspended for an
+  // overload drain: the DMA rate of Table 2.
+  uint32_t logger_service_drain_cycles = 18;
+
+  // Kernel cost of applying one log record to a segment during roll-forward
+  // or checkpoint update (read the record, store the datum, loop).
+  uint32_t log_apply_record_cycles = 16;
+  // Base kernel cost of truncating a log segment.
+  uint32_t log_truncate_base_cycles = 300;
+
+  // --- Deferred copy (Section 3.3, Figure 9) ---
+  // resetDeferredCopy() per-page cost applied to every page in the range:
+  // reset the per-page source mapping and check the dirty bit.
+  uint32_t reset_page_cycles = 340;
+  // Additional per-dirty-page cost (locate the page's lines).
+  uint32_t reset_dirty_page_cycles = 256;
+  // Per-line cost of invalidating a modified line and resetting its source.
+  uint32_t reset_dirty_line_cycles = 24;
+  // bcopy() cost per 16-byte block: block read plus block write.
+  uint32_t bcopy_block_cycles = 18;
+
+  // --- Simplifications (see DESIGN.md) ---
+  // When true, log-record DMA arbitrates for the system bus against CPU
+  // traffic. Off by default: the experiments' effects do not hinge on
+  // DMA-versus-CPU contention, and lazy logger draining makes strict
+  // interleaving approximate anyway.
+  bool dma_contends_bus = false;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_SIM_PARAMS_H_

@@ -1,0 +1,70 @@
+// Simulated physical memory: a flat byte array with word and block accessors.
+#ifndef SRC_SIM_PHYS_MEM_H_
+#define SRC_SIM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+
+namespace lvm {
+
+class PhysicalMemory {
+ public:
+  // `size` must be page aligned.
+  explicit PhysicalMemory(uint32_t size) : bytes_(size) {
+    LVM_CHECK(size % kPageSize == 0);
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+
+  // Reads `size` (1, 2, or 4) bytes at `paddr`, zero extended.
+  uint32_t Read(PhysAddr paddr, uint8_t size) const {
+    CheckRange(paddr, size);
+    uint32_t value = 0;
+    std::memcpy(&value, &bytes_[paddr], size);
+    return value;
+  }
+
+  // Writes the low `size` (1, 2, or 4) bytes of `value` at `paddr`.
+  void Write(PhysAddr paddr, uint32_t value, uint8_t size) {
+    CheckRange(paddr, size);
+    std::memcpy(&bytes_[paddr], &value, size);
+  }
+
+  // Bulk accessors for block transfers (cache fills, DMA, bcopy).
+  void ReadBlock(PhysAddr paddr, void* out, uint32_t len) const {
+    CheckRange(paddr, len);
+    std::memcpy(out, &bytes_[paddr], len);
+  }
+  void WriteBlock(PhysAddr paddr, const void* data, uint32_t len) {
+    CheckRange(paddr, len);
+    std::memcpy(&bytes_[paddr], data, len);
+  }
+  void CopyBlock(PhysAddr dst, PhysAddr src, uint32_t len) {
+    CheckRange(dst, len);
+    CheckRange(src, len);
+    std::memmove(&bytes_[dst], &bytes_[src], len);
+  }
+  void Zero(PhysAddr paddr, uint32_t len) {
+    CheckRange(paddr, len);
+    std::memset(&bytes_[paddr], 0, len);
+  }
+
+  const uint8_t* raw(PhysAddr paddr) const { return &bytes_[paddr]; }
+  uint8_t* raw_mutable(PhysAddr paddr) { return &bytes_[paddr]; }
+
+ private:
+  void CheckRange(PhysAddr paddr, uint32_t len) const {
+    LVM_CHECK_MSG(static_cast<uint64_t>(paddr) + len <= bytes_.size(),
+                  "physical address out of range");
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_SIM_PHYS_MEM_H_

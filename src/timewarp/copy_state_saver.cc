@@ -1,0 +1,106 @@
+#include "src/timewarp/copy_state_saver.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+namespace {
+// Save-buffer capacity. A ring: checkpoint advances recycle space.
+constexpr uint32_t kSaveAreaBytes = 2u << 20;
+}  // namespace
+
+StateSaver::StateLayout CopyStateSaver::Setup(LvmSystem* system, AddressSpace* as,
+                                              uint32_t bytes) {
+  system_ = system;
+  as_ = as;
+  state_ = system->CreateSegment(AlignUp(bytes, kPageSize));
+  state_region_ = system->CreateRegion(state_);
+  state_base_ = as->BindRegion(state_region_);
+  save_area_ = system->CreateSegment(kSaveAreaBytes);
+  save_capacity_ = kSaveAreaBytes;
+  return StateLayout{.state_base = state_base_, .init_base = state_base_};
+}
+
+void CopyStateSaver::CopyOut(Cpu* cpu, VirtAddr object_va, uint32_t save_offset,
+                             uint32_t len) {
+  uint32_t state_offset = object_va - state_base_;
+  for (uint32_t done = 0; done < len;) {
+    uint32_t src = state_offset + done;
+    uint32_t dst = save_offset + done;
+    uint32_t chunk = len - done;
+    chunk = std::min(chunk, kPageSize - PageOffset(src));
+    chunk = std::min(chunk, kPageSize - PageOffset(dst));
+    PhysAddr src_frame = system_->EnsureSegmentPage(state_, PageNumber(src));
+    PhysAddr dst_frame = system_->EnsureSegmentPage(save_area_, PageNumber(dst));
+    system_->memory().CopyBlock(dst_frame + PageOffset(dst), src_frame + PageOffset(src),
+                                chunk);
+    done += chunk;
+  }
+  cpu->AddCycles(static_cast<Cycles>((len + kLineSize - 1) / kLineSize) *
+                 system_->machine().params().bcopy_block_cycles);
+}
+
+void CopyStateSaver::CopyBack(Cpu* cpu, uint32_t save_offset, VirtAddr object_va,
+                              uint32_t len) {
+  uint32_t state_offset = object_va - state_base_;
+  for (uint32_t done = 0; done < len;) {
+    uint32_t src = save_offset + done;
+    uint32_t dst = state_offset + done;
+    uint32_t chunk = len - done;
+    chunk = std::min(chunk, kPageSize - PageOffset(src));
+    chunk = std::min(chunk, kPageSize - PageOffset(dst));
+    PhysAddr src_frame = system_->EnsureSegmentPage(save_area_, PageNumber(src));
+    PhysAddr dst_frame = system_->EnsureSegmentPage(state_, PageNumber(dst));
+    // Restore through the cache so line state stays coherent.
+    for (uint32_t i = 0; i < chunk; i += 4) {
+      uint32_t value = system_->memory().Read(src_frame + PageOffset(src) + i, 4);
+      system_->machine().l2().Write(dst_frame + PageOffset(dst) + i, value, 4);
+    }
+    done += chunk;
+  }
+  cpu->AddCycles(static_cast<Cycles>((len + kLineSize - 1) / kLineSize) *
+                 system_->machine().params().bcopy_block_cycles);
+}
+
+void CopyStateSaver::BeforeEvent(Cpu* cpu, const Event& event, VirtAddr object_va,
+                                 uint32_t object_size) {
+  // Allocate a save slot (wrapping ring).
+  if (next_save_offset_ + object_size > save_capacity_) {
+    next_save_offset_ = 0;
+  }
+  if (!saves_.empty()) {
+    // The ring must not overwrite the oldest live save.
+    const Save& oldest = saves_.front();
+    bool clobbers = next_save_offset_ <= oldest.save_offset &&
+                    next_save_offset_ + object_size > oldest.save_offset;
+    LVM_CHECK_MSG(!clobbers, "copy-saver ring exhausted: advance the checkpoint more often");
+  }
+  Save save;
+  save.time = event.time;
+  save.object_va = object_va;
+  save.size = object_size;
+  save.save_offset = next_save_offset_;
+  next_save_offset_ += object_size;
+  CopyOut(cpu, object_va, save.save_offset, object_size);
+  saves_.push_back(save);
+}
+
+void CopyStateSaver::Rollback(Cpu* cpu, VirtualTime to) {
+  ++rollbacks_;
+  while (!saves_.empty() && saves_.back().time >= to) {
+    const Save& save = saves_.back();
+    CopyBack(cpu, save.save_offset, save.object_va, save.size);
+    saves_.pop_back();
+  }
+}
+
+void CopyStateSaver::AdvanceCheckpoint(Cpu* cpu, VirtualTime gvt) {
+  (void)cpu;  // Discarding saves is free.
+  while (!saves_.empty() && saves_.front().time < gvt) {
+    saves_.pop_front();
+  }
+}
+
+}  // namespace lvm

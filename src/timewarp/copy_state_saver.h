@@ -1,0 +1,64 @@
+// Conventional copy-based state saving (Section 4.3's baseline).
+//
+// Before processing each event, the scheduler copies the affected object's
+// state into a save buffer; rollback restores the copies in reverse order;
+// advancing the checkpoint simply discards saves older than GVT. Every
+// processor pays the copy on every event — including the bottleneck
+// processor, which is the overhead LVM eliminates.
+#ifndef SRC_TIMEWARP_COPY_STATE_SAVER_H_
+#define SRC_TIMEWARP_COPY_STATE_SAVER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/lvm/lvm_system.h"
+#include "src/timewarp/state_saver.h"
+
+namespace lvm {
+
+class CopyStateSaver : public StateSaver {
+ public:
+  CopyStateSaver() = default;
+
+  StateLayout Setup(LvmSystem* system, AddressSpace* as, uint32_t bytes) override;
+
+  void BeforeEvent(Cpu* cpu, const Event& event, VirtAddr object_va,
+                   uint32_t object_size) override;
+
+  void OnLvtAdvance(Cpu* cpu, VirtualTime lvt) override {
+    (void)cpu;
+    (void)lvt;
+  }
+
+  void Rollback(Cpu* cpu, VirtualTime to) override;
+  void AdvanceCheckpoint(Cpu* cpu, VirtualTime gvt) override;
+
+  size_t live_saves() const { return saves_.size(); }
+
+ private:
+  struct Save {
+    VirtualTime time = 0;
+    VirtAddr object_va = 0;
+    uint32_t size = 0;
+    uint32_t save_offset = 0;  // Byte offset into the save segment.
+  };
+
+  // Copies `len` bytes between the state region and the save segment,
+  // charging block-copy costs.
+  void CopyOut(Cpu* cpu, VirtAddr object_va, uint32_t save_offset, uint32_t len);
+  void CopyBack(Cpu* cpu, uint32_t save_offset, VirtAddr object_va, uint32_t len);
+
+  LvmSystem* system_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  StdSegment* state_ = nullptr;
+  Region* state_region_ = nullptr;
+  StdSegment* save_area_ = nullptr;
+  VirtAddr state_base_ = 0;
+  uint32_t save_capacity_ = 0;
+  uint32_t next_save_offset_ = 0;
+  std::deque<Save> saves_;  // Oldest first.
+};
+
+}  // namespace lvm
+
+#endif  // SRC_TIMEWARP_COPY_STATE_SAVER_H_

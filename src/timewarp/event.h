@@ -1,0 +1,53 @@
+// Events and virtual time for the optimistic (Time Warp) simulator
+// (Section 2.4).
+#ifndef SRC_TIMEWARP_EVENT_H_
+#define SRC_TIMEWARP_EVENT_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace lvm {
+
+// Simulation (virtual) time. Kept below 2^32 in practice so LVT markers fit
+// a logged word.
+using VirtualTime = uint64_t;
+inline constexpr VirtualTime kNever = std::numeric_limits<VirtualTime>::max();
+
+struct Event {
+  VirtualTime time = 0;
+  // Global object identifier; the owning scheduler is derived from it.
+  uint32_t target_object = 0;
+  // Deterministic payload: models derive all their randomness from it, so
+  // re-execution after a rollback reproduces the same behaviour.
+  uint64_t payload = 0;
+  // Unique send identifier for anti-message annihilation.
+  uint64_t sequence = 0;
+  // Scheduler that sent the event.
+  uint32_t sender = 0;
+  // True for an anti-message cancelling the positive copy with the same
+  // sequence.
+  bool anti = false;
+};
+
+// Processing order: virtual time, then the deterministic payload as a
+// tie-break (so re-executions order equal-time events identically), then
+// target. `sequence` deliberately does not participate: it differs between
+// an original and a re-sent copy of the same logical event.
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.payload != b.payload) {
+      return a.payload < b.payload;
+    }
+    if (a.target_object != b.target_object) {
+      return a.target_object < b.target_object;
+    }
+    return a.sequence < b.sequence;
+  }
+};
+
+}  // namespace lvm
+
+#endif  // SRC_TIMEWARP_EVENT_H_

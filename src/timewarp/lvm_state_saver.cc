@@ -1,0 +1,139 @@
+#include "src/timewarp/lvm_state_saver.h"
+
+#include <unordered_set>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+StateSaver::StateLayout LvmStateSaver::Setup(LvmSystem* system, AddressSpace* as,
+                                             uint32_t bytes) {
+  system_ = system;
+  as_ = as;
+  bytes_ = AlignUp(bytes, kPageSize);
+  checkpoint_ = system->CreateSegment(bytes_);
+  working_ = system->CreateSegment(bytes_);
+  working_->SetSourceSegment(checkpoint_);
+  checkpoint_region_ = system->CreateRegion(checkpoint_);
+  working_region_ = system->CreateRegion(working_);
+  checkpoint_base_ = as->BindRegion(checkpoint_region_);
+  working_base_ = as->BindRegion(working_region_);
+  log_ = system->CreateLogSegment(/*initial_pages=*/8);
+  system->AttachLog(working_region_, log_);
+  return StateLayout{.state_base = working_base_, .init_base = checkpoint_base_};
+}
+
+bool LvmStateSaver::VirtualRecords() const {
+  return system_->config().logger_kind == LoggerKind::kOnChip ||
+         system_->config().bus_logger_virtual_records;
+}
+
+bool LvmStateSaver::IsMarker(const LogRecord& record) const {
+  if (VirtualRecords()) {
+    // Records carry virtual addresses; the control word is the region base.
+    return record.addr == working_base_;
+  }
+  // The control word is the first word of the working segment.
+  return working_->page_count() > 0 && working_->HasFrame(0) &&
+         record.addr == working_->FrameAt(0);
+}
+
+PhysAddr LvmStateSaver::WorkingLine(uint32_t record_addr) const {
+  if (!VirtualRecords()) {
+    return LineBase(record_addr);
+  }
+  uint32_t offset = record_addr - working_base_;
+  return LineBase(working_->FrameAt(PageNumber(offset)) + PageOffset(offset));
+}
+
+size_t LvmStateSaver::FindCut(const LogReader& reader, VirtualTime t) const {
+  for (size_t i = 0; i < reader.size(); ++i) {
+    LogRecord record = reader.At(i);
+    if (IsMarker(record) && record.value >= t) {
+      return i;
+    }
+  }
+  return reader.size();
+}
+
+void LvmStateSaver::ApplyToWorking(Cpu* cpu, const LogReader& reader, size_t first,
+                                   size_t last) {
+  LogApplier applier(system_);
+  if (VirtualRecords()) {
+    applier.ApplyVirtual(cpu, reader, first, last, as_);
+  } else {
+    applier.ApplyPhysical(cpu, reader, first, last);
+  }
+}
+
+void LvmStateSaver::ApplyToCheckpoint(Cpu* cpu, const LogReader& reader, size_t first,
+                                      size_t last) {
+  if (!VirtualRecords()) {
+    LogApplier applier(system_);
+    applier.ApplyRetargeted(cpu, reader, first, last, *working_, checkpoint_);
+    return;
+  }
+  // Virtual records: retarget by the offset within the working region.
+  const MachineParams& params = system_->machine().params();
+  for (size_t i = first; i < last; ++i) {
+    LogRecord record = reader.At(i);
+    cpu->AddCycles(params.log_apply_record_cycles);
+    uint32_t offset = record.addr - working_base_;
+    if (offset >= bytes_) {
+      continue;
+    }
+    PhysAddr frame = system_->EnsureSegmentPage(checkpoint_, PageNumber(offset));
+    system_->machine().l2().Write(frame + PageOffset(offset), record.value,
+                                  static_cast<uint8_t>(record.size));
+  }
+}
+
+void LvmStateSaver::Rollback(Cpu* cpu, VirtualTime to) {
+  LVM_CHECK_MSG(to >= checkpoint_time_,
+                "cannot roll back before the checkpoint (GVT guarantee violated)");
+  ++rollbacks_;
+  system_->SyncLog(cpu, log_);
+  LogReader reader(system_->memory(), *log_);
+  size_t cut = FindCut(reader, to);
+  // Reset the working segment to the checkpoint, then roll forward the
+  // updates that belong to times before `to` (Section 2.4).
+  system_->ResetDeferredCopy(cpu, as_, working_base_, working_base_ + bytes_);
+  ApplyToWorking(cpu, reader, 0, cut);
+  // Records of the rolled-back speculation are invalid now.
+  system_->TruncateLogTo(cpu, log_, cut);
+}
+
+void LvmStateSaver::AdvanceCheckpoint(Cpu* cpu, VirtualTime gvt) {
+  if (gvt <= checkpoint_time_) {
+    return;
+  }
+  // CULT: apply all logged updates older than GVT to the checkpoint
+  // segment, then truncate them from the log (Section 2.4).
+  system_->SyncLog(cpu, log_);
+  LogReader reader(system_->memory(), *log_);
+  size_t cut = FindCut(reader, gvt);
+  ApplyToCheckpoint(cpu, reader, 0, cut);
+
+  // The applied lines now match the advanced checkpoint: point their
+  // sources back at it so a later rollback's reset only pays for data
+  // modified since GVT. Lines that also carry post-GVT (speculative)
+  // records must keep their working contents.
+  std::unordered_set<PhysAddr> speculative_lines;
+  for (size_t i = cut; i < reader.size(); ++i) {
+    speculative_lines.insert(WorkingLine(reader.At(i).addr));
+  }
+  std::unordered_set<PhysAddr> folded_lines;
+  for (size_t i = 0; i < cut; ++i) {
+    PhysAddr line = WorkingLine(reader.At(i).addr);
+    if (!speculative_lines.contains(line) && folded_lines.insert(line).second) {
+      system_->machine().l2().InvalidateLine(line);
+      system_->deferred_copy().ResetLine(line);
+      cpu->AddCycles(system_->machine().params().reset_dirty_line_cycles);
+    }
+  }
+
+  system_->CompactLog(cpu, log_, cut);
+  checkpoint_time_ = gvt;
+}
+
+}  // namespace lvm

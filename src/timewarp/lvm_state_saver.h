@@ -1,0 +1,79 @@
+// LVM-based state saving: the Figure 3 structure.
+//
+//   checkpoint segment --deferred copy--> working segment --logging--> log
+//
+// Event processing writes the working region freely; the logger records
+// every write. The scheduler's LVT is written to the control word at the
+// start of the working region whenever it changes; those records are the
+// markers the rollback algorithm uses to find virtual-time boundaries in
+// the log (Section 2.4, footnote 2).
+#ifndef SRC_TIMEWARP_LVM_STATE_SAVER_H_
+#define SRC_TIMEWARP_LVM_STATE_SAVER_H_
+
+#include <cstdint>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+#include "src/timewarp/state_saver.h"
+
+namespace lvm {
+
+class LvmStateSaver : public StateSaver {
+ public:
+  LvmStateSaver() = default;
+
+  StateLayout Setup(LvmSystem* system, AddressSpace* as, uint32_t bytes) override;
+
+  // LVM logs everything automatically; nothing to do per event.
+  void BeforeEvent(Cpu* cpu, const Event& event, VirtAddr object_va,
+                   uint32_t object_size) override {
+    (void)cpu;
+    (void)event;
+    (void)object_va;
+    (void)object_size;
+  }
+
+  void OnLvtAdvance(Cpu* cpu, VirtualTime lvt) override {
+    // The marker write: a logged store of the new LVT to the control word.
+    cpu->Write(working_base_, static_cast<uint32_t>(lvt));
+  }
+
+  void Rollback(Cpu* cpu, VirtualTime to) override;
+  void AdvanceCheckpoint(Cpu* cpu, VirtualTime gvt) override;
+  uint32_t HistoryPages() const override {
+    return (log_->append_offset + kPageSize - 1) / kPageSize;
+  }
+
+  LogSegment* log() { return log_; }
+  VirtualTime checkpoint_time() const { return checkpoint_time_; }
+
+ private:
+  // Index of the first log record belonging to virtual time >= `t`: the
+  // position just before the first LVT marker with value >= t.
+  size_t FindCut(const LogReader& reader, VirtualTime t) const;
+  bool IsMarker(const LogRecord& record) const;
+  // Whether log records carry virtual addresses (on-chip logger machines).
+  bool VirtualRecords() const;
+  // Physical line address in the working segment for a record address.
+  PhysAddr WorkingLine(uint32_t record_addr) const;
+  // Applies records [first, last) back onto the working segment.
+  void ApplyToWorking(Cpu* cpu, const LogReader& reader, size_t first, size_t last);
+  // Applies records [first, last) onto the checkpoint segment.
+  void ApplyToCheckpoint(Cpu* cpu, const LogReader& reader, size_t first, size_t last);
+
+  LvmSystem* system_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  StdSegment* checkpoint_ = nullptr;
+  StdSegment* working_ = nullptr;
+  Region* working_region_ = nullptr;
+  Region* checkpoint_region_ = nullptr;
+  LogSegment* log_ = nullptr;
+  VirtAddr working_base_ = 0;
+  VirtAddr checkpoint_base_ = 0;
+  uint32_t bytes_ = 0;
+  VirtualTime checkpoint_time_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_TIMEWARP_LVM_STATE_SAVER_H_

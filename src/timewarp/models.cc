@@ -1,0 +1,152 @@
+#include "src/timewarp/models.h"
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+void SyntheticModel::Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) {
+  // All behaviour derives from the event payload so re-execution after a
+  // rollback is identical.
+  Rng rng(event.payload);
+  VirtAddr object = scheduler->ObjectAddr(event.target_object %
+                                          scheduler->num_objects());
+  uint32_t words = scheduler->object_size() / 4;
+
+  cpu->Compute(params_.compute_cycles);
+  for (uint32_t i = 0; i < params_.writes; ++i) {
+    uint32_t offset = static_cast<uint32_t>(rng.Uniform(words)) * 4;
+    cpu->Write(object + offset, static_cast<uint32_t>(rng.Next64()));
+  }
+
+  // Schedule the successor.
+  Event next;
+  next.time = event.time + rng.UniformRange(params_.min_delay, params_.max_delay);
+  next.target_object = event.target_object;
+  if (rng.Chance(params_.remote_probability)) {
+    next.target_object = static_cast<uint32_t>(rng.Uniform(scheduler->TotalObjects()));
+  }
+  next.payload = DerivePayload(event.payload, 1);
+  scheduler->Send(next);
+}
+
+void PholdModel::Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) {
+  Rng rng(event.payload);
+  VirtAddr object = scheduler->ObjectAddr(event.target_object % scheduler->num_objects());
+
+  // The job visits the object: bump its visit counter and scribble state.
+  uint32_t visits = cpu->Read(object);
+  cpu->Write(object, visits + 1);
+  for (uint32_t i = 0; i < params_.writes; ++i) {
+    uint32_t offset =
+        4 + static_cast<uint32_t>(rng.Uniform(scheduler->object_size() / 4 - 1)) * 4;
+    cpu->Write(object + offset, static_cast<uint32_t>(rng.Next64()) ^ visits);
+  }
+  cpu->Compute(params_.compute_cycles);
+
+  // Hop to another object after an exponential delay: within the locality
+  // domain with probability `locality`, uniformly otherwise.
+  Event next;
+  auto delay = static_cast<VirtualTime>(rng.Exponential(params_.mean_delay)) + 1;
+  next.time = event.time + delay;
+  if (params_.locality_domain != 0 && rng.Chance(params_.locality)) {
+    uint32_t domain_base =
+        (event.target_object / params_.locality_domain) * params_.locality_domain;
+    next.target_object =
+        domain_base + static_cast<uint32_t>(rng.Uniform(params_.locality_domain));
+  } else {
+    next.target_object = static_cast<uint32_t>(rng.Uniform(scheduler->TotalObjects()));
+  }
+  next.payload = DerivePayload(event.payload, 2);
+  scheduler->Send(next);
+}
+
+Event QueueingNetworkModel::JobArrival(VirtualTime time, uint32_t station, uint64_t seed) {
+  Event event;
+  event.time = time;
+  event.target_object = station;
+  event.payload = seed & ~kDepartureBit;
+  return event;
+}
+
+void QueueingNetworkModel::Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) {
+  Rng rng(event.payload | (event.payload >> 32));
+  VirtAddr station = scheduler->ObjectAddr(event.target_object % scheduler->num_objects());
+  VirtAddr queue_len = station + 0;
+  VirtAddr busy = station + 4;
+  VirtAddr served = station + 8;
+  VirtAddr arrivals = station + 12;
+
+  cpu->Compute(params_.compute_cycles);
+  bool departure = (event.payload & kDepartureBit) != 0;
+  if (!departure) {
+    // A job arrives: seize the idle server or queue up.
+    cpu->Write(arrivals, cpu->Read(arrivals) + 1);
+    if (cpu->Read(busy) == 0) {
+      cpu->Write(busy, 1);
+      Event done;
+      done.time = event.time + rng.UniformRange(params_.min_service, params_.max_service);
+      done.target_object = event.target_object;
+      done.payload = DerivePayload(event.payload, 3) | kDepartureBit;
+      scheduler->Send(done);
+    } else {
+      cpu->Write(queue_len, cpu->Read(queue_len) + 1);
+    }
+    return;
+  }
+
+  // Service completes: count it, route the job onward, start the next one.
+  cpu->Write(served, cpu->Read(served) + 1);
+  Event onward;
+  onward.time = event.time + rng.UniformRange(params_.min_transit, params_.max_transit);
+  if (params_.locality_domain != 0 && rng.Chance(params_.locality)) {
+    uint32_t domain_base =
+        (event.target_object / params_.locality_domain) * params_.locality_domain;
+    onward.target_object =
+        domain_base + static_cast<uint32_t>(rng.Uniform(params_.locality_domain));
+  } else {
+    onward.target_object = static_cast<uint32_t>(rng.Uniform(scheduler->TotalObjects()));
+  }
+  onward.payload = DerivePayload(event.payload, 4) & ~kDepartureBit;
+  scheduler->Send(onward);
+  uint32_t queued = cpu->Read(queue_len);
+  if (queued > 0) {
+    cpu->Write(queue_len, queued - 1);
+    Event done;
+    done.time = event.time + rng.UniformRange(params_.min_service, params_.max_service);
+    done.target_object = event.target_object;
+    done.payload = DerivePayload(event.payload, 5) | kDepartureBit;
+    scheduler->Send(done);
+  } else {
+    cpu->Write(busy, 0);
+  }
+}
+
+uint64_t OptimisticDigest(TimeWarpSimulation* simulation, VirtualTime end_time) {
+  (void)end_time;
+  uint64_t digest = 0xcbf29ce484222325ull;  // FNV offset basis.
+  for (uint32_t i = 0; i < simulation->num_schedulers(); ++i) {
+    digest = simulation->scheduler(i).StateDigest(digest);
+  }
+  return digest;
+}
+
+uint64_t SequentialDigest(LvmSystem* system, SimulationModel* model,
+                          const TimeWarpConfig& config, const std::vector<Event>& bootstrap,
+                          VirtualTime end_time) {
+  // A single-scheduler optimistic simulation processes events in global
+  // virtual-time order and never rolls back: it is the conservative
+  // sequential reference.
+  TimeWarpConfig sequential = config;
+  sequential.num_schedulers = 1;
+  sequential.objects_per_scheduler = config.num_schedulers * config.objects_per_scheduler;
+  sequential.state_saving = StateSaving::kCopy;
+  TimeWarpSimulation simulation(system, model, sequential);
+  for (const Event& event : bootstrap) {
+    simulation.Bootstrap(event);
+  }
+  simulation.Run(end_time);
+  LVM_CHECK(simulation.total_rollbacks() == 0);
+  return OptimisticDigest(&simulation, end_time);
+}
+
+}  // namespace lvm

@@ -1,0 +1,132 @@
+// Simulation models for the Time Warp engine.
+//
+// SyntheticModel is the paper's Section 4.3 "'simulated' simulation": each
+// event performs c compute cycles and w word writes against an object of s
+// bytes, then schedules a successor event. Sweeping (c, s, w) reproduces
+// Figures 7 and 8.
+//
+// PholdModel is the classic PHOLD benchmark: a fixed population of jobs
+// hops between objects at exponentially distributed increments, each hop
+// updating the target object's state. Both models are deterministic
+// functions of the event payload, so optimistic re-execution converges to
+// the sequential result.
+#ifndef SRC_TIMEWARP_MODELS_H_
+#define SRC_TIMEWARP_MODELS_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+
+// Splits an event payload into a fresh deterministic stream.
+inline uint64_t DerivePayload(uint64_t payload, uint64_t salt) {
+  Rng rng(payload ^ (salt * 0x9e3779b97f4a7c15ull));
+  return rng.Next64();
+}
+
+class SyntheticModel : public SimulationModel {
+ public:
+  struct Params {
+    uint32_t compute_cycles = 512;  // c
+    uint32_t writes = 4;            // w (word writes per event)
+    // Virtual-time increment distribution for the successor event.
+    uint32_t min_delay = 1;
+    uint32_t max_delay = 16;
+    // Probability the successor targets a different object (cross-scheduler
+    // traffic and rollbacks come from this).
+    double remote_probability = 0.1;
+  };
+
+  explicit SyntheticModel(const Params& params) : params_(params) {}
+
+  void Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+class PholdModel : public SimulationModel {
+ public:
+  struct Params {
+    double mean_delay = 8.0;
+    uint32_t compute_cycles = 256;
+    uint32_t writes = 4;
+    // Fraction of hops staying within the job's locality domain. The
+    // domain is defined on *global* object ids (groups of
+    // `locality_domain` consecutive objects), so event streams are
+    // identical regardless of how objects are partitioned onto
+    // schedulers — the sequential reference stays valid.
+    double locality = 0.0;
+    // Objects per locality domain; 0 disables locality (uniform hops).
+    // Set it to objects_per_scheduler to make local hops scheduler-local.
+    uint32_t locality_domain = 0;
+  };
+
+  explicit PholdModel(const Params& params) : params_(params) {}
+
+  void Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) override;
+
+ private:
+  Params params_;
+};
+
+// A closed queueing network: jobs circulate among service stations. Object
+// state (all in simulated, possibly logged, memory): [0] queue length,
+// [1] busy flag, [2] jobs served, [3] arrivals seen. Event kinds are
+// encoded in the payload's top bit: arrivals enqueue or seize the server;
+// departures complete service, route the job onward, and start the next
+// queued job. This is the "sophisticated simulation" shape the paper
+// argues LVM serves best: state-dependent behaviour over multi-field
+// objects.
+class QueueingNetworkModel : public SimulationModel {
+ public:
+  struct Params {
+    uint32_t min_service = 4;
+    uint32_t max_service = 12;
+    uint32_t min_transit = 2;
+    uint32_t max_transit = 6;
+    uint32_t compute_cycles = 300;
+    // Routing locality (config-independent domains of consecutive global
+    // station ids, as in PholdModel): 0 disables.
+    double locality = 0.0;
+    uint32_t locality_domain = 0;
+  };
+
+  explicit QueueingNetworkModel(const Params& params) : params_(params) {}
+
+  // Builds the bootstrap arrival for one job.
+  static Event JobArrival(VirtualTime time, uint32_t station, uint64_t seed);
+
+  void Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) override;
+
+  // Minimum timestamp increment (for conservative lookahead).
+  VirtualTime MinIncrement() const {
+    return params_.min_service < params_.min_transit ? params_.min_service
+                                                     : params_.min_transit;
+  }
+
+ private:
+  static constexpr uint64_t kDepartureBit = 1ull << 63;
+
+  Params params_;
+};
+
+// Reference check: runs `model` over the same bootstrap events on a
+// sequential (conservative, globally time-ordered) executor and returns a
+// digest of the final object states. Used to verify that the optimistic
+// engine, rollbacks and all, computes the same answer.
+uint64_t SequentialDigest(LvmSystem* system, SimulationModel* model,
+                          const TimeWarpConfig& config, const std::vector<Event>& bootstrap,
+                          VirtualTime end_time);
+
+// Digest of the committed object states of an optimistic run (call after
+// Run; fossil-collects to the horizon first so all state is committed).
+uint64_t OptimisticDigest(TimeWarpSimulation* simulation, VirtualTime end_time);
+
+}  // namespace lvm
+
+#endif  // SRC_TIMEWARP_MODELS_H_

@@ -1,0 +1,137 @@
+#include "src/timewarp/scheduler.h"
+
+#include "src/base/check.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+
+Scheduler::Scheduler(TimeWarpSimulation* simulation, uint32_t id, Cpu* cpu, StateSaver* saver,
+                     LvmSystem* system, uint32_t num_objects, uint32_t object_size)
+    : simulation_(simulation),
+      id_(id),
+      cpu_(cpu),
+      saver_(saver),
+      system_(system),
+      num_objects_(num_objects),
+      object_size_(object_size) {
+  LVM_CHECK(object_size % 4 == 0);
+  as_ = system->CreateAddressSpace();
+  layout_ = saver->Setup(system, as_, kStateHeaderBytes + num_objects * object_size);
+}
+
+void Scheduler::InitObjectWord(uint32_t index, uint32_t offset, uint32_t value) {
+  LVM_CHECK(index < num_objects_ && offset + 4 <= object_size_);
+  system_->Activate(as_, cpu_->id());
+  cpu_->Write(layout_.init_base + kStateHeaderBytes + index * object_size_ + offset, value);
+}
+
+void Scheduler::Deliver(const Event& event) {
+  if (!event.anti) {
+    input_.insert(event);
+    return;
+  }
+  // Anti-message: annihilate the positive copy.
+  for (auto it = input_.begin(); it != input_.end(); ++it) {
+    if (it->sequence == event.sequence && it->sender == event.sender) {
+      input_.erase(it);
+      return;
+    }
+  }
+  // The positive copy was already processed: roll back to its time, which
+  // re-enqueues it, then annihilate.
+  Rollback(event.time);
+  for (auto it = input_.begin(); it != input_.end(); ++it) {
+    if (it->sequence == event.sequence && it->sender == event.sender) {
+      input_.erase(it);
+      return;
+    }
+  }
+  LVM_CHECK_MSG(false, "anti-message with no matching positive event");
+}
+
+VirtualTime Scheduler::NextEventTime() const {
+  return input_.empty() ? kNever : input_.begin()->time;
+}
+
+bool Scheduler::ProcessOne() {
+  if (input_.empty()) {
+    return false;
+  }
+  system_->Activate(as_, cpu_->id());
+  Event event = *input_.begin();
+  if (!processed_.empty() && EventOrder()(event, processed_.back())) {
+    // Straggler: it sorts before something already executed. Roll back to
+    // its time (equal-time events all re-execute, in deterministic order)
+    // and process it (Section 2.4).
+    Rollback(event.time);
+    event = *input_.begin();
+  }
+  input_.erase(input_.begin());
+  cpu_->Compute(simulation_->config().event_dispatch_cycles);
+  if (event.time > lvt_ || events_processed_ == 0) {
+    lvt_ = event.time;
+    saver_->OnLvtAdvance(cpu_, lvt_);
+  }
+  saver_->BeforeEvent(cpu_, event, ObjectAddr(simulation_->LocalIndex(event.target_object)),
+                      object_size_);
+  simulation_->model()->Execute(cpu_, this, event);
+  processed_.push_back(event);
+  ++events_processed_;
+  return true;
+}
+
+void Scheduler::Send(Event event) {
+  LVM_CHECK_MSG(event.time >= lvt_, "models may not schedule events in the past");
+  cpu_->Compute(simulation_->config().send_cycles);
+  event.sender = id_;
+  event.sequence = next_sequence_++;
+  event.anti = false;
+  sent_.push_back(SentRecord{lvt_, event});
+  simulation_->Route(event);
+}
+
+void Scheduler::Rollback(VirtualTime to) {
+  ++rollbacks_;
+  saver_->Rollback(cpu_, to);
+  // Un-process events at or after `to`.
+  while (!processed_.empty() && processed_.back().time >= to) {
+    input_.insert(processed_.back());
+    processed_.pop_back();
+    ++events_rolled_back_;
+  }
+  // Cancel sends performed at or after `to`.
+  while (!sent_.empty() && sent_.back().send_time >= to) {
+    Event anti = sent_.back().event;
+    anti.anti = true;
+    sent_.pop_back();
+    ++anti_messages_sent_;
+    simulation_->Route(anti);
+  }
+  lvt_ = processed_.empty() ? saver_checkpoint_floor_ : processed_.back().time;
+}
+
+uint32_t Scheduler::TotalObjects() const { return simulation_->total_objects(); }
+
+uint64_t Scheduler::StateDigest(uint64_t digest) {
+  system_->Activate(as_, cpu_->id());
+  for (uint32_t object = 0; object < num_objects_; ++object) {
+    VirtAddr base = ObjectAddr(object);
+    for (uint32_t offset = 0; offset < object_size_; offset += 4) {
+      digest = (digest ^ cpu_->Read(base + offset)) * 0x100000001b3ull;
+    }
+  }
+  return digest;
+}
+
+void Scheduler::FossilCollect(VirtualTime gvt) {
+  saver_->AdvanceCheckpoint(cpu_, gvt);
+  saver_checkpoint_floor_ = gvt > saver_checkpoint_floor_ ? gvt : saver_checkpoint_floor_;
+  while (!processed_.empty() && processed_.front().time < gvt) {
+    processed_.pop_front();
+  }
+  while (!sent_.empty() && sent_.front().send_time < gvt) {
+    sent_.pop_front();
+  }
+}
+
+}  // namespace lvm

@@ -1,0 +1,122 @@
+// A Time Warp scheduler: one optimistically-executing process owning a set
+// of simulation objects (Section 2.4).
+//
+// The scheduler keeps an input queue of pending events, processes them in
+// virtual-time order ahead of global virtual time, and rolls back when a
+// straggler or anti-message arrives for an earlier time. State protection
+// is delegated to a StateSaver (copy-based or LVM-based); event and message
+// bookkeeping (processed list, output list, anti-message emission) lives
+// here and is common to both.
+#ifndef SRC_TIMEWARP_SCHEDULER_H_
+#define SRC_TIMEWARP_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+
+#include "src/base/types.h"
+#include "src/lvm/lvm_system.h"
+#include "src/timewarp/event.h"
+#include "src/timewarp/state_saver.h"
+
+namespace lvm {
+
+class TimeWarpSimulation;
+
+class Scheduler {
+ public:
+  // Header bytes at the front of the state region; the LVT marker control
+  // word is the first word.
+  static constexpr uint32_t kStateHeaderBytes = 64;
+
+  Scheduler(TimeWarpSimulation* simulation, uint32_t id, Cpu* cpu, StateSaver* saver,
+            LvmSystem* system, uint32_t num_objects, uint32_t object_size);
+
+  uint32_t id() const { return id_; }
+  Cpu* cpu() { return cpu_; }
+  StateSaver* saver() { return saver_; }
+  AddressSpace* address_space() const { return as_; }
+  VirtualTime lvt() const { return lvt_; }
+  uint32_t num_objects() const { return num_objects_; }
+  uint32_t object_size() const { return object_size_; }
+
+  // Virtual address of local object `index`'s state.
+  VirtAddr ObjectAddr(uint32_t index) const {
+    return layout_.state_base + kStateHeaderBytes + index * object_size_;
+  }
+
+  // Object count across the whole simulation (for models picking targets).
+  uint32_t TotalObjects() const;
+
+  // Extends an FNV-1a digest with this scheduler's live object states, read
+  // through the memory system (deferred copy and dirty lines included).
+  // Chaining schedulers in id order digests the same word stream a single
+  // scheduler covering all objects would.
+  uint64_t StateDigest(uint64_t digest);
+
+  // Writes a word of an object's *initial* state (before the simulation
+  // starts): goes to the checkpoint under the LVM saver.
+  void InitObjectWord(uint32_t index, uint32_t offset, uint32_t value);
+
+  // Delivers an event (or anti-message) from the transport.
+  void Deliver(const Event& event);
+
+  // Earliest pending event time, or kNever.
+  VirtualTime NextEventTime() const;
+  bool HasWork() const { return !input_.empty(); }
+
+  // Processes the earliest pending event (rolling back first if it is a
+  // straggler). Returns false if there was nothing to do.
+  bool ProcessOne();
+
+  // Sends `event` to its target object's scheduler, recording it so a
+  // rollback can cancel it. Called by models during event execution.
+  void Send(Event event);
+
+  // CULT entry point: state saver checkpoint advance plus fossil
+  // collection of processed/sent records older than `gvt`.
+  void FossilCollect(VirtualTime gvt);
+
+  // --- statistics ---
+  uint64_t events_processed() const { return events_processed_; }
+  uint64_t rollbacks() const { return rollbacks_; }
+  uint64_t events_rolled_back() const { return events_rolled_back_; }
+  uint64_t anti_messages_sent() const { return anti_messages_sent_; }
+
+ private:
+  struct SentRecord {
+    VirtualTime send_time = 0;  // LVT when the send happened.
+    Event event;
+  };
+
+  // Rolls state, processed events and sends back to just before `to`.
+  void Rollback(VirtualTime to);
+
+  TimeWarpSimulation* simulation_;
+  uint32_t id_;
+  Cpu* cpu_;
+  StateSaver* saver_;
+  LvmSystem* system_;
+  AddressSpace* as_ = nullptr;
+  uint32_t num_objects_;
+  uint32_t object_size_;
+  StateSaver::StateLayout layout_;
+
+  std::set<Event, EventOrder> input_;
+  std::deque<Event> processed_;    // Nondecreasing processing order.
+  std::deque<SentRecord> sent_;    // Nondecreasing send_time.
+  VirtualTime lvt_ = 0;
+  // LVT floor after a rollback that empties the processed list: the
+  // checkpoint time established by the last fossil collection.
+  VirtualTime saver_checkpoint_floor_ = 0;
+  uint64_t next_sequence_ = 1;
+
+  uint64_t events_processed_ = 0;
+  uint64_t rollbacks_ = 0;
+  uint64_t events_rolled_back_ = 0;
+  uint64_t anti_messages_sent_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_TIMEWARP_SCHEDULER_H_

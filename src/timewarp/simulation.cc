@@ -1,0 +1,172 @@
+#include "src/timewarp/simulation.h"
+
+#include "src/base/check.h"
+#include "src/timewarp/copy_state_saver.h"
+#include "src/timewarp/lvm_state_saver.h"
+
+namespace lvm {
+
+TimeWarpSimulation::TimeWarpSimulation(LvmSystem* system, SimulationModel* model,
+                                       const TimeWarpConfig& config)
+    : system_(system), model_(model), config_(config) {
+  LVM_CHECK(config.num_schedulers >= 1);
+  for (uint32_t i = 0; i < config.num_schedulers; ++i) {
+    std::unique_ptr<StateSaver> saver;
+    if (config.state_saving == StateSaving::kLvm) {
+      saver = std::make_unique<LvmStateSaver>();
+    } else {
+      saver = std::make_unique<CopyStateSaver>();
+    }
+    int cpu_id = static_cast<int>(i) % system->machine().num_cpus();
+    schedulers_.push_back(std::make_unique<Scheduler>(
+        this, i, &system->cpu(cpu_id), saver.get(), system, config.objects_per_scheduler,
+        config.object_size));
+    savers_.push_back(std::move(saver));
+  }
+}
+
+void TimeWarpSimulation::Bootstrap(const Event& event) {
+  Event seeded = event;
+  seeded.sequence = 0;
+  seeded.sender = SchedulerOf(event.target_object);
+  seeded.anti = false;
+  Route(seeded);
+}
+
+void TimeWarpSimulation::Route(const Event& event) {
+  uint32_t target = SchedulerOf(event.target_object);
+  LVM_CHECK_MSG(target < schedulers_.size(), "event addressed to a nonexistent object");
+  schedulers_[target]->Deliver(event);
+}
+
+VirtualTime TimeWarpSimulation::ComputeGvt() const {
+  VirtualTime gvt = kNever;
+  for (const auto& scheduler : schedulers_) {
+    VirtualTime t = scheduler->NextEventTime();
+    if (t < gvt) {
+      gvt = t;
+    }
+  }
+  return gvt;
+}
+
+void TimeWarpSimulation::Run(VirtualTime end_time) {
+  while (true) {
+    VirtualTime gvt = ComputeGvt();
+    if (gvt >= end_time) {
+      break;  // Everything before the horizon is committed (or no events).
+    }
+    VirtualTime horizon = end_time;
+    if (config_.conservative && gvt + config_.lookahead < horizon) {
+      horizon = gvt + config_.lookahead;
+    }
+    bool progressed = false;
+    for (auto& scheduler : schedulers_) {
+      if (scheduler->NextEventTime() < horizon && scheduler->ProcessOne()) {
+        progressed = true;
+        ++events_since_cult_;
+      }
+    }
+    if (!progressed) {
+      break;
+    }
+    if (config_.conservative) {
+      // Blocked processors idle until the round's stragglers-free frontier
+      // catches up: their clocks advance to the busiest processor's.
+      Cycles frontier = ElapsedCycles();
+      for (auto& scheduler : schedulers_) {
+        scheduler->cpu()->AdvanceTo(frontier);
+      }
+    }
+    // Out-of-memory CULT: a scheduler whose log grew past the limit
+    // fossil-collects now, bottleneck or not (Section 2.4).
+    if (config_.cult_log_pages_limit != 0) {
+      VirtualTime memory_gvt = 0;
+      bool computed = false;
+      for (auto& scheduler : schedulers_) {
+        if (scheduler->saver()->HistoryPages() >= config_.cult_log_pages_limit) {
+          if (!computed) {
+            memory_gvt = ComputeGvt();
+            if (memory_gvt > end_time) {
+              memory_gvt = end_time;
+            }
+            computed = true;
+          }
+          scheduler->FossilCollect(memory_gvt);
+        }
+      }
+    }
+    if (events_since_cult_ >=
+        static_cast<uint64_t>(config_.cult_interval) * schedulers_.size()) {
+      events_since_cult_ = 0;
+      VirtualTime fresh_gvt = ComputeGvt();
+      if (fresh_gvt > end_time) {
+        fresh_gvt = end_time;
+      }
+      for (auto& scheduler : schedulers_) {
+        // Section 2.4: a scheduler close to GVT may be the bottleneck; it
+        // defers CULT rather than slow the whole simulation down.
+        if (config_.cult_laziness != 0 &&
+            scheduler->lvt() < fresh_gvt + config_.cult_laziness) {
+          continue;
+        }
+        scheduler->FossilCollect(fresh_gvt);
+      }
+    }
+  }
+}
+
+uint64_t TimeWarpSimulation::total_events_processed() const {
+  uint64_t total = 0;
+  for (const auto& scheduler : schedulers_) {
+    total += scheduler->events_processed();
+  }
+  return total;
+}
+
+uint64_t TimeWarpSimulation::total_rollbacks() const {
+  uint64_t total = 0;
+  for (const auto& scheduler : schedulers_) {
+    total += scheduler->rollbacks();
+  }
+  return total;
+}
+
+uint64_t TimeWarpSimulation::total_events_rolled_back() const {
+  uint64_t total = 0;
+  for (const auto& scheduler : schedulers_) {
+    total += scheduler->events_rolled_back();
+  }
+  return total;
+}
+
+uint64_t TimeWarpSimulation::total_anti_messages() const {
+  uint64_t total = 0;
+  for (const auto& scheduler : schedulers_) {
+    total += scheduler->anti_messages_sent();
+  }
+  return total;
+}
+
+double TimeWarpSimulation::Efficiency() const {
+  uint64_t processed = total_events_processed();
+  if (processed == 0) {
+    return 1.0;
+  }
+  uint64_t wasted = total_events_rolled_back();
+  return static_cast<double>(processed - (wasted < processed ? wasted : processed)) /
+         static_cast<double>(processed);
+}
+
+Cycles TimeWarpSimulation::ElapsedCycles() const {
+  Cycles max = 0;
+  for (int i = 0; i < system_->machine().num_cpus(); ++i) {
+    Cycles t = system_->cpu(i).now();
+    if (t > max) {
+      max = t;
+    }
+  }
+  return max;
+}
+
+}  // namespace lvm

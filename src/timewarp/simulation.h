@@ -1,0 +1,114 @@
+// The Time Warp simulation: schedulers, message transport, GVT, and the run
+// loop (Section 2.4).
+#ifndef SRC_TIMEWARP_SIMULATION_H_
+#define SRC_TIMEWARP_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/lvm/lvm_system.h"
+#include "src/timewarp/event.h"
+#include "src/timewarp/scheduler.h"
+#include "src/timewarp/state_saver.h"
+
+namespace lvm {
+
+// Application behaviour: what processing an event means. Implementations
+// must be deterministic functions of (event, object state) so re-execution
+// after a rollback reproduces the original behaviour.
+class SimulationModel {
+ public:
+  virtual ~SimulationModel() = default;
+  virtual void Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) = 0;
+};
+
+// Which state saver each scheduler uses.
+enum class StateSaving : uint8_t { kCopy, kLvm };
+
+struct TimeWarpConfig {
+  uint32_t num_schedulers = 2;
+  uint32_t objects_per_scheduler = 8;
+  uint32_t object_size = 128;  // Bytes of state per object.
+  StateSaving state_saving = StateSaving::kLvm;
+  // Run CULT every this many processed events per scheduler.
+  uint32_t cult_interval = 256;
+  // Section 2.4: defer CULT on a scheduler that might be the bottleneck
+  // (LVT within this distance of GVT). 0 disables the heuristic.
+  VirtualTime cult_laziness = 0;
+  // Section 2.4: a scheduler may defer CULT "until it ... actually runs
+  // out of memory for the log" — when nonzero, a scheduler whose rollback
+  // history exceeds this many pages fossil-collects immediately,
+  // overriding laziness.
+  uint32_t cult_log_pages_limit = 0;
+  // Engine overhead charged per event (queue operations, dispatch) and per
+  // message send. Section 4.3: "in practice there are enough computation
+  // cycles required for event scheduling and dispatch that a processor
+  // would rarely overload the log FIFO".
+  uint32_t event_dispatch_cycles = 250;
+  uint32_t send_cycles = 80;
+  // Conservative execution (the paper's contrast in Section 2.4: a process
+  // "can be thought of as performing speculative execution as an
+  // alternative to going idle ... as would occur in conservative
+  // simulation"): schedulers only process events with time < GVT +
+  // lookahead and otherwise idle. Safe (rollback-free) when `lookahead`
+  // does not exceed the model's minimum timestamp increment.
+  bool conservative = false;
+  VirtualTime lookahead = 1;
+};
+
+class TimeWarpSimulation {
+ public:
+  // Schedulers are placed round-robin over the machine's CPUs.
+  TimeWarpSimulation(LvmSystem* system, SimulationModel* model, const TimeWarpConfig& config);
+
+  Scheduler& scheduler(uint32_t i) { return *schedulers_.at(i); }
+  uint32_t num_schedulers() const { return static_cast<uint32_t>(schedulers_.size()); }
+  const TimeWarpConfig& config() const { return config_; }
+  SimulationModel* model() { return model_; }
+  LvmSystem* system() { return system_; }
+
+  // Owning scheduler of a global object id.
+  uint32_t SchedulerOf(uint32_t object) const { return object / config_.objects_per_scheduler; }
+  // Local index of a global object id within its scheduler.
+  uint32_t LocalIndex(uint32_t object) const { return object % config_.objects_per_scheduler; }
+  uint32_t total_objects() const {
+    return config_.num_schedulers * config_.objects_per_scheduler;
+  }
+
+  // Seeds the initial event population (before Run).
+  void Bootstrap(const Event& event);
+
+  // Routes an event (or anti-message) to its target's scheduler.
+  void Route(const Event& event);
+
+  // Runs until every event with time < `end_time` has been processed and
+  // committed (GVT >= end_time or the event population is exhausted).
+  void Run(VirtualTime end_time);
+
+  // Lower bound on any future rollback: the minimum pending event time.
+  VirtualTime ComputeGvt() const;
+
+  // --- aggregate statistics ---
+  uint64_t total_events_processed() const;
+  uint64_t total_rollbacks() const;
+  uint64_t total_events_rolled_back() const;
+  uint64_t total_anti_messages() const;
+  // Committed events / processed events: 1.0 means no wasted speculation.
+  double Efficiency() const;
+  // The largest CPU clock across the machine: the elapsed time of the run.
+  Cycles ElapsedCycles() const;
+
+ private:
+  LvmSystem* system_;
+  SimulationModel* model_;
+  TimeWarpConfig config_;
+  std::vector<std::unique_ptr<StateSaver>> savers_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<AddressSpace*> scheduler_as_;
+  uint64_t events_since_cult_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_TIMEWARP_SIMULATION_H_

@@ -1,0 +1,70 @@
+// State-saving strategies for optimistic simulation (Sections 2.4, 4.3).
+//
+// A scheduler protects its simulation state so it can roll back to any
+// virtual time at or after global virtual time. The paper compares:
+//   - CopyStateSaver: the conventional approach — copy the affected
+//     object's state before processing each event;
+//   - LvmStateSaver: logged virtual memory — the working region is logged,
+//     the checkpoint segment is its deferred-copy source, rollback is
+//     resetDeferredCopy() plus roll-forward from the log, and CULT
+//     (checkpoint update and log truncation) advances the checkpoint to GVT.
+#ifndef SRC_TIMEWARP_STATE_SAVER_H_
+#define SRC_TIMEWARP_STATE_SAVER_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/lvm/lvm_system.h"
+#include "src/timewarp/event.h"
+
+namespace lvm {
+
+class Scheduler;
+
+class StateSaver {
+ public:
+  struct StateLayout {
+    // Where the scheduler reads/writes live state during event processing.
+    VirtAddr state_base = 0;
+    // Where initial state is written before the simulation starts (the
+    // checkpoint region for the LVM saver, the state itself otherwise).
+    VirtAddr init_base = 0;
+  };
+
+  virtual ~StateSaver() = default;
+
+  // Creates the memory structure for `bytes` of simulation state (header
+  // included) in `as`.
+  virtual StateLayout Setup(LvmSystem* system, AddressSpace* as, uint32_t bytes) = 0;
+
+  // Called before an event executes against [object_va, object_va + size).
+  virtual void BeforeEvent(Cpu* cpu, const Event& event, VirtAddr object_va,
+                           uint32_t object_size) = 0;
+
+  // Called when the scheduler's local virtual time advances to `lvt`.
+  virtual void OnLvtAdvance(Cpu* cpu, VirtualTime lvt) = 0;
+
+  // Restores the state to what it was before any event with time >= `to`
+  // executed.
+  virtual void Rollback(Cpu* cpu, VirtualTime to) = 0;
+
+  // The scheduler will never roll back before `gvt` again: release or
+  // consolidate history (CULT for the LVM saver).
+  virtual void AdvanceCheckpoint(Cpu* cpu, VirtualTime gvt) = 0;
+
+  // Pages of rollback history currently held (log pages for the LVM saver;
+  // 0 where the notion does not apply). Drives the Section 2.4 policy of
+  // forcing CULT when a scheduler "actually runs out of memory for the
+  // log".
+  virtual uint32_t HistoryPages() const { return 0; }
+
+  // --- statistics ---
+  uint64_t rollbacks() const { return rollbacks_; }
+
+ protected:
+  uint64_t rollbacks_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_TIMEWARP_STATE_SAVER_H_

@@ -1,0 +1,110 @@
+#include "src/tpc/tpca.h"
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+TpcA::TpcA(RecoverableStore* store, const TpcAConfig& config)
+    : store_(store), config_(config), rng_(config.seed) {
+  LVM_CHECK_MSG(store->data_size() >= config.RequiredBytes(),
+                "recoverable store too small for the TPC-A schema");
+  LVM_CHECK(config.branches >= 1 && config.tellers >= config.branches);
+}
+
+VirtAddr TpcA::BranchAddr(uint32_t i) const {
+  return store_->data_base() + i * TpcAConfig::kRowBytes;
+}
+VirtAddr TpcA::TellerAddr(uint32_t i) const {
+  return BranchAddr(config_.branches) + i * TpcAConfig::kRowBytes;
+}
+VirtAddr TpcA::AccountAddr(uint32_t i) const {
+  return TellerAddr(config_.tellers) + i * TpcAConfig::kRowBytes;
+}
+VirtAddr TpcA::HistoryAddr(uint32_t slot) const {
+  return AccountAddr(config_.accounts) + slot * TpcAConfig::kRowBytes;
+}
+
+void TpcA::Setup(Cpu* cpu) {
+  // Zero balances; the frames come back zero-filled, so setup just commits
+  // an empty transaction establishing the schema.
+  store_->Begin(cpu);
+  store_->SetRange(cpu, BranchAddr(0), TpcAConfig::kRowBytes);
+  store_->Write(cpu, BranchAddr(0), 0);
+  store_->Commit(cpu);
+}
+
+void TpcA::Transact(Cpu* cpu, bool commit) {
+  uint32_t teller = static_cast<uint32_t>(rng_.Uniform(config_.tellers));
+  uint32_t branch = teller % config_.branches;
+  uint32_t account = static_cast<uint32_t>(rng_.Uniform(config_.accounts));
+  auto magnitude = static_cast<int32_t>(rng_.UniformRange(1, 99999));
+  int32_t delta = rng_.Chance(0.5) ? magnitude : -magnitude;
+
+  store_->Begin(cpu);
+
+  // Account.
+  store_->SetRange(cpu, AccountAddr(account), 4);
+  auto account_balance = static_cast<int32_t>(store_->Read(cpu, AccountAddr(account)));
+  store_->Write(cpu, AccountAddr(account), static_cast<uint32_t>(account_balance + delta));
+
+  // Teller.
+  store_->SetRange(cpu, TellerAddr(teller), 4);
+  auto teller_balance = static_cast<int32_t>(store_->Read(cpu, TellerAddr(teller)));
+  store_->Write(cpu, TellerAddr(teller), static_cast<uint32_t>(teller_balance + delta));
+
+  // Branch.
+  store_->SetRange(cpu, BranchAddr(branch), 4);
+  auto branch_balance = static_cast<int32_t>(store_->Read(cpu, BranchAddr(branch)));
+  store_->Write(cpu, BranchAddr(branch), static_cast<uint32_t>(branch_balance + delta));
+
+  // History record.
+  VirtAddr history = HistoryAddr(history_cursor_);
+  history_cursor_ = (history_cursor_ + 1) % config_.history_slots;
+  store_->SetRange(cpu, history, TpcAConfig::kRowBytes);
+  store_->Write(cpu, history + 0, account);
+  store_->Write(cpu, history + 4, teller);
+  store_->Write(cpu, history + 8, static_cast<uint32_t>(delta));
+  store_->Write(cpu, history + 12, static_cast<uint32_t>(transactions_));
+
+  if (commit) {
+    store_->Commit(cpu);
+    expected_total_ += delta;
+    ++transactions_;
+  } else {
+    store_->Abort(cpu);
+  }
+  store_->MaybeTruncate(cpu);
+}
+
+void TpcA::RunTransaction(Cpu* cpu) { Transact(cpu, /*commit=*/true); }
+
+void TpcA::RunAbortedTransaction(Cpu* cpu) { Transact(cpu, /*commit=*/false); }
+
+int32_t TpcA::BranchBalance(Cpu* cpu, uint32_t branch) {
+  return static_cast<int32_t>(store_->Read(cpu, BranchAddr(branch)));
+}
+int32_t TpcA::TellerBalance(Cpu* cpu, uint32_t teller) {
+  return static_cast<int32_t>(store_->Read(cpu, TellerAddr(teller)));
+}
+int32_t TpcA::AccountBalance(Cpu* cpu, uint32_t account) {
+  return static_cast<int32_t>(store_->Read(cpu, AccountAddr(account)));
+}
+
+bool TpcA::CheckConsistency(Cpu* cpu) {
+  int64_t branches = 0;
+  for (uint32_t i = 0; i < config_.branches; ++i) {
+    branches += BranchBalance(cpu, i);
+  }
+  int64_t tellers = 0;
+  for (uint32_t i = 0; i < config_.tellers; ++i) {
+    tellers += TellerBalance(cpu, i);
+  }
+  int64_t accounts = 0;
+  for (uint32_t i = 0; i < config_.accounts; ++i) {
+    accounts += AccountBalance(cpu, i);
+  }
+  return branches == expected_total_ && tellers == expected_total_ &&
+         accounts == expected_total_;
+}
+
+}  // namespace lvm

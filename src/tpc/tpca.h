@@ -1,0 +1,80 @@
+// TPC-A debit-credit workload over a RecoverableStore (Section 4.2).
+//
+// The classic bank schema: branches, tellers, accounts, and a history ring.
+// Each transaction picks a teller, its branch, an account and a delta,
+// updates the three balances, and appends a history record — a short
+// sequence of small recoverable writes, which is exactly the profile where
+// set_range() overhead dominates the in-transaction time.
+//
+// Record layout: 16 bytes per row, the balance in the first word. The
+// history record stores {account, teller, delta, transaction}.
+#ifndef SRC_TPC_TPCA_H_
+#define SRC_TPC_TPCA_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/base/types.h"
+#include "src/rvm/recoverable_store.h"
+
+namespace lvm {
+
+struct TpcAConfig {
+  uint32_t branches = 1;
+  uint32_t tellers = 10;
+  uint32_t accounts = 10000;
+  uint32_t history_slots = 4096;
+  uint64_t seed = 1;
+
+  // Bytes the schema needs in the recoverable store.
+  uint32_t RequiredBytes() const {
+    return (branches + tellers + accounts + history_slots) * kRowBytes;
+  }
+
+  static constexpr uint32_t kRowBytes = 16;
+};
+
+class TpcA {
+ public:
+  TpcA(RecoverableStore* store, const TpcAConfig& config);
+
+  // Populates the schema (one setup transaction); balances start at zero.
+  void Setup(Cpu* cpu);
+
+  // Runs one debit-credit transaction.
+  void RunTransaction(Cpu* cpu);
+
+  // Runs one transaction that aborts after its updates (for recovery
+  // tests); balances must be unchanged afterwards.
+  void RunAbortedTransaction(Cpu* cpu);
+
+  // --- audit ---
+  int32_t BranchBalance(Cpu* cpu, uint32_t branch);
+  int32_t TellerBalance(Cpu* cpu, uint32_t teller);
+  int32_t AccountBalance(Cpu* cpu, uint32_t account);
+  // Sum of all committed deltas, tracked outside the store.
+  int64_t expected_total() const { return expected_total_; }
+  // TPC-A consistency: sum(branches) == sum(tellers) == sum(accounts).
+  bool CheckConsistency(Cpu* cpu);
+
+  uint64_t transactions() const { return transactions_; }
+
+ private:
+  VirtAddr BranchAddr(uint32_t i) const;
+  VirtAddr TellerAddr(uint32_t i) const;
+  VirtAddr AccountAddr(uint32_t i) const;
+  VirtAddr HistoryAddr(uint32_t slot) const;
+  // One transaction body; commits when `commit`, aborts otherwise.
+  void Transact(Cpu* cpu, bool commit);
+
+  RecoverableStore* store_;
+  TpcAConfig config_;
+  Rng rng_;
+  uint64_t transactions_ = 0;
+  uint32_t history_cursor_ = 0;
+  int64_t expected_total_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_TPC_TPCA_H_

@@ -1,0 +1,51 @@
+#include "src/vm/address_space.h"
+
+namespace lvm {
+
+VirtAddr AddressSpace::BindRegion(Region* region, VirtAddr va) {
+  LVM_CHECK(region != nullptr);
+  LVM_CHECK_MSG(!region->bound(), "region is already bound to an address space");
+  LVM_CHECK_MSG(PageOffset(va) == 0, "binding address must be page aligned");
+  uint32_t span = AlignUp(region->size(), kPageSize);
+  LVM_CHECK_MSG(span > 0, "cannot bind a region over an empty segment");
+  if (va == 0) {
+    va = next_va_;
+    next_va_ += span + kPageSize;  // One guard page between regions.
+  } else {
+    LVM_CHECK_MSG(va >= kFirstUserAddress, "binding address below the user range");
+    for (const Region* existing : regions_) {
+      bool overlaps = va < existing->base() + existing->size() && existing->base() < va + span;
+      LVM_CHECK_MSG(!overlaps, "region binding overlaps an existing region");
+    }
+    if (va + span + kPageSize > next_va_) {
+      next_va_ = va + span + kPageSize;
+    }
+  }
+  region->address_space_ = this;
+  region->base_ = va;
+  regions_.push_back(region);
+  return va;
+}
+
+void AddressSpace::UnbindRegion(Region* region) {
+  LVM_CHECK(region != nullptr && region->address_space() == this);
+  for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+    if (*it == region) {
+      regions_.erase(it);
+      break;
+    }
+  }
+  region->address_space_ = nullptr;
+  region->base_ = 0;
+}
+
+Region* AddressSpace::FindRegion(VirtAddr va) const {
+  for (Region* region : regions_) {
+    if (region->Contains(va)) {
+      return region;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace lvm

@@ -1,0 +1,84 @@
+// Address spaces: region bindings plus the page table the simulated CPU
+// translates through.
+#ifndef SRC_VM_ADDRESS_SPACE_H_
+#define SRC_VM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/sim/interfaces.h"
+#include "src/vm/region.h"
+
+namespace lvm {
+
+class AddressSpace final : public AddressTranslator {
+ public:
+  struct Pte {
+    PhysAddr frame = 0;
+    bool write_through = false;
+    bool logged = false;
+    Region* region = nullptr;
+  };
+
+  AddressSpace() = default;
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Table 1: Region::bind(as, virtaddr). Binds `region` at `va` (page
+  // aligned), or at a kernel-chosen address when `va` is 0. Returns the
+  // binding address.
+  VirtAddr BindRegion(Region* region, VirtAddr va = 0);
+
+  // Region containing `va`, or nullptr.
+  Region* FindRegion(VirtAddr va) const;
+
+  // Removes `region` from this space (its PTEs must already be gone; the
+  // kernel's LvmSystem::UnbindRegion handles the full teardown).
+  void UnbindRegion(Region* region);
+
+  const std::vector<Region*>& regions() const { return regions_; }
+
+  // --- page table ---
+  void InstallPte(VirtAddr va, const Pte& pte) { page_table_[PageNumber(va)] = pte; }
+  // Entry covering `va`, or nullptr if not mapped.
+  Pte* FindPte(VirtAddr va) {
+    auto it = page_table_.find(PageNumber(va));
+    return it == page_table_.end() ? nullptr : &it->second;
+  }
+  const Pte* FindPte(VirtAddr va) const {
+    auto it = page_table_.find(PageNumber(va));
+    return it == page_table_.end() ? nullptr : &it->second;
+  }
+  void RemovePte(VirtAddr va) { page_table_.erase(PageNumber(va)); }
+  size_t mapped_pages() const { return page_table_.size(); }
+
+  // --- sim::AddressTranslator ---
+  bool Translate(VirtAddr va, AccessKind access, Translation* out) override {
+    (void)access;
+    const Pte* pte = FindPte(va);
+    if (pte == nullptr) {
+      return false;
+    }
+    out->paddr = pte->frame + PageOffset(va);
+    out->write_through = pte->write_through;
+    out->logged = pte->logged;
+    return true;
+  }
+
+ private:
+  // Virtual addresses below this are never handed out, so null-ish pointers
+  // fault loudly.
+  static constexpr VirtAddr kFirstUserAddress = 0x0040'0000;
+
+  std::vector<Region*> regions_;
+  std::unordered_map<uint32_t, Pte> page_table_;
+  VirtAddr next_va_ = kFirstUserAddress;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_VM_ADDRESS_SPACE_H_

@@ -1,0 +1,106 @@
+// Deferred-copy state: the software half of Section 3.3.
+//
+// A deferred-copy mapping associates each page frame of a destination
+// segment with the corresponding frame of its source segment. Reads of data
+// the application has not modified resolve to the source frame; a line that
+// has been written back from the second-level cache has its "source address
+// set to the destination" so later loads come from the destination. The map
+// implements sim::DeferredCopyPolicy, which the L2 cache consults on every
+// clean-line access.
+#ifndef SRC_VM_DEFERRED_COPY_H_
+#define SRC_VM_DEFERRED_COPY_H_
+
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/types.h"
+#include "src/sim/interfaces.h"
+
+namespace lvm {
+
+class DeferredCopyMap : public DeferredCopyPolicy {
+ public:
+  // Declares `source_frame` as the deferred-copy source for `dest_frame`.
+  // Any previous state for the destination page is discarded.
+  void MapPage(PhysAddr dest_frame, PhysAddr source_frame) {
+    PageState& state = pages_[PageBase(dest_frame)];
+    state.source_frame = PageBase(source_frame);
+    state.written_back.reset();
+  }
+
+  void UnmapPage(PhysAddr dest_frame) { pages_.erase(PageBase(dest_frame)); }
+
+  bool IsMapped(PhysAddr dest_frame) const {
+    return pages_.find(PageBase(dest_frame)) != pages_.end();
+  }
+
+  // Number of lines of `dest_frame` whose source currently points at the
+  // destination (i.e. lines written back since the last reset).
+  uint32_t WrittenBackLines(PhysAddr dest_frame) const {
+    auto it = pages_.find(PageBase(dest_frame));
+    return it == pages_.end() ? 0 : static_cast<uint32_t>(it->second.written_back.count());
+  }
+
+  // Marks every line of `dest_frame` as diverged from the source (used when
+  // a whole-segment copy overwrites the destination).
+  void MarkAllWrittenBack(PhysAddr dest_frame) {
+    auto it = pages_.find(PageBase(dest_frame));
+    if (it != pages_.end()) {
+      it->second.written_back.set();
+    }
+  }
+
+  // Points one line's source back at the source segment (used by CULT when
+  // a line's contents have been folded into the advanced checkpoint).
+  void ResetLine(PhysAddr line_paddr) {
+    auto it = pages_.find(PageBase(line_paddr));
+    if (it != pages_.end()) {
+      it->second.written_back.reset(LineIndexInPage(line_paddr));
+    }
+  }
+
+  // resetDeferredCopy() for one page: points every line's source back at the
+  // source segment. Returns how many line sources had to be reset.
+  uint32_t ResetPage(PhysAddr dest_frame) {
+    auto it = pages_.find(PageBase(dest_frame));
+    if (it == pages_.end()) {
+      return 0;
+    }
+    auto count = static_cast<uint32_t>(it->second.written_back.count());
+    it->second.written_back.reset();
+    return count;
+  }
+
+  // --- sim::DeferredCopyPolicy ---
+  PhysAddr ResolveClean(PhysAddr paddr) override {
+    auto it = pages_.find(PageBase(paddr));
+    if (it == pages_.end()) {
+      return paddr;
+    }
+    const PageState& state = it->second;
+    if (state.written_back.test(LineIndexInPage(paddr))) {
+      return paddr;
+    }
+    return state.source_frame + PageOffset(paddr);
+  }
+
+  void OnLineWriteback(PhysAddr line_paddr) override {
+    auto it = pages_.find(PageBase(line_paddr));
+    if (it != pages_.end()) {
+      it->second.written_back.set(LineIndexInPage(line_paddr));
+    }
+  }
+
+ private:
+  struct PageState {
+    PhysAddr source_frame = 0;
+    std::bitset<kLinesPerPage> written_back;
+  };
+
+  std::unordered_map<PhysAddr, PageState> pages_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_VM_DEFERRED_COPY_H_

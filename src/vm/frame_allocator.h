@@ -1,0 +1,59 @@
+// Physical page-frame allocator for the simulated machine.
+#ifndef SRC_VM_FRAME_ALLOCATOR_H_
+#define SRC_VM_FRAME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+class FrameAllocator {
+ public:
+  // Manages frames in [first_frame_addr, memory->size()). The low frames are
+  // reserved (kernel, logger absorb page) so physical address 0 never backs
+  // user data.
+  explicit FrameAllocator(PhysicalMemory* memory, PhysAddr first_frame_addr = kPageSize)
+      : memory_(memory), next_(AlignUp(first_frame_addr, kPageSize)) {
+    LVM_CHECK(next_ < memory->size());
+  }
+
+  PhysicalMemory& memory() { return *memory_; }
+
+  // Allocates a zero-filled frame. Aborts when physical memory is exhausted
+  // (the simulated experiments size memory generously).
+  PhysAddr Allocate() {
+    if (!free_list_.empty()) {
+      PhysAddr frame = free_list_.back();
+      free_list_.pop_back();
+      memory_->Zero(frame, kPageSize);
+      return frame;
+    }
+    LVM_CHECK_MSG(next_ + kPageSize <= memory_->size(), "out of physical frames");
+    PhysAddr frame = next_;
+    next_ += kPageSize;
+    memory_->Zero(frame, kPageSize);
+    return frame;
+  }
+
+  void Free(PhysAddr frame) {
+    LVM_DCHECK(PageOffset(frame) == 0);
+    free_list_.push_back(frame);
+  }
+
+  uint32_t allocated_frames() const {
+    return (next_ / kPageSize) - 1 - static_cast<uint32_t>(free_list_.size());
+  }
+
+ private:
+  PhysicalMemory* memory_;
+  PhysAddr next_;
+  std::vector<PhysAddr> free_list_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_VM_FRAME_ALLOCATOR_H_

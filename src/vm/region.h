@@ -1,0 +1,85 @@
+// Regions: mappings of segments into an address space (Table 1).
+//
+// A region is created for a segment and later bound into an address space.
+// Declaring a log segment for a region makes it a *logged region*: every
+// write through it produces a log record. Logging can be enabled and
+// disabled dynamically, orthogonal to the data's type (Section 2.7) — a
+// debugger can attach a log to another program's region with no change to
+// the program binary.
+#ifndef SRC_VM_REGION_H_
+#define SRC_VM_REGION_H_
+
+#include <cstdint>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/logger/tables.h"
+#include "src/vm/segment.h"
+
+namespace lvm {
+
+class AddressSpace;
+
+class Region {
+ public:
+  // Paper: new StdRegion(segment). The single concrete region type maps the
+  // whole segment.
+  explicit Region(Segment* segment) : segment_(segment) { LVM_CHECK(segment != nullptr); }
+
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  Segment* segment() const { return segment_; }
+  uint32_t size() const { return segment_->size(); }
+
+  // Table 1: Region::log(ls). Declares `log_segment` as the log for this
+  // region; records for all writes through it appear there. Must be set
+  // before the region's pages are first touched or re-armed through
+  // LvmSystem::SetRegionLogging.
+  void SetLogSegment(LogSegment* log_segment, LogMode mode = LogMode::kNormal) {
+    log_segment_ = log_segment;
+    log_mode_ = mode;
+    logging_enabled_ = log_segment != nullptr;
+  }
+  LogSegment* log_segment() const { return log_segment_; }
+  LogMode log_mode() const { return log_mode_; }
+
+  bool logging_enabled() const { return logging_enabled_; }
+  // Section 3.1.2 extension: writes from each processor go to that
+  // processor's own log of the group (set via LvmSystem::AttachPerCpuLogs).
+  bool per_cpu_logging() const { return per_cpu_logging_; }
+
+  // Binding state, maintained by AddressSpace::BindRegion.
+  AddressSpace* address_space() const { return address_space_; }
+  VirtAddr base() const { return base_; }
+  bool bound() const { return address_space_ != nullptr; }
+  // Whether `va` falls inside this (bound) region.
+  bool Contains(VirtAddr va) const {
+    return bound() && va >= base_ && va - base_ < size();
+  }
+  // Segment page index for a virtual address inside the region.
+  uint32_t PageIndexOf(VirtAddr va) const {
+    LVM_DCHECK(Contains(va));
+    return PageNumber(va - base_);
+  }
+
+ private:
+  friend class AddressSpace;
+  friend class LvmSystem;
+
+  Segment* segment_;
+  LogSegment* log_segment_ = nullptr;
+  LogMode log_mode_ = LogMode::kNormal;
+  bool logging_enabled_ = false;
+  bool per_cpu_logging_ = false;
+
+  AddressSpace* address_space_ = nullptr;
+  VirtAddr base_ = 0;
+};
+
+// Alias matching the paper's concrete class name.
+using StdRegion = Region;
+
+}  // namespace lvm
+
+#endif  // SRC_VM_REGION_H_

@@ -1,0 +1,17 @@
+#include "src/vm/segment.h"
+
+namespace lvm {
+
+PhysAddr Segment::EnsureFrame(uint32_t page_index) {
+  PhysAddr& slot = frames_.at(page_index);
+  if (slot == kNoFrame) {
+    slot = allocator_->Allocate();
+    frame_to_page_[slot] = page_index;
+    // Frames come back zero-filled; give derived segments (user-level
+    // segment managers) a chance to install initial contents.
+    OnNewFrame(page_index, allocator_->memory().raw_mutable(slot));
+  }
+  return slot;
+}
+
+}  // namespace lvm

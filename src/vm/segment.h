@@ -1,0 +1,160 @@
+// Memory segments: the virtual memory system objects mapped by regions
+// (Table 1 of the paper).
+//
+// A Segment names a contiguous extent of backing store, materialized as
+// physical page frames on demand. StdSegment is the standard implementation
+// of the abstract base (optionally paged by a user-level SegmentManager);
+// LogSegment holds log records and grows by explicit extension, normally in
+// advance of the logger reaching the end (Section 3.2).
+#ifndef SRC_VM_SEGMENT_H_
+#define SRC_VM_SEGMENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/types.h"
+#include "src/vm/frame_allocator.h"
+
+namespace lvm {
+
+class Segment;
+
+// User-level page-fault handling hook (the paper's SegmentMan argument to
+// StdSegment): provides initial contents for freshly allocated pages.
+class SegmentManager {
+ public:
+  virtual ~SegmentManager() = default;
+  // `bytes` addresses the zero-filled kPageSize-byte frame for
+  // `page_index`; the manager may fill it with initial data.
+  virtual void FillPage(Segment& segment, uint32_t page_index, uint8_t* bytes) = 0;
+};
+
+class Segment {
+ public:
+  static constexpr PhysAddr kNoFrame = ~PhysAddr{0};
+
+  virtual ~Segment() = default;
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(frames_.size()) * kPageSize; }
+  uint32_t page_count() const { return static_cast<uint32_t>(frames_.size()); }
+
+  // Frame backing page `page_index`, allocated (and filled) on first use.
+  PhysAddr EnsureFrame(uint32_t page_index);
+
+  // Frame backing page `page_index`, or kNoFrame if never materialized.
+  PhysAddr FrameAt(uint32_t page_index) const { return frames_.at(page_index); }
+  bool HasFrame(uint32_t page_index) const { return frames_.at(page_index) != kNoFrame; }
+
+  // Reverse lookup: page index owning `frame`, or -1 if the frame does not
+  // back this segment. Used to retarget physical log-record addresses at a
+  // checkpoint copy of the segment.
+  int32_t PageIndexOfFrame(PhysAddr frame) const {
+    auto it = frame_to_page_.find(PageBase(frame));
+    return it == frame_to_page_.end() ? -1 : static_cast<int32_t>(it->second);
+  }
+
+  // Table 1: Segment::sourceSegment(source, offset). Declares `source` as
+  // the deferred-copy source for this segment starting at byte `offset`
+  // (page aligned) within the source.
+  void SetSourceSegment(Segment* source, uint32_t offset = 0) {
+    LVM_CHECK(source != this);
+    LVM_CHECK_MSG(PageOffset(offset) == 0, "deferred-copy source offset must be page aligned");
+    source_segment_ = source;
+    source_offset_ = offset;
+  }
+  Segment* source_segment() const { return source_segment_; }
+  uint32_t source_offset() const { return source_offset_; }
+
+  FrameAllocator& frames() const { return *allocator_; }
+
+ protected:
+  Segment(FrameAllocator* allocator, uint32_t size_bytes)
+      : allocator_(allocator), frames_(PageNumber(AlignUp(size_bytes, kPageSize)), kNoFrame) {
+    LVM_CHECK(allocator != nullptr);
+  }
+
+  // Invoked after a frame is allocated and zero-filled, before first use.
+  virtual void OnNewFrame(uint32_t page_index, uint8_t* bytes) {
+    (void)page_index;
+    (void)bytes;
+  }
+
+  // Appends a fresh frame (LogSegment growth).
+  PhysAddr AppendFrame() {
+    PhysAddr frame = allocator_->Allocate();
+    frames_.push_back(frame);
+    frame_to_page_[frame] = static_cast<uint32_t>(frames_.size()) - 1;
+    return frame;
+  }
+
+ private:
+  friend class LvmSystem;
+
+  FrameAllocator* allocator_;
+  std::vector<PhysAddr> frames_;
+  std::unordered_map<PhysAddr, uint32_t> frame_to_page_;
+  Segment* source_segment_ = nullptr;
+  uint32_t source_offset_ = 0;
+};
+
+// The standard segment: zero-filled on demand, or paged by a user-level
+// segment manager.
+class StdSegment : public Segment {
+ public:
+  StdSegment(FrameAllocator* allocator, uint32_t size_bytes, uint32_t flags = 0,
+             SegmentManager* manager = nullptr)
+      : Segment(allocator, size_bytes), flags_(flags), manager_(manager) {}
+
+  uint32_t flags() const { return flags_; }
+
+ protected:
+  void OnNewFrame(uint32_t page_index, uint8_t* bytes) override {
+    if (manager_ != nullptr) {
+      manager_->FillPage(*this, page_index, bytes);
+    }
+  }
+
+ private:
+  uint32_t flags_;
+  SegmentManager* manager_;
+};
+
+// A segment holding log records. Created empty; the application (or the
+// kernel on its behalf) extends it in advance of the logger reaching the
+// end. The kernel-side bookkeeping (active frame, append offset, hardware
+// log index) is managed by LvmSystem.
+class LogSegment : public Segment {
+ public:
+  explicit LogSegment(FrameAllocator* allocator) : Segment(allocator, 0) {}
+
+  // Grows the log by `pages` zero-filled frames.
+  void Extend(uint32_t pages) {
+    for (uint32_t i = 0; i < pages; ++i) {
+      AppendFrame();
+    }
+  }
+
+  // --- kernel bookkeeping (LvmSystem) ---
+  static constexpr uint32_t kUnregistered = ~0u;
+
+  // Hardware log-table index, or kUnregistered.
+  uint32_t log_index = kUnregistered;
+  // Index of the frame currently holding the hardware tail.
+  uint32_t active_frame = 0;
+  // Byte offset of the end of the log data, maintained on synchronization
+  // and at tail faults.
+  uint32_t append_offset = 0;
+  // Whether the hardware tail has ever been pointed into this segment.
+  bool hw_tail_initialized = false;
+  // Records absorbed by the default page because the log ran out of frames.
+  uint64_t records_lost = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_VM_SEGMENT_H_

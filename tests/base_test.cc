@@ -1,0 +1,151 @@
+// Unit tests for src/base utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+
+namespace lvm {
+namespace {
+
+TEST(TypesTest, PageArithmetic) {
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(kLineSize, 16u);
+  EXPECT_EQ(kLinesPerPage, 256u);
+  EXPECT_EQ(PageNumber(0x12345), 0x12u);
+  EXPECT_EQ(PageBase(0x12345), 0x12000u);
+  EXPECT_EQ(PageOffset(0x12345), 0x345u);
+  EXPECT_EQ(LineBase(0x12345), 0x12340u);
+  EXPECT_EQ(LineIndexInPage(0x12345), 0x34u);
+}
+
+TEST(TypesTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, kPageSize), 0u);
+  EXPECT_EQ(AlignUp(1, kPageSize), kPageSize);
+  EXPECT_EQ(AlignUp(kPageSize, kPageSize), kPageSize);
+  EXPECT_EQ(AlignUp(kPageSize + 1, kPageSize), 2 * kPageSize);
+  EXPECT_EQ(AlignUp(17, 16), 32u);
+}
+
+TEST(RingBufferTest, FifoOrder) {
+  RingBuffer<int> fifo(4);
+  EXPECT_TRUE(fifo.empty());
+  fifo.Push(1);
+  fifo.Push(2);
+  fifo.Push(3);
+  EXPECT_EQ(fifo.size(), 3u);
+  EXPECT_EQ(fifo.Front(), 1);
+  EXPECT_EQ(fifo.Pop(), 1);
+  EXPECT_EQ(fifo.Pop(), 2);
+  fifo.Push(4);
+  fifo.Push(5);
+  fifo.Push(6);
+  EXPECT_TRUE(fifo.full());
+  EXPECT_EQ(fifo.Pop(), 3);
+  EXPECT_EQ(fifo.Pop(), 4);
+  EXPECT_EQ(fifo.Pop(), 5);
+  EXPECT_EQ(fifo.Pop(), 6);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(RingBufferTest, WrapAroundManyTimes) {
+  RingBuffer<uint64_t> fifo(7);
+  uint64_t next_in = 0;
+  uint64_t next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (!fifo.full()) {
+      fifo.Push(next_in++);
+    }
+    while (!fifo.empty()) {
+      EXPECT_EQ(fifo.Pop(), next_out++);
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBufferTest, OverflowAborts) {
+  RingBuffer<int> fifo(1);
+  fifo.Push(1);
+  EXPECT_DEATH(fifo.Push(2), "overflow");
+}
+
+TEST(RingBufferTest, UnderflowAborts) {
+  RingBuffer<int> fifo(1);
+  EXPECT_DEATH(fifo.Pop(), "underflow");
+}
+
+TEST(RingBufferTest, ClearEmpties) {
+  RingBuffer<int> fifo(3);
+  fifo.Push(1);
+  fifo.Push(2);
+  fifo.Clear();
+  EXPECT_TRUE(fifo.empty());
+  fifo.Push(9);
+  EXPECT_EQ(fifo.Pop(), 9);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    uint64_t r = rng.UniformRange(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(1234);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    double x = rng.Exponential(10.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 10.0, 0.5);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace lvm

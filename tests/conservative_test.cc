@@ -1,0 +1,158 @@
+// Tests of conservative execution and the queueing-network model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/timewarp/models.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+namespace {
+
+std::vector<Event> QueueBootstrap(uint32_t jobs, uint32_t stations, uint64_t seed) {
+  std::vector<Event> events;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < jobs; ++i) {
+    events.push_back(QueueingNetworkModel::JobArrival(
+        1 + rng.Uniform(4), static_cast<uint32_t>(rng.Uniform(stations)), rng.Next64()));
+  }
+  return events;
+}
+
+TEST(QueueingNetworkTest, OptimisticMatchesSequential) {
+  QueueingNetworkModel::Params params;
+  QueueingNetworkModel model(params);
+  TimeWarpConfig config;
+  config.num_schedulers = 4;
+  config.objects_per_scheduler = 3;
+  config.object_size = 64;
+  config.state_saving = StateSaving::kLvm;
+  config.cult_interval = 32;
+  constexpr VirtualTime kEnd = 1200;
+  std::vector<Event> bootstrap = QueueBootstrap(20, 12, 404);
+
+  LvmSystem optimistic_system;
+  TimeWarpSimulation optimistic(&optimistic_system, &model, config);
+  for (const Event& event : bootstrap) {
+    optimistic.Bootstrap(event);
+  }
+  optimistic.Run(kEnd);
+  EXPECT_GT(optimistic.total_rollbacks(), 0u);
+
+  LvmSystem sequential_system;
+  uint64_t expected = SequentialDigest(&sequential_system, &model, config, bootstrap, kEnd);
+  EXPECT_EQ(OptimisticDigest(&optimistic, kEnd), expected);
+}
+
+TEST(QueueingNetworkTest, JobsConserved) {
+  // In a closed network, arrivals seen - departures completed == jobs in
+  // queue or in service, at any quiescent point.
+  QueueingNetworkModel::Params params;
+  QueueingNetworkModel model(params);
+  TimeWarpConfig config;
+  config.num_schedulers = 1;
+  config.objects_per_scheduler = 8;
+  config.object_size = 64;
+  config.state_saving = StateSaving::kCopy;
+  LvmSystem system;
+  TimeWarpSimulation sim(&system, &model, config);
+  constexpr uint32_t kJobs = 10;
+  for (const Event& event : QueueBootstrap(kJobs, 8, 7)) {
+    sim.Bootstrap(event);
+  }
+  sim.Run(3000);
+  Scheduler& scheduler = sim.scheduler(0);
+  Cpu& cpu = *scheduler.cpu();
+  system.Activate(system.active_address_space(0), 0);
+  uint64_t arrivals = 0;
+  uint64_t served = 0;
+  uint64_t queued = 0;
+  uint64_t busy = 0;
+  for (uint32_t i = 0; i < 8; ++i) {
+    VirtAddr station = scheduler.ObjectAddr(i);
+    queued += cpu.Read(station + 0);
+    busy += cpu.Read(station + 4);
+    served += cpu.Read(station + 8);
+    arrivals += cpu.Read(station + 12);
+  }
+  EXPECT_GT(served, 0u);
+  // Every arrival either departed, is in service, or is queued.
+  EXPECT_EQ(arrivals, served + busy + queued);
+  // Jobs never leave the closed network: those not at stations are in
+  // flight as pending events.
+  EXPECT_LE(busy + queued, kJobs);
+}
+
+TEST(ConservativeTest, NeverRollsBackAndMatchesSequential) {
+  QueueingNetworkModel::Params params;
+  QueueingNetworkModel model(params);
+  TimeWarpConfig config;
+  config.num_schedulers = 4;
+  config.objects_per_scheduler = 3;
+  config.object_size = 64;
+  config.state_saving = StateSaving::kCopy;
+  config.conservative = true;
+  config.lookahead = model.MinIncrement();
+  constexpr VirtualTime kEnd = 1000;
+  std::vector<Event> bootstrap = QueueBootstrap(16, 12, 505);
+
+  LvmSystem system;
+  TimeWarpSimulation conservative(&system, &model, config);
+  for (const Event& event : bootstrap) {
+    conservative.Bootstrap(event);
+  }
+  conservative.Run(kEnd);
+  EXPECT_EQ(conservative.total_rollbacks(), 0u);
+  EXPECT_GT(conservative.total_events_processed(), 100u);
+
+  LvmSystem sequential_system;
+  TimeWarpConfig reference = config;
+  reference.conservative = false;
+  uint64_t expected =
+      SequentialDigest(&sequential_system, &model, reference, bootstrap, kEnd);
+  EXPECT_EQ(OptimisticDigest(&conservative, kEnd), expected);
+}
+
+TEST(ConservativeTest, OptimismBeatsConservatismOnParallelHardware) {
+  // The Section 2.4 argument: a process running ahead speculates instead
+  // of idling, so the optimistic run finishes in less machine time than
+  // the lookahead-limited conservative run of the same workload.
+  QueueingNetworkModel::Params params;
+  params.compute_cycles = 1500;  // Meaty events make idling expensive.
+  // Mostly-local routing: the jobs form nearly independent per-scheduler
+  // chains, which conservative lookahead cannot exploit but speculation
+  // can.
+  params.locality = 0.9;
+  params.locality_domain = 4;
+  QueueingNetworkModel model(params);
+  TimeWarpConfig config;
+  config.num_schedulers = 4;
+  config.objects_per_scheduler = 4;
+  config.object_size = 64;
+  config.state_saving = StateSaving::kLvm;
+  config.cult_interval = 64;
+  constexpr VirtualTime kEnd = 1500;
+  std::vector<Event> bootstrap = QueueBootstrap(8, 16, 606);
+
+  auto run = [&](bool conservative) {
+    LvmConfig machine_config;
+    machine_config.num_cpus = 4;
+    LvmSystem system(machine_config);
+    TimeWarpConfig run_config = config;
+    run_config.conservative = conservative;
+    run_config.lookahead = model.MinIncrement();
+    TimeWarpSimulation sim(&system, &model, run_config);
+    for (const Event& event : bootstrap) {
+      sim.Bootstrap(event);
+    }
+    sim.Run(kEnd);
+    return sim.ElapsedCycles();
+  };
+
+  Cycles conservative_cycles = run(true);
+  Cycles optimistic_cycles = run(false);
+  EXPECT_LT(optimistic_cycles, conservative_cycles);
+}
+
+}  // namespace
+}  // namespace lvm

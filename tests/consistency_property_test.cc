@@ -1,0 +1,101 @@
+// Property-based consistency-protocol tests: over randomized write
+// patterns and release schedules, both protocols must converge the replica
+// to the producer's state at every release point, and the transmission
+// accounting must respect structural invariants (Munin never ships more
+// distinct words than exist; LVM ships exactly one update per write).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/consistency/protocols.h"
+
+namespace lvm {
+namespace {
+
+constexpr uint32_t kRegionBytes = 16 * kPageSize;
+
+struct PatternCase {
+  const char* name;
+  uint64_t seed;
+  // Pages the writes concentrate on (smaller = hotter).
+  uint32_t page_span;
+  // Probability a write repeats the previous offset (hot-spot-ness).
+  double repeat_probability;
+  uint32_t writes_per_interval;
+  uint32_t intervals;
+};
+
+class ConsistencyPropertyTest : public ::testing::TestWithParam<PatternCase> {};
+
+template <typename Protocol>
+void RunPattern(const PatternCase& param) {
+  LvmSystem system;
+  Protocol protocol(&system, kRegionBytes, ConsistencyCosts{});
+  Cpu& cpu = system.cpu();
+  std::vector<uint8_t> producer_shadow(kRegionBytes, 0);
+  Rng rng(param.seed);
+  uint64_t total_writes = 0;
+
+  for (uint32_t interval = 0; interval < param.intervals; ++interval) {
+    uint32_t previous_offset = 0;
+    for (uint32_t w = 0; w < param.writes_per_interval; ++w) {
+      uint32_t offset;
+      if (w > 0 && rng.Chance(param.repeat_probability)) {
+        offset = previous_offset;
+      } else {
+        offset = static_cast<uint32_t>(rng.Uniform(param.page_span * kPageSize / 4)) * 4;
+      }
+      previous_offset = offset;
+      auto value = static_cast<uint32_t>(rng.Next64());
+      protocol.Write(&cpu, offset, value);
+      std::memcpy(&producer_shadow[offset], &value, 4);
+      ++total_writes;
+    }
+    protocol.Release(&cpu);
+    // The replica equals the producer at every release point.
+    for (int probe = 0; probe < 32; ++probe) {
+      uint32_t at = static_cast<uint32_t>(rng.Uniform(kRegionBytes / 4)) * 4;
+      uint32_t expected = 0;
+      std::memcpy(&expected, &producer_shadow[at], 4);
+      ASSERT_EQ(protocol.replica().ReadWord(at), expected)
+          << "interval " << interval << " offset " << at;
+    }
+  }
+
+  // Transmission invariants.
+  uint64_t updates_shipped = protocol.channel().bytes_sent() / kUpdateWireBytes;
+  if constexpr (std::is_same_v<Protocol, LogBasedProtocol>) {
+    // LVM ships exactly one update per write.
+    EXPECT_EQ(updates_shipped, total_writes);
+  } else {
+    // Munin ships at most one update per distinct word per interval, so
+    // never more than the write count.
+    EXPECT_LE(updates_shipped, total_writes);
+    EXPECT_GT(updates_shipped, 0u);
+  }
+}
+
+TEST_P(ConsistencyPropertyTest, LogBasedConverges) {
+  RunPattern<LogBasedProtocol>(GetParam());
+}
+
+TEST_P(ConsistencyPropertyTest, MuninConverges) {
+  RunPattern<MuninTwinProtocol>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, ConsistencyPropertyTest,
+    ::testing::Values(PatternCase{"scattered", 1, 16, 0.0, 64, 8},
+                      PatternCase{"hot_page", 2, 1, 0.3, 128, 8},
+                      PatternCase{"hot_word", 3, 2, 0.9, 96, 8},
+                      PatternCase{"bursty", 4, 8, 0.5, 256, 4},
+                      PatternCase{"tiny_intervals", 5, 16, 0.0, 4, 24}),
+    [](const ::testing::TestParamInfo<PatternCase>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+}  // namespace
+}  // namespace lvm

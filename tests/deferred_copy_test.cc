@@ -1,0 +1,260 @@
+// Tests of the deferred-copy mechanism end to end (Section 3.3 and Table 1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+// The Figure 3 memory structure minus the log: a checkpoint segment that is
+// the deferred-copy source of a working segment, both bound into one address
+// space.
+class DeferredCopyTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kSegmentSize = 8 * kPageSize;
+
+  DeferredCopyTest() {
+    checkpoint_ = system_.CreateSegment(kSegmentSize);
+    working_ = system_.CreateSegment(kSegmentSize);
+    working_->SetSourceSegment(checkpoint_);
+    as_ = system_.CreateAddressSpace();
+    checkpoint_region_ = system_.CreateRegion(checkpoint_);
+    working_region_ = system_.CreateRegion(working_);
+    checkpoint_base_ = as_->BindRegion(checkpoint_region_);
+    working_base_ = as_->BindRegion(working_region_);
+    system_.Activate(as_);
+  }
+
+  // Seeds the checkpoint with value(i) at word i.
+  void SeedCheckpoint() {
+    Cpu& cpu = system_.cpu();
+    for (uint32_t i = 0; i < kSegmentSize / 4; ++i) {
+      cpu.Write(checkpoint_base_ + 4 * i, CheckpointWord(i));
+    }
+  }
+
+  static uint32_t CheckpointWord(uint32_t i) { return 0xc0000000u + i; }
+
+  LvmSystem system_;
+  StdSegment* checkpoint_ = nullptr;
+  StdSegment* working_ = nullptr;
+  Region* checkpoint_region_ = nullptr;
+  Region* working_region_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  VirtAddr checkpoint_base_ = 0;
+  VirtAddr working_base_ = 0;
+};
+
+TEST_F(DeferredCopyTest, InitialReadsComeFromSource) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  EXPECT_EQ(cpu.Read(working_base_), CheckpointWord(0));
+  EXPECT_EQ(cpu.Read(working_base_ + kPageSize + 40), CheckpointWord((kPageSize + 40) / 4));
+}
+
+TEST_F(DeferredCopyTest, WritesShadowWithoutTouchingSource) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(working_base_ + 8, 999);
+  EXPECT_EQ(cpu.Read(working_base_ + 8), 999u);
+  // Neighbouring words of the same line still show source data.
+  EXPECT_EQ(cpu.Read(working_base_ + 12), CheckpointWord(3));
+  // The source is untouched.
+  EXPECT_EQ(cpu.Read(checkpoint_base_ + 8), CheckpointWord(2));
+}
+
+TEST_F(DeferredCopyTest, ResetRestoresSourceView) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  for (uint32_t i = 0; i < 100; ++i) {
+    cpu.Write(working_base_ + 4 * i, i);
+  }
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(cpu.Read(working_base_ + 4 * i), CheckpointWord(i));
+  }
+}
+
+TEST_F(DeferredCopyTest, ResetAfterWritebackStillRestores) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(working_base_, 111);
+  // Force the dirty line out of the cache: its source flips to the
+  // destination...
+  system_.FlushSegment(&cpu, working_);
+  EXPECT_EQ(cpu.Read(working_base_), 111u);
+  // ...but reset re-points it at the source.
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+  EXPECT_EQ(cpu.Read(working_base_), CheckpointWord(0));
+}
+
+TEST_F(DeferredCopyTest, ResetIsRangeLimited) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(working_base_, 111);                 // Page 0.
+  cpu.Write(working_base_ + kPageSize, 222);     // Page 1.
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kPageSize);
+  EXPECT_EQ(cpu.Read(working_base_), CheckpointWord(0));
+  EXPECT_EQ(cpu.Read(working_base_ + kPageSize), 222u);
+}
+
+TEST_F(DeferredCopyTest, RepeatedWriteResetCycles) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t i = 0; i < 64; ++i) {
+      cpu.Write(working_base_ + 4 * i, 1000u * static_cast<uint32_t>(round) + i);
+    }
+    EXPECT_EQ(cpu.Read(working_base_), 1000u * static_cast<uint32_t>(round));
+    system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+    EXPECT_EQ(cpu.Read(working_base_), CheckpointWord(0));
+  }
+}
+
+TEST_F(DeferredCopyTest, AdvancingCheckpointShowsThroughCleanPages) {
+  // Rolling the checkpoint segment forward (CULT) changes what unmodified
+  // working pages read.
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  EXPECT_EQ(cpu.Read(working_base_ + 4), CheckpointWord(1));
+  cpu.Write(checkpoint_base_ + 4, 31337);
+  EXPECT_EQ(cpu.Read(working_base_ + 4), 31337u);
+}
+
+TEST_F(DeferredCopyTest, CopySegmentMatchesEffectiveContents) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(working_base_ + 16, 5555);
+  StdSegment* snapshot = system_.CreateSegment(kSegmentSize);
+  system_.CopySegment(&cpu, snapshot, working_);
+  // The snapshot sees the modified word and source data everywhere else.
+  EXPECT_EQ(system_.memory().Read(snapshot->FrameAt(0) + 16, 4), 5555u);
+  EXPECT_EQ(system_.memory().Read(snapshot->FrameAt(0) + 20, 4), CheckpointWord(5));
+  EXPECT_EQ(system_.memory().Read(snapshot->FrameAt(1) + 0, 4),
+            CheckpointWord(kPageSize / 4));
+}
+
+TEST_F(DeferredCopyTest, CopySegmentIntoDeferredDestinationDiverges) {
+  SeedCheckpoint();
+  Cpu& cpu = system_.cpu();
+  StdSegment* other = system_.CreateSegment(kSegmentSize);
+  for (uint32_t i = 0; i < kSegmentSize / 4; ++i) {
+    system_.memory().Write(other->EnsureFrame(PageNumber(4 * i)) + PageOffset(4 * i),
+                           7000 + i, 4);
+  }
+  system_.CopySegment(&cpu, working_, other);
+  EXPECT_EQ(cpu.Read(working_base_), 7000u);
+  // A later reset still rolls back to the checkpoint.
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+  EXPECT_EQ(cpu.Read(working_base_), CheckpointWord(0));
+}
+
+TEST_F(DeferredCopyTest, ResetCostScalesWithDirtyData) {
+  SeedCheckpoint();
+  system_.TouchRegion(&system_.cpu(), working_region_);
+  Cpu& cpu = system_.cpu();
+
+  // Dirty one page, measure reset.
+  for (uint32_t i = 0; i < kPageSize / 4; ++i) {
+    cpu.Write(working_base_ + 4 * i, i);
+  }
+  cpu.DrainWriteBuffer();
+  Cycles t0 = cpu.now();
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+  Cycles one_page = cpu.now() - t0;
+
+  // Dirty four pages, measure reset.
+  for (uint32_t i = 0; i < 4 * kPageSize / 4; ++i) {
+    cpu.Write(working_base_ + 4 * i, i);
+  }
+  cpu.DrainWriteBuffer();
+  t0 = cpu.now();
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+  Cycles four_pages = cpu.now() - t0;
+
+  EXPECT_GT(four_pages, one_page);
+  // Roughly linear in dirty pages beyond the fixed per-page sweep.
+  const MachineParams& p = system_.machine().params();
+  Cycles fixed = 8 * p.reset_page_cycles;
+  Cycles dirty_page_cost =
+      p.reset_dirty_page_cycles + kLinesPerPage * p.reset_dirty_line_cycles;
+  EXPECT_EQ(one_page, fixed + dirty_page_cost);
+  EXPECT_EQ(four_pages, fixed + 4 * dirty_page_cost);
+}
+
+TEST_F(DeferredCopyTest, ResetBeatsCopyWhenFewPagesDirty) {
+  // Figure 9's headline: resetDeferredCopy() far outperforms bcopy() when
+  // only a small portion of the segment is dirty.
+  SeedCheckpoint();
+  system_.TouchRegion(&system_.cpu(), working_region_);
+  Cpu& cpu = system_.cpu();
+  cpu.Write(working_base_, 1);
+  cpu.DrainWriteBuffer();
+
+  Cycles t0 = cpu.now();
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+  Cycles reset_cost = cpu.now() - t0;
+
+  t0 = cpu.now();
+  system_.CopySegment(&cpu, working_, checkpoint_);
+  Cycles copy_cost = cpu.now() - t0;
+
+  EXPECT_LT(reset_cost * 5, copy_cost);
+}
+
+TEST_F(DeferredCopyTest, CopyBeatsResetWhenEverythingDirty) {
+  // ...and the crossover near two-thirds dirty means a fully dirty segment
+  // favours the plain copy.
+  SeedCheckpoint();
+  system_.TouchRegion(&system_.cpu(), working_region_);
+  Cpu& cpu = system_.cpu();
+  for (uint32_t i = 0; i < kSegmentSize / 4; ++i) {
+    cpu.Write(working_base_ + 4 * i, i);
+  }
+  cpu.DrainWriteBuffer();
+
+  Cycles t0 = cpu.now();
+  system_.ResetDeferredCopy(&cpu, as_, working_base_, working_base_ + kSegmentSize);
+  Cycles reset_cost = cpu.now() - t0;
+
+  t0 = cpu.now();
+  system_.CopySegment(&cpu, working_, checkpoint_);
+  Cycles copy_cost = cpu.now() - t0;
+
+  EXPECT_GT(reset_cost, copy_cost);
+}
+
+TEST(DeferredCopyMapTest, ResolveAndWriteback) {
+  DeferredCopyMap map;
+  map.MapPage(0x4000, 0x8000);
+  EXPECT_TRUE(map.IsMapped(0x4000));
+  EXPECT_EQ(map.ResolveClean(0x4010), 0x8010u);
+  EXPECT_EQ(map.ResolveClean(0x5010), 0x5010u);  // Unmapped page: identity.
+  map.OnLineWriteback(0x4010);
+  EXPECT_EQ(map.ResolveClean(0x4010), 0x4010u);
+  EXPECT_EQ(map.ResolveClean(0x4020), 0x8020u);
+  EXPECT_EQ(map.WrittenBackLines(0x4000), 1u);
+  EXPECT_EQ(map.ResetPage(0x4000), 1u);
+  EXPECT_EQ(map.ResolveClean(0x4010), 0x8010u);
+}
+
+TEST(DeferredCopyMapTest, MarkAllWrittenBack) {
+  DeferredCopyMap map;
+  map.MapPage(0x4000, 0x8000);
+  map.MarkAllWrittenBack(0x4000);
+  EXPECT_EQ(map.WrittenBackLines(0x4000), kLinesPerPage);
+  EXPECT_EQ(map.ResolveClean(0x4ff0), 0x4ff0u);
+}
+
+TEST(DeferredCopyMapTest, UnmapRestoresIdentity) {
+  DeferredCopyMap map;
+  map.MapPage(0x4000, 0x8000);
+  map.UnmapPage(0x4000);
+  EXPECT_FALSE(map.IsMapped(0x4000));
+  EXPECT_EQ(map.ResolveClean(0x4010), 0x4010u);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,197 @@
+// Tests of the real-host (mprotect/SIGSEGV) logging and checkpointing
+// backend.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/hostlvm/host_checkpoint.h"
+#include "src/hostlvm/logged_value.h"
+#include "src/hostlvm/protected_region.h"
+#include "src/hostlvm/write_protect_logger.h"
+
+namespace lvm {
+namespace {
+
+TEST(ProtectedRegionTest, FaultMarksPageDirty) {
+  ProtectedRegion region(8, /*keep_twins=*/false);
+  region.Arm();
+  EXPECT_TRUE(region.DirtyPages().empty());
+  region.data()[0] = 1;
+  region.data()[3 * ProtectedRegion::kHostPageSize + 7] = 2;
+  auto dirty = region.DirtyPages();
+  ASSERT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(dirty[0], 0u);
+  EXPECT_EQ(dirty[1], 3u);
+  EXPECT_EQ(region.faults(), 2u);
+}
+
+TEST(ProtectedRegionTest, OneFaultPerPage) {
+  ProtectedRegion region(4, /*keep_twins=*/false);
+  region.Arm();
+  for (int i = 0; i < 100; ++i) {
+    region.data()[static_cast<size_t>(i) * 8] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(region.faults(), 1u);  // 800 bytes: all in page 0.
+}
+
+TEST(ProtectedRegionTest, ReadsDoNotFault) {
+  ProtectedRegion region(2, /*keep_twins=*/false);
+  region.data()[100] = 42;
+  region.Arm();
+  volatile uint8_t value = region.data()[100];
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(region.faults(), 0u);
+  EXPECT_TRUE(region.DirtyPages().empty());
+}
+
+TEST(ProtectedRegionTest, TwinSnapshotsPreModificationState) {
+  ProtectedRegion region(2, /*keep_twins=*/true);
+  region.data()[10] = 7;
+  region.Arm();
+  region.data()[10] = 9;
+  ASSERT_TRUE(region.IsDirty(0));
+  EXPECT_EQ(region.Twin(0)[10], 7);
+  EXPECT_EQ(region.data()[10], 9);
+}
+
+TEST(ProtectedRegionTest, RestoreRollsBackDirtyPages) {
+  ProtectedRegion region(4, /*keep_twins=*/true);
+  std::memset(region.data(), 0xAA, region.size_bytes());
+  region.Arm();
+  region.data()[5] = 1;
+  region.data()[2 * ProtectedRegion::kHostPageSize] = 2;
+  region.RestoreDirtyPagesFromTwins();
+  EXPECT_EQ(region.data()[5], 0xAA);
+  EXPECT_EQ(region.data()[2 * ProtectedRegion::kHostPageSize], 0xAA);
+}
+
+TEST(ProtectedRegionTest, TwoRegionsIndependent) {
+  ProtectedRegion a(2, false);
+  ProtectedRegion b(2, false);
+  a.Arm();
+  b.Arm();
+  a.data()[0] = 1;
+  EXPECT_EQ(a.DirtyPages().size(), 1u);
+  EXPECT_TRUE(b.DirtyPages().empty());
+  b.data()[ProtectedRegion::kHostPageSize] = 1;
+  EXPECT_EQ(b.DirtyPages().size(), 1u);
+}
+
+TEST(WriteProtectLoggerTest, CollectsDirtyPagesAndRearms) {
+  WriteProtectLogger logger(8, /*word_level=*/false);
+  logger.data()[0] = 1;
+  logger.data()[5 * ProtectedRegion::kHostPageSize] = 2;
+  auto pages = logger.CollectDirtyPages();
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0], 0u);
+  EXPECT_EQ(pages[1], 5u);
+  // Re-armed: a new interval starts clean.
+  EXPECT_TRUE(logger.CollectDirtyPages().empty());
+  logger.data()[0] = 3;
+  EXPECT_EQ(logger.CollectDirtyPages().size(), 1u);
+}
+
+TEST(WriteProtectLoggerTest, WordLevelDiffsFindExactUpdates) {
+  WriteProtectLogger logger(4, /*word_level=*/true);
+  auto* words = reinterpret_cast<uint32_t*>(logger.data());
+  words[0] = 0;  // Pre-state before arming happened in the constructor, so
+                 // this is itself an update.
+  words[100] = 0xdead;
+  auto updates = logger.CollectWordUpdates();
+  // words[0] = 0 wrote the existing value: only the 0xdead shows.
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].offset, 400u);
+  EXPECT_EQ(updates[0].value, 0xdeadu);
+}
+
+TEST(WriteProtectLoggerTest, RepeatedWritesCoalesceToFinalValue) {
+  WriteProtectLogger logger(2, /*word_level=*/true);
+  auto* words = reinterpret_cast<uint32_t*>(logger.data());
+  for (uint32_t i = 1; i <= 50; ++i) {
+    words[3] = i;
+  }
+  auto updates = logger.CollectWordUpdates();
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_EQ(updates[0].value, 50u);
+  EXPECT_EQ(logger.faults(), 1u);
+}
+
+TEST(HostCheckpointTest, RestoreUndoesEverything) {
+  HostCheckpoint ckpt(8);
+  auto* words = reinterpret_cast<uint32_t*>(ckpt.data());
+  ckpt.Checkpoint();
+  words[0] = 1;
+  words[1024] = 2;  // Page 1.
+  words[5000] = 3;  // Page 4.
+  EXPECT_EQ(ckpt.dirty_pages(), 3u);
+  ckpt.Restore();
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[1024], 0u);
+  EXPECT_EQ(words[5000], 0u);
+}
+
+TEST(HostCheckpointTest, CheckpointCommitsThenRestoreReturnsThere) {
+  HostCheckpoint ckpt(4);
+  auto* words = reinterpret_cast<uint32_t*>(ckpt.data());
+  words[7] = 41;
+  ckpt.Checkpoint();
+  words[7] = 99;
+  words[8] = 100;
+  ckpt.Restore();
+  EXPECT_EQ(words[7], 41u);
+  EXPECT_EQ(words[8], 0u);
+}
+
+TEST(HostCheckpointTest, ManyIntervals) {
+  HostCheckpoint ckpt(4);
+  auto* words = reinterpret_cast<uint32_t*>(ckpt.data());
+  for (uint32_t round = 1; round <= 10; ++round) {
+    words[0] = round;
+    if (round % 2 == 0) {
+      ckpt.Restore();  // Undo even rounds.
+      EXPECT_EQ(words[0], round - 1);
+      words[0] = round - 1;  // Keep the odd value.
+    }
+    ckpt.Checkpoint();
+  }
+  EXPECT_EQ(words[0], 9u);
+}
+
+TEST(LoggedValueTest, AssignmentsAreLogged) {
+  HostLog log;
+  Logged<uint32_t> counter(&log, 10);
+  counter = 20;
+  counter += 5;
+  EXPECT_EQ(counter.value(), 25u);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].old_value, 10u);
+  EXPECT_EQ(log.records()[0].new_value, 20u);
+  EXPECT_EQ(log.records()[1].old_value, 20u);
+  EXPECT_EQ(log.records()[1].new_value, 25u);
+}
+
+TEST(LoggedValueTest, UndoAllRestoresInitialState) {
+  HostLog log;
+  Logged<uint32_t> a(&log, 1);
+  Logged<uint64_t> b(&log, 2);
+  a = 100;
+  b = 200;
+  a = 101;
+  log.UndoAll();
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(LoggedValueTest, TruncateKeepsValues) {
+  HostLog log;
+  Logged<int> x(&log, 0);
+  x = 5;
+  log.Truncate();
+  EXPECT_EQ(x.value(), 5);
+  log.UndoAll();          // Nothing to undo.
+  EXPECT_EQ(x.value(), 5);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,403 @@
+// Kernel-path tests: region teardown, multi-CPU behaviour, watchpoint
+// queries, and machine-parameter monotonicity properties.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+#include "src/lvm/watch.h"
+
+namespace lvm {
+namespace {
+
+// --- UnbindRegion ---
+
+TEST(UnbindRegionTest, PagesUnmappedAndFaultAfterUnbind) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(2 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.Activate(as);
+  cpu.Write(base, 42);
+  EXPECT_GT(as->mapped_pages(), 0u);
+  system.UnbindRegion(region);
+  EXPECT_EQ(as->mapped_pages(), 0u);
+  EXPECT_FALSE(region->bound());
+  EXPECT_DEATH(cpu.Read(base), "unresolvable page fault");
+}
+
+TEST(UnbindRegionTest, SegmentContentsSurviveRebind) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.Activate(as);
+  cpu.Write(base + 8, 1234);
+  system.UnbindRegion(region);
+  VirtAddr base2 = as->BindRegion(region, 0x0200'0000);
+  EXPECT_EQ(cpu.Read(base2 + 8), 1234u);
+}
+
+TEST(UnbindRegionTest, LoggingStopsAfterUnbind) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  cpu.Write(base, 1);
+  system.UnbindRegion(region);
+  // Writes to the same physical frame through a fresh (unlogged) region
+  // over the same segment must not be captured.
+  Region* fresh = system.CreateRegion(segment);
+  VirtAddr base2 = as->BindRegion(fresh);
+  cpu.Write(base2 + 4, 2);
+  system.SyncLog(&cpu, log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), 1u);
+  EXPECT_EQ(reader.At(0).value, 1u);
+}
+
+TEST(UnbindRegionTest, DeferredRelationSurvivesUnbind) {
+  // Deferred copy is a segment-to-segment relation (Table 1): unbinding
+  // and rebinding the working region preserves the read-through view.
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* checkpoint = system.CreateSegment(kPageSize);
+  StdSegment* working = system.CreateSegment(kPageSize);
+  working->SetSourceSegment(checkpoint);
+  Region* checkpoint_region = system.CreateRegion(checkpoint);
+  Region* working_region = system.CreateRegion(working);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr cbase = as->BindRegion(checkpoint_region);
+  VirtAddr wbase = as->BindRegion(working_region);
+  system.Activate(as);
+  cpu.Write(cbase + 0, 111);   // Checkpoint data.
+  cpu.Write(wbase + 64, 222);  // Working modification (different line).
+  EXPECT_EQ(cpu.Read(wbase + 0), 111u);
+  system.UnbindRegion(working_region);
+  VirtAddr wbase2 = as->BindRegion(working_region);
+  EXPECT_EQ(cpu.Read(wbase2 + 0), 111u);
+  EXPECT_EQ(cpu.Read(wbase2 + 64), 222u);
+  // Checkpoint writes still show through unmodified lines.
+  cpu.Write(cbase + 0, 999);
+  EXPECT_EQ(cpu.Read(wbase2 + 0), 999u);
+}
+
+TEST(DetachSourceTest, MaterializesAndSevers) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* checkpoint = system.CreateSegment(kPageSize);
+  StdSegment* working = system.CreateSegment(kPageSize);
+  working->SetSourceSegment(checkpoint);
+  Region* checkpoint_region = system.CreateRegion(checkpoint);
+  Region* working_region = system.CreateRegion(working);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr cbase = as->BindRegion(checkpoint_region);
+  VirtAddr wbase = as->BindRegion(working_region);
+  system.Activate(as);
+  cpu.Write(cbase + 0, 111);
+  cpu.Write(wbase + 64, 222);
+  system.DetachSource(&cpu, working);
+  EXPECT_EQ(working->source_segment(), nullptr);
+  EXPECT_FALSE(system.deferred_copy().IsMapped(working->FrameAt(0)));
+  // The segment stands alone with its effective contents frozen.
+  EXPECT_EQ(cpu.Read(wbase + 0), 111u);
+  EXPECT_EQ(cpu.Read(wbase + 64), 222u);
+  // Later checkpoint writes no longer show through.
+  cpu.Write(cbase + 0, 999);
+  EXPECT_EQ(cpu.Read(wbase + 0), 111u);
+  // And resets are no-ops now.
+  system.ResetDeferredCopy(&cpu, as, wbase, wbase + kPageSize);
+  EXPECT_EQ(cpu.Read(wbase + 64), 222u);
+}
+
+// --- multiple CPUs ---
+
+TEST(MultiCpuTest, IndependentLoggedRegions) {
+  LvmConfig config;
+  config.num_cpus = 2;
+  LvmSystem system(config);
+  struct Proc {
+    StdSegment* segment;
+    Region* region;
+    LogSegment* log;
+    AddressSpace* as;
+    VirtAddr base;
+  };
+  Proc procs[2];
+  for (int i = 0; i < 2; ++i) {
+    procs[i].segment = system.CreateSegment(2 * kPageSize);
+    procs[i].region = system.CreateRegion(procs[i].segment);
+    procs[i].log = system.CreateLogSegment();
+    procs[i].as = system.CreateAddressSpace();
+    procs[i].base = procs[i].as->BindRegion(procs[i].region);
+    system.AttachLog(procs[i].region, procs[i].log);
+    system.Activate(procs[i].as, i);
+  }
+  // Interleave rounds on the two CPUs.
+  for (uint32_t round = 0; round < 200; ++round) {
+    for (int i = 0; i < 2; ++i) {
+      system.cpu(i).Write(procs[i].base + 4 * (round % 512),
+                          1000u * static_cast<uint32_t>(i) + round);
+      system.cpu(i).Compute(200);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    system.SyncLog(&system.cpu(i), procs[i].log);
+    LogReader reader(system.memory(), *procs[i].log);
+    ASSERT_EQ(reader.size(), 200u) << "cpu " << i;
+    for (uint32_t round = 0; round < 200; ++round) {
+      EXPECT_EQ(reader.At(round).value, 1000u * static_cast<uint32_t>(i) + round);
+    }
+  }
+}
+
+TEST(MultiCpuTest, OverloadSuspendsAllProcessors) {
+  LvmConfig config;
+  config.num_cpus = 2;
+  LvmSystem system(config);
+  StdSegment* segment = system.CreateSegment(16 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment(64);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as, 0);
+  // CPU 0 floods the logger; CPU 1 sits idle at time ~0.
+  for (uint32_t i = 0; i < 1200; ++i) {
+    system.cpu(0).Write(base + 4 * (i % 1024), i);
+  }
+  ASSERT_GT(system.overload_suspensions(), 0u);
+  // The kernel suspended every processor until the drain completed.
+  EXPECT_GT(system.cpu(1).now(), 10000u);
+  EXPECT_GT(system.cpu(1).stall_cycles(), 10000u);
+}
+
+// --- watchpoints ---
+
+class WatchTest : public ::testing::Test {
+ protected:
+  WatchTest() {
+    segment_ = system_.CreateSegment(4 * kPageSize);
+    region_ = system_.CreateRegion(segment_);
+    log_ = system_.CreateLogSegment();
+    as_ = system_.CreateAddressSpace();
+    base_ = as_->BindRegion(region_);
+    system_.AttachLog(region_, log_);
+    system_.Activate(as_);
+  }
+  LvmSystem system_;
+  StdSegment* segment_ = nullptr;
+  Region* region_ = nullptr;
+  LogSegment* log_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  VirtAddr base_ = 0;
+};
+
+TEST_F(WatchTest, FindWritesToRange) {
+  Cpu& cpu = system_.cpu();
+  cpu.Write(base_ + 0, 1);
+  cpu.Compute(500);
+  cpu.Write(base_ + 100, 2);
+  cpu.Compute(500);
+  cpu.Write(base_ + 104, 3);
+  cpu.Compute(500);
+  cpu.Write(base_ + kPageSize, 4);
+  system_.SyncLog(&cpu, log_);
+  LogReader reader(system_.memory(), *log_);
+  auto hits = FindWritesTo(reader, *region_, base_ + 100, base_ + 108);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].value, 2u);
+  EXPECT_EQ(hits[0].va, base_ + 100);
+  EXPECT_EQ(hits[1].value, 3u);
+}
+
+TEST_F(WatchTest, SubWordOverlapDetected) {
+  Cpu& cpu = system_.cpu();
+  cpu.Write(base_ + 102, 0x7, 1);  // One byte inside the watched word.
+  system_.SyncLog(&cpu, log_);
+  LogReader reader(system_.memory(), *log_);
+  auto hits = FindWritesTo(reader, *region_, base_ + 100, base_ + 104);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].size, 1u);
+}
+
+TEST_F(WatchTest, LastWriterBeforeTimestamp) {
+  Cpu& cpu = system_.cpu();
+  cpu.Write(base_ + 40, 1);
+  cpu.Compute(4000);
+  cpu.Write(base_ + 40, 2);
+  cpu.Compute(4000);
+  cpu.Write(base_ + 40, 3);
+  system_.SyncLog(&cpu, log_);
+  LogReader reader(system_.memory(), *log_);
+  auto hits = FindWritesTo(reader, *region_, base_ + 40, base_ + 44);
+  ASSERT_EQ(hits.size(), 3u);
+  WatchHit hit;
+  ASSERT_TRUE(LastWriterBefore(reader, *region_, base_ + 40, base_ + 44,
+                               hits[2].timestamp, &hit));
+  EXPECT_EQ(hit.value, 2u);
+  ASSERT_TRUE(LastWriterBefore(reader, *region_, base_ + 40, base_ + 44,
+                               hits[1].timestamp, &hit));
+  EXPECT_EQ(hit.value, 1u);
+  EXPECT_FALSE(LastWriterBefore(reader, *region_, base_ + 40, base_ + 44,
+                                hits[0].timestamp, &hit));
+}
+
+TEST_F(WatchTest, AuditDetectsStrayWrites) {
+  // Section 2.7: objects placed in the wrong region show up as records
+  // outside the expected ranges.
+  Cpu& cpu = system_.cpu();
+  // Expected object ranges: [0,256) and [1024, 1280).
+  std::vector<AuditRange> expected = {{base_, base_ + 256}, {base_ + 1024, base_ + 1280}};
+  cpu.Write(base_ + 16, 1);           // In range.
+  cpu.Write(base_ + 1100, 2);         // In range.
+  cpu.Write(base_ + 600, 3);          // STRAY.
+  cpu.Write(base_ + 254, 4);          // Straddles a range end: stray.
+  system_.SyncLog(&cpu, log_);
+  LogReader reader(system_.memory(), *log_);
+  std::vector<WatchHit> strays;
+  EXPECT_EQ(AuditLogPlacement(reader, *region_, expected, &strays), 2u);
+  ASSERT_EQ(strays.size(), 2u);
+  EXPECT_EQ(strays[0].va, base_ + 600);
+  EXPECT_EQ(strays[1].va, base_ + 254);
+}
+
+TEST_F(WatchTest, AuditCleanLogReportsZero) {
+  Cpu& cpu = system_.cpu();
+  std::vector<AuditRange> expected = {{base_, base_ + region_->size()}};
+  for (uint32_t i = 0; i < 30; ++i) {
+    cpu.Write(base_ + 8 * i, i);
+    cpu.Compute(200);
+  }
+  system_.SyncLog(&cpu, log_);
+  LogReader reader(system_.memory(), *log_);
+  EXPECT_EQ(AuditLogPlacement(reader, *region_, expected), 0u);
+}
+
+// --- on-chip logger context switching ---
+
+TEST(OnChipContextSwitchTest, DescriptorsFollowTheActiveSpace) {
+  // Two address spaces alternate on one processor; the on-chip descriptor
+  // table is unloaded/reloaded at each switch and records flow to the
+  // right logs.
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  struct Proc {
+    StdSegment* segment;
+    Region* region;
+    LogSegment* log;
+    AddressSpace* as;
+    VirtAddr base;
+  };
+  Proc procs[2];
+  for (auto& proc : procs) {
+    proc.segment = system.CreateSegment(kPageSize);
+    proc.region = system.CreateRegion(proc.segment);
+    proc.log = system.CreateLogSegment();
+    proc.as = system.CreateAddressSpace();
+    proc.base = proc.as->BindRegion(proc.region, 0x0100'0000);  // Same VA in both!
+    system.AttachLog(proc.region, proc.log);
+  }
+  for (uint32_t round = 0; round < 20; ++round) {
+    for (int p = 0; p < 2; ++p) {
+      system.Activate(procs[p].as);
+      cpu.Write(procs[p].base + 4 * round, 100u * static_cast<uint32_t>(p) + round);
+      cpu.Compute(100);
+    }
+  }
+  for (int p = 0; p < 2; ++p) {
+    system.Activate(procs[p].as);
+    system.SyncLog(&cpu, procs[p].log);
+    LogReader reader(system.memory(), *procs[p].log);
+    ASSERT_EQ(reader.size(), 20u) << "process " << p;
+    for (uint32_t round = 0; round < 20; ++round) {
+      EXPECT_EQ(reader.At(round).value, 100u * static_cast<uint32_t>(p) + round);
+      // Records carry the (shared) virtual address.
+      EXPECT_EQ(reader.At(round).addr, procs[p].base + 4 * round);
+    }
+  }
+}
+
+// --- machine-parameter monotonicity properties ---
+
+Cycles BurstCost(uint32_t buffer_depth) {
+  MachineParams params;
+  params.write_buffer_depth = buffer_depth;
+  LvmConfig config;
+  config.params = params;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(16 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment(64);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  system.TouchRegion(&cpu, region);
+  cpu.DrainWriteBuffer();
+  Cycles t0 = cpu.now();
+  for (uint32_t i = 0; i < 500; ++i) {
+    for (uint32_t w = 0; w < 8; ++w) {
+      cpu.Write(base + 4 * ((8 * i + w) % 1024), w);
+    }
+    cpu.Compute(400);
+  }
+  return cpu.now() - t0;
+}
+
+TEST(ParamPropertyTest, DeeperWriteBufferNeverSlower) {
+  Cycles previous = ~Cycles{0};
+  for (uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    Cycles cost = BurstCost(depth);
+    EXPECT_LE(cost, previous) << "depth " << depth;
+    previous = cost;
+  }
+}
+
+uint64_t OverloadsAtService(uint32_t service_cycles) {
+  MachineParams params;
+  params.logger_service_active_cycles = service_cycles;
+  LvmConfig config;
+  config.params = params;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(16 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment(64);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  system.TouchRegion(&cpu, region);
+  for (uint32_t i = 0; i < 4000; ++i) {
+    cpu.Write(base + 4 * (i % 1024), i);
+    cpu.Compute(20);
+  }
+  return system.overload_suspensions();
+}
+
+TEST(ParamPropertyTest, FasterLoggerNeverMoreOverloads) {
+  uint64_t previous = ~uint64_t{0};
+  for (uint32_t service : {54u, 27u, 18u, 9u}) {
+    uint64_t overloads = OverloadsAtService(service);
+    EXPECT_LE(overloads, previous) << "service " << service;
+    previous = overloads;
+  }
+  EXPECT_EQ(OverloadsAtService(9), 0u);  // Faster than the write rate.
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,155 @@
+// Tests of incremental log consumption (LogStream) and the host-side
+// transactional region.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/hostlvm/host_transaction.h"
+#include "src/lvm/log_stream.h"
+
+namespace lvm {
+namespace {
+
+class LogStreamTest : public ::testing::Test {
+ protected:
+  LogStreamTest() {
+    segment_ = system_.CreateSegment(4 * kPageSize);
+    region_ = system_.CreateRegion(segment_);
+    log_ = system_.CreateLogSegment();
+    as_ = system_.CreateAddressSpace();
+    base_ = as_->BindRegion(region_);
+    system_.AttachLog(region_, log_);
+    system_.Activate(as_);
+  }
+
+  LvmSystem system_;
+  StdSegment* segment_ = nullptr;
+  Region* region_ = nullptr;
+  LogSegment* log_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  VirtAddr base_ = 0;
+};
+
+TEST_F(LogStreamTest, ConsumesEachRecordOnce) {
+  Cpu& cpu = system_.cpu();
+  LogStream stream(&system_, log_);
+  cpu.Write(base_, 1);
+  cpu.Write(base_ + 4, 2);
+  EXPECT_EQ(stream.Refresh(&cpu), 2u);
+  EXPECT_EQ(stream.Next().value, 1u);
+  EXPECT_EQ(stream.Next().value, 2u);
+  EXPECT_FALSE(stream.HasNext());
+
+  cpu.Write(base_ + 8, 3);
+  EXPECT_EQ(stream.Refresh(&cpu), 1u);
+  EXPECT_EQ(stream.Next().value, 3u);
+  EXPECT_EQ(stream.position(), 3u);
+}
+
+TEST_F(LogStreamTest, InterleavedProduceConsume) {
+  Cpu& cpu = system_.cpu();
+  LogStream stream(&system_, log_);
+  uint32_t consumed_sum = 0;
+  uint32_t produced_sum = 0;
+  for (uint32_t round = 1; round <= 50; ++round) {
+    cpu.Write(base_ + 4 * (round % 512), round);
+    produced_sum += round;
+    cpu.Compute(200);
+    if (round % 7 == 0) {
+      stream.Refresh(&cpu);
+      while (stream.HasNext()) {
+        consumed_sum += stream.Next().value;
+      }
+    }
+  }
+  stream.Refresh(&cpu);
+  while (stream.HasNext()) {
+    consumed_sum += stream.Next().value;
+  }
+  EXPECT_EQ(consumed_sum, produced_sum);
+}
+
+TEST_F(LogStreamTest, RebaseAfterCompaction) {
+  Cpu& cpu = system_.cpu();
+  LogStream stream(&system_, log_);
+  cpu.Write(base_, 1);
+  cpu.Write(base_ + 4, 2);
+  stream.Refresh(&cpu);
+  stream.Next();
+  stream.Next();
+  // The producer drops the consumed prefix.
+  system_.CompactLog(&cpu, log_, stream.Consumable());
+  stream.Rebase();
+  cpu.Write(base_ + 8, 3);
+  EXPECT_EQ(stream.Refresh(&cpu), 1u);
+  EXPECT_EQ(stream.Next().value, 3u);
+}
+
+TEST(HostTransactionTest, CommitReportsWordUpdates) {
+  HostTransactionalRegion region(8);
+  auto* words = region.data<uint32_t>();
+  region.Begin();
+  words[0] = 5;
+  words[1024 + 2] = 7;  // Page 1.
+  auto updates = region.Commit();
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_EQ(updates[0].offset, 0u);
+  EXPECT_EQ(updates[0].value, 5u);
+  EXPECT_EQ(updates[1].offset, 4096u + 8);
+  EXPECT_EQ(updates[1].value, 7u);
+}
+
+TEST(HostTransactionTest, AbortRollsBack) {
+  HostTransactionalRegion region(4);
+  auto* words = region.data<uint32_t>();
+  region.Begin();
+  words[3] = 11;
+  region.Commit();
+  region.Begin();
+  words[3] = 99;
+  words[500] = 1;
+  region.Abort();
+  EXPECT_EQ(words[3], 11u);
+  EXPECT_EQ(words[500], 0u);
+}
+
+TEST(HostTransactionTest, ManyTransactionsWithStruct) {
+  struct Account {
+    uint32_t balance;
+    uint32_t version;
+  };
+  HostTransactionalRegion region(4);
+  auto* accounts = region.data<Account>();
+  uint32_t committed_balance = 0;
+  for (uint32_t tx = 1; tx <= 20; ++tx) {
+    region.Begin();
+    accounts[0].balance += tx;
+    accounts[0].version = tx;
+    if (tx % 3 == 0) {
+      region.Abort();
+    } else {
+      region.Commit();
+      committed_balance += tx;
+    }
+  }
+  EXPECT_EQ(accounts[0].balance, committed_balance);
+  EXPECT_EQ(region.commits(), 14u);
+  EXPECT_EQ(region.aborts(), 6u);
+}
+
+TEST(HostTransactionTest, WriteBackSameValueProducesNoRedo) {
+  HostTransactionalRegion region(2);
+  auto* words = region.data<uint32_t>();
+  region.Begin();
+  words[0] = 42;
+  region.Commit();
+  region.Begin();
+  words[0] = 43;
+  words[0] = 42;  // Net no-op.
+  auto updates = region.Commit();
+  EXPECT_TRUE(updates.empty());
+  EXPECT_EQ(words[0], 42u);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,140 @@
+// Edge cases of the direct-mapped and indexed logging modes (Section 2.6)
+// at the full-system level.
+#include <gtest/gtest.h>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+TEST(DirectMappedModeTest, SubWordWritesMirrorExactly) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* mirror = system.CreateLogSegment(1);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, mirror, LogMode::kDirectMapped);
+  system.Activate(as);
+
+  cpu.Write(base + 100, 0xDDCCBBAA);
+  cpu.Write(base + 101, 0x7F, 1);   // Overwrite one byte of the word.
+  cpu.Write(base + 200, 0x1234, 2);
+  system.SyncLog(&cpu, mirror);
+
+  EXPECT_EQ(system.memory().Read(mirror->FrameAt(0) + 100, 4), 0xDDCC7FAAu);
+  EXPECT_EQ(system.memory().Read(mirror->FrameAt(0) + 200, 2), 0x1234u);
+  // The mirror matches the data segment at the written locations.
+  EXPECT_EQ(system.memory().Read(mirror->FrameAt(0) + 100, 4),
+            system.memory().Read(segment->FrameAt(0) + 100, 4));
+}
+
+TEST(DirectMappedModeTest, MirrorGrowsWithDataSegment) {
+  // A small log segment is extended page by page as the data segment's
+  // pages fault in.
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(6 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* mirror = system.CreateLogSegment(0);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, mirror, LogMode::kDirectMapped);
+  system.Activate(as);
+  cpu.Write(base + 5 * kPageSize + 8, 55);
+  system.SyncLog(&cpu, mirror);
+  EXPECT_GE(mirror->page_count(), 6u);
+  EXPECT_EQ(system.memory().Read(mirror->FrameAt(5) + 8, 4), 55u);
+}
+
+TEST(IndexedModeTest, StreamCrossesPageBoundary) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(4 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* stream = system.CreateLogSegment(1);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, stream, LogMode::kIndexed);
+  system.Activate(as);
+
+  constexpr uint32_t kValues = kPageSize / 4 + 100;  // Past one page of words.
+  for (uint32_t i = 0; i < kValues; ++i) {
+    cpu.Write(base + 4 * (i % 1024), 70000 + i);
+    cpu.Compute(300);
+  }
+  system.SyncLog(&cpu, stream);
+  IndexedLogReader reader(system.memory(), *stream);
+  ASSERT_EQ(reader.size(), kValues);
+  for (uint32_t i = 0; i < kValues; ++i) {
+    ASSERT_EQ(reader.At(i), 70000 + i) << "value " << i;
+  }
+  EXPECT_GE(stream->page_count(), 2u);
+}
+
+TEST(IndexedModeTest, MixedSizesPackBackToBack) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* stream = system.CreateLogSegment(1);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, stream, LogMode::kIndexed);
+  system.Activate(as);
+
+  cpu.Write(base + 0, 0x11, 1);
+  cpu.Compute(500);
+  cpu.Write(base + 2, 0x2233, 2);
+  cpu.Compute(500);
+  cpu.Write(base + 4, 0x44556677, 4);
+  system.SyncLog(&cpu, stream);
+  // Bytes: 11 | 33 22 | 77 66 55 44 — packed with no addresses or padding.
+  PhysAddr frame = stream->FrameAt(0);
+  EXPECT_EQ(system.memory().Read(frame + 0, 1), 0x11u);
+  EXPECT_EQ(system.memory().Read(frame + 1, 2), 0x2233u);
+  EXPECT_EQ(system.memory().Read(frame + 3, 4), 0x44556677u);
+  EXPECT_EQ(stream->append_offset, 7u);
+}
+
+TEST(ModeMixTest, DifferentRegionsDifferentModes) {
+  // Three regions, three modes, one system: streams stay separate.
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  auto make = [&](LogMode mode, uint32_t pages) {
+    StdSegment* segment = system.CreateSegment(pages * kPageSize);
+    Region* region = system.CreateRegion(segment);
+    LogSegment* log = system.CreateLogSegment(1);
+    system.AttachLog(region, log, mode);
+    return std::pair<Region*, LogSegment*>(region, log);
+  };
+  AddressSpace* as = system.CreateAddressSpace();
+  auto [normal_region, normal_log] = make(LogMode::kNormal, 1);
+  auto [direct_region, direct_log] = make(LogMode::kDirectMapped, 1);
+  auto [indexed_region, indexed_log] = make(LogMode::kIndexed, 1);
+  VirtAddr normal_base = as->BindRegion(normal_region);
+  VirtAddr direct_base = as->BindRegion(direct_region);
+  VirtAddr indexed_base = as->BindRegion(indexed_region);
+  system.Activate(as);
+
+  cpu.Write(normal_base, 1);
+  cpu.Compute(500);
+  cpu.Write(direct_base + 40, 2);
+  cpu.Compute(500);
+  cpu.Write(indexed_base, 3);
+  system.SyncLog(&cpu, normal_log);
+  system.SyncLog(&cpu, indexed_log);
+
+  LogReader normal(system.memory(), *normal_log);
+  ASSERT_EQ(normal.size(), 1u);
+  EXPECT_EQ(normal.At(0).value, 1u);
+  EXPECT_EQ(system.memory().Read(direct_log->FrameAt(0) + 40, 4), 2u);
+  IndexedLogReader indexed(system.memory(), *indexed_log);
+  ASSERT_EQ(indexed.size(), 1u);
+  EXPECT_EQ(indexed.At(0), 3u);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,282 @@
+// Unit tests for the logger tables and the bus logger in isolation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/logger/hardware_logger.h"
+#include "src/logger/log_record.h"
+#include "src/logger/tables.h"
+#include "src/sim/bus.h"
+#include "src/sim/params.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+namespace {
+
+TEST(PageMappingTableTest, TagIndexSplit) {
+  // 20-bit page number: 5-bit tag, 15-bit index (Section 3.1.1).
+  EXPECT_EQ(PageMappingTable::kEntries, 32768u);
+  PhysAddr paddr = 0x8000'5000;  // Page number 0x80005.
+  EXPECT_EQ(PageMappingTable::IndexOf(paddr), 0x5u);
+  EXPECT_EQ(PageMappingTable::TagOf(paddr), 0x10u);
+}
+
+TEST(PageMappingTableTest, LookupRequiresTagMatch) {
+  PageMappingTable table;
+  PhysAddr a = 0x0000'5000;               // Index 5, tag 0.
+  PhysAddr b = a + (1u << (kPageShift + PageMappingTable::kIndexBits));  // Same index, tag 1.
+  EXPECT_EQ(PageMappingTable::IndexOf(a), PageMappingTable::IndexOf(b));
+  EXPECT_NE(PageMappingTable::TagOf(a), PageMappingTable::TagOf(b));
+
+  table.Load(a, 3);
+  ASSERT_NE(table.Lookup(a), nullptr);
+  EXPECT_EQ(table.Lookup(a)->log_index, 3u);
+  EXPECT_EQ(table.Lookup(b), nullptr);  // Tag mismatch.
+
+  // Loading b displaces a (direct mapped).
+  EXPECT_TRUE(table.Load(b, 4));
+  EXPECT_EQ(table.Lookup(a), nullptr);
+  ASSERT_NE(table.Lookup(b), nullptr);
+  EXPECT_EQ(table.Lookup(b)->log_index, 4u);
+}
+
+TEST(PageMappingTableTest, InvalidateOnlyMatchingTag) {
+  PageMappingTable table;
+  PhysAddr a = 0x0000'5000;
+  PhysAddr b = a + (1u << (kPageShift + PageMappingTable::kIndexBits));
+  table.Load(a, 1);
+  table.Invalidate(b);  // Different tag: no effect.
+  EXPECT_NE(table.Lookup(a), nullptr);
+  table.Invalidate(a);
+  EXPECT_EQ(table.Lookup(a), nullptr);
+}
+
+TEST(LogTableTest, AllocateAndRelease) {
+  LogTable table(4);
+  uint32_t indexes[4];
+  for (auto& index : indexes) {
+    ASSERT_TRUE(table.Allocate(LogMode::kNormal, &index));
+  }
+  uint32_t extra = 0;
+  EXPECT_FALSE(table.Allocate(LogMode::kNormal, &extra));
+  table.Release(indexes[2]);
+  ASSERT_TRUE(table.Allocate(LogMode::kIndexed, &extra));
+  EXPECT_EQ(extra, indexes[2]);
+  EXPECT_EQ(table.at(extra).mode, LogMode::kIndexed);
+}
+
+TEST(LogTableTest, SetTailValidates) {
+  LogTable table;
+  uint32_t index = 0;
+  ASSERT_TRUE(table.Allocate(LogMode::kNormal, &index));
+  EXPECT_FALSE(table.at(index).tail_valid);
+  table.SetTail(index, 0x7d20);
+  EXPECT_TRUE(table.at(index).tail_valid);
+  EXPECT_EQ(table.at(index).tail, 0x7d20u);
+}
+
+// A fake kernel for driving the logger directly.
+class FakeClient : public LoggerFaultClient {
+ public:
+  explicit FakeClient(HardwareLogger* logger, PhysAddr next_frame)
+      : logger_(logger), next_frame_(next_frame) {}
+
+  bool OnMappingFault(PhysAddr paddr, Cycles time) override {
+    (void)time;
+    ++mapping_faults;
+    if (!reload_mappings) {
+      return false;
+    }
+    logger_->page_mapping_table().Load(paddr, 0);
+    return true;
+  }
+
+  bool OnLogTailFault(uint32_t log_index, Cycles time) override {
+    (void)time;
+    ++tail_faults;
+    logger_->log_table().SetTail(log_index, next_frame_);
+    next_frame_ += kPageSize;
+    return true;
+  }
+
+  void OnOverload(Cycles interrupt_time, Cycles drain_complete) override {
+    ++overloads;
+    last_drain_complete = drain_complete;
+    (void)interrupt_time;
+  }
+
+  HardwareLogger* logger_;
+  PhysAddr next_frame_;
+  int mapping_faults = 0;
+  int tail_faults = 0;
+  int overloads = 0;
+  Cycles last_drain_complete = 0;
+  bool reload_mappings = true;
+};
+
+class HardwareLoggerTest : public ::testing::Test {
+ protected:
+  static constexpr PhysAddr kDataPage = 0x10000;
+  static constexpr PhysAddr kLogPage = 0x40000;
+
+  HardwareLoggerTest()
+      : memory_(1u << 20), logger_(&params_, &memory_, &bus_), client_(&logger_, kLogPage) {
+    logger_.set_fault_client(&client_);
+    uint32_t index = 0;
+    EXPECT_TRUE(logger_.log_table().Allocate(LogMode::kNormal, &index));
+    EXPECT_EQ(index, 0u);
+    logger_.page_mapping_table().Load(kDataPage, 0);
+  }
+
+  MachineParams params_;
+  PhysicalMemory memory_;
+  Bus bus_;
+  HardwareLogger logger_;
+  FakeClient client_;
+};
+
+TEST_F(HardwareLoggerTest, IgnoresUnloggedWrites) {
+  logger_.OnBusWrite(kDataPage, 1, 4, /*logged=*/false, 0, 0);
+  logger_.SyncDrain(0);
+  EXPECT_EQ(logger_.records_logged(), 0u);
+}
+
+TEST_F(HardwareLoggerTest, RecordFormatMatchesPaperExample) {
+  // Section 3.1.1's example: a write of 4321 to address 10004 lands as
+  // <address, datum, size, timestamp> at the log tail.
+  logger_.log_table().SetTail(0, 0x7d20);
+  logger_.page_mapping_table().Load(0x00010000, 0);
+  logger_.OnBusWrite(0x00010004, 4321, 4, true, /*time=*/400, 0);
+  logger_.SyncDrain(10000);
+  ASSERT_EQ(logger_.records_logged(), 1u);
+  LogRecord record = LoadLogRecord(memory_, 0x7d20);
+  EXPECT_EQ(record.addr, 0x00010004u);
+  EXPECT_EQ(record.value, 4321u);
+  EXPECT_EQ(record.size, 4u);
+  EXPECT_EQ(record.timestamp, 400u / params_.timestamp_divider);
+  // The tail advanced by one 16-byte record.
+  EXPECT_EQ(logger_.log_table().at(0).tail, 0x7d20u + kLogRecordSize);
+}
+
+TEST_F(HardwareLoggerTest, TailFaultOnFirstRecordAndPageCrossing) {
+  // No tail loaded: the first record raises a logging fault the client
+  // resolves; crossing a page boundary raises another.
+  constexpr uint32_t kRecordsPerPage = kPageSize / kLogRecordSize;
+  for (uint32_t i = 0; i <= kRecordsPerPage; ++i) {
+    logger_.OnBusWrite(kDataPage + 4 * i, i, 4, true, 1000u * i, 0);
+  }
+  logger_.SyncDrain(~0ull >> 1);
+  EXPECT_EQ(logger_.records_logged(), kRecordsPerPage + 1);
+  EXPECT_EQ(client_.tail_faults, 2);
+  // First page of records, then one record in the second frame.
+  EXPECT_EQ(LoadLogRecord(memory_, kLogPage).value, 0u);
+  EXPECT_EQ(LoadLogRecord(memory_, kLogPage + kPageSize - kLogRecordSize).value,
+            kRecordsPerPage - 1);
+  EXPECT_EQ(LoadLogRecord(memory_, kLogPage + kPageSize).value, kRecordsPerPage);
+}
+
+TEST_F(HardwareLoggerTest, MappingFaultReload) {
+  logger_.page_mapping_table().Invalidate(kDataPage);
+  logger_.OnBusWrite(kDataPage, 5, 4, true, 0, 0);
+  logger_.SyncDrain(1u << 20);
+  EXPECT_EQ(client_.mapping_faults, 1);
+  EXPECT_EQ(logger_.records_logged(), 1u);
+}
+
+TEST_F(HardwareLoggerTest, DropsWhenMappingUnresolvable) {
+  client_.reload_mappings = false;
+  logger_.page_mapping_table().Invalidate(kDataPage);
+  logger_.OnBusWrite(kDataPage, 5, 4, true, 0, 0);
+  logger_.SyncDrain(1u << 20);
+  EXPECT_EQ(logger_.records_logged(), 0u);
+  EXPECT_EQ(logger_.records_dropped(), 1u);
+}
+
+TEST_F(HardwareLoggerTest, OverloadTriggersAtThreshold) {
+  // Back-to-back writes at time ~0 cannot drain at the active service rate:
+  // occupancy reaches the threshold and the logger drains fully at the DMA
+  // rate, notifying the kernel.
+  uint32_t n = params_.logger_fifo_threshold + 64;
+  for (uint32_t i = 0; i < n; ++i) {
+    logger_.OnBusWrite(kDataPage + (4 * i) % kPageSize, i, 4, true, i, 0);
+  }
+  EXPECT_EQ(client_.overloads, 1);
+  EXPECT_EQ(logger_.overload_events(), 1u);
+  // The drain emptied the FIFO; only the writes issued after the overload
+  // event remain queued.
+  EXPECT_LE(logger_.fifo_occupancy(), 64u);
+  // The drain takes roughly threshold * DMA cycles.
+  EXPECT_GE(client_.last_drain_complete,
+            static_cast<Cycles>(params_.logger_fifo_threshold - 16) *
+                params_.logger_service_drain_cycles);
+  logger_.SyncDrain(0);
+  EXPECT_EQ(logger_.records_logged(), n);
+}
+
+TEST_F(HardwareLoggerTest, SlowWritesNeverOverload) {
+  // One logged write per 2x the active service time: the FIFO never backs
+  // up (Section 4.5.3).
+  Cycles t = 0;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    logger_.OnBusWrite(kDataPage + (4 * i) % kPageSize, i, 4, true, t, 0);
+    t += 2 * params_.logger_service_active_cycles;
+  }
+  EXPECT_EQ(client_.overloads, 0);
+  EXPECT_LE(logger_.fifo_occupancy(), 2u);
+}
+
+TEST_F(HardwareLoggerTest, BurstsWithinFifoCapacityAbsorbed) {
+  // A burst smaller than the threshold is absorbed without overload, given
+  // idle time afterwards (the FIFOs' purpose).
+  uint32_t burst = params_.logger_fifo_threshold - 1;
+  for (uint32_t i = 0; i < burst; ++i) {
+    logger_.OnBusWrite(kDataPage + (4 * i) % kPageSize, i, 4, true, i, 0);
+  }
+  EXPECT_EQ(client_.overloads, 0);
+  logger_.SyncDrain(0);
+  EXPECT_EQ(logger_.records_logged(), burst);
+}
+
+TEST_F(HardwareLoggerTest, DirectMappedModeWritesAtCorrespondingOffset) {
+  uint32_t index = 0;
+  ASSERT_TRUE(logger_.log_table().Allocate(LogMode::kDirectMapped, &index));
+  PhysAddr data_page = 0x20000;
+  PhysAddr mirror_frame = 0x50000;
+  logger_.page_mapping_table().Load(data_page, index, mirror_frame);
+  logger_.OnBusWrite(data_page + 0x123 * 4, 77, 4, true, 0, 0);
+  logger_.SyncDrain(1u << 20);
+  EXPECT_EQ(memory_.Read(mirror_frame + 0x123 * 4, 4), 77u);
+  EXPECT_EQ(client_.tail_faults, 0);
+}
+
+TEST_F(HardwareLoggerTest, IndexedModeStreamsValuesOnly) {
+  uint32_t index = 0;
+  ASSERT_TRUE(logger_.log_table().Allocate(LogMode::kIndexed, &index));
+  PhysAddr data_page = 0x20000;
+  logger_.page_mapping_table().Load(data_page, index);
+  logger_.log_table().SetTail(index, 0x60000);
+  for (uint32_t i = 0; i < 8; ++i) {
+    logger_.OnBusWrite(data_page + 4 * i, 100 + i, 4, true, 10 * i, 0);
+  }
+  logger_.SyncDrain(1u << 20);
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(memory_.Read(0x60000 + 4 * i, 4), 100 + i);
+  }
+}
+
+TEST_F(HardwareLoggerTest, TimestampsAreMonotonic) {
+  logger_.log_table().SetTail(0, kLogPage);
+  for (uint32_t i = 0; i < 16; ++i) {
+    logger_.OnBusWrite(kDataPage + 4 * i, i, 4, true, 100 * i, 0);
+  }
+  logger_.SyncDrain(1u << 20);
+  uint32_t last = 0;
+  for (uint32_t i = 0; i < 16; ++i) {
+    LogRecord record = LoadLogRecord(memory_, kLogPage + i * kLogRecordSize);
+    EXPECT_GE(record.timestamp, last);
+    last = record.timestamp;
+  }
+}
+
+}  // namespace
+}  // namespace lvm

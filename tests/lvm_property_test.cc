@@ -1,0 +1,185 @@
+// Property-based tests: the logging system against a shadow reference
+// model, swept over logger kinds and workload shapes with parameterized
+// gtest.
+//
+// Invariants checked on randomized write streams:
+//   P1. completeness — every write to a logged region produces exactly one
+//       record (none lost while capacity is available);
+//   P2. order — records appear in program order with monotone timestamps;
+//   P3. fidelity — each record's (address, value, size) matches the write
+//       that produced it;
+//   P4. memory — the data segment's final contents equal a shadow model's;
+//   P5. replay — applying the log to a zeroed segment of the same shape
+//       reproduces every logged byte.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+struct PropertyCase {
+  const char* name;
+  LoggerKind logger;
+  // Mean compute cycles between writes (0 = back to back, overload-prone).
+  uint32_t pacing;
+  // Allowed write sizes.
+  bool mixed_sizes;
+  uint64_t seed;
+};
+
+struct ShadowWrite {
+  uint32_t offset;
+  uint32_t value;
+  uint8_t size;
+};
+
+class LoggingPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(LoggingPropertyTest, RandomStreamInvariants) {
+  const PropertyCase& param = GetParam();
+  LvmConfig config;
+  config.logger_kind = param.logger;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+
+  constexpr uint32_t kRegionBytes = 16 * kPageSize;
+  StdSegment* segment = system.CreateSegment(kRegionBytes);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+
+  // Issue a random write stream, mirrored into a shadow byte array.
+  Rng rng(param.seed);
+  std::vector<uint8_t> shadow(kRegionBytes, 0);
+  std::vector<ShadowWrite> issued;
+  constexpr uint32_t kWrites = 3000;
+  for (uint32_t i = 0; i < kWrites; ++i) {
+    uint8_t size = 4;
+    if (param.mixed_sizes) {
+      const uint8_t kSizes[] = {1, 2, 4};
+      size = kSizes[rng.Uniform(3)];
+    }
+    uint32_t offset =
+        static_cast<uint32_t>(rng.Uniform(kRegionBytes / size)) * size;
+    auto value = static_cast<uint32_t>(rng.Next64());
+    if (size < 4) {
+      value &= (1u << (8 * size)) - 1;
+    }
+    cpu.Write(base + offset, value, size);
+    std::memcpy(&shadow[offset], &value, size);
+    issued.push_back(ShadowWrite{offset, value, size});
+    if (param.pacing > 0) {
+      cpu.Compute(param.pacing);
+    }
+  }
+  system.SyncLog(&cpu, log);
+
+  // P1: completeness.
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), issued.size());
+  EXPECT_EQ(log->records_lost, 0u);
+
+  // P2 + P3: order, fidelity, monotone timestamps.
+  uint32_t last_timestamp = 0;
+  for (size_t i = 0; i < issued.size(); ++i) {
+    LogRecord record = reader.At(i);
+    VirtAddr va = 0;
+    if (param.logger == LoggerKind::kOnChip) {
+      // Section 4.6: on-chip records carry the virtual address directly.
+      va = record.addr;
+    } else {
+      ASSERT_TRUE(RecordVirtualAddress(record, *region, &va)) << "record " << i;
+    }
+    EXPECT_EQ(va, base + issued[i].offset) << "record " << i;
+    EXPECT_EQ(record.value, issued[i].value) << "record " << i;
+    EXPECT_EQ(record.size, issued[i].size) << "record " << i;
+    EXPECT_GE(record.timestamp, last_timestamp) << "record " << i;
+    last_timestamp = record.timestamp;
+  }
+
+  // P4: memory state equals the shadow.
+  for (uint32_t offset = 0; offset < kRegionBytes; offset += 4) {
+    uint32_t expected = 0;
+    std::memcpy(&expected, &shadow[offset], 4);
+    ASSERT_EQ(cpu.Read(base + offset), expected) << "offset " << offset;
+  }
+
+  // P5: replaying the log onto a fresh segment reproduces the state.
+  StdSegment* replay = system.CreateSegment(kRegionBytes);
+  LogApplier applier(&system);
+  if (param.logger == LoggerKind::kBusLogger) {
+    applier.ApplyRetargeted(&cpu, reader, 0, reader.size(), *segment, replay);
+  } else {
+    // Virtual records: retarget through a region binding in a fresh space.
+    Region* replay_region = system.CreateRegion(replay);
+    AddressSpace* replay_as = system.CreateAddressSpace();
+    replay_as->BindRegion(replay_region, base);
+    applier.ApplyVirtual(&cpu, reader, 0, reader.size(), replay_as);
+  }
+  for (uint32_t offset = 0; offset < kRegionBytes; offset += 4) {
+    if (!replay->HasFrame(PageNumber(offset))) {
+      continue;  // Never logged: stays zero, and the shadow agrees below.
+    }
+    uint32_t expected = 0;
+    std::memcpy(&expected, &shadow[offset], 4);
+    uint32_t actual = system.memory().Read(
+        replay->FrameAt(PageNumber(offset)) + PageOffset(offset), 4);
+    ASSERT_EQ(actual, expected) << "replayed offset " << offset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoggingPropertyTest,
+    ::testing::Values(
+        PropertyCase{"bus_paced_words", LoggerKind::kBusLogger, 300, false, 1},
+        PropertyCase{"bus_paced_mixed", LoggerKind::kBusLogger, 300, true, 2},
+        PropertyCase{"bus_bursty_words", LoggerKind::kBusLogger, 0, false, 3},
+        PropertyCase{"bus_bursty_mixed", LoggerKind::kBusLogger, 0, true, 4},
+        PropertyCase{"onchip_paced_words", LoggerKind::kOnChip, 300, false, 5},
+        PropertyCase{"onchip_bursty_mixed", LoggerKind::kOnChip, 0, true, 6},
+        PropertyCase{"bus_paced_words_alt_seed", LoggerKind::kBusLogger, 50, false, 7},
+        PropertyCase{"onchip_paced_mixed", LoggerKind::kOnChip, 50, true, 8}),
+    [](const ::testing::TestParamInfo<PropertyCase>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+// The ApplyVirtual path used above needs the replay region mapped at the
+// same base; a dedicated test pins that behaviour.
+TEST(LogApplierTest, ApplyVirtualTranslatesThroughGivenSpace) {
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  cpu.Write(base + 8, 77);
+  system.SyncLog(&cpu, log);
+
+  StdSegment* other = system.CreateSegment(kPageSize);
+  Region* other_region = system.CreateRegion(other);
+  AddressSpace* other_as = system.CreateAddressSpace();
+  other_as->BindRegion(other_region, base);
+  LogReader reader(system.memory(), *log);
+  LogApplier applier(&system);
+  applier.ApplyVirtual(&cpu, reader, 0, reader.size(), other_as);
+  EXPECT_EQ(system.memory().Read(other->FrameAt(0) + 8, 4), 77u);
+}
+
+}  // namespace
+}  // namespace lvm

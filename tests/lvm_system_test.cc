@@ -1,0 +1,446 @@
+// Integration tests of the full LVM system: kernel + logger + VM + machine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+// The Section 2.2 setup: a logged region over a data segment.
+struct LoggedSetup {
+  explicit LoggedSetup(LvmSystem* system, uint32_t size = 4 * kPageSize,
+                       LogMode mode = LogMode::kNormal) {
+    segment = system->CreateSegment(size);
+    region = system->CreateRegion(segment);
+    log = system->CreateLogSegment();
+    as = system->CreateAddressSpace();
+    base = as->BindRegion(region);
+    system->AttachLog(region, log, mode);
+    system->Activate(as);
+  }
+
+  StdSegment* segment = nullptr;
+  Region* region = nullptr;
+  LogSegment* log = nullptr;
+  AddressSpace* as = nullptr;
+  VirtAddr base = 0;
+};
+
+TEST(LvmSystemTest, QuickstartWriteProducesRecord) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+
+  cpu.Write(setup.base + 0x10, 4321);
+  system.SyncLog(&cpu, setup.log);
+
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 1u);
+  LogRecord record = reader.At(0);
+  EXPECT_EQ(record.value, 4321u);
+  EXPECT_EQ(record.size, 4u);
+  // The bus logger records the physical address of the write.
+  EXPECT_EQ(record.addr, setup.segment->FrameAt(0) + 0x10);
+  // The data itself also landed.
+  EXPECT_EQ(cpu.Read(setup.base + 0x10), 4321u);
+}
+
+TEST(LvmSystemTest, RecordsPreserveProgramOrder) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  for (uint32_t i = 0; i < 100; ++i) {
+    cpu.Write(setup.base + 4 * i, i * 7);
+    cpu.Compute(300);  // Below the overload rate.
+  }
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 100u);
+  uint32_t last_timestamp = 0;
+  for (uint32_t i = 0; i < 100; ++i) {
+    LogRecord record = reader.At(i);
+    EXPECT_EQ(record.value, i * 7);
+    EXPECT_GE(record.timestamp, last_timestamp);
+    last_timestamp = record.timestamp;
+  }
+}
+
+TEST(LvmSystemTest, VirtualAddressReconstruction) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  cpu.Write(setup.base + kPageSize + 0x24, 9);
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 1u);
+  VirtAddr va = 0;
+  ASSERT_TRUE(RecordVirtualAddress(reader.At(0), *setup.region, &va));
+  EXPECT_EQ(va, setup.base + kPageSize + 0x24);
+}
+
+TEST(LvmSystemTest, SubWordWritesLogSizes) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  cpu.Write(setup.base + 0, 0x11, 1);
+  cpu.Compute(1000);
+  cpu.Write(setup.base + 2, 0x2222, 2);
+  cpu.Compute(1000);
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.At(0).size, 1u);
+  EXPECT_EQ(reader.At(0).value, 0x11u);
+  EXPECT_EQ(reader.At(1).size, 2u);
+  EXPECT_EQ(reader.At(1).value, 0x2222u);
+}
+
+TEST(LvmSystemTest, LogCrossesPageBoundaries) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  constexpr uint32_t kRecords = 3 * (kPageSize / kLogRecordSize) + 5;
+  for (uint32_t i = 0; i < kRecords; ++i) {
+    cpu.Write(setup.base + 4 * (i % 1024), i);
+    cpu.Compute(300);
+  }
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), kRecords);
+  for (uint32_t i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(reader.At(i).value, i);
+  }
+  EXPECT_GE(system.logging_faults_handled(), 3u);
+}
+
+TEST(LvmSystemTest, UnloggedRegionProducesNoRecords) {
+  LvmSystem system;
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.Activate(as);
+  Cpu& cpu = system.cpu();
+  cpu.Write(base, 1);
+  EXPECT_EQ(cpu.logged_writes(), 0u);
+  EXPECT_EQ(system.bus_logger()->records_logged(), 0u);
+}
+
+TEST(LvmSystemTest, DynamicDisableEnable) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  cpu.Write(setup.base, 1);
+  system.SetRegionLogging(setup.region, false);
+  cpu.Write(setup.base + 4, 2);
+  system.SetRegionLogging(setup.region, true);
+  cpu.Write(setup.base + 8, 3);
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.At(0).value, 1u);
+  EXPECT_EQ(reader.At(1).value, 3u);
+}
+
+TEST(LvmSystemTest, DebuggerAttachesLogToRunningProgram) {
+  // Section 2.7: logging can be added to an already-running program's
+  // region with no change to the program.
+  LvmSystem system;
+  StdSegment* segment = system.CreateSegment(2 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.Activate(as);
+  Cpu& cpu = system.cpu();
+  cpu.Write(base, 1);  // Unlogged: the pages are already mapped.
+  LogSegment* log = system.CreateLogSegment();
+  system.AttachLog(region, log);
+  cpu.Write(base + 4, 2);
+  system.SyncLog(&cpu, log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), 1u);
+  EXPECT_EQ(reader.At(0).value, 2u);
+}
+
+TEST(LvmSystemTest, MappingFaultReloadsDisplacedEntry) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  cpu.Write(setup.base, 1);
+  system.SyncLog(&cpu, setup.log);
+  // Simulate a displaced page-mapping entry (a conflicting page would do
+  // this in a larger machine); the next record must fault and reload.
+  system.bus_logger()->page_mapping_table().Invalidate(setup.segment->FrameAt(0));
+  uint64_t faults_before = system.logging_faults_handled();
+  cpu.Write(setup.base + 4, 2);
+  system.SyncLog(&cpu, setup.log);
+  EXPECT_GT(system.logging_faults_handled(), faults_before);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.At(1).value, 2u);
+}
+
+TEST(LvmSystemTest, RecordsLostWithoutExtension) {
+  LvmConfig config;
+  config.auto_extend_logs = false;
+  LvmSystem system(config);
+  StdSegment* segment = system.CreateSegment(4 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment(/*initial_pages=*/1);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  Cpu& cpu = system.cpu();
+  constexpr uint32_t kRecordsPerPage = kPageSize / kLogRecordSize;
+  // Two pages worth of records into a one-page log: the second page's worth
+  // goes to the absorb page; crossing it twice reports the loss.
+  for (uint32_t i = 0; i < 3 * kRecordsPerPage; ++i) {
+    cpu.Write(base + 4 * (i % 1024), i);
+    cpu.Compute(300);
+  }
+  system.SyncLog(&cpu, log);
+  EXPECT_GT(log->records_lost, 0u);
+  LogReader reader(system.memory(), *log);
+  EXPECT_EQ(reader.size(), kRecordsPerPage);  // Only the first page kept.
+  // Extending resumes real logging.
+  system.EnsureLogCapacity(log, 8);
+  cpu.Write(base, 4242);
+  system.SyncLog(&cpu, log);
+  LogReader reader2(system.memory(), *log);
+  EXPECT_EQ(reader2.size(), kRecordsPerPage + 1);
+  EXPECT_EQ(reader2.At(kRecordsPerPage).value, 4242u);
+}
+
+TEST(LvmSystemTest, TruncateEmptiesLog) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  for (uint32_t i = 0; i < 10; ++i) {
+    cpu.Write(setup.base + 4 * i, i);
+    cpu.Compute(300);
+  }
+  system.TruncateLog(&cpu, setup.log);
+  LogReader empty(system.memory(), *setup.log);
+  EXPECT_EQ(empty.size(), 0u);
+  cpu.Write(setup.base, 77);
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 1u);
+  EXPECT_EQ(reader.At(0).value, 77u);
+}
+
+TEST(LvmSystemTest, OverloadSuspendsAndRecovers) {
+  LvmSystem system;
+  LoggedSetup setup(&system, 16 * kPageSize);
+  Cpu& cpu = system.cpu();
+  // Logged writes with no computation overload the logger (Section 4.5.3).
+  constexpr uint32_t kWrites = 2000;
+  for (uint32_t i = 0; i < kWrites; ++i) {
+    cpu.Write(setup.base + 4 * (i % (4 * 1024)), i);
+  }
+  system.SyncLog(&cpu, setup.log);
+  EXPECT_GT(system.overload_suspensions(), 0u);
+  LogReader reader(system.memory(), *setup.log);
+  EXPECT_EQ(reader.size(), kWrites);  // Nothing lost, just slowed down.
+  // Each overload event costs well over 30,000 cycles (Section 4.5.3).
+  EXPECT_GT(cpu.now(), system.overload_suspensions() * 30000u);
+}
+
+TEST(LvmSystemTest, PacedWritesNeverOverload) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  for (uint32_t i = 0; i < 2000; ++i) {
+    cpu.Write(setup.base + 4 * (i % 1024), i);
+    cpu.Compute(300);
+  }
+  EXPECT_EQ(system.overload_suspensions(), 0u);
+}
+
+TEST(LvmSystemTest, TwoProcessesSeparateLogs) {
+  // Two address spaces over distinct segments log to separate segments, so
+  // their streams are not intermixed (Section 2.1).
+  LvmSystem system;
+  LoggedSetup a(&system);
+  LoggedSetup b(&system);
+  Cpu& cpu = system.cpu();
+  system.Activate(a.as);
+  cpu.Write(a.base, 1);
+  cpu.Compute(1000);
+  system.Activate(b.as);
+  cpu.Write(b.base, 2);
+  cpu.Compute(1000);
+  system.Activate(a.as);
+  cpu.Write(a.base + 4, 3);
+  system.SyncLog(&cpu, a.log);
+  system.SyncLog(&cpu, b.log);
+  LogReader ra(system.memory(), *a.log);
+  LogReader rb(system.memory(), *b.log);
+  ASSERT_EQ(ra.size(), 2u);
+  ASSERT_EQ(rb.size(), 1u);
+  EXPECT_EQ(ra.At(0).value, 1u);
+  EXPECT_EQ(ra.At(1).value, 3u);
+  EXPECT_EQ(rb.At(0).value, 2u);
+}
+
+TEST(LvmSystemTest, BusLoggerOneLogPerSegment) {
+  // Prototype restriction (Section 3.1.2).
+  LvmSystem system;
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* r1 = system.CreateRegion(segment);
+  Region* r2 = system.CreateRegion(segment);
+  LogSegment* l1 = system.CreateLogSegment();
+  LogSegment* l2 = system.CreateLogSegment();
+  system.AttachLog(r1, l1);
+  EXPECT_DEATH(system.AttachLog(r2, l2), "single log per segment");
+}
+
+TEST(LvmSystemTest, DirectMappedMode) {
+  LvmSystem system;
+  LoggedSetup setup(&system, 2 * kPageSize, LogMode::kDirectMapped);
+  Cpu& cpu = system.cpu();
+  cpu.Write(setup.base + 0x40, 123);
+  cpu.Write(setup.base + kPageSize + 0x80, 456);
+  system.SyncLog(&cpu, setup.log);
+  // The log segment mirrors the data segment at corresponding offsets.
+  EXPECT_EQ(system.memory().Read(setup.log->FrameAt(0) + 0x40, 4), 123u);
+  EXPECT_EQ(system.memory().Read(setup.log->FrameAt(1) + 0x80, 4), 456u);
+}
+
+TEST(LvmSystemTest, IndexedMode) {
+  LvmSystem system;
+  LoggedSetup setup(&system, kPageSize, LogMode::kIndexed);
+  Cpu& cpu = system.cpu();
+  for (uint32_t i = 0; i < 8; ++i) {
+    cpu.Write(setup.base + 4 * i, 100 + i);
+    cpu.Compute(1000);
+  }
+  system.SyncLog(&cpu, setup.log);
+  IndexedLogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 8u);
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(reader.At(i), 100 + i);
+  }
+}
+
+TEST(LvmSystemTest, OnChipLoggerVirtualAddresses) {
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  LvmSystem system(config);
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  cpu.Write(setup.base + 0x30, 5);
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  ASSERT_EQ(reader.size(), 1u);
+  // Section 4.6: records carry the virtual address.
+  EXPECT_EQ(reader.At(0).addr, setup.base + 0x30);
+  EXPECT_EQ(reader.At(0).value, 5u);
+  // Logged pages stay copyback-cached: no write-through cost, no overload.
+  EXPECT_EQ(system.overload_suspensions(), 0u);
+}
+
+TEST(LvmSystemTest, OnChipLoggerPerRegionLogsOnSharedSegment) {
+  // The on-chip design lifts the one-log-per-segment restriction: two
+  // regions over the same segment log to different segments.
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  LvmSystem system(config);
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* r1 = system.CreateRegion(segment);
+  Region* r2 = system.CreateRegion(segment);
+  LogSegment* l1 = system.CreateLogSegment();
+  LogSegment* l2 = system.CreateLogSegment();
+  AddressSpace* as1 = system.CreateAddressSpace();
+  AddressSpace* as2 = system.CreateAddressSpace();
+  VirtAddr b1 = as1->BindRegion(r1);
+  VirtAddr b2 = as2->BindRegion(r2);
+  system.AttachLog(r1, l1);
+  system.AttachLog(r2, l2);
+  Cpu& cpu = system.cpu();
+  system.Activate(as1);
+  cpu.Write(b1, 11);
+  cpu.Compute(100);
+  system.Activate(as2);
+  cpu.Write(b2 + 4, 22);
+  system.SyncLog(&cpu, l1);
+  system.SyncLog(&cpu, l2);
+  LogReader ra(system.memory(), *l1);
+  LogReader rb(system.memory(), *l2);
+  ASSERT_EQ(ra.size(), 1u);
+  ASSERT_EQ(rb.size(), 1u);
+  EXPECT_EQ(ra.At(0).value, 11u);
+  EXPECT_EQ(rb.At(0).value, 22u);
+  // Both writes hit the same physical word.
+  EXPECT_EQ(system.memory().Read(segment->FrameAt(0) + 4, 4), 22u);
+}
+
+TEST(LvmSystemTest, OnChipLoggedWriteCostNearUnlogged) {
+  // Section 4.6: with on-chip support a logged write costs essentially the
+  // same as an unlogged write.
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  LvmSystem system(config);
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  system.TouchRegion(&cpu, setup.region);
+  Cycles start = cpu.now();
+  for (uint32_t i = 0; i < 1000; ++i) {
+    cpu.Write(setup.base + 4 * (i % 1024), i);
+    cpu.Compute(50);
+  }
+  // Per-write cost stays within ~2 cycles of an unlogged write (the
+  // remainder is the occasional synchronous log-extension fixup).
+  Cycles logged_cost = cpu.now() - start - 1000 * 50;
+  EXPECT_LE(logged_cost, 1000 * (system.machine().params().unlogged_write_cycles + 2));
+}
+
+TEST(LvmSystemTest, PageFaultOutsideAnyRegionAborts) {
+  LvmSystem system;
+  AddressSpace* as = system.CreateAddressSpace();
+  system.Activate(as);
+  EXPECT_DEATH(system.cpu().Read(0x0040'0000), "unresolvable page fault");
+}
+
+TEST(LvmSystemTest, LogApplierRollForward) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  for (uint32_t i = 0; i < 10; ++i) {
+    cpu.Write(setup.base + 4 * i, i + 1);
+    cpu.Compute(300);
+  }
+  system.SyncLog(&cpu, setup.log);
+  // Clobber memory, then roll the log forward to reconstruct it.
+  for (uint32_t i = 0; i < 10; ++i) {
+    system.machine().l2().Write(setup.segment->FrameAt(0) + 4 * i, 0, 4);
+  }
+  LogReader reader(system.memory(), *setup.log);
+  LogApplier applier(&system);
+  applier.ApplyPhysical(&cpu, reader, 0, reader.size());
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(cpu.Read(setup.base + 4 * i), i + 1);
+  }
+}
+
+TEST(LvmSystemTest, LogApplierRetargetsToCheckpoint) {
+  LvmSystem system;
+  LoggedSetup setup(&system);
+  Cpu& cpu = system.cpu();
+  StdSegment* checkpoint = system.CreateSegment(setup.segment->size());
+  cpu.Write(setup.base + 4, 42);
+  cpu.Write(setup.base + kPageSize + 8, 43);
+  system.SyncLog(&cpu, setup.log);
+  LogReader reader(system.memory(), *setup.log);
+  LogApplier applier(&system);
+  applier.ApplyRetargeted(&cpu, reader, 0, reader.size(), *setup.segment, checkpoint);
+  EXPECT_EQ(system.memory().Read(checkpoint->FrameAt(0) + 4, 4), 42u);
+  EXPECT_EQ(system.memory().Read(checkpoint->FrameAt(1) + 8, 4), 43u);
+}
+
+}  // namespace
+}  // namespace lvm

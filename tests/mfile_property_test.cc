@@ -1,0 +1,87 @@
+// Property-based mapped-file tests: random writes interleaved with random
+// sync operations against a shadow "disk" — the file must always equal the
+// memory image as of the last sync, whichever msync flavour ran.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/mfile/mapped_file.h"
+
+namespace lvm {
+namespace {
+
+struct SyncCase {
+  const char* name;
+  uint64_t seed;
+  double page_sync_probability;  // vs log-based sync at each sync point.
+  uint32_t writes_per_round;
+  uint32_t rounds;
+};
+
+class MfilePropertyTest : public ::testing::TestWithParam<SyncCase> {};
+
+TEST_P(MfilePropertyTest, FileMatchesMemoryAtEverySync) {
+  const SyncCase& param = GetParam();
+  constexpr uint32_t kPages = 8;
+  constexpr uint32_t kBytes = kPages * kPageSize;
+
+  LvmSystem system;
+  FileSystem fs;
+  SimFile* file = fs.Create("prop.db", kBytes);
+  Rng init(param.seed ^ 0xF00D);
+  for (uint32_t i = 0; i < kBytes / 4; ++i) {
+    uint32_t value = static_cast<uint32_t>(init.Next64());
+    std::memcpy(file->data() + 4 * i, &value, 4);
+  }
+  std::vector<uint8_t> disk_shadow(file->data(), file->data() + kBytes);
+  std::vector<uint8_t> memory_shadow = disk_shadow;
+
+  AddressSpace* as = system.CreateAddressSpace();
+  MappedFile mapped(&system, as, file);
+  mapped.AttachLogging();
+  system.Activate(as);
+  Cpu& cpu = system.cpu();
+
+  Rng rng(param.seed);
+  for (uint32_t round = 0; round < param.rounds; ++round) {
+    for (uint32_t w = 0; w < param.writes_per_round; ++w) {
+      uint32_t offset = static_cast<uint32_t>(rng.Uniform(kBytes / 4)) * 4;
+      auto value = static_cast<uint32_t>(rng.Next64());
+      cpu.Write(mapped.base() + offset, value);
+      std::memcpy(&memory_shadow[offset], &value, 4);
+    }
+    if (rng.Chance(param.page_sync_probability)) {
+      mapped.Msync(&cpu);
+    } else {
+      mapped.MsyncFromLog(&cpu);
+    }
+    disk_shadow = memory_shadow;
+    // The file equals the memory image as of this sync.
+    ASSERT_EQ(std::memcmp(file->data(), disk_shadow.data(), kBytes), 0)
+        << "round " << round;
+    // Memory reads agree with the shadow too.
+    for (int probe = 0; probe < 16; ++probe) {
+      uint32_t at = static_cast<uint32_t>(rng.Uniform(kBytes / 4)) * 4;
+      uint32_t expected = 0;
+      std::memcpy(&expected, &memory_shadow[at], 4);
+      ASSERT_EQ(cpu.Read(mapped.base() + at), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MfilePropertyTest,
+    ::testing::Values(SyncCase{"log_sync_only", 31, 0.0, 50, 20},
+                      SyncCase{"page_sync_only", 32, 1.0, 50, 20},
+                      SyncCase{"mixed", 33, 0.5, 50, 20},
+                      SyncCase{"mixed_small_rounds", 34, 0.4, 5, 40},
+                      SyncCase{"mixed_big_rounds", 35, 0.6, 300, 8}),
+    [](const ::testing::TestParamInfo<SyncCase>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,138 @@
+// Tests of memory-mapped files and log-based incremental msync.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/mfile/mapped_file.h"
+
+namespace lvm {
+namespace {
+
+class MappedFileTest : public ::testing::Test {
+ protected:
+  MappedFileTest() {
+    file_ = fs_.Create("data.db", 8 * kPageSize);
+    // Pre-populate the "on-disk" contents.
+    for (uint32_t i = 0; i < file_->size() / 4; ++i) {
+      uint32_t value = 0xF11E0000u + i;
+      std::memcpy(file_->data() + 4 * i, &value, 4);
+    }
+    as_ = system_.CreateAddressSpace();
+    mapped_ = std::make_unique<MappedFile>(&system_, as_, file_);
+    system_.Activate(as_);
+  }
+
+  LvmSystem system_;
+  FileSystem fs_;
+  SimFile* file_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  std::unique_ptr<MappedFile> mapped_;
+};
+
+TEST_F(MappedFileTest, DemandPagingLoadsFileContents) {
+  Cpu& cpu = system_.cpu();
+  EXPECT_EQ(cpu.Read(mapped_->base()), 0xF11E0000u);
+  EXPECT_EQ(cpu.Read(mapped_->base() + 3 * kPageSize + 8),
+            0xF11E0000u + (3 * kPageSize + 8) / 4);
+  // Only the touched pages were read from the device.
+  EXPECT_EQ(file_->bytes_read(), 2 * kPageSize);
+}
+
+TEST_F(MappedFileTest, FullMsyncWritesMaterializedPages) {
+  Cpu& cpu = system_.cpu();
+  cpu.Write(mapped_->base() + 16, 0xAAAA);
+  cpu.Write(mapped_->base() + kPageSize + 32, 0xBBBB);
+  mapped_->Msync(&cpu);
+  EXPECT_EQ(file_->ReadWord(16), 0xAAAAu);
+  EXPECT_EQ(file_->ReadWord(kPageSize + 32), 0xBBBBu);
+  // Untouched words of the written pages kept their values.
+  EXPECT_EQ(file_->ReadWord(20), 0xF11E0000u + 5);
+  // Whole pages went to the device.
+  EXPECT_EQ(file_->bytes_written(), 2 * kPageSize);
+}
+
+TEST_F(MappedFileTest, LogBasedMsyncWritesOnlyUpdatedBytes) {
+  mapped_->AttachLogging();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(mapped_->base() + 16, 0xAAAA);
+  cpu.Write(mapped_->base() + 5 * kPageSize, 0xCCCC);
+  cpu.Write(mapped_->base() + 5 * kPageSize + 100, 0x77, 1);
+  mapped_->MsyncFromLog(&cpu);
+  EXPECT_EQ(file_->ReadWord(16), 0xAAAAu);
+  EXPECT_EQ(file_->ReadWord(5 * kPageSize), 0xCCCCu);
+  EXPECT_EQ(file_->data()[5 * kPageSize + 100], 0x77);
+  // 4 + 4 + 1 bytes, not pages.
+  EXPECT_EQ(file_->bytes_written(), 9u);
+}
+
+TEST_F(MappedFileTest, RepeatedSyncsAreIncremental) {
+  mapped_->AttachLogging();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(mapped_->base(), 1);
+  mapped_->MsyncFromLog(&cpu);
+  uint64_t after_first = file_->bytes_written();
+  cpu.Write(mapped_->base() + 4, 2);
+  mapped_->MsyncFromLog(&cpu);
+  // The second sync wrote only the second update.
+  EXPECT_EQ(file_->bytes_written() - after_first, 4u);
+  EXPECT_EQ(file_->ReadWord(0), 1u);
+  EXPECT_EQ(file_->ReadWord(4), 2u);
+}
+
+TEST_F(MappedFileTest, LogBasedSyncFarCheaperForSparseUpdates) {
+  // Two identical mappings; one page-synced, one log-synced.
+  SimFile* other = fs_.Create("other.db", 8 * kPageSize);
+  MappedFile page_synced(&system_, as_, other);
+  mapped_->AttachLogging();
+  Cpu& cpu = system_.cpu();
+
+  // Sparse: one word on each of 8 pages, in both mappings.
+  for (uint32_t page = 0; page < 8; ++page) {
+    cpu.Write(mapped_->base() + page * kPageSize, page);
+    cpu.Write(page_synced.base() + page * kPageSize, page);
+  }
+  Cycles t0 = cpu.now();
+  mapped_->MsyncFromLog(&cpu);
+  Cycles log_cost = cpu.now() - t0;
+  t0 = cpu.now();
+  page_synced.Msync(&cpu);
+  Cycles page_cost = cpu.now() - t0;
+
+  EXPECT_LT(file_->bytes_written(), 64u);
+  EXPECT_EQ(other->bytes_written(), 8 * kPageSize);
+  EXPECT_LT(log_cost * 10, page_cost);
+}
+
+TEST_F(MappedFileTest, MsyncThenCrashConsistency) {
+  // The file reflects exactly the synced prefix: updates after the last
+  // msync are not on "disk".
+  mapped_->AttachLogging();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(mapped_->base(), 100);
+  mapped_->MsyncFromLog(&cpu);
+  cpu.Write(mapped_->base(), 200);  // Never synced.
+  EXPECT_EQ(file_->ReadWord(0), 100u);
+}
+
+TEST_F(MappedFileTest, FullMsyncTruncatesLogToo) {
+  mapped_->AttachLogging();
+  Cpu& cpu = system_.cpu();
+  cpu.Write(mapped_->base(), 5);
+  mapped_->Msync(&cpu);
+  // A following log-based sync has nothing to write.
+  uint64_t before = file_->bytes_written();
+  mapped_->MsyncFromLog(&cpu);
+  EXPECT_EQ(file_->bytes_written(), before);
+}
+
+TEST(FileSystemTest, CreateAndOpen) {
+  FileSystem fs;
+  SimFile* f = fs.Create("a", 100);
+  EXPECT_EQ(f->size(), kPageSize);  // Rounded up.
+  EXPECT_EQ(fs.Open("a"), f);
+  EXPECT_EQ(fs.Open("missing"), nullptr);
+  EXPECT_DEATH(fs.Create("a", 100), "already exists");
+}
+
+}  // namespace
+}  // namespace lvm

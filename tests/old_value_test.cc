@@ -1,0 +1,159 @@
+// Tests of the Section 4.6 old-value capture extension: on-chip records
+// carrying the pre-write datum, and undo-based rollback from the log.
+#include <gtest/gtest.h>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+class OldValueTest : public ::testing::Test {
+ protected:
+  OldValueTest() {
+    LvmConfig config;
+    config.logger_kind = LoggerKind::kOnChip;
+    config.onchip_log_old_values = true;
+    system_ = std::make_unique<LvmSystem>(config);
+    segment_ = system_->CreateSegment(4 * kPageSize);
+    region_ = system_->CreateRegion(segment_);
+    log_ = system_->CreateLogSegment();
+    as_ = system_->CreateAddressSpace();
+    base_ = as_->BindRegion(region_);
+    system_->AttachLog(region_, log_);
+    system_->Activate(as_);
+  }
+
+  LogReader Sync() {
+    system_->SyncLog(&system_->cpu(), log_);
+    return LogReader(system_->memory(), *log_);
+  }
+
+  std::unique_ptr<LvmSystem> system_;
+  StdSegment* segment_ = nullptr;
+  Region* region_ = nullptr;
+  LogSegment* log_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  VirtAddr base_ = 0;
+};
+
+TEST_F(OldValueTest, PairsOfRecordsPerWrite) {
+  Cpu& cpu = system_->cpu();
+  cpu.Write(base_, 10);
+  cpu.Write(base_, 20);
+  LogReader reader = Sync();
+  ASSERT_EQ(reader.size(), 4u);
+  // First write: old 0 -> new 10.
+  EXPECT_EQ(reader.At(0).flags, kRecordFlagOldValue);
+  EXPECT_EQ(reader.At(0).value, 0u);
+  EXPECT_EQ(reader.At(1).flags, 0u);
+  EXPECT_EQ(reader.At(1).value, 10u);
+  // Second write: old 10 -> new 20.
+  EXPECT_EQ(reader.At(2).flags, kRecordFlagOldValue);
+  EXPECT_EQ(reader.At(2).value, 10u);
+  EXPECT_EQ(reader.At(3).value, 20u);
+  // Both records of a pair carry the same virtual address.
+  EXPECT_EQ(reader.At(0).addr, reader.At(1).addr);
+}
+
+TEST_F(OldValueTest, OldValueSeesDeferredSource) {
+  // Old-value capture must read through the full memory hierarchy: for a
+  // deferred-copy destination, the pre-image is the checkpoint datum.
+  StdSegment* checkpoint = system_->CreateSegment(4 * kPageSize);
+  StdSegment* working = system_->CreateSegment(4 * kPageSize);
+  working->SetSourceSegment(checkpoint);
+  Region* working_region = system_->CreateRegion(working);
+  LogSegment* working_log = system_->CreateLogSegment();
+  VirtAddr wbase = as_->BindRegion(working_region);
+  system_->AttachLog(working_region, working_log);
+  system_->Activate(as_);  // Reload descriptors for the new region.
+  Cpu& cpu = system_->cpu();
+  // Seed the checkpoint directly.
+  system_->machine().l2().Write(checkpoint->EnsureFrame(0) + 8, 4242, 4);
+  cpu.Write(wbase + 8, 7);
+  system_->SyncLog(&cpu, working_log);
+  LogReader reader(system_->memory(), *working_log);
+  ASSERT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.At(0).flags, kRecordFlagOldValue);
+  EXPECT_EQ(reader.At(0).value, 4242u);
+  EXPECT_EQ(reader.At(1).value, 7u);
+}
+
+TEST_F(OldValueTest, UndoRestoresInitialState) {
+  Cpu& cpu = system_->cpu();
+  for (uint32_t i = 0; i < 20; ++i) {
+    cpu.Write(base_ + 4 * (i % 8), 100 + i);
+  }
+  LogReader reader = Sync();
+  LogApplier applier(system_.get());
+  applier.UndoVirtual(&cpu, reader, 0, reader.size(), as_);
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(cpu.Read(base_ + 4 * i), 0u);
+  }
+}
+
+TEST_F(OldValueTest, PartialUndoRewindsToMidpoint) {
+  Cpu& cpu = system_->cpu();
+  cpu.Write(base_, 1);
+  cpu.Write(base_ + 4, 2);
+  cpu.Write(base_, 3);
+  cpu.Write(base_ + 4, 4);
+  LogReader reader = Sync();
+  ASSERT_EQ(reader.size(), 8u);  // Four pairs.
+  LogApplier applier(system_.get());
+  // Undo the last two writes (records 4..8): back to {1, 2}.
+  applier.UndoVirtual(&cpu, reader, 4, 8, as_);
+  EXPECT_EQ(cpu.Read(base_), 1u);
+  EXPECT_EQ(cpu.Read(base_ + 4), 2u);
+}
+
+TEST_F(OldValueTest, RedoAfterUndoRoundTrips) {
+  Cpu& cpu = system_->cpu();
+  for (uint32_t i = 0; i < 10; ++i) {
+    cpu.Write(base_ + 4 * i, 1000 + i);
+  }
+  LogReader reader = Sync();
+  LogApplier applier(system_.get());
+  applier.UndoVirtual(&cpu, reader, 0, reader.size(), as_);
+  EXPECT_EQ(cpu.Read(base_), 0u);
+  applier.ApplyVirtual(&cpu, reader, 0, reader.size(), as_);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(cpu.Read(base_ + 4 * i), 1000 + i);
+  }
+}
+
+TEST_F(OldValueTest, ApplyIgnoresPreImages) {
+  Cpu& cpu = system_->cpu();
+  cpu.Write(base_, 5);
+  cpu.Write(base_, 6);
+  LogReader reader = Sync();
+  // Roll forward onto a zeroed twin space: only new values land.
+  StdSegment* twin = system_->CreateSegment(4 * kPageSize);
+  Region* twin_region = system_->CreateRegion(twin);
+  AddressSpace* twin_as = system_->CreateAddressSpace();
+  twin_as->BindRegion(twin_region, base_);
+  LogApplier applier(system_.get());
+  applier.ApplyVirtual(&cpu, reader, 0, reader.size(), twin_as);
+  EXPECT_EQ(system_->memory().Read(twin->FrameAt(0), 4), 6u);
+}
+
+TEST(OldValueConfigTest, DisabledByDefault) {
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  LvmSystem system(config);
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  system.cpu().Write(base, 1);
+  system.SyncLog(&system.cpu(), log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), 1u);
+  EXPECT_EQ(reader.At(0).flags, 0u);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,335 @@
+// Tests of the persistent object store and map on recoverable memory, run
+// over both store implementations (RVM needs every word annotated; RLVM
+// needs nothing).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/oodb/object_store.h"
+#include "src/oodb/persistent_map.h"
+#include "src/oodb/persistent_queue.h"
+#include "src/rvm/ram_disk.h"
+#include "src/rvm/rlvm.h"
+#include "src/rvm/rvm.h"
+
+namespace lvm {
+namespace {
+
+template <typename StoreT>
+class OodbTest : public ::testing::Test {
+ protected:
+  OodbTest() {
+    as_ = system_.CreateAddressSpace();
+    backing_ = std::make_unique<StoreT>(&system_, as_, &disk_, 256 * 1024);
+    system_.Activate(as_);
+    store_ = std::make_unique<ObjectStore>(backing_.get(), &system_.cpu());
+  }
+
+  LvmSystem system_;
+  RamDisk disk_;
+  AddressSpace* as_ = nullptr;
+  std::unique_ptr<StoreT> backing_;
+  std::unique_ptr<ObjectStore> store_;
+};
+
+using StoreTypes = ::testing::Types<Rvm, Rlvm>;
+template <typename T>
+struct Name;
+template <>
+struct Name<Rvm> {
+  static constexpr const char* kName = "Rvm";
+};
+template <>
+struct Name<Rlvm> {
+  static constexpr const char* kName = "Rlvm";
+};
+class NameGen {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return Name<T>::kName;
+  }
+};
+TYPED_TEST_SUITE(OodbTest, StoreTypes, NameGen);
+
+TYPED_TEST(OodbTest, AllocateWriteReadCommit) {
+  ObjectStore& db = *this->store_;
+  db.Begin();
+  ObjRef obj = db.Allocate(16, /*type_tag=*/42);
+  db.WriteField(obj, 0, 100);
+  db.WriteField(obj, 3, 400);
+  db.Commit();
+  EXPECT_EQ(db.TypeOf(obj), 42u);
+  EXPECT_EQ(db.SizeOf(obj), 16u);
+  EXPECT_EQ(db.ReadField(obj, 0), 100u);
+  EXPECT_EQ(db.ReadField(obj, 3), 400u);
+}
+
+TYPED_TEST(OodbTest, AbortRollsBackAllocationAndContents) {
+  ObjectStore& db = *this->store_;
+  db.Begin();
+  ObjRef keeper = db.Allocate(8, 1);
+  db.WriteField(keeper, 0, 7);
+  db.Commit();
+  uint32_t break_before = db.heap_break();
+
+  db.Begin();
+  ObjRef doomed = db.Allocate(64, 2);
+  db.WriteField(doomed, 0, 1);
+  db.WriteField(keeper, 0, 999);
+  db.Abort();
+
+  // The heap break rolled back (the allocation never happened) and the
+  // surviving object is untouched.
+  EXPECT_EQ(db.heap_break(), break_before);
+  EXPECT_EQ(db.ReadField(keeper, 0), 7u);
+}
+
+TYPED_TEST(OodbTest, FreeListReuse) {
+  ObjectStore& db = *this->store_;
+  db.Begin();
+  ObjRef a = db.Allocate(32, 1);
+  db.Commit();
+  db.Begin();
+  db.Free(a);
+  db.Commit();
+  EXPECT_EQ(db.live_free_blocks(), 1u);
+  db.Begin();
+  ObjRef b = db.Allocate(32, 2);
+  db.Commit();
+  EXPECT_EQ(b, a);  // First fit reuses the freed block.
+  EXPECT_EQ(db.live_free_blocks(), 0u);
+  EXPECT_EQ(db.TypeOf(b), 2u);
+}
+
+TYPED_TEST(OodbTest, AbortedFreeStaysAllocated) {
+  ObjectStore& db = *this->store_;
+  db.Begin();
+  ObjRef a = db.Allocate(16, 5);
+  db.WriteField(a, 0, 123);
+  db.Commit();
+  db.Begin();
+  db.Free(a);
+  db.Abort();
+  EXPECT_EQ(db.live_free_blocks(), 0u);
+  EXPECT_EQ(db.ReadField(a, 0), 123u);
+}
+
+TYPED_TEST(OodbTest, NamedRootsPersist) {
+  ObjectStore& db = *this->store_;
+  db.Begin();
+  ObjRef obj = db.Allocate(8, 9);
+  db.SetRoot("customers", obj);
+  db.Commit();
+  EXPECT_EQ(db.GetRoot("customers"), obj);
+  EXPECT_EQ(db.GetRoot("orders"), kNullRef);
+  // Re-opening the heap (a new ObjectStore over the same backing store)
+  // sees the root.
+  ObjectStore reopened(this->backing_.get(), &this->system_.cpu());
+  EXPECT_EQ(reopened.GetRoot("customers"), obj);
+}
+
+TYPED_TEST(OodbTest, RootUpdateAborts) {
+  ObjectStore& db = *this->store_;
+  db.Begin();
+  ObjRef first = db.Allocate(8, 1);
+  db.SetRoot("r", first);
+  db.Commit();
+  db.Begin();
+  ObjRef second = db.Allocate(8, 2);
+  db.SetRoot("r", second);
+  db.Abort();
+  EXPECT_EQ(db.GetRoot("r"), first);
+}
+
+TYPED_TEST(OodbTest, PersistentMapBasics) {
+  ObjectStore& db = *this->store_;
+  PersistentMap map(&db, "index", 8);
+  db.Begin();
+  map.Put(1, 10);
+  map.Put(2, 20);
+  map.Put(1, 11);  // Update.
+  db.Commit();
+  EXPECT_EQ(map.size(), 2u);
+  uint32_t value = 0;
+  ASSERT_TRUE(map.Get(1, &value));
+  EXPECT_EQ(value, 11u);
+  ASSERT_TRUE(map.Get(2, &value));
+  EXPECT_EQ(value, 20u);
+  EXPECT_FALSE(map.Get(3, &value));
+
+  db.Begin();
+  EXPECT_TRUE(map.Remove(1));
+  EXPECT_FALSE(map.Remove(1));
+  db.Commit();
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_FALSE(map.Get(1, &value));
+}
+
+TYPED_TEST(OodbTest, PersistentMapAbortRollsBackStructure) {
+  ObjectStore& db = *this->store_;
+  PersistentMap map(&db, "index", 4);
+  db.Begin();
+  for (uint32_t k = 0; k < 10; ++k) {
+    map.Put(k, 100 + k);
+  }
+  db.Commit();
+  db.Begin();
+  map.Remove(3);
+  map.Put(99, 1);
+  map.Put(4, 0xdead);
+  db.Abort();
+  EXPECT_EQ(map.size(), 10u);
+  uint32_t value = 0;
+  ASSERT_TRUE(map.Get(3, &value));
+  EXPECT_EQ(value, 103u);
+  ASSERT_TRUE(map.Get(4, &value));
+  EXPECT_EQ(value, 104u);
+  EXPECT_FALSE(map.Get(99, &value));
+}
+
+TYPED_TEST(OodbTest, PersistentMapRandomizedVsReference) {
+  ObjectStore& db = *this->store_;
+  PersistentMap map(&db, "index", 16);
+  std::map<uint32_t, uint32_t> committed_reference;
+  Rng rng(77);
+  for (int tx = 0; tx < 40; ++tx) {
+    std::map<uint32_t, uint32_t> speculative = committed_reference;
+    db.Begin();
+    for (int op = 0; op < 8; ++op) {
+      uint32_t key = static_cast<uint32_t>(rng.Uniform(30));
+      if (rng.Chance(0.7)) {
+        auto value = static_cast<uint32_t>(rng.Next64());
+        map.Put(key, value);
+        speculative[key] = value;
+      } else {
+        bool removed = map.Remove(key);
+        EXPECT_EQ(removed, speculative.erase(key) > 0);
+      }
+    }
+    if (rng.Chance(0.3)) {
+      db.Abort();
+    } else {
+      db.Commit();
+      committed_reference = speculative;
+    }
+    // Verify against the reference.
+    EXPECT_EQ(map.size(), committed_reference.size());
+    for (const auto& [key, expected] : committed_reference) {
+      uint32_t value = 0;
+      ASSERT_TRUE(map.Get(key, &value)) << "key " << key;
+      EXPECT_EQ(value, expected);
+    }
+  }
+}
+
+TYPED_TEST(OodbTest, PersistentQueueFifoAcrossChunks) {
+  ObjectStore& db = *this->store_;
+  PersistentQueue queue(&db, "work");
+  db.Begin();
+  // Span several chunks.
+  for (uint32_t i = 0; i < 3 * PersistentQueue::kChunkSlots + 5; ++i) {
+    queue.Enqueue(100 + i);
+  }
+  db.Commit();
+  EXPECT_EQ(queue.size(), 3 * PersistentQueue::kChunkSlots + 5);
+  db.Begin();
+  uint32_t value = 0;
+  for (uint32_t i = 0; i < 3 * PersistentQueue::kChunkSlots + 5; ++i) {
+    ASSERT_TRUE(queue.Dequeue(&value));
+    EXPECT_EQ(value, 100 + i);
+  }
+  EXPECT_FALSE(queue.Dequeue(&value));
+  db.Commit();
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TYPED_TEST(OodbTest, PersistentQueueAbortedDequeueRestores) {
+  ObjectStore& db = *this->store_;
+  PersistentQueue queue(&db, "work");
+  db.Begin();
+  queue.Enqueue(1);
+  queue.Enqueue(2);
+  db.Commit();
+  db.Begin();
+  uint32_t value = 0;
+  ASSERT_TRUE(queue.Dequeue(&value));
+  EXPECT_EQ(value, 1u);
+  db.Abort();
+  // The dequeue never happened.
+  EXPECT_EQ(queue.size(), 2u);
+  ASSERT_TRUE(queue.Peek(&value));
+  EXPECT_EQ(value, 1u);
+}
+
+TYPED_TEST(OodbTest, PersistentQueueInterleavedOps) {
+  ObjectStore& db = *this->store_;
+  PersistentQueue queue(&db, "work");
+  uint32_t next_in = 0;
+  uint32_t next_out = 0;
+  Rng rng(3);
+  for (int round = 0; round < 200; ++round) {
+    db.Begin();
+    if (rng.Chance(0.6) || queue.size() == 0) {
+      queue.Enqueue(next_in++);
+    } else {
+      uint32_t value = 0;
+      ASSERT_TRUE(queue.Dequeue(&value));
+      EXPECT_EQ(value, next_out++);
+    }
+    db.Commit();
+  }
+  EXPECT_EQ(queue.size(), next_in - next_out);
+}
+
+TYPED_TEST(OodbTest, SurvivesCrashRecovery) {
+  ObjectStore& db = *this->store_;
+  PersistentMap map(&db, "index", 8);
+  db.Begin();
+  map.Put(5, 55);
+  map.Put(6, 66);
+  db.Commit();
+  db.Begin();
+  map.Put(7, 77);  // In flight at the crash.
+
+  // Crash: rebuild the committed bytes from the device and load them into
+  // a fresh machine's recoverable store (the recovery path), then reopen
+  // the object heap there.
+  this->disk_.Crash();
+  std::vector<uint8_t> recovered =
+      this->disk_.RecoverImage(this->backing_->data_size());
+
+  LvmSystem fresh_system;
+  RamDisk fresh_disk;
+  AddressSpace* fresh_as = fresh_system.CreateAddressSpace();
+  TypeParam fresh_backing(&fresh_system, fresh_as, &fresh_disk, 256 * 1024);
+  fresh_system.Activate(fresh_as);
+  Cpu& cpu = fresh_system.cpu();
+  fresh_backing.Begin(&cpu);
+  fresh_backing.SetRange(&cpu, fresh_backing.data_base(),
+                         static_cast<uint32_t>(recovered.size()));
+  for (uint32_t offset = 0; offset + 4 <= recovered.size(); offset += 4) {
+    uint32_t word = 0;
+    std::memcpy(&word, &recovered[offset], 4);
+    if (word != 0) {
+      fresh_backing.Write(&cpu, fresh_backing.data_base() + offset, word);
+    }
+  }
+  fresh_backing.Commit(&cpu);
+
+  ObjectStore reopened(&fresh_backing, &cpu);
+  PersistentMap recovered_map(&reopened, "index", 8);
+  EXPECT_EQ(recovered_map.size(), 2u);
+  uint32_t value = 0;
+  ASSERT_TRUE(recovered_map.Get(5, &value));
+  EXPECT_EQ(value, 55u);
+  ASSERT_TRUE(recovered_map.Get(6, &value));
+  EXPECT_EQ(value, 66u);
+  EXPECT_FALSE(recovered_map.Get(7, &value));  // The torn transaction is gone.
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,113 @@
+// Tests of the per-processor log extension (Section 3.1.2): the logger
+// uses the writing processor's id to select a log within a group, so a
+// shared segment yields one clean stream per CPU instead of an interleaved
+// mess.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+class PerCpuLogsTest : public ::testing::Test {
+ protected:
+  static constexpr int kCpus = 3;
+
+  PerCpuLogsTest() {
+    LvmConfig config;
+    config.num_cpus = kCpus;
+    system_ = std::make_unique<LvmSystem>(config);
+    segment_ = system_->CreateSegment(8 * kPageSize);
+    region_ = system_->CreateRegion(segment_);
+    as_ = system_->CreateAddressSpace();
+    base_ = as_->BindRegion(region_);
+    for (int i = 0; i < kCpus; ++i) {
+      logs_.push_back(system_->CreateLogSegment());
+      system_->Activate(as_, i);  // One shared address space on every CPU.
+    }
+    system_->AttachPerCpuLogs(region_, logs_);
+  }
+
+  std::unique_ptr<LvmSystem> system_;
+  StdSegment* segment_ = nullptr;
+  Region* region_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  VirtAddr base_ = 0;
+  std::vector<LogSegment*> logs_;
+};
+
+TEST_F(PerCpuLogsTest, WritesSortedByProcessor) {
+  // Interleaved writes from three CPUs to the shared region.
+  for (uint32_t round = 0; round < 100; ++round) {
+    for (int cpu_id = 0; cpu_id < kCpus; ++cpu_id) {
+      system_->cpu(cpu_id).Write(base_ + 4 * (round % 512),
+                                 1000u * static_cast<uint32_t>(cpu_id) + round);
+      system_->cpu(cpu_id).Compute(200);
+    }
+  }
+  for (int cpu_id = 0; cpu_id < kCpus; ++cpu_id) {
+    system_->SyncLog(&system_->cpu(cpu_id), logs_[static_cast<size_t>(cpu_id)]);
+    LogReader reader(system_->memory(), *logs_[static_cast<size_t>(cpu_id)]);
+    ASSERT_EQ(reader.size(), 100u) << "cpu " << cpu_id;
+    for (uint32_t round = 0; round < 100; ++round) {
+      EXPECT_EQ(reader.At(round).value, 1000u * static_cast<uint32_t>(cpu_id) + round);
+    }
+  }
+}
+
+TEST_F(PerCpuLogsTest, GroupSharesOnePageMappingEntry) {
+  // One write from each CPU to the same page: the single page-mapping
+  // entry fans records out by processor id.
+  system_->cpu(0).Write(base_, 10);
+  system_->cpu(1).Write(base_ + 4, 11);
+  system_->cpu(2).Write(base_ + 8, 12);
+  for (int cpu_id = 0; cpu_id < kCpus; ++cpu_id) {
+    system_->SyncLog(&system_->cpu(cpu_id), logs_[static_cast<size_t>(cpu_id)]);
+    LogReader reader(system_->memory(), *logs_[static_cast<size_t>(cpu_id)]);
+    ASSERT_EQ(reader.size(), 1u);
+    EXPECT_EQ(reader.At(0).value, 10u + static_cast<uint32_t>(cpu_id));
+  }
+}
+
+TEST_F(PerCpuLogsTest, PerLogPageCrossingIndependent) {
+  // Fill CPU 1's log past a page boundary; the other logs stay small.
+  constexpr uint32_t kRecords = kPageSize / kLogRecordSize + 10;
+  for (uint32_t i = 0; i < kRecords; ++i) {
+    system_->cpu(1).Write(base_ + 4 * (i % 512), i);
+    system_->cpu(1).Compute(300);
+  }
+  system_->cpu(0).Write(base_ + 100, 7);
+  for (int cpu_id = 0; cpu_id < kCpus; ++cpu_id) {
+    system_->SyncLog(&system_->cpu(cpu_id), logs_[static_cast<size_t>(cpu_id)]);
+  }
+  EXPECT_EQ(LogReader(system_->memory(), *logs_[1]).size(), kRecords);
+  EXPECT_EQ(LogReader(system_->memory(), *logs_[0]).size(), 1u);
+  EXPECT_EQ(LogReader(system_->memory(), *logs_[2]).size(), 0u);
+}
+
+TEST(PerCpuLogsConfigTest, RejectsWrongGroupSize) {
+  LvmConfig config;
+  config.num_cpus = 2;
+  LvmSystem system(config);
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  std::vector<LogSegment*> logs = {system.CreateLogSegment()};
+  EXPECT_DEATH(system.AttachPerCpuLogs(region, logs), "one log per processor");
+}
+
+TEST(PerCpuLogsConfigTest, RejectedUnderOnChipLogger) {
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  config.num_cpus = 2;
+  LvmSystem system(config);
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  std::vector<LogSegment*> logs = {system.CreateLogSegment(), system.CreateLogSegment()};
+  EXPECT_DEATH(system.AttachPerCpuLogs(region, logs), "bus-logger extension");
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,120 @@
+// Property-based recoverable-memory tests: random transaction streams
+// (reads, writes, commits, aborts) against a shadow model with explicit
+// committed/speculative images, run over both store implementations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/rvm/ram_disk.h"
+#include "src/rvm/rlvm.h"
+#include "src/rvm/rvm.h"
+
+namespace lvm {
+namespace {
+
+constexpr uint32_t kStoreBytes = 64 * 1024;
+
+class ShadowStore {
+ public:
+  ShadowStore() : committed_(kStoreBytes, 0), speculative_(kStoreBytes, 0) {}
+
+  void Begin() { speculative_ = committed_; }
+  void Write(uint32_t offset, uint32_t value) {
+    std::memcpy(&speculative_[offset], &value, 4);
+  }
+  uint32_t Read(uint32_t offset) const {
+    uint32_t value = 0;
+    std::memcpy(&value, &speculative_[offset], 4);
+    return value;
+  }
+  void Commit() { committed_ = speculative_; }
+  void Abort() { speculative_ = committed_; }
+
+ private:
+  std::vector<uint8_t> committed_;
+  std::vector<uint8_t> speculative_;
+};
+
+struct StoreCase {
+  const char* name;
+  bool rlvm;
+  uint64_t seed;
+  double abort_probability;
+  uint32_t writes_per_transaction;
+};
+
+class StorePropertyTest : public ::testing::TestWithParam<StoreCase> {};
+
+TEST_P(StorePropertyTest, RandomTransactionsMatchShadow) {
+  const StoreCase& param = GetParam();
+  LvmSystem system;
+  RamDisk disk;
+  AddressSpace* as = system.CreateAddressSpace();
+  std::unique_ptr<RecoverableStore> store;
+  if (param.rlvm) {
+    store = std::make_unique<Rlvm>(&system, as, &disk, kStoreBytes);
+  } else {
+    store = std::make_unique<Rvm>(&system, as, &disk, kStoreBytes);
+  }
+  system.Activate(as);
+  Cpu& cpu = system.cpu();
+
+  ShadowStore shadow;
+  Rng rng(param.seed);
+  constexpr int kTransactions = 120;
+  for (int tx = 0; tx < kTransactions; ++tx) {
+    store->Begin(&cpu);
+    shadow.Begin();
+    for (uint32_t w = 0; w < param.writes_per_transaction; ++w) {
+      uint32_t offset = static_cast<uint32_t>(rng.Uniform(kStoreBytes / 4)) * 4;
+      auto value = static_cast<uint32_t>(rng.Next64());
+      store->SetRange(&cpu, store->data_base() + offset, 4);
+      store->Write(&cpu, store->data_base() + offset, value);
+      shadow.Write(offset, value);
+      // Transactional read-your-writes.
+      ASSERT_EQ(store->Read(&cpu, store->data_base() + offset), shadow.Read(offset));
+    }
+    if (rng.Chance(param.abort_probability)) {
+      store->Abort(&cpu);
+      shadow.Abort();
+    } else {
+      store->Commit(&cpu);
+      shadow.Commit();
+    }
+    store->MaybeTruncate(&cpu);
+
+    // Spot-check a few random words after every transaction.
+    for (int probe = 0; probe < 4; ++probe) {
+      uint32_t at = static_cast<uint32_t>(rng.Uniform(kStoreBytes / 4)) * 4;
+      ASSERT_EQ(store->Read(&cpu, store->data_base() + at), shadow.Read(at))
+          << "tx " << tx << " offset " << at;
+    }
+  }
+
+  // Full final sweep.
+  for (uint32_t offset = 0; offset < kStoreBytes; offset += 4) {
+    ASSERT_EQ(store->Read(&cpu, store->data_base() + offset), shadow.Read(offset))
+        << "offset " << offset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StorePropertyTest,
+    ::testing::Values(StoreCase{"rvm_no_aborts", false, 21, 0.0, 8},
+                      StoreCase{"rvm_some_aborts", false, 22, 0.3, 8},
+                      StoreCase{"rvm_abort_heavy", false, 23, 0.7, 4},
+                      StoreCase{"rlvm_no_aborts", true, 24, 0.0, 8},
+                      StoreCase{"rlvm_some_aborts", true, 25, 0.3, 8},
+                      StoreCase{"rlvm_abort_heavy", true, 26, 0.7, 4},
+                      StoreCase{"rvm_big_transactions", false, 27, 0.2, 40},
+                      StoreCase{"rlvm_big_transactions", true, 28, 0.2, 40}),
+    [](const ::testing::TestParamInfo<StoreCase>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+}  // namespace
+}  // namespace lvm

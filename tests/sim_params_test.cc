@@ -1,0 +1,165 @@
+// Parameterized machine-model tests: the measured cost of each Table 2
+// operation must track its MachineParams knob across a grid of alternative
+// machines (faster buses, slower DMA, different timestamp rates), and the
+// virtual-address ASIC option must change record addressing without
+// changing anything else.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+struct MachinePoint {
+  const char* name;
+  uint32_t write_through_total;
+  uint32_t write_through_bus;
+  uint32_t block_total;
+  uint32_t unlogged;
+  uint32_t timestamp_divider;
+};
+
+class MachineGridTest : public ::testing::TestWithParam<MachinePoint> {};
+
+TEST_P(MachineGridTest, MeasuredCostsTrackParameters) {
+  const MachinePoint& point = GetParam();
+  MachineParams params;
+  params.word_write_through_total = point.write_through_total;
+  params.word_write_through_bus = point.write_through_bus;
+  params.cache_block_write_total = point.block_total;
+  params.unlogged_write_cycles = point.unlogged;
+  params.timestamp_divider = point.timestamp_divider;
+  LvmConfig config;
+  config.params = params;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+
+  StdSegment* segment = system.CreateSegment(4 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  system.TouchRegion(&cpu, region);
+  cpu.DrainWriteBuffer();
+  cpu.Compute(10000);
+
+  // Isolated write-through word: end-to-end == configured total.
+  Cycles t0 = cpu.now();
+  cpu.Write(base + 64, 1);
+  cpu.DrainWriteBuffer();
+  EXPECT_EQ(cpu.now() - t0, point.write_through_total);
+
+  // Unlogged write cost.
+  StdSegment* plain = system.CreateSegment(kPageSize);
+  Region* plain_region = system.CreateRegion(plain);
+  VirtAddr plain_base = as->BindRegion(plain_region);
+  system.TouchRegion(&cpu, plain_region);
+  t0 = cpu.now();
+  cpu.Write(plain_base, 1);
+  EXPECT_EQ(cpu.now() - t0, point.unlogged);
+
+  // Block writeback cost.
+  system.FlushSegment(&cpu, plain);
+  cpu.Write(plain_base + 128, 2);
+  t0 = cpu.now();
+  system.FlushSegment(&cpu, plain);
+  EXPECT_EQ(cpu.now() - t0, point.block_total);
+
+  // Timestamp granularity: two writes `gap` cycles apart differ by
+  // ~gap / divider ticks.
+  cpu.Compute(5000);
+  cpu.Write(base + 128, 1);
+  constexpr Cycles kGap = 4000;
+  cpu.Compute(kGap);
+  cpu.Write(base + 132, 2);
+  system.SyncLog(&cpu, log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_GE(reader.size(), 3u);
+  LogRecord a = reader.At(reader.size() - 2);
+  LogRecord b = reader.At(reader.size() - 1);
+  double expected_ticks = static_cast<double>(kGap) / point.timestamp_divider;
+  EXPECT_NEAR(static_cast<double>(b.timestamp - a.timestamp), expected_ticks,
+              expected_ticks * 0.05 + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MachineGridTest,
+    ::testing::Values(MachinePoint{"paper_machine", 6, 5, 9, 2, 4},
+                      MachinePoint{"fast_bus", 3, 2, 5, 2, 4},
+                      MachinePoint{"slow_bus", 12, 10, 18, 2, 4},
+                      MachinePoint{"slow_copyback", 6, 5, 9, 6, 4},
+                      MachinePoint{"fine_timestamps", 6, 5, 9, 2, 1},
+                      MachinePoint{"coarse_timestamps", 6, 5, 9, 2, 16}),
+    [](const ::testing::TestParamInfo<MachinePoint>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+TEST(VirtualRecordsTest, BusLoggerEmitsVirtualAddressesWhenConfigured) {
+  LvmConfig config;
+  config.bus_logger_virtual_records = true;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(2 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  cpu.Write(base + 0x14, 7);
+  cpu.Write(base + kPageSize + 0x28, 8);
+  system.SyncLog(&cpu, log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.At(0).addr, base + 0x14);
+  EXPECT_EQ(reader.At(1).addr, base + kPageSize + 0x28);
+}
+
+TEST(VirtualRecordsTest, SurvivesMappingFaultReload) {
+  LvmConfig config;
+  config.bus_logger_virtual_records = true;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  cpu.Write(base, 1);
+  system.SyncLog(&cpu, log);
+  // Displace the entry; the kernel reload must restore the reverse
+  // translation too.
+  system.bus_logger()->page_mapping_table().Invalidate(segment->FrameAt(0));
+  cpu.Write(base + 4, 2);
+  system.SyncLog(&cpu, log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.At(1).addr, base + 4);
+}
+
+TEST(VirtualRecordsTest, DefaultRemainsPhysical) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  cpu.Write(base + 8, 3);
+  system.SyncLog(&cpu, log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), 1u);
+  EXPECT_EQ(reader.At(0).addr, segment->FrameAt(0) + 8);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,331 @@
+// Unit tests for the machine model: CPU costs, write buffer, bus, caches.
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <cstring>
+
+#include "src/sim/bus.h"
+#include "src/sim/cpu.h"
+#include "src/sim/interfaces.h"
+#include "src/sim/l2_cache.h"
+#include "src/sim/machine.h"
+#include "src/sim/params.h"
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+namespace {
+
+// Identity translator: virtual address == physical address, with flags
+// selectable per page set.
+class IdentityTranslator : public AddressTranslator {
+ public:
+  bool Translate(VirtAddr va, AccessKind access, Translation* out) override {
+    (void)access;
+    out->paddr = va;
+    out->write_through = write_through_;
+    out->logged = logged_;
+    return true;
+  }
+
+  void set_write_through(bool value) { write_through_ = value; }
+  void set_logged(bool value) { logged_ = value; }
+
+ private:
+  bool write_through_ = false;
+  bool logged_ = false;
+};
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : machine_(MachineParams{}, 8u << 20, 1) {
+    machine_.cpu().set_translator(&translator_);
+  }
+
+  Machine machine_;
+  IdentityTranslator translator_;
+};
+
+TEST_F(SimTest, PhysicalMemoryReadWrite) {
+  PhysicalMemory& mem = machine_.memory();
+  mem.Write(0x1000, 0xdeadbeef, 4);
+  EXPECT_EQ(mem.Read(0x1000, 4), 0xdeadbeefu);
+  EXPECT_EQ(mem.Read(0x1000, 2), 0xbeefu);
+  EXPECT_EQ(mem.Read(0x1000, 1), 0xefu);
+  mem.Write(0x1002, 0x12, 1);
+  EXPECT_EQ(mem.Read(0x1000, 4), 0xde12beefu);
+}
+
+TEST_F(SimTest, PhysicalMemoryBlockOps) {
+  PhysicalMemory& mem = machine_.memory();
+  uint8_t pattern[kLineSize];
+  for (uint32_t i = 0; i < kLineSize; ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 3);
+  }
+  mem.WriteBlock(0x2000, pattern, kLineSize);
+  uint8_t out[kLineSize];
+  mem.ReadBlock(0x2000, out, kLineSize);
+  EXPECT_EQ(std::memcmp(pattern, out, kLineSize), 0);
+  mem.CopyBlock(0x3000, 0x2000, kLineSize);
+  mem.ReadBlock(0x3000, out, kLineSize);
+  EXPECT_EQ(std::memcmp(pattern, out, kLineSize), 0);
+  mem.Zero(0x3000, kLineSize);
+  EXPECT_EQ(mem.Read(0x3000, 4), 0u);
+}
+
+TEST_F(SimTest, PhysicalMemoryOutOfRangeAborts) {
+  EXPECT_DEATH(machine_.memory().Read(machine_.memory().size(), 4), "out of range");
+}
+
+TEST_F(SimTest, ComputeAdvancesClock) {
+  Cpu& cpu = machine_.cpu();
+  EXPECT_EQ(cpu.now(), 0u);
+  cpu.Compute(100);
+  EXPECT_EQ(cpu.now(), 100u);
+}
+
+TEST_F(SimTest, UnloggedWriteCost) {
+  Cpu& cpu = machine_.cpu();
+  cpu.Write(0x1000, 7);
+  EXPECT_EQ(cpu.now(), machine_.params().unlogged_write_cycles);
+  EXPECT_EQ(machine_.memory().Read(0x1000, 4), 7u);
+}
+
+TEST_F(SimTest, WriteThroughIsolatedWriteCostsTableTwo) {
+  // An isolated write-through word: issue (total - bus) on the CPU plus the
+  // bus transfer draining in the background. End-to-end it is Table 2's 6
+  // cycles: 1 CPU cycle + 5 bus cycles.
+  translator_.set_write_through(true);
+  Cpu& cpu = machine_.cpu();
+  cpu.Write(0x1000, 7);
+  Cycles cpu_side = cpu.now();
+  cpu.DrainWriteBuffer();
+  const MachineParams& p = machine_.params();
+  EXPECT_EQ(cpu_side, p.word_write_through_total - p.word_write_through_bus);
+  EXPECT_EQ(cpu.now(), static_cast<Cycles>(p.word_write_through_total));
+}
+
+TEST_F(SimTest, WriteThroughBurstStallsOnFullBuffer) {
+  // A long burst is bus-limited: the write buffer absorbs the first `depth`
+  // writes, after which the CPU stalls at the bus rate.
+  translator_.set_write_through(true);
+  Cpu& cpu = machine_.cpu();
+  constexpr int kWrites = 100;
+  for (int i = 0; i < kWrites; ++i) {
+    cpu.Write(0x1000 + 4u * static_cast<uint32_t>(i), i);
+  }
+  cpu.DrainWriteBuffer();
+  const MachineParams& p = machine_.params();
+  // Bus-limited throughput: ~bus cycles per write.
+  EXPECT_GE(cpu.now(), static_cast<Cycles>(kWrites) * p.word_write_through_bus);
+  EXPECT_LE(cpu.now(), static_cast<Cycles>(kWrites) * p.word_write_through_total);
+}
+
+TEST_F(SimTest, WriteThroughSmallBurstsAbsorbed) {
+  // Bursts no deeper than the buffer cost only the CPU-side cycles when
+  // separated by enough computation (Section 4.5.2 / Figure 10 flat region).
+  translator_.set_write_through(true);
+  Cpu& cpu = machine_.cpu();
+  const MachineParams& p = machine_.params();
+  Cycles start = cpu.now();
+  for (int iter = 0; iter < 10; ++iter) {
+    for (uint32_t w = 0; w < p.write_buffer_depth; ++w) {
+      cpu.Write(0x1000 + 4u * w, w);
+    }
+    cpu.Compute(1000);
+  }
+  Cycles elapsed = cpu.now() - start;
+  Cycles cpu_side_per_write = p.word_write_through_total - p.word_write_through_bus;
+  EXPECT_EQ(elapsed, 10 * (1000 + p.write_buffer_depth * cpu_side_per_write));
+}
+
+TEST_F(SimTest, ReadCostsThreeLevels) {
+  Cpu& cpu = machine_.cpu();
+  const MachineParams& p = machine_.params();
+  machine_.memory().Write(0x1000, 42, 4);
+
+  // Cold: misses both caches.
+  Cycles t0 = cpu.now();
+  EXPECT_EQ(cpu.Read(0x1000), 42u);
+  EXPECT_EQ(cpu.now() - t0, p.memory_read_cycles);
+
+  // Hot in the on-chip cache.
+  t0 = cpu.now();
+  EXPECT_EQ(cpu.Read(0x1000), 42u);
+  EXPECT_EQ(cpu.now() - t0, p.l1_read_hit_cycles);
+
+  // Evict from L1 by reading a conflicting line, then re-read: L2 hit.
+  uint32_t conflict = 0x1000 + p.l1_data_lines * kLineSize;
+  cpu.Read(conflict);
+  t0 = cpu.now();
+  EXPECT_EQ(cpu.Read(0x1000), 42u);
+  EXPECT_EQ(cpu.now() - t0, p.l2_read_hit_cycles);
+}
+
+TEST_F(SimTest, BusArbitrationSerializes) {
+  Bus& bus = machine_.bus();
+  Cycles g1 = bus.Acquire(100, 8);
+  Cycles g2 = bus.Acquire(100, 8);
+  EXPECT_EQ(g1, 100u);
+  EXPECT_EQ(g2, 108u);
+  EXPECT_EQ(bus.next_free(), 116u);
+  // A later request after the bus frees is granted immediately.
+  Cycles g3 = bus.Acquire(200, 4);
+  EXPECT_EQ(g3, 200u);
+  EXPECT_EQ(bus.busy_cycles(), 20u);
+  EXPECT_EQ(bus.transactions(), 3u);
+}
+
+TEST_F(SimTest, PageFaultHandlerInvokedOnce) {
+  class CountingHandler : public PageFaultHandler {
+   public:
+    explicit CountingHandler(IdentityTranslator* t) : translator_(t) {}
+    bool OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) override {
+      (void)cpu;
+      (void)va;
+      (void)access;
+      ++faults;
+      return true;  // Identity translator "resolves" everything.
+    }
+    int faults = 0;
+
+   private:
+    IdentityTranslator* translator_;
+  };
+
+  // A translator that faults on the first access only.
+  class FaultOnceTranslator : public AddressTranslator {
+   public:
+    bool Translate(VirtAddr va, AccessKind access, Translation* out) override {
+      (void)access;
+      if (!mapped_) {
+        return false;
+      }
+      out->paddr = va;
+      return true;
+    }
+    bool mapped_ = false;
+  };
+
+  FaultOnceTranslator faulting;
+  class Resolver : public PageFaultHandler {
+   public:
+    explicit Resolver(FaultOnceTranslator* t) : t_(t) {}
+    bool OnPageFault(Cpu* cpu, VirtAddr, AccessKind) override {
+      cpu->AddCycles(100);
+      t_->mapped_ = true;
+      ++faults;
+      return true;
+    }
+    int faults = 0;
+
+   private:
+    FaultOnceTranslator* t_;
+  };
+  Resolver resolver(&faulting);
+  Cpu& cpu = machine_.cpu();
+  cpu.set_translator(&faulting);
+  cpu.set_fault_handler(&resolver);
+  cpu.Write(0x1000, 5);
+  cpu.Write(0x1004, 6);
+  EXPECT_EQ(resolver.faults, 1);
+  EXPECT_EQ(cpu.page_faults(), 1u);
+  EXPECT_EQ(machine_.memory().Read(0x1000, 4), 5u);
+}
+
+// --- L2 cache / deferred copy policy mechanics ---
+
+class TestPolicy : public DeferredCopyPolicy {
+ public:
+  // Redirects clean reads of dest page 0x4000 to source page 0x8000.
+  PhysAddr ResolveClean(PhysAddr paddr) override {
+    if (PageBase(paddr) == 0x4000 && !written_back_.test(LineIndexInPage(paddr))) {
+      return 0x8000 + PageOffset(paddr);
+    }
+    return paddr;
+  }
+  void OnLineWriteback(PhysAddr line) override {
+    if (PageBase(line) == 0x4000) {
+      written_back_.set(LineIndexInPage(line));
+    }
+  }
+  std::bitset<kLinesPerPage> written_back_;
+};
+
+TEST(L2CacheTest, CleanReadResolvesThroughPolicy) {
+  PhysicalMemory mem(1u << 20);
+  L2Cache l2(&mem);
+  TestPolicy policy;
+  l2.set_policy(&policy);
+  mem.Write(0x8000, 111, 4);  // Source datum.
+  mem.Write(0x4000, 222, 4);  // Stale destination datum.
+  EXPECT_EQ(l2.Read(0x4000, 4), 111u);
+}
+
+TEST(L2CacheTest, WriteFillsLineFromSourceThenDirties) {
+  PhysicalMemory mem(1u << 20);
+  L2Cache l2(&mem);
+  TestPolicy policy;
+  l2.set_policy(&policy);
+  mem.Write(0x8000, 111, 4);
+  mem.Write(0x8004, 333, 4);
+  // Partial write to the destination line: the other words must come from
+  // the source (fill-on-write).
+  l2.Write(0x4004, 999, 4);
+  EXPECT_TRUE(l2.LineDirty(0x4004));
+  EXPECT_EQ(l2.Read(0x4004, 4), 999u);
+  EXPECT_EQ(l2.Read(0x4000, 4), 111u);  // Filled from source.
+}
+
+TEST(L2CacheTest, WritebackFlipsSourceToDestination) {
+  PhysicalMemory mem(1u << 20);
+  L2Cache l2(&mem);
+  TestPolicy policy;
+  l2.set_policy(&policy);
+  mem.Write(0x8000, 111, 4);
+  l2.Write(0x4000, 999, 4);
+  EXPECT_TRUE(l2.PageDirty(0x4000));
+  L2Cache::PageOpResult r = l2.FlushPage(0x4000);
+  EXPECT_EQ(r.dirty_lines, 1u);
+  EXPECT_FALSE(l2.PageDirty(0x4000));
+  EXPECT_TRUE(policy.written_back_.test(0));
+  // After writeback the clean read resolves to the destination.
+  EXPECT_EQ(l2.Read(0x4000, 4), 999u);
+}
+
+TEST(L2CacheTest, InvalidateDiscardsDirtyData) {
+  PhysicalMemory mem(1u << 20);
+  L2Cache l2(&mem);
+  TestPolicy policy;
+  l2.set_policy(&policy);
+  mem.Write(0x8000, 111, 4);
+  l2.Write(0x4000, 999, 4);
+  L2Cache::PageOpResult r = l2.InvalidatePage(0x4000);
+  EXPECT_EQ(r.dirty_lines, 1u);
+  // No writeback notification: reads resolve to the source again.
+  EXPECT_FALSE(policy.written_back_.test(0));
+  EXPECT_EQ(l2.Read(0x4000, 4), 111u);
+}
+
+TEST(L2CacheTest, DirtyLineCountsPerPage) {
+  PhysicalMemory mem(1u << 20);
+  L2Cache l2(&mem);
+  for (uint32_t i = 0; i < 10; ++i) {
+    l2.Write(0x4000 + i * kLineSize, i, 4);
+  }
+  EXPECT_TRUE(l2.PageDirty(0x4000));
+  L2Cache::PageOpResult r = l2.FlushPage(0x4000);
+  EXPECT_EQ(r.dirty_lines, 10u);
+  EXPECT_FALSE(l2.PageDirty(0x4000));
+}
+
+TEST(L2CacheTest, FlushLineSingle) {
+  PhysicalMemory mem(1u << 20);
+  L2Cache l2(&mem);
+  l2.Write(0x4000, 1, 4);
+  EXPECT_TRUE(l2.FlushLine(0x4000));
+  EXPECT_FALSE(l2.FlushLine(0x4000));  // Already clean.
+  EXPECT_FALSE(l2.FlushLine(0x5000));  // Never present.
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,104 @@
+// Tests of the system-statistics snapshots.
+#include <gtest/gtest.h>
+
+#include "src/lvm/lvm_system.h"
+#include "src/timewarp/models.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+namespace {
+
+TEST(SystemStatsTest, CountsTrackActivity) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(2 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+
+  LvmSystem::Stats before = system.GetStats();
+  EXPECT_EQ(before.records_logged, 0u);
+  EXPECT_EQ(before.writes, 0u);
+
+  for (uint32_t i = 0; i < 50; ++i) {
+    cpu.Write(base + 4 * i, i);
+    cpu.Compute(200);
+  }
+  system.SyncLog(&cpu, log);
+
+  LvmSystem::Stats after = system.GetStats();
+  EXPECT_EQ(after.records_logged, 50u);
+  EXPECT_EQ(after.writes, 50u);
+  EXPECT_EQ(after.logged_writes, 50u);
+  EXPECT_GE(after.page_faults, 1u);
+  EXPECT_GT(after.bus_busy_cycles, 0u);
+  EXPECT_EQ(after.records_dropped, 0u);
+  EXPECT_EQ(after.max_cpu_cycles, cpu.now());
+}
+
+TEST(SystemStatsTest, OnChipVariantReports) {
+  LvmConfig config;
+  config.logger_kind = LoggerKind::kOnChip;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  cpu.Write(base, 1);
+  LvmSystem::Stats stats = system.GetStats();
+  EXPECT_EQ(stats.records_logged, 1u);
+  EXPECT_EQ(stats.mapping_faults, 0u);  // No page mapping table on chip.
+}
+
+TEST(WarpStatsTest, EfficiencyReflectsRollbacks) {
+  // A single-scheduler run wastes nothing.
+  {
+    LvmSystem system;
+    SyntheticModel model(SyntheticModel::Params{});
+    TimeWarpConfig config;
+    config.num_schedulers = 1;
+    config.objects_per_scheduler = 4;
+    TimeWarpSimulation sim(&system, &model, config);
+    Event event;
+    event.time = 1;
+    event.target_object = 0;
+    event.payload = 42;
+    sim.Bootstrap(event);
+    sim.Run(400);
+    EXPECT_DOUBLE_EQ(sim.Efficiency(), 1.0);
+    EXPECT_EQ(sim.total_anti_messages(), 0u);
+  }
+  // A remote-heavy multi-scheduler run wastes some speculation.
+  {
+    LvmSystem system;
+    SyntheticModel::Params params;
+    params.remote_probability = 0.6;
+    SyntheticModel model(params);
+    TimeWarpConfig config;
+    config.num_schedulers = 4;
+    config.objects_per_scheduler = 2;
+    TimeWarpSimulation sim(&system, &model, config);
+    Rng rng(12);
+    for (int i = 0; i < 8; ++i) {
+      Event event;
+      event.time = 1 + rng.Uniform(4);
+      event.target_object = static_cast<uint32_t>(rng.Uniform(8));
+      event.payload = rng.Next64();
+      sim.Bootstrap(event);
+    }
+    sim.Run(1500);
+    EXPECT_GT(sim.total_events_rolled_back(), 0u);
+    EXPECT_LT(sim.Efficiency(), 1.0);
+    EXPECT_GT(sim.Efficiency(), 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace lvm

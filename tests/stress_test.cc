@@ -1,0 +1,156 @@
+// Stress and corner-case tests of the logger hardware paths: direct-mapped
+// page-mapping-table displacement, bus contention from log-record DMA, and
+// resource exhaustion.
+#include <gtest/gtest.h>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+TEST(PmtDisplacementTest, ConflictingPagesThrashButLoseNothing) {
+  // The page mapping table is direct mapped on the low 15 bits of the page
+  // number: two pages 128 MB apart share a slot and displace each other
+  // (Section 3.1.1). Alternating writes force a mapping fault per switch;
+  // every record must still be captured.
+  LvmConfig config;
+  config.memory_size = 192u << 20;
+  LvmSystem system(config);
+  Cpu& cpu = system.cpu();
+
+  // Push the frame allocator 128 MB forward so the second data page's
+  // frame conflicts with the first's.
+  StdSegment* filler = system.CreateSegment(128u << 20);
+  StdSegment* data = system.CreateSegment(2 * kPageSize);
+  Region* region = system.CreateRegion(data);
+  LogSegment* log = system.CreateLogSegment(16);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+
+  // Materialize page 0's frame, then enough filler frames that the next
+  // allocation lands 128 MB later in the same direct-mapped slot, then
+  // page 1's frame.
+  cpu.Write(base, 0);
+  PhysAddr frame0_addr = data->FrameAt(0);
+  uint32_t page = 0;
+  PhysAddr last = 0;
+  do {
+    last = filler->EnsureFrame(page++);
+  } while (PageMappingTable::IndexOf(last + kPageSize) !=
+               PageMappingTable::IndexOf(frame0_addr) ||
+           PageMappingTable::TagOf(last + kPageSize) == PageMappingTable::TagOf(frame0_addr));
+  cpu.Write(base + kPageSize, 0);
+  PhysAddr frame0 = data->FrameAt(0);
+  PhysAddr frame1 = data->FrameAt(1);
+  ASSERT_EQ(PageMappingTable::IndexOf(frame0), PageMappingTable::IndexOf(frame1));
+  ASSERT_NE(PageMappingTable::TagOf(frame0), PageMappingTable::TagOf(frame1));
+
+  uint64_t faults_before = system.logging_faults_handled();
+  constexpr uint32_t kRounds = 50;
+  for (uint32_t i = 0; i < kRounds; ++i) {
+    cpu.Write(base + 4 * i, 2 * i);
+    cpu.Compute(300);
+    cpu.Write(base + kPageSize + 4 * i, 2 * i + 1);
+    cpu.Compute(300);
+  }
+  system.SyncLog(&cpu, log);
+
+  // Every alternation displaced the other page's entry: ~one mapping fault
+  // per logged write after the first.
+  EXPECT_GT(system.logging_faults_handled() - faults_before, kRounds);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), 2 * kRounds + 2);
+  for (uint32_t i = 0; i < kRounds; ++i) {
+    EXPECT_EQ(reader.At(2 + 2 * i).value, 2 * i);
+    EXPECT_EQ(reader.At(2 + 2 * i + 1).value, 2 * i + 1);
+  }
+}
+
+TEST(BusContentionTest, DmaContendsWhenEnabled) {
+  auto run = [](bool contend) {
+    LvmConfig config;
+    config.params.dma_contends_bus = contend;
+    LvmSystem system(config);
+    Cpu& cpu = system.cpu();
+    StdSegment* segment = system.CreateSegment(8 * kPageSize);
+    Region* region = system.CreateRegion(segment);
+    LogSegment* log = system.CreateLogSegment(32);
+    AddressSpace* as = system.CreateAddressSpace();
+    VirtAddr base = as->BindRegion(region);
+    system.AttachLog(region, log);
+    system.Activate(as);
+    system.TouchRegion(&cpu, region);
+    for (uint32_t i = 0; i < 1000; ++i) {
+      cpu.Write(base + 4 * (i % 1024), i);
+      cpu.Compute(50);
+    }
+    system.SyncLog(&cpu, log);
+    LogReader reader(system.memory(), *log);
+    EXPECT_EQ(reader.size(), 1000u);
+    return system.machine().bus().busy_cycles();
+  };
+  uint64_t without = run(false);
+  uint64_t with = run(true);
+  // The DMA's 8 bus cycles per record appear as extra bus occupancy.
+  EXPECT_GE(with, without + 1000ull * 7);
+}
+
+TEST(ResourceExhaustionTest, LogTableFullAborts) {
+  LvmSystem system;
+  StdSegment* segment = system.CreateSegment(kPageSize);
+  // The log table has 64 entries.
+  for (int i = 0; i < 64; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(kPageSize));
+    system.AttachLog(region, system.CreateLogSegment(1));
+  }
+  Region* one_too_many = system.CreateRegion(segment);
+  EXPECT_DEATH(system.AttachLog(one_too_many, system.CreateLogSegment(1)),
+               "log table is full");
+}
+
+TEST(ResourceExhaustionTest, PhysicalMemoryExhaustionAborts) {
+  LvmConfig config;
+  config.memory_size = 1u << 20;  // 256 frames.
+  LvmSystem system(config);
+  StdSegment* big = system.CreateSegment(2u << 20);
+  EXPECT_DEATH(
+      {
+        for (uint32_t page = 0; page < big->page_count(); ++page) {
+          big->EnsureFrame(page);
+        }
+      },
+      "out of physical frames");
+}
+
+TEST(ResourceExhaustionTest, HugeLogGrowsAcrossManyPages) {
+  // A long, paced run appends tens of pages of records without loss.
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(8 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment(1);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  constexpr uint32_t kWrites = 20000;  // ~78 log pages.
+  for (uint32_t i = 0; i < kWrites; ++i) {
+    cpu.Write(base + 4 * (i % (2 * 1024)), i);
+    cpu.Compute(60);
+  }
+  system.SyncLog(&cpu, log);
+  LogReader reader(system.memory(), *log);
+  ASSERT_EQ(reader.size(), kWrites);
+  EXPECT_EQ(log->records_lost, 0u);
+  EXPECT_GT(log->page_count(), 70u);
+  // Spot checks across the whole span.
+  EXPECT_EQ(reader.At(0).value, 0u);
+  EXPECT_EQ(reader.At(kWrites / 2).value, kWrites / 2);
+  EXPECT_EQ(reader.At(kWrites - 1).value, kWrites - 1);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,213 @@
+// Deterministic rollback-cascade scenarios: a straggler rolls one
+// scheduler back, its anti-messages roll a third scheduler back, and the
+// re-execution converges to the sequential answer. These pin the exact
+// protocol paths (anti-message annihilation in the input queue versus
+// after processing) that the randomized sweeps hit only statistically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/timewarp/models.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+namespace {
+
+// A scripted model: the payload directly encodes what the event does.
+//   kAdd    — add the payload's low bits to the object's accumulator.
+//   kRelay  — add, then send a kAdd to `relay_target` at time+`relay_delay`.
+struct Script {
+  static constexpr uint64_t kAdd = 0x1ull << 60;
+  static constexpr uint64_t kRelay = 0x2ull << 60;
+
+  static uint64_t Add(uint32_t amount) { return kAdd | amount; }
+  static uint64_t Relay(uint32_t target, uint32_t delay, uint32_t amount) {
+    return kRelay | (static_cast<uint64_t>(target) << 40) |
+           (static_cast<uint64_t>(delay) << 24) | amount;
+  }
+};
+
+class ScriptedModel : public SimulationModel {
+ public:
+  void Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) override {
+    VirtAddr object = scheduler->ObjectAddr(event.target_object % scheduler->num_objects());
+    auto amount = static_cast<uint32_t>(event.payload & 0xFFFFFF);
+    cpu->Write(object, cpu->Read(object) + amount);
+    cpu->Compute(100);
+    if ((event.payload & Script::kRelay) != 0) {
+      Event relayed;
+      relayed.target_object = static_cast<uint32_t>((event.payload >> 40) & 0xFFFFF);
+      relayed.time = event.time + ((event.payload >> 24) & 0xFFFF);
+      relayed.payload = Script::Add(amount * 1000);
+      scheduler->Send(relayed);
+    }
+  }
+};
+
+struct Outcome {
+  std::vector<uint32_t> accumulators;
+  std::vector<uint64_t> rollbacks;
+  uint64_t anti_messages = 0;
+};
+
+Outcome RunScripted(StateSaving saving, const std::vector<Event>& bootstrap, uint32_t schedulers) {
+  LvmSystem system;
+  ScriptedModel model;
+  TimeWarpConfig config;
+  config.num_schedulers = schedulers;
+  config.objects_per_scheduler = 1;
+  config.object_size = 64;
+  config.state_saving = saving;
+  TimeWarpSimulation sim(&system, &model, config);
+  for (const Event& event : bootstrap) {
+    sim.Bootstrap(event);
+  }
+  sim.Run(10000);
+  Outcome outcome;
+  for (uint32_t i = 0; i < schedulers; ++i) {
+    Scheduler& scheduler = sim.scheduler(i);
+    system.Activate(scheduler.address_space(), scheduler.cpu()->id());
+    outcome.accumulators.push_back(scheduler.cpu()->Read(scheduler.ObjectAddr(0)));
+    outcome.rollbacks.push_back(scheduler.rollbacks());
+    outcome.anti_messages += scheduler.anti_messages_sent();
+  }
+  return outcome;
+}
+
+std::vector<Event> CascadeBootstrap() {
+  // Round-robin order is scheduler 0, 1, 2 — so the trigger chain sits on
+  // scheduler 2, whose turn comes after scheduler 1 has sped ahead.
+  //   - Scheduler 1 (object 1): adds at 10..100; the event at 60 relays
+  //     6000 to object 0 at 65.
+  //   - Scheduler 0 (object 0): one add at 70, plus the relayed 6000 at
+  //     65 — which it processes in round 7, before scheduler 1's rollback.
+  //   - Scheduler 2 (object 2): adds at 1..5, then at 50 a relay of 3000
+  //     to object 1 at 55. Scheduler 2 reaches the event at 50 in round 6,
+  //     when scheduler 1's LVT is already 60: the 55 is a straggler.
+  // Scheduler 1's rollback cancels its 60->65 relay; the anti-message
+  // finds object 0's copy already processed and rolls scheduler 0 back
+  // too: the cascade. Re-execution converges.
+  std::vector<Event> events;
+  for (uint32_t t = 10; t <= 100; t += 10) {
+    Event e;
+    e.time = t;
+    e.target_object = 1;
+    e.payload = t == 60 ? Script::Relay(0, 5, 6) : Script::Add(t);
+    events.push_back(e);
+  }
+  Event own;
+  own.time = 70;
+  own.target_object = 0;
+  own.payload = Script::Add(7);
+  events.push_back(own);
+  for (uint32_t t = 1; t <= 5; ++t) {
+    Event filler;
+    filler.time = t;
+    filler.target_object = 2;
+    filler.payload = Script::Add(t);
+    events.push_back(filler);
+  }
+  Event trigger;
+  trigger.time = 50;
+  trigger.target_object = 2;
+  trigger.payload = Script::Relay(1, 5, 3);
+  events.push_back(trigger);
+  return events;
+}
+
+TEST(CascadeTest, ChainedRollbackConverges) {
+  for (StateSaving saving : {StateSaving::kCopy, StateSaving::kLvm}) {
+    Outcome outcome = RunScripted(saving, CascadeBootstrap(), 3);
+    // Expected accumulators (sequential):
+    //   object 0: 7 + 6000 (relay from object 1's event at 60)
+    //   object 1: 10+20+..+100 with 60's amount 6 instead of 60, + 3000
+    //   object 2: 1+2+3+4+5 + 3
+    EXPECT_EQ(outcome.accumulators[0], 6007u) << "saving " << static_cast<int>(saving);
+    EXPECT_EQ(outcome.accumulators[1], 550u - 60 + 6 + 3000) << static_cast<int>(saving);
+    EXPECT_EQ(outcome.accumulators[2], 18u) << static_cast<int>(saving);
+    // The cascade really happened: the straggler rolled scheduler 1 back,
+    // and its anti-message rolled scheduler 0 back.
+    EXPECT_GE(outcome.rollbacks[1], 1u);
+    EXPECT_GE(outcome.rollbacks[0], 1u);
+    EXPECT_GE(outcome.anti_messages, 1u);
+  }
+}
+
+TEST(CascadeTest, AntiMessageAnnihilatesUnprocessedCopy) {
+  // Variant where the victim's relayed event sits unprocessed in scheduler
+  // 0's queue when the anti-message arrives (the cheap annihilation path):
+  // scheduler 0 is kept busy with a long chain of early events, so the
+  // relayed event at t=100 is still queued behind them when the straggler
+  // (from scheduler 2, after scheduler 1's turn) hits.
+  std::vector<Event> events;
+  for (uint32_t t = 10; t <= 40; t += 10) {
+    Event e;
+    e.time = t;
+    e.target_object = 1;
+    e.payload = t == 40 ? Script::Relay(0, 60, 4) : Script::Add(t);
+    events.push_back(e);
+  }
+  for (uint32_t t = 1; t <= 20; ++t) {
+    Event busy;
+    busy.time = t;
+    busy.target_object = 0;
+    busy.payload = Script::Add(t);
+    events.push_back(busy);
+  }
+  for (uint32_t t = 1; t <= 4; ++t) {
+    Event filler;
+    filler.time = t;
+    filler.target_object = 2;
+    filler.payload = Script::Add(t);
+    events.push_back(filler);
+  }
+  Event trigger;
+  trigger.time = 15;
+  trigger.target_object = 2;
+  trigger.payload = Script::Relay(1, 2, 9);  // Straggler at 17 for scheduler 1.
+  events.push_back(trigger);
+
+  for (StateSaving saving : {StateSaving::kCopy, StateSaving::kLvm}) {
+    Outcome outcome = RunScripted(saving, events, 3);
+    // Object 0: 1+..+20 plus the (re-sent) relayed 4000.
+    EXPECT_EQ(outcome.accumulators[0], 210u + 4000);
+    EXPECT_EQ(outcome.accumulators[1], 10u + 20 + 30 + 4 + 9000);
+    EXPECT_EQ(outcome.accumulators[2], 1u + 2 + 3 + 4 + 9);
+    // Scheduler 0 never rolled back: the anti-message annihilated its
+    // queued copy.
+    EXPECT_EQ(outcome.rollbacks[0], 0u);
+    EXPECT_GE(outcome.anti_messages, 1u);
+  }
+}
+
+TEST(CascadeTest, RollbackToCheckpointBoundary) {
+  // Fossil-collect to a GVT, then force a rollback to exactly that time:
+  // the LVM saver must accept to == checkpoint_time.
+  LvmSystem system;
+  ScriptedModel model;
+  TimeWarpConfig config;
+  config.num_schedulers = 2;
+  config.objects_per_scheduler = 1;
+  config.object_size = 64;
+  config.state_saving = StateSaving::kLvm;
+  TimeWarpSimulation sim(&system, &model, config);
+  for (uint32_t t = 20; t <= 60; t += 20) {
+    Event e;
+    e.time = t;
+    e.target_object = 1;
+    e.payload = Script::Add(t);
+    sim.Bootstrap(e);
+  }
+  Event trigger;
+  trigger.time = 30;
+  trigger.target_object = 0;
+  trigger.payload = Script::Relay(1, 0, 5);  // Relay lands at exactly 30.
+  sim.Bootstrap(trigger);
+  sim.Run(10000);
+  Scheduler& victim = sim.scheduler(1);
+  system.Activate(victim.address_space(), victim.cpu()->id());
+  EXPECT_EQ(victim.cpu()->Read(victim.ObjectAddr(0)), 20u + 40 + 60 + 5000);
+}
+
+}  // namespace
+}  // namespace lvm

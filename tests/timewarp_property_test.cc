@@ -1,0 +1,104 @@
+// Property-based Time Warp tests: for a sweep of configurations (scheduler
+// counts, savers, models, seeds), the optimistic run must compute exactly
+// the state the sequential reference computes, no matter how many
+// rollbacks and anti-messages it took to get there.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/timewarp/models.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+namespace {
+
+struct WarpCase {
+  const char* name;
+  uint32_t schedulers;
+  uint32_t objects_per_scheduler;
+  uint32_t object_size;
+  StateSaving saving;
+  uint32_t cult_interval;
+  bool phold;  // Otherwise the synthetic model.
+  uint64_t seed;
+  VirtualTime horizon;
+};
+
+std::vector<Event> Bootstrap(uint32_t jobs, uint32_t total_objects, uint64_t seed) {
+  std::vector<Event> events;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < jobs; ++i) {
+    Event event;
+    event.time = 1 + rng.Uniform(6);
+    event.target_object = static_cast<uint32_t>(rng.Uniform(total_objects));
+    event.payload = rng.Next64();
+    events.push_back(event);
+  }
+  return events;
+}
+
+class WarpPropertyTest : public ::testing::TestWithParam<WarpCase> {};
+
+TEST_P(WarpPropertyTest, OptimisticEqualsSequential) {
+  const WarpCase& param = GetParam();
+  TimeWarpConfig config;
+  config.num_schedulers = param.schedulers;
+  config.objects_per_scheduler = param.objects_per_scheduler;
+  config.object_size = param.object_size;
+  config.state_saving = param.saving;
+  config.cult_interval = param.cult_interval;
+
+  SyntheticModel::Params synthetic_params;
+  synthetic_params.remote_probability = 0.35;
+  synthetic_params.writes = 5;
+  SyntheticModel synthetic(synthetic_params);
+  PholdModel::Params phold_params;
+  phold_params.mean_delay = 7.0;
+  phold_params.locality = 0.5;
+  phold_params.locality_domain = param.objects_per_scheduler;
+  PholdModel phold(phold_params);
+  SimulationModel* model = param.phold ? static_cast<SimulationModel*>(&phold)
+                                       : static_cast<SimulationModel*>(&synthetic);
+
+  uint32_t total = param.schedulers * param.objects_per_scheduler;
+  std::vector<Event> bootstrap = Bootstrap(total, total, param.seed);
+
+  LvmSystem optimistic_system;
+  TimeWarpSimulation optimistic(&optimistic_system, model, config);
+  for (const Event& event : bootstrap) {
+    optimistic.Bootstrap(event);
+  }
+  optimistic.Run(param.horizon);
+
+  LvmSystem sequential_system;
+  uint64_t expected =
+      SequentialDigest(&sequential_system, model, config, bootstrap, param.horizon);
+
+  EXPECT_EQ(OptimisticDigest(&optimistic, param.horizon), expected);
+  if (param.schedulers > 1) {
+    EXPECT_GT(optimistic.total_rollbacks(), 0u) << "sweep point exercised no rollbacks";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WarpPropertyTest,
+    ::testing::Values(
+        WarpCase{"copy_2sched_synth", 2, 4, 64, StateSaving::kCopy, 32, false, 101, 900},
+        WarpCase{"lvm_2sched_synth", 2, 4, 64, StateSaving::kLvm, 32, false, 101, 900},
+        WarpCase{"copy_4sched_synth", 4, 3, 96, StateSaving::kCopy, 16, false, 102, 700},
+        WarpCase{"lvm_4sched_synth", 4, 3, 96, StateSaving::kLvm, 16, false, 102, 700},
+        WarpCase{"copy_2sched_phold", 2, 6, 128, StateSaving::kCopy, 64, true, 103, 800},
+        WarpCase{"lvm_2sched_phold", 2, 6, 128, StateSaving::kLvm, 64, true, 103, 800},
+        WarpCase{"copy_6sched_phold", 6, 2, 64, StateSaving::kCopy, 16, true, 104, 600},
+        WarpCase{"lvm_6sched_phold", 6, 2, 64, StateSaving::kLvm, 16, true, 104, 600},
+        WarpCase{"lvm_3sched_big_objects", 3, 4, 512, StateSaving::kLvm, 24, true, 105, 700},
+        WarpCase{"lvm_aggressive_cult", 2, 4, 64, StateSaving::kLvm, 4, false, 106, 800},
+        WarpCase{"copy_aggressive_cult", 2, 4, 64, StateSaving::kCopy, 4, false, 106, 800},
+        WarpCase{"lvm_rare_cult", 2, 4, 64, StateSaving::kLvm, 4096, false, 107, 600}),
+    [](const ::testing::TestParamInfo<WarpCase>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+}  // namespace
+}  // namespace lvm

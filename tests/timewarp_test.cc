@@ -1,0 +1,256 @@
+// Tests of the Time Warp optimistic simulation engine (Section 2.4) with
+// both state savers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/timewarp/copy_state_saver.h"
+#include "src/timewarp/lvm_state_saver.h"
+#include "src/timewarp/models.h"
+#include "src/timewarp/simulation.h"
+
+namespace lvm {
+namespace {
+
+std::vector<Event> MakeBootstrap(uint32_t jobs, uint32_t total_objects, uint64_t seed) {
+  std::vector<Event> events;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < jobs; ++i) {
+    Event event;
+    event.time = 1 + rng.Uniform(4);
+    event.target_object = static_cast<uint32_t>(rng.Uniform(total_objects));
+    event.payload = rng.Next64();
+    events.push_back(event);
+  }
+  return events;
+}
+
+struct SaverCase {
+  StateSaving saving;
+  const char* name;
+};
+
+class TimeWarpTest : public ::testing::TestWithParam<SaverCase> {};
+
+TEST_P(TimeWarpTest, SingleSchedulerNeverRollsBack) {
+  LvmSystem system;
+  SyntheticModel model(SyntheticModel::Params{});
+  TimeWarpConfig config;
+  config.num_schedulers = 1;
+  config.objects_per_scheduler = 4;
+  config.state_saving = GetParam().saving;
+  TimeWarpSimulation sim(&system, &model, config);
+  for (const Event& event : MakeBootstrap(4, sim.total_objects(), 7)) {
+    sim.Bootstrap(event);
+  }
+  sim.Run(500);
+  EXPECT_GT(sim.total_events_processed(), 50u);
+  EXPECT_EQ(sim.total_rollbacks(), 0u);
+}
+
+TEST_P(TimeWarpTest, CrossSchedulerTrafficCausesRollbacks) {
+  LvmSystem system;
+  SyntheticModel::Params params;
+  params.remote_probability = 0.5;
+  params.min_delay = 1;
+  params.max_delay = 32;
+  SyntheticModel model(params);
+  TimeWarpConfig config;
+  config.num_schedulers = 4;
+  config.objects_per_scheduler = 4;
+  config.state_saving = GetParam().saving;
+  TimeWarpSimulation sim(&system, &model, config);
+  for (const Event& event : MakeBootstrap(12, sim.total_objects(), 11)) {
+    sim.Bootstrap(event);
+  }
+  sim.Run(2000);
+  EXPECT_GT(sim.total_events_processed(), 200u);
+  // The round-robin loop runs schedulers out of lockstep; remote traffic
+  // must produce stragglers.
+  EXPECT_GT(sim.total_rollbacks(), 0u);
+}
+
+TEST_P(TimeWarpTest, OptimisticMatchesSequential_Synthetic) {
+  SyntheticModel::Params params;
+  params.remote_probability = 0.4;
+  params.writes = 6;
+  TimeWarpConfig config;
+  config.num_schedulers = 3;
+  config.objects_per_scheduler = 5;
+  config.object_size = 64;
+  config.state_saving = GetParam().saving;
+  config.cult_interval = 64;
+  constexpr VirtualTime kEnd = 1500;
+
+  std::vector<Event> bootstrap = MakeBootstrap(9, 15, 23);
+
+  SyntheticModel model(params);
+  LvmSystem optimistic_system;
+  TimeWarpSimulation optimistic(&optimistic_system, &model, config);
+  for (const Event& event : bootstrap) {
+    optimistic.Bootstrap(event);
+  }
+  optimistic.Run(kEnd);
+
+  SyntheticModel reference_model(params);
+  LvmSystem sequential_system;
+  uint64_t expected =
+      SequentialDigest(&sequential_system, &reference_model, config, bootstrap, kEnd);
+
+  EXPECT_EQ(OptimisticDigest(&optimistic, kEnd), expected);
+  EXPECT_GT(optimistic.total_rollbacks(), 0u);  // The test must exercise rollback.
+}
+
+TEST_P(TimeWarpTest, OptimisticMatchesSequential_Phold) {
+  PholdModel::Params params;
+  params.mean_delay = 6.0;
+  TimeWarpConfig config;
+  config.num_schedulers = 4;
+  config.objects_per_scheduler = 4;
+  config.object_size = 96;
+  config.state_saving = GetParam().saving;
+  config.cult_interval = 64;
+  constexpr VirtualTime kEnd = 800;
+
+  std::vector<Event> bootstrap = MakeBootstrap(16, 16, 99);
+
+  PholdModel model(params);
+  LvmSystem optimistic_system;
+  TimeWarpSimulation optimistic(&optimistic_system, &model, config);
+  for (const Event& event : bootstrap) {
+    optimistic.Bootstrap(event);
+  }
+  optimistic.Run(kEnd);
+
+  PholdModel reference_model(params);
+  LvmSystem sequential_system;
+  uint64_t expected =
+      SequentialDigest(&sequential_system, &reference_model, config, bootstrap, kEnd);
+
+  EXPECT_EQ(OptimisticDigest(&optimistic, kEnd), expected);
+  EXPECT_GT(optimistic.total_rollbacks(), 0u);
+}
+
+TEST_P(TimeWarpTest, CultKeepsHistoryBounded) {
+  LvmSystem system;
+  PholdModel model(PholdModel::Params{});
+  TimeWarpConfig config;
+  config.num_schedulers = 2;
+  config.objects_per_scheduler = 4;
+  config.state_saving = GetParam().saving;
+  config.cult_interval = 16;  // Aggressive fossil collection.
+  TimeWarpSimulation sim(&system, &model, config);
+  for (const Event& event : MakeBootstrap(8, sim.total_objects(), 5)) {
+    sim.Bootstrap(event);
+  }
+  sim.Run(5000);
+  EXPECT_GT(sim.total_events_processed(), 500u);
+  if (GetParam().saving == StateSaving::kLvm) {
+    // CULT truncated the logs: they must be far smaller than one record per
+    // processed write.
+    for (uint32_t i = 0; i < sim.num_schedulers(); ++i) {
+      auto* saver = static_cast<LvmStateSaver*>(sim.scheduler(i).saver());
+      EXPECT_LT(saver->log()->append_offset, 64u * kPageSize);
+    }
+  }
+}
+
+TEST_P(TimeWarpTest, LazyCultDefersBottleneckScheduler) {
+  LvmSystem system;
+  PholdModel model(PholdModel::Params{});
+  TimeWarpConfig config;
+  config.num_schedulers = 2;
+  config.objects_per_scheduler = 4;
+  config.state_saving = GetParam().saving;
+  config.cult_interval = 16;
+  config.cult_laziness = 1u << 30;  // Everyone always looks like the bottleneck.
+  TimeWarpSimulation sim(&system, &model, config);
+  for (const Event& event : MakeBootstrap(8, sim.total_objects(), 5)) {
+    sim.Bootstrap(event);
+  }
+  sim.Run(1000);
+  EXPECT_GT(sim.total_events_processed(), 100u);
+  if (GetParam().saving == StateSaving::kLvm) {
+    for (uint32_t i = 0; i < sim.num_schedulers(); ++i) {
+      auto* saver = static_cast<LvmStateSaver*>(sim.scheduler(i).saver());
+      EXPECT_EQ(saver->checkpoint_time(), 0u);  // CULT never ran.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Savers, TimeWarpTest,
+                         ::testing::Values(SaverCase{StateSaving::kCopy, "copy"},
+                                           SaverCase{StateSaving::kLvm, "lvm"}),
+                         [](const ::testing::TestParamInfo<SaverCase>& param_info) {
+                           return std::string(param_info.param.name);
+                         });
+
+TEST(TimeWarpMicroTest, StragglerRollbackRestoresExactState) {
+  // Hand-built scenario: scheduler 1 runs ahead, then a straggler from
+  // scheduler 0 forces it back; the re-executed history must include the
+  // straggler's effect.
+  struct RecordingModel : SimulationModel {
+    void Execute(Cpu* cpu, Scheduler* scheduler, const Event& event) override {
+      VirtAddr object = scheduler->ObjectAddr(event.target_object % scheduler->num_objects());
+      uint32_t sum = cpu->Read(object);
+      cpu->Write(object, sum + static_cast<uint32_t>(event.payload));
+      cpu->Compute(100);
+      if (event.payload == 42) {
+        // The event at time 50 on object 0 sends a straggler-ish message to
+        // object 1 (scheduler 1) at time 60.
+        Event cross;
+        cross.time = 60;
+        cross.target_object = 1;
+        cross.payload = 7;
+        scheduler->Send(cross);
+      }
+    }
+  };
+
+  for (StateSaving saving : {StateSaving::kCopy, StateSaving::kLvm}) {
+    LvmSystem system;
+    RecordingModel model;
+    TimeWarpConfig config;
+    config.num_schedulers = 2;
+    config.objects_per_scheduler = 1;
+    config.state_saving = saving;
+    TimeWarpSimulation sim(&system, &model, config);
+
+    // Scheduler 1 gets events at 10, 100, 200 (it will run far ahead);
+    // scheduler 0 gets one at 50 which sends to object 1 at 60.
+    for (VirtualTime t : {10u, 100u, 200u}) {
+      Event e;
+      e.time = t;
+      e.target_object = 1;
+      e.payload = t;
+      sim.Bootstrap(e);
+    }
+    Event trigger;
+    trigger.time = 50;
+    trigger.target_object = 0;
+    trigger.payload = 42;
+    sim.Bootstrap(trigger);
+
+    sim.Run(1000);
+    // Object 1 accumulated 10 + 100 + 200 + 7; object 0 accumulated 42.
+    uint64_t d = OptimisticDigest(&sim, 1000);
+    // Compare against the sequential reference.
+    LvmSystem seq_system;
+    RecordingModel seq_model;
+    std::vector<Event> bootstrap;
+    for (VirtualTime t : {10u, 100u, 200u}) {
+      Event e;
+      e.time = t;
+      e.target_object = 1;
+      e.payload = t;
+      bootstrap.push_back(e);
+    }
+    bootstrap.push_back(trigger);
+    uint64_t expected = SequentialDigest(&seq_system, &seq_model, config, bootstrap, 1000);
+    EXPECT_EQ(d, expected) << "saving mode " << static_cast<int>(saving);
+  }
+}
+
+}  // namespace
+}  // namespace lvm

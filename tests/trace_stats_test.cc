@@ -1,0 +1,191 @@
+// Tests of the address-trace analysis over LVM logs (Section 1).
+#include <gtest/gtest.h>
+
+#include "src/lvm/trace_stats.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace {
+
+class TraceStatsTest : public ::testing::Test {
+ protected:
+  TraceStatsTest() {
+    segment_ = system_.CreateSegment(8 * kPageSize);
+    region_ = system_.CreateRegion(segment_);
+    log_ = system_.CreateLogSegment();
+    as_ = system_.CreateAddressSpace();
+    base_ = as_->BindRegion(region_);
+    system_.AttachLog(region_, log_);
+    system_.Activate(as_);
+  }
+
+  LogReader Sync() {
+    system_.SyncLog(&system_.cpu(), log_);
+    return LogReader(system_.memory(), *log_);
+  }
+
+  LvmSystem system_;
+  StdSegment* segment_ = nullptr;
+  Region* region_ = nullptr;
+  LogSegment* log_ = nullptr;
+  AddressSpace* as_ = nullptr;
+  VirtAddr base_ = 0;
+};
+
+TEST_F(TraceStatsTest, EmptyTrace) {
+  TraceStats stats = AnalyzeTrace(Sync());
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_EQ(stats.unique_pages, 0u);
+  EXPECT_EQ(stats.WritesPerKilotick(), 0.0);
+}
+
+TEST_F(TraceStatsTest, FootprintCounts) {
+  Cpu& cpu = system_.cpu();
+  // Four writes: two words in one line, one in another line same page, one
+  // on another page.
+  cpu.Write(base_ + 0, 1);
+  cpu.Compute(1000);
+  cpu.Write(base_ + 4, 2);
+  cpu.Compute(1000);
+  cpu.Write(base_ + 64, 3);
+  cpu.Compute(1000);
+  cpu.Write(base_ + kPageSize, 4);
+  cpu.Compute(1000);
+  TraceStats stats = AnalyzeTrace(Sync());
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.bytes_written, 16u);
+  EXPECT_EQ(stats.unique_words, 4u);
+  EXPECT_EQ(stats.unique_lines, 3u);
+  EXPECT_EQ(stats.unique_pages, 2u);
+  EXPECT_EQ(stats.rewrites, 0u);
+}
+
+TEST_F(TraceStatsTest, RewritesDetected) {
+  Cpu& cpu = system_.cpu();
+  for (int i = 0; i < 10; ++i) {
+    cpu.Write(base_, static_cast<uint32_t>(i));
+    cpu.Compute(500);
+  }
+  TraceStats stats = AnalyzeTrace(Sync());
+  EXPECT_EQ(stats.records, 10u);
+  EXPECT_EQ(stats.unique_words, 1u);
+  EXPECT_EQ(stats.rewrites, 9u);
+}
+
+TEST_F(TraceStatsTest, HottestPage) {
+  Cpu& cpu = system_.cpu();
+  for (int i = 0; i < 3; ++i) {
+    cpu.Write(base_ + 4 * static_cast<uint32_t>(i), 1);
+    cpu.Compute(500);
+  }
+  for (int i = 0; i < 7; ++i) {
+    cpu.Write(base_ + 2 * kPageSize + 4 * static_cast<uint32_t>(i), 1);
+    cpu.Compute(500);
+  }
+  TraceStats stats = AnalyzeTrace(Sync());
+  EXPECT_EQ(stats.hottest_page, PageNumber(segment_->FrameAt(2)));
+  EXPECT_EQ(stats.hottest_page_writes, 7u);
+}
+
+TEST_F(TraceStatsTest, BurstDetection) {
+  Cpu& cpu = system_.cpu();
+  // A tight burst of 8 writes, then widely spaced singles.
+  for (int i = 0; i < 8; ++i) {
+    cpu.Write(base_ + 4 * static_cast<uint32_t>(i), 1);
+  }
+  for (int i = 0; i < 5; ++i) {
+    cpu.Compute(100000);
+    cpu.Write(base_ + 512 + 4 * static_cast<uint32_t>(i), 1);
+  }
+  TraceStats stats = AnalyzeTrace(Sync(), /*burst_window=*/64);
+  EXPECT_GE(stats.peak_burst, 8u);
+  EXPECT_GT(stats.last_timestamp, stats.first_timestamp);
+}
+
+TEST_F(TraceStatsTest, WriteRate) {
+  Cpu& cpu = system_.cpu();
+  // One write every 400 cycles = 100 timestamp ticks: 10 per kilotick.
+  for (int i = 0; i < 50; ++i) {
+    cpu.Write(base_ + 4 * static_cast<uint32_t>(i), 1);
+    cpu.Compute(394);  // ~400 including the write issue.
+  }
+  TraceStats stats = AnalyzeTrace(Sync());
+  EXPECT_NEAR(stats.WritesPerKilotick(), 10.0, 1.5);
+}
+
+TEST_F(TraceStatsTest, CacheSimSequentialVsStrided) {
+  Cpu& cpu = system_.cpu();
+  // Sequential words: 4 writes share each line -> 25% miss rate.
+  for (uint32_t i = 0; i < 512; ++i) {
+    cpu.Write(base_ + 4 * i, i);
+    cpu.Compute(100);
+  }
+  LogReader reader = Sync();
+  TraceCacheResult sequential = SimulateTraceCache(reader, 256);
+  EXPECT_EQ(sequential.accesses, 512u);
+  EXPECT_NEAR(sequential.MissRate(), 0.25, 0.01);
+
+  // Line-strided writes: every access a different line -> ~100% misses.
+  system_.TruncateLog(&cpu, log_);
+  for (uint32_t i = 0; i < 512; ++i) {
+    cpu.Write(base_ + (i * kLineSize) % (8 * kPageSize), i);
+    cpu.Compute(100);
+  }
+  LogReader strided_reader = Sync();
+  TraceCacheResult strided = SimulateTraceCache(strided_reader, 256);
+  EXPECT_GT(strided.MissRate(), 0.9);
+}
+
+TEST_F(TraceStatsTest, ReuseHistogramImmediateReuse) {
+  Cpu& cpu = system_.cpu();
+  for (int i = 0; i < 10; ++i) {
+    cpu.Write(base_, static_cast<uint32_t>(i));  // Same line every time.
+    cpu.Compute(100);
+  }
+  ReuseHistogram histogram = ComputeReuseHistogram(Sync());
+  EXPECT_EQ(histogram.cold, 1u);
+  EXPECT_EQ(histogram.buckets[0], 9u);  // Distance 0.
+  EXPECT_DOUBLE_EQ(histogram.HitFraction(2), 0.9);
+}
+
+TEST_F(TraceStatsTest, ReuseHistogramCyclicPattern) {
+  Cpu& cpu = system_.cpu();
+  // Cycle over 8 distinct lines, 5 times: after the cold pass, every
+  // access has stack distance 7.
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t line = 0; line < 8; ++line) {
+      cpu.Write(base_ + line * kLineSize, line);
+      cpu.Compute(100);
+    }
+  }
+  ReuseHistogram histogram = ComputeReuseHistogram(Sync());
+  EXPECT_EQ(histogram.cold, 8u);
+  // Distance 7 lands in bucket [4,8).
+  EXPECT_EQ(histogram.buckets[2], 32u);
+  // A 4-line LRU cache misses everything; an 8-line one catches it all.
+  EXPECT_DOUBLE_EQ(histogram.HitFraction(4), 0.0);
+  EXPECT_NEAR(histogram.HitFraction(8), 32.0 / 40.0, 1e-9);
+}
+
+TEST_F(TraceStatsTest, ReuseHistogramEmptyTrace) {
+  ReuseHistogram histogram = ComputeReuseHistogram(Sync());
+  EXPECT_EQ(histogram.cold, 0u);
+  EXPECT_EQ(histogram.HitFraction(1024), 0.0);
+}
+
+TEST_F(TraceStatsTest, CacheSimTinyCacheThrashes) {
+  Cpu& cpu = system_.cpu();
+  // Two lines that conflict in a 1-line cache.
+  for (int i = 0; i < 20; ++i) {
+    cpu.Write(base_ + (i % 2 == 0 ? 0u : 16u * 256), 1);
+    cpu.Compute(100);
+  }
+  LogReader reader = Sync();
+  TraceCacheResult tiny = SimulateTraceCache(reader, 1);
+  EXPECT_EQ(tiny.MissRate(), 1.0);
+  TraceCacheResult big = SimulateTraceCache(reader, 1024);
+  EXPECT_EQ(big.misses, 2u);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -1,0 +1,178 @@
+// Unit tests for segments, regions, address spaces and the frame allocator.
+#include <gtest/gtest.h>
+
+#include "src/sim/phys_mem.h"
+#include "src/vm/address_space.h"
+#include "src/vm/frame_allocator.h"
+#include "src/vm/region.h"
+#include "src/vm/segment.h"
+
+namespace lvm {
+namespace {
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest() : memory_(16u << 20), allocator_(&memory_, 2 * kPageSize) {}
+
+  PhysicalMemory memory_;
+  FrameAllocator allocator_;
+};
+
+TEST_F(VmTest, FrameAllocatorZeroFillsAndRecycles) {
+  PhysAddr a = allocator_.Allocate();
+  EXPECT_EQ(PageOffset(a), 0u);
+  memory_.Write(a, 0xff, 1);
+  allocator_.Free(a);
+  PhysAddr b = allocator_.Allocate();
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(memory_.Read(b, 1), 0u);  // Recycled frames are re-zeroed.
+}
+
+TEST_F(VmTest, FrameAllocatorDistinctFrames) {
+  PhysAddr a = allocator_.Allocate();
+  PhysAddr b = allocator_.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b - a, kPageSize);
+}
+
+TEST_F(VmTest, SegmentSizeRoundsUpToPages) {
+  StdSegment segment(&allocator_, 5000);
+  EXPECT_EQ(segment.size(), 2 * kPageSize);
+  EXPECT_EQ(segment.page_count(), 2u);
+}
+
+TEST_F(VmTest, SegmentFramesMaterializeOnDemand) {
+  StdSegment segment(&allocator_, 4 * kPageSize);
+  EXPECT_FALSE(segment.HasFrame(2));
+  PhysAddr frame = segment.EnsureFrame(2);
+  EXPECT_TRUE(segment.HasFrame(2));
+  EXPECT_EQ(segment.FrameAt(2), frame);
+  EXPECT_EQ(segment.EnsureFrame(2), frame);  // Idempotent.
+  EXPECT_EQ(segment.PageIndexOfFrame(frame), 2);
+  EXPECT_EQ(segment.PageIndexOfFrame(0x12345000), -1);
+}
+
+TEST_F(VmTest, SegmentManagerFillsNewPages) {
+  class PatternManager : public SegmentManager {
+   public:
+    void FillPage(Segment& segment, uint32_t page_index, uint8_t* bytes) override {
+      (void)segment;
+      for (uint32_t i = 0; i < kPageSize; ++i) {
+        bytes[i] = static_cast<uint8_t>(page_index + 1);
+      }
+      ++fills;
+    }
+    int fills = 0;
+  };
+  PatternManager manager;
+  StdSegment segment(&allocator_, 2 * kPageSize, 0, &manager);
+  PhysAddr frame = segment.EnsureFrame(1);
+  EXPECT_EQ(manager.fills, 1);
+  EXPECT_EQ(memory_.Read(frame, 1), 2u);
+}
+
+TEST_F(VmTest, LogSegmentGrowsByExtension) {
+  LogSegment log(&allocator_);
+  EXPECT_EQ(log.page_count(), 0u);
+  log.Extend(3);
+  EXPECT_EQ(log.page_count(), 3u);
+  EXPECT_TRUE(log.HasFrame(0));
+  EXPECT_TRUE(log.HasFrame(2));
+}
+
+TEST_F(VmTest, SourceSegmentMustBePageAligned) {
+  StdSegment a(&allocator_, kPageSize);
+  StdSegment b(&allocator_, kPageSize);
+  b.SetSourceSegment(&a, 0);
+  EXPECT_EQ(b.source_segment(), &a);
+  EXPECT_DEATH(b.SetSourceSegment(&a, 100), "page aligned");
+}
+
+TEST_F(VmTest, RegionBindAllocatesDistinctRanges) {
+  StdSegment seg_a(&allocator_, 3 * kPageSize);
+  StdSegment seg_b(&allocator_, kPageSize);
+  Region reg_a(&seg_a);
+  Region reg_b(&seg_b);
+  AddressSpace as;
+  VirtAddr va_a = as.BindRegion(&reg_a);
+  VirtAddr va_b = as.BindRegion(&reg_b);
+  EXPECT_NE(va_a, 0u);
+  EXPECT_EQ(PageOffset(va_a), 0u);
+  EXPECT_GE(va_b, va_a + seg_a.size());
+  EXPECT_TRUE(reg_a.Contains(va_a));
+  EXPECT_TRUE(reg_a.Contains(va_a + seg_a.size() - 1));
+  EXPECT_FALSE(reg_a.Contains(va_a + seg_a.size()));
+  EXPECT_EQ(as.FindRegion(va_a + kPageSize), &reg_a);
+  EXPECT_EQ(as.FindRegion(va_b), &reg_b);
+  EXPECT_EQ(as.FindRegion(1), nullptr);
+}
+
+TEST_F(VmTest, RegionBindAtFixedAddress) {
+  StdSegment segment(&allocator_, kPageSize);
+  Region region(&segment);
+  AddressSpace as;
+  VirtAddr va = as.BindRegion(&region, 0x0100'0000);
+  EXPECT_EQ(va, 0x0100'0000u);
+  EXPECT_EQ(region.base(), va);
+}
+
+TEST_F(VmTest, RegionDoubleBindAborts) {
+  StdSegment segment(&allocator_, kPageSize);
+  Region region(&segment);
+  AddressSpace as;
+  as.BindRegion(&region);
+  EXPECT_DEATH(as.BindRegion(&region), "already bound");
+}
+
+TEST_F(VmTest, OverlappingFixedBindAborts) {
+  StdSegment seg_a(&allocator_, 2 * kPageSize);
+  StdSegment seg_b(&allocator_, kPageSize);
+  Region reg_a(&seg_a);
+  Region reg_b(&seg_b);
+  AddressSpace as;
+  as.BindRegion(&reg_a, 0x0100'0000);
+  EXPECT_DEATH(as.BindRegion(&reg_b, 0x0100'1000), "overlaps");
+}
+
+TEST_F(VmTest, PageIndexOf) {
+  StdSegment segment(&allocator_, 4 * kPageSize);
+  Region region(&segment);
+  AddressSpace as;
+  VirtAddr base = as.BindRegion(&region);
+  EXPECT_EQ(region.PageIndexOf(base), 0u);
+  EXPECT_EQ(region.PageIndexOf(base + kPageSize + 12), 1u);
+  EXPECT_EQ(region.PageIndexOf(base + 4 * kPageSize - 1), 3u);
+}
+
+TEST_F(VmTest, TranslateThroughPageTable) {
+  AddressSpace as;
+  AddressSpace::Pte pte;
+  pte.frame = 0x9000;
+  pte.write_through = true;
+  pte.logged = true;
+  as.InstallPte(0x0100'0000, pte);
+
+  Translation translation;
+  ASSERT_TRUE(as.Translate(0x0100'0abc, AccessKind::kRead, &translation));
+  EXPECT_EQ(translation.paddr, 0x9abcu);
+  EXPECT_TRUE(translation.write_through);
+  EXPECT_TRUE(translation.logged);
+  EXPECT_FALSE(as.Translate(0x0100'1000, AccessKind::kRead, &translation));
+
+  as.RemovePte(0x0100'0000);
+  EXPECT_FALSE(as.Translate(0x0100'0abc, AccessKind::kRead, &translation));
+}
+
+TEST_F(VmTest, RegionLoggingDefaults) {
+  StdSegment segment(&allocator_, kPageSize);
+  LogSegment log(&allocator_);
+  Region region(&segment);
+  EXPECT_FALSE(region.logging_enabled());
+  region.SetLogSegment(&log);
+  EXPECT_TRUE(region.logging_enabled());
+  EXPECT_EQ(region.log_segment(), &log);
+  EXPECT_EQ(region.log_mode(), LogMode::kNormal);
+}
+
+}  // namespace
+}  // namespace lvm

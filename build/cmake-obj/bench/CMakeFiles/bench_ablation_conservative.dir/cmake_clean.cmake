@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_ablation_conservative"
+  "../../bench/bench_ablation_conservative.pdb"
+  "CMakeFiles/bench_ablation_conservative.dir/bench_ablation_conservative.cc.o"
+  "CMakeFiles/bench_ablation_conservative.dir/bench_ablation_conservative.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conservative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

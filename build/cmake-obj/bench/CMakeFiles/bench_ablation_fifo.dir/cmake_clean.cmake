@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_ablation_fifo"
+  "../../bench/bench_ablation_fifo.pdb"
+  "CMakeFiles/bench_ablation_fifo.dir/bench_ablation_fifo.cc.o"
+  "CMakeFiles/bench_ablation_fifo.dir/bench_ablation_fifo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

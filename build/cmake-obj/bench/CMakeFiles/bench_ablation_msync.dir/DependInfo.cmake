@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_msync.cc" "cmake-obj/bench/CMakeFiles/bench_ablation_msync.dir/bench_ablation_msync.cc.o" "gcc" "cmake-obj/bench/CMakeFiles/bench_ablation_msync.dir/bench_ablation_msync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mfile/CMakeFiles/lvm_mfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/lvm/CMakeFiles/lvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/lvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logger/CMakeFiles/lvm_logger.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lvm_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

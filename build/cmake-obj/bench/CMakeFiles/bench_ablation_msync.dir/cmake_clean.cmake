@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_ablation_msync"
+  "../../bench/bench_ablation_msync.pdb"
+  "CMakeFiles/bench_ablation_msync.dir/bench_ablation_msync.cc.o"
+  "CMakeFiles/bench_ablation_msync.dir/bench_ablation_msync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_msync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

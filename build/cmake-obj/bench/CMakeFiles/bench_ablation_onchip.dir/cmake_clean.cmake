@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_ablation_onchip"
+  "../../bench/bench_ablation_onchip.pdb"
+  "CMakeFiles/bench_ablation_onchip.dir/bench_ablation_onchip.cc.o"
+  "CMakeFiles/bench_ablation_onchip.dir/bench_ablation_onchip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_onchip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

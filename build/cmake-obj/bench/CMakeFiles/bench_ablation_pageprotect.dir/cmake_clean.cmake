@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_ablation_pageprotect"
+  "../../bench/bench_ablation_pageprotect.pdb"
+  "CMakeFiles/bench_ablation_pageprotect.dir/bench_ablation_pageprotect.cc.o"
+  "CMakeFiles/bench_ablation_pageprotect.dir/bench_ablation_pageprotect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pageprotect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_ablation_txlen"
+  "../../bench/bench_ablation_txlen.pdb"
+  "CMakeFiles/bench_ablation_txlen.dir/bench_ablation_txlen.cc.o"
+  "CMakeFiles/bench_ablation_txlen.dir/bench_ablation_txlen.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_txlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig10_logged_writes"
+  "../../bench/bench_fig10_logged_writes.pdb"
+  "CMakeFiles/bench_fig10_logged_writes.dir/bench_fig10_logged_writes.cc.o"
+  "CMakeFiles/bench_fig10_logged_writes.dir/bench_fig10_logged_writes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_logged_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

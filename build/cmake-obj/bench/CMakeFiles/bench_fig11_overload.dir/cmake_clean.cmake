@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig11_overload"
+  "../../bench/bench_fig11_overload.pdb"
+  "CMakeFiles/bench_fig11_overload.dir/bench_fig11_overload.cc.o"
+  "CMakeFiles/bench_fig11_overload.dir/bench_fig11_overload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig12_overload_events"
+  "../../bench/bench_fig12_overload_events.pdb"
+  "CMakeFiles/bench_fig12_overload_events.dir/bench_fig12_overload_events.cc.o"
+  "CMakeFiles/bench_fig12_overload_events.dir/bench_fig12_overload_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_overload_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

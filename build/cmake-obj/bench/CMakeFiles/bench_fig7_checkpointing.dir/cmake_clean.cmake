@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig7_checkpointing"
+  "../../bench/bench_fig7_checkpointing.pdb"
+  "CMakeFiles/bench_fig7_checkpointing.dir/bench_fig7_checkpointing.cc.o"
+  "CMakeFiles/bench_fig7_checkpointing.dir/bench_fig7_checkpointing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

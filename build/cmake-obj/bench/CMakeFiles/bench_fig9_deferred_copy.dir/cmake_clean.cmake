@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_fig9_deferred_copy"
+  "../../bench/bench_fig9_deferred_copy.pdb"
+  "CMakeFiles/bench_fig9_deferred_copy.dir/bench_fig9_deferred_copy.cc.o"
+  "CMakeFiles/bench_fig9_deferred_copy.dir/bench_fig9_deferred_copy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_deferred_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

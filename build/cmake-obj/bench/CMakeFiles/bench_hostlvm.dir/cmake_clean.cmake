@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_hostlvm"
+  "../../bench/bench_hostlvm.pdb"
+  "CMakeFiles/bench_hostlvm.dir/bench_hostlvm.cc.o"
+  "CMakeFiles/bench_hostlvm.dir/bench_hostlvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hostlvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_table2_machine"
+  "../../bench/bench_table2_machine.pdb"
+  "CMakeFiles/bench_table2_machine.dir/bench_table2_machine.cc.o"
+  "CMakeFiles/bench_table2_machine.dir/bench_table2_machine.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../bench/bench_table3_rvm"
+  "../../bench/bench_table3_rvm.pdb"
+  "CMakeFiles/bench_table3_rvm.dir/bench_table3_rvm.cc.o"
+  "CMakeFiles/bench_table3_rvm.dir/bench_table3_rvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/debugger_watch"
+  "../../examples/debugger_watch.pdb"
+  "CMakeFiles/debugger_watch.dir/debugger_watch.cpp.o"
+  "CMakeFiles/debugger_watch.dir/debugger_watch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/dsm_consistency"
+  "../../examples/dsm_consistency.pdb"
+  "CMakeFiles/dsm_consistency.dir/dsm_consistency.cpp.o"
+  "CMakeFiles/dsm_consistency.dir/dsm_consistency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

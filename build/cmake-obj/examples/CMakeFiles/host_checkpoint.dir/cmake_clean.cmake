@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/host_checkpoint"
+  "../../examples/host_checkpoint.pdb"
+  "CMakeFiles/host_checkpoint.dir/host_checkpoint.cpp.o"
+  "CMakeFiles/host_checkpoint.dir/host_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/host_transactions"
+  "../../examples/host_transactions.pdb"
+  "CMakeFiles/host_transactions.dir/host_transactions.cpp.o"
+  "CMakeFiles/host_transactions.dir/host_transactions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/oodb_transactions"
+  "../../examples/oodb_transactions.pdb"
+  "CMakeFiles/oodb_transactions.dir/oodb_transactions.cpp.o"
+  "CMakeFiles/oodb_transactions.dir/oodb_transactions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

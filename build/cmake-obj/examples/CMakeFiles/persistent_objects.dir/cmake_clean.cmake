@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/persistent_objects"
+  "../../examples/persistent_objects.pdb"
+  "CMakeFiles/persistent_objects.dir/persistent_objects.cpp.o"
+  "CMakeFiles/persistent_objects.dir/persistent_objects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

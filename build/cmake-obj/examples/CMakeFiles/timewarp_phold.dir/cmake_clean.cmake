@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/timewarp_phold"
+  "../../examples/timewarp_phold.pdb"
+  "CMakeFiles/timewarp_phold.dir/timewarp_phold.cpp.o"
+  "CMakeFiles/timewarp_phold.dir/timewarp_phold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timewarp_phold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

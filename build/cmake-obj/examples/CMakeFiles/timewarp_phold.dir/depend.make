@@ -1,0 +1,2 @@
+# Empty dependencies file for timewarp_phold.
+# This may be replaced when dependencies are built.

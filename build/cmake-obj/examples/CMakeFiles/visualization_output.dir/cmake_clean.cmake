@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../../examples/visualization_output"
+  "../../examples/visualization_output.pdb"
+  "CMakeFiles/visualization_output.dir/visualization_output.cpp.o"
+  "CMakeFiles/visualization_output.dir/visualization_output.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualization_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for visualization_output.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("logger")
+subdirs("vm")
+subdirs("lvm")
+subdirs("rvm")
+subdirs("oodb")
+subdirs("mfile")
+subdirs("tpc")
+subdirs("timewarp")
+subdirs("consistency")
+subdirs("ckpt")
+subdirs("hostlvm")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_base.dir/check.cc.o"
+  "CMakeFiles/lvm_base.dir/check.cc.o.d"
+  "liblvm_base.a"
+  "liblvm_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

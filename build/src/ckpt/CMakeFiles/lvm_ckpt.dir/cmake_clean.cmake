@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_ckpt.dir/page_protect.cc.o"
+  "CMakeFiles/lvm_ckpt.dir/page_protect.cc.o.d"
+  "liblvm_ckpt.a"
+  "liblvm_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_consistency.dir/protocols.cc.o"
+  "CMakeFiles/lvm_consistency.dir/protocols.cc.o.d"
+  "liblvm_consistency.a"
+  "liblvm_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

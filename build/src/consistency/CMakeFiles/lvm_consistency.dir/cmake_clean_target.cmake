@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblvm_consistency.a"
+)

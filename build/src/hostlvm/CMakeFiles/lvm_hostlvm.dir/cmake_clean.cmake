@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_hostlvm.dir/protected_region.cc.o"
+  "CMakeFiles/lvm_hostlvm.dir/protected_region.cc.o.d"
+  "liblvm_hostlvm.a"
+  "liblvm_hostlvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_hostlvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_logger.dir/hardware_logger.cc.o"
+  "CMakeFiles/lvm_logger.dir/hardware_logger.cc.o.d"
+  "CMakeFiles/lvm_logger.dir/onchip_logger.cc.o"
+  "CMakeFiles/lvm_logger.dir/onchip_logger.cc.o.d"
+  "liblvm_logger.a"
+  "liblvm_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_core.dir/log_reader.cc.o"
+  "CMakeFiles/lvm_core.dir/log_reader.cc.o.d"
+  "CMakeFiles/lvm_core.dir/lvm_system.cc.o"
+  "CMakeFiles/lvm_core.dir/lvm_system.cc.o.d"
+  "CMakeFiles/lvm_core.dir/trace_stats.cc.o"
+  "CMakeFiles/lvm_core.dir/trace_stats.cc.o.d"
+  "CMakeFiles/lvm_core.dir/watch.cc.o"
+  "CMakeFiles/lvm_core.dir/watch.cc.o.d"
+  "liblvm_core.a"
+  "liblvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

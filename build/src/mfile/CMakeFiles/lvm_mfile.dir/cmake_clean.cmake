@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_mfile.dir/mapped_file.cc.o"
+  "CMakeFiles/lvm_mfile.dir/mapped_file.cc.o.d"
+  "liblvm_mfile.a"
+  "liblvm_mfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_mfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_oodb.dir/object_store.cc.o"
+  "CMakeFiles/lvm_oodb.dir/object_store.cc.o.d"
+  "CMakeFiles/lvm_oodb.dir/persistent_map.cc.o"
+  "CMakeFiles/lvm_oodb.dir/persistent_map.cc.o.d"
+  "CMakeFiles/lvm_oodb.dir/persistent_queue.cc.o"
+  "CMakeFiles/lvm_oodb.dir/persistent_queue.cc.o.d"
+  "liblvm_oodb.a"
+  "liblvm_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_rvm.dir/rlvm.cc.o"
+  "CMakeFiles/lvm_rvm.dir/rlvm.cc.o.d"
+  "CMakeFiles/lvm_rvm.dir/rvm.cc.o"
+  "CMakeFiles/lvm_rvm.dir/rvm.cc.o.d"
+  "liblvm_rvm.a"
+  "liblvm_rvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_rvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

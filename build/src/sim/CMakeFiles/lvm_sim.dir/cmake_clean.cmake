@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_sim.dir/cpu.cc.o"
+  "CMakeFiles/lvm_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/lvm_sim.dir/l2_cache.cc.o"
+  "CMakeFiles/lvm_sim.dir/l2_cache.cc.o.d"
+  "liblvm_sim.a"
+  "liblvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lvm_sim.
+# This may be replaced when dependencies are built.

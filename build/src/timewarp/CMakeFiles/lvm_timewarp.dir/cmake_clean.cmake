@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_timewarp.dir/copy_state_saver.cc.o"
+  "CMakeFiles/lvm_timewarp.dir/copy_state_saver.cc.o.d"
+  "CMakeFiles/lvm_timewarp.dir/lvm_state_saver.cc.o"
+  "CMakeFiles/lvm_timewarp.dir/lvm_state_saver.cc.o.d"
+  "CMakeFiles/lvm_timewarp.dir/models.cc.o"
+  "CMakeFiles/lvm_timewarp.dir/models.cc.o.d"
+  "CMakeFiles/lvm_timewarp.dir/scheduler.cc.o"
+  "CMakeFiles/lvm_timewarp.dir/scheduler.cc.o.d"
+  "CMakeFiles/lvm_timewarp.dir/simulation.cc.o"
+  "CMakeFiles/lvm_timewarp.dir/simulation.cc.o.d"
+  "liblvm_timewarp.a"
+  "liblvm_timewarp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_timewarp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

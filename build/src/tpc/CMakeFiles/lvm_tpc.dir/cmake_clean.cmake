@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_tpc.dir/tpca.cc.o"
+  "CMakeFiles/lvm_tpc.dir/tpca.cc.o.d"
+  "liblvm_tpc.a"
+  "liblvm_tpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_tpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_vm.dir/address_space.cc.o"
+  "CMakeFiles/lvm_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/lvm_vm.dir/segment.cc.o"
+  "CMakeFiles/lvm_vm.dir/segment.cc.o.d"
+  "liblvm_vm.a"
+  "liblvm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

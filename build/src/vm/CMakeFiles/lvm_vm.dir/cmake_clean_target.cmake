@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblvm_vm.a"
+)

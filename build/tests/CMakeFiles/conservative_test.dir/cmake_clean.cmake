@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conservative_test.dir/conservative_test.cc.o"
+  "CMakeFiles/conservative_test.dir/conservative_test.cc.o.d"
+  "conservative_test"
+  "conservative_test.pdb"
+  "conservative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conservative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

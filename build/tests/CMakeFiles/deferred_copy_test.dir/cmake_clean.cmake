@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_copy_test.dir/deferred_copy_test.cc.o"
+  "CMakeFiles/deferred_copy_test.dir/deferred_copy_test.cc.o.d"
+  "deferred_copy_test"
+  "deferred_copy_test.pdb"
+  "deferred_copy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_property_test.dir/deferred_property_test.cc.o"
+  "CMakeFiles/deferred_property_test.dir/deferred_property_test.cc.o.d"
+  "deferred_property_test"
+  "deferred_property_test.pdb"
+  "deferred_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostlvm_test.dir/hostlvm_test.cc.o"
+  "CMakeFiles/hostlvm_test.dir/hostlvm_test.cc.o.d"
+  "hostlvm_test"
+  "hostlvm_test.pdb"
+  "hostlvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostlvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

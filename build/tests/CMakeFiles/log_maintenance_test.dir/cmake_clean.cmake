@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_maintenance_test.dir/log_maintenance_test.cc.o"
+  "CMakeFiles/log_maintenance_test.dir/log_maintenance_test.cc.o.d"
+  "log_maintenance_test"
+  "log_maintenance_test.pdb"
+  "log_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_stream_test.dir/log_stream_test.cc.o"
+  "CMakeFiles/log_stream_test.dir/log_stream_test.cc.o.d"
+  "log_stream_test"
+  "log_stream_test.pdb"
+  "log_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logger_modes_test.dir/logger_modes_test.cc.o"
+  "CMakeFiles/logger_modes_test.dir/logger_modes_test.cc.o.d"
+  "logger_modes_test"
+  "logger_modes_test.pdb"
+  "logger_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logger_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

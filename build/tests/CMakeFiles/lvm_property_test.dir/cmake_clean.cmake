@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_property_test.dir/lvm_property_test.cc.o"
+  "CMakeFiles/lvm_property_test.dir/lvm_property_test.cc.o.d"
+  "lvm_property_test"
+  "lvm_property_test.pdb"
+  "lvm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

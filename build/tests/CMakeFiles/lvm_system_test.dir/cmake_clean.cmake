@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvm_system_test.dir/lvm_system_test.cc.o"
+  "CMakeFiles/lvm_system_test.dir/lvm_system_test.cc.o.d"
+  "lvm_system_test"
+  "lvm_system_test.pdb"
+  "lvm_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvm_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

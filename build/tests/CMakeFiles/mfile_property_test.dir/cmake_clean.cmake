@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfile_property_test.dir/mfile_property_test.cc.o"
+  "CMakeFiles/mfile_property_test.dir/mfile_property_test.cc.o.d"
+  "mfile_property_test"
+  "mfile_property_test.pdb"
+  "mfile_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfile_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

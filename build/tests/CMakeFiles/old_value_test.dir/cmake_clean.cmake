@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/old_value_test.dir/old_value_test.cc.o"
+  "CMakeFiles/old_value_test.dir/old_value_test.cc.o.d"
+  "old_value_test"
+  "old_value_test.pdb"
+  "old_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/old_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_cpu_logs_test.dir/per_cpu_logs_test.cc.o"
+  "CMakeFiles/per_cpu_logs_test.dir/per_cpu_logs_test.cc.o.d"
+  "per_cpu_logs_test"
+  "per_cpu_logs_test.pdb"
+  "per_cpu_logs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_cpu_logs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for per_cpu_logs_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_property_test.dir/rvm_property_test.cc.o"
+  "CMakeFiles/rvm_property_test.dir/rvm_property_test.cc.o.d"
+  "rvm_property_test"
+  "rvm_property_test.pdb"
+  "rvm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

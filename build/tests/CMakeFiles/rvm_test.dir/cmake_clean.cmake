@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_test.dir/rvm_test.cc.o"
+  "CMakeFiles/rvm_test.dir/rvm_test.cc.o.d"
+  "rvm_test"
+  "rvm_test.pdb"
+  "rvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

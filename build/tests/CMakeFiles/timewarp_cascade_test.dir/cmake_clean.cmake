@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timewarp_cascade_test.dir/timewarp_cascade_test.cc.o"
+  "CMakeFiles/timewarp_cascade_test.dir/timewarp_cascade_test.cc.o.d"
+  "timewarp_cascade_test"
+  "timewarp_cascade_test.pdb"
+  "timewarp_cascade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timewarp_cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timewarp_onchip_test.dir/timewarp_onchip_test.cc.o"
+  "CMakeFiles/timewarp_onchip_test.dir/timewarp_onchip_test.cc.o.d"
+  "timewarp_onchip_test"
+  "timewarp_onchip_test.pdb"
+  "timewarp_onchip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timewarp_onchip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

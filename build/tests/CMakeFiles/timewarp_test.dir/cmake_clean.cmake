@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timewarp_test.dir/timewarp_test.cc.o"
+  "CMakeFiles/timewarp_test.dir/timewarp_test.cc.o.d"
+  "timewarp_test"
+  "timewarp_test.pdb"
+  "timewarp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timewarp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -30,7 +30,9 @@ void RunSegment(uint32_t segment_bytes) {
   double prev_bcopy = 0.0;
 
   for (double fraction : fractions) {
-    LvmSystem system(LvmConfig{.memory_size = 96u << 20});
+    LvmConfig config;
+    config.memory_size = 96u << 20;
+    LvmSystem system(config);
     Cpu& cpu = system.cpu();
     StdSegment* checkpoint = system.CreateSegment(segment_bytes);
     StdSegment* working = system.CreateSegment(segment_bytes);

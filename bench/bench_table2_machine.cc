@@ -21,7 +21,7 @@ namespace {
 // drain of a full FIFO.
 Cycles MeasureDmaRate() {
   struct Client : LoggerFaultClient {
-    explicit Client(HardwareLogger* logger) : logger(logger) {}
+    explicit Client(HardwareLogger* hw_logger) : logger(hw_logger) {}
     bool OnMappingFault(PhysAddr, Cycles) override { return false; }
     bool OnLogTailFault(uint32_t log_index, Cycles) override {
       logger->log_table().SetTail(log_index, next_frame);

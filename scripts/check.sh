@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# The repo's full static + dynamic checking pass:
+#
+#   1. warnings-as-errors build of everything (LVM_WERROR=ON);
+#   2. clang-tidy over src/ (skipped with a notice if clang-tidy is not
+#      installed -- the container image does not ship it);
+#   3. the whole test suite under AddressSanitizer + UBSan.
+#
+# Usage: scripts/check.sh [--tidy-only|--asan-only]
+# Build trees go under build-check/ (kept out of git by .gitignore).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_werror_build() {
+  echo "== [1/3] -Werror build =="
+  cmake -B build-check/werror -S . -DLVM_WERROR=ON >/dev/null
+  cmake --build build-check/werror -j "${jobs}"
+}
+
+run_tidy() {
+  echo "== [2/3] clang-tidy =="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping lint (CI runs it)."
+    return 0
+  fi
+  # The -Werror tree already exported compile_commands.json.
+  local db="build-check/werror"
+  [ -f "${db}/compile_commands.json" ] || {
+    cmake -B "${db}" -S . >/dev/null
+  }
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${db}" -quiet "src/.*\.cc$"
+  else
+    find src -name '*.cc' -print0 |
+      xargs -0 -P "${jobs}" -n 1 clang-tidy -p "${db}" --quiet
+  fi
+}
+
+run_asan_tests() {
+  echo "== [3/3] ASan+UBSan test suite =="
+  cmake -B build-check/asan -S . \
+    -DLVM_SANITIZE=address,undefined -DLVM_WERROR=ON >/dev/null
+  cmake --build build-check/asan -j "${jobs}"
+  # halt_on_error: a UBSan report must fail the test, not scroll past.
+  ( cd build-check/asan &&
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ASAN_OPTIONS=detect_leaks=1 \
+    ctest --output-on-failure -j "${jobs}" )
+}
+
+case "${mode}" in
+  --tidy-only) run_werror_build && run_tidy ;;
+  --asan-only) run_asan_tests ;;
+  all)         run_werror_build && run_tidy && run_asan_tests ;;
+  *) echo "usage: $0 [--tidy-only|--asan-only]" >&2; exit 2 ;;
+esac
+echo "check.sh: all requested passes clean"

@@ -1,0 +1,90 @@
+// Scripted fault injection for the logger's record-emission path.
+//
+// ScriptedFaultInjector plugs into HardwareLogger::set_fault_injector and
+// misbehaves on demand: drop, duplicate, or store-without-tail-advance for
+// the nth emission of a chosen log, or an arbitrary record mutation (value,
+// size, timestamp corruption). Each seeded fault models broken logging
+// hardware — the logger's own accounting still believes the emission
+// succeeded — and exists to prove the InvariantChecker / LogReplayVerifier
+// catch the violation (tests/checker_test.cc).
+#ifndef SRC_CHECK_FAULT_INJECTION_H_
+#define SRC_CHECK_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/logger/hardware_logger.h"
+#include "src/logger/log_record.h"
+
+namespace lvm {
+
+class ScriptedFaultInjector : public LogFaultInjector {
+ public:
+  // Arms `action` for the `nth` (0-based) record emitted on `log_index`.
+  void Arm(uint32_t log_index, uint64_t nth, Action action) {
+    faults_[log_index].push_back(Fault{nth, action, nullptr, false});
+  }
+
+  // Arms a record mutation (corruption) for the `nth` emission on
+  // `log_index`; the record is stored and reported mutated.
+  void ArmCorruption(uint32_t log_index, uint64_t nth,
+                     std::function<void(LogRecord*)> mutate) {
+    faults_[log_index].push_back(Fault{nth, Action::kNone, std::move(mutate), false});
+  }
+
+  // Emissions seen so far on `log_index`.
+  uint64_t emissions(uint32_t log_index) const {
+    auto it = counts_.find(log_index);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  // Whether every armed fault has fired.
+  bool AllFired() const {
+    for (const auto& [index, faults] : faults_) {
+      for (const Fault& fault : faults) {
+        if (!fault.fired) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // --- logger::LogFaultInjector ---
+  Action OnEmit(uint32_t log_index, LogRecord* record) override {
+    uint64_t nth = counts_[log_index]++;
+    auto it = faults_.find(log_index);
+    if (it == faults_.end()) {
+      return Action::kNone;
+    }
+    Action action = Action::kNone;
+    for (Fault& fault : it->second) {
+      if (fault.nth != nth || fault.fired) {
+        continue;
+      }
+      fault.fired = true;
+      if (fault.mutate) {
+        fault.mutate(record);
+      }
+      action = fault.action;
+    }
+    return action;
+  }
+
+ private:
+  struct Fault {
+    uint64_t nth = 0;
+    Action action = Action::kNone;
+    std::function<void(LogRecord*)> mutate;
+    bool fired = false;
+  };
+
+  std::unordered_map<uint32_t, std::vector<Fault>> faults_;
+  std::unordered_map<uint32_t, uint64_t> counts_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_CHECK_FAULT_INJECTION_H_

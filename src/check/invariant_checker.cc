@@ -1,0 +1,382 @@
+#include "src/check/invariant_checker.h"
+
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+namespace {
+
+std::string Hex(uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+}  // namespace
+
+const char* ToString(InvariantChecker::Violation::Kind kind) {
+  using Kind = InvariantChecker::Violation::Kind;
+  switch (kind) {
+    case Kind::kMissingRecord:
+      return "missing-record";
+    case Kind::kUnmatchedRetire:
+      return "unmatched-retire";
+    case Kind::kRetireOrderMismatch:
+      return "retire-order-mismatch";
+    case Kind::kAddressMismatch:
+      return "address-mismatch";
+    case Kind::kValueMismatch:
+      return "value-mismatch";
+    case Kind::kSizeMismatch:
+      return "size-mismatch";
+    case Kind::kTimestampMismatch:
+      return "timestamp-mismatch";
+    case Kind::kTimestampRegression:
+      return "timestamp-regression";
+    case Kind::kTailDiscontinuity:
+      return "tail-discontinuity";
+    case Kind::kTailNotAdvanced:
+      return "tail-not-advanced";
+    case Kind::kRecordStraddlesPage:
+      return "record-straddles-page";
+    case Kind::kTailOutOfSegment:
+      return "tail-out-of-segment";
+    case Kind::kOverloadMissed:
+      return "overload-missed";
+    case Kind::kFifoNotDrained:
+      return "fifo-not-drained";
+    case Kind::kPteInconsistent:
+      return "pte-inconsistent";
+    case Kind::kMappingTableMismatch:
+      return "mapping-table-mismatch";
+    case Kind::kStaleDeferredCopyLine:
+      return "stale-deferred-copy-line";
+  }
+  return "unknown";
+}
+
+InvariantChecker::InvariantChecker(LvmSystem* system)
+    : system_(system), logger_(system->bus_logger()) {
+  LVM_CHECK_MSG(logger_ != nullptr,
+                "InvariantChecker cross-checks the bus logger; configure "
+                "LoggerKind::kBusLogger");
+  // Snoop ahead of the logger: its overload drain retires entries
+  // synchronously inside its own OnBusWrite, so the checker must already
+  // hold the write's ground truth by then.
+  system_->machine().bus().AddSnooperFront(this);
+  logger_->set_observer(this);
+  logger_->log_table().set_tail_listener(this);
+}
+
+InvariantChecker::~InvariantChecker() {
+  logger_->log_table().set_tail_listener(nullptr);
+  logger_->set_observer(nullptr);
+  system_->machine().bus().RemoveSnooper(this);
+}
+
+void InvariantChecker::Add(Violation::Kind kind, std::string message) {
+  violations_.push_back(Violation{kind, std::move(message)});
+}
+
+bool InvariantChecker::Has(Violation::Kind kind) const {
+  for (const Violation& violation : violations_) {
+    if (violation.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string InvariantChecker::Report() const {
+  std::ostringstream out;
+  for (const Violation& violation : violations_) {
+    out << "[" << ToString(violation.kind) << "] " << violation.message << "\n";
+  }
+  return out.str();
+}
+
+void InvariantChecker::OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bool logged,
+                                  Cycles time, int cpu_id) {
+  if (!logged) {
+    return;
+  }
+  // Pre-push occupancy: any time occupancy reaches the threshold the logger
+  // must have drained the FIFOs before the next write can arrive.
+  const MachineParams& params = system_->machine().params();
+  size_t occupancy = logger_->fifo_occupancy();
+  if (occupancy >= params.logger_fifo_threshold) {
+    Add(Violation::Kind::kOverloadMissed,
+        "FIFO occupancy " + std::to_string(occupancy) + " reached threshold " +
+            std::to_string(params.logger_fifo_threshold) + " without an overload drain");
+  }
+  ++logged_writes_seen_;
+  pending_.push_back(PendingWrite{paddr, value, size, static_cast<uint8_t>(cpu_id), time});
+}
+
+void InvariantChecker::OnWriteRetired(const RetiredWrite& retired) {
+  if (pending_.empty()) {
+    Add(Violation::Kind::kUnmatchedRetire,
+        "logger retired a write at paddr " + Hex(retired.write_paddr) +
+            " but every snooped logged write is accounted for");
+    return;
+  }
+  PendingWrite expect = pending_.front();
+  pending_.pop_front();
+
+  // The FIFO preserves bus order, so retirements must replay the snoop
+  // stream exactly.
+  if (retired.write_paddr != expect.paddr || retired.value != expect.value ||
+      retired.size != expect.size) {
+    Add(Violation::Kind::kRetireOrderMismatch,
+        "retired write (paddr " + Hex(retired.write_paddr) + ", value " + Hex(retired.value) +
+            ", size " + std::to_string(retired.size) + ") does not match bus order (paddr " +
+            Hex(expect.paddr) + ", value " + Hex(expect.value) + ", size " +
+            std::to_string(expect.size) + ")");
+    return;
+  }
+
+  switch (retired.kind) {
+    case RetiredWrite::Kind::kDropped:
+      // Kernel-sanctioned drop (page no longer logged / log exhausted with
+      // no absorb target): one write, zero records — still balanced.
+      ++drops_seen_;
+      return;
+    case RetiredWrite::Kind::kDirectMapped:
+      ++records_checked_;
+      if (PageOffset(retired.stored_at) != PageOffset(expect.paddr)) {
+        Add(Violation::Kind::kAddressMismatch,
+            "direct-mapped datum stored at offset " + Hex(PageOffset(retired.stored_at)) +
+                " of its mirror frame, expected offset " + Hex(PageOffset(expect.paddr)));
+      }
+      CheckSegmentBounds(retired);
+      return;
+    case RetiredWrite::Kind::kIndexed:
+      ++records_checked_;
+      CheckIndexedRetire(retired);
+      return;
+    case RetiredWrite::Kind::kRecord:
+      ++records_checked_;
+      CheckRecordRetire(retired, expect);
+      return;
+  }
+}
+
+void InvariantChecker::CheckRecordRetire(const RetiredWrite& retired,
+                                         const PendingWrite& expect) {
+  const MachineParams& params = system_->machine().params();
+  const LogRecord& record = retired.record;
+
+  // Offsets agree whether the record carries the physical address or the
+  // reverse-translated virtual one (both map the same page).
+  if (PageOffset(record.addr) != PageOffset(expect.paddr)) {
+    Add(Violation::Kind::kAddressMismatch,
+        "record addr " + Hex(record.addr) + " has page offset " +
+            Hex(PageOffset(record.addr)) + ", snooped write was at offset " +
+            Hex(PageOffset(expect.paddr)));
+  }
+  if (record.value != expect.value) {
+    Add(Violation::Kind::kValueMismatch,
+        "record value " + Hex(record.value) + " != snooped value " + Hex(expect.value) +
+            " for write at " + Hex(expect.paddr));
+  }
+  if (record.size != expect.size) {
+    Add(Violation::Kind::kSizeMismatch,
+        "record size " + std::to_string(record.size) + " != snooped size " +
+            std::to_string(expect.size) + " for write at " + Hex(expect.paddr));
+  }
+  uint32_t expected_ts = static_cast<uint32_t>(expect.time / params.timestamp_divider);
+  if (record.timestamp != expected_ts) {
+    Add(Violation::Kind::kTimestampMismatch,
+        "record timestamp " + std::to_string(record.timestamp) + " != bus grant tick " +
+            std::to_string(expected_ts));
+  }
+  LogState& state = logs_[retired.log_index];
+  if (state.ts_known && record.timestamp < state.last_timestamp) {
+    Add(Violation::Kind::kTimestampRegression,
+        "log " + std::to_string(retired.log_index) + " timestamp went backwards: " +
+            std::to_string(record.timestamp) + " after " +
+            std::to_string(state.last_timestamp));
+  }
+  state.ts_known = true;
+  state.last_timestamp = record.timestamp;
+
+  if (retired.stored_at != retired.tail_before) {
+    Add(Violation::Kind::kTailDiscontinuity,
+        "record stored at " + Hex(retired.stored_at) + " but the tail was " +
+            Hex(retired.tail_before));
+  }
+  if (PageNumber(retired.stored_at) != PageNumber(retired.stored_at + kLogRecordSize - 1)) {
+    Add(Violation::Kind::kRecordStraddlesPage,
+        "record at " + Hex(retired.stored_at) + " straddles a page boundary");
+  }
+  CheckTailContinuity(retired, kLogRecordSize);
+  CheckSegmentBounds(retired);
+}
+
+void InvariantChecker::CheckIndexedRetire(const RetiredWrite& retired) {
+  if (retired.stored_at != retired.tail_before) {
+    Add(Violation::Kind::kTailDiscontinuity,
+        "indexed datum stored at " + Hex(retired.stored_at) + " but the tail was " +
+            Hex(retired.tail_before));
+  }
+  CheckTailContinuity(retired, retired.size);
+  CheckSegmentBounds(retired);
+}
+
+void InvariantChecker::CheckTailContinuity(const RetiredWrite& retired, uint32_t stored_bytes) {
+  if (retired.tail_after == retired.tail_before) {
+    Add(Violation::Kind::kTailNotAdvanced,
+        "log " + std::to_string(retired.log_index) + " tail stuck at " +
+            Hex(retired.tail_before) + " across an emission");
+  } else if (retired.tail_after != retired.tail_before + stored_bytes) {
+    Add(Violation::Kind::kTailDiscontinuity,
+        "log " + std::to_string(retired.log_index) + " tail advanced " +
+            std::to_string(retired.tail_after - retired.tail_before) + " bytes for a " +
+            std::to_string(stored_bytes) + "-byte emission");
+  }
+  LogState& state = logs_[retired.log_index];
+  if (state.tail_known && retired.tail_before != state.expected_tail) {
+    Add(Violation::Kind::kTailDiscontinuity,
+        "log " + std::to_string(retired.log_index) + " tail jumped to " +
+            Hex(retired.tail_before) + " (expected " + Hex(state.expected_tail) +
+            ") without a kernel tail load");
+  }
+  // A tail that crosses its page boundary is invalidated; the kernel's next
+  // SetTail re-establishes the expectation.
+  state.expected_tail = retired.tail_after;
+  state.tail_known = PageOffset(retired.tail_after) != 0;
+}
+
+void InvariantChecker::CheckSegmentBounds(const RetiredWrite& retired) {
+  PhysAddr frame = PageBase(retired.stored_at);
+  if (frame == PageBase(system_->absorb_frame())) {
+    return;  // Overflow records legitimately land in the absorb page.
+  }
+  LogSegment* log = system_->FindLogByIndex(retired.log_index);
+  if (log == nullptr) {
+    Add(Violation::Kind::kTailOutOfSegment,
+        "emission for log " + std::to_string(retired.log_index) +
+            " which is not registered with the kernel");
+    return;
+  }
+  if (log->PageIndexOfFrame(frame) < 0) {
+    Add(Violation::Kind::kTailOutOfSegment,
+        "log " + std::to_string(retired.log_index) + " emission at " +
+            Hex(retired.stored_at) + " lies outside its log segment");
+  }
+}
+
+void InvariantChecker::OnOverloadDrain(Cycles interrupt_time, Cycles drain_complete) {
+  ++overloads_seen_;
+  if (drain_complete < interrupt_time) {
+    Add(Violation::Kind::kFifoNotDrained,
+        "overload drain completed at " + std::to_string(drain_complete) +
+            ", before the interrupt at " + std::to_string(interrupt_time));
+  }
+  if (logger_->fifo_occupancy() != 0) {
+    Add(Violation::Kind::kFifoNotDrained,
+        "overload drain left " + std::to_string(logger_->fifo_occupancy()) +
+            " entries in the FIFO");
+  }
+}
+
+void InvariantChecker::OnTailSet(uint32_t log_index, PhysAddr tail) {
+  LogState& state = logs_[log_index];
+  state.tail_known = true;
+  state.expected_tail = tail;
+}
+
+void InvariantChecker::CheckDrained() {
+  if (!pending_.empty()) {
+    const PendingWrite& first = pending_.front();
+    Add(Violation::Kind::kMissingRecord,
+        std::to_string(pending_.size()) + " logged write(s) never produced a record; first: "
+            "paddr " + Hex(first.paddr) + ", value " + Hex(first.value));
+  }
+  if (logger_->fifo_occupancy() != 0) {
+    Add(Violation::Kind::kFifoNotDrained,
+        "FIFO still holds " + std::to_string(logger_->fifo_occupancy()) +
+            " entries after synchronization");
+  }
+}
+
+void InvariantChecker::CheckLoggedPte(const Region& region, VirtAddr va,
+                                      const AddressSpace::Pte& pte) {
+  // Section 3.2: a logged page runs write-through so every write reaches
+  // the bus where the logger snoops it.
+  if (!pte.write_through) {
+    Add(Violation::Kind::kPteInconsistent,
+        "logged page at va " + Hex(va) + " is not mapped write-through");
+  }
+  const PageMappingTable::Entry* mapping =
+      logger_->page_mapping_table().Lookup(pte.frame);
+  if (mapping == nullptr) {
+    // Displaced by a direct-mapped conflict: legal, reloaded on the next
+    // logging fault.
+    return;
+  }
+  uint32_t expected_index = region.log_segment()->log_index;
+  if (mapping->log_index != expected_index) {
+    Add(Violation::Kind::kMappingTableMismatch,
+        "page mapping for frame " + Hex(pte.frame) + " points at log " +
+            std::to_string(mapping->log_index) + ", region's log is " +
+            std::to_string(expected_index));
+  }
+  if (mapping->per_cpu != region.per_cpu_logging()) {
+    Add(Violation::Kind::kMappingTableMismatch,
+        "page mapping for frame " + Hex(pte.frame) +
+            " disagrees with the region about per-CPU logging");
+  }
+}
+
+void InvariantChecker::CheckVmState() {
+  for (AddressSpace* as : system_->AddressSpaces()) {
+    for (Region* region : as->regions()) {
+      bool expect_logged = region->logging_enabled() && region->log_segment() != nullptr;
+      for (uint32_t offset = 0; offset < region->size(); offset += kPageSize) {
+        VirtAddr va = region->base() + offset;
+        const AddressSpace::Pte* pte = as->FindPte(va);
+        if (pte == nullptr) {
+          continue;
+        }
+        if (pte->logged != expect_logged) {
+          Add(Violation::Kind::kPteInconsistent,
+              "page at va " + Hex(va) + (pte->logged ? " is" : " is not") +
+                  " marked logged but its region " + (expect_logged ? "is" : "is not") +
+                  " logging");
+          continue;
+        }
+        if (pte->logged) {
+          CheckLoggedPte(*region, va, *pte);
+        } else if (pte->write_through) {
+          Add(Violation::Kind::kPteInconsistent,
+              "unlogged page at va " + Hex(va) + " is mapped write-through");
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::CheckDeferredCopyReset(AddressSpace* as, VirtAddr start, VirtAddr end) {
+  for (VirtAddr va = PageBase(start); va < end; va += kPageSize) {
+    const AddressSpace::Pte* pte = as->FindPte(va);
+    if (pte == nullptr || !system_->deferred_copy().IsMapped(pte->frame)) {
+      continue;
+    }
+    if (system_->machine().l2().PageDirty(pte->frame)) {
+      Add(Violation::Kind::kStaleDeferredCopyLine,
+          "deferred-copy destination frame " + Hex(pte->frame) +
+              " retains a dirty second-level line after reset");
+    }
+    uint32_t written_back = system_->deferred_copy().WrittenBackLines(pte->frame);
+    if (written_back != 0) {
+      Add(Violation::Kind::kStaleDeferredCopyLine,
+          "deferred-copy destination frame " + Hex(pte->frame) + " retains " +
+              std::to_string(written_back) + " written-back line source pointer(s) after reset");
+    }
+  }
+}
+
+}  // namespace lvm

@@ -1,0 +1,163 @@
+// Always-on invariant checking for the logged virtual memory system.
+//
+// The InvariantChecker is a BusSnooper registered on the Bus *ahead of* the
+// hardware logger: it records the ground truth of every logged bus write
+// before the logger can consume it, then cross-checks the logger's
+// retirement stream (reported through LoggerObserver) record by record:
+//
+//   - every logged bus write retires as exactly one record (or an explicit
+//     kernel-sanctioned drop), in bus order, with matching address offset,
+//     value, size and timestamp (Section 3.1's one-record-per-write rule);
+//   - the hardware log tail advances monotonically by exactly the bytes
+//     stored, stays inside the log segment (or the default absorb page),
+//     never straddles a page boundary, and only jumps when the kernel
+//     reloads it (LogTable::SetTail);
+//   - FIFO occupancy never reaches the overload threshold without the
+//     overload drain firing, and a drain leaves the FIFOs empty
+//     (Section 3.1.3);
+//   - logged pages are mapped write-through with consistent logger tables
+//     (Section 3.2), checked on demand by CheckVmState();
+//   - resetDeferredCopy() leaves no stale dirty lines or written-back
+//     source pointers (Section 3.3), checked by CheckDeferredCopyReset().
+//
+// Violations accumulate rather than abort, so tests can assert that a
+// seeded fault is caught; Report() renders them for humans. The checker
+// supports the bus logger (LoggerKind::kBusLogger) only — the on-chip
+// logger has no bus-visible write stream to check against.
+#ifndef SRC_CHECK_INVARIANT_CHECKER_H_
+#define SRC_CHECK_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/logger/hardware_logger.h"
+#include "src/logger/tables.h"
+#include "src/lvm/lvm_system.h"
+#include "src/sim/interfaces.h"
+
+namespace lvm {
+
+class InvariantChecker : public BusSnooper, public LoggerObserver, public LogTailListener {
+ public:
+  struct Violation {
+    enum class Kind : uint8_t {
+      // One logged bus write must yield exactly one record.
+      kMissingRecord,    // A logged write was never retired by the logger.
+      kUnmatchedRetire,  // The logger retired more writes than the bus saw.
+      kRetireOrderMismatch,  // Retired write does not match bus (FIFO) order.
+      // Record contents versus the snooped ground truth.
+      kAddressMismatch,
+      kValueMismatch,
+      kSizeMismatch,
+      kTimestampMismatch,
+      kTimestampRegression,
+      // Log tail discipline.
+      kTailDiscontinuity,    // Tail moved without a kernel SetTail.
+      kTailNotAdvanced,      // Emission did not advance the tail.
+      kRecordStraddlesPage,  // A record crosses a page boundary.
+      kTailOutOfSegment,     // Stored outside the log segment / absorb page.
+      // FIFO / overload discipline.
+      kOverloadMissed,   // Occupancy at/above threshold without a drain.
+      kFifoNotDrained,   // FIFO not empty after an overload drain / sync.
+      // VM state (CheckVmState / CheckDeferredCopyReset).
+      kPteInconsistent,        // logged/write-through PTE flags wrong.
+      kMappingTableMismatch,   // Logger page mapping points at wrong log.
+      kStaleDeferredCopyLine,  // Reset left a dirty line or source pointer.
+    };
+    Kind kind;
+    std::string message;
+  };
+
+  // Attaches to `system`'s bus logger: registers on the bus ahead of the
+  // logger, and as the logger's observer and tail listener. The system must
+  // outlive the checker; only one checker may be attached at a time.
+  explicit InvariantChecker(LvmSystem* system);
+  ~InvariantChecker() override;
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  // --- sim::BusSnooper ---
+  void OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bool logged, Cycles time,
+                  int cpu_id) override;
+
+  // --- logger::LoggerObserver ---
+  void OnWriteRetired(const RetiredWrite& retired) override;
+  void OnOverloadDrain(Cycles interrupt_time, Cycles drain_complete) override;
+
+  // --- logger::LogTailListener ---
+  void OnTailSet(uint32_t log_index, PhysAddr tail) override;
+
+  // End-of-run check: every snooped logged write has been retired and the
+  // FIFO is empty. Call after LvmSystem::SyncLog / HardwareLogger::SyncDrain.
+  void CheckDrained();
+
+  // Walks every address space: logged PTE flags must match the owning
+  // region's logging state, logged pages must be write-through, and a
+  // present page-mapping-table entry must point at the region's log.
+  void CheckVmState();
+
+  // After ResetDeferredCopy(as, start, end): no deferred-copy destination
+  // page in [start, end) may retain a dirty second-level line or a
+  // written-back (stale) line source pointer.
+  void CheckDeferredCopyReset(AddressSpace* as, VirtAddr start, VirtAddr end);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool Has(Violation::Kind kind) const;
+  // Human-readable summary of every violation (empty string when ok).
+  std::string Report() const;
+
+  // --- counters ---
+  uint64_t logged_writes_seen() const { return logged_writes_seen_; }
+  uint64_t records_checked() const { return records_checked_; }
+  uint64_t drops_seen() const { return drops_seen_; }
+  uint64_t overloads_seen() const { return overloads_seen_; }
+
+ private:
+  // Ground truth for one snooped logged write, pending retirement.
+  struct PendingWrite {
+    PhysAddr paddr = 0;
+    uint32_t value = 0;
+    uint8_t size = 0;
+    uint8_t cpu_id = 0;
+    Cycles time = 0;
+  };
+
+  // Per-log tail / timestamp tracking.
+  struct LogState {
+    bool tail_known = false;
+    PhysAddr expected_tail = 0;
+    bool ts_known = false;
+    uint32_t last_timestamp = 0;
+  };
+
+  void Add(Violation::Kind kind, std::string message);
+  void CheckRecordRetire(const RetiredWrite& retired, const PendingWrite& expect);
+  void CheckIndexedRetire(const RetiredWrite& retired);
+  void CheckTailContinuity(const RetiredWrite& retired, uint32_t stored_bytes);
+  void CheckSegmentBounds(const RetiredWrite& retired);
+  void CheckLoggedPte(const Region& region, VirtAddr va, const AddressSpace::Pte& pte);
+
+  LvmSystem* system_;
+  HardwareLogger* logger_;
+  std::deque<PendingWrite> pending_;
+  std::unordered_map<uint32_t, LogState> logs_;
+  std::vector<Violation> violations_;
+
+  uint64_t logged_writes_seen_ = 0;
+  uint64_t records_checked_ = 0;
+  uint64_t drops_seen_ = 0;
+  uint64_t overloads_seen_ = 0;
+};
+
+// Renders a violation kind as a stable identifier (for messages and tests).
+const char* ToString(InvariantChecker::Violation::Kind kind);
+
+}  // namespace lvm
+
+#endif  // SRC_CHECK_INVARIANT_CHECKER_H_

@@ -1,0 +1,80 @@
+// Whole-log verification by replay (src/check).
+//
+// The logger's correctness claim is that a log segment is a complete,
+// ordered description of every write to the logged region. The verifier
+// tests exactly that: Snapshot() captures a shadow image of the data
+// segment's effective contents, the workload runs, and Verify() replays the
+// records appended since the snapshot over the shadow and diffs the result
+// against the segment's current effective contents. Any dropped, reordered
+// or corrupted record surfaces as a byte mismatch.
+//
+// Requirements: the segment must only be written through logged mappings
+// between Snapshot() and Verify() (true for any logged region — logged
+// pages are write-through, so every write is on the bus), the log must be a
+// normal-mode log, and it must not be truncated or compacted across the
+// window.
+#ifndef SRC_CHECK_LOG_REPLAY_VERIFIER_H_
+#define SRC_CHECK_LOG_REPLAY_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/lvm/lvm_system.h"
+#include "src/vm/region.h"
+#include "src/vm/segment.h"
+
+namespace lvm {
+
+// One byte the replayed log disagrees with the memory image about.
+struct ReplayMismatch {
+  uint32_t page_index = 0;
+  uint32_t offset_in_page = 0;
+  uint8_t replayed = 0;  // What the log says the byte should be.
+  uint8_t actual = 0;    // What the segment's memory actually holds.
+};
+
+class LogReplayVerifier {
+ public:
+  // `system` must outlive the verifier.
+  explicit LogReplayVerifier(LvmSystem* system) : system_(system) {}
+
+  // Captures `segment`'s current effective contents as the replay baseline
+  // and remembers the log's current length; records appended later are the
+  // replay set. Synchronizes the log first.
+  void Snapshot(Cpu* cpu, Segment* segment, LogSegment* log);
+
+  // Replays records appended since Snapshot() over the baseline and diffs
+  // against the segment's current effective contents. Returns at most
+  // `max_mismatches` differences (empty means the log reproduces memory).
+  // Physically-addressed records are resolved through the segment's frames;
+  // pass `region` to also resolve virtually-addressed records (reverse
+  // translation / on-chip logs).
+  std::vector<ReplayMismatch> Verify(Cpu* cpu, size_t max_mismatches = 16,
+                                     const Region* region = nullptr);
+
+  // Renders mismatches for humans.
+  static std::string Describe(const std::vector<ReplayMismatch>& mismatches);
+
+ private:
+  // Shadow page bytes by page index; pages missing from the map were not
+  // materialized at snapshot time and start as the zero image their frame
+  // is born with.
+  using Shadow = std::unordered_map<uint32_t, std::vector<uint8_t>>;
+
+  // Effective bytes of one materialized segment page (dirty second-level
+  // lines and deferred-copy resolution honored).
+  std::vector<uint8_t> EffectivePage(PhysAddr frame);
+
+  LvmSystem* system_;
+  Segment* segment_ = nullptr;
+  LogSegment* log_ = nullptr;
+  Shadow shadow_;
+  size_t snapshot_records_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_CHECK_LOG_REPLAY_VERIFIER_H_

@@ -28,6 +28,9 @@ void HardwareLogger::OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bo
     while (!fifo_.empty()) {
       ProcessOne(params_->logger_service_drain_cycles);
     }
+    if (observer_ != nullptr) {
+      observer_->OnOverloadDrain(time, service_free_);
+    }
     if (client_ != nullptr) {
       client_->OnOverload(time, service_free_);
     }
@@ -66,10 +69,12 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
     ++mapping_faults_;
     service_free_ += params_->logging_fault_logger_stall;
     if (client_ == nullptr || !client_->OnMappingFault(entry.paddr, service_free_)) {
+      NotifyRetired(RetiredWrite::Kind::kDropped, entry, 0, 0, 0, 0);
       return false;
     }
     mapping = page_mapping_table_.Lookup(entry.paddr);
     if (mapping == nullptr) {
+      NotifyRetired(RetiredWrite::Kind::kDropped, entry, 0, 0, 0, 0);
       return false;
     }
   }
@@ -84,7 +89,9 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
     case LogMode::kDirectMapped: {
       // The datum lands at the corresponding offset of the log segment; no
       // tail, no boundary faults.
-      memory_->Write(mapping->direct_frame + PageOffset(entry.paddr), entry.value, entry.size);
+      PhysAddr stored_at = mapping->direct_frame + PageOffset(entry.paddr);
+      memory_->Write(stored_at, entry.value, entry.size);
+      NotifyRetired(RetiredWrite::Kind::kDirectMapped, entry, log_index, stored_at, 0, 0);
       return true;
     }
     case LogMode::kNormal:
@@ -96,13 +103,16 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
     ++tail_faults_;
     service_free_ += params_->logging_fault_logger_stall;
     if (client_ == nullptr || !client_->OnLogTailFault(log_index, service_free_)) {
+      NotifyRetired(RetiredWrite::Kind::kDropped, entry, log_index, 0, 0, 0);
       return false;
     }
     if (!log.tail_valid) {
+      NotifyRetired(RetiredWrite::Kind::kDropped, entry, log_index, 0, 0, 0);
       return false;
     }
   }
 
+  PhysAddr tail_before = log.tail;
   if (log.mode == LogMode::kNormal) {
     // With reverse translation loaded (ASIC option, Section 3.1.2) the
     // record carries the virtual address.
@@ -115,16 +125,65 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
         .flags = 0,
         .timestamp = static_cast<uint32_t>(entry.time / params_->timestamp_divider),
     };
-    StoreLogRecord(memory_, log.tail, record);
-    log.tail += kLogRecordSize;
+    LogFaultInjector::Action action = LogFaultInjector::Action::kNone;
+    if (injector_ != nullptr) {
+      action = injector_->OnEmit(log_index, &record);
+    }
+    switch (action) {
+      case LogFaultInjector::Action::kNone:
+        StoreLogRecord(memory_, log.tail, record);
+        log.tail += kLogRecordSize;
+        break;
+      case LogFaultInjector::Action::kDropRecord:
+        // The DMA is lost; the tail still advances over the stale bytes.
+        log.tail += kLogRecordSize;
+        break;
+      case LogFaultInjector::Action::kDuplicateRecord:
+        StoreLogRecord(memory_, log.tail, record);
+        StoreLogRecord(memory_, log.tail + kLogRecordSize, record);
+        log.tail += 2 * kLogRecordSize;
+        break;
+      case LogFaultInjector::Action::kSkipTailAdvance:
+        StoreLogRecord(memory_, log.tail, record);
+        break;
+    }
+    // The observer report describes the emission the logger believes it
+    // performed; an injected fault is visible only through its effects.
+    NotifyRetired(RetiredWrite::Kind::kRecord, entry, log_index, tail_before, tail_before,
+                  tail_before + kLogRecordSize, &record);
   } else {  // LogMode::kIndexed: just the data values, back to back.
     memory_->Write(log.tail, entry.value, entry.size);
     log.tail += entry.size;
+    NotifyRetired(RetiredWrite::Kind::kIndexed, entry, log_index, tail_before, tail_before,
+                  log.tail);
   }
   if (PageOffset(log.tail) == 0) {
     log.tail_valid = false;
   }
   return true;
+}
+
+void HardwareLogger::NotifyRetired(RetiredWrite::Kind kind, const FifoEntry& entry,
+                                   uint32_t log_index, PhysAddr stored_at, PhysAddr tail_before,
+                                   PhysAddr tail_after, const LogRecord* record) {
+  if (observer_ == nullptr) {
+    return;
+  }
+  RetiredWrite retired;
+  retired.kind = kind;
+  retired.log_index = log_index;
+  retired.write_paddr = entry.paddr;
+  retired.value = entry.value;
+  retired.size = entry.size;
+  retired.cpu_id = entry.cpu_id;
+  retired.write_time = entry.time;
+  retired.stored_at = stored_at;
+  retired.tail_before = tail_before;
+  retired.tail_after = tail_after;
+  if (record != nullptr) {
+    retired.record = *record;
+  }
+  observer_->OnWriteRetired(retired);
 }
 
 Cycles HardwareLogger::SyncDrain(Cycles now) {

@@ -55,12 +55,78 @@ class LoggerFaultClient {
   virtual void OnOverload(Cycles interrupt_time, Cycles drain_complete) = 0;
 };
 
+// How the logger disposed of one retired FIFO entry. Reported to the
+// registered LoggerObserver so an external checker (src/check) can
+// cross-check the logger, write by write, against the bus traffic it
+// snooped. Retire events are reported in FIFO order.
+struct RetiredWrite {
+  enum class Kind : uint8_t {
+    kRecord,        // Normal mode: a 16-byte LogRecord went to the segment.
+    kDirectMapped,  // Direct-mapped mode: datum stored at its mirror offset.
+    kIndexed,       // Indexed mode: datum appended, no record framing.
+    kDropped,       // Dropped: unresolved mapping/tail fault, or the kernel
+                    // declared the page no longer logged.
+  };
+  Kind kind = Kind::kDropped;
+  // Log-table index the entry resolved to (undefined for kDropped entries
+  // that missed the page mapping table).
+  uint32_t log_index = 0;
+  // The snooped bus write this FIFO entry came from.
+  PhysAddr write_paddr = 0;
+  uint32_t value = 0;
+  uint8_t size = 0;
+  uint8_t cpu_id = 0;
+  Cycles write_time = 0;
+  // Where the datum landed and how the log tail moved (except kDropped /
+  // kDirectMapped, which have no tail).
+  PhysAddr stored_at = 0;
+  PhysAddr tail_before = 0;
+  PhysAddr tail_after = 0;
+  // The emitted record (kRecord only).
+  LogRecord record;
+};
+
+// Observes the logger's retirement pipeline. Implemented by the invariant
+// checker; all callbacks fire synchronously from the logger's lazy drain.
+class LoggerObserver {
+ public:
+  virtual ~LoggerObserver() = default;
+  virtual void OnWriteRetired(const RetiredWrite& retired) = 0;
+  // FIFO occupancy hit the overload threshold and the FIFOs were drained
+  // at the DMA rate while the processors were suspended.
+  virtual void OnOverloadDrain(Cycles interrupt_time, Cycles drain_complete) {
+    (void)interrupt_time;
+    (void)drain_complete;
+  }
+};
+
+// Test-only shim on the normal-mode record emission path: lets the
+// fault-injection tests (src/check) seed hardware misbehaviour and prove the
+// checker catches it. The injected fault corrupts the DMA itself; the
+// logger's own accounting and its observer report believe the emission
+// happened normally, exactly as broken hardware would.
+class LogFaultInjector {
+ public:
+  enum class Action : uint8_t {
+    kNone,             // Emit normally.
+    kDropRecord,       // Store nothing; the tail still advances.
+    kDuplicateRecord,  // Store the record twice, advancing the tail twice.
+    kSkipTailAdvance,  // Store the record but leave the tail in place.
+  };
+  virtual ~LogFaultInjector() = default;
+  // May mutate `record` (value/size/timestamp corruption) in addition to
+  // returning an action.
+  virtual Action OnEmit(uint32_t log_index, LogRecord* record) = 0;
+};
+
 class HardwareLogger : public BusSnooper {
  public:
   // `bus` may be null; it is only used when params->dma_contends_bus.
   HardwareLogger(const MachineParams* params, PhysicalMemory* memory, Bus* bus);
 
   void set_fault_client(LoggerFaultClient* client) { client_ = client; }
+  void set_observer(LoggerObserver* observer) { observer_ = observer; }
+  void set_fault_injector(LogFaultInjector* injector) { injector_ = injector; }
 
   PageMappingTable& page_mapping_table() { return page_mapping_table_; }
   LogTable& log_table() { return log_table_; }
@@ -100,10 +166,17 @@ class HardwareLogger : public BusSnooper {
   // if the record had to be dropped.
   bool EmitRecord(const FifoEntry& entry);
 
+  // Reports the disposal of `entry` to the observer, if any.
+  void NotifyRetired(RetiredWrite::Kind kind, const FifoEntry& entry, uint32_t log_index,
+                     PhysAddr stored_at, PhysAddr tail_before, PhysAddr tail_after,
+                     const LogRecord* record = nullptr);
+
   const MachineParams* params_;
   PhysicalMemory* memory_;
   Bus* bus_;
   LoggerFaultClient* client_ = nullptr;
+  LoggerObserver* observer_ = nullptr;
+  LogFaultInjector* injector_ = nullptr;
 
   PageMappingTable page_mapping_table_;
   LogTable log_table_;

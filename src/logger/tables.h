@@ -105,6 +105,15 @@ class PageMappingTable {
   std::vector<Entry> entries_;
 };
 
+// Observes kernel-initiated tail loads (LogTable::SetTail). The invariant
+// checker (src/check) listens so it can tell a legitimate kernel tail reload
+// apart from the hardware tail silently jumping.
+class LogTailListener {
+ public:
+  virtual ~LogTailListener() = default;
+  virtual void OnTailSet(uint32_t log_index, PhysAddr tail) = 0;
+};
+
 class LogTable {
  public:
   struct Entry {
@@ -158,10 +167,16 @@ class LogTable {
     LVM_CHECK(entry.in_use);
     entry.tail = tail;
     entry.tail_valid = true;
+    if (tail_listener_ != nullptr) {
+      tail_listener_->OnTailSet(index, tail);
+    }
   }
+
+  void set_tail_listener(LogTailListener* listener) { tail_listener_ = listener; }
 
  private:
   std::vector<Entry> entries_;
+  LogTailListener* tail_listener_ = nullptr;
 };
 
 }  // namespace lvm

@@ -50,6 +50,20 @@ LogTable& LvmSystem::log_table() {
   return bus_logger_ != nullptr ? bus_logger_->log_table() : onchip_logger_->log_table();
 }
 
+std::vector<AddressSpace*> LvmSystem::AddressSpaces() const {
+  std::vector<AddressSpace*> spaces;
+  spaces.reserve(address_spaces_.size());
+  for (const auto& as : address_spaces_) {
+    spaces.push_back(as.get());
+  }
+  return spaces;
+}
+
+LogSegment* LvmSystem::FindLogByIndex(uint32_t index) const {
+  auto it = logs_by_index_.find(index);
+  return it == logs_by_index_.end() ? nullptr : it->second;
+}
+
 AddressSpace* LvmSystem::CreateAddressSpace() {
   address_spaces_.push_back(std::make_unique<AddressSpace>());
   return address_spaces_.back().get();

@@ -85,6 +85,15 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   HardwareLogger* bus_logger() { return bus_logger_.get(); }
   OnChipLogger* onchip_logger() { return onchip_logger_.get(); }
 
+  // --- introspection (the src/check invariant checker reads these) ---
+  // Every address space created so far.
+  std::vector<AddressSpace*> AddressSpaces() const;
+  // The log segment registered under hardware log-table index `index`, or
+  // nullptr if the index is unused.
+  LogSegment* FindLogByIndex(uint32_t index) const;
+  // The default page that absorbs records of an exhausted log segment.
+  PhysAddr absorb_frame() const { return absorb_frame_; }
+
   // --- object factories (results owned by the system) ---
   AddressSpace* CreateAddressSpace();
   StdSegment* CreateSegment(uint32_t size_bytes, uint32_t flags = 0,

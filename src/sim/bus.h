@@ -41,6 +41,24 @@ class Bus {
 
   void AddSnooper(BusSnooper* snooper) { snoopers_.push_back(snooper); }
 
+  // Registers a snooper ahead of those already present. The invariant
+  // checker (src/check) uses this so it records a write's ground truth
+  // before the logger can consume the write — the logger's overload drain
+  // retires FIFO entries synchronously inside its own OnBusWrite.
+  void AddSnooperFront(BusSnooper* snooper) {
+    snoopers_.insert(snoopers_.begin(), snooper);
+  }
+
+  // Unregisters a snooper (a checker detaching before the machine dies).
+  void RemoveSnooper(BusSnooper* snooper) {
+    for (auto it = snoopers_.begin(); it != snoopers_.end(); ++it) {
+      if (*it == snooper) {
+        snoopers_.erase(it);
+        return;
+      }
+    }
+  }
+
   Cycles next_free() const { return next_free_; }
   uint64_t busy_cycles() const { return busy_cycles_; }
   uint64_t transactions() const { return transactions_; }

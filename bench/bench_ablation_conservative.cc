@@ -53,10 +53,12 @@ RunResult RunOne(bool conservative, StateSaving saving, double locality,
   return RunResult{sim.ElapsedCycles(), sim.total_events_processed(), sim.total_rollbacks()};
 }
 
-void Run() {
-  bench::Header("Ablation A6: Optimistic (Time Warp) vs Conservative Execution",
-                "speculation replaces idling; LVM removes the speculation's state-saving "
-                "tax (Section 2.4)");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "speculation replaces idling; LVM removes the speculation's state-saving "
+      "tax (Section 2.4)";
+  bench::Header("Ablation A6: Optimistic (Time Warp) vs Conservative Execution", claim);
+  bench::JsonTable table("ablation_conservative", claim);
 
   std::vector<Event> bootstrap;
   Rng rng(8080);
@@ -74,14 +76,21 @@ void Run() {
     bench::Row("%-10.2f %-22.0f %-22.0f %-22.0f %llu", locality,
                conservative.elapsed / 1000.0, copy.elapsed / 1000.0, lvm.elapsed / 1000.0,
                static_cast<unsigned long long>(lvm.rollbacks));
+    table.BeginRow();
+    table.Value("locality", locality);
+    table.Value("conservative_cycles", conservative.elapsed);
+    table.Value("optimistic_copy_cycles", copy.elapsed);
+    table.Value("optimistic_lvm_cycles", lvm.elapsed);
+    table.Value("lvm_rollbacks", lvm.rollbacks);
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

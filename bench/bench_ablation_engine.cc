@@ -51,10 +51,12 @@ RunResult RunOne(StateSaving saving, uint32_t object_size,
   return RunResult{sim.ElapsedCycles(), sim.total_rollbacks(), sim.Efficiency()};
 }
 
-void Run() {
-  bench::Header("Ablation A9: End-to-end Time Warp, LVM vs copy state saving",
-                "unlike Figure 7, every overhead (rollback, GVT, CULT, cancellation) "
-                "is included; larger objects favour LVM");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "unlike Figure 7, every overhead (rollback, GVT, CULT, cancellation) "
+      "is included; larger objects favour LVM";
+  bench::Header("Ablation A9: End-to-end Time Warp, LVM vs copy state saving", claim);
+  bench::JsonTable table("ablation_engine", claim);
 
   std::vector<Event> bootstrap;
   Rng rng(2024);
@@ -75,14 +77,22 @@ void Run() {
                lvm.elapsed / 1000.0,
                static_cast<double>(copy.elapsed) / static_cast<double>(lvm.elapsed),
                static_cast<unsigned long long>(lvm.rollbacks), lvm.efficiency);
+    table.BeginRow();
+    table.Value("object_bytes", size);
+    table.Value("copy_cycles", copy.elapsed);
+    table.Value("lvm_cycles", lvm.elapsed);
+    table.Value("speedup", static_cast<double>(copy.elapsed) / static_cast<double>(lvm.elapsed));
+    table.Value("lvm_rollbacks", lvm.rollbacks);
+    table.Value("lvm_efficiency", lvm.efficiency);
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

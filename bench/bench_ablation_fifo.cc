@@ -51,10 +51,12 @@ Point Measure(const MachineParams& params, uint32_t compute, uint32_t cluster) {
   return point;
 }
 
-void Run() {
-  bench::Header("Ablation A2: FIFO Threshold and Write Buffer Depth",
-                "threshold delays but cannot prevent sustained overload; deeper write "
-                "buffers absorb bigger bursts");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "threshold delays but cannot prevent sustained overload; deeper write "
+      "buffers absorb bigger bursts";
+  bench::Header("Ablation A2: FIFO Threshold and Write Buffer Depth", claim);
+  bench::JsonTable table("ablation_fifo", claim);
 
   std::printf("--- FIFO threshold sweep (c=10, one logged write/iteration) ---\n");
   std::printf("%-12s %-18s %-12s\n", "threshold", "cycles/iter", "overloads");
@@ -65,6 +67,11 @@ void Run() {
     Point point = Measure(params, 10, 1);
     bench::Row("%-12u %-18.1f %-12llu", threshold, point.cycles_per_iteration,
                static_cast<unsigned long long>(point.overloads));
+    table.BeginRow();
+    table.Value("sweep", "fifo_threshold");
+    table.Value("threshold", threshold);
+    table.Value("cycles_per_iteration", point.cycles_per_iteration);
+    table.Value("overloads", point.overloads);
   }
 
   std::printf("\n--- Write buffer depth sweep (c=200, cluster of 8 writes) ---\n");
@@ -74,14 +81,19 @@ void Run() {
     params.write_buffer_depth = depth;
     Point point = Measure(params, 200, 8);
     bench::Row("%-12u %-18.1f", depth, point.cycles_per_iteration);
+    table.BeginRow();
+    table.Value("sweep", "write_buffer_depth");
+    table.Value("depth", depth);
+    table.Value("cycles_per_iteration", point.cycles_per_iteration);
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -48,10 +48,12 @@ SyncResult RunSync(bool log_based, uint32_t words_per_page) {
   return SyncResult{cpu.now() - t0, file->bytes_written() - device_before};
 }
 
-void Run() {
-  bench::Header("Ablation A7: msync — whole pages vs the LVM log",
-                "log-based sync writes only updated bytes; whole-page sync cost is "
-                "flat in the update density");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "log-based sync writes only updated bytes; whole-page sync cost is "
+      "flat in the update density";
+  bench::Header("Ablation A7: msync — whole pages vs the LVM log", claim);
+  bench::JsonTable table("ablation_msync", claim);
 
   std::printf("%-18s %-22s %-22s %-16s %-16s\n", "words/page", "page msync (kcyc)",
               "log msync (kcyc)", "page bytes", "log bytes");
@@ -61,14 +63,21 @@ void Run() {
     bench::Row("%-18u %-22.1f %-22.1f %-16llu %-16llu", words, pages.cycles / 1000.0,
                logged.cycles / 1000.0, static_cast<unsigned long long>(pages.device_bytes),
                static_cast<unsigned long long>(logged.device_bytes));
+    table.BeginRow();
+    table.Value("words_per_page", words);
+    table.Value("page_msync_cycles", pages.cycles);
+    table.Value("log_msync_cycles", logged.cycles);
+    table.Value("page_device_bytes", pages.device_bytes);
+    table.Value("log_device_bytes", logged.device_bytes);
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -53,10 +53,12 @@ Point Measure(LoggerKind kind, bool logged, uint32_t compute) {
   return point;
 }
 
-void Run() {
-  bench::Header("Ablation A1: On-chip Logger (Section 4.6) vs Bus Logger",
-                "on-chip: logged ~= unlogged at any rate, no overload; bus logger "
-                "overloads below c~27");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "on-chip: logged ~= unlogged at any rate, no overload; bus logger "
+      "overloads below c~27";
+  bench::Header("Ablation A1: On-chip Logger (Section 4.6) vs Bus Logger", claim);
+  bench::JsonTable table("ablation_onchip", claim);
 
   std::printf("%-8s %-14s %-16s %-14s %-12s\n", "c", "bus logged", "onchip logged",
               "unlogged", "bus overloads");
@@ -67,14 +69,21 @@ void Run() {
     bench::Row("%-8u %-14.2f %-16.2f %-14.2f %-12llu", c, bus.cycles_per_write,
                onchip.cycles_per_write, plain.cycles_per_write,
                static_cast<unsigned long long>(bus.overloads));
+    table.BeginRow();
+    table.Value("c", c);
+    table.Value("bus_logged_cycles_per_write", bus.cycles_per_write);
+    table.Value("onchip_logged_cycles_per_write", onchip.cycles_per_write);
+    table.Value("unlogged_cycles_per_write", plain.cycles_per_write);
+    table.Value("bus_overloads", bus.overloads);
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -91,27 +91,43 @@ double InstrumentedWriteCost() {
          kWrites;
 }
 
-void Run() {
-  bench::Header("Ablation A4: Cost of One Logged Write, Mechanism by Mechanism",
-                "LVM ~write-through cost; page-protect traps >300 cycles (Section 5.1); "
-                "instrumented code taxes every store");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "LVM ~write-through cost; page-protect traps >300 cycles (Section 5.1); "
+      "instrumented code taxes every store";
+  bench::Header("Ablation A4: Cost of One Logged Write, Mechanism by Mechanism", claim);
+  bench::JsonTable table("ablation_pageprotect", claim);
+
+  struct Mechanism {
+    const char* label;
+    const char* key;
+    double cycles_per_write;
+  };
+  const Mechanism mechanisms[] = {
+      {"unlogged (baseline)", "unlogged", LvmWriteCost(LoggerKind::kBusLogger, false)},
+      {"LVM, bus logger (prototype)", "lvm_bus_logger",
+       LvmWriteCost(LoggerKind::kBusLogger, true)},
+      {"LVM, on-chip logger (Section 4.6)", "lvm_onchip_logger",
+       LvmWriteCost(LoggerKind::kOnChip, true)},
+      {"instrumented code (write barrier)", "instrumented_code", InstrumentedWriteCost()},
+      {"page-protect trap per write", "page_protect_trap", TrapWriteCost()},
+  };
 
   std::printf("%-34s %-14s\n", "mechanism", "cycles/write");
-  bench::Row("%-34s %-14.2f", "unlogged (baseline)",
-             LvmWriteCost(LoggerKind::kBusLogger, false));
-  bench::Row("%-34s %-14.2f", "LVM, bus logger (prototype)",
-             LvmWriteCost(LoggerKind::kBusLogger, true));
-  bench::Row("%-34s %-14.2f", "LVM, on-chip logger (Section 4.6)",
-             LvmWriteCost(LoggerKind::kOnChip, true));
-  bench::Row("%-34s %-14.2f", "instrumented code (write barrier)", InstrumentedWriteCost());
-  bench::Row("%-34s %-14.2f", "page-protect trap per write", TrapWriteCost());
+  for (const Mechanism& m : mechanisms) {
+    bench::Row("%-34s %-14.2f", m.label, m.cycles_per_write);
+    table.BeginRow();
+    table.Value("mechanism", m.key);
+    table.Value("cycles_per_write", m.cycles_per_write);
+  }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

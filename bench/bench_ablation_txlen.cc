@@ -53,10 +53,12 @@ Cycles PerTransactionCycles(uint32_t writes_per_tx) {
   return (cpu.now() - t0) / kTransactions;
 }
 
-void Run() {
-  bench::Header("Ablation A8: Transaction Length (Section 4.2)",
-                "commit/force amortize with longer transactions, so RLVM's advantage "
-                "grows toward the single-write ratio");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "commit/force amortize with longer transactions, so RLVM's advantage "
+      "grows toward the single-write ratio";
+  bench::Header("Ablation A8: Transaction Length (Section 4.2)", claim);
+  bench::JsonTable table("ablation_txlen", claim);
 
   std::printf("%-14s %-18s %-18s %-10s\n", "writes/tx", "RVM (kcyc/tx)", "RLVM (kcyc/tx)",
               "speedup");
@@ -65,14 +67,20 @@ void Run() {
     Cycles rlvm = PerTransactionCycles<Rlvm>(writes);
     bench::Row("%-14u %-18.1f %-18.1f %.2fx", writes, rvm / 1000.0, rlvm / 1000.0,
                static_cast<double>(rvm) / static_cast<double>(rlvm));
+    table.BeginRow();
+    table.Value("writes_per_tx", writes);
+    table.Value("rvm_cycles_per_tx", rvm);
+    table.Value("rlvm_cycles_per_tx", rlvm);
+    table.Value("speedup", static_cast<double>(rvm) / static_cast<double>(rlvm));
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -21,7 +21,7 @@ using IntervalGenerator =
 
 template <typename Protocol>
 void Measure(const char* pattern_name, const IntervalGenerator& gen,
-             const char* protocol_name) {
+             const char* protocol_name, bench::JsonTable* table) {
   LvmSystem system;
   Protocol protocol(&system, kRegionBytes, ConsistencyCosts{});
   Cpu& cpu = system.cpu();
@@ -41,12 +41,19 @@ void Measure(const char* pattern_name, const IntervalGenerator& gen,
   bench::Row("%-12s %-12s %-18llu %-16llu", pattern_name, protocol_name,
              static_cast<unsigned long long>(per_interval),
              static_cast<unsigned long long>(bytes_per_interval));
+  table->BeginRow();
+  table->Value("pattern", pattern_name);
+  table->Value("protocol", protocol_name);
+  table->Value("cycles_per_interval", per_interval);
+  table->Value("bytes_per_interval", bytes_per_interval);
 }
 
-void Run() {
-  bench::Header("Ablation A3: Log-based Consistency vs Munin Twin/Diff",
-                "LVM: cheap update identification, only updated data travels; Munin "
-                "coalesces hot-spot rewrites but pays twins + diff scans");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "LVM: cheap update identification, only updated data travels; Munin "
+      "coalesces hot-spot rewrites but pays twins + diff scans";
+  bench::Header("Ablation A3: Log-based Consistency vs Munin Twin/Diff", claim);
+  bench::JsonTable table("consistency", claim);
 
   std::printf("%-12s %-12s %-18s %-16s\n", "pattern", "protocol", "cycles/interval",
               "bytes/interval");
@@ -73,19 +80,20 @@ void Run() {
     }
   };
 
-  Measure<LogBasedProtocol>("sparse", sparse, "lvm");
-  Measure<MuninTwinProtocol>("sparse", sparse, "munin");
-  Measure<LogBasedProtocol>("dense", dense, "lvm");
-  Measure<MuninTwinProtocol>("dense", dense, "munin");
-  Measure<LogBasedProtocol>("hotspot", hotspot, "lvm");
-  Measure<MuninTwinProtocol>("hotspot", hotspot, "munin");
+  Measure<LogBasedProtocol>("sparse", sparse, "lvm", &table);
+  Measure<MuninTwinProtocol>("sparse", sparse, "munin", &table);
+  Measure<LogBasedProtocol>("dense", dense, "lvm", &table);
+  Measure<MuninTwinProtocol>("dense", dense, "munin", &table);
+  Measure<LogBasedProtocol>("hotspot", hotspot, "lvm", &table);
+  Measure<MuninTwinProtocol>("hotspot", hotspot, "munin", &table);
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -50,10 +50,12 @@ double CyclesPerWrite(bool logged, uint32_t cluster, uint32_t compute) {
   return static_cast<double>(write_cycles) / (static_cast<double>(kIterations) * cluster);
 }
 
-void Run() {
-  bench::Header("Figure 10: CPU Cost of Logged Writes",
-                "overload blowup at small c; flat region gap = write-through cost, "
-                "growing with cluster size");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "overload blowup at small c; flat region gap = write-through cost, "
+      "growing with cluster size";
+  bench::Header("Figure 10: CPU Cost of Logged Writes", claim);
+  bench::JsonTable table("fig10_logged_writes", claim);
 
   const uint32_t clusters[] = {2, 4, 8};
   const uint32_t compute_points[] = {0, 25, 50, 100, 150, 200, 300, 400, 600, 800};
@@ -65,15 +67,21 @@ void Run() {
       double with_logging = CyclesPerWrite(true, cluster, c);
       double without_logging = CyclesPerWrite(false, cluster, c);
       bench::Row("%-10u %-18.2f %-18.2f", c, with_logging, without_logging);
+      table.BeginRow();
+      table.Value("cluster", cluster);
+      table.Value("c", c);
+      table.Value("logged_cycles_per_write", with_logging);
+      table.Value("unlogged_cycles_per_write", without_logging);
     }
     std::printf("\n");
   }
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -13,10 +13,12 @@
 namespace lvm {
 namespace {
 
-void Run() {
-  bench::Header("Figure 11: Total Cost of Logged Write (l=1, c=[0..63])",
-                "with logging, time/iteration decreases as c grows while overloads "
-                "fade out; each overload costs >30k cycles");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "with logging, time/iteration decreases as c grows while overloads "
+      "fade out; each overload costs >30k cycles";
+  bench::Header("Figure 11: Total Cost of Logged Write (l=1, c=[0..63])", claim);
+  bench::JsonTable table("fig11_overload", claim);
 
   std::printf("%-8s %-22s %-22s\n", "c", "logged cyc/iter", "unlogged cyc/iter");
   for (uint32_t c = 0; c <= 63; c += 3) {
@@ -24,14 +26,27 @@ void Run() {
     bench::OverloadSeries unlogged = bench::RunOverloadSeries(false, c);
     bench::Row("%-8u %-22.1f %-22.1f", c, logged.cycles_per_iteration,
                unlogged.cycles_per_iteration);
+    table.BeginRow();
+    table.Value("c", c);
+    table.Value("logged_cycles_per_iteration", logged.cycles_per_iteration);
+    table.Value("unlogged_cycles_per_iteration", unlogged.cycles_per_iteration);
+    table.Value("overloads_per_1000_iterations", logged.overloads_per_1000);
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.trace_path.empty()) {
+    // A dedicated traced run at c=0, where overload is constant: the trace
+    // shows the overload interrupt -> drain -> kernel-suspend pattern.
+    bench::RunOverloadSeries(true, 0, 4000, opts.trace_path);
+    std::printf("wrote %s\n", opts.trace_path.c_str());
+  }
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -12,22 +12,27 @@
 namespace lvm {
 namespace {
 
-void Run() {
-  bench::Header("Figure 12: Overload Events (l=1)",
-                "overload events per 1000 iterations drop to zero around c ~= 27-30");
+void Run(const bench::Options& opts) {
+  const char* claim = "overload events per 1000 iterations drop to zero around c ~= 27-30";
+  bench::Header("Figure 12: Overload Events (l=1)", claim);
+  bench::JsonTable table("fig12_overload_events", claim);
 
   std::printf("%-8s %-24s\n", "c", "overloads / 1000 iter");
   for (uint32_t c = 0; c <= 63; c += 3) {
     bench::OverloadSeries series = bench::RunOverloadSeries(/*logged=*/true, c);
     bench::Row("%-8u %-24.2f", c, series.overloads_per_1000);
+    table.BeginRow();
+    table.Value("c", c);
+    table.Value("overloads_per_1000_iterations", series.overloads_per_1000);
   }
   std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

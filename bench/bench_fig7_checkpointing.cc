@@ -14,10 +14,12 @@
 namespace lvm {
 namespace {
 
-void Run() {
-  bench::Header("Figure 7: LVM versus Copy-based Checkpointing",
-                "speedup 1.03 (large c) to ~1.25 (small c); larger s helps more; "
-                "w=8 drops off below c~200 (logger overload)");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "speedup 1.03 (large c) to ~1.25 (small c); larger s helps more; "
+      "w=8 drops off below c~200 (logger overload)";
+  bench::Header("Figure 7: LVM versus Copy-based Checkpointing", claim);
+  bench::JsonTable table("fig7_checkpointing", claim);
 
   struct Curve {
     uint32_t writes;
@@ -43,16 +45,23 @@ void Run() {
       uint64_t overloads = 0;
       double speedup = bench::ForwardSpeedup(params, &overloads);
       std::printf("  %8.3f%s ", speedup, overloads > 0 ? "*" : " ");
+      table.BeginRow();
+      table.Value("c", c);
+      table.Value("writes", curve.writes);
+      table.Value("object_size", curve.object_size);
+      table.Value("speedup", speedup);
+      table.Value("overloads", overloads);
     }
     std::printf("\n");
   }
   std::printf("(* = logger overload occurred: the prototype artifact the paper notes)\n\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

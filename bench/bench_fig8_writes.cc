@@ -14,10 +14,12 @@
 namespace lvm {
 namespace {
 
-void Run() {
-  bench::Header("Figure 8: Effect of Number of Writes on LVM Performance",
-                "speedup decreases slowly with fraction written; significant only as "
-                "the fraction approaches 1");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "speedup decreases slowly with fraction written; significant only as "
+      "the fraction approaches 1";
+  bench::Header("Figure 8: Effect of Number of Writes on LVM Performance", claim);
+  bench::JsonTable table("fig8_writes", claim);
 
   struct Curve {
     uint32_t object_size;
@@ -47,16 +49,24 @@ void Run() {
       uint64_t overloads = 0;
       double speedup = bench::ForwardSpeedup(params, &overloads);
       std::printf("  %9.3f%s ", speedup, overloads > 0 ? "*" : " ");
+      table.BeginRow();
+      table.Value("fraction", fraction);
+      table.Value("object_size", curve.object_size);
+      table.Value("c", curve.compute_cycles);
+      table.Value("writes", writes);
+      table.Value("speedup", speedup);
+      table.Value("overloads", overloads);
     }
     std::printf("\n");
   }
   std::printf("(* = logger overload occurred)\n\n");
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -19,7 +19,7 @@ struct Sample {
   Cycles bcopy_cycles;
 };
 
-void RunSegment(uint32_t segment_bytes) {
+void RunSegment(uint32_t segment_bytes, bench::JsonTable* table) {
   std::printf("--- %u KB segment ---\n", segment_bytes / 1024);
   std::printf("%-12s %-16s %-16s\n", "dirty KB", "reset (kcyc)", "bcopy (kcyc)");
 
@@ -74,6 +74,11 @@ void RunSegment(uint32_t segment_bytes) {
     prev_bcopy = static_cast<double>(bcopy_cycles);
     bench::Row("%-12u %-16.1f %-16.1f", dirty_pages * (kPageSize / 1024),
                reset_cycles / 1000.0, bcopy_cycles / 1000.0);
+    table->BeginRow();
+    table->Value("segment_kb", segment_bytes / 1024);
+    table->Value("dirty_kb", dirty_pages * (kPageSize / 1024));
+    table->Value("reset_cycles", reset_cycles);
+    table->Value("bcopy_cycles", bcopy_cycles);
   }
   if (crossover >= 0) {
     std::printf("crossover: reset slower than bcopy above ~%.0f%% dirty (paper: ~67%%)\n\n",
@@ -83,18 +88,20 @@ void RunSegment(uint32_t segment_bytes) {
   }
 }
 
-void Run() {
-  bench::Header("Figure 9: Execution time of resetDeferredCopy() vs bcopy()",
-                "reset wins below ~2/3 dirty; bcopy flat; 32KB/512KB/2MB segments");
-  RunSegment(32u << 10);
-  RunSegment(512u << 10);
-  RunSegment(2u << 20);
+void Run(const bench::Options& opts) {
+  const char* claim = "reset wins below ~2/3 dirty; bcopy flat; 32KB/512KB/2MB segments";
+  bench::Header("Figure 9: Execution time of resetDeferredCopy() vs bcopy()", claim);
+  bench::JsonTable table("fig9_deferred_copy", claim);
+  RunSegment(32u << 10, &table);
+  RunSegment(512u << 10, &table);
+  RunSegment(2u << 20, &table);
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/hostlvm/host_checkpoint.h"
@@ -162,4 +164,33 @@ BENCHMARK(BM_HostTransactionAbort)->Arg(1)->Arg(8)->Arg(64);
 }  // namespace
 }  // namespace lvm
 
-BENCHMARK_MAIN();
+// google-benchmark has native machine-readable output; translate the
+// repo-wide --json=PATH convention into its flags so scripts/bench.sh can
+// drive every bench binary uniformly.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<size_t>(argc) + 1);
+  storage.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      storage.emplace_back(std::string("--benchmark_out=").append(arg.substr(7)));
+      storage.emplace_back("--benchmark_out_format=json");
+    } else {
+      storage.emplace_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) {
+    args.push_back(s.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

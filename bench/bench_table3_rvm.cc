@@ -78,10 +78,12 @@ double TpcAThroughput() {
   return kTransactions / seconds;
 }
 
-void Run() {
-  bench::Header("Table 3: Performance of RVM with and without LVM",
-                "single write 3515 vs ~16 cycles; TPC-A 418 vs 552 trans/sec "
-                "(25 MHz, RAM-disk log)");
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "single write 3515 vs ~16 cycles; TPC-A 418 vs 552 trans/sec "
+      "(25 MHz, RAM-disk log)";
+  bench::Header("Table 3: Performance of RVM with and without LVM", claim);
+  bench::JsonTable table("table3_rvm", claim);
 
   Cycles rvm_write = SingleWriteCycles<Rvm>();
   Cycles rlvm_write = SingleWriteCycles<Rlvm>();
@@ -97,12 +99,26 @@ void Run() {
              static_cast<double>(rvm_write) / static_cast<double>(rlvm_write),
              rlvm_tps / rvm_tps);
   std::printf("\n");
+
+  table.BeginRow();
+  table.Value("benchmark", "single_write_cycles");
+  table.Value("rvm", rvm_write);
+  table.Value("rlvm", rlvm_write);
+  table.Value("paper_rvm", 3515);
+  table.Value("paper_rlvm", 16);
+  table.BeginRow();
+  table.Value("benchmark", "tpca_trans_per_sec");
+  table.Value("rvm", rvm_tps);
+  table.Value("rlvm", rlvm_tps);
+  table.Value("paper_rvm", 418);
+  table.Value("paper_rlvm", 552);
+  bench::WriteJsonIfRequested(opts, table);
 }
 
 }  // namespace
 }  // namespace lvm
 
-int main() {
-  lvm::Run();
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
   return 0;
 }

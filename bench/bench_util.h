@@ -4,14 +4,26 @@
 // benchmarks print the paper's tables and series directly rather than
 // sampling wall-clock time. Each binary reproduces one table or figure and
 // states what shape the paper reports.
+//
+// Every bench accepts `--json=PATH` to additionally write its table as
+// structured rows ({"bench":..., "claim":..., "rows":[...]}) and
+// `--trace=PATH` where supported to dump a Chrome trace of an instrumented
+// run. scripts/bench.sh drives the full set and collects BENCH_<name>.json.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "src/base/types.h"
+#include "src/obs/json.h"
 
 namespace lvm {
 namespace bench {
@@ -36,6 +48,119 @@ inline void Row(const char* format, ...) {
   std::vprintf(format, args);
   va_end(args);
   std::printf("\n");
+}
+
+// Command-line options common to every bench binary.
+struct Options {
+  std::string json_path;   // --json=PATH: write the table as JSON rows.
+  std::string trace_path;  // --trace=PATH: write a Chrome trace (if supported).
+};
+
+inline Options ParseOptions(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      opts.json_path = arg.substr(7);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opts.trace_path = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH] [--trace=PATH]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// Accumulates the same rows the printf table shows, as key/value pairs, and
+// serializes them to {"bench":..., "claim":..., "rows":[{...}, ...]}.
+class JsonTable {
+ public:
+  JsonTable(std::string bench, std::string claim)
+      : bench_(std::move(bench)), claim_(std::move(claim)) {}
+
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Value(const std::string& key, double value) { Add(key, obs::JsonNumber(value)); }
+
+  void Value(const std::string& key, const std::string& value) {
+    std::string encoded;
+    obs::AppendJsonString(&encoded, value);
+    Add(key, encoded);
+  }
+
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  void Value(const std::string& key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      Add(key, obs::JsonNumber(static_cast<int64_t>(value)));
+    } else {
+      Add(key, obs::JsonNumber(static_cast<uint64_t>(value)));
+    }
+  }
+
+  size_t row_count() const { return rows_.size(); }
+
+  std::string Json() const {
+    std::string out = "{\"bench\":";
+    obs::AppendJsonString(&out, bench_);
+    out.append(",\"claim\":");
+    obs::AppendJsonString(&out, claim_);
+    out.append(",\"rows\":[");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (r != 0) {
+        out.push_back(',');
+      }
+      out.push_back('{');
+      for (size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f != 0) {
+          out.push_back(',');
+        }
+        obs::AppendJsonString(&out, rows_[r][f].first);
+        out.push_back(':');
+        out.append(rows_[r][f].second);
+      }
+      out.push_back('}');
+    }
+    out.append("]}");
+    return out;
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::string json = Json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = written == json.size();
+    ok = (std::fclose(f) == 0) && ok;
+    return ok;
+  }
+
+ private:
+  void Add(const std::string& key, std::string encoded_value) {
+    if (rows_.empty()) {
+      rows_.emplace_back();
+    }
+    rows_.back().emplace_back(key, std::move(encoded_value));
+  }
+
+  std::string bench_;
+  std::string claim_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+// Writes the table to opts.json_path if --json was given; exits nonzero on
+// I/O failure so CI catches a broken emitter.
+inline void WriteJsonIfRequested(const Options& opts, const JsonTable& table) {
+  if (opts.json_path.empty()) {
+    return;
+  }
+  if (!table.WriteFile(opts.json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu rows)\n", opts.json_path.c_str(), table.row_count());
 }
 
 }  // namespace bench

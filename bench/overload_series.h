@@ -4,6 +4,7 @@
 #define BENCH_OVERLOAD_SERIES_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/lvm/lvm_system.h"
 
@@ -15,9 +16,17 @@ struct OverloadSeries {
   double overloads_per_1000 = 0;
 };
 
+// Runs one point of the series. When `trace_path` is non-empty the run is
+// traced (bounded event budget; overload interrupt/drain spans cluster at
+// low c, so the drop-new policy still captures them) and the Chrome trace
+// is written before the system is torn down.
 inline OverloadSeries RunOverloadSeries(bool logged, uint32_t compute,
-                                        uint32_t iterations = 20000) {
+                                        uint32_t iterations = 20000,
+                                        const std::string& trace_path = std::string()) {
   LvmSystem system;
+  if (!trace_path.empty()) {
+    system.EnableTracing(1u << 16);
+  }
   Cpu& cpu = system.cpu();
   uint32_t span = 64 * kPageSize;
   StdSegment* segment = system.CreateSegment(span);
@@ -45,6 +54,9 @@ inline OverloadSeries RunOverloadSeries(bool logged, uint32_t compute,
   series.cycles_per_iteration = static_cast<double>(cpu.now() - start) / iterations;
   series.overloads_per_1000 =
       1000.0 * static_cast<double>(system.overload_suspensions()) / iterations;
+  if (!trace_path.empty()) {
+    system.WriteTrace(trace_path);
+  }
   return series;
 }
 

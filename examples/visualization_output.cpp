@@ -8,10 +8,16 @@
 //     device output.
 // A separate "display process" renders the mirror asynchronously, never
 // touching the application's memory.
+//
+// The run is also traced: the Chrome-trace JSON (loadable at
+// ui.perfetto.dev) shows the logger records behind the mirrored stores.
 #include <cstdio>
+#include <string>
 
+#include "src/base/check.h"
 #include "src/lvm/log_reader.h"
 #include "src/lvm/lvm_system.h"
+#include "src/obs/json.h"
 
 namespace {
 
@@ -37,6 +43,7 @@ void Render(lvm::LvmSystem& system, const lvm::LogSegment& mirror) {
 
 int main() {
   lvm::LvmSystem system;
+  system.EnableTracing(1u << 14);
   lvm::Cpu& cpu = system.cpu();
 
   // --- Direct-mapped mode: a mirrored frame buffer. ---
@@ -81,5 +88,14 @@ int main() {
     std::printf("%u ", sample_reader.At(i));
   }
   std::printf("\n");
+
+  // --- The trace of everything above, as Chrome trace-event JSON. ---
+  std::string trace_json = system.trace().ChromeTraceJson();
+  LVM_CHECK_MSG(lvm::obs::ValidateJson(trace_json), "trace is not valid JSON");
+  const char* trace_path = "visualization_trace.json";
+  LVM_CHECK(system.WriteTrace(trace_path));
+  std::printf("\nwrote %s (%zu events, %llu dropped): load it at ui.perfetto.dev\n",
+              trace_path, system.trace().size(),
+              static_cast<unsigned long long>(system.trace().dropped_events()));
   return 0;
 }

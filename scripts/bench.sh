@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs the reproduction benchmarks and collects machine-readable results.
+#
+# Each bench binary accepts --json=PATH (structured rows mirroring its
+# printed table); bench_fig11_overload additionally accepts --trace=PATH
+# and writes a Chrome trace of an instrumented overload run (load it at
+# ui.perfetto.dev or chrome://tracing).
+#
+# Usage: scripts/bench.sh [--all] [--out DIR]
+#   default: the paper's figures and tables (fig7-12, table2, table3)
+#   --all:   also the ablations, the consistency comparison, and the
+#            real-host google-benchmark suite
+#   --out:   output directory for BENCH_<name>.json / TRACE_<name>.json
+#            (default: bench-results/)
+#
+# Builds the bench binaries first if they are missing. Exits nonzero if
+# any bench fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_all=0
+out_dir="bench-results"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --all) run_all=1 ;;
+    --out) out_dir="$2"; shift ;;
+    *) echo "usage: scripts/bench.sh [--all] [--out DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+# The paper's headline figures and tables.
+benches=(
+  bench_table2_machine
+  bench_table3_rvm
+  bench_fig7_checkpointing
+  bench_fig8_writes
+  bench_fig9_deferred_copy
+  bench_fig10_logged_writes
+  bench_fig11_overload
+  bench_fig12_overload_events
+)
+if [[ "${run_all}" -eq 1 ]]; then
+  benches+=(
+    bench_ablation_onchip
+    bench_ablation_fifo
+    bench_consistency
+    bench_ablation_pageprotect
+    bench_ablation_conservative
+    bench_ablation_msync
+    bench_ablation_txlen
+    bench_ablation_engine
+    bench_hostlvm
+  )
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+if [[ ! -d build ]]; then
+  cmake -B build -S . >/dev/null
+fi
+cmake --build build -j "${jobs}" --target "${benches[@]}"
+
+mkdir -p "${out_dir}"
+
+# BENCH_<short>.json: the leading fig/table number identifies the bench,
+# so bench_fig11_overload -> BENCH_fig11.json; others keep the full stem.
+short_name() {
+  local stem="${1#bench_}"
+  case "${stem}" in
+    fig[0-9]*_*) echo "${stem%%_*}" ;;
+    table[0-9]*_*) echo "${stem%%_*}" ;;
+    *) echo "${stem}" ;;
+  esac
+}
+
+for bench in "${benches[@]}"; do
+  short="$(short_name "${bench}")"
+  args=("--json=${out_dir}/BENCH_${short}.json")
+  if [[ "${bench}" == bench_fig11_overload ]]; then
+    args+=("--trace=${out_dir}/TRACE_${short}.json")
+  fi
+  echo "== ${bench} =="
+  "./build/bench/${bench}" "${args[@]}"
+done
+
+echo "results in ${out_dir}/:"
+ls -l "${out_dir}"

@@ -14,19 +14,30 @@ void HardwareLogger::OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bo
   if (fifo_.full()) {
     // With the overload threshold below capacity this cannot happen unless a
     // client ignores OnOverload; count rather than crash.
-    ++records_dropped_;
+    records_dropped_.Increment();
     return;
   }
   fifo_.Push(FifoEntry{paddr, value, size, static_cast<uint8_t>(cpu_id), time});
+  if (trace_ != nullptr) {
+    trace_->CounterValue("logger", "fifo_occupancy", kLoggerTraceTid, time, fifo_.size());
+  }
   if (fifo_.size() >= params_->logger_fifo_threshold) {
-    ++overload_events_;
+    overload_events_.Increment();
     // The kernel suspends the logging processes; the FIFOs drain completely
     // at the Table-2 DMA rate before execution resumes.
     if (service_free_ < time) {
       service_free_ = time;
     }
+    size_t drained = fifo_.size();
     while (!fifo_.empty()) {
       ProcessOne(params_->logger_service_drain_cycles);
+    }
+    overload_drain_cycles_.Record(service_free_ - time);
+    if (trace_ != nullptr) {
+      trace_->Instant("logger", "overload_interrupt", kLoggerTraceTid, time, "fifo_entries",
+                      drained);
+      trace_->Complete("logger", "overload_drain", kLoggerTraceTid, time, service_free_,
+                       "fifo_entries", drained);
     }
     if (observer_ != nullptr) {
       observer_->OnOverloadDrain(time, service_free_);
@@ -53,12 +64,19 @@ void HardwareLogger::ProcessOne(uint32_t service_cycles) {
     service_free_ = entry.time;
   }
   if (EmitRecord(entry)) {
-    ++records_logged_;
+    records_logged_.Increment();
     if (params_->dma_contends_bus && bus_ != nullptr) {
       bus_->Acquire(service_free_, params_->log_record_dma_bus);
     }
+    if (trace_ != nullptr) {
+      trace_->Instant("logger", "record", kLoggerTraceTid, service_free_, "paddr", entry.paddr);
+    }
   } else {
-    ++records_dropped_;
+    records_dropped_.Increment();
+    if (trace_ != nullptr) {
+      trace_->Instant("logger", "record_drop", kLoggerTraceTid, service_free_, "paddr",
+                      entry.paddr);
+    }
   }
   service_free_ += service_cycles;
 }
@@ -66,7 +84,7 @@ void HardwareLogger::ProcessOne(uint32_t service_cycles) {
 bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
   const PageMappingTable::Entry* mapping = page_mapping_table_.Lookup(entry.paddr);
   if (mapping == nullptr) {
-    ++mapping_faults_;
+    mapping_faults_.Increment();
     service_free_ += params_->logging_fault_logger_stall;
     if (client_ == nullptr || !client_->OnMappingFault(entry.paddr, service_free_)) {
       NotifyRetired(RetiredWrite::Kind::kDropped, entry, 0, 0, 0, 0);
@@ -100,7 +118,7 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
   }
 
   if (!log.tail_valid) {
-    ++tail_faults_;
+    tail_faults_.Increment();
     service_free_ += params_->logging_fault_logger_stall;
     if (client_ == nullptr || !client_->OnLogTailFault(log_index, service_free_)) {
       NotifyRetired(RetiredWrite::Kind::kDropped, entry, log_index, 0, 0, 0);
@@ -191,6 +209,15 @@ Cycles HardwareLogger::SyncDrain(Cycles now) {
     ProcessOne(params_->logger_service_active_cycles);
   }
   return service_free_ > now ? service_free_ : now;
+}
+
+void HardwareLogger::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  registry->RegisterCounter("logger.records_logged", &records_logged_);
+  registry->RegisterCounter("logger.records_dropped", &records_dropped_);
+  registry->RegisterCounter("logger.mapping_faults", &mapping_faults_);
+  registry->RegisterCounter("logger.tail_faults", &tail_faults_);
+  registry->RegisterCounter("logger.overload_events", &overload_events_);
+  registry->RegisterHistogram("logger.overload_drain_cycles", &overload_drain_cycles_);
 }
 
 }  // namespace lvm

@@ -26,6 +26,8 @@
 #include "src/base/ring_buffer.h"
 #include "src/base/types.h"
 #include "src/logger/log_record.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/logger/tables.h"
 #include "src/sim/bus.h"
 #include "src/sim/interfaces.h"
@@ -119,6 +121,10 @@ class LogFaultInjector {
   virtual Action OnEmit(uint32_t log_index, LogRecord* record) = 0;
 };
 
+// Trace track id used for logger-side events; CPU events use the CPU id, so
+// any value above the largest CPU count keeps the tracks distinct.
+inline constexpr uint32_t kLoggerTraceTid = 64;
+
 class HardwareLogger : public BusSnooper {
  public:
   // `bus` may be null; it is only used when params->dma_contends_bus.
@@ -127,6 +133,9 @@ class HardwareLogger : public BusSnooper {
   void set_fault_client(LoggerFaultClient* client) { client_ = client; }
   void set_observer(LoggerObserver* observer) { observer_ = observer; }
   void set_fault_injector(LogFaultInjector* injector) { injector_ = injector; }
+  // Optional trace sink; when unset (or disabled) the write path performs no
+  // tracing work beyond a null/flag check.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   PageMappingTable& page_mapping_table() { return page_mapping_table_; }
   LogTable& log_table() { return log_table_; }
@@ -141,12 +150,16 @@ class HardwareLogger : public BusSnooper {
   Cycles SyncDrain(Cycles now);
 
   // --- statistics ---
-  uint64_t records_logged() const { return records_logged_; }
-  uint64_t records_dropped() const { return records_dropped_; }
-  uint64_t mapping_faults() const { return mapping_faults_; }
-  uint64_t tail_faults() const { return tail_faults_; }
-  uint64_t overload_events() const { return overload_events_; }
+  uint64_t records_logged() const { return records_logged_.value(); }
+  uint64_t records_dropped() const { return records_dropped_.value(); }
+  uint64_t mapping_faults() const { return mapping_faults_.value(); }
+  uint64_t tail_faults() const { return tail_faults_.value(); }
+  uint64_t overload_events() const { return overload_events_.value(); }
   size_t fifo_occupancy() const { return fifo_.size(); }
+
+  // Registers the logger's counters (plus the overload-drain histogram)
+  // under "logger.*". The registry must not outlive this logger.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   struct FifoEntry {
@@ -177,6 +190,7 @@ class HardwareLogger : public BusSnooper {
   LoggerFaultClient* client_ = nullptr;
   LoggerObserver* observer_ = nullptr;
   LogFaultInjector* injector_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
 
   PageMappingTable page_mapping_table_;
   LogTable log_table_;
@@ -184,11 +198,12 @@ class HardwareLogger : public BusSnooper {
   // Time at which the logger pipeline is free.
   Cycles service_free_ = 0;
 
-  uint64_t records_logged_ = 0;
-  uint64_t records_dropped_ = 0;
-  uint64_t mapping_faults_ = 0;
-  uint64_t tail_faults_ = 0;
-  uint64_t overload_events_ = 0;
+  obs::Counter records_logged_;
+  obs::Counter records_dropped_;
+  obs::Counter mapping_faults_;
+  obs::Counter tail_faults_;
+  obs::Counter overload_events_;
+  obs::Histogram overload_drain_cycles_;
 };
 
 }  // namespace lvm

@@ -29,14 +29,14 @@ void OnChipLogger::ClearCpu(int cpu_id) {
 bool OnChipLogger::EmitRecord(Cpu* cpu, uint32_t log_index, const LogRecord& record) {
   LogTable::Entry& log = log_table_.at(log_index);
   if (!log.tail_valid) {
-    ++tail_faults_;
+    tail_faults_.Increment();
     // Synchronous kernel fixup; the fault client charges the CPU cost.
     if (client_ == nullptr || !client_->OnLogTailFault(log_index, cpu->now())) {
-      ++records_dropped_;
+      records_dropped_.Increment();
       return false;
     }
     if (!log.tail_valid) {
-      ++records_dropped_;
+      records_dropped_.Increment();
       return false;
     }
   }
@@ -62,7 +62,11 @@ bool OnChipLogger::EmitRecord(Cpu* cpu, uint32_t log_index, const LogRecord& rec
     memory_->Write(log.tail, record.value, static_cast<uint8_t>(record.size));
     log.tail += record.size;
   }
-  ++records_logged_;
+  records_logged_.Increment();
+  if (trace_ != nullptr) {
+    trace_->Instant("logger", "record", static_cast<uint32_t>(cpu->id()), cpu->now(),
+                    "log_index", log_index);
+  }
   if (PageOffset(log.tail) == 0) {
     log.tail_valid = false;
   }
@@ -75,7 +79,7 @@ void OnChipLogger::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t
   auto it = table.find(PageNumber(va));
   if (it == table.end()) {
     // The kernel did not register this page with the on-chip logger.
-    ++records_dropped_;
+    records_dropped_.Increment();
     return;
   }
   uint32_t log_index = it->second;
@@ -104,6 +108,12 @@ void OnChipLogger::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t
       .timestamp = timestamp,
   };
   EmitRecord(cpu, log_index, record);
+}
+
+void OnChipLogger::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  registry->RegisterCounter("logger.records_logged", &records_logged_);
+  registry->RegisterCounter("logger.records_dropped", &records_dropped_);
+  registry->RegisterCounter("logger.tail_faults", &tail_faults_);
 }
 
 }  // namespace lvm

@@ -25,6 +25,8 @@
 #include "src/logger/hardware_logger.h"
 #include "src/logger/log_record.h"
 #include "src/logger/tables.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/bus.h"
 #include "src/sim/cpu.h"
 #include "src/sim/interfaces.h"
@@ -38,6 +40,8 @@ class OnChipLogger : public LoggedWriteSink {
   OnChipLogger(const MachineParams* params, PhysicalMemory* memory, Bus* bus, int num_cpus);
 
   void set_fault_client(LoggerFaultClient* client) { client_ = client; }
+  // Optional trace sink (instant events per emitted record).
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   // Section 4.6 extension: also log the memory data *before* each write
   // (an extra record flagged kRecordFlagOldValue preceding the new-value
@@ -62,9 +66,15 @@ class OnChipLogger : public LoggedWriteSink {
   void OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t value,
                      uint8_t size) override;
 
-  uint64_t records_logged() const { return records_logged_; }
-  uint64_t records_dropped() const { return records_dropped_; }
-  uint64_t tail_faults() const { return tail_faults_; }
+  uint64_t records_logged() const { return records_logged_.value(); }
+  uint64_t records_dropped() const { return records_dropped_.value(); }
+  uint64_t tail_faults() const { return tail_faults_.value(); }
+
+  // Registers the same "logger.*" counter names the bus logger uses, so
+  // consumers read one name regardless of the logger variant. Mapping and
+  // overload counters do not exist here (overload is impossible, Section
+  // 4.6) and are registered as zero-valued owned counters by LvmSystem.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   // Emits one record into `log_index` (tail fault handling, store-buffer
@@ -76,6 +86,7 @@ class OnChipLogger : public LoggedWriteSink {
   Bus* bus_;
   LoggerFaultClient* client_ = nullptr;
   L2Cache* l2_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   bool capture_old_values_ = false;
 
   LogTable log_table_;
@@ -84,9 +95,9 @@ class OnChipLogger : public LoggedWriteSink {
   // Per-CPU record store buffers: completion times of in-flight records.
   std::vector<std::deque<Cycles>> record_buffers_;
 
-  uint64_t records_logged_ = 0;
-  uint64_t records_dropped_ = 0;
-  uint64_t tail_faults_ = 0;
+  obs::Counter records_logged_;
+  obs::Counter records_dropped_;
+  obs::Counter tail_faults_;
 };
 
 }  // namespace lvm

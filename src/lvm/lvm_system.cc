@@ -1,5 +1,7 @@
 #include "src/lvm/lvm_system.h"
 
+#include <string>
+
 #include "src/logger/log_record.h"
 
 namespace lvm {
@@ -41,6 +43,66 @@ LvmSystem::LvmSystem(const LvmConfig& config)
   }
   for (int i = 0; i < machine_.num_cpus(); ++i) {
     machine_.cpu(i).set_fault_handler(this);
+  }
+
+  // Wire every counter in the system into the registry; GetStats() and any
+  // monitoring tool read them from here by name.
+  machine_.RegisterMetrics(&metrics_);
+  if (bus_logger_ != nullptr) {
+    bus_logger_->RegisterMetrics(&metrics_);
+  } else if (onchip_logger_ != nullptr) {
+    onchip_logger_->RegisterMetrics(&metrics_);
+  }
+  metrics_.RegisterCounter("kernel.overload_suspensions", &overload_suspensions_);
+  metrics_.RegisterCounter("kernel.logging_faults_handled", &logging_faults_handled_);
+  // Aggregates over the CPUs, evaluated at snapshot time.
+  metrics_.RegisterCallback("cpu.page_faults", [this] {
+    uint64_t total = 0;
+    for (int i = 0; i < machine_.num_cpus(); ++i) {
+      total += machine_.cpu(i).page_faults();
+    }
+    return total;
+  });
+  metrics_.RegisterCallback("cpu.logged_writes", [this] {
+    uint64_t total = 0;
+    for (int i = 0; i < machine_.num_cpus(); ++i) {
+      total += machine_.cpu(i).logged_writes();
+    }
+    return total;
+  });
+  metrics_.RegisterCallback("cpu.writes", [this] {
+    uint64_t total = 0;
+    for (int i = 0; i < machine_.num_cpus(); ++i) {
+      total += machine_.cpu(i).writes();
+    }
+    return total;
+  });
+  metrics_.RegisterCallback("cpu.max_cycles", [this] {
+    Cycles max = 0;
+    for (int i = 0; i < machine_.num_cpus(); ++i) {
+      if (machine_.cpu(i).now() > max) {
+        max = machine_.cpu(i).now();
+      }
+    }
+    return max;
+  });
+  if (bus_logger_ != nullptr) {
+    metrics_.RegisterCallback("logger.fifo_occupancy",
+                              [this] { return static_cast<uint64_t>(bus_logger_->fifo_occupancy()); });
+  }
+}
+
+void LvmSystem::EnableTracing(size_t capacity) {
+  trace_.Enable(capacity);
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    trace_.SetThreadName(static_cast<uint32_t>(i), "cpu" + std::to_string(i));
+  }
+  if (bus_logger_ != nullptr) {
+    trace_.SetThreadName(kLoggerTraceTid, "bus logger");
+    bus_logger_->set_trace(&trace_);
+  }
+  if (onchip_logger_ != nullptr) {
+    onchip_logger_->set_trace(&trace_);
   }
 }
 
@@ -148,6 +210,7 @@ void LvmSystem::DetachSource(Cpu* cpu, Segment* segment) {
   if (segment->source_segment() == nullptr) {
     return;
   }
+  Cycles span_start = cpu->now();
   const MachineParams& params = machine_.params();
   for (uint32_t page = 0; page < segment->page_count(); ++page) {
     if (!segment->HasFrame(page)) {
@@ -170,6 +233,8 @@ void LvmSystem::DetachSource(Cpu* cpu, Segment* segment) {
     cpu->AddCycles(static_cast<Cycles>(kLinesPerPage) * params.bcopy_block_cycles);
   }
   segment->SetSourceSegment(nullptr);
+  trace_.Complete("vm", "detach_source", static_cast<uint32_t>(cpu->id()), span_start,
+                  cpu->now());
 }
 
 void LvmSystem::RegisterLog(LogSegment* log, LogMode mode) {
@@ -332,6 +397,7 @@ void LvmSystem::DisarmLoggedPage(Region* region, VirtAddr va, AddressSpace::Pte*
 
 bool LvmSystem::OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) {
   (void)access;
+  Cycles fault_start = cpu->now();
   cpu->AddCycles(machine_.params().page_fault_cycles);
   AddressSpace* as = active_as_.at(static_cast<size_t>(cpu->id()));
   if (as == nullptr) {
@@ -351,13 +417,17 @@ bool LvmSystem::OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) {
   if (region->logging_enabled() && region->log_segment() != nullptr) {
     ArmLoggedPage(region, va, as->FindPte(va));
   }
+  trace_.Complete("vm", "page_fault", static_cast<uint32_t>(cpu->id()), fault_start, cpu->now(),
+                  "va", va);
   return true;
 }
 
 bool LvmSystem::OnMappingFault(PhysAddr paddr, Cycles time) {
-  (void)time;
-  ++logging_faults_handled_;
+  logging_faults_handled_.Increment();
+  Cycles start = machine_.cpu(0).now();
   machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
+  trace_.Complete("vm", "mapping_fault", 0, start, machine_.cpu(0).now(), "paddr", paddr,
+                  "logger_time", time);
   auto it = logged_frames_.find(PageNumber(paddr));
   if (it == logged_frames_.end()) {
     return false;
@@ -369,9 +439,11 @@ bool LvmSystem::OnMappingFault(PhysAddr paddr, Cycles time) {
 }
 
 bool LvmSystem::OnLogTailFault(uint32_t log_index, Cycles time) {
-  (void)time;
-  ++logging_faults_handled_;
+  logging_faults_handled_.Increment();
+  Cycles start = machine_.cpu(0).now();
   machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
+  trace_.Complete("vm", "tail_fault", 0, start, machine_.cpu(0).now(), "log_index", log_index,
+                  "logger_time", time);
   auto it = logs_by_index_.find(log_index);
   if (it == logs_by_index_.end()) {
     return false;
@@ -389,14 +461,15 @@ bool LvmSystem::OnLogTailFault(uint32_t log_index, Cycles time) {
 }
 
 void LvmSystem::OnOverload(Cycles interrupt_time, Cycles drain_complete) {
-  (void)interrupt_time;
-  ++overload_suspensions_;
+  overload_suspensions_.Increment();
   // Suspend every process that might be generating log data until the FIFOs
   // drain, then pay the kernel's interrupt/suspend/resume overhead.
   Cycles resume = drain_complete + machine_.params().overload_kernel_cycles;
   for (int i = 0; i < machine_.num_cpus(); ++i) {
     machine_.cpu(i).AdvanceTo(resume);
   }
+  trace_.Complete("kernel", "overload_suspend", 0, interrupt_time, resume, "drain_complete",
+                  drain_complete);
 }
 
 void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
@@ -500,6 +573,8 @@ void LvmSystem::EnsureLogCapacity(LogSegment* log, uint32_t pages) {
 
 void LvmSystem::ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, VirtAddr end) {
   const MachineParams& params = machine_.params();
+  Cycles span_start = cpu->now();
+  uint64_t pages_reset = 0;
   for (VirtAddr va = PageBase(start); va < end; va += kPageSize) {
     AddressSpace::Pte* pte = as->FindPte(va);
     if (pte == nullptr || !deferred_copy_.IsMapped(pte->frame)) {
@@ -508,6 +583,7 @@ void LvmSystem::ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, Vi
     // Reset the page's source pointers; check the per-page dirty bit rather
     // than inspecting every line (the Section 3.3 optimization).
     cpu->AddCycles(params.reset_page_cycles);
+    ++pages_reset;
     uint32_t written_back = deferred_copy_.WrittenBackLines(pte->frame);
     bool dirty_in_cache = machine_.l2().PageDirty(pte->frame);
     if (!dirty_in_cache && written_back == 0) {
@@ -520,6 +596,8 @@ void LvmSystem::ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, Vi
                    params.reset_dirty_line_cycles);
     machine_.InvalidateL1PageAllCpus(pte->frame);
   }
+  trace_.Complete("vm", "reset_deferred_copy", static_cast<uint32_t>(cpu->id()), span_start,
+                  cpu->now(), "pages", pages_reset);
 }
 
 void LvmSystem::ReadEffectiveLine(PhysAddr line_paddr, uint8_t out[kLineSize]) {
@@ -549,6 +627,7 @@ PhysAddr LvmSystem::EnsureSegmentPage(Segment* segment, uint32_t page_index) {
 void LvmSystem::CopySegment(Cpu* cpu, Segment* dest, Segment* source) {
   uint32_t pages = dest->page_count() < source->page_count() ? dest->page_count()
                                                              : source->page_count();
+  Cycles span_start = cpu->now();
   const MachineParams& params = machine_.params();
   uint8_t line[kLineSize];
   for (uint32_t i = 0; i < pages; ++i) {
@@ -567,46 +646,65 @@ void LvmSystem::CopySegment(Cpu* cpu, Segment* dest, Segment* source) {
     machine_.InvalidateL1PageAllCpus(dframe);
     cpu->AddCycles(static_cast<Cycles>(kLinesPerPage) * params.bcopy_block_cycles);
   }
+  trace_.Complete("vm", "copy_segment", static_cast<uint32_t>(cpu->id()), span_start, cpu->now(),
+                  "pages", pages);
 }
 
 void LvmSystem::FlushSegment(Cpu* cpu, Segment* segment) {
   const MachineParams& params = machine_.params();
+  Cycles span_start = cpu->now();
+  uint64_t dirty_lines = 0;
   for (uint32_t i = 0; i < segment->page_count(); ++i) {
     if (!segment->HasFrame(i)) {
       continue;
     }
     L2Cache::PageOpResult result = machine_.l2().FlushPage(segment->FrameAt(i));
+    dirty_lines += result.dirty_lines;
     cpu->AddCycles(static_cast<Cycles>(result.dirty_lines) * params.cache_block_write_total);
   }
+  trace_.Complete("vm", "flush_segment", static_cast<uint32_t>(cpu->id()), span_start,
+                  cpu->now(), "dirty_lines", dirty_lines);
 }
 
-LvmSystem::Stats LvmSystem::GetStats() {
+LvmSystem::Stats LvmSystem::GetStats() const {
+  // Thin view over the metrics registry: every field reads the snapshot by
+  // name. Counters absent under the configured logger (mapping faults and
+  // overload exist only for the bus logger) read as 0.
+  obs::Snapshot snapshot = metrics_.TakeSnapshot();
   Stats stats;
-  if (bus_logger_ != nullptr) {
-    stats.records_logged = bus_logger_->records_logged();
-    stats.records_dropped = bus_logger_->records_dropped();
-    stats.mapping_faults = bus_logger_->mapping_faults();
-    stats.tail_faults = bus_logger_->tail_faults();
-  } else if (onchip_logger_ != nullptr) {
-    stats.records_logged = onchip_logger_->records_logged();
-    stats.records_dropped = onchip_logger_->records_dropped();
-    stats.tail_faults = onchip_logger_->tail_faults();
-  }
-  stats.overload_suspensions = overload_suspensions_;
-  stats.logging_faults_handled = logging_faults_handled_;
-  for (int i = 0; i < machine_.num_cpus(); ++i) {
-    Cpu& processor = machine_.cpu(i);
-    stats.page_faults += processor.page_faults();
-    stats.logged_writes += processor.logged_writes();
-    stats.writes += processor.writes();
-    if (processor.now() > stats.max_cpu_cycles) {
-      stats.max_cpu_cycles = processor.now();
-    }
-  }
-  stats.bus_busy_cycles = machine_.bus().busy_cycles();
-  stats.l2_fills = machine_.l2().fills();
-  stats.l2_writebacks = machine_.l2().writebacks();
+  stats.records_logged = snapshot.counter("logger.records_logged");
+  stats.records_dropped = snapshot.counter("logger.records_dropped");
+  stats.mapping_faults = snapshot.counter("logger.mapping_faults");
+  stats.tail_faults = snapshot.counter("logger.tail_faults");
+  stats.overload_suspensions = snapshot.counter("kernel.overload_suspensions");
+  stats.logging_faults_handled = snapshot.counter("kernel.logging_faults_handled");
+  stats.page_faults = snapshot.counter("cpu.page_faults");
+  stats.logged_writes = snapshot.counter("cpu.logged_writes");
+  stats.writes = snapshot.counter("cpu.writes");
+  stats.bus_busy_cycles = snapshot.counter("bus.busy_cycles");
+  stats.l2_fills = snapshot.counter("l2.fills");
+  stats.l2_writebacks = snapshot.counter("l2.writebacks");
+  stats.max_cpu_cycles = snapshot.counter("cpu.max_cycles");
   return stats;
+}
+
+LvmSystem::Stats LvmSystem::Stats::Delta(const Stats& before) const {
+  auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+  Stats d;
+  d.records_logged = sub(records_logged, before.records_logged);
+  d.records_dropped = sub(records_dropped, before.records_dropped);
+  d.mapping_faults = sub(mapping_faults, before.mapping_faults);
+  d.tail_faults = sub(tail_faults, before.tail_faults);
+  d.overload_suspensions = sub(overload_suspensions, before.overload_suspensions);
+  d.logging_faults_handled = sub(logging_faults_handled, before.logging_faults_handled);
+  d.page_faults = sub(page_faults, before.page_faults);
+  d.logged_writes = sub(logged_writes, before.logged_writes);
+  d.writes = sub(writes, before.writes);
+  d.bus_busy_cycles = sub(bus_busy_cycles, before.bus_busy_cycles);
+  d.l2_fills = sub(l2_fills, before.l2_fills);
+  d.l2_writebacks = sub(l2_writebacks, before.l2_writebacks);
+  d.max_cpu_cycles = sub(max_cpu_cycles, before.max_cpu_cycles);
+  return d;
 }
 
 void LvmSystem::TouchRegion(Cpu* cpu, Region* region) {

@@ -30,6 +30,8 @@
 #include "src/logger/hardware_logger.h"
 #include "src/logger/onchip_logger.h"
 #include "src/logger/tables.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/machine.h"
 #include "src/vm/address_space.h"
 #include "src/vm/deferred_copy.h"
@@ -76,6 +78,7 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   LvmSystem& operator=(const LvmSystem&) = delete;
 
   Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
   Cpu& cpu(int i = 0) { return machine_.cpu(i); }
   PhysicalMemory& memory() { return machine_.memory(); }
   FrameAllocator& frames() { return frame_allocator_; }
@@ -83,7 +86,24 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   const LvmConfig& config() const { return config_; }
   // Null unless the corresponding LoggerKind is configured.
   HardwareLogger* bus_logger() { return bus_logger_.get(); }
+  const HardwareLogger* bus_logger() const { return bus_logger_.get(); }
   OnChipLogger* onchip_logger() { return onchip_logger_.get(); }
+  const OnChipLogger* onchip_logger() const { return onchip_logger_.get(); }
+
+  // --- observability ---
+  // Every counter in the system is registered here (machine, logger and
+  // kernel counters) at construction; GetStats() is a view over it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::TraceRecorder& trace() { return trace_; }
+  const obs::TraceRecorder& trace() const { return trace_; }
+  // Arms cycle tracing with an event budget (bounded; overflowing events
+  // are dropped and counted) and names the viewer tracks. Instrumentation
+  // is free when this has not been called.
+  void EnableTracing(size_t capacity);
+  // Writes the recorded trace as Chrome trace-event JSON (load it at
+  // ui.perfetto.dev). Returns false if the file could not be written.
+  bool WriteTrace(const std::string& path) const { return trace_.WriteChromeTraceFile(path); }
 
   // --- introspection (the src/check invariant checker reads these) ---
   // Every address space created so far.
@@ -175,11 +195,11 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   void ReadEffectiveLine(PhysAddr line_paddr, uint8_t out[kLineSize]);
 
   // --- statistics ---
-  uint64_t overload_suspensions() const { return overload_suspensions_; }
-  uint64_t logging_faults_handled() const { return logging_faults_handled_; }
+  uint64_t overload_suspensions() const { return overload_suspensions_.value(); }
+  uint64_t logging_faults_handled() const { return logging_faults_handled_.value(); }
 
   // A one-shot snapshot of system-wide counters (for monitoring tools and
-  // experiment reports).
+  // experiment reports). A thin view over the metrics registry.
   struct Stats {
     uint64_t records_logged = 0;
     uint64_t records_dropped = 0;
@@ -194,8 +214,12 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
     uint64_t l2_fills = 0;
     uint64_t l2_writebacks = 0;
     Cycles max_cpu_cycles = 0;
+
+    // Per-phase difference (saturating at 0): every field subtracts, so
+    // max_cpu_cycles becomes the cycles elapsed during the phase.
+    Stats Delta(const Stats& before) const;
   };
-  Stats GetStats();
+  Stats GetStats() const;
 
   // --- sim::PageFaultHandler ---
   bool OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) override;
@@ -227,6 +251,11 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // Refreshes the append offset from the hardware tail.
   void RefreshAppendOffset(LogSegment* log);
 
+  // Declared first so they are destroyed last: the registry holds non-owning
+  // pointers to counters living in the machine and loggers below.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder trace_;
+
   LvmConfig config_;
   Machine machine_;
   FrameAllocator frame_allocator_;
@@ -254,8 +283,8 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // Logs currently spilling into the absorb page.
   std::unordered_map<uint32_t, bool> absorbing_;
 
-  uint64_t overload_suspensions_ = 0;
-  uint64_t logging_faults_handled_ = 0;
+  obs::Counter overload_suspensions_;
+  obs::Counter logging_faults_handled_;
 };
 
 }  // namespace lvm

@@ -1,0 +1,273 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace lvm {
+namespace obs {
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  // %g can produce "1e+06" style exponents, which JSON accepts, but never a
+  // bare trailing dot; nothing to patch up.
+  return buffer;
+}
+
+std::string JsonNumber(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu", static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string JsonNumber(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+  return buffer;
+}
+
+namespace {
+
+// Recursive-descent acceptor over RFC 8259. `pos` advances past the value;
+// depth is bounded to keep malicious inputs from smashing the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Accept() {
+    SkipSpace();
+    if (!Value(0)) {
+      return false;
+    }
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object(int depth) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (Peek() != '"' || !String()) {
+        return false;
+      }
+      SkipSpace();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipSpace();
+      if (!Value(depth + 1)) {
+        return false;
+      }
+      SkipSpace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!Value(depth + 1)) {
+        return false;
+      }
+      SkipSpace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        return false;  // Raw control character.
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // Unterminated.
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    if (!DigitRun()) {
+      return false;
+    }
+    // No leading zeros: "0" alone or a nonzero first digit.
+    if (text_[pos_ == start ? start : start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      size_t first = start + (text_[start] == '-' ? 1 : 0);
+      if (pos_ - first > 1) {
+        return false;
+      }
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!DigitRun()) {
+        return false;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!DigitRun()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool DigitRun() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ValidateJson(std::string_view text) { return JsonParser(text).Accept(); }
+
+}  // namespace obs
+}  // namespace lvm

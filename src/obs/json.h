@@ -1,0 +1,36 @@
+// Minimal JSON building blocks shared by the observability exporters.
+//
+// The trace recorder, the metrics snapshots and the benchmark tables all
+// emit JSON by string concatenation (no DOM, no allocation per value beyond
+// the output buffer). ValidateJson is the inverse direction: a strict
+// recursive-descent acceptor used by tests and examples to assert that an
+// exported file actually parses, without pulling in a JSON library the
+// container does not ship.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lvm {
+namespace obs {
+
+// Appends `text` as a quoted JSON string, escaping quotes, backslashes,
+// control characters and non-ASCII bytes.
+void AppendJsonString(std::string* out, std::string_view text);
+
+// Renders a double as a JSON number. Non-finite values (which JSON cannot
+// represent) become null.
+std::string JsonNumber(double value);
+std::string JsonNumber(uint64_t value);
+std::string JsonNumber(int64_t value);
+
+// Returns true iff `text` is one complete, well-formed JSON value
+// (RFC 8259 grammar; trailing whitespace allowed, trailing garbage not).
+bool ValidateJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_JSON_H_

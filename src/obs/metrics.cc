@@ -1,0 +1,150 @@
+#include "src/obs/metrics.h"
+
+#include "src/base/check.h"
+
+namespace lvm {
+namespace obs {
+
+namespace {
+
+template <typename Map>
+bool Contains(const Map& m, const std::string& name) {
+  return m.find(name) != m.end();
+}
+
+}  // namespace
+
+uint64_t Snapshot::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int64_t Snapshot::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const HistogramSnapshot* Snapshot::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+Snapshot Snapshot::Delta(const Snapshot& before) const {
+  Snapshot out;
+  for (const auto& [name, value] : counters_) {
+    uint64_t prev = before.counter(name);
+    out.counters_[name] = value > prev ? value - prev : 0;
+  }
+  out.gauges_ = gauges_;
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot d = hist;
+    if (const HistogramSnapshot* prev = before.histogram(name)) {
+      d.count = hist.count > prev->count ? hist.count - prev->count : 0;
+      d.sum = hist.sum > prev->sum ? hist.sum - prev->sum : 0;
+      for (size_t i = 0; i < d.buckets.size() && i < prev->buckets.size(); ++i) {
+        d.buckets[i] = d.buckets[i] > prev->buckets[i] ? d.buckets[i] - prev->buckets[i] : 0;
+      }
+    }
+    out.histograms_[name] = std::move(d);
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto it = owned_counters_.find(name);
+  if (it == owned_counters_.end()) {
+    LVM_CHECK_MSG(!Contains(external_counters_, name) && !Contains(callbacks_, name),
+                  "metric name already registered");
+    it = owned_counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto it = owned_gauges_.find(name);
+  if (it == owned_gauges_.end()) {
+    LVM_CHECK_MSG(!Contains(external_gauges_, name), "metric name already registered");
+    it = owned_gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  auto it = owned_histograms_.find(name);
+  if (it == owned_histograms_.end()) {
+    LVM_CHECK_MSG(!Contains(external_histograms_, name), "metric name already registered");
+    it = owned_histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name, const Counter* external) {
+  LVM_CHECK(external != nullptr);
+  LVM_CHECK_MSG(!Contains(owned_counters_, name) && !Contains(external_counters_, name) &&
+                    !Contains(callbacks_, name),
+                "metric name already registered");
+  external_counters_.emplace(name, external);
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name, const Gauge* external) {
+  LVM_CHECK(external != nullptr);
+  LVM_CHECK_MSG(!Contains(owned_gauges_, name) && !Contains(external_gauges_, name),
+                "metric name already registered");
+  external_gauges_.emplace(name, external);
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name, const Histogram* external) {
+  LVM_CHECK(external != nullptr);
+  LVM_CHECK_MSG(!Contains(owned_histograms_, name) && !Contains(external_histograms_, name),
+                "metric name already registered");
+  external_histograms_.emplace(name, external);
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name, std::function<uint64_t()> fn) {
+  LVM_CHECK(fn != nullptr);
+  LVM_CHECK_MSG(!Contains(owned_counters_, name) && !Contains(external_counters_, name) &&
+                    !Contains(callbacks_, name),
+                "metric name already registered");
+  callbacks_.emplace(name, std::move(fn));
+}
+
+Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot out;
+  for (const auto& [name, c] : owned_counters_) {
+    out.counters_[name] = c->value();
+  }
+  for (const auto& [name, c] : external_counters_) {
+    out.counters_[name] = c->value();
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    out.counters_[name] = fn();
+  }
+  for (const auto& [name, g] : owned_gauges_) {
+    out.gauges_[name] = g->value();
+  }
+  for (const auto& [name, g] : external_gauges_) {
+    out.gauges_[name] = g->value();
+  }
+  auto copy_histogram = [](const Histogram& h) {
+    HistogramSnapshot s;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    s.buckets.resize(Histogram::kBuckets);
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      s.buckets[i] = h.bucket(i);
+    }
+    return s;
+  };
+  for (const auto& [name, h] : owned_histograms_) {
+    out.histograms_[name] = copy_histogram(*h);
+  }
+  for (const auto& [name, h] : external_histograms_) {
+    out.histograms_[name] = copy_histogram(*h);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace lvm

@@ -1,0 +1,163 @@
+// Unified metrics registry for the simulator.
+//
+// Three metric kinds, all with inline zero-allocation recording:
+//   Counter   - monotonically increasing uint64 (records logged, faults, ...)
+//   Gauge     - last-written int64 (FIFO occupancy, queue depth, ...)
+//   Histogram - log2-bucketed distribution (drain lengths, commit sizes, ...)
+//
+// A MetricsRegistry names metrics and snapshots them. Components that are
+// constructible without a registry (Cpu, Bus, L2Cache, the loggers — benches
+// and tests build them standalone) keep their counters as plain members and
+// expose RegisterMetrics(registry), which registers those members as
+// *external* (non-owning) metrics. Registered pointers must outlive the
+// registry's last TakeSnapshot(); LvmSystem declares its registry first so it
+// is destroyed last.
+//
+// Snapshot/Delta: counters and histogram counts subtract, gauges keep the
+// later value — so `after.Delta(before)` reports per-phase activity.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lvm {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(uint64_t n) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t n) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Power-of-two bucketed histogram: bucket 0 holds zeros, bucket i (i >= 1)
+// holds values in [2^(i-1), 2^i). 33 buckets cover the full uint32 cycle
+// range; larger values clamp into the top bucket.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 33;
+
+  static size_t BucketIndex(uint64_t value) {
+    size_t width = static_cast<size_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  void Record(uint64_t value) {
+    ++buckets_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return min_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+// Point-in-time copy of every metric in a registry.
+class Snapshot {
+ public:
+  // Returns the counter value, or 0 for an unknown name (so callers reading
+  // e.g. "logger.tail_faults" work against either logger variant).
+  uint64_t counter(const std::string& name) const;
+  int64_t gauge(const std::string& name) const;
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  // Per-phase difference: counters and histogram counts/sums subtract
+  // (saturating at 0 if `before` is from a later point); gauges and
+  // histogram min/max keep this snapshot's values.
+  Snapshot Delta(const Snapshot& before) const;
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
+  const std::map<std::string, HistogramSnapshot>& histograms() const { return histograms_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, HistogramSnapshot> histograms_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create an owned metric. Pointers are stable for the registry's
+  // lifetime; recording through them never allocates.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Registers a metric owned elsewhere (a component member). The pointer
+  // must stay valid until the registry is destroyed or the entry is never
+  // snapshotted again. Duplicate names are a programming error.
+  void RegisterCounter(const std::string& name, const Counter* external);
+  void RegisterGauge(const std::string& name, const Gauge* external);
+  void RegisterHistogram(const std::string& name, const Histogram* external);
+
+  // Registers a counter computed at snapshot time (e.g. a sum over CPUs).
+  void RegisterCallback(const std::string& name, std::function<uint64_t()> fn);
+
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> owned_counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> owned_gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> owned_histograms_;
+  std::map<std::string, const Counter*> external_counters_;
+  std::map<std::string, const Gauge*> external_gauges_;
+  std::map<std::string, const Histogram*> external_histograms_;
+  std::map<std::string, std::function<uint64_t()>> callbacks_;
+};
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_METRICS_H_

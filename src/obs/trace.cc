@@ -1,0 +1,114 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace lvm {
+namespace obs {
+
+namespace {
+
+std::string Microseconds(Cycles cycles) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(cycles) / TraceRecorder::kCyclesPerMicrosecond);
+  return buffer;
+}
+
+}  // namespace
+
+void TraceRecorder::Enable(size_t capacity) {
+  capacity_ = capacity;
+  events_.reserve(capacity);
+  enabled_ = true;
+}
+
+void TraceRecorder::AppendChromeTrace(std::string* out) const {
+  out->append("{\"traceEvents\":[");
+  bool first = true;
+  auto separator = [&] {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+  };
+  // Metadata: one process, named tracks per tid.
+  separator();
+  out->append(
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"lvm-sim\"}}");
+  for (const auto& [tid, name] : thread_names_) {
+    separator();
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\",\"args\":{\"name\":",
+                  tid);
+    out->append(head);
+    AppendJsonString(out, name);
+    out->append("}}");
+  }
+  for (const TraceEvent& e : events_) {
+    separator();
+    out->append("{\"ph\":\"");
+    out->push_back(e.phase);
+    out->append("\",\"pid\":1,\"tid\":");
+    out->append(JsonNumber(static_cast<uint64_t>(e.tid)));
+    out->append(",\"cat\":");
+    AppendJsonString(out, e.category);
+    out->append(",\"name\":");
+    AppendJsonString(out, e.name);
+    out->append(",\"ts\":");
+    out->append(Microseconds(e.ts));
+    if (e.phase == 'X') {
+      out->append(",\"dur\":");
+      out->append(Microseconds(e.dur));
+    }
+    if (e.arg1_name != nullptr || e.arg2_name != nullptr) {
+      out->append(",\"args\":{");
+      bool first_arg = true;
+      if (e.arg1_name != nullptr) {
+        AppendJsonString(out, e.arg1_name);
+        out->push_back(':');
+        out->append(JsonNumber(e.arg1));
+        first_arg = false;
+      }
+      if (e.arg2_name != nullptr) {
+        if (!first_arg) {
+          out->push_back(',');
+        }
+        AppendJsonString(out, e.arg2_name);
+        out->push_back(':');
+        out->append(JsonNumber(e.arg2));
+      }
+      out->push_back('}');
+    }
+    out->push_back('}');
+  }
+  out->append("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock_mhz\":25,"
+              "\"dropped_events\":");
+  out->append(JsonNumber(dropped_events_));
+  out->append("}}");
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::string out;
+  out.reserve(events_.size() * 120 + 256);
+  AppendChromeTrace(&out);
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace lvm

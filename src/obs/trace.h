@@ -1,0 +1,209 @@
+// Cycle-timestamped event tracing with Chrome trace-event JSON export.
+//
+// The recorder is disabled by default and costs one branch per call site
+// (`if (!enabled()) return;`) — no heap allocation anywhere on the recording
+// path, which keeps the logger write path clean when tracing is off. Enable()
+// pre-reserves a bounded buffer; once full, NEW events are dropped and
+// counted (the prefix of a run is usually what a trace viewer needs, and
+// dropping old events would shuffle span nesting).
+//
+// Event names and categories are `const char*` and must be string literals
+// (or otherwise outlive the recorder): nothing is copied.
+//
+// Export follows the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a {"traceEvents":[...]} object loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Timestamps convert simulated cycles to microseconds at
+// the ParaDiGM clock rate (25 MHz => 1 cycle = 0.04 us).
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace lvm {
+namespace obs {
+
+struct TraceEvent {
+  const char* category = "";
+  const char* name = "";
+  char phase = 'i';  // 'X' complete, 'i' instant, 'C' counter.
+  uint32_t tid = 0;
+  Cycles ts = 0;
+  Cycles dur = 0;
+  // Up to two inline numeric args, rendered into the "args" object.
+  const char* arg1_name = nullptr;
+  uint64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  uint64_t arg2 = 0;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr double kCyclesPerMicrosecond = 25.0;  // 25 MHz clock.
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Arms the recorder with a fixed event budget. May be called again to
+  // resize; existing events are kept if they fit.
+  void Enable(size_t capacity);
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Instant(const char* category, const char* name, uint32_t tid, Cycles ts) {
+    if (!enabled_) {
+      return;
+    }
+    TraceEvent e;
+    e.category = category;
+    e.name = name;
+    e.phase = 'i';
+    e.tid = tid;
+    e.ts = ts;
+    Push(e);
+  }
+
+  void Instant(const char* category, const char* name, uint32_t tid, Cycles ts,
+               const char* arg1_name, uint64_t arg1) {
+    if (!enabled_) {
+      return;
+    }
+    TraceEvent e;
+    e.category = category;
+    e.name = name;
+    e.phase = 'i';
+    e.tid = tid;
+    e.ts = ts;
+    e.arg1_name = arg1_name;
+    e.arg1 = arg1;
+    Push(e);
+  }
+
+  void Complete(const char* category, const char* name, uint32_t tid, Cycles start,
+                Cycles end) {
+    Complete(category, name, tid, start, end, nullptr, 0, nullptr, 0);
+  }
+
+  void Complete(const char* category, const char* name, uint32_t tid, Cycles start, Cycles end,
+                const char* arg1_name, uint64_t arg1) {
+    Complete(category, name, tid, start, end, arg1_name, arg1, nullptr, 0);
+  }
+
+  void Complete(const char* category, const char* name, uint32_t tid, Cycles start, Cycles end,
+                const char* arg1_name, uint64_t arg1, const char* arg2_name, uint64_t arg2) {
+    if (!enabled_) {
+      return;
+    }
+    TraceEvent e;
+    e.category = category;
+    e.name = name;
+    e.phase = 'X';
+    e.tid = tid;
+    e.ts = start;
+    e.dur = end > start ? end - start : 0;
+    e.arg1_name = arg1_name;
+    e.arg1 = arg1;
+    e.arg2_name = arg2_name;
+    e.arg2 = arg2;
+    Push(e);
+  }
+
+  // Counter track (FIFO occupancy and the like); rendered as ph:'C'.
+  void CounterValue(const char* category, const char* name, uint32_t tid, Cycles ts,
+                    uint64_t value) {
+    if (!enabled_) {
+      return;
+    }
+    TraceEvent e;
+    e.category = category;
+    e.name = name;
+    e.phase = 'C';
+    e.tid = tid;
+    e.ts = ts;
+    e.arg1_name = "value";
+    e.arg1 = value;
+    Push(e);
+  }
+
+  // Names the track for `tid` in the viewer (emitted as an 'M' metadata
+  // event). Allocates; call from setup code, not hot paths.
+  void SetThreadName(uint32_t tid, const std::string& name) { thread_names_[tid] = name; }
+
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped_events() const { return dropped_events_; }
+  const TraceEvent& event(size_t i) const { return events_[i]; }
+
+  void Clear() {
+    events_.clear();
+    dropped_events_ = 0;
+  }
+
+  // Serializes all events (plus metadata) as a {"traceEvents":[...]} object.
+  void AppendChromeTrace(std::string* out) const;
+  std::string ChromeTraceJson() const;
+  // Returns false if the file could not be written.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  void Push(const TraceEvent& e) {
+    if (events_.size() >= capacity_) {
+      ++dropped_events_;
+      return;
+    }
+    events_.push_back(e);
+  }
+
+  bool enabled_ = false;
+  size_t capacity_ = 0;
+  uint64_t dropped_events_ = 0;
+  std::vector<TraceEvent> events_;
+  std::map<uint32_t, std::string> thread_names_;
+};
+
+// RAII span: records a Complete event from construction to destruction using
+// a caller-supplied clock (any callable returning Cycles — typically reading
+// a Cpu's cycle counter). No-op, no-alloc when the recorder is disabled.
+template <typename Clock>
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, const char* category, const char* name, uint32_t tid,
+             Clock clock)
+      : recorder_(recorder), category_(category), name_(name), tid_(tid),
+        clock_(std::move(clock)), start_(recorder->enabled() ? clock_() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void SetArg(const char* arg_name, uint64_t value) {
+    arg1_name_ = arg_name;
+    arg1_ = value;
+  }
+
+  ~ScopedSpan() {
+    if (recorder_->enabled()) {
+      recorder_->Complete(category_, name_, tid_, start_, clock_(), arg1_name_, arg1_);
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* category_;
+  const char* name_;
+  uint32_t tid_;
+  Clock clock_;
+  Cycles start_;
+  const char* arg1_name_ = nullptr;
+  uint64_t arg1_ = 0;
+};
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_TRACE_H_

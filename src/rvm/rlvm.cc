@@ -43,8 +43,11 @@ uint32_t Rlvm::Read(Cpu* cpu, VirtAddr addr, uint8_t size) { return cpu->Read(ad
 
 void Rlvm::Commit(Cpu* cpu) {
   LVM_CHECK(in_transaction_);
+  obs::ScopedSpan span(&system_->trace(), "rvm", "commit", static_cast<uint32_t>(cpu->id()),
+                       [cpu] { return cpu->now(); });
   system_->SyncLog(cpu, log_);
   LogReader reader(system_->memory(), *log_);
+  span.SetArg("log_records", reader.size());
   // Stream the new values to the RAM-disk redo log. The transaction-id
   // marker record (the write below the data base) maps to the device's
   // commit marker rather than a data record.

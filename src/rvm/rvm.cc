@@ -57,6 +57,9 @@ uint32_t Rvm::Read(Cpu* cpu, VirtAddr addr, uint8_t size) { return cpu->Read(add
 
 void Rvm::Commit(Cpu* cpu) {
   LVM_CHECK(in_transaction_);
+  obs::ScopedSpan span(&system_->trace(), "rvm", "commit", static_cast<uint32_t>(cpu->id()),
+                       [cpu] { return cpu->now(); });
+  span.SetArg("ranges", ranges_.size());
   // Gather new values of every registered range into the redo log.
   disk_->BeginAppend(cpu);
   for (const RangeRecord& range : ranges_) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/interfaces.h"
 
 namespace lvm {
@@ -23,8 +24,8 @@ class Bus {
   Cycles Acquire(Cycles ready, uint32_t busy) {
     Cycles grant = ready > next_free_ ? ready : next_free_;
     next_free_ = grant + busy;
-    busy_cycles_ += busy;
-    ++transactions_;
+    busy_cycles_.Add(busy);
+    transactions_.Increment();
     return grant;
   }
 
@@ -60,14 +61,19 @@ class Bus {
   }
 
   Cycles next_free() const { return next_free_; }
-  uint64_t busy_cycles() const { return busy_cycles_; }
-  uint64_t transactions() const { return transactions_; }
+  uint64_t busy_cycles() const { return busy_cycles_.value(); }
+  uint64_t transactions() const { return transactions_.value(); }
+
+  void RegisterMetrics(obs::MetricsRegistry* registry) const {
+    registry->RegisterCounter("bus.busy_cycles", &busy_cycles_);
+    registry->RegisterCounter("bus.transactions", &transactions_);
+  }
 
  private:
   std::vector<BusSnooper*> snoopers_;
   Cycles next_free_ = 0;
-  uint64_t busy_cycles_ = 0;
-  uint64_t transactions_ = 0;
+  obs::Counter busy_cycles_;
+  obs::Counter transactions_;
 };
 
 }  // namespace lvm

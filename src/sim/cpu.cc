@@ -1,5 +1,7 @@
 #include "src/sim/cpu.h"
 
+#include <string>
+
 namespace lvm {
 
 namespace {
@@ -21,7 +23,7 @@ Translation Cpu::TranslateOrFault(VirtAddr va, AccessKind access) {
   if (translator_->Translate(va, access, &translation)) {
     return translation;
   }
-  ++page_faults_;
+  page_faults_.Increment();
   LVM_CHECK_MSG(fault_handler_ != nullptr, "page fault with no handler installed");
   bool resolved = fault_handler_->OnPageFault(this, va, access);
   LVM_CHECK_MSG(resolved, "unresolvable page fault (bad address)");
@@ -31,7 +33,7 @@ Translation Cpu::TranslateOrFault(VirtAddr va, AccessKind access) {
 }
 
 uint32_t Cpu::Read(VirtAddr va, uint8_t size) {
-  ++reads_;
+  reads_.Increment();
   Translation translation = TranslateOrFault(va, AccessKind::kRead);
   now_ += ChargeRead(translation.paddr);
   return l2_->Read(translation.paddr, size);
@@ -55,10 +57,10 @@ uint32_t Cpu::ChargeRead(PhysAddr paddr) {
 }
 
 void Cpu::Write(VirtAddr va, uint32_t value, uint8_t size) {
-  ++writes_;
+  writes_.Increment();
   Translation translation = TranslateOrFault(va, AccessKind::kWrite);
   if (translation.logged) {
-    ++logged_writes_;
+    logged_writes_.Increment();
   }
   if (translation.write_through) {
     WriteThrough(translation.paddr, value, size, translation.logged);
@@ -95,6 +97,15 @@ void Cpu::DrainWriteBuffer() {
     AdvanceTo(write_buffer_.back());
     write_buffer_.clear();
   }
+}
+
+void Cpu::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  std::string prefix = "cpu" + std::to_string(id_) + ".";
+  registry->RegisterCounter(prefix + "reads", &reads_);
+  registry->RegisterCounter(prefix + "writes", &writes_);
+  registry->RegisterCounter(prefix + "logged_writes", &logged_writes_);
+  registry->RegisterCounter(prefix + "stall_cycles", &stall_cycles_);
+  registry->RegisterCounter(prefix + "page_faults", &page_faults_);
 }
 
 void Cpu::InvalidateL1Page(PhysAddr page_base) {

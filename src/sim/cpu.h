@@ -22,6 +22,7 @@
 
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/bus.h"
 #include "src/sim/interfaces.h"
 #include "src/sim/l2_cache.h"
@@ -54,7 +55,7 @@ class Cpu {
   // to model suspensions and interrupt handling).
   void AdvanceTo(Cycles time) {
     if (time > now_) {
-      stall_cycles_ += time - now_;
+      stall_cycles_.Add(time - now_);
       now_ = time;
     }
   }
@@ -74,11 +75,15 @@ class Cpu {
   void InvalidateL1Page(PhysAddr page_base);
 
   // --- statistics ---
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  uint64_t logged_writes() const { return logged_writes_; }
-  uint64_t stall_cycles() const { return stall_cycles_; }
-  uint64_t page_faults() const { return page_faults_; }
+  uint64_t reads() const { return reads_.value(); }
+  uint64_t writes() const { return writes_.value(); }
+  uint64_t logged_writes() const { return logged_writes_.value(); }
+  uint64_t stall_cycles() const { return stall_cycles_.value(); }
+  uint64_t page_faults() const { return page_faults_.value(); }
+
+  // Registers this CPU's counters as "cpu<id>.<counter>" externals. The
+  // registry must not outlive the CPU.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   Translation TranslateOrFault(VirtAddr va, AccessKind access);
@@ -102,11 +107,11 @@ class Cpu {
   // Direct-mapped on-chip data-cache tag array (timing only).
   std::vector<PhysAddr> l1_tags_;
 
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t logged_writes_ = 0;
-  uint64_t stall_cycles_ = 0;
-  uint64_t page_faults_ = 0;
+  obs::Counter reads_;
+  obs::Counter writes_;
+  obs::Counter logged_writes_;
+  obs::Counter stall_cycles_;
+  obs::Counter page_faults_;
 };
 
 }  // namespace lvm

@@ -27,7 +27,7 @@ void L2Cache::Write(PhysAddr paddr, uint32_t value, uint8_t size) {
       if (source_line != line) {
         // Line fill from the deferred-copy source before the partial write.
         memory_->CopyBlock(line, source_line, kLineSize);
-        ++fills_;
+        fills_.Increment();
       }
     }
     MarkDirty(line, &state);
@@ -38,7 +38,7 @@ void L2Cache::Write(PhysAddr paddr, uint32_t value, uint8_t size) {
 void L2Cache::Touch(PhysAddr paddr) {
   PhysAddr line = LineBase(paddr);
   lines_.try_emplace(line);
-  ++fills_;
+  fills_.Increment();
 }
 
 L2Cache::PageOpResult L2Cache::FlushPage(PhysAddr page_base) {
@@ -53,7 +53,7 @@ L2Cache::PageOpResult L2Cache::FlushPage(PhysAddr page_base) {
     ++result.lines_present;
     if (it->second.dirty) {
       ++result.dirty_lines;
-      ++writebacks_;
+      writebacks_.Increment();
       if (policy_ != nullptr) {
         policy_->OnLineWriteback(line);
       }
@@ -88,7 +88,7 @@ bool L2Cache::FlushLine(PhysAddr paddr) {
   if (it == lines_.end() || !it->second.dirty) {
     return false;
   }
-  ++writebacks_;
+  writebacks_.Increment();
   if (policy_ != nullptr) {
     policy_->OnLineWriteback(line);
   }

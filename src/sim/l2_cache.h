@@ -32,6 +32,7 @@
 
 #include "src/base/check.h"
 #include "src/base/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/interfaces.h"
 #include "src/sim/phys_mem.h"
 
@@ -93,8 +94,13 @@ class L2Cache {
   // true if the line was present.
   bool InvalidateLine(PhysAddr paddr);
 
-  uint64_t fills() const { return fills_; }
-  uint64_t writebacks() const { return writebacks_; }
+  uint64_t fills() const { return fills_.value(); }
+  uint64_t writebacks() const { return writebacks_.value(); }
+
+  void RegisterMetrics(obs::MetricsRegistry* registry) const {
+    registry->RegisterCounter("l2.fills", &fills_);
+    registry->RegisterCounter("l2.writebacks", &writebacks_);
+  }
 
  private:
   struct LineState {
@@ -108,8 +114,8 @@ class L2Cache {
   DeferredCopyPolicy* policy_ = nullptr;
   std::unordered_map<PhysAddr, LineState> lines_;
   std::unordered_map<PhysAddr, uint32_t> dirty_lines_in_page_;
-  uint64_t fills_ = 0;
-  uint64_t writebacks_ = 0;
+  obs::Counter fills_;
+  obs::Counter writebacks_;
 };
 
 }  // namespace lvm

@@ -33,9 +33,21 @@ class Machine {
   const MachineParams& params() const { return params_; }
   PhysicalMemory& memory() { return memory_; }
   Bus& bus() { return bus_; }
+  const Bus& bus() const { return bus_; }
   L2Cache& l2() { return l2_; }
+  const L2Cache& l2() const { return l2_; }
   Cpu& cpu(int i = 0) { return *cpus_.at(static_cast<size_t>(i)); }
+  const Cpu& cpu(int i = 0) const { return *cpus_.at(static_cast<size_t>(i)); }
   int num_cpus() const { return static_cast<int>(cpus_.size()); }
+
+  // Registers bus, L2 and per-CPU counters with `registry`.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const {
+    bus_.RegisterMetrics(registry);
+    l2_.RegisterMetrics(registry);
+    for (const auto& cpu : cpus_) {
+      cpu->RegisterMetrics(registry);
+    }
+  }
 
   // Invalidates the on-chip tags for `page_base` on every CPU (used when the
   // deferred-copy mapping of a page changes underneath the caches).

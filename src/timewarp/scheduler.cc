@@ -92,6 +92,10 @@ void Scheduler::Send(Event event) {
 
 void Scheduler::Rollback(VirtualTime to) {
   ++rollbacks_;
+  obs::ScopedSpan span(&system_->trace(), "timewarp", "rollback",
+                       static_cast<uint32_t>(cpu_->id()), [this] { return cpu_->now(); });
+  span.SetArg("to_vt", to);
+  uint64_t rolled_back_before = events_rolled_back_;
   saver_->Rollback(cpu_, to);
   // Un-process events at or after `to`.
   while (!processed_.empty() && processed_.back().time >= to) {
@@ -108,6 +112,7 @@ void Scheduler::Rollback(VirtualTime to) {
     simulation_->Route(anti);
   }
   lvt_ = processed_.empty() ? saver_checkpoint_floor_ : processed_.back().time;
+  rollback_depth_.Record(events_rolled_back_ - rolled_back_before);
 }
 
 uint32_t Scheduler::TotalObjects() const { return simulation_->total_objects(); }

@@ -16,6 +16,7 @@
 
 #include "src/base/types.h"
 #include "src/lvm/lvm_system.h"
+#include "src/obs/metrics.h"
 #include "src/timewarp/event.h"
 #include "src/timewarp/state_saver.h"
 
@@ -82,6 +83,8 @@ class Scheduler {
   uint64_t rollbacks() const { return rollbacks_; }
   uint64_t events_rolled_back() const { return events_rolled_back_; }
   uint64_t anti_messages_sent() const { return anti_messages_sent_; }
+  // Distribution of events undone per rollback.
+  const obs::Histogram& rollback_depth() const { return rollback_depth_; }
 
  private:
   struct SentRecord {
@@ -115,6 +118,7 @@ class Scheduler {
   uint64_t rollbacks_ = 0;
   uint64_t events_rolled_back_ = 0;
   uint64_t anti_messages_sent_ = 0;
+  obs::Histogram rollback_depth_;
 };
 
 }  // namespace lvm

@@ -1,0 +1,265 @@
+// Tests of the observability layer: metrics registry, trace recorder, JSON
+// helpers — plus the allocation-freedom guarantee on the logger write path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "src/logger/hardware_logger.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/bus.h"
+#include "src/sim/phys_mem.h"
+
+// Global allocation counter for the zero-allocation tests. Replacing the
+// global operators is the only way to observe allocations made inside the
+// library; every other test in this binary simply pays one extra increment
+// per allocation. noinline keeps gcc from inlining the malloc/free pair
+// into new/delete sites, which trips -Wmismatched-new-delete.
+static uint64_t g_allocation_count = 0;
+
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  ++g_allocation_count;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+__attribute__((noinline)) void* operator new[](std::size_t size) { return operator new(size); }
+
+__attribute__((noinline)) void operator delete(void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
+
+namespace lvm {
+namespace {
+
+// --- Histogram ---
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket 0 holds zeros; bucket i (i >= 1) holds [2^(i-1), 2^i).
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(obs::Histogram::BucketIndex((1u << 30) - 1), 30u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1u << 31), 32u);
+  // Values beyond the 32-bit cycle range clamp into the top bucket.
+  EXPECT_EQ(obs::Histogram::BucketIndex(uint64_t{1} << 40), obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(UINT64_MAX), obs::Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMax) {
+  obs::Histogram h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);  // The zero.
+  EXPECT_EQ(h.bucket(2), 1u);  // 3 in [2,4).
+  EXPECT_EQ(h.bucket(3), 1u);  // 5 in [4,8).
+}
+
+// --- TraceRecorder ---
+
+TEST(TraceRecorderTest, DropsNewEventsWhenFull) {
+  obs::TraceRecorder trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.Enable(4);
+  EXPECT_TRUE(trace.enabled());
+  for (uint32_t i = 0; i < 6; ++i) {
+    trace.Instant("test", "event", 0, i * 10);
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped_events(), 2u);
+  // The prefix is kept: the first four events survive.
+  EXPECT_EQ(trace.event(0).ts, 0u);
+  EXPECT_EQ(trace.event(3).ts, 30u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  obs::TraceRecorder trace;
+  trace.Instant("test", "event", 0, 1);
+  trace.Complete("test", "span", 0, 1, 2);
+  trace.CounterValue("test", "gauge", 0, 1, 7);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonIsWellFormed) {
+  obs::TraceRecorder trace;
+  trace.Enable(16);
+  trace.SetThreadName(0, "cpu0");
+  trace.SetThreadName(64, "bus logger");
+  // 25 cycles = 1 microsecond at the 25 MHz clock.
+  trace.Complete("logger", "overload_drain", 64, 25, 100, "fifo_entries", 12);
+  trace.Instant("logger", "record", 64, 50, "paddr", 0x1000);
+  trace.CounterValue("logger", "fifo_occupancy", 64, 75, 3);
+
+  std::string json = trace.ChromeTraceJson();
+  EXPECT_TRUE(obs::ValidateJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);  // 25 cycles.
+  EXPECT_NE(json.find("\"dur\":3.000"), std::string::npos);  // 75 cycles.
+  EXPECT_NE(json.find("\"bus logger\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"fifo_entries\":12"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ScopedSpanRecordsOnDestruction) {
+  obs::TraceRecorder trace;
+  trace.Enable(4);
+  Cycles now = 100;
+  {
+    obs::ScopedSpan span(&trace, "test", "work", 2, [&now] { return now; });
+    span.SetArg("items", 9);
+    now = 300;
+  }
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.event(0).phase, 'X');
+  EXPECT_EQ(trace.event(0).ts, 100u);
+  EXPECT_EQ(trace.event(0).dur, 200u);
+  EXPECT_EQ(trace.event(0).tid, 2u);
+  EXPECT_EQ(trace.event(0).arg1, 9u);
+}
+
+// --- JSON helpers ---
+
+TEST(JsonTest, ValidateJsonAcceptsValidDocuments) {
+  EXPECT_TRUE(obs::ValidateJson("{}"));
+  EXPECT_TRUE(obs::ValidateJson("[]"));
+  EXPECT_TRUE(obs::ValidateJson("[1,2.5,-3e7,\"x\",null,true,false]"));
+  EXPECT_TRUE(obs::ValidateJson("{\"a\":{\"b\":[0]}}"));
+  EXPECT_TRUE(obs::ValidateJson("  {\"a\":1}  \n"));  // Surrounding whitespace.
+}
+
+TEST(JsonTest, ValidateJsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ValidateJson(""));
+  EXPECT_FALSE(obs::ValidateJson("{"));
+  EXPECT_FALSE(obs::ValidateJson("[1,]"));
+  EXPECT_FALSE(obs::ValidateJson("{'a':1}"));
+  EXPECT_FALSE(obs::ValidateJson("{\"a\":01}"));  // Leading zero.
+  EXPECT_FALSE(obs::ValidateJson("{} trailing"));
+  EXPECT_FALSE(obs::ValidateJson("{\"a\"}"));
+}
+
+TEST(JsonTest, StringEscaping) {
+  std::string out;
+  obs::AppendJsonString(&out, "a\"b\\c\n\td");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\td\"");
+  EXPECT_TRUE(obs::ValidateJson(out));
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistryTest, SnapshotDeltaRoundTrip) {
+  obs::MetricsRegistry registry;
+  obs::Counter* requests = registry.counter("requests");
+  obs::Gauge* depth = registry.gauge("depth");
+  obs::Histogram* latency = registry.histogram("latency");
+
+  requests->Add(10);
+  depth->Set(3);
+  latency->Record(4);
+  latency->Record(100);
+  obs::Snapshot before = registry.TakeSnapshot();
+
+  requests->Add(5);
+  depth->Set(7);
+  latency->Record(2);
+  obs::Snapshot after = registry.TakeSnapshot();
+
+  EXPECT_EQ(after.counter("requests"), 15u);
+  EXPECT_EQ(after.counter("no_such_metric"), 0u);  // Absent names read zero.
+
+  obs::Snapshot delta = after.Delta(before);
+  EXPECT_EQ(delta.counter("requests"), 5u);
+  EXPECT_EQ(delta.gauge("depth"), 7);  // Gauges keep the later value.
+  const obs::HistogramSnapshot* hist = delta.histogram("latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_EQ(hist->sum, 2u);
+  EXPECT_EQ(hist->buckets[obs::Histogram::BucketIndex(2)], 1u);
+}
+
+TEST(MetricsRegistryTest, ExternalAndCallbackMetrics) {
+  obs::MetricsRegistry registry;
+  obs::Counter component_counter;  // Lives in a "component", not the registry.
+  registry.RegisterCounter("component.events", &component_counter);
+  uint64_t derived = 42;
+  registry.RegisterCallback("derived.value", [&derived] { return derived; });
+
+  component_counter.Add(7);
+  obs::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counter("component.events"), 7u);
+  EXPECT_EQ(snap.counter("derived.value"), 42u);
+
+  derived = 50;
+  component_counter.Increment();
+  obs::Snapshot snap2 = registry.TakeSnapshot();
+  EXPECT_EQ(snap2.Delta(snap).counter("component.events"), 1u);
+  EXPECT_EQ(snap2.Delta(snap).counter("derived.value"), 8u);
+}
+
+// --- Allocation freedom ---
+
+TEST(ObsAllocationTest, EnabledRecorderWritePathDoesNotAllocate) {
+  obs::TraceRecorder trace;
+  trace.Enable(1024);  // Pre-reserves the full event budget.
+  uint64_t before = g_allocation_count;
+  for (uint32_t i = 0; i < 200; ++i) {
+    trace.Instant("test", "event", 0, i);
+    trace.Complete("test", "span", 0, i, i + 5, "arg", i);
+    trace.CounterValue("test", "gauge", 0, i, i);
+  }
+  EXPECT_EQ(g_allocation_count, before);
+}
+
+TEST(ObsAllocationTest, LoggerWritePathDoesNotAllocateWithTracingOff) {
+  // The ISSUE acceptance bar: with tracing disabled, a logged bus write
+  // through the hardware logger performs zero heap allocations.
+  MachineParams params;
+  PhysicalMemory memory(1u << 20);
+  Bus bus;
+  HardwareLogger logger(&params, &memory, &bus);
+  uint32_t index = 0;
+  logger.log_table().Allocate(LogMode::kNormal, &index);
+  logger.log_table().SetTail(index, 0x40000);
+  logger.page_mapping_table().Load(0x10000, static_cast<uint16_t>(index));
+
+  // Warm-up: any lazy initialization happens here.
+  logger.OnBusWrite(0x10000, 1, 4, true, 0, 0);
+  logger.OnBusWrite(0x10004, 2, 4, true, 1000, 0);
+
+  uint64_t before = g_allocation_count;
+  // Spaced writes: the FIFO drains between them, no overload, and the tail
+  // stays inside its first page (well under kPageSize/16 records).
+  for (uint32_t i = 0; i < 100; ++i) {
+    logger.OnBusWrite(0x10000 + 4 * (i % 1024), i, 4, true, 2000 + i * 1000, 0);
+  }
+  logger.SyncDrain(1000000);
+  EXPECT_EQ(g_allocation_count, before);
+  EXPECT_EQ(logger.records_logged(), 102u);
+}
+
+}  // namespace
+}  // namespace lvm

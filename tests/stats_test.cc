@@ -39,6 +39,74 @@ TEST(SystemStatsTest, CountsTrackActivity) {
   EXPECT_EQ(after.max_cpu_cycles, cpu.now());
 }
 
+TEST(SystemStatsTest, StatsMatchRegistrySnapshot) {
+  // GetStats() is a thin view over the metrics registry: every field must
+  // agree with the raw component counters it replaced.
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(4 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  for (uint32_t i = 0; i < 200; ++i) {
+    cpu.Write(base + 4 * (i % 512), i);
+    cpu.Compute(150);
+  }
+  system.SyncLog(&cpu, log);
+
+  LvmSystem::Stats stats = system.GetStats();
+  const HardwareLogger* logger = system.bus_logger();
+  ASSERT_NE(logger, nullptr);
+  EXPECT_EQ(stats.records_logged, logger->records_logged());
+  EXPECT_EQ(stats.records_dropped, logger->records_dropped());
+  EXPECT_EQ(stats.mapping_faults, logger->mapping_faults());
+  EXPECT_EQ(stats.tail_faults, logger->tail_faults());
+  EXPECT_EQ(stats.writes, cpu.writes());
+  EXPECT_EQ(stats.logged_writes, cpu.logged_writes());
+  EXPECT_EQ(stats.page_faults, cpu.page_faults());
+  EXPECT_EQ(stats.bus_busy_cycles, system.machine().bus().busy_cycles());
+  EXPECT_EQ(stats.overload_suspensions, system.overload_suspensions());
+  EXPECT_EQ(stats.max_cpu_cycles, cpu.now());
+
+  obs::Snapshot snapshot = system.metrics().TakeSnapshot();
+  EXPECT_EQ(snapshot.counter("logger.records_logged"), stats.records_logged);
+  EXPECT_EQ(snapshot.counter("cpu.writes"), stats.writes);
+}
+
+TEST(SystemStatsTest, DeltaReportsPhaseActivity) {
+  LvmSystem system;
+  Cpu& cpu = system.cpu();
+  StdSegment* segment = system.CreateSegment(2 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+
+  for (uint32_t i = 0; i < 30; ++i) {
+    cpu.Write(base + 4 * i, i);
+    cpu.Compute(200);
+  }
+  system.SyncLog(&cpu, log);
+  LvmSystem::Stats phase1 = system.GetStats();
+
+  for (uint32_t i = 0; i < 20; ++i) {
+    cpu.Write(base + 4 * i, i);
+    cpu.Compute(200);
+  }
+  system.SyncLog(&cpu, log);
+  LvmSystem::Stats phase2 = system.GetStats();
+
+  LvmSystem::Stats delta = phase2.Delta(phase1);
+  EXPECT_EQ(delta.writes, 20u);
+  EXPECT_EQ(delta.records_logged, 20u);
+  EXPECT_EQ(delta.max_cpu_cycles, phase2.max_cpu_cycles - phase1.max_cpu_cycles);
+}
+
 TEST(SystemStatsTest, OnChipVariantReports) {
   LvmConfig config;
   config.logger_kind = LoggerKind::kOnChip;

@@ -50,6 +50,7 @@ if [[ "${run_all}" -eq 1 ]]; then
     bench_ablation_msync
     bench_ablation_txlen
     bench_ablation_engine
+    bench_parallel_scaling
     bench_hostlvm
   )
 fi

@@ -4,9 +4,10 @@
 #   1. warnings-as-errors build of everything (LVM_WERROR=ON);
 #   2. clang-tidy over src/ (skipped with a notice if clang-tidy is not
 #      installed -- the container image does not ship it);
-#   3. the whole test suite under AddressSanitizer + UBSan.
+#   3. the whole test suite under AddressSanitizer + UBSan;
+#   4. the threaded tests (parallel engine, stress) under ThreadSanitizer.
 #
-# Usage: scripts/check.sh [--tidy-only|--asan-only]
+# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only]
 # Build trees go under build-check/ (kept out of git by .gitignore).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,13 +16,13 @@ mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_werror_build() {
-  echo "== [1/3] -Werror build =="
+  echo "== [1/4] -Werror build =="
   cmake -B build-check/werror -S . -DLVM_WERROR=ON >/dev/null
   cmake --build build-check/werror -j "${jobs}"
 }
 
 run_tidy() {
-  echo "== [2/3] clang-tidy =="
+  echo "== [2/4] clang-tidy =="
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "clang-tidy not installed; skipping lint (CI runs it)."
     return 0
@@ -40,7 +41,7 @@ run_tidy() {
 }
 
 run_asan_tests() {
-  echo "== [3/3] ASan+UBSan test suite =="
+  echo "== [3/4] ASan+UBSan test suite =="
   cmake -B build-check/asan -S . \
     -DLVM_SANITIZE=address,undefined -DLVM_WERROR=ON >/dev/null
   cmake --build build-check/asan -j "${jobs}"
@@ -51,10 +52,25 @@ run_asan_tests() {
     ctest --output-on-failure -j "${jobs}" )
 }
 
+run_tsan_tests() {
+  echo "== [4/4] TSan threaded tests =="
+  # The parallel engine is the only subsystem that runs real threads; TSan
+  # and ASan are mutually exclusive, so it gets its own tree and only the
+  # threaded test binaries.
+  cmake -B build-check/tsan -S . \
+    -DLVM_SANITIZE=thread -DLVM_WERROR=ON >/dev/null
+  cmake --build build-check/tsan -j "${jobs}" \
+    --target par_determinism_test par_schedule_fuzz_test stress_test
+  ( cd build-check/tsan &&
+    TSAN_OPTIONS=halt_on_error=1 \
+    ctest --output-on-failure -j "${jobs}" -R '^ParDeterminism|^ParScheduleFuzz|^Parallel' )
+}
+
 case "${mode}" in
   --tidy-only) run_werror_build && run_tidy ;;
   --asan-only) run_asan_tests ;;
-  all)         run_werror_build && run_tidy && run_asan_tests ;;
-  *) echo "usage: $0 [--tidy-only|--asan-only]" >&2; exit 2 ;;
+  --tsan-only) run_tsan_tests ;;
+  all)         run_werror_build && run_tidy && run_asan_tests && run_tsan_tests ;;
+  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only]" >&2; exit 2 ;;
 esac
 echo "check.sh: all requested passes clean"

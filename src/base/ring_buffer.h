@@ -2,9 +2,15 @@
 //
 // Models the hardware FIFOs of the bus logger (write FIFO and log-record
 // FIFO): bounded, no allocation after construction, strict FIFO order.
+//
+// Mutation is single-threaded, but size() is an atomic read so an occupancy
+// gauge (LvmSystem's "logger.fifo_occupancy" callback) can be snapshotted
+// from another thread without tearing. For a cross-thread producer/consumer
+// queue use par::SpscRing instead.
 #ifndef SRC_BASE_RING_BUFFER_H_
 #define SRC_BASE_RING_BUFFER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -19,15 +25,15 @@ class RingBuffer {
   explicit RingBuffer(size_t capacity) : slots_(capacity) { LVM_CHECK(capacity > 0); }
 
   size_t capacity() const { return slots_.size(); }
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  bool full() const { return size_ == slots_.size(); }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() == slots_.size(); }
 
   // Appends an element. The buffer must not be full.
   void Push(T value) {
     LVM_CHECK_MSG(!full(), "RingBuffer overflow");
-    slots_[(head_ + size_) % slots_.size()] = std::move(value);
-    ++size_;
+    slots_[(head_ + size()) % slots_.size()] = std::move(value);
+    size_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Returns the oldest element without removing it.
@@ -41,19 +47,19 @@ class RingBuffer {
     LVM_CHECK_MSG(!empty(), "RingBuffer underflow");
     T value = std::move(slots_[head_]);
     head_ = (head_ + 1) % slots_.size();
-    --size_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return value;
   }
 
   void Clear() {
     head_ = 0;
-    size_ = 0;
+    size_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::vector<T> slots_;
   size_t head_ = 0;
-  size_t size_ = 0;
+  std::atomic<size_t> size_{0};
 };
 
 }  // namespace lvm

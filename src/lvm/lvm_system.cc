@@ -472,6 +472,22 @@ void LvmSystem::OnOverload(Cycles interrupt_time, Cycles drain_complete) {
                   drain_complete);
 }
 
+void LvmSystem::AdoptAppendOffset(LogSegment* log, uint32_t append_offset) {
+  LVM_CHECK(log != nullptr);
+  log->append_offset = append_offset;
+  if (log->log_index != LogSegment::kUnregistered) {
+    SetTailToAppendOffset(log);
+  }
+}
+
+void LvmSystem::NoteOverloadSuspension(Cycles interrupt_time, Cycles resume) {
+  overload_suspensions_.Increment();
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    machine_.cpu(i).AdvanceTo(resume);
+  }
+  trace_.Complete("kernel", "overload_suspend", 0, interrupt_time, resume);
+}
+
 void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
   uint32_t log_index = log->log_index;
   LVM_CHECK(log_index != LogSegment::kUnregistered);

@@ -167,6 +167,18 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // "extend in advance" discipline of Section 3.2.
   void EnsureLogCapacity(LogSegment* log, uint32_t pages);
 
+  // --- parallel engine hooks (src/par) ---
+  // Publishes a shard-maintained append offset back into the kernel
+  // bookkeeping and re-points the hardware tail to match, so SyncLog /
+  // LogReader see records a per-CPU shard appended without going through
+  // the bus logger (whose tail would otherwise clobber the offset back).
+  void AdoptAppendOffset(LogSegment* log, uint32_t append_offset);
+  // Records an overload suspension initiated by the sharded logger path:
+  // counts it and advances every CPU clock to `resume` (drain completion
+  // plus kernel overhead, precomputed by the engine). Call only while the
+  // workers are parked — this writes other CPUs' clocks.
+  void NoteOverloadSuspension(Cycles interrupt_time, Cycles resume);
+
   // --- deferred copy / checkpointing ---
   // Table 1: AddressSpace::resetDeferredCopy(start, end). Undoes all
   // modifications to deferred-copy destinations in [start, end): the next
@@ -199,7 +211,9 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   uint64_t logging_faults_handled() const { return logging_faults_handled_.value(); }
 
   // A one-shot snapshot of system-wide counters (for monitoring tools and
-  // experiment reports). A thin view over the metrics registry.
+  // experiment reports). A thin view over the metrics registry. Safe to
+  // call from another thread while the parallel engine's workers run: every
+  // registered metric and callback reads relaxed atomics.
   struct Stats {
     uint64_t records_logged = 0;
     uint64_t records_dropped = 0;

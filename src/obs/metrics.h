@@ -13,11 +13,18 @@
 // registry's last TakeSnapshot(); LvmSystem declares its registry first so it
 // is destroyed last.
 //
+// Thread safety: recording and reading are lock-free relaxed atomics, so a
+// snapshot may be taken while the parallel engine's workers are recording
+// (LvmSystem::GetStats() during a run). A snapshot is a consistent read of
+// each individual metric, not an atomic cut across metrics; histogram
+// count/sum/min/max may be mid-update relative to each other by one record.
+//
 // Snapshot/Delta: counters and histogram counts subtract, gauges keep the
 // later value — so `after.Delta(before)` reports per-phase activity.
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <functional>
@@ -31,23 +38,23 @@ namespace obs {
 
 class Counter {
  public:
-  void Increment() { ++value_; }
-  void Add(uint64_t n) { value_ += n; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(int64_t v) { value_ = v; }
-  void Add(int64_t n) { value_ += n; }
-  int64_t value() const { return value_; }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 // Power-of-two bucketed histogram: bucket 0 holds zeros, bucket i (i >= 1)
@@ -63,29 +70,43 @@ class Histogram {
   }
 
   void Record(uint64_t value) {
-    ++buckets_[BucketIndex(value)];
-    ++count_;
-    sum_ += value;
-    if (count_ == 1 || value < min_) {
-      min_ = value;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    AtomicMin(&min_, value);
+    AtomicMax(&max_, value);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == kEmptyMin ? 0 : v;
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint64_t kEmptyMin = ~uint64_t{0};
+
+  static void AtomicMin(std::atomic<uint64_t>* slot, uint64_t value) {
+    uint64_t cur = slot->load(std::memory_order_relaxed);
+    while (value < cur &&
+           !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
     }
-    if (value > max_) {
-      max_ = value;
+  }
+  static void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+    uint64_t cur = slot->load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
     }
   }
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return min_; }
-  uint64_t max() const { return max_; }
-  uint64_t bucket(size_t i) const { return buckets_[i]; }
-
- private:
-  uint64_t buckets_[kBuckets] = {};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{kEmptyMin};
+  std::atomic<uint64_t> max_{0};
 };
 
 struct HistogramSnapshot {
@@ -143,6 +164,8 @@ class MetricsRegistry {
   void RegisterHistogram(const std::string& name, const Histogram* external);
 
   // Registers a counter computed at snapshot time (e.g. a sum over CPUs).
+  // The callback must be safe to invoke while workers run if snapshots are
+  // taken during parallel execution (read atomics, not mutable containers).
   void RegisterCallback(const std::string& name, std::function<uint64_t()> fn);
 
   Snapshot TakeSnapshot() const;

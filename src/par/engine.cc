@@ -1,0 +1,254 @@
+#include "src/par/engine.h"
+
+#include <string>
+
+#include "src/base/check.h"
+#include "src/base/rng.h"
+
+namespace lvm {
+namespace par {
+
+bool ParallelEngine::ForbidFaults::OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) {
+  (void)cpu;
+  (void)access;
+  LVM_CHECK_MSG(false,
+                "page fault during free-running parallel execution; pre-fault the "
+                "working set (LvmSystem::TouchRegion) before Start()");
+  (void)va;
+  return false;
+}
+
+ParallelEngine::ParallelEngine(LvmSystem* system, const EngineConfig& config)
+    : system_(system), config_(config) {
+  LVM_CHECK(system != nullptr);
+  if (config.shard.has_value()) {
+    shard_config_ = *config.shard;
+  } else {
+    const MachineParams& params = system->machine().params();
+    shard_config_.ring_capacity = params.logger_fifo_capacity;
+    shard_config_.overload_threshold = params.logger_fifo_threshold;
+    shard_config_.service_active_cycles = params.logger_service_active_cycles;
+    shard_config_.service_drain_cycles = params.logger_service_drain_cycles;
+    shard_config_.timestamp_divider = params.timestamp_divider;
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  if (started_ && !joined_) {
+    Join();
+  }
+}
+
+int ParallelEngine::AddWorker(LogSegment* shard_log, StepFn fn) {
+  LVM_CHECK(!started_);
+  LVM_CHECK(fn != nullptr);
+  int id = static_cast<int>(workers_.size());
+  LVM_CHECK_MSG(id < system_->machine().num_cpus(), "more workers than CPUs");
+  Worker worker;
+  worker.fn = std::move(fn);
+  worker.log = shard_log;
+  if (config_.mode == Mode::kParallel) {
+    LVM_CHECK_MSG(shard_log != nullptr, "parallel mode needs a per-worker log segment");
+    worker.shard = std::make_unique<LogShard>(id, shard_log, &system_->memory(), shard_config_,
+                                              this);
+    worker.shard->set_occupancy_histogram(&shard_occupancy_);
+  } else {
+    LVM_CHECK_MSG(shard_log == nullptr,
+                  "deterministic mode logs through the normal AttachLog machinery");
+  }
+  workers_.push_back(std::move(worker));
+  return id;
+}
+
+void ParallelEngine::RegisterMetrics() {
+  obs::MetricsRegistry* registry = &system_->metrics();
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (workers_[i].shard != nullptr) {
+      workers_[i].shard->RegisterMetrics(registry, "par.shard" + std::to_string(i) + ".");
+    }
+  }
+  registry->RegisterCounter("par.overload_events", &overload_events_);
+  registry->RegisterHistogram("par.shard_occupancy", &shard_occupancy_);
+  registry->RegisterHistogram("par.overload_drain_records", &overload_drain_records_);
+}
+
+void ParallelEngine::Start() {
+  LVM_CHECK(!started_ && !joined_);
+  LVM_CHECK_MSG(!workers_.empty(), "no workers registered");
+  started_ = true;
+  active_workers_ = static_cast<int>(workers_.size());
+  if (config_.mode == Mode::kParallel) {
+    LVM_CHECK_MSG(system_->onchip_logger() == nullptr,
+                  "parallel mode shards the bus-logger path; on-chip logging is unsupported");
+    // Detach the bus snooper: logged writes flow through the per-CPU shards
+    // instead of the global write FIFO.
+    if (system_->bus_logger() != nullptr) {
+      system_->machine().bus().RemoveSnooper(system_->bus_logger());
+    }
+    system_->machine().bus().SetFreeRunning(true);
+    system_->machine().l2().SetConcurrent(true);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      Cpu& cpu = system_->cpu(static_cast<int>(i));
+      cpu.set_log_sink(workers_[i].shard.get());
+      cpu.set_fault_handler(&forbid_faults_);
+    }
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      workers_[i].thread = std::thread(&ParallelEngine::ParallelWorkerBody, this,
+                                       static_cast<int>(i));
+    }
+  } else {
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      workers_[i].thread = std::thread(&ParallelEngine::DeterministicWorkerBody, this,
+                                       static_cast<int>(i));
+    }
+    scheduler_ = std::thread(&ParallelEngine::SchedulerBody, this);
+  }
+}
+
+void ParallelEngine::Join() {
+  LVM_CHECK(started_ && !joined_);
+  for (Worker& worker : workers_) {
+    worker.thread.join();
+  }
+  if (scheduler_.joinable()) {
+    scheduler_.join();
+  }
+  joined_ = true;
+  if (config_.mode != Mode::kParallel) {
+    return;
+  }
+  // Drain the leftover ring entries at the active service rate and publish
+  // each shard's append offset into the kernel bookkeeping, then restore
+  // serial operation.
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = workers_[i];
+    Cpu& cpu = system_->cpu(static_cast<int>(i));
+    worker.shard->DrainAll(cpu.now(), shard_config_.service_active_cycles);
+    system_->AdoptAppendOffset(worker.log, worker.shard->append_offset());
+    cpu.set_log_sink(nullptr);
+    cpu.set_fault_handler(system_);
+  }
+  system_->machine().bus().SetFreeRunning(false);
+  system_->machine().l2().SetConcurrent(false);
+  if (system_->bus_logger() != nullptr) {
+    system_->machine().bus().AddSnooper(system_->bus_logger());
+  }
+}
+
+void ParallelEngine::ParallelWorkerBody(int worker_id) {
+  Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  Cpu& cpu = system_->cpu(worker_id);
+  uint64_t step = 0;
+  for (;; ++step) {
+    // Per-step checkpoint: park if an overload suspension is in progress.
+    if (suspend_requested_.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (suspend_requested_.load(std::memory_order_relaxed)) {
+        ParkForOverload(lk, worker_id);
+      }
+    }
+    if (!worker.fn(cpu, step)) {
+      break;
+    }
+  }
+  worker.stats.steps = step + 1;
+  std::lock_guard<std::mutex> lk(mu_);
+  --active_workers_;
+  cv_.notify_all();
+}
+
+void ParallelEngine::OnShardOverload(int worker_id, Cycles now) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (suspend_requested_.load(std::memory_order_relaxed)) {
+    // Another worker is already running the event; wait it out (our ring is
+    // drained by that initiator).
+    ParkForOverload(lk, worker_id);
+    return;
+  }
+  // Become the initiator: park every other active worker, then drain all
+  // rings at the overload drain rate — the cross-thread form of the FIFO
+  // overload interrupt (Section 3.1.3).
+  suspend_requested_.store(true, std::memory_order_release);
+  overload_events_.Increment();
+  workers_[static_cast<size_t>(worker_id)].stats.suspensions++;
+  cv_.wait(lk, [this] { return parked_ + 1 == active_workers_; });
+  uint64_t pending = 0;
+  for (Worker& worker : workers_) {
+    pending += worker.shard->ring_occupancy();
+  }
+  Cycles drain_complete = now;
+  for (Worker& worker : workers_) {
+    Cycles done = worker.shard->DrainAll(now, shard_config_.service_drain_cycles);
+    if (done > drain_complete) {
+      drain_complete = done;
+    }
+  }
+  overload_drain_records_.Record(pending);
+  Cycles resume = drain_complete + system_->machine().params().overload_kernel_cycles;
+  system_->NoteOverloadSuspension(now, resume);
+  workers_[static_cast<size_t>(worker_id)].stats.resumes++;
+  suspend_requested_.store(false, std::memory_order_release);
+  ++overload_generation_;
+  cv_.notify_all();
+}
+
+void ParallelEngine::ParkForOverload(std::unique_lock<std::mutex>& lk, int worker_id) {
+  WorkerStats& stats = workers_[static_cast<size_t>(worker_id)].stats;
+  stats.suspensions++;
+  ++parked_;
+  uint64_t generation = overload_generation_;
+  cv_.notify_all();
+  cv_.wait(lk, [this, generation] { return overload_generation_ != generation; });
+  --parked_;
+  stats.resumes++;
+}
+
+void ParallelEngine::DeterministicWorkerBody(int worker_id) {
+  Worker& worker = workers_[static_cast<size_t>(worker_id)];
+  Cpu& cpu = system_->cpu(worker_id);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this, worker_id] { return current_worker_ == worker_id; });
+    uint32_t quantum = quantum_;
+    lk.unlock();
+    bool alive = true;
+    for (uint32_t i = 0; i < quantum && alive; ++i) {
+      alive = worker.fn(cpu, worker.stats.steps);
+      ++worker.stats.steps;
+    }
+    lk.lock();
+    current_worker_ = -1;
+    worker_done_ = !alive;
+    cv_.notify_all();
+    if (!alive) {
+      return;
+    }
+  }
+}
+
+void ParallelEngine::SchedulerBody() {
+  // The schedule is a pure function of the seed: which worker runs next and
+  // for how many steps comes only from this generator, so identical seeds
+  // replay identical interleavings (and identical logs and metrics).
+  Rng rng(config_.seed);
+  std::vector<int> alive;
+  alive.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    alive.push_back(static_cast<int>(i));
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!alive.empty()) {
+    size_t pick = static_cast<size_t>(rng.Uniform(alive.size()));
+    quantum_ = static_cast<uint32_t>(
+        rng.UniformRange(config_.min_quantum, config_.max_quantum));
+    current_worker_ = alive[pick];
+    cv_.notify_all();
+    cv_.wait(lk, [this] { return current_worker_ == -1; });
+    if (worker_done_) {
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+}
+
+}  // namespace par
+}  // namespace lvm

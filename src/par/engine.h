@@ -1,0 +1,169 @@
+// Parallel multi-CPU execution engine: runs each simulated Cpu on its own
+// host thread.
+//
+// Two modes (DESIGN.md §10):
+//
+//   kParallel — free-running throughput mode. The engine detaches the bus
+//   logger from the bus, installs a per-CPU LogShard as each worker's
+//   LoggedWriteSink (the sharded write FIFO with batched tail append), puts
+//   the bus into free-running arbitration and the L2 into striped-lock
+//   concurrent mode, and lets the workers run unsynchronized. Overload
+//   interrupts are the serialized exception: the shard that crosses its
+//   ring threshold parks every running worker, drains all rings at the
+//   drain rate, charges the kernel suspend/resume overhead through
+//   LvmSystem::NoteOverloadSuspension, and releases the workers — each
+//   active worker is suspended and resumed exactly once per event. Page
+//   faults are unsupported while free-running (pre-fault the working set
+//   with LvmSystem::TouchRegion); a stray fault aborts with a clear
+//   message rather than racing.
+//
+//   kDeterministic — a seeded scheduler hands an execution token to one
+//   worker at a time for a random quantum of steps, drawn from Rng(seed)
+//   only. Workers still live on real threads (the same code paths as
+//   parallel mode) but exactly one runs at any instant, through the
+//   *unmodified* machine: bus arbitration, bus logger, overloads and page
+//   faults behave exactly as in single-threaded simulation, so the same
+//   seed yields bit-identical log contents and metrics on every run, and
+//   the schedule fuzzer can replay a failing seed.
+//
+// Workers are registered with AddWorker before Start. Worker i drives
+// Cpu i with its step function until it returns false. Start/Join are
+// split so a monitor thread can hammer LvmSystem::GetStats() mid-run.
+#ifndef SRC_PAR_ENGINE_H_
+#define SRC_PAR_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/lvm/lvm_system.h"
+#include "src/obs/metrics.h"
+#include "src/par/log_shard.h"
+
+namespace lvm {
+namespace par {
+
+enum class Mode : uint8_t { kParallel, kDeterministic };
+
+struct EngineConfig {
+  Mode mode = Mode::kParallel;
+  // Deterministic mode: schedule seed and the step-quantum range granted
+  // per scheduling decision.
+  uint64_t seed = 1;
+  uint32_t min_quantum = 1;
+  uint32_t max_quantum = 16;
+  // Parallel mode: shard tuning. Unset fields default from MachineParams
+  // (ring capacity/threshold from the logger FIFO, service rates, divider).
+  std::optional<ShardConfig> shard;
+};
+
+class ParallelEngine : public ShardOverloadPort {
+ public:
+  // One step of a worker's program; return false when done. `step` counts
+  // calls for this worker.
+  using StepFn = std::function<bool(Cpu& cpu, uint64_t step)>;
+
+  struct WorkerStats {
+    uint64_t steps = 0;
+    uint64_t suspensions = 0;  // Overload parks (exactly one per event while active).
+    uint64_t resumes = 0;      // Must equal suspensions after Join: no lost wakeups.
+  };
+
+  ParallelEngine(LvmSystem* system, const EngineConfig& config);
+  ~ParallelEngine() override;
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  // Registers worker i (driving Cpu i). In parallel mode `shard_log` is the
+  // worker's private log segment (required); in deterministic mode logging
+  // goes through the normal AttachLog machinery and `shard_log` must be
+  // null. Returns the worker id.
+  int AddWorker(LogSegment* shard_log, StepFn fn);
+
+  // Registers "par.*" metrics (per-shard counters, overload counter, the
+  // occupancy and drain histograms) with the system's registry. Optional;
+  // call after AddWorker and at most once per LvmSystem.
+  void RegisterMetrics();
+
+  // Reconfigures the machine for the selected mode and launches the worker
+  // threads (and the deterministic scheduler).
+  void Start();
+  // Waits for every worker, drains and publishes the shards (parallel
+  // mode), and restores the machine to serial single-thread operation.
+  void Join();
+  void Run() {
+    Start();
+    Join();
+  }
+
+  // --- results (stable after Join) ---
+  const WorkerStats& worker_stats(int worker_id) const {
+    return workers_.at(static_cast<size_t>(worker_id)).stats;
+  }
+  LogShard* shard(int worker_id) { return workers_.at(static_cast<size_t>(worker_id)).shard.get(); }
+  uint64_t overload_events() const { return overload_events_.value(); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // --- ShardOverloadPort ---
+  void OnShardOverload(int worker_id, Cycles now) override;
+
+ private:
+  struct Worker {
+    StepFn fn;
+    LogSegment* log = nullptr;
+    std::unique_ptr<LogShard> shard;
+    std::thread thread;
+    WorkerStats stats;
+  };
+
+  // Aborts on any page fault while free-running (see header comment).
+  class ForbidFaults : public PageFaultHandler {
+   public:
+    bool OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) override;
+  };
+
+  void ParallelWorkerBody(int worker_id);
+  void DeterministicWorkerBody(int worker_id);
+  void SchedulerBody();
+  // Parks the calling worker until the in-progress overload event resolves.
+  // Requires `lk` held; `worker_id` is the parking worker.
+  void ParkForOverload(std::unique_lock<std::mutex>& lk, int worker_id);
+
+  LvmSystem* const system_;
+  const EngineConfig config_;
+  ShardConfig shard_config_;
+  ForbidFaults forbid_faults_;
+  std::vector<Worker> workers_;
+  bool started_ = false;
+  bool joined_ = false;
+
+  // --- overload suspension protocol (parallel mode) ---
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> suspend_requested_{false};
+  int active_workers_ = 0;   // Workers whose thread has not finished.
+  int parked_ = 0;           // Workers waiting out the current event.
+  uint64_t overload_generation_ = 0;
+
+  // --- deterministic scheduler state (under mu_) ---
+  std::thread scheduler_;
+  int current_worker_ = -1;  // Token holder; -1 while the scheduler decides.
+  uint32_t quantum_ = 0;
+  bool worker_done_ = false;
+
+  obs::Counter overload_events_;
+  obs::Histogram shard_occupancy_;       // Ring occupancy at each batch flush.
+  obs::Histogram overload_drain_records_;  // Records drained per overload event.
+};
+
+}  // namespace par
+}  // namespace lvm
+
+#endif  // SRC_PAR_ENGINE_H_

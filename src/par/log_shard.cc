@@ -1,0 +1,114 @@
+#include "src/par/log_shard.h"
+
+#include "src/base/check.h"
+#include "src/sim/cpu.h"
+
+namespace lvm {
+namespace par {
+
+LogShard::LogShard(int worker_id, LogSegment* log, PhysicalMemory* memory,
+                   const ShardConfig& config, ShardOverloadPort* port)
+    : worker_id_(worker_id),
+      log_(log),
+      memory_(memory),
+      config_(config),
+      port_(port),
+      ring_(config.ring_capacity),
+      append_offset_(log->append_offset) {
+  LVM_CHECK(log != nullptr && memory != nullptr);
+  LVM_CHECK_MSG(config.overload_threshold <= config.ring_capacity,
+                "overload threshold beyond ring capacity");
+  LVM_CHECK(config.batch_records > 0);
+  staging_.reserve(config.batch_records);
+}
+
+void LogShard::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t value,
+                             uint8_t size) {
+  (void)va;  // Records carry physical addresses, like the bus logger's.
+  Cycles now = cpu->now();
+  Entry entry{paddr, value, now, size};
+  if (!ring_.TryPush(entry)) {
+    // Only reachable when the threshold equals the capacity (or the port is
+    // detached): forced synchronous drain, the FIFO-full stall.
+    ring_full_stalls_.Increment();
+    DrainAll(now, config_.service_active_cycles);
+    bool pushed = ring_.TryPush(entry);
+    LVM_CHECK(pushed);
+  }
+  DrainReady(now);
+  if (port_ != nullptr && ring_.size() >= config_.overload_threshold) {
+    port_->OnShardOverload(worker_id_, now);
+  }
+}
+
+void LogShard::DrainReady(Cycles now) {
+  while (!ring_.empty()) {
+    const Entry& front = ring_.Front();
+    Cycles start = front.time > service_free_ ? front.time : service_free_;
+    Cycles done = start + config_.service_active_cycles;
+    if (done > now) {
+      break;
+    }
+    service_free_ = done;
+    Entry entry;
+    ring_.TryPop(&entry);
+    Stage(entry);
+  }
+}
+
+Cycles LogShard::DrainAll(Cycles now, uint32_t per_record_cycles) {
+  Entry entry;
+  while (ring_.TryPop(&entry)) {
+    Cycles start = entry.time > service_free_ ? entry.time : service_free_;
+    service_free_ = start + per_record_cycles;
+    Stage(entry);
+  }
+  FlushBatch();
+  return service_free_ > now ? service_free_ : now;
+}
+
+void LogShard::Stage(const Entry& entry) {
+  LogRecord record;
+  record.addr = entry.paddr;
+  record.value = entry.value;
+  record.size = entry.size;
+  record.flags = 0;
+  record.timestamp = static_cast<uint32_t>(entry.time / config_.timestamp_divider);
+  staging_.push_back(record);
+  if (staging_.size() >= config_.batch_records) {
+    FlushBatch();
+  }
+}
+
+void LogShard::FlushBatch() {
+  if (staging_.empty()) {
+    return;
+  }
+  if (occupancy_histogram_ != nullptr) {
+    occupancy_histogram_->Record(ring_.size());
+  }
+  // Batched append: one frame lookup per record but a single bookkeeping
+  // advance per batch; the kernel-visible tail moves only at publish time.
+  uint32_t offset = append_offset_;
+  for (const LogRecord& record : staging_) {
+    uint32_t frame_index = offset / kPageSize;
+    while (frame_index >= log_->page_count()) {
+      log_->Extend(1);  // Thread-safe: only this shard grows this segment.
+    }
+    StoreLogRecord(memory_, log_->FrameAt(frame_index) + PageOffset(offset), record);
+    offset += kLogRecordSize;
+  }
+  records_appended_.Add(staging_.size());
+  batches_.Increment();
+  append_offset_ = offset;
+  staging_.clear();
+}
+
+void LogShard::RegisterMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const {
+  registry->RegisterCounter(prefix + "records_appended", &records_appended_);
+  registry->RegisterCounter(prefix + "batches", &batches_);
+  registry->RegisterCounter(prefix + "ring_full_stalls", &ring_full_stalls_);
+}
+
+}  // namespace par
+}  // namespace lvm

@@ -1,0 +1,139 @@
+// Per-CPU log shard: the parallel engine's replacement for the bus
+// logger's global write FIFO (Section 3.1.2's consecutive per-processor
+// logs, driven from the CPU side).
+//
+// Each worker's Cpu gets a LogShard installed as its LoggedWriteSink. A
+// logged write pushes {paddr, value, size, time} into the shard's bounded
+// SPSC ring and lazily retires entries that the modeled DMA engine has had
+// time to service (logger_service_active_cycles per record, exactly the
+// hardware logger's service model), appending 16-byte LogRecords in
+// batches directly into the shard's own LogSegment frames. The segment is
+// extended through the (mutex-protected) frame allocator when it runs out
+// of frames, mirroring the kernel's auto-extend discipline.
+//
+// When the ring occupancy reaches the overload threshold the shard calls
+// into the engine's ShardOverloadPort — the cross-thread analogue of the
+// FIFO overload interrupt (Section 3.1.3): the engine parks every worker,
+// drains all rings at the faster logger_service_drain_cycles rate, charges
+// the kernel suspend/resume overhead and releases the workers.
+//
+// Thread model: OnLoggedWrite and DrainReady run on the owning worker's
+// thread. DrainAll additionally runs on the overload initiator's thread
+// while the owner is parked (the engine's mutex orders that hand-off) and
+// on the engine thread after Join.
+#ifndef SRC_PAR_LOG_SHARD_H_
+#define SRC_PAR_LOG_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/logger/log_record.h"
+#include "src/obs/metrics.h"
+#include "src/par/spsc_ring.h"
+#include "src/sim/interfaces.h"
+#include "src/sim/phys_mem.h"
+#include "src/vm/segment.h"
+
+namespace lvm {
+namespace par {
+
+// Engine-side handler for a shard crossing its overload threshold. Called
+// on the producing worker's thread; returns after the rings are drained
+// and the clocks advanced (the writer was suspended and resumed).
+class ShardOverloadPort {
+ public:
+  virtual ~ShardOverloadPort() = default;
+  virtual void OnShardOverload(int worker_id, Cycles now) = 0;
+};
+
+struct ShardConfig {
+  // Ring capacity and overload threshold, defaulted by the engine from
+  // MachineParams::logger_fifo_capacity / logger_fifo_threshold.
+  size_t ring_capacity = 819;
+  uint32_t overload_threshold = 512;
+  // Records staged per batched append (the batched tail advancement).
+  uint32_t batch_records = 32;
+  // DMA service rates, from MachineParams.
+  uint32_t service_active_cycles = 27;
+  uint32_t service_drain_cycles = 18;
+  // LogRecord timestamps are time / timestamp_divider (6.25 MHz ticks).
+  uint32_t timestamp_divider = 4;
+};
+
+class LogShard : public LoggedWriteSink {
+ public:
+  LogShard(int worker_id, LogSegment* log, PhysicalMemory* memory, const ShardConfig& config,
+           ShardOverloadPort* port);
+
+  LogShard(const LogShard&) = delete;
+  LogShard& operator=(const LogShard&) = delete;
+
+  // --- producer side (owning worker's thread) ---
+  void OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t value,
+                     uint8_t size) override;
+
+  // --- consumer side ---
+  // Retires every ring entry the DMA engine completed by `now` into the
+  // staging batch, flushing full batches to the log segment.
+  void DrainReady(Cycles now);
+  // Drains the ring completely at `per_record_cycles` per record and
+  // flushes the staging batch. Returns the drain completion time (>= the
+  // running service_free horizon). Used by the engine for overload drains
+  // (drain rate) and after Join (active rate).
+  Cycles DrainAll(Cycles now, uint32_t per_record_cycles);
+
+  int worker_id() const { return worker_id_; }
+  LogSegment* log() const { return log_; }
+  // Bytes appended so far; the engine publishes this into the kernel's
+  // bookkeeping via LvmSystem::AdoptAppendOffset after the run.
+  uint32_t append_offset() const { return append_offset_; }
+  size_t ring_occupancy() const { return ring_.size(); }
+
+  uint64_t records_appended() const { return records_appended_.value(); }
+  uint64_t batches() const { return batches_.value(); }
+  uint64_t ring_full_stalls() const { return ring_full_stalls_.value(); }
+
+  // Registers "<prefix>records_appended", "<prefix>batches" and
+  // "<prefix>ring_full_stalls" as external counters.
+  void RegisterMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const;
+
+  // Engine-owned histogram fed with the ring occupancy at each batch flush
+  // (the contention pressure on the sharded log path). Optional.
+  void set_occupancy_histogram(obs::Histogram* histogram) { occupancy_histogram_ = histogram; }
+
+ private:
+  struct Entry {
+    PhysAddr paddr = 0;
+    uint32_t value = 0;
+    Cycles time = 0;
+    uint8_t size = 0;
+  };
+
+  void Stage(const Entry& entry);
+  void FlushBatch();
+
+  const int worker_id_;
+  LogSegment* const log_;
+  PhysicalMemory* const memory_;
+  const ShardConfig config_;
+  ShardOverloadPort* const port_;
+
+  SpscRing<Entry> ring_;
+  std::vector<LogRecord> staging_;
+  // DMA engine availability: the service completion time of the last
+  // retired record (the hardware logger's service_free_).
+  Cycles service_free_ = 0;
+  uint32_t append_offset_ = 0;
+
+  obs::Histogram* occupancy_histogram_ = nullptr;
+  obs::Counter records_appended_;
+  obs::Counter batches_;
+  obs::Counter ring_full_stalls_;
+};
+
+}  // namespace par
+}  // namespace lvm
+
+#endif  // SRC_PAR_LOG_SHARD_H_

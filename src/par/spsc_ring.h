@@ -1,0 +1,91 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// This is the parallel engine's replacement for the bus logger's global
+// write FIFO: each simulated CPU (one host thread) produces into its own
+// ring, and the same shard retires entries in batches, so the logged-write
+// hot path never touches a shared lock. The producer and consumer are
+// usually the same thread (the shard services its ring lazily, like the
+// hardware logger's DMA engine); during an overload suspension the
+// initiating worker drains every shard's ring while the other workers are
+// parked — the engine's mutex provides the happens-before edge for that
+// hand-off, and the acquire/release indices make the steady-state path
+// safe if producer and consumer ever run on different threads.
+//
+// Capacity is rounded up to a power of two; one slot is sacrificed to
+// distinguish full from empty.
+#ifndef SRC_PAR_SPSC_RING_H_
+#define SRC_PAR_SPSC_RING_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace lvm {
+namespace par {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity)
+      : slots_(std::bit_ceil(capacity + 1)), mask_(slots_.size() - 1) {
+    LVM_CHECK(capacity > 0);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Usable capacity (at least the constructor argument).
+  size_t capacity() const { return slots_.size() - 1; }
+
+  size_t size() const {
+    size_t head = head_.load(std::memory_order_acquire);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() == capacity(); }
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t next = (tail + 1) & mask_;
+    if (next == head_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    slots_[tail] = value;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: oldest entry without removing it. The ring must not be
+  // empty (check Empty()/TryPop instead when racing a producer).
+  const T& Front() const {
+    LVM_CHECK_MSG(!empty(), "SpscRing underflow");
+    return slots_[head_.load(std::memory_order_relaxed)];
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *out = slots_[head];
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  const size_t mask_;
+  std::atomic<size_t> head_{0};  // Next slot to pop (consumer-owned).
+  std::atomic<size_t> tail_{0};  // Next slot to fill (producer-owned).
+};
+
+}  // namespace par
+}  // namespace lvm
+
+#endif  // SRC_PAR_SPSC_RING_H_

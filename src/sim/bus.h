@@ -5,9 +5,27 @@
 // time. Registered snoopers (the bus logger) observe every write together
 // with the page-mapping-controlled "logged" signal, exactly as the
 // prototype's logger snoops the ParaDiGM bus (Section 3.1).
+//
+// Thread safety: arbitration uses an atomic compare-exchange on next_free_
+// and the counters are atomic, so concurrent Acquire calls are safe. The
+// snooper list must be quiescent while multiple threads issue writes; the
+// parallel engine (src/par) detaches the bus logger before going
+// free-running and routes logged writes through per-CPU shards instead.
+//
+// Free-running mode (parallel engine only): each worker advances its own
+// simulated clock, so the clocks of concurrently running CPUs are mutually
+// unordered. Arbitrating against a shared next_free_ would couple them —
+// a worker scheduled late on the host would inherit grant times from a
+// worker that already simulated far into the future, destroying per-CPU
+// cycle accounting. SetFreeRunning(true) therefore grants every request at
+// its ready time (no cross-CPU arbitration) while still accumulating
+// busy-cycle/transaction counters; same-line ordering is enforced by the
+// striped L2/data-path locks, and the deterministic engine mode keeps exact
+// arbitration by running one CPU at a time.
 #ifndef SRC_SIM_BUS_H_
 #define SRC_SIM_BUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -22,10 +40,17 @@ class Bus {
   // Acquires the bus for `busy` cycles no earlier than `ready`. Returns the
   // grant time.
   Cycles Acquire(Cycles ready, uint32_t busy) {
-    Cycles grant = ready > next_free_ ? ready : next_free_;
-    next_free_ = grant + busy;
     busy_cycles_.Add(busy);
     transactions_.Increment();
+    if (free_running_.load(std::memory_order_relaxed)) {
+      return ready;
+    }
+    Cycles observed = next_free_.load(std::memory_order_relaxed);
+    Cycles grant;
+    do {
+      grant = ready > observed ? ready : observed;
+    } while (!next_free_.compare_exchange_weak(observed, grant + busy,
+                                               std::memory_order_relaxed));
     return grant;
   }
 
@@ -60,7 +85,12 @@ class Bus {
     }
   }
 
-  Cycles next_free() const { return next_free_; }
+  // Parallel engine only; see the header comment. Must be toggled while no
+  // transactions are in flight.
+  void SetFreeRunning(bool on) { free_running_.store(on, std::memory_order_relaxed); }
+  bool free_running() const { return free_running_.load(std::memory_order_relaxed); }
+
+  Cycles next_free() const { return next_free_.load(std::memory_order_relaxed); }
   uint64_t busy_cycles() const { return busy_cycles_.value(); }
   uint64_t transactions() const { return transactions_.value(); }
 
@@ -71,7 +101,8 @@ class Bus {
 
  private:
   std::vector<BusSnooper*> snoopers_;
-  Cycles next_free_ = 0;
+  std::atomic<Cycles> next_free_{0};
+  std::atomic<bool> free_running_{false};
   obs::Counter busy_cycles_;
   obs::Counter transactions_;
 };

@@ -35,7 +35,7 @@ Translation Cpu::TranslateOrFault(VirtAddr va, AccessKind access) {
 uint32_t Cpu::Read(VirtAddr va, uint8_t size) {
   reads_.Increment();
   Translation translation = TranslateOrFault(va, AccessKind::kRead);
-  now_ += ChargeRead(translation.paddr);
+  Bump(ChargeRead(translation.paddr));
   return l2_->Read(translation.paddr, size);
 }
 
@@ -48,11 +48,11 @@ uint32_t Cpu::ChargeRead(PhysAddr paddr) {
   l1_tags_[index] = line;
   if (l2_->Contains(paddr)) {
     // Block fill from the second-level cache over the bus.
-    bus_->Acquire(now_, params_->cache_block_write_bus);
+    bus_->Acquire(now(), params_->cache_block_write_bus);
     return params_->l2_read_hit_cycles;
   }
   l2_->Touch(paddr);
-  bus_->Acquire(now_, params_->cache_block_write_bus);
+  bus_->Acquire(now(), params_->cache_block_write_bus);
   return params_->memory_read_cycles;
 }
 
@@ -65,7 +65,7 @@ void Cpu::Write(VirtAddr va, uint32_t value, uint8_t size) {
   if (translation.write_through) {
     WriteThrough(translation.paddr, value, size, translation.logged);
   } else {
-    now_ += params_->unlogged_write_cycles;
+    Bump(params_->unlogged_write_cycles);
   }
   if (translation.logged && log_sink_ != nullptr) {
     log_sink_->OnLoggedWrite(this, va, translation.paddr, value, size);
@@ -75,7 +75,7 @@ void Cpu::Write(VirtAddr va, uint32_t value, uint8_t size) {
 
 void Cpu::WriteThrough(PhysAddr paddr, uint32_t value, uint8_t size, bool logged) {
   // Retire buffered writes whose bus transactions completed.
-  while (!write_buffer_.empty() && write_buffer_.front() <= now_) {
+  while (!write_buffer_.empty() && write_buffer_.front() <= now()) {
     write_buffer_.pop_front();
   }
   // Stall when the buffer is full (Section 4.5.2: the write-through penalty
@@ -86,8 +86,8 @@ void Cpu::WriteThrough(PhysAddr paddr, uint32_t value, uint8_t size, bool logged
   }
   // CPU-side cost of issuing the buffered write, then the bus transfer
   // drains in the background (Table 2: 6 cycles total, 5 of them bus).
-  now_ += params_->word_write_through_total - params_->word_write_through_bus;
-  Cycles grant = bus_->Write(now_, params_->word_write_through_bus, paddr, value, size, logged,
+  Bump(params_->word_write_through_total - params_->word_write_through_bus);
+  Cycles grant = bus_->Write(now(), params_->word_write_through_bus, paddr, value, size, logged,
                              id_);
   write_buffer_.push_back(grant + params_->word_write_through_bus);
 }

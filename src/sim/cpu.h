@@ -16,6 +16,7 @@
 #ifndef SRC_SIM_CPU_H_
 #define SRC_SIM_CPU_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -39,7 +40,10 @@ class Cpu {
   Cpu& operator=(const Cpu&) = delete;
 
   int id() const { return id_; }
-  Cycles now() const { return now_; }
+  // Safe to read from any thread (metrics callbacks snapshot it while the
+  // parallel engine's workers run); only the owning worker thread and the
+  // serialized kernel paths write it.
+  Cycles now() const { return now_.load(std::memory_order_relaxed); }
 
   // The VM layer installs these before the CPU touches memory.
   void set_translator(AddressTranslator* translator) { translator_ = translator; }
@@ -49,18 +53,19 @@ class Cpu {
 
   // Spends `cycles` of pure computation. Buffered write-throughs drain in
   // the background during this time.
-  void Compute(Cycles cycles) { now_ += cycles; }
+  void Compute(Cycles cycles) { Bump(cycles); }
 
   // Advances the clock to `time` if it is in the future (used by the kernel
   // to model suspensions and interrupt handling).
   void AdvanceTo(Cycles time) {
-    if (time > now_) {
-      stall_cycles_.Add(time - now_);
-      now_ = time;
+    Cycles current = now();
+    if (time > current) {
+      stall_cycles_.Add(time - current);
+      now_.store(time, std::memory_order_relaxed);
     }
   }
   // Charges `cycles` of kernel overhead to this CPU.
-  void AddCycles(Cycles cycles) { now_ += cycles; }
+  void AddCycles(Cycles cycles) { Bump(cycles); }
 
   // Loads `size` (1, 2, or 4) bytes at virtual address `va`.
   uint32_t Read(VirtAddr va, uint8_t size = 4);
@@ -90,6 +95,10 @@ class Cpu {
   void WriteThrough(PhysAddr paddr, uint32_t value, uint8_t size, bool logged);
   uint32_t ChargeRead(PhysAddr paddr);
 
+  void Bump(Cycles cycles) {
+    now_.store(now_.load(std::memory_order_relaxed) + cycles, std::memory_order_relaxed);
+  }
+
   const int id_;
   const MachineParams* params_;
   Bus* bus_;
@@ -99,7 +108,7 @@ class Cpu {
   PageFaultHandler* fault_handler_ = nullptr;
   LoggedWriteSink* log_sink_ = nullptr;
 
-  Cycles now_ = 0;
+  std::atomic<Cycles> now_{0};
 
   // Completion (bus-drain) times of buffered write-through words.
   std::deque<Cycles> write_buffer_;

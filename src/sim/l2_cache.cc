@@ -9,8 +9,10 @@ PhysAddr Identity(PhysAddr paddr) { return paddr; }
 uint32_t L2Cache::Read(PhysAddr paddr, uint8_t size) const {
   LVM_DCHECK(paddr % size == 0);
   PhysAddr line = LineBase(paddr);
-  auto it = lines_.find(line);
-  if (it != lines_.end() && it->second.dirty) {
+  const Stripe& stripe = StripeFor(paddr);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  auto it = stripe.lines.find(line);
+  if (it != stripe.lines.end() && it->second.dirty) {
     return memory_->Read(paddr, size);
   }
   PhysAddr resolved = policy_ != nullptr ? policy_->ResolveClean(paddr) : Identity(paddr);
@@ -20,7 +22,9 @@ uint32_t L2Cache::Read(PhysAddr paddr, uint8_t size) const {
 void L2Cache::Write(PhysAddr paddr, uint32_t value, uint8_t size) {
   LVM_DCHECK(paddr % size == 0);
   PhysAddr line = LineBase(paddr);
-  LineState& state = lines_[line];
+  Stripe& stripe = StripeFor(paddr);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  LineState& state = stripe.lines[line];
   if (!state.dirty) {
     if (policy_ != nullptr) {
       PhysAddr source_line = policy_->ResolveClean(line);
@@ -30,24 +34,48 @@ void L2Cache::Write(PhysAddr paddr, uint32_t value, uint8_t size) {
         fills_.Increment();
       }
     }
-    MarkDirty(line, &state);
+    MarkDirty(stripe, line, &state);
   }
   memory_->Write(paddr, value, size);
 }
 
+bool L2Cache::Contains(PhysAddr paddr) const {
+  const Stripe& stripe = StripeFor(paddr);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  return stripe.lines.find(LineBase(paddr)) != stripe.lines.end();
+}
+
 void L2Cache::Touch(PhysAddr paddr) {
   PhysAddr line = LineBase(paddr);
-  lines_.try_emplace(line);
+  Stripe& stripe = StripeFor(paddr);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  stripe.lines.try_emplace(line);
   fills_.Increment();
+}
+
+bool L2Cache::LineDirty(PhysAddr paddr) const {
+  const Stripe& stripe = StripeFor(paddr);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  auto it = stripe.lines.find(LineBase(paddr));
+  return it != stripe.lines.end() && it->second.dirty;
+}
+
+bool L2Cache::PageDirty(PhysAddr page_base) const {
+  const Stripe& stripe = StripeFor(page_base);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  auto it = stripe.dirty_in_page.find(PageBase(page_base));
+  return it != stripe.dirty_in_page.end() && it->second > 0;
 }
 
 L2Cache::PageOpResult L2Cache::FlushPage(PhysAddr page_base) {
   page_base = PageBase(page_base);
+  Stripe& stripe = StripeFor(page_base);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
   PageOpResult result;
   for (uint32_t i = 0; i < kLinesPerPage; ++i) {
     PhysAddr line = page_base + i * kLineSize;
-    auto it = lines_.find(line);
-    if (it == lines_.end()) {
+    auto it = stripe.lines.find(line);
+    if (it == stripe.lines.end()) {
       continue;
     }
     ++result.lines_present;
@@ -57,7 +85,7 @@ L2Cache::PageOpResult L2Cache::FlushPage(PhysAddr page_base) {
       if (policy_ != nullptr) {
         policy_->OnLineWriteback(line);
       }
-      MarkClean(line, &it->second);
+      MarkClean(stripe, line, &it->second);
     }
   }
   return result;
@@ -65,62 +93,68 @@ L2Cache::PageOpResult L2Cache::FlushPage(PhysAddr page_base) {
 
 L2Cache::PageOpResult L2Cache::InvalidatePage(PhysAddr page_base) {
   page_base = PageBase(page_base);
+  Stripe& stripe = StripeFor(page_base);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
   PageOpResult result;
   for (uint32_t i = 0; i < kLinesPerPage; ++i) {
     PhysAddr line = page_base + i * kLineSize;
-    auto it = lines_.find(line);
-    if (it == lines_.end()) {
+    auto it = stripe.lines.find(line);
+    if (it == stripe.lines.end()) {
       continue;
     }
     ++result.lines_present;
     if (it->second.dirty) {
       ++result.dirty_lines;
-      MarkClean(line, &it->second);
+      MarkClean(stripe, line, &it->second);
     }
-    lines_.erase(it);
+    stripe.lines.erase(it);
   }
   return result;
 }
 
 bool L2Cache::FlushLine(PhysAddr paddr) {
   PhysAddr line = LineBase(paddr);
-  auto it = lines_.find(line);
-  if (it == lines_.end() || !it->second.dirty) {
+  Stripe& stripe = StripeFor(paddr);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  auto it = stripe.lines.find(line);
+  if (it == stripe.lines.end() || !it->second.dirty) {
     return false;
   }
   writebacks_.Increment();
   if (policy_ != nullptr) {
     policy_->OnLineWriteback(line);
   }
-  MarkClean(line, &it->second);
+  MarkClean(stripe, line, &it->second);
   return true;
 }
 
 bool L2Cache::InvalidateLine(PhysAddr paddr) {
   PhysAddr line = LineBase(paddr);
-  auto it = lines_.find(line);
-  if (it == lines_.end()) {
+  Stripe& stripe = StripeFor(paddr);
+  StripeGuard guard(stripe, concurrent(), &stripe_contention_);
+  auto it = stripe.lines.find(line);
+  if (it == stripe.lines.end()) {
     return false;
   }
-  MarkClean(line, &it->second);
-  lines_.erase(it);
+  MarkClean(stripe, line, &it->second);
+  stripe.lines.erase(it);
   return true;
 }
 
-void L2Cache::MarkDirty(PhysAddr line, LineState* state) {
+void L2Cache::MarkDirty(Stripe& stripe, PhysAddr line, LineState* state) {
   if (!state->dirty) {
     state->dirty = true;
-    ++dirty_lines_in_page_[PageBase(line)];
+    ++stripe.dirty_in_page[PageBase(line)];
   }
 }
 
-void L2Cache::MarkClean(PhysAddr line, LineState* state) {
+void L2Cache::MarkClean(Stripe& stripe, PhysAddr line, LineState* state) {
   if (state->dirty) {
     state->dirty = false;
-    auto it = dirty_lines_in_page_.find(PageBase(line));
-    LVM_DCHECK(it != dirty_lines_in_page_.end() && it->second > 0);
+    auto it = stripe.dirty_in_page.find(PageBase(line));
+    LVM_DCHECK(it != stripe.dirty_in_page.end() && it->second > 0);
     if (--it->second == 0) {
-      dirty_lines_in_page_.erase(it);
+      stripe.dirty_in_page.erase(it);
     }
   }
 }

@@ -24,10 +24,22 @@
 // natural evictions do not occur in any experiment. Timing for fills,
 // writebacks and invalidations is charged by the callers using
 // MachineParams.
+//
+// Concurrency: line/page state is sharded into kStripes stripes keyed by
+// page number, so a page's lines and its dirty count always live in one
+// stripe. SetConcurrent(true) (the parallel engine, before workers start)
+// arms the per-stripe mutexes; in the default serial mode no locks are
+// taken and behavior is bit-identical to the unsharded cache. Same-line
+// and same-page accesses from different workers serialize on the stripe —
+// these are the paper's rare shared-line cases. DeferredCopyPolicy
+// callbacks run under the stripe lock; during a concurrent run the policy
+// map must be read-only (the kernel mutates it only in serialized paths).
 #ifndef SRC_SIM_L2_CACHE_H_
 #define SRC_SIM_L2_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "src/base/check.h"
@@ -40,11 +52,18 @@ namespace lvm {
 
 class L2Cache {
  public:
+  static constexpr size_t kStripes = 64;
+
   explicit L2Cache(PhysicalMemory* memory) : memory_(memory) {}
 
   // Installs the deferred-copy resolution policy (owned by the VM layer).
   // Passing nullptr restores identity resolution.
   void set_policy(DeferredCopyPolicy* policy) { policy_ = policy; }
+
+  // Arms (or disarms) the per-stripe locks. Toggle only while no other
+  // thread is accessing the cache.
+  void SetConcurrent(bool on) { concurrent_.store(on, std::memory_order_relaxed); }
+  bool concurrent() const { return concurrent_.load(std::memory_order_relaxed); }
 
   // Functional read honoring deferred-copy resolution. `paddr` must be
   // naturally aligned for `size`.
@@ -55,23 +74,15 @@ class L2Cache {
   void Write(PhysAddr paddr, uint32_t value, uint8_t size);
 
   // Presence tracking for hit/miss timing.
-  bool Contains(PhysAddr paddr) const {
-    return lines_.find(LineBase(paddr)) != lines_.end();
-  }
+  bool Contains(PhysAddr paddr) const;
   // Installs a (clean) line after a fill, unless already present.
   void Touch(PhysAddr paddr);
 
-  bool LineDirty(PhysAddr paddr) const {
-    auto it = lines_.find(LineBase(paddr));
-    return it != lines_.end() && it->second.dirty;
-  }
+  bool LineDirty(PhysAddr paddr) const;
 
   // O(1) per-page dirty check: the prototype checks the per-page dirty bit
   // rather than inspecting every line's tags (Section 3.3).
-  bool PageDirty(PhysAddr page_base) const {
-    auto it = dirty_lines_in_page_.find(PageBase(page_base));
-    return it != dirty_lines_in_page_.end() && it->second > 0;
-  }
+  bool PageDirty(PhysAddr page_base) const;
 
   struct PageOpResult {
     uint32_t lines_present = 0;
@@ -96,10 +107,12 @@ class L2Cache {
 
   uint64_t fills() const { return fills_.value(); }
   uint64_t writebacks() const { return writebacks_.value(); }
+  uint64_t stripe_contention() const { return stripe_contention_.value(); }
 
   void RegisterMetrics(obs::MetricsRegistry* registry) const {
     registry->RegisterCounter("l2.fills", &fills_);
     registry->RegisterCounter("l2.writebacks", &writebacks_);
+    registry->RegisterCounter("l2.stripe_contention", &stripe_contention_);
   }
 
  private:
@@ -107,15 +120,53 @@ class L2Cache {
     bool dirty = false;
   };
 
-  void MarkDirty(PhysAddr line, LineState* state);
-  void MarkClean(PhysAddr line, LineState* state);
+  // A page's line states and its dirty-line count live in the same stripe,
+  // so every page-scoped operation takes exactly one lock.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<PhysAddr, LineState> lines;          // keyed by LineBase
+    std::unordered_map<PhysAddr, uint32_t> dirty_in_page;   // keyed by PageBase
+  };
+
+  // Holds the stripe lock only in concurrent mode; counts contended
+  // acquisitions (the shared-line serialization the paper calls rare).
+  class StripeGuard {
+   public:
+    StripeGuard(const Stripe& stripe, bool concurrent, obs::Counter* contended)
+        : mu_(concurrent ? &stripe.mu : nullptr) {
+      if (mu_ != nullptr && !mu_->try_lock()) {
+        contended->Increment();
+        mu_->lock();
+      }
+    }
+    ~StripeGuard() {
+      if (mu_ != nullptr) {
+        mu_->unlock();
+      }
+    }
+    StripeGuard(const StripeGuard&) = delete;
+    StripeGuard& operator=(const StripeGuard&) = delete;
+
+   private:
+    std::mutex* mu_;
+  };
+
+  Stripe& StripeFor(PhysAddr paddr) { return stripes_[PageNumber(paddr) % kStripes]; }
+  const Stripe& StripeFor(PhysAddr paddr) const {
+    return stripes_[PageNumber(paddr) % kStripes];
+  }
+
+  void MarkDirty(Stripe& stripe, PhysAddr line, LineState* state);
+  void MarkClean(Stripe& stripe, PhysAddr line, LineState* state);
 
   PhysicalMemory* memory_;
   DeferredCopyPolicy* policy_ = nullptr;
-  std::unordered_map<PhysAddr, LineState> lines_;
-  std::unordered_map<PhysAddr, uint32_t> dirty_lines_in_page_;
+  Stripe stripes_[kStripes];
+  std::atomic<bool> concurrent_{false};
   obs::Counter fills_;
   obs::Counter writebacks_;
+  // Incremented from const read paths too.
+  mutable obs::Counter stripe_contention_;
 };
 
 }  // namespace lvm

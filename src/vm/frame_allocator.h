@@ -1,8 +1,13 @@
 // Physical page-frame allocator for the simulated machine.
+//
+// Allocate/Free are serialized by an internal mutex so the parallel
+// engine's log shards can extend their log segments concurrently; frame
+// allocation is a cold path, so an uncontended lock is fine.
 #ifndef SRC_VM_FRAME_ALLOCATOR_H_
 #define SRC_VM_FRAME_ALLOCATOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/base/check.h"
@@ -26,6 +31,7 @@ class FrameAllocator {
   // Allocates a zero-filled frame. Aborts when physical memory is exhausted
   // (the simulated experiments size memory generously).
   PhysAddr Allocate() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!free_list_.empty()) {
       PhysAddr frame = free_list_.back();
       free_list_.pop_back();
@@ -41,14 +47,17 @@ class FrameAllocator {
 
   void Free(PhysAddr frame) {
     LVM_DCHECK(PageOffset(frame) == 0);
+    std::lock_guard<std::mutex> lock(mu_);
     free_list_.push_back(frame);
   }
 
   uint32_t allocated_frames() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return (next_ / kPageSize) - 1 - static_cast<uint32_t>(free_list_.size());
   }
 
  private:
+  mutable std::mutex mu_;
   PhysicalMemory* memory_;
   PhysAddr next_;
   std::vector<PhysAddr> free_list_;

@@ -1,10 +1,16 @@
 // Stress and corner-case tests of the logger hardware paths: direct-mapped
-// page-mapping-table displacement, bus contention from log-record DMA, and
-// resource exhaustion.
+// page-mapping-table displacement, bus contention from log-record DMA,
+// resource exhaustion, and the parallel engine under overload and
+// concurrent stats readers.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "src/lvm/log_reader.h"
 #include "src/lvm/lvm_system.h"
+#include "src/par/engine.h"
 
 namespace lvm {
 namespace {
@@ -150,6 +156,135 @@ TEST(ResourceExhaustionTest, HugeLogGrowsAcrossManyPages) {
   EXPECT_EQ(reader.At(0).value, 0u);
   EXPECT_EQ(reader.At(kWrites / 2).value, kWrites / 2);
   EXPECT_EQ(reader.At(kWrites - 1).value, kWrites - 1);
+}
+
+TEST(ParallelOverloadStressTest, EveryWorkerSuspendsAndResumesExactlyOnce) {
+  // Tiny shard rings plus unpaced writers force many overload events while
+  // four free-running workers hammer their shards. The suspension protocol
+  // must park and release every active worker exactly once per event — a
+  // lost wakeup shows up as suspensions != resumes (or a hung test) — and
+  // the drains must not lose records.
+  constexpr int kWorkers = 4;
+  constexpr uint32_t kWrites = 4000;
+  LvmConfig config;
+  config.num_cpus = kWorkers;
+  LvmSystem system(config);
+  AddressSpace* as = system.CreateAddressSpace();
+  std::vector<Region*> regions;
+  std::vector<LogSegment*> logs;
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < kWorkers; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(kPageSize));
+    bases.push_back(as->BindRegion(region));
+    LogSegment* log = system.CreateLogSegment(4);
+    system.AttachLog(region, log);
+    regions.push_back(region);
+    logs.push_back(log);
+  }
+  for (int i = 0; i < kWorkers; ++i) {
+    system.Activate(as, i);
+  }
+
+  par::EngineConfig engine_config;
+  engine_config.mode = par::Mode::kParallel;
+  par::ShardConfig shard;
+  shard.ring_capacity = 128;
+  shard.overload_threshold = 64;
+  engine_config.shard = shard;
+  par::ParallelEngine engine(&system, engine_config);
+  engine.RegisterMetrics();
+  for (int i = 0; i < kWorkers; ++i) {
+    system.TouchRegion(&system.cpu(i), regions[i]);
+    VirtAddr base = bases[i];
+    engine.AddWorker(logs[i], [base](Cpu& cpu, uint64_t step) {
+      // No compute pacing: the ring fills far faster than the service rate.
+      cpu.Write(base + 4 * (step % 1024), static_cast<uint32_t>(step));
+      return step + 1 < kWrites;
+    });
+  }
+  engine.Run();
+
+  EXPECT_GT(engine.overload_events(), 0u);
+  uint64_t total_suspensions = 0;
+  for (int i = 0; i < kWorkers; ++i) {
+    const par::ParallelEngine::WorkerStats& stats = engine.worker_stats(i);
+    EXPECT_EQ(stats.suspensions, stats.resumes) << "worker " << i << " lost a wakeup";
+    total_suspensions += stats.suspensions;
+  }
+  // Every event suspends at least its initiator.
+  EXPECT_GE(total_suspensions, engine.overload_events());
+  for (int i = 0; i < kWorkers; ++i) {
+    LogReader reader(system.memory(), *logs[i]);
+    ASSERT_EQ(reader.size(), kWrites) << "worker " << i;
+    EXPECT_EQ(logs[i]->records_lost, 0u);
+    // Program order survives the drains.
+    EXPECT_EQ(reader.At(0).value, 0u);
+    EXPECT_EQ(reader.At(kWrites - 1).value, kWrites - 1);
+  }
+}
+
+TEST(ParallelStatsStressTest, GetStatsIsSafeWhileWorkersRun) {
+  // Hammer GetStats() and TakeSnapshot() from the main thread while the
+  // parallel workers run: every metric reads relaxed atomics, so the
+  // snapshots must be tear-free (monotone counters) and race-free under
+  // TSan.
+  constexpr int kWorkers = 2;
+  constexpr uint32_t kWrites = 30000;
+  LvmConfig config;
+  config.num_cpus = kWorkers;
+  LvmSystem system(config);
+  AddressSpace* as = system.CreateAddressSpace();
+  std::vector<Region*> regions;
+  std::vector<LogSegment*> logs;
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < kWorkers; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(kPageSize));
+    bases.push_back(as->BindRegion(region));
+    LogSegment* log = system.CreateLogSegment(4);
+    system.AttachLog(region, log);
+    regions.push_back(region);
+    logs.push_back(log);
+  }
+  for (int i = 0; i < kWorkers; ++i) {
+    system.Activate(as, i);
+  }
+
+  par::ParallelEngine engine(&system, par::EngineConfig{});
+  engine.RegisterMetrics();
+  std::atomic<int> done{0};
+  for (int i = 0; i < kWorkers; ++i) {
+    system.TouchRegion(&system.cpu(i), regions[i]);
+    VirtAddr base = bases[i];
+    engine.AddWorker(logs[i], [base, &done](Cpu& cpu, uint64_t step) {
+      cpu.Write(base + 4 * (step % 1024), static_cast<uint32_t>(step));
+      cpu.Compute(10);
+      if (step + 1 < kWrites) {
+        return true;
+      }
+      done.fetch_add(1, std::memory_order_release);
+      return false;
+    });
+  }
+  engine.Start();
+  uint64_t last_writes = 0;
+  uint64_t reads = 0;
+  while (done.load(std::memory_order_acquire) < kWorkers) {
+    LvmSystem::Stats stats = system.GetStats();
+    EXPECT_GE(stats.writes, last_writes) << "writes counter went backwards";
+    EXPECT_GE(stats.writes, stats.logged_writes);
+    last_writes = stats.writes;
+    obs::Snapshot snapshot = system.metrics().TakeSnapshot();
+    // The snapshot is taken after GetStats, so the monotone counter can
+    // only have grown.
+    EXPECT_GE(snapshot.counter("cpu.writes"), last_writes);
+    ++reads;
+    std::this_thread::yield();
+  }
+  engine.Join();
+  EXPECT_GT(reads, 0u);
+  LvmSystem::Stats final_stats = system.GetStats();
+  EXPECT_EQ(final_stats.writes, static_cast<uint64_t>(kWorkers) * kWrites);
+  EXPECT_EQ(final_stats.logged_writes, static_cast<uint64_t>(kWorkers) * kWrites);
 }
 
 }  // namespace

@@ -10,6 +10,12 @@
 // nothing about the engine). With per-CPU shards replacing the global
 // write FIFO and the bus free-running, workers' simulated timelines are
 // independent and throughput must scale near-linearly.
+//
+// Each worker count is run twice: detector-off (the baseline rows CI greps
+// for) and with the guest race detector enabled. The detector charges no
+// simulated cycles, so racecheck_overhead_x must stay at 1.0 in simulated
+// time (the acceptance bound is 2.5x); the detector's real cost is host
+// wall time, reported per row.
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -33,12 +39,16 @@ struct ScalingPoint {
   Cycles makespan = 0;  // max over CPUs of cycles consumed.
   double records_per_sim_sec = 0;
   double wall_ms = 0;
+  uint64_t race_reports = 0;
 };
 
-ScalingPoint RunWorkers(int workers) {
+ScalingPoint RunWorkers(int workers, bool racecheck) {
   LvmConfig config;
   config.num_cpus = workers;
   LvmSystem system(config);
+  if (racecheck) {
+    system.EnableRaceDetection();
+  }
   AddressSpace* as = system.CreateAddressSpace();
   std::vector<Region*> regions;
   std::vector<LogSegment*> logs;
@@ -85,6 +95,7 @@ ScalingPoint RunWorkers(int workers) {
   point.wall_ms =
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - start)
           .count();
+  point.race_reports = static_cast<uint64_t>(system.GetRaceReports().size());
   return point;
 }
 
@@ -95,19 +106,22 @@ void Run(const bench::Options& opts) {
   bench::Header("Parallel Scaling: Sharded Log Append Throughput", claim);
   bench::JsonTable table("parallel_scaling", claim);
 
-  std::printf("%-8s %-12s %-14s %-18s %-10s %-10s\n", "workers", "records", "makespan",
-              "records/sim-sec", "speedup", "wall ms");
+  std::printf("%-8s %-12s %-14s %-18s %-10s %-10s %-12s\n", "workers", "records", "makespan",
+              "records/sim-sec", "speedup", "wall ms", "racecheck x");
   double baseline = 0;
   for (int workers : {1, 2, 4, 8}) {
-    ScalingPoint point = RunWorkers(workers);
+    ScalingPoint point = RunWorkers(workers, /*racecheck=*/false);
+    ScalingPoint checked = RunWorkers(workers, /*racecheck=*/true);
     if (workers == 1) {
       baseline = point.records_per_sim_sec;
     }
     double speedup = point.records_per_sim_sec / baseline;
-    bench::Row("%-8d %-12llu %-14llu %-18.0f %-10.2f %-10.2f", point.workers,
+    // Simulated-time slowdown factor with the detector on (1.0 = free).
+    double overhead = point.records_per_sim_sec / checked.records_per_sim_sec;
+    bench::Row("%-8d %-12llu %-14llu %-18.0f %-10.2f %-10.2f %-12.2f", point.workers,
                static_cast<unsigned long long>(point.records),
                static_cast<unsigned long long>(point.makespan), point.records_per_sim_sec,
-               speedup, point.wall_ms);
+               speedup, point.wall_ms, overhead);
     table.BeginRow();
     table.Value("workers", point.workers);
     table.Value("records", point.records);
@@ -115,6 +129,10 @@ void Run(const bench::Options& opts) {
     table.Value("records_per_sim_sec", point.records_per_sim_sec);
     table.Value("speedup_vs_1", speedup);
     table.Value("wall_ms", point.wall_ms);
+    table.Value("racecheck_records_per_sim_sec", checked.records_per_sim_sec);
+    table.Value("racecheck_overhead_x", overhead);
+    table.Value("racecheck_wall_ms", checked.wall_ms);
+    table.Value("racecheck_reports", checked.race_reports);
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);

@@ -5,9 +5,12 @@
 #   2. clang-tidy over src/ (skipped with a notice if clang-tidy is not
 #      installed -- the container image does not ship it);
 #   3. the whole test suite under AddressSanitizer + UBSan;
-#   4. the threaded tests (parallel engine, stress) under ThreadSanitizer.
+#   4. the threaded tests (parallel engine, race detector, stress) under
+#      ThreadSanitizer, selected by the `threaded` ctest label;
+#   5. (--racecheck-only) the guest race detector suite, exporting its
+#      JSON report to bench-results/RACE_REPORT.json for the CI artifact.
 #
-# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only]
+# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only|--racecheck-only]
 # Build trees go under build-check/ (kept out of git by .gitignore).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,12 +35,22 @@ run_tidy() {
   [ -f "${db}/compile_commands.json" ] || {
     cmake -B "${db}" -S . >/dev/null
   }
+  # Capture the exit status explicitly: under `set -e` a failing linter at
+  # the end of a function body would otherwise be swallowed by the caller's
+  # `&&` chain context in some bash versions -- fail loudly instead.
+  local files status=0
+  files="$(find src -name '*.cc' | wc -l | tr -d ' ')"
   if command -v run-clang-tidy >/dev/null 2>&1; then
-    run-clang-tidy -p "${db}" -quiet "src/.*\.cc$"
+    run-clang-tidy -p "${db}" -quiet "src/.*\.cc$" || status=$?
   else
     find src -name '*.cc' -print0 |
-      xargs -0 -P "${jobs}" -n 1 clang-tidy -p "${db}" --quiet
+      xargs -0 -P "${jobs}" -n 1 clang-tidy -p "${db}" --quiet || status=$?
   fi
+  if [ "${status}" -ne 0 ]; then
+    echo "clang-tidy: FAILED (exit ${status}) across ${files} files" >&2
+    return "${status}"
+  fi
+  echo "clang-tidy: linted ${files} files"
 }
 
 run_asan_tests() {
@@ -54,23 +67,40 @@ run_asan_tests() {
 
 run_tsan_tests() {
   echo "== [4/4] TSan threaded tests =="
-  # The parallel engine is the only subsystem that runs real threads; TSan
-  # and ASan are mutually exclusive, so it gets its own tree and only the
-  # threaded test binaries.
+  # Only the threaded binaries run real threads; TSan and ASan are mutually
+  # exclusive, so they get their own tree. Selection is by the `threaded`
+  # ctest LABEL (tests/CMakeLists.txt), so a new threaded suite is picked up
+  # by marking it THREADED instead of growing a name regex here.
   cmake -B build-check/tsan -S . \
     -DLVM_SANITIZE=thread -DLVM_WERROR=ON >/dev/null
-  cmake --build build-check/tsan -j "${jobs}" \
-    --target par_determinism_test par_schedule_fuzz_test stress_test
+  cmake --build build-check/tsan -j "${jobs}"
   ( cd build-check/tsan &&
     TSAN_OPTIONS=halt_on_error=1 \
-    ctest --output-on-failure -j "${jobs}" -R '^ParDeterminism|^ParScheduleFuzz|^Parallel' )
+    ctest --output-on-failure -j "${jobs}" -L threaded )
+}
+
+run_racecheck() {
+  echo "== racecheck: guest happens-before race detection =="
+  cmake -B build-check/racecheck -S . -DLVM_WERROR=ON >/dev/null
+  cmake --build build-check/racecheck -j "${jobs}" --target racecheck_test
+  mkdir -p bench-results
+  local report="${PWD}/bench-results/RACE_REPORT.json"
+  ( cd build-check/racecheck &&
+    LVM_RACE_REPORT="${report}" \
+    ctest --output-on-failure -j "${jobs}" -R '^RaceCheck' )
+  [ -s "${report}" ] || {
+    echo "racecheck: report not written to ${report}" >&2
+    return 1
+  }
+  echo "racecheck: report at ${report}"
 }
 
 case "${mode}" in
   --tidy-only) run_werror_build && run_tidy ;;
   --asan-only) run_asan_tests ;;
   --tsan-only) run_tsan_tests ;;
+  --racecheck-only) run_racecheck ;;
   all)         run_werror_build && run_tidy && run_asan_tests && run_tsan_tests ;;
-  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only|--racecheck-only]" >&2; exit 2 ;;
 esac
 echo "check.sh: all requested passes clean"

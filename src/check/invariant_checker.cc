@@ -53,6 +53,8 @@ const char* ToString(InvariantChecker::Violation::Kind kind) {
       return "mapping-table-mismatch";
     case Kind::kStaleDeferredCopyLine:
       return "stale-deferred-copy-line";
+    case Kind::kUnorderedLoggedWrites:
+      return "unordered-logged-writes";
   }
   return "unknown";
 }
@@ -376,6 +378,21 @@ void InvariantChecker::CheckDeferredCopyReset(AddressSpace* as, VirtAddr start, 
           "deferred-copy destination frame " + Hex(pte->frame) + " retains " +
               std::to_string(written_back) + " written-back line source pointer(s) after reset");
     }
+  }
+}
+
+void InvariantChecker::CheckRaceFree(const race::RaceDetector& detector) {
+  for (const race::RaceReport& report : detector.Reports()) {
+    if (report.kind != race::RaceKind::kWriteWrite || !report.logged) {
+      continue;
+    }
+    Add(Violation::Kind::kUnorderedLoggedWrites,
+        "log records for paddr " + Hex(report.paddr) + " from cpu " +
+            std::to_string(report.cpu_a) + " (clock " + std::to_string(report.clock_a) +
+            ") and cpu " + std::to_string(report.cpu_b) + " (clock " +
+            std::to_string(report.clock_b) +
+            ") are unordered by happens-before; replay order is undefined (" +
+            std::to_string(report.count) + " occurrence(s))");
   }
 }
 

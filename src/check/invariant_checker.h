@@ -67,6 +67,10 @@ class InvariantChecker : public BusSnooper, public LoggerObserver, public LogTai
       kPteInconsistent,        // logged/write-through PTE flags wrong.
       kMappingTableMismatch,   // Logger page mapping points at wrong log.
       kStaleDeferredCopyLine,  // Reset left a dirty line or source pointer.
+      // Race cross-check (CheckRaceFree): two log records for the same
+      // address whose source CPUs are unordered by happens-before — replay
+      // and rollback order for that address is undefined.
+      kUnorderedLoggedWrites,
     };
     Kind kind;
     std::string message;
@@ -105,6 +109,15 @@ class InvariantChecker : public BusSnooper, public LoggerObserver, public LogTai
   // page in [start, end) may retain a dirty second-level line or a
   // written-back (stale) line source pointer.
   void CheckDeferredCopyReset(AddressSpace* as, VirtAddr start, VirtAddr end);
+
+  // Cross-check against the src/race happens-before detector: every
+  // logged write-write race it found is a pair of log records for the
+  // same address whose source CPUs are unordered — the log no longer
+  // determines replay order for that address (kUnorderedLoggedWrites).
+  // The detector does the happens-before math (vector clocks over the
+  // engine's sync edges and GuestSyncEvent annotations); this check turns
+  // its verdict into a log-soundness violation.
+  void CheckRaceFree(const race::RaceDetector& detector);
 
   bool ok() const { return violations_.empty(); }
   const std::vector<Violation>& violations() const { return violations_; }

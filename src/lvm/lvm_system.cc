@@ -108,6 +108,35 @@ void LvmSystem::EnableTracing(size_t capacity) {
 
 LvmSystem::~LvmSystem() = default;
 
+race::RaceDetector* LvmSystem::EnableRaceDetection(const race::RaceConfig& config) {
+  LVM_CHECK_MSG(race_detector_ == nullptr, "race detection already enabled");
+  race_detector_ = std::make_unique<race::RaceDetector>(machine_.num_cpus(), config);
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    machine_.cpu(i).set_access_observer(race_detector_.get());
+  }
+  race_detector_->RegisterMetrics(&metrics_);
+  return race_detector_.get();
+}
+
+std::vector<race::RaceReport> LvmSystem::GetRaceReports() const {
+  if (race_detector_ == nullptr) {
+    return {};
+  }
+  return race_detector_->Reports();
+}
+
+void LvmSystem::GuestSyncEvent(int cpu_id, SyncOp op, uint64_t sync_id) {
+  LVM_CHECK_MSG(sync_id < race::kInternalSyncBase, "sync id collides with the runtime's");
+  if (race_detector_ == nullptr) {
+    return;
+  }
+  if (op == SyncOp::kAcquire) {
+    race_detector_->Acquire(cpu_id, sync_id);
+  } else {
+    race_detector_->Release(cpu_id, sync_id);
+  }
+}
+
 LogTable& LvmSystem::log_table() {
   return bus_logger_ != nullptr ? bus_logger_->log_table() : onchip_logger_->log_table();
 }
@@ -614,6 +643,12 @@ void LvmSystem::ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, Vi
   }
   trace_.Complete("vm", "reset_deferred_copy", static_cast<uint32_t>(cpu->id()), span_start,
                   cpu->now(), "pages", pages_reset);
+  // The reset is a kernel-serialized rendezvous (it rewrites every CPU's
+  // view of the range and invalidates their L1s): a happens-before barrier
+  // for the race detector.
+  if (race_detector_ != nullptr) {
+    race_detector_->GlobalBarrier();
+  }
 }
 
 void LvmSystem::ReadEffectiveLine(PhysAddr line_paddr, uint8_t out[kLineSize]) {

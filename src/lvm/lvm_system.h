@@ -32,6 +32,7 @@
 #include "src/logger/tables.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/race/race_detector.h"
 #include "src/sim/machine.h"
 #include "src/vm/address_space.h"
 #include "src/vm/deferred_copy.h"
@@ -167,6 +168,26 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // "extend in advance" discipline of Section 3.2.
   void EnsureLogCapacity(LogSegment* log, uint32_t pages);
 
+  // --- guest-level race detection (src/race) ---
+  // Builds a happens-before detector over the simulated CPUs and installs
+  // it as every CPU's access observer. Reports surface through
+  // GetRaceReports(); "race.*" counters join the metrics registry. Call at
+  // most once, before the accesses to be checked. Returns the detector
+  // (owned by the system) for direct queries.
+  race::RaceDetector* EnableRaceDetection(const race::RaceConfig& config = race::RaceConfig{});
+  // Null until EnableRaceDetection.
+  race::RaceDetector* race_detector() { return race_detector_.get(); }
+  const race::RaceDetector* race_detector() const { return race_detector_.get(); }
+  // The deduplicated race reports so far (empty when detection is off).
+  std::vector<race::RaceReport> GetRaceReports() const;
+  // Workload annotation of guest synchronization: a release publishes CPU
+  // `cpu_id`'s history under `sync_id`, an acquire adopts it — the
+  // happens-before edge of a guest lock, semaphore or message. `sync_id`
+  // must stay below race::kInternalSyncBase. No-op while detection is off.
+  // Call on the thread driving `cpu_id`, like Cpu::Read/Write.
+  enum class SyncOp : uint8_t { kAcquire, kRelease };
+  void GuestSyncEvent(int cpu_id, SyncOp op, uint64_t sync_id);
+
   // --- parallel engine hooks (src/par) ---
   // Publishes a shard-maintained append offset back into the kernel
   // bookkeeping and re-points the hardware tail to match, so SyncLog /
@@ -276,6 +297,7 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   DeferredCopyMap deferred_copy_;
   std::unique_ptr<HardwareLogger> bus_logger_;
   std::unique_ptr<OnChipLogger> onchip_logger_;
+  std::unique_ptr<race::RaceDetector> race_detector_;
 
   // The default page that absorbs log records when a log segment has no
   // frames left (Section 3.2).

@@ -77,6 +77,12 @@ void ParallelEngine::Start() {
   LVM_CHECK_MSG(!workers_.empty(), "no workers registered");
   started_ = true;
   active_workers_ = static_cast<int>(workers_.size());
+  // Launching the workers is a synchronization point: setup-phase accesses
+  // (TouchRegion pre-faulting, initialization writes) happen-before every
+  // worker's first step.
+  if (system_->race_detector() != nullptr) {
+    system_->race_detector()->GlobalBarrier();
+  }
   if (config_.mode == Mode::kParallel) {
     LVM_CHECK_MSG(system_->onchip_logger() == nullptr,
                   "parallel mode shards the bus-logger path; on-chip logging is unsupported");
@@ -114,6 +120,11 @@ void ParallelEngine::Join() {
     scheduler_.join();
   }
   joined_ = true;
+  // Thread join is the converse edge: every worker's last step
+  // happens-before anything the caller does after Join.
+  if (system_->race_detector() != nullptr) {
+    system_->race_detector()->GlobalBarrier();
+  }
   if (config_.mode != Mode::kParallel) {
     return;
   }
@@ -186,6 +197,11 @@ void ParallelEngine::OnShardOverload(int worker_id, Cycles now) {
   overload_drain_records_.Record(pending);
   Cycles resume = drain_complete + system_->machine().params().overload_kernel_cycles;
   system_->NoteOverloadSuspension(now, resume);
+  // Every active worker is parked (and every finished worker has exited):
+  // the park/resume generation is a global happens-before barrier.
+  if (system_->race_detector() != nullptr) {
+    system_->race_detector()->GlobalBarrier();
+  }
   workers_[static_cast<size_t>(worker_id)].stats.resumes++;
   suspend_requested_.store(false, std::memory_order_release);
   ++overload_generation_;
@@ -231,6 +247,9 @@ void ParallelEngine::SchedulerBody() {
   // for how many steps comes only from this generator, so identical seeds
   // replay identical interleavings (and identical logs and metrics).
   Rng rng(config_.seed);
+  race::RaceDetector* detector =
+      config_.publish_token_sync ? system_->race_detector() : nullptr;
+  int previous_worker = -1;
   std::vector<int> alive;
   alive.reserve(workers_.size());
   for (size_t i = 0; i < workers_.size(); ++i) {
@@ -242,6 +261,17 @@ void ParallelEngine::SchedulerBody() {
     quantum_ = static_cast<uint32_t>(
         rng.UniformRange(config_.min_quantum, config_.max_quantum));
     current_worker_ = alive[pick];
+    // Publish the token handoff as a sync edge: the outgoing holder's
+    // quantum happens-before the incoming holder's. Both workers are
+    // token-blocked here, so touching their clocks from the scheduler
+    // thread is ordered by mu_.
+    if (detector != nullptr) {
+      if (previous_worker >= 0 && previous_worker != current_worker_) {
+        detector->Release(previous_worker, race::kTokenSyncId);
+        detector->Acquire(current_worker_, race::kTokenSyncId);
+      }
+      previous_worker = current_worker_;
+    }
     cv_.notify_all();
     cv_.wait(lk, [this] { return current_worker_ == -1; });
     if (worker_done_) {

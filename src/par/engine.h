@@ -58,6 +58,13 @@ struct EngineConfig {
   uint64_t seed = 1;
   uint32_t min_quantum = 1;
   uint32_t max_quantum = 16;
+  // Deterministic mode: publish each token handoff to the race detector as
+  // a happens-before edge (the schedule serializes the workers, so with
+  // edges on, a token-scheduled run is race-free by construction). Turn
+  // off to hunt guest races under a *replayable* schedule: the handoff is
+  // a scheduler artifact, not guest synchronization, and without the edge
+  // the detector sees exactly the guest program's own ordering.
+  bool publish_token_sync = true;
   // Parallel mode: shard tuning. Unset fields default from MachineParams
   // (ring capacity/threshold from the logger FIFO, service rates, divider).
   std::optional<ShardConfig> shard;

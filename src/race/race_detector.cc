@@ -1,0 +1,321 @@
+#include "src/race/race_detector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace lvm {
+namespace race {
+
+const char* ToString(RaceKind kind) {
+  switch (kind) {
+    case RaceKind::kWriteWrite:
+      return "write-write";
+    case RaceKind::kReadWrite:
+      return "read-write";
+    case RaceKind::kWriteRead:
+      return "write-read";
+  }
+  return "unknown";
+}
+
+RaceDetector::RaceDetector(int num_cpus, const RaceConfig& config)
+    : config_(config),
+      num_cpus_(num_cpus),
+      stripe_budget_(std::max<size_t>(1, config.max_shadow_cells / kStripes)) {
+  LVM_CHECK(num_cpus >= 1);
+  cpus_.reserve(static_cast<size_t>(num_cpus));
+  for (int i = 0; i < num_cpus; ++i) {
+    auto state = std::make_unique<CpuState>();
+    state->vc = VectorClock(static_cast<size_t>(num_cpus), static_cast<size_t>(i));
+    cpus_.push_back(std::move(state));
+  }
+}
+
+RaceDetector::Cell& RaceDetector::CellFor(Stripe& stripe, uint32_t word_index) {
+  auto it = stripe.cells.find(word_index);
+  if (it != stripe.cells.end()) {
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru);
+    return it->second;
+  }
+  if (stripe.cells.size() >= stripe_budget_) {
+    // Forgetting a cell can only miss a race, never invent one; the
+    // eviction counter is the soundness caveat made visible.
+    const uint32_t victim = stripe.lru.back();
+    stripe.lru.pop_back();
+    stripe.cells.erase(victim);
+    shadow_evictions_.Increment();
+  }
+  stripe.lru.push_front(word_index);
+  Cell& cell = stripe.cells[word_index];
+  cell.lru = stripe.lru.begin();
+  return cell;
+}
+
+void RaceDetector::PushTrail(int cpu, VirtAddr va) {
+  CpuState& state = *cpus_[static_cast<size_t>(cpu)];
+  std::lock_guard<std::mutex> lk(state.trail_mu);
+  state.trail[state.trail_next] = va;
+  state.trail_next = (state.trail_next + 1) % kTrailMax;
+  if (state.trail_len < kTrailMax) {
+    ++state.trail_len;
+  }
+}
+
+std::vector<VirtAddr> RaceDetector::SnapshotTrail(int cpu) const {
+  const CpuState& state = *cpus_[static_cast<size_t>(cpu)];
+  std::lock_guard<std::mutex> lk(state.trail_mu);
+  const size_t depth = std::min({state.trail_len, config_.trail_depth, kTrailMax});
+  std::vector<VirtAddr> trail;
+  trail.reserve(depth);
+  for (size_t i = 0; i < depth; ++i) {
+    // Newest first: trail_next points one past the most recent entry.
+    const size_t slot = (state.trail_next + kTrailMax - 1 - i) % kTrailMax;
+    trail.push_back(state.trail[slot]);
+  }
+  return trail;
+}
+
+void RaceDetector::Report(RaceKind kind, uint32_t word_index, const RaceReport& prototype) {
+  const uint8_t lo = std::min(prototype.cpu_a, prototype.cpu_b);
+  const uint8_t hi = std::max(prototype.cpu_a, prototype.cpu_b);
+  const uint64_t key = (static_cast<uint64_t>(word_index) << 32) |
+                       (static_cast<uint64_t>(kind) << 16) |
+                       (static_cast<uint64_t>(lo) << 8) | hi;
+  std::lock_guard<std::mutex> lk(report_mu_);
+  auto it = dedup_.find(key);
+  if (it != dedup_.end()) {
+    ++reports_[it->second].count;
+    races_deduped_.Increment();
+    return;
+  }
+  if (reports_.size() >= config_.max_reports) {
+    reports_dropped_.Increment();
+    return;
+  }
+  RaceReport report = prototype;
+  report.kind = kind;
+  report.pcs_a = SnapshotTrail(report.cpu_a);
+  report.pcs_b = SnapshotTrail(report.cpu_b);
+  dedup_[key] = reports_.size();
+  reports_.push_back(std::move(report));
+  races_reported_.Increment();
+}
+
+void RaceDetector::OnMemoryAccess(int cpu_id, AccessKind kind, VirtAddr va, PhysAddr paddr,
+                                  uint8_t size, bool logged, Cycles time) {
+  if (config_.logged_only && !logged) {
+    return;
+  }
+  accesses_observed_.Increment();
+  PushTrail(cpu_id, va);
+  CpuState& me = *cpus_[static_cast<size_t>(cpu_id)];
+  const Epoch e = me.vc.OwnEpoch(static_cast<size_t>(cpu_id));
+  const uint32_t word_index = paddr >> 2;
+
+  RaceReport proto;
+  proto.paddr = paddr;
+  proto.va = va;
+  proto.size = size;
+  proto.logged = logged;
+  proto.cpu_b = static_cast<uint8_t>(cpu_id);
+  proto.clock_b = e.clock;
+  proto.cycle_b = time;
+
+  Stripe& stripe = StripeFor(word_index);
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  Cell& cell = CellFor(stripe, word_index);
+
+  if (kind == AccessKind::kWrite) {
+    if (cell.write.clock == e.clock && cell.write.cpu == e.cpu) {
+      cell.write_va = va;
+      cell.write_cycle = time;
+      return;  // Same-epoch write: nothing new to check.
+    }
+    if (cell.write.clock != 0 && !me.vc.Covers(cell.write)) {
+      proto.cpu_a = cell.write.cpu;
+      proto.clock_a = cell.write.clock;
+      proto.cycle_a = cell.write_cycle;
+      Report(RaceKind::kWriteWrite, word_index, proto);
+    }
+    if (cell.reads != nullptr) {
+      for (size_t u = 0; u < cell.reads->size(); ++u) {
+        const ReadMark& mark = (*cell.reads)[u];
+        if (mark.clock != 0 && mark.clock > me.vc.Get(u)) {
+          proto.cpu_a = static_cast<uint8_t>(u);
+          proto.clock_a = mark.clock;
+          proto.cycle_a = mark.cycle;
+          Report(RaceKind::kReadWrite, word_index, proto);
+        }
+      }
+    } else if (cell.read.clock != 0 && !me.vc.Covers(cell.read)) {
+      proto.cpu_a = cell.read.cpu;
+      proto.clock_a = cell.read.clock;
+      proto.cycle_a = cell.read_cycle;
+      Report(RaceKind::kReadWrite, word_index, proto);
+    }
+    // A race-free write dominates all prior accesses, so the read state can
+    // be discarded (and a racing write was already reported above).
+    cell.write = e;
+    cell.write_va = va;
+    cell.write_cycle = time;
+    cell.read = Epoch{};
+    cell.reads.reset();
+    return;
+  }
+
+  // --- read ---
+  if (cell.reads != nullptr) {
+    ReadMark& mark = (*cell.reads)[static_cast<size_t>(cpu_id)];
+    if (mark.clock == e.clock) {
+      return;  // Same-epoch read.
+    }
+    if (cell.write.clock != 0 && !me.vc.Covers(cell.write)) {
+      proto.cpu_a = cell.write.cpu;
+      proto.clock_a = cell.write.clock;
+      proto.cycle_a = cell.write_cycle;
+      Report(RaceKind::kWriteRead, word_index, proto);
+    }
+    mark = ReadMark{e.clock, va, time};
+    return;
+  }
+  if (cell.read.clock == e.clock && cell.read.cpu == e.cpu) {
+    return;  // Same-epoch read (exclusive fast path).
+  }
+  if (cell.write.clock != 0 && !me.vc.Covers(cell.write)) {
+    proto.cpu_a = cell.write.cpu;
+    proto.clock_a = cell.write.clock;
+    proto.cycle_a = cell.write_cycle;
+    Report(RaceKind::kWriteRead, word_index, proto);
+  }
+  if (cell.read.clock == 0 || me.vc.Covers(cell.read)) {
+    // Still a single reader chain: stay in epoch representation.
+    cell.read = e;
+    cell.read_va = va;
+    cell.read_cycle = time;
+    return;
+  }
+  // Two concurrent readers: promote to the full read vector (adaptive
+  // promotion — allocated only for genuinely shared read locations).
+  cell.reads = std::make_unique<std::vector<ReadMark>>(static_cast<size_t>(num_cpus_));
+  (*cell.reads)[cell.read.cpu] = ReadMark{cell.read.clock, cell.read_va, cell.read_cycle};
+  (*cell.reads)[static_cast<size_t>(cpu_id)] = ReadMark{e.clock, va, time};
+  cell.read = Epoch{};
+}
+
+void RaceDetector::Release(int cpu, uint64_t sync_id) {
+  sync_releases_.Increment();
+  CpuState& me = *cpus_[static_cast<size_t>(cpu)];
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  auto [it, inserted] =
+      sync_objects_.try_emplace(sync_id, VectorClock(static_cast<size_t>(num_cpus_)));
+  // Join rather than overwrite: a sync object accumulates every releaser's
+  // history (semaphore semantics), which is what bare acquire/release
+  // annotations express. Lock-style strict hand-off is a special case.
+  it->second.Join(me.vc);
+  (void)inserted;
+  me.vc.Tick(static_cast<size_t>(cpu));
+}
+
+void RaceDetector::Acquire(int cpu, uint64_t sync_id) {
+  sync_acquires_.Increment();
+  CpuState& me = *cpus_[static_cast<size_t>(cpu)];
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  auto it = sync_objects_.find(sync_id);
+  if (it != sync_objects_.end()) {
+    me.vc.Join(it->second);
+  }
+}
+
+void RaceDetector::GlobalBarrier() {
+  barriers_.Increment();
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  VectorClock all(static_cast<size_t>(num_cpus_));
+  for (const auto& state : cpus_) {
+    all.Join(state->vc);
+  }
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    cpus_[i]->vc = all;
+    cpus_[i]->vc.Tick(i);
+  }
+}
+
+std::vector<RaceReport> RaceDetector::Reports() const {
+  std::lock_guard<std::mutex> lk(report_mu_);
+  return reports_;
+}
+
+std::string RaceDetector::ReportsJson() const {
+  const std::vector<RaceReport> reports = Reports();
+  std::string out = "{\"schema\":\"lvm.race_report.v1\",\"stats\":{";
+  out += "\"accesses_observed\":" + obs::JsonNumber(accesses_observed_.value());
+  out += ",\"reports\":" + obs::JsonNumber(races_reported_.value());
+  out += ",\"deduped\":" + obs::JsonNumber(races_deduped_.value());
+  out += ",\"reports_dropped\":" + obs::JsonNumber(reports_dropped_.value());
+  out += ",\"shadow_evictions\":" + obs::JsonNumber(shadow_evictions_.value());
+  out += ",\"sync_acquires\":" + obs::JsonNumber(sync_acquires_.value());
+  out += ",\"sync_releases\":" + obs::JsonNumber(sync_releases_.value());
+  out += ",\"barriers\":" + obs::JsonNumber(barriers_.value());
+  out += "},\"races\":[";
+  bool first = true;
+  for (const RaceReport& report : reports) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"kind\":";
+    obs::AppendJsonString(&out, ToString(report.kind));
+    out += ",\"paddr\":" + obs::JsonNumber(static_cast<uint64_t>(report.paddr));
+    out += ",\"va\":" + obs::JsonNumber(static_cast<uint64_t>(report.va));
+    out += ",\"size\":" + obs::JsonNumber(static_cast<uint64_t>(report.size));
+    out += ",\"logged\":";
+    out += report.logged ? "true" : "false";
+    out += ",\"cpu_a\":" + obs::JsonNumber(static_cast<uint64_t>(report.cpu_a));
+    out += ",\"clock_a\":" + obs::JsonNumber(static_cast<uint64_t>(report.clock_a));
+    out += ",\"cycle_a\":" + obs::JsonNumber(static_cast<uint64_t>(report.cycle_a));
+    out += ",\"cpu_b\":" + obs::JsonNumber(static_cast<uint64_t>(report.cpu_b));
+    out += ",\"clock_b\":" + obs::JsonNumber(static_cast<uint64_t>(report.clock_b));
+    out += ",\"cycle_b\":" + obs::JsonNumber(static_cast<uint64_t>(report.cycle_b));
+    out += ",\"count\":" + obs::JsonNumber(report.count);
+    for (int side = 0; side < 2; ++side) {
+      out += side == 0 ? ",\"pcs_a\":[" : ",\"pcs_b\":[";
+      const std::vector<VirtAddr>& pcs = side == 0 ? report.pcs_a : report.pcs_b;
+      for (size_t i = 0; i < pcs.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += obs::JsonNumber(static_cast<uint64_t>(pcs[i]));
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool RaceDetector::WriteReportJson(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const std::string json = ReportsJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  return written == json.size() && close_ok;
+}
+
+void RaceDetector::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  registry->RegisterCounter("race.accesses_observed", &accesses_observed_);
+  registry->RegisterCounter("race.reports", &races_reported_);
+  registry->RegisterCounter("race.deduped", &races_deduped_);
+  registry->RegisterCounter("race.reports_dropped", &reports_dropped_);
+  registry->RegisterCounter("race.shadow_evictions", &shadow_evictions_);
+  registry->RegisterCounter("race.sync_acquires", &sync_acquires_);
+  registry->RegisterCounter("race.sync_releases", &sync_releases_);
+  registry->RegisterCounter("race.barriers", &barriers_);
+}
+
+}  // namespace race
+}  // namespace lvm

@@ -1,0 +1,219 @@
+// Guest-level happens-before race detector for the simulated machine.
+//
+// LVM's rollback and Time Warp recovery are only sound when concurrent
+// guest writes to logged regions are ordered by the guest program's own
+// synchronization: two log records for the same address whose writers are
+// unordered can replay in either order, silently corrupting recovery. The
+// host-level tools (TSan, the invariant checker) cannot see this — the
+// simulator is free of host races even while the *simulated* CPUs race.
+//
+// The detector is a FastTrack-style vector-clock engine (Flanagan &
+// Freund, PLDI 2009) fed by the Cpu's MemoryAccessObserver hook:
+//   - each simulated CPU carries a vector clock; a single access is
+//     summarized by an epoch c@cpu;
+//   - shadow state is kept per 4-byte word, keyed by (page, word offset),
+//     remembering the last write epoch and either a last-read epoch or —
+//     after concurrent reads — a promoted full read vector ("adaptive
+//     promotion": the common same-epoch / ordered cases never allocate);
+//   - happens-before edges come from the parallel engine (deterministic
+//     token handoffs, overload park/resume barriers, Start/Join), from
+//     kernel barriers (resetDeferredCopy), and from explicit
+//     LvmSystem::GuestSyncEvent(acquire/release, id) workload annotations;
+//   - shadow memory is bounded: stripes carry an LRU list and a per-stripe
+//     cell budget; evictions are counted ("race.shadow_evictions") because
+//     an evicted cell forgets history and can miss (never invent) a race.
+//
+// Reports are deduplicated by (word, kind, cpu pair), capped, exported as
+// strict JSON (obs::ValidateJson-clean) and surfaced through
+// LvmSystem::GetRaceReports().
+//
+// Thread model: OnMemoryAccess runs on the thread driving the accessing
+// CPU. A CPU's vector clock is only touched by that thread, except for
+// Acquire/Release/barrier calls made on its behalf by the engine while the
+// worker is parked or token-blocked (the engine's mutex orders those).
+// Shadow cells are guarded by per-stripe mutexes, reports by their own.
+#ifndef SRC_RACE_RACE_DETECTOR_H_
+#define SRC_RACE_RACE_DETECTOR_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/obs/metrics.h"
+#include "src/race/vector_clock.h"
+#include "src/sim/interfaces.h"
+
+namespace lvm {
+namespace race {
+
+// Sync-object ids at or above this value are reserved for the runtime (the
+// parallel engine's token, ...); workload annotations must stay below.
+inline constexpr uint64_t kInternalSyncBase = 1ull << 63;
+inline constexpr uint64_t kTokenSyncId = kInternalSyncBase + 1;
+
+struct RaceConfig {
+  // Total shadow-cell budget across all stripes (LRU-evicted beyond it).
+  size_t max_shadow_cells = 1u << 16;
+  // Deduplicated reports kept; further distinct races only count.
+  size_t max_reports = 64;
+  // Track only accesses to logged pages (the soundness-critical subset).
+  bool logged_only = false;
+  // Recent-access addresses attached to each report per CPU (<= 16).
+  size_t trail_depth = 8;
+};
+
+enum class RaceKind : uint8_t {
+  kWriteWrite,  // Unordered write after write.
+  kReadWrite,   // Write racing an unordered earlier read.
+  kWriteRead,   // Read racing an unordered earlier write.
+};
+
+const char* ToString(RaceKind kind);
+
+// One deduplicated race. Access `a` is the earlier (shadow) access, `b`
+// the one that detected the race. `pcs_*` are the CPUs' most-recent
+// accessed virtual addresses at report time, newest first — the
+// simulator's stand-in for stacks (workloads have no PCs).
+struct RaceReport {
+  RaceKind kind = RaceKind::kWriteWrite;
+  PhysAddr paddr = 0;  // Exact address of access b.
+  VirtAddr va = 0;     // Virtual address of access b.
+  uint8_t size = 0;    // Size of access b in bytes.
+  bool logged = false;
+  uint8_t cpu_a = 0;
+  uint32_t clock_a = 0;  // Epoch component of access a.
+  Cycles cycle_a = 0;    // Simulated time of access a.
+  uint8_t cpu_b = 0;
+  uint32_t clock_b = 0;
+  Cycles cycle_b = 0;
+  uint64_t count = 1;  // Occurrences folded into this report.
+  std::vector<VirtAddr> pcs_a;
+  std::vector<VirtAddr> pcs_b;
+};
+
+class RaceDetector : public MemoryAccessObserver {
+ public:
+  RaceDetector(int num_cpus, const RaceConfig& config);
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  // --- sim::MemoryAccessObserver ---
+  void OnMemoryAccess(int cpu_id, AccessKind kind, VirtAddr va, PhysAddr paddr, uint8_t size,
+                      bool logged, Cycles time) override;
+
+  // --- happens-before edges ---
+  // Release: publish `cpu`'s clock into sync object `sync_id`, then tick.
+  void Release(int cpu, uint64_t sync_id);
+  // Acquire: join sync object `sync_id` into `cpu`'s clock.
+  void Acquire(int cpu, uint64_t sync_id);
+  // Joins every CPU's clock with every other's and ticks each — a full
+  // barrier (engine Start/Join, overload park/resume, deferred-copy
+  // reset). Caller must ensure no CPU is concurrently accessing memory.
+  void GlobalBarrier();
+
+  // --- results ---
+  // Stable copy of the deduplicated reports (safe mid-run).
+  std::vector<RaceReport> Reports() const;
+  size_t report_count() const { return races_reported_.value(); }
+  // The reports plus detector counters as one strict JSON document.
+  std::string ReportsJson() const;
+  // Writes ReportsJson() to `path`; false if the file could not be written.
+  bool WriteReportJson(const std::string& path) const;
+
+  // Registers "race.*" counters. Call at most once per registry.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
+  uint64_t accesses_observed() const { return accesses_observed_.value(); }
+  uint64_t races_deduped() const { return races_deduped_.value(); }
+  uint64_t shadow_evictions() const { return shadow_evictions_.value(); }
+  uint64_t reports_dropped() const { return reports_dropped_.value(); }
+  int num_cpus() const { return num_cpus_; }
+
+ private:
+  static constexpr size_t kStripes = 64;
+  static constexpr size_t kTrailMax = 16;
+
+  // Promoted read state: one mark per CPU (FastTrack's read vector clock,
+  // with enough metadata to report the racing read).
+  struct ReadMark {
+    uint32_t clock = 0;
+    VirtAddr va = 0;
+    Cycles cycle = 0;
+  };
+
+  // Shadow state for one 4-byte word. `read` is the exclusive-reader fast
+  // path; `reads` replaces it once two unordered reads have been seen.
+  struct Cell {
+    Epoch write;
+    VirtAddr write_va = 0;
+    Cycles write_cycle = 0;
+    Epoch read;
+    VirtAddr read_va = 0;
+    Cycles read_cycle = 0;
+    std::unique_ptr<std::vector<ReadMark>> reads;
+    std::list<uint32_t>::iterator lru;
+  };
+
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<uint32_t, Cell> cells;  // Keyed by word index.
+    std::list<uint32_t> lru;                   // Front = most recently used.
+  };
+
+  // A CPU's clock plus its recent-access trail. The clock is written by
+  // the owning thread (accesses, annotations) or by the engine while the
+  // owner is parked; the trail has its own lock so another CPU's report
+  // can copy it.
+  struct CpuState {
+    VectorClock vc;
+    mutable std::mutex trail_mu;
+    VirtAddr trail[kTrailMax] = {};
+    size_t trail_len = 0;
+    size_t trail_next = 0;
+  };
+
+  Stripe& StripeFor(uint32_t word_index) {
+    return stripes_[(word_index >> (kPageShift - 2)) % kStripes];
+  }
+  // Looks up or creates the cell for `word_index`, evicting the stripe's
+  // LRU cell when the per-stripe budget is exhausted. Stripe lock held.
+  Cell& CellFor(Stripe& stripe, uint32_t word_index);
+  void PushTrail(int cpu, VirtAddr va);
+  std::vector<VirtAddr> SnapshotTrail(int cpu) const;
+  void Report(RaceKind kind, uint32_t word_index, const RaceReport& prototype);
+
+  const RaceConfig config_;
+  const int num_cpus_;
+  const size_t stripe_budget_;  // Max cells per stripe.
+
+  std::vector<std::unique_ptr<CpuState>> cpus_;
+  Stripe stripes_[kStripes];
+
+  mutable std::mutex sync_mu_;
+  std::unordered_map<uint64_t, VectorClock> sync_objects_;
+
+  mutable std::mutex report_mu_;
+  std::vector<RaceReport> reports_;
+  // (word_index, kind, cpu_lo, cpu_hi) -> index into reports_.
+  std::unordered_map<uint64_t, size_t> dedup_;
+
+  obs::Counter accesses_observed_;
+  obs::Counter races_reported_;   // Distinct deduplicated reports.
+  obs::Counter races_deduped_;    // Occurrences folded into existing reports.
+  obs::Counter reports_dropped_;  // Distinct races beyond max_reports.
+  obs::Counter shadow_evictions_;
+  obs::Counter sync_acquires_;
+  obs::Counter sync_releases_;
+  obs::Counter barriers_;
+};
+
+}  // namespace race
+}  // namespace lvm
+
+#endif  // SRC_RACE_RACE_DETECTOR_H_

@@ -1,0 +1,69 @@
+// Vector clocks and epochs for the guest-level happens-before race
+// detector (src/race), following the FastTrack representation: a thread's
+// full knowledge is a VectorClock C_t; a single access is summarized by an
+// Epoch c@t (the accessor's component of its own clock at the access).
+//
+// A CPU's clock starts with only its *own* component at 1 and every other
+// component at 0 (the FastTrack initial state): CPUs know nothing about
+// each other until a sync edge says so, and clock 0 stays a reliable
+// "never accessed" sentinel in shadow cells. Sync-object clocks start at
+// bottom (all zeros).
+#ifndef SRC_RACE_VECTOR_CLOCK_H_
+#define SRC_RACE_VECTOR_CLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace lvm {
+namespace race {
+
+// One access, compressed: component `clock` of CPU `cpu`'s vector clock.
+// clock == 0 means "no such access yet".
+struct Epoch {
+  uint32_t clock = 0;
+  uint8_t cpu = 0;
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  // Bottom: all components 0 (sync objects before their first release).
+  explicit VectorClock(size_t num_cpus) : clocks_(num_cpus, 0) {}
+  // A CPU's initial clock: own component 1, everything else 0.
+  VectorClock(size_t num_cpus, size_t owner) : clocks_(num_cpus, 0) { clocks_[owner] = 1; }
+
+  uint32_t Get(size_t cpu) const { return clocks_[cpu]; }
+  void Set(size_t cpu, uint32_t value) { clocks_[cpu] = value; }
+  void Tick(size_t cpu) { ++clocks_[cpu]; }
+  size_t size() const { return clocks_.size(); }
+
+  // Pointwise maximum: this := this ⊔ other.
+  void Join(const VectorClock& other) {
+    LVM_CHECK(clocks_.size() == other.clocks_.size());
+    for (size_t i = 0; i < clocks_.size(); ++i) {
+      if (other.clocks_[i] > clocks_[i]) {
+        clocks_[i] = other.clocks_[i];
+      }
+    }
+  }
+
+  // The epoch of CPU `cpu`'s own component.
+  Epoch OwnEpoch(size_t cpu) const {
+    return Epoch{clocks_[cpu], static_cast<uint8_t>(cpu)};
+  }
+
+  // True iff the access summarized by `e` happens-before this clock's
+  // owner: e.clock <= C[e.cpu]. An empty epoch (clock 0) is vacuously
+  // ordered.
+  bool Covers(const Epoch& e) const { return e.clock <= clocks_[e.cpu]; }
+
+ private:
+  std::vector<uint32_t> clocks_;
+};
+
+}  // namespace race
+}  // namespace lvm
+
+#endif  // SRC_RACE_VECTOR_CLOCK_H_

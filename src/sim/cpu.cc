@@ -36,6 +36,10 @@ uint32_t Cpu::Read(VirtAddr va, uint8_t size) {
   reads_.Increment();
   Translation translation = TranslateOrFault(va, AccessKind::kRead);
   Bump(ChargeRead(translation.paddr));
+  if (access_observer_ != nullptr) {
+    access_observer_->OnMemoryAccess(id_, AccessKind::kRead, va, translation.paddr, size,
+                                     translation.logged, now());
+  }
   return l2_->Read(translation.paddr, size);
 }
 
@@ -69,6 +73,10 @@ void Cpu::Write(VirtAddr va, uint32_t value, uint8_t size) {
   }
   if (translation.logged && log_sink_ != nullptr) {
     log_sink_->OnLoggedWrite(this, va, translation.paddr, value, size);
+  }
+  if (access_observer_ != nullptr) {
+    access_observer_->OnMemoryAccess(id_, AccessKind::kWrite, va, translation.paddr, size,
+                                     translation.logged, now());
   }
   l2_->Write(translation.paddr, value, size);
 }

@@ -50,6 +50,8 @@ class Cpu {
   void set_fault_handler(PageFaultHandler* handler) { fault_handler_ = handler; }
   // Optional on-chip logging hook (Section 4.6); nullptr for the bus logger.
   void set_log_sink(LoggedWriteSink* sink) { log_sink_ = sink; }
+  // Optional analysis hook observing every translated access (src/race).
+  void set_access_observer(MemoryAccessObserver* observer) { access_observer_ = observer; }
 
   // Spends `cycles` of pure computation. Buffered write-throughs drain in
   // the background during this time.
@@ -107,6 +109,7 @@ class Cpu {
   AddressTranslator* translator_ = nullptr;
   PageFaultHandler* fault_handler_ = nullptr;
   LoggedWriteSink* log_sink_ = nullptr;
+  MemoryAccessObserver* access_observer_ = nullptr;
 
   std::atomic<Cycles> now_{0};
 

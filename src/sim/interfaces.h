@@ -65,6 +65,20 @@ class LoggedWriteSink {
                              uint8_t size) = 0;
 };
 
+// Observes every data access the CPU makes, after translation, with the
+// writing/reading processor's id, its cycle clock at the access, and the
+// page-mapping-controlled logged bit. This is the feed for guest-level
+// analysis tools (the src/race happens-before detector); unlike BusSnooper
+// it also sees reads and unlogged copyback writes, which never appear on
+// the bus. Called on the thread driving the CPU, so an observer shared by
+// several CPUs must be internally thread-safe under the parallel engine.
+class MemoryAccessObserver {
+ public:
+  virtual ~MemoryAccessObserver() = default;
+  virtual void OnMemoryAccess(int cpu_id, AccessKind kind, VirtAddr va, PhysAddr paddr,
+                              uint8_t size, bool logged, Cycles time) = 0;
+};
+
 // Resolves deferred-copy indirection for the second-level cache (Section
 // 3.3). The default behaviour is the identity (no deferred copy).
 class DeferredCopyPolicy {

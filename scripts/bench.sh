@@ -59,7 +59,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 if [[ ! -d build ]]; then
   cmake -B build -S . >/dev/null
 fi
-cmake --build build -j "${jobs}" --target "${benches[@]}"
+cmake --build build -j "${jobs}" --target "${benches[@]}" lvm-inspect
 
 mkdir -p "${out_dir}"
 
@@ -82,7 +82,14 @@ for bench in "${benches[@]}"; do
   fi
   echo "== ${bench} =="
   "./build/bench/${bench}" "${args[@]}"
+  # Also drop a copy at the repo root: CI diffing and the paper-claims
+  # tooling read BENCH_<name>.json from there.
+  cp "${out_dir}/BENCH_${short}.json" "BENCH_${short}.json"
 done
 
-echo "results in ${out_dir}/:"
+# Every artifact this script emitted claims to be strict JSON; hold it to
+# that (lvm-inspect --validate exits nonzero on the first offender).
+./build/tools/lvm-inspect --validate "${out_dir}"/BENCH_*.json "${out_dir}"/TRACE_*.json
+
+echo "results in ${out_dir}/ (copies at repo root):"
 ls -l "${out_dir}"

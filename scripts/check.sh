@@ -82,7 +82,7 @@ run_tsan_tests() {
 run_racecheck() {
   echo "== racecheck: guest happens-before race detection =="
   cmake -B build-check/racecheck -S . -DLVM_WERROR=ON >/dev/null
-  cmake --build build-check/racecheck -j "${jobs}" --target racecheck_test
+  cmake --build build-check/racecheck -j "${jobs}" --target racecheck_test lvm-inspect
   mkdir -p bench-results
   local report="${PWD}/bench-results/RACE_REPORT.json"
   ( cd build-check/racecheck &&
@@ -92,6 +92,8 @@ run_racecheck() {
     echo "racecheck: report not written to ${report}" >&2
     return 1
   }
+  # The report claims to be strict JSON; lvm-inspect holds it to that.
+  ./build-check/racecheck/tools/lvm-inspect --validate "${report}"
   echo "racecheck: report at ${report}"
 }
 

@@ -1,14 +1,28 @@
 #include "src/base/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace lvm {
 
+namespace {
+std::atomic<CheckFailureHook> g_failure_hook{nullptr};
+std::atomic<bool> g_in_failure_hook{false};
+}  // namespace
+
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  return g_failure_hook.exchange(hook);
+}
+
 void CheckFailed(const char* condition, const char* file, int line, const char* message) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", condition, file, line,
                message != nullptr ? ": " : "", message != nullptr ? message : "");
   std::fflush(stderr);
+  CheckFailureHook hook = g_failure_hook.load();
+  if (hook != nullptr && !g_in_failure_hook.exchange(true)) {
+    hook();
+  }
   std::abort();
 }
 

@@ -12,6 +12,13 @@ namespace lvm {
 [[noreturn]] void CheckFailed(const char* condition, const char* file, int line,
                               const char* message);
 
+// Hook invoked once, after the failure message but before abort(), on the
+// first CHECK failure — the black-box dumper installs one. The hook runs in
+// regular (not async-signal) context; a CHECK failing inside the hook does
+// not re-enter it. Returns the previously installed hook (nullptr if none).
+using CheckFailureHook = void (*)();
+CheckFailureHook SetCheckFailureHook(CheckFailureHook hook);
+
 }  // namespace lvm
 
 #define LVM_CHECK(cond)                                        \

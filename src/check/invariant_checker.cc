@@ -1,8 +1,11 @@
 #include "src/check/invariant_checker.h"
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "src/base/check.h"
+#include "src/obs/flight_recorder.h"
 
 namespace lvm {
 
@@ -80,6 +83,23 @@ InvariantChecker::~InvariantChecker() {
 
 void InvariantChecker::Add(Violation::Kind kind, std::string message) {
   violations_.push_back(Violation{kind, std::move(message)});
+  obs::FlightRecorder& flight = system_->flight();
+  flight.Record(flight.kernel_ring(), obs::FlightEventKind::kInvariantViolation,
+                system_->machine().cpu(0).now(), ToString(kind),
+                static_cast<uint64_t>(kind), violations_.size(), 0);
+  if (!blackbox_path_.empty() && !blackbox_written_) {
+    // Dump on the *first* violation: the flight rings still hold the events
+    // leading up to it. Mark written first so a CHECK inside the dumper
+    // cannot re-enter.
+    blackbox_written_ = true;
+    std::vector<std::pair<std::string, std::string>> entries;
+    entries.reserve(violations_.size());
+    for (const Violation& violation : violations_) {
+      entries.emplace_back(ToString(violation.kind), violation.message);
+    }
+    system_->DumpBlackBox(blackbox_path_, "invariant_violation", violations_.back().message,
+                          entries);
+  }
 }
 
 bool InvariantChecker::Has(Violation::Kind kind) const {

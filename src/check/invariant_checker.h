@@ -31,6 +31,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/types.h"
@@ -119,6 +120,16 @@ class InvariantChecker : public BusSnooper, public LoggerObserver, public LogTai
   // its verdict into a log-soundness violation.
   void CheckRaceFree(const race::RaceDetector& detector);
 
+  // Arms black-box capture: the first violation added after this call makes
+  // the attached system dump `lvm.blackbox.v1` JSON to `path` (carrying the
+  // full violation list collected so far). Later violations only accumulate;
+  // pass "" to disarm. Every violation, armed or not, is also recorded in
+  // the system's flight recorder (kernel ring, kInvariantViolation).
+  void ArmBlackBox(std::string path) {
+    blackbox_path_ = std::move(path);
+    blackbox_written_ = false;
+  }
+
   bool ok() const { return violations_.empty(); }
   const std::vector<Violation>& violations() const { return violations_; }
   bool Has(Violation::Kind kind) const;
@@ -159,6 +170,8 @@ class InvariantChecker : public BusSnooper, public LoggerObserver, public LogTai
   LvmSystem* system_;
   HardwareLogger* logger_;
   std::deque<PendingWrite> pending_;
+  std::string blackbox_path_;
+  bool blackbox_written_ = false;
   std::unordered_map<uint32_t, LogState> logs_;
   std::vector<Violation> violations_;
 

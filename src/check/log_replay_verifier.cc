@@ -1,6 +1,8 @@
 #include "src/check/log_replay_verifier.h"
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <sstream>
 
 #include "src/base/check.h"
@@ -78,6 +80,42 @@ std::vector<ReplayMismatch> LogReplayVerifier::Verify(Cpu* cpu, size_t max_misma
           return mismatches;
         }
       }
+    }
+  }
+  return mismatches;
+}
+
+std::vector<ReplayMismatch> LogReplayVerifier::CrossCheckTail(
+    const std::vector<LogRecord>& tail_records,
+    const std::vector<std::pair<PhysAddr, std::vector<uint8_t>>>& memory,
+    size_t max_mismatches) {
+  // Last-wins byte image of what the tail says memory should hold. An
+  // ordered map keeps the mismatch report deterministic.
+  std::map<PhysAddr, uint8_t> replayed;
+  for (const LogRecord& record : tail_records) {
+    if ((record.flags & kRecordFlagOldValue) != 0) {
+      continue;  // Old-value records describe the pre-write datum.
+    }
+    uint32_t len = std::min<uint32_t>(record.size, sizeof(record.value));
+    for (uint32_t i = 0; i < len; ++i) {
+      replayed[record.addr + i] = static_cast<uint8_t>(record.value >> (8 * i));
+    }
+  }
+  std::vector<ReplayMismatch> mismatches;
+  for (const auto& [addr, want] : replayed) {
+    for (const auto& [base, bytes] : memory) {
+      if (addr < base || addr - base >= bytes.size()) {
+        continue;
+      }
+      uint8_t actual = bytes[addr - base];
+      if (actual != want) {
+        mismatches.push_back(
+            ReplayMismatch{addr >> kPageShift, PageOffset(addr), want, actual});
+        if (mismatches.size() >= max_mismatches) {
+          return mismatches;
+        }
+      }
+      break;
     }
   }
   return mismatches;

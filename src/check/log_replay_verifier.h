@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/logger/log_record.h"
 #include "src/lvm/lvm_system.h"
 #include "src/vm/region.h"
 #include "src/vm/segment.h"
@@ -57,6 +59,20 @@ class LogReplayVerifier {
 
   // Renders mismatches for humans.
   static std::string Describe(const std::vector<ReplayMismatch>& mismatches);
+
+  // Post-mortem variant for black-box dumps (lvm-inspect --replay-check):
+  // no live system, just the dump's physically-addressed tail records and
+  // the memory extents captured alongside them. Replays the records
+  // byte-wise (last record wins, old-value records skipped) and diffs every
+  // replayed byte that falls inside an extent; bytes outside the captured
+  // extents cannot be checked and are ignored. A mismatch means the tail of
+  // the log no longer reproduces memory — a dropped, reordered or corrupted
+  // record. `page_index`/`offset_in_page` in the result are the *physical*
+  // page number and offset.
+  static std::vector<ReplayMismatch> CrossCheckTail(
+      const std::vector<LogRecord>& tail_records,
+      const std::vector<std::pair<PhysAddr, std::vector<uint8_t>>>& memory,
+      size_t max_mismatches = 16);
 
  private:
   // Shadow page bytes by page index; pages missing from the map were not

@@ -1,0 +1,435 @@
+// The black-box dump: LvmSystem serialized for post-mortem inspection.
+//
+// Applies the paper's own premise to the simulator: a bounded log of what
+// the machine did (the flight recorder), the final counter state, and the
+// tail of every hardware log segment together reconstruct the crash
+// without a debugger attached. The bundle is strict JSON (`lvm.blackbox.v1`)
+// readable by obs/blackbox_reader.h and the lvm-inspect CLI.
+//
+// Each log section carries the last kTailRecords decoded records plus the
+// effective memory bytes they address, so LogReplayVerifier::CrossCheckTail
+// can re-run the replay-versus-memory diff from the dump alone (bus-logger
+// physical records only; virtually-addressed records need a live address
+// space to resolve).
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+#include "src/obs/blackbox_reader.h"
+#include "src/obs/json.h"
+
+namespace lvm {
+
+namespace {
+
+// Bounds that keep a dump small enough to attach to a CI failure.
+constexpr size_t kTailRecords = 64;
+constexpr size_t kMaxMemoryLines = 256;
+
+void AppendKeyString(std::string* out, const char* key, std::string_view value) {
+  obs::AppendJsonString(out, key);
+  out->push_back(':');
+  obs::AppendJsonString(out, value);
+}
+
+void AppendKeyNumber(std::string* out, const char* key, uint64_t value) {
+  obs::AppendJsonString(out, key);
+  out->push_back(':');
+  out->append(obs::JsonNumber(value));
+}
+
+void AppendParams(std::string* out, const MachineParams& params) {
+  out->append("\"params\":{");
+  AppendKeyNumber(out, "page_fault_cycles", params.page_fault_cycles);
+  out->push_back(',');
+  AppendKeyNumber(out, "logging_fault_cpu_cycles", params.logging_fault_cpu_cycles);
+  out->push_back(',');
+  AppendKeyNumber(out, "overload_kernel_cycles", params.overload_kernel_cycles);
+  out->push_back(',');
+  AppendKeyNumber(out, "logger_service_active_cycles", params.logger_service_active_cycles);
+  out->push_back(',');
+  AppendKeyNumber(out, "logger_service_drain_cycles", params.logger_service_drain_cycles);
+  out->push_back(',');
+  AppendKeyNumber(out, "logger_fifo_capacity", params.logger_fifo_capacity);
+  out->push_back(',');
+  AppendKeyNumber(out, "logger_fifo_threshold", params.logger_fifo_threshold);
+  out->push_back(',');
+  AppendKeyNumber(out, "memory_read_cycles", params.memory_read_cycles);
+  out->push_back(',');
+  AppendKeyNumber(out, "cache_block_write_total", params.cache_block_write_total);
+  out->push_back(',');
+  AppendKeyNumber(out, "word_write_through_total", params.word_write_through_total);
+  out->push_back(',');
+  AppendKeyNumber(out, "log_record_dma_total", params.log_record_dma_total);
+  out->push_back(',');
+  AppendKeyNumber(out, "timestamp_divider", params.timestamp_divider);
+  out->push_back('}');
+}
+
+void AppendMetrics(std::string* out, const obs::Snapshot& snapshot) {
+  out->append("\"metrics\":{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters()) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    obs::AppendJsonString(out, name);
+    out->push_back(':');
+    out->append(obs::JsonNumber(value));
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges()) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    obs::AppendJsonString(out, name);
+    out->push_back(':');
+    out->append(obs::JsonNumber(value));
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms()) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    obs::AppendJsonString(out, name);
+    out->append(":{");
+    AppendKeyNumber(out, "count", hist.count);
+    out->push_back(',');
+    AppendKeyNumber(out, "sum", hist.sum);
+    out->push_back(',');
+    AppendKeyNumber(out, "min", hist.min);
+    out->push_back(',');
+    AppendKeyNumber(out, "max", hist.max);
+    out->push_back(',');
+    AppendKeyNumber(out, "p50", hist.Percentile(50));
+    out->push_back(',');
+    AppendKeyNumber(out, "p90", hist.Percentile(90));
+    out->push_back(',');
+    AppendKeyNumber(out, "p99", hist.Percentile(99));
+    out->push_back('}');
+  }
+  out->append("}}");
+}
+
+void AppendFlight(std::string* out, const obs::FlightRecorder& flight) {
+  out->append("\"flight\":{");
+  AppendKeyNumber(out, "events_recorded", flight.events_recorded());
+  out->push_back(',');
+  AppendKeyNumber(out, "events_dropped", flight.events_dropped());
+  out->push_back(',');
+  AppendKeyNumber(out, "rings", static_cast<uint64_t>(flight.num_rings()));
+  out->push_back(',');
+  AppendKeyNumber(out, "ring_capacity", flight.ring_capacity());
+  out->append(",\"events\":[");
+  bool first = true;
+  for (const obs::FlightEvent& e : flight.MergedEvents()) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    out->push_back('{');
+    AppendKeyNumber(out, "seq", e.seq);
+    out->push_back(',');
+    AppendKeyNumber(out, "ring", e.ring);
+    out->push_back(',');
+    AppendKeyString(out, "kind", obs::ToString(e.kind));
+    out->push_back(',');
+    AppendKeyString(out, "component", obs::ComponentOf(e.kind));
+    out->push_back(',');
+    AppendKeyNumber(out, "ts", e.ts);
+    if (e.detail != nullptr) {
+      out->push_back(',');
+      AppendKeyString(out, "detail", e.detail);
+    }
+    out->push_back(',');
+    AppendKeyNumber(out, "a0", e.a0);
+    out->push_back(',');
+    AppendKeyNumber(out, "a1", e.a1);
+    out->push_back(',');
+    AppendKeyNumber(out, "a2", e.a2);
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+void AppendRaces(std::string* out, const std::vector<race::RaceReport>& reports) {
+  out->append("\"races\":[");
+  bool first = true;
+  for (const race::RaceReport& r : reports) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    out->push_back('{');
+    AppendKeyString(out, "kind", race::ToString(r.kind));
+    out->push_back(',');
+    AppendKeyNumber(out, "paddr", r.paddr);
+    out->push_back(',');
+    AppendKeyNumber(out, "va", r.va);
+    out->push_back(',');
+    AppendKeyNumber(out, "size", r.size);
+    out->append(",\"logged\":");
+    out->append(r.logged ? "true" : "false");
+    out->push_back(',');
+    AppendKeyNumber(out, "cpu_a", r.cpu_a);
+    out->push_back(',');
+    AppendKeyNumber(out, "cycle_a", r.cycle_a);
+    out->push_back(',');
+    AppendKeyNumber(out, "cpu_b", r.cpu_b);
+    out->push_back(',');
+    AppendKeyNumber(out, "cycle_b", r.cycle_b);
+    out->push_back(',');
+    AppendKeyNumber(out, "count", r.count);
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+// The fatal-signal path: one system armed process-wide, dump-once guard.
+std::atomic<LvmSystem*> g_crash_system{nullptr};
+std::atomic<bool> g_crash_dumped{false};
+std::string g_crash_path;  // Written while disarmed, read by the hooks.
+
+const char* SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+    case SIGABRT:
+      return "SIGABRT";
+  }
+  return "signal";
+}
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+void CheckFailureDump() {
+  LvmSystem* system = g_crash_system.load();
+  if (system == nullptr || g_crash_dumped.exchange(true)) {
+    return;
+  }
+  system->DumpBlackBox(g_crash_path, "check_failure", "LVM_CHECK failed; see stderr");
+}
+
+void FatalSignalDump(int signo) {
+  // Best effort: the dumper is not async-signal-safe, but the process is
+  // about to die regardless and a torn dump beats no dump. Disarm first so
+  // a crash inside the dumper cannot recurse.
+  LvmSystem* system = g_crash_system.exchange(nullptr);
+  if (system != nullptr && !g_crash_dumped.exchange(true)) {
+    system->DumpBlackBox(g_crash_path, "signal", SignalName(signo));
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+std::string LvmSystem::BlackBoxJson(
+    const std::string& cause, const std::string& cause_detail,
+    const std::vector<std::pair<std::string, std::string>>& violations) {
+  std::string out;
+  out.reserve(64u << 10);
+  out.append("{\"format\":");
+  obs::AppendJsonString(&out, obs::kBlackBoxFormat);
+  out.push_back(',');
+  AppendKeyString(&out, "cause", cause);
+  out.push_back(',');
+  AppendKeyString(&out, "cause_detail", cause_detail);
+
+  // --- config ---
+  out.append(",\"config\":{");
+  AppendKeyNumber(&out, "num_cpus", static_cast<uint64_t>(config_.num_cpus));
+  out.push_back(',');
+  AppendKeyString(&out, "logger_kind",
+                  config_.logger_kind == LoggerKind::kBusLogger ? "bus" : "onchip");
+  out.push_back(',');
+  AppendKeyNumber(&out, "memory_size", config_.memory_size);
+  out.push_back(',');
+  AppendKeyNumber(&out, "seed", config_.seed);
+  out.append(",\"auto_extend_logs\":");
+  out.append(config_.auto_extend_logs ? "true" : "false");
+  out.push_back(',');
+  AppendParams(&out, config_.params);
+  out.push_back('}');
+
+  // --- flight recorder ---
+  out.push_back(',');
+  AppendFlight(&out, flight_);
+
+  // --- metrics ---
+  out.push_back(',');
+  AppendMetrics(&out, metrics_.TakeSnapshot());
+
+  // --- logs ---
+  // Physical record addresses resolve without an address space only in the
+  // plain bus-logger configuration; only then can memory bytes back a
+  // post-mortem replay cross-check.
+  bool physical_records =
+      config_.logger_kind == LoggerKind::kBusLogger && !config_.bus_logger_virtual_records;
+  out.append(",\"logs\":[");
+  std::map<uint32_t, LogSegment*> ordered(logs_by_index_.begin(), logs_by_index_.end());
+  bool first_log = true;
+  for (const auto& [index, log] : ordered) {
+    if (!first_log) {
+      out.push_back(',');
+    }
+    first_log = false;
+    // append_offset is kernel bookkeeping, reconciled only at SyncLog and
+    // tail faults — in a mid-run crash it lags the hardware tail. The dump
+    // reads the live log-table tail so the records the hardware already
+    // wrote are not silently missing from the post-mortem.
+    uint32_t effective_append = log->append_offset;
+    LogTable& table = log_table();
+    if (log->hw_tail_initialized && index < table.size()) {
+      const LogTable::Entry& entry = table.at(index);
+      if (entry.tail_valid && log->active_frame < log->page_count() &&
+          PageBase(entry.tail) == log->FrameAt(log->active_frame)) {
+        uint32_t hw_append = log->active_frame * kPageSize + PageOffset(entry.tail);
+        if (hw_append > effective_append) {
+          effective_append = hw_append;
+        }
+      }
+    }
+    size_t records = effective_append / kLogRecordSize;
+    size_t tail_count = std::min(records, kTailRecords);
+    size_t tail_first = records - tail_count;
+    out.push_back('{');
+    AppendKeyNumber(&out, "log_index", index);
+    out.push_back(',');
+    AppendKeyNumber(&out, "append_offset", effective_append);
+    out.push_back(',');
+    AppendKeyNumber(&out, "pages", log->page_count());
+    out.push_back(',');
+    AppendKeyNumber(&out, "records", records);
+    out.push_back(',');
+    AppendKeyNumber(&out, "records_lost", log->records_lost);
+    out.push_back(',');
+    AppendKeyNumber(&out, "tail_first", tail_first);
+    out.append(",\"tail_records\":[");
+    std::set<PhysAddr> lines;
+    for (size_t i = tail_first; i < records; ++i) {
+      // Not LogReader::At — it bounds-checks against the stale
+      // append_offset this dump deliberately reads past.
+      uint32_t offset = static_cast<uint32_t>(i) * kLogRecordSize;
+      LogRecord record = LoadLogRecord(machine_.memory(),
+                                       log->FrameAt(PageNumber(offset)) + PageOffset(offset));
+      if (i != tail_first) {
+        out.push_back(',');
+      }
+      out.push_back('{');
+      AppendKeyNumber(&out, "addr", record.addr);
+      out.push_back(',');
+      AppendKeyNumber(&out, "value", record.value);
+      out.push_back(',');
+      AppendKeyNumber(&out, "size", record.size);
+      out.push_back(',');
+      AppendKeyNumber(&out, "flags", record.flags);
+      out.push_back(',');
+      AppendKeyNumber(&out, "timestamp", record.timestamp);
+      out.push_back('}');
+      if (physical_records && lines.size() < kMaxMemoryLines && record.size > 0) {
+        for (PhysAddr line = LineBase(record.addr);
+             line < record.addr + record.size && lines.size() < kMaxMemoryLines;
+             line += kLineSize) {
+          lines.insert(line);
+        }
+      }
+    }
+    out.append("],\"memory\":[");
+    bool first_line = true;
+    for (PhysAddr line : lines) {
+      if (!first_line) {
+        out.push_back(',');
+      }
+      first_line = false;
+      uint8_t bytes[kLineSize];
+      ReadEffectiveLine(line, bytes);
+      out.push_back('{');
+      AppendKeyNumber(&out, "addr", line);
+      out.push_back(',');
+      AppendKeyString(&out, "hex", obs::HexEncode(bytes, kLineSize));
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.push_back(']');
+
+  // --- races ---
+  out.push_back(',');
+  AppendRaces(&out, GetRaceReports());
+
+  // --- violations ---
+  out.append(",\"violations\":[");
+  bool first_violation = true;
+  for (const auto& [kind, message] : violations) {
+    if (!first_violation) {
+      out.push_back(',');
+    }
+    first_violation = false;
+    out.push_back('{');
+    AppendKeyString(&out, "kind", kind);
+    out.push_back(',');
+    AppendKeyString(&out, "message", message);
+    out.push_back('}');
+  }
+  out.append("]}");
+  LVM_DCHECK(obs::ValidateJson(out));
+  return out;
+}
+
+bool LvmSystem::DumpBlackBox(const std::string& path, const std::string& cause,
+                             const std::string& cause_detail,
+                             const std::vector<std::pair<std::string, std::string>>& violations) {
+  std::string json = BlackBoxJson(cause, cause_detail, violations);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+void LvmSystem::InstallCrashHandler(const std::string& path) {
+  if (path.empty()) {
+    // Disarm only if this system armed the hooks.
+    LvmSystem* expected = this;
+    if (g_crash_system.compare_exchange_strong(expected, nullptr)) {
+      SetCheckFailureHook(nullptr);
+      for (int signo : kFatalSignals) {
+        std::signal(signo, SIG_DFL);
+      }
+    }
+    return;
+  }
+  g_crash_system.store(nullptr);  // Quiesce the hooks while the path swaps.
+  g_crash_path = path;
+  g_crash_dumped.store(false);
+  g_crash_system.store(this);
+  SetCheckFailureHook(&CheckFailureDump);
+  for (int signo : kFatalSignals) {
+    std::signal(signo, &FatalSignalDump);
+  }
+}
+
+}  // namespace lvm

@@ -16,6 +16,7 @@ constexpr PhysAddr kFirstAllocatableFrame = 2 * kPageSize;
 
 LvmSystem::LvmSystem(const LvmConfig& config)
     : config_(config),
+      flight_(config.num_cpus, config.flight),
       machine_(config.params, config.memory_size, config.num_cpus),
       frame_allocator_(&machine_.memory(), kFirstAllocatableFrame),
       absorb_frame_(kAbsorbFrame),
@@ -77,6 +78,13 @@ LvmSystem::LvmSystem(const LvmConfig& config)
     }
     return total;
   });
+  metrics_.RegisterCallback("cpu.compute_cycles", [this] {
+    uint64_t total = 0;
+    for (int i = 0; i < machine_.num_cpus(); ++i) {
+      total += machine_.cpu(i).compute_cycles();
+    }
+    return total;
+  });
   metrics_.RegisterCallback("cpu.max_cycles", [this] {
     Cycles max = 0;
     for (int i = 0; i < machine_.num_cpus(); ++i) {
@@ -90,6 +98,21 @@ LvmSystem::LvmSystem(const LvmConfig& config)
     metrics_.RegisterCallback("logger.fifo_occupancy",
                               [this] { return static_cast<uint64_t>(bus_logger_->fifo_occupancy()); });
   }
+  flight_.RegisterMetrics(&metrics_);
+  trace_.RegisterMetrics(&metrics_);
+  // Metrics-sync payload for the flight timeline: cumulative records
+  // logged, logged writes, overload suspensions (all relaxed atomics, so
+  // the sampler is safe on any recording thread).
+  flight_.SetSyncSampler([this](uint64_t* a0, uint64_t* a1, uint64_t* a2) {
+    *a0 = bus_logger_ != nullptr ? bus_logger_->records_logged()
+                                 : onchip_logger_->records_logged();
+    uint64_t logged_writes = 0;
+    for (int i = 0; i < machine_.num_cpus(); ++i) {
+      logged_writes += machine_.cpu(i).logged_writes();
+    }
+    *a1 = logged_writes;
+    *a2 = overload_suspensions_.value();
+  });
 }
 
 void LvmSystem::EnableTracing(size_t capacity) {
@@ -106,7 +129,10 @@ void LvmSystem::EnableTracing(size_t capacity) {
   }
 }
 
-LvmSystem::~LvmSystem() = default;
+LvmSystem::~LvmSystem() {
+  // Disarm process-wide crash capture if this system armed it.
+  InstallCrashHandler("");
+}
 
 race::RaceDetector* LvmSystem::EnableRaceDetection(const race::RaceConfig& config) {
   LVM_CHECK_MSG(race_detector_ == nullptr, "race detection already enabled");
@@ -115,6 +141,7 @@ race::RaceDetector* LvmSystem::EnableRaceDetection(const race::RaceConfig& confi
     machine_.cpu(i).set_access_observer(race_detector_.get());
   }
   race_detector_->RegisterMetrics(&metrics_);
+  race_detector_->SetFlightRecorder(&flight_);
   return race_detector_.get();
 }
 
@@ -457,6 +484,8 @@ bool LvmSystem::OnMappingFault(PhysAddr paddr, Cycles time) {
   machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
   trace_.Complete("vm", "mapping_fault", 0, start, machine_.cpu(0).now(), "paddr", paddr,
                   "logger_time", time);
+  flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kLoggingFault, start,
+                 "mapping_fault", paddr, time);
   auto it = logged_frames_.find(PageNumber(paddr));
   if (it == logged_frames_.end()) {
     return false;
@@ -473,6 +502,8 @@ bool LvmSystem::OnLogTailFault(uint32_t log_index, Cycles time) {
   machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
   trace_.Complete("vm", "tail_fault", 0, start, machine_.cpu(0).now(), "log_index", log_index,
                   "logger_time", time);
+  flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kLoggingFault, start,
+                 "tail_fault", log_index, time);
   auto it = logs_by_index_.find(log_index);
   if (it == logs_by_index_.end()) {
     return false;
@@ -499,6 +530,10 @@ void LvmSystem::OnOverload(Cycles interrupt_time, Cycles drain_complete) {
   }
   trace_.Complete("kernel", "overload_suspend", 0, interrupt_time, resume, "drain_complete",
                   drain_complete);
+  flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kOverloadSuspend, interrupt_time,
+                 "fifo_overload", drain_complete, resume);
+  flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kOverloadResume, resume,
+                 "fifo_drained", resume - interrupt_time);
 }
 
 void LvmSystem::AdoptAppendOffset(LogSegment* log, uint32_t append_offset) {
@@ -515,6 +550,10 @@ void LvmSystem::NoteOverloadSuspension(Cycles interrupt_time, Cycles resume) {
     machine_.cpu(i).AdvanceTo(resume);
   }
   trace_.Complete("kernel", "overload_suspend", 0, interrupt_time, resume);
+  flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kOverloadSuspend, interrupt_time,
+                 "sharded_overload", 0, resume);
+  flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kOverloadResume, resume,
+                 "sharded_drained", resume - interrupt_time);
 }
 
 void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
@@ -528,6 +567,8 @@ void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
       // No frame available: absorb records into the default page.
       log_table().SetTail(log_index, absorb_frame_);
       absorbing_[log_index] = true;
+      flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kLogTailAdvance,
+                     machine_.cpu(0).now(), "absorb", log_index, log->append_offset);
       return;
     }
   }
@@ -535,6 +576,8 @@ void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
   log->active_frame = frame_index;
   log->hw_tail_initialized = true;
   absorbing_[log_index] = false;
+  flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kLogTailAdvance,
+                 machine_.cpu(0).now(), "tail_advance", log_index, log->append_offset);
 }
 
 void LvmSystem::RefreshAppendOffset(LogSegment* log) {
@@ -643,6 +686,8 @@ void LvmSystem::ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, Vi
   }
   trace_.Complete("vm", "reset_deferred_copy", static_cast<uint32_t>(cpu->id()), span_start,
                   cpu->now(), "pages", pages_reset);
+  flight_.Record(cpu->id(), obs::FlightEventKind::kDeferredCopyReset, span_start,
+                 "reset_deferred_copy", pages_reset, start, end);
   // The reset is a kernel-serialized rendezvous (it rewrites every CPU's
   // view of the range and invalidates their L1s): a happens-before barrier
   // for the race detector.
@@ -736,6 +781,9 @@ LvmSystem::Stats LvmSystem::GetStats() const {
   stats.l2_fills = snapshot.counter("l2.fills");
   stats.l2_writebacks = snapshot.counter("l2.writebacks");
   stats.max_cpu_cycles = snapshot.counter("cpu.max_cycles");
+  stats.trace_events_dropped = snapshot.counter("trace.events_dropped");
+  stats.flight_events_recorded = snapshot.counter("flight.events_recorded");
+  stats.flight_events_dropped = snapshot.counter("flight.events_dropped");
   return stats;
 }
 
@@ -755,6 +803,9 @@ LvmSystem::Stats LvmSystem::Stats::Delta(const Stats& before) const {
   d.l2_fills = sub(l2_fills, before.l2_fills);
   d.l2_writebacks = sub(l2_writebacks, before.l2_writebacks);
   d.max_cpu_cycles = sub(max_cpu_cycles, before.max_cpu_cycles);
+  d.trace_events_dropped = sub(trace_events_dropped, before.trace_events_dropped);
+  d.flight_events_recorded = sub(flight_events_recorded, before.flight_events_recorded);
+  d.flight_events_dropped = sub(flight_events_dropped, before.flight_events_dropped);
   return d;
 }
 

@@ -30,6 +30,7 @@
 #include "src/logger/hardware_logger.h"
 #include "src/logger/onchip_logger.h"
 #include "src/logger/tables.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/race/race_detector.h"
@@ -68,6 +69,11 @@ struct LvmConfig {
   // translation into the page mapping table so records carry virtual
   // addresses, relying on the single-logged-region-per-segment rule.
   bool bus_logger_virtual_records = false;
+  // Workload seed, recorded for reproduction: the simulator itself is
+  // deterministic, so a black-box dump plus this seed replays the run.
+  uint64_t seed = 0;
+  // Flight-recorder sizing (always on; see src/obs/flight_recorder.h).
+  obs::FlightConfig flight;
 };
 
 class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
@@ -105,6 +111,30 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // Writes the recorded trace as Chrome trace-event JSON (load it at
   // ui.perfetto.dev). Returns false if the file could not be written.
   bool WriteTrace(const std::string& path) const { return trace_.WriteChromeTraceFile(path); }
+  // The always-on flight recorder: one bounded event ring per CPU plus a
+  // kernel ring, fed by the fault/overload/reset/rollback paths.
+  obs::FlightRecorder& flight() { return flight_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
+
+  // --- black box (src/lvm/black_box.cc) ---
+  // Serializes the lvm.blackbox.v1 bundle — config, flight-recorder
+  // timeline, final metrics snapshot, per-log tails with the memory bytes
+  // they replay to, pending race reports, and `violations` (kind, message)
+  // pairs — as strict JSON at `path`. Returns false if the file could not
+  // be written. `cause` is one of "invariant_violation", "check_failure",
+  // "signal", "manual".
+  bool DumpBlackBox(const std::string& path, const std::string& cause = "manual",
+                    const std::string& cause_detail = "",
+                    const std::vector<std::pair<std::string, std::string>>& violations = {});
+  // The dump as a string (testing / in-process inspection).
+  std::string BlackBoxJson(const std::string& cause = "manual",
+                           const std::string& cause_detail = "",
+                           const std::vector<std::pair<std::string, std::string>>& violations = {});
+  // Arms process-wide crash capture for THIS system: a CHECK failure or a
+  // fatal signal (SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT) writes the
+  // black box to `path` before the process dies. One system at a time;
+  // call again with "" to disarm (the destructor disarms automatically).
+  void InstallCrashHandler(const std::string& path);
 
   // --- introspection (the src/check invariant checker reads these) ---
   // Every address space created so far.
@@ -249,6 +279,12 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
     uint64_t l2_fills = 0;
     uint64_t l2_writebacks = 0;
     Cycles max_cpu_cycles = 0;
+    // Silent-loss visibility: events the bounded observability buffers let
+    // go of (trace: new events dropped at capacity; flight: oldest events
+    // overwritten).
+    uint64_t trace_events_dropped = 0;
+    uint64_t flight_events_recorded = 0;
+    uint64_t flight_events_dropped = 0;
 
     // Per-phase difference (saturating at 0): every field subtracts, so
     // max_cpu_cycles becomes the cycles elapsed during the phase.
@@ -292,6 +328,7 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   obs::TraceRecorder trace_;
 
   LvmConfig config_;
+  obs::FlightRecorder flight_;
   Machine machine_;
   FrameAllocator frame_allocator_;
   DeferredCopyMap deferred_copy_;

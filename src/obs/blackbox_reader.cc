@@ -1,0 +1,317 @@
+#include "src/obs/blackbox_reader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lvm {
+namespace obs {
+
+namespace {
+
+bool FailParse(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) {
+    *error = message;
+  }
+  return false;
+}
+
+BlackBoxEvent ParseEvent(const JsonValue& v) {
+  BlackBoxEvent e;
+  e.seq = v.GetUint64("seq");
+  e.ring = static_cast<int>(v.GetInt64("ring"));
+  e.kind = v.GetString("kind");
+  e.component = v.GetString("component");
+  e.ts = v.GetUint64("ts");
+  e.detail = v.GetString("detail");
+  e.a0 = v.GetUint64("a0");
+  e.a1 = v.GetUint64("a1");
+  e.a2 = v.GetUint64("a2");
+  return e;
+}
+
+BlackBoxRecord ParseRecord(const JsonValue& v) {
+  BlackBoxRecord r;
+  r.addr = v.GetUint64("addr");
+  r.value = v.GetUint64("value");
+  r.size = static_cast<uint32_t>(v.GetUint64("size"));
+  r.flags = static_cast<uint32_t>(v.GetUint64("flags"));
+  r.timestamp = v.GetUint64("timestamp");
+  return r;
+}
+
+std::string RingName(const BlackBoxDump& dump, int ring) {
+  char buffer[24];
+  if (dump.rings > 0 && ring == dump.rings - 1) {
+    return "krnl";
+  }
+  std::snprintf(buffer, sizeof(buffer), "cpu%d", ring);
+  return buffer;
+}
+
+}  // namespace
+
+uint64_t BlackBoxDump::Counter(std::string_view name) const {
+  const JsonValue* counters = metrics.Find("counters");
+  return counters != nullptr ? counters->GetUint64(name) : 0;
+}
+
+uint64_t BlackBoxDump::Param(std::string_view name, uint64_t fallback) const {
+  const JsonValue* params = config.Find("params");
+  return params != nullptr ? params->GetUint64(name, fallback) : fallback;
+}
+
+bool ParseBlackBoxDump(std::string_view json, BlackBoxDump* out, std::string* error) {
+  *out = BlackBoxDump();
+  JsonValue root;
+  std::string parse_error;
+  if (!ParseJson(json, &root, &parse_error)) {
+    return FailParse(error, "not valid JSON: " + parse_error);
+  }
+  if (!root.is_object()) {
+    return FailParse(error, "dump is not a JSON object");
+  }
+  std::string format = root.GetString("format");
+  if (format != kBlackBoxFormat) {
+    return FailParse(error, "unrecognized format \"" + format + "\" (want " +
+                                std::string(kBlackBoxFormat) + ")");
+  }
+  out->cause = root.GetString("cause");
+  out->cause_detail = root.GetString("cause_detail");
+  if (const JsonValue* config = root.Find("config")) {
+    out->config = *config;
+  }
+  if (const JsonValue* flight = root.Find("flight")) {
+    out->events_recorded = flight->GetUint64("events_recorded");
+    out->events_dropped = flight->GetUint64("events_dropped");
+    out->rings = static_cast<int>(flight->GetInt64("rings"));
+    out->ring_capacity = flight->GetUint64("ring_capacity");
+    if (const JsonValue* events = flight->Find("events"); events != nullptr &&
+        events->is_array()) {
+      out->events.reserve(events->Items().size());
+      for (const JsonValue& e : events->Items()) {
+        out->events.push_back(ParseEvent(e));
+      }
+    }
+  }
+  if (const JsonValue* metrics = root.Find("metrics")) {
+    out->metrics = *metrics;
+  }
+  if (const JsonValue* logs = root.Find("logs"); logs != nullptr && logs->is_array()) {
+    for (const JsonValue& l : logs->Items()) {
+      BlackBoxLog log;
+      log.log_index = static_cast<int>(l.GetInt64("log_index"));
+      log.append_offset = l.GetUint64("append_offset");
+      log.pages = l.GetUint64("pages");
+      log.records = l.GetUint64("records");
+      log.tail_first = l.GetUint64("tail_first");
+      if (const JsonValue* tail = l.Find("tail_records"); tail != nullptr && tail->is_array()) {
+        for (const JsonValue& r : tail->Items()) {
+          log.tail_records.push_back(ParseRecord(r));
+        }
+      }
+      if (const JsonValue* memory = l.Find("memory"); memory != nullptr && memory->is_array()) {
+        for (const JsonValue& m : memory->Items()) {
+          BlackBoxMemoryExtent extent;
+          extent.addr = m.GetUint64("addr");
+          if (!HexDecode(m.GetString("hex"), &extent.bytes)) {
+            return FailParse(error, "bad hex in memory extent");
+          }
+          log.memory.push_back(std::move(extent));
+        }
+      }
+      out->logs.push_back(std::move(log));
+    }
+  }
+  if (const JsonValue* races = root.Find("races")) {
+    out->races = *races;
+  }
+  if (const JsonValue* violations = root.Find("violations");
+      violations != nullptr && violations->is_array()) {
+    for (const JsonValue& v : violations->Items()) {
+      out->violations.push_back(BlackBoxViolation{v.GetString("kind"), v.GetString("message")});
+    }
+  }
+  return true;
+}
+
+bool LoadBlackBoxDump(const std::string& path, BlackBoxDump* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return FailParse(error, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseBlackBoxDump(buffer.str(), out, error);
+}
+
+std::string HexEncode(const uint8_t* data, size_t size) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(size * 2);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(std::string_view hex, std::vector<uint8_t>* out) {
+  out->clear();
+  if (hex.size() % 2 != 0) {
+    return false;
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+      return c - 'A' + 10;
+    }
+    return -1;
+  };
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out->push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return true;
+}
+
+std::string RenderSummary(const BlackBoxDump& dump) {
+  std::ostringstream out;
+  out << "black box: cause=" << dump.cause;
+  if (!dump.cause_detail.empty()) {
+    out << " (" << dump.cause_detail << ")";
+  }
+  out << "\n";
+  out << "config: " << dump.config.GetUint64("num_cpus", 1) << " cpu(s), "
+      << dump.config.GetString("logger_kind", "?") << " logger, "
+      << dump.config.GetUint64("memory_size") << " B memory, seed "
+      << dump.config.GetUint64("seed") << "\n";
+  out << "flight: " << dump.events_recorded << " events recorded, " << dump.events_dropped
+      << " overwritten, " << dump.events.size() << " retained in " << dump.rings
+      << " ring(s) x " << dump.ring_capacity << "\n";
+  uint64_t total_records = 0;
+  for (const BlackBoxLog& log : dump.logs) {
+    total_records += log.records;
+  }
+  out << "logs: " << dump.logs.size() << " segment(s), " << total_records << " record(s)\n";
+  size_t races = dump.races.is_array() ? dump.races.Items().size() : 0;
+  out << "races: " << races << " pending report(s)\n";
+  if (!dump.violations.empty()) {
+    out << "violations (" << dump.violations.size() << "):\n";
+    for (const BlackBoxViolation& v : dump.violations) {
+      out << "  - " << v.kind << ": " << v.message << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderTimeline(const BlackBoxDump& dump, size_t max_events) {
+  std::ostringstream out;
+  size_t first = 0;
+  if (max_events > 0 && dump.events.size() > max_events) {
+    first = dump.events.size() - max_events;
+    out << "... " << first << " earlier event(s) elided\n";
+  }
+  out << "     seq          ts ring  component  event\n";
+  // Cumulative counters carried by the previous sync point, for deltas.
+  bool have_sync = false;
+  uint64_t sync0 = 0;
+  uint64_t sync1 = 0;
+  uint64_t sync2 = 0;
+  for (size_t i = 0; i < dump.events.size(); ++i) {
+    const BlackBoxEvent& e = dump.events[i];
+    bool is_sync = e.kind == "metrics_sync";
+    if (i < first) {
+      if (is_sync) {  // Keep delta continuity across the elision.
+        have_sync = true;
+        sync0 = e.a0;
+        sync1 = e.a1;
+        sync2 = e.a2;
+      }
+      continue;
+    }
+    char head[80];
+    std::snprintf(head, sizeof(head), "%8llu %11llu %-5s %-10s ",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned long long>(e.ts), RingName(dump, e.ring).c_str(),
+                  e.component.c_str());
+    out << head << e.kind;
+    if (is_sync) {
+      if (have_sync) {
+        out << " d_records=+" << (e.a0 - sync0) << " d_logged_writes=+" << (e.a1 - sync1)
+            << " d_overloads=+" << (e.a2 - sync2);
+      } else {
+        out << " records=" << e.a0 << " logged_writes=" << e.a1 << " overloads=" << e.a2;
+      }
+      have_sync = true;
+      sync0 = e.a0;
+      sync1 = e.a1;
+      sync2 = e.a2;
+    } else {
+      if (!e.detail.empty() && e.detail != e.kind) {
+        out << " " << e.detail;
+      }
+      if (e.a0 != 0 || e.a1 != 0 || e.a2 != 0) {
+        out << " [" << e.a0 << ", " << e.a1 << ", " << e.a2 << "]";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::pair<std::string, double>> AttributeCycles(const BlackBoxDump& dump) {
+  std::vector<std::pair<std::string, double>> buckets;
+  double kernel =
+      static_cast<double>(dump.Counter("kernel.logging_faults_handled")) *
+          static_cast<double>(dump.Param("logging_fault_cpu_cycles", 400)) +
+      static_cast<double>(dump.Counter("kernel.overload_suspensions")) *
+          static_cast<double>(dump.Param("overload_kernel_cycles", 21000));
+  double vm = static_cast<double>(dump.Counter("cpu.page_faults")) *
+              static_cast<double>(dump.Param("page_fault_cycles", 800));
+  double logger = static_cast<double>(dump.Counter("logger.records_logged")) *
+                  static_cast<double>(dump.Param("logger_service_active_cycles", 27));
+  double bus = static_cast<double>(dump.Counter("bus.busy_cycles"));
+  double l2 = static_cast<double>(dump.Counter("l2.fills")) *
+                  static_cast<double>(dump.Param("memory_read_cycles", 24)) +
+              static_cast<double>(dump.Counter("l2.writebacks")) *
+                  static_cast<double>(dump.Param("cache_block_write_total", 9));
+  double app = static_cast<double>(dump.Counter("cpu.compute_cycles"));
+  buckets.emplace_back("app", app);
+  buckets.emplace_back("kernel", kernel);
+  buckets.emplace_back("vm", vm);
+  buckets.emplace_back("logger", logger);
+  buckets.emplace_back("bus", bus);
+  buckets.emplace_back("l2", l2);
+  std::sort(buckets.begin(), buckets.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return buckets;
+}
+
+std::string RenderAttribution(const BlackBoxDump& dump) {
+  std::ostringstream out;
+  double max_cycles = static_cast<double>(dump.Counter("cpu.max_cycles"));
+  out << "cycle attribution (vs cpu.max_cycles=" << dump.Counter("cpu.max_cycles") << "):\n";
+  for (const auto& [component, cycles] : AttributeCycles(dump)) {
+    char line[96];
+    double share = max_cycles > 0 ? 100.0 * cycles / max_cycles : 0.0;
+    std::snprintf(line, sizeof(line), "  %-7s %14.0f cycles  %6.2f%%\n", component.c_str(),
+                  cycles, share);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace lvm

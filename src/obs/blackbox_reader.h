@@ -1,0 +1,138 @@
+// Reader-side model of the lvm.blackbox.v1 crash dump.
+//
+// The writer (LvmSystem::DumpBlackBox, src/lvm/black_box.cc) serializes the
+// flight recorder, final metrics snapshot, per-log tails and pending race
+// reports into one strict-JSON bundle. This header is the other half: a
+// plain-struct model, a parser over obs/json's DOM, and the rendering
+// helpers the lvm-inspect CLI and tests/blackbox_test.cc share (summary,
+// merged timeline, component cycle attribution).
+//
+// Layering: this stays in src/obs with no simulator dependencies so the
+// inspector can load a dump from a process that never built an LvmSystem.
+// The replay cross-check, which needs LogRecord semantics, lives in
+// src/check (LogReplayVerifier::CrossCheckTail) and consumes these structs
+// converted by the caller.
+#ifndef SRC_OBS_BLACKBOX_READER_H_
+#define SRC_OBS_BLACKBOX_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace lvm {
+namespace obs {
+
+inline constexpr char kBlackBoxFormat[] = "lvm.blackbox.v1";
+
+// One flight-recorder event as dumped (kind/component already stringified).
+struct BlackBoxEvent {
+  uint64_t seq = 0;
+  int ring = 0;
+  std::string kind;
+  std::string component;
+  uint64_t ts = 0;
+  std::string detail;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  uint64_t a2 = 0;
+};
+
+// One decoded log record from a dumped tail (mirrors logger/log_record.h
+// without depending on it).
+struct BlackBoxRecord {
+  uint64_t addr = 0;
+  uint64_t value = 0;
+  uint32_t size = 0;
+  uint32_t flags = 0;
+  uint64_t timestamp = 0;
+};
+
+// Effective memory bytes at dump time for a physically contiguous range.
+struct BlackBoxMemoryExtent {
+  uint64_t addr = 0;
+  std::vector<uint8_t> bytes;
+};
+
+// One log segment's dump section: identity, tail records, and the memory
+// image the tail should replay to.
+struct BlackBoxLog {
+  int log_index = 0;
+  uint64_t append_offset = 0;
+  uint64_t pages = 0;
+  uint64_t records = 0;
+  uint64_t tail_first = 0;  // Index of tail_records[0] within the log.
+  std::vector<BlackBoxRecord> tail_records;
+  std::vector<BlackBoxMemoryExtent> memory;
+};
+
+struct BlackBoxViolation {
+  std::string kind;
+  std::string message;
+};
+
+struct BlackBoxDump {
+  std::string cause;         // invariant_violation | check_failure | signal | manual
+  std::string cause_detail;  // Free-form: the violation message, signal name, ...
+  JsonValue config;          // num_cpus / logger_kind / seed / params subset.
+  uint64_t events_recorded = 0;
+  uint64_t events_dropped = 0;
+  int rings = 0;
+  uint64_t ring_capacity = 0;
+  std::vector<BlackBoxEvent> events;  // Sequence-ordered merged timeline.
+  JsonValue metrics;                  // counters / gauges / histograms objects.
+  std::vector<BlackBoxLog> logs;
+  JsonValue races;  // The race-report array, verbatim.
+  std::vector<BlackBoxViolation> violations;
+
+  // Counter value from the dumped metrics snapshot (0 when absent).
+  uint64_t Counter(std::string_view name) const;
+  // Machine parameter from config.params (fallback when absent).
+  uint64_t Param(std::string_view name, uint64_t fallback) const;
+};
+
+// Parses a dump; rejects anything that is not well-formed JSON with
+// format == lvm.blackbox.v1. On failure returns false and describes the
+// problem in *error (if non-null).
+bool ParseBlackBoxDump(std::string_view json, BlackBoxDump* out, std::string* error = nullptr);
+// ParseBlackBoxDump over a file's contents.
+bool LoadBlackBoxDump(const std::string& path, BlackBoxDump* out, std::string* error = nullptr);
+
+// Hex encoding for memory extents ("00af3c..."; two lowercase digits per
+// byte). Decode returns false on odd length or a non-hex digit.
+std::string HexEncode(const uint8_t* data, size_t size);
+bool HexDecode(std::string_view hex, std::vector<uint8_t>* out);
+
+// --- rendering (shared by lvm-inspect and tests) ---
+
+// Cause, config one-liner, event/drop counts, violation list.
+std::string RenderSummary(const BlackBoxDump& dump);
+
+// The merged event timeline, one line per event, oldest first. When
+// max_events > 0 only the newest that many events render (a "... N earlier
+// events" header notes the elision). kMetricsSync events render the deltas
+// between consecutive sync points.
+std::string RenderTimeline(const BlackBoxDump& dump, size_t max_events = 0);
+
+// Attributes simulated cycles to components from the dumped counters and
+// the machine parameters recorded in config.params:
+//   kernel - logging-fault handling + overload suspensions
+//   vm     - page-fault handling
+//   logger - record service time
+//   bus    - busy cycles as seen by the bus model
+//   l2     - fills and writebacks
+// Returns (component, cycles) pairs, largest first. The buckets overlap
+// (bus busy time includes logged-write traffic) — this is a profile of
+// where simulated time went, not a partition.
+std::vector<std::pair<std::string, double>> AttributeCycles(const BlackBoxDump& dump);
+// The attribution table as text, with each bucket as a share of
+// cpu.max_cycles.
+std::string RenderAttribution(const BlackBoxDump& dump);
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_BLACKBOX_READER_H_

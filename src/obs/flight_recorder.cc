@@ -1,0 +1,159 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace lvm {
+namespace obs {
+
+const char* ToString(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kLoggingFault:
+      return "logging_fault";
+    case FlightEventKind::kLogTailAdvance:
+      return "log_tail_advance";
+    case FlightEventKind::kOverloadSuspend:
+      return "overload_suspend";
+    case FlightEventKind::kOverloadResume:
+      return "overload_resume";
+    case FlightEventKind::kDeferredCopyReset:
+      return "deferred_copy_reset";
+    case FlightEventKind::kTimeWarpRollback:
+      return "timewarp_rollback";
+    case FlightEventKind::kRaceReport:
+      return "race_report";
+    case FlightEventKind::kInvariantViolation:
+      return "invariant_violation";
+    case FlightEventKind::kCheckFailure:
+      return "check_failure";
+    case FlightEventKind::kEngineStart:
+      return "engine_start";
+    case FlightEventKind::kEngineJoin:
+      return "engine_join";
+    case FlightEventKind::kMetricsSync:
+      return "metrics_sync";
+    case FlightEventKind::kMarker:
+      return "marker";
+  }
+  return "unknown";
+}
+
+const char* ComponentOf(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kLoggingFault:
+    case FlightEventKind::kOverloadSuspend:
+    case FlightEventKind::kOverloadResume:
+    case FlightEventKind::kCheckFailure:
+      return "kernel";
+    case FlightEventKind::kLogTailAdvance:
+    case FlightEventKind::kInvariantViolation:
+      return "logger";
+    case FlightEventKind::kDeferredCopyReset:
+      return "vm";
+    case FlightEventKind::kTimeWarpRollback:
+      return "timewarp";
+    case FlightEventKind::kRaceReport:
+      return "race";
+    case FlightEventKind::kEngineStart:
+    case FlightEventKind::kEngineJoin:
+      return "engine";
+    case FlightEventKind::kMetricsSync:
+      return "obs";
+    case FlightEventKind::kMarker:
+      return "app";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(int num_cpus, const FlightConfig& config) : config_(config) {
+  LVM_CHECK(num_cpus >= 1);
+  LVM_CHECK(config.ring_capacity >= 1);
+  rings_.reserve(static_cast<size_t>(num_cpus) + 1);
+  for (int i = 0; i <= num_cpus; ++i) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.resize(config_.ring_capacity);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void FlightRecorder::Push(int ring_index, const FlightEvent& event) {
+  Ring& ring = *rings_.at(static_cast<size_t>(ring_index));
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.slots[ring.next] = event;
+  ring.next = (ring.next + 1) % ring.slots.size();
+  if (ring.size < ring.slots.size()) {
+    ++ring.size;
+  } else {
+    events_dropped_.Increment();  // The slot held a now-lost older event.
+  }
+}
+
+void FlightRecorder::Record(int ring, FlightEventKind kind, Cycles ts, const char* detail,
+                            uint64_t a0, uint64_t a1, uint64_t a2) {
+  FlightEvent event;
+  event.kind = kind;
+  event.ring = static_cast<uint16_t>(ring);
+  event.ts = ts;
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  event.detail = detail;
+  event.a0 = a0;
+  event.a1 = a1;
+  event.a2 = a2;
+  Push(ring, event);
+  events_recorded_.Increment();
+
+  // Interleave a metrics sync point every sync_interval events. The check
+  // is against the recorded count, not the sequence, so the sync event
+  // itself (recorded below with its own sequence number) cannot recurse.
+  if (sampler_ != nullptr && config_.sync_interval != 0 && kind != FlightEventKind::kMetricsSync &&
+      events_recorded_.value() % config_.sync_interval == 0) {
+    uint64_t s0 = 0;
+    uint64_t s1 = 0;
+    uint64_t s2 = 0;
+    sampler_(&s0, &s1, &s2);
+    Record(kernel_ring(), FlightEventKind::kMetricsSync, ts, "sync", s0, s1, s2);
+  }
+}
+
+size_t FlightRecorder::occupancy() const {
+  size_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->size;
+  }
+  return total;
+}
+
+std::vector<FlightEvent> FlightRecorder::MergedEvents() const {
+  std::vector<FlightEvent> events;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    // Oldest first: the slot after `next` when the ring has wrapped.
+    size_t start = ring->size < ring->slots.size() ? 0 : ring->next;
+    for (size_t i = 0; i < ring->size; ++i) {
+      events.push_back(ring->slots[(start + i) % ring->slots.size()]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) { return a.seq < b.seq; });
+  return events;
+}
+
+void FlightRecorder::Clear() {
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->next = 0;
+    ring->size = 0;
+  }
+}
+
+void FlightRecorder::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("flight.events_recorded", &events_recorded_);
+  registry->RegisterCounter("flight.events_dropped", &events_dropped_);
+  registry->RegisterCallback("flight.ring_occupancy",
+                             [this] { return static_cast<uint64_t>(occupancy()); });
+}
+
+}  // namespace obs
+}  // namespace lvm

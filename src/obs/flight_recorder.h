@@ -1,0 +1,145 @@
+// Always-on flight recorder: the black box the post-mortem tools read.
+//
+// Where the TraceRecorder is an opt-in, prefix-keeping event buffer for a
+// human in a trace viewer, the FlightRecorder is always armed and keeps the
+// *most recent* structured machine events — logging faults, overload
+// park/resume, log-tail advances, deferred-copy resets, Time Warp
+// rollbacks, race reports, invariant violations — in bounded rings that
+// overwrite their oldest entry and count every overwrite as a drop.
+//
+// Ring layout mirrors the parallel engine's shard design (DESIGN.md §10):
+// one ring per simulated CPU plus a kernel ring (`kernel_ring()`), so a
+// free-running worker records into its own ring without contending with the
+// others. Each ring is guarded by its own mutex — uncontended in steady
+// state, and safe for the dumper to walk mid-run or from a crash hook.
+//
+// Every `sync_interval` recorded events the recorder interleaves a
+// kMetricsSync event carrying counter deltas from an installed sampler
+// (LvmSystem wires records-logged / logged-writes / overloads), giving the
+// merged timeline periodic registry sync points to anchor against.
+//
+// Events carry a global sequence number so per-ring streams merge into one
+// totally ordered timeline even when free-running CPU clocks disagree.
+// Payloads are two small integers plus a string literal: nothing on the
+// recording path allocates (the rings are sized at construction).
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/obs/metrics.h"
+
+namespace lvm {
+namespace obs {
+
+enum class FlightEventKind : uint8_t {
+  kLoggingFault,       // Mapping or tail fault handled by the kernel.
+  kLogTailAdvance,     // Kernel pointed a hardware log tail (SetTail).
+  kOverloadSuspend,    // FIFO/ring overload parked the logging processors.
+  kOverloadResume,     // The parked processors were released.
+  kDeferredCopyReset,  // resetDeferredCopy() over a range.
+  kTimeWarpRollback,   // A Time Warp state saver rolled back.
+  kRaceReport,         // The happens-before detector reported a race.
+  kInvariantViolation, // The invariant checker added a violation.
+  kCheckFailure,       // LVM_CHECK failed; the process is about to abort.
+  kEngineStart,        // Parallel engine launched its workers.
+  kEngineJoin,         // Parallel engine joined and republished state.
+  kMetricsSync,        // Periodic metrics-delta sync point.
+  kMarker,             // Application-defined annotation.
+};
+
+// Stable identifier for dumps and tests (e.g. "log_tail_advance").
+const char* ToString(FlightEventKind kind);
+
+// The component a kind attributes to in the post-mortem timeline
+// ("logger", "kernel", "vm", "race", "check", "engine", "obs", "app").
+const char* ComponentOf(FlightEventKind kind);
+
+struct FlightEvent {
+  FlightEventKind kind = FlightEventKind::kMarker;
+  uint16_t ring = 0;  // Originating ring: CPU id, or kernel_ring().
+  Cycles ts = 0;      // Simulated time at the originating clock.
+  uint64_t seq = 0;   // Global order across rings.
+  // Kind-specific payload: a string literal (never freed, never copied)
+  // plus up to three numbers whose meaning the kind defines.
+  const char* detail = nullptr;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  uint64_t a2 = 0;
+};
+
+struct FlightConfig {
+  // Events retained per ring; older events are overwritten and counted.
+  size_t ring_capacity = 256;
+  // Interleave a kMetricsSync event every this many recorded events
+  // (0 disables the sync points).
+  uint64_t sync_interval = 128;
+};
+
+class FlightRecorder {
+ public:
+  // One ring per CPU plus the kernel ring.
+  explicit FlightRecorder(int num_cpus, const FlightConfig& config = FlightConfig{});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  int num_rings() const { return static_cast<int>(rings_.size()); }
+  int kernel_ring() const { return num_rings() - 1; }
+  size_t ring_capacity() const { return config_.ring_capacity; }
+
+  // Appends an event to `ring` (a CPU id or kernel_ring()), overwriting the
+  // ring's oldest event when full. Callable from any thread; per-ring
+  // mutexes order concurrent writers and the dumper.
+  void Record(int ring, FlightEventKind kind, Cycles ts, const char* detail = nullptr,
+              uint64_t a0 = 0, uint64_t a1 = 0, uint64_t a2 = 0);
+
+  // Installs the metrics-sync sampler: called at each sync point to fill
+  // the kMetricsSync payload (cumulative counter values; the reader turns
+  // consecutive sync points into deltas). Must be callable from any
+  // recording thread — read relaxed atomics, not mutable containers.
+  using SyncSampler = std::function<void(uint64_t* a0, uint64_t* a1, uint64_t* a2)>;
+  void SetSyncSampler(SyncSampler sampler) { sampler_ = std::move(sampler); }
+
+  // --- introspection / dump support ---
+  uint64_t events_recorded() const { return events_recorded_.value(); }
+  uint64_t events_dropped() const { return events_dropped_.value(); }
+  // Events currently held across all rings.
+  size_t occupancy() const;
+  // Stable copy of every retained event, ordered by global sequence.
+  // Safe to call mid-run (locks one ring at a time).
+  std::vector<FlightEvent> MergedEvents() const;
+  void Clear();
+
+  // Registers "flight.events_recorded", "flight.events_dropped" and the
+  // "flight.ring_occupancy" callback. Call at most once per registry.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<FlightEvent> slots;  // Fixed capacity, circular.
+    size_t next = 0;                 // Slot the next event lands in.
+    size_t size = 0;                 // Retained events (<= capacity).
+  };
+
+  void Push(int ring, const FlightEvent& event);
+
+  const FlightConfig config_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<uint64_t> seq_{0};
+  SyncSampler sampler_;
+  Counter events_recorded_;
+  Counter events_dropped_;
+};
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace lvm {
 namespace obs {
@@ -268,6 +269,356 @@ class JsonParser {
 }  // namespace
 
 bool ValidateJson(std::string_view text) { return JsonParser(text).Accept(); }
+
+bool JsonValue::AsBool(bool fallback) const { return type_ == Type::kBool ? bool_ : fallback; }
+
+double JsonValue::AsDouble(double fallback) const {
+  if (type_ != Type::kNumber) {
+    return fallback;
+  }
+  return std::strtod(str_.c_str(), nullptr);
+}
+
+uint64_t JsonValue::AsUint64(uint64_t fallback) const {
+  if (type_ != Type::kNumber || str_.empty() || str_[0] == '-') {
+    return fallback;
+  }
+  if (str_.find_first_of(".eE") != std::string::npos) {
+    double d = std::strtod(str_.c_str(), nullptr);
+    return d < 0 ? fallback : static_cast<uint64_t>(d);
+  }
+  return std::strtoull(str_.c_str(), nullptr, 10);
+}
+
+int64_t JsonValue::AsInt64(int64_t fallback) const {
+  if (type_ != Type::kNumber) {
+    return fallback;
+  }
+  if (str_.find_first_of(".eE") != std::string::npos) {
+    return static_cast<int64_t>(std::strtod(str_.c_str(), nullptr));
+  }
+  return std::strtoll(str_.c_str(), nullptr, 10);
+}
+
+const std::string& JsonValue::AsString() const {
+  static const std::string kEmpty;
+  return type_ == Type::kString ? str_ : kEmpty;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& member : members_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsBool(fallback) : fallback;
+}
+
+double JsonValue::GetDouble(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsDouble(fallback) : fallback;
+}
+
+uint64_t JsonValue::GetUint64(std::string_view key, uint64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsUint64(fallback) : fallback;
+}
+
+int64_t JsonValue::GetInt64(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsInt64(fallback) : fallback;
+}
+
+std::string JsonValue::GetString(std::string_view key, std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string(fallback);
+}
+
+// DOM-building twin of the acceptor above: same grammar, same depth bound,
+// but materializes values and reports the offset of the first error.
+class JsonDomParser {
+ public:
+  JsonDomParser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!Value(out, 0)) {
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing garbage after value");
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const char* message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "offset " + std::to_string(pos_) + ": " + message;
+    }
+    return false;
+  }
+
+  bool Value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object(out, depth);
+      case '[':
+        return Array(out, depth);
+      case '"': {
+        out->type_ = JsonValue::Type::kString;
+        return String(&out->str_);
+      }
+      case 't':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return Literal("true");
+      case 'f':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return Literal("false");
+      case 'n':
+        out->type_ = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        return Number(out);
+    }
+  }
+
+  bool Object(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (Peek() != '"' || !String(&key)) {
+        return Fail("expected object key string");
+      }
+      SkipSpace();
+      if (Peek() != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      SkipSpace();
+      out->members_.emplace_back(std::move(key), JsonValue());
+      if (!Value(&out->members_.back().second, depth + 1)) {
+        return false;
+      }
+      SkipSpace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool Array(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      out->items_.emplace_back();
+      if (!Value(&out->items_.back(), depth + 1)) {
+        return false;
+      }
+      SkipSpace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool String(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return Fail("unterminated escape");
+        }
+        char e = text_[pos_];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (pos_ >= text_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return Fail("bad \\u escape");
+              }
+              unsigned char h = static_cast<unsigned char>(text_[pos_]);
+              code = code * 16 + (std::isdigit(h) ? h - '0' : (std::tolower(h) - 'a') + 10);
+            }
+            // The exporters only emit \u00xx (escaped control / non-ASCII
+            // bytes); decode the BMP code point as UTF-8 without surrogate
+            // pairing — enough for round-tripping our own artifacts.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+      } else {
+        out->push_back(static_cast<char>(c));
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number(JsonValue* out) {
+    size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    if (!DigitRun()) {
+      return Fail("expected a value");
+    }
+    size_t first = start + (text_[start] == '-' ? 1 : 0);
+    if (text_[first] == '0' && pos_ - first > 1) {
+      return Fail("leading zero in number");
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!DigitRun()) {
+        return Fail("expected digits after decimal point");
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!DigitRun()) {
+        return Fail("expected exponent digits");
+      }
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->str_.assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool DigitRun() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  if (error != nullptr) {
+    error->clear();
+  }
+  return JsonDomParser(text, error).Parse(out);
+}
 
 }  // namespace obs
 }  // namespace lvm

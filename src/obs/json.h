@@ -5,13 +5,18 @@
 // the output buffer). ValidateJson is the inverse direction: a strict
 // recursive-descent acceptor used by tests and examples to assert that an
 // exported file actually parses, without pulling in a JSON library the
-// container does not ship.
+// container does not ship. ParseJson builds a small DOM (JsonValue) over
+// the same grammar for the consumers that must *read* exported artifacts —
+// the black-box inspector foremost.
 #ifndef SRC_OBS_JSON_H_
 #define SRC_OBS_JSON_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lvm {
 namespace obs {
@@ -29,6 +34,65 @@ std::string JsonNumber(int64_t value);
 // Returns true iff `text` is one complete, well-formed JSON value
 // (RFC 8259 grammar; trailing whitespace allowed, trailing garbage not).
 bool ValidateJson(std::string_view text);
+
+// A parsed JSON value. Objects preserve insertion order and are looked up
+// by linear scan — the documents this reads (black-box dumps, bench
+// tables, Chrome traces) have small objects and are read once.
+//
+// Numbers keep their source token: AsUint64/AsInt64 reparse the token so
+// 64-bit counters (cycle counts, addresses) round-trip exactly instead of
+// going through a double.
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors return `fallback` on type mismatch rather than throw:
+  // the inspector degrades gracefully on a truncated or foreign dump.
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  uint64_t AsUint64(uint64_t fallback = 0) const;
+  int64_t AsInt64(int64_t fallback = 0) const;
+  const std::string& AsString() const;  // Empty string on mismatch.
+
+  const std::vector<JsonValue>& Items() const { return items_; }
+  size_t size() const { return type_ == Type::kObject ? members_.size() : items_.size(); }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  // Shorthand for Find(key)->As...() with a fallback for missing members.
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  uint64_t GetUint64(std::string_view key, uint64_t fallback = 0) const;
+  int64_t GetInt64(std::string_view key, int64_t fallback = 0) const;
+  std::string GetString(std::string_view key, std::string_view fallback = "") const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const { return members_; }
+
+ private:
+  friend class JsonDomParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  // String payload, or the verbatim number token for kNumber.
+  std::string str_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+// Parses one complete JSON value with the same strict grammar as
+// ValidateJson. On failure returns false and, if `error` is non-null,
+// describes the first problem with its byte offset.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
 
 }  // namespace obs
 }  // namespace lvm

@@ -24,6 +24,45 @@ int64_t Snapshot::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0 : it->second;
 }
 
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return min;
+  }
+  if (p >= 100.0) {
+    return max;
+  }
+  // Rank of the target value (1-based, ceil so p50 of two values is the
+  // first), then walk the cumulative bucket counts.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank * 100 < static_cast<uint64_t>(p * static_cast<double>(count))) {
+    ++rank;
+  }
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i), upper bound
+      // inclusive 2^i - 1. Clamp into [min, max]: the top bucket saturates
+      // and a one-bucket histogram should report its actual extrema.
+      uint64_t upper = i == 0 ? 0 : (i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1);
+      if (upper < min) {
+        upper = min;
+      }
+      if (upper > max) {
+        upper = max;
+      }
+      return upper;
+    }
+  }
+  return max;
+}
+
 const HistogramSnapshot* Snapshot::histogram(const std::string& name) const {
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;

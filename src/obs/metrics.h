@@ -117,6 +117,12 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;
 
   double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+
+  // Approximate percentile from the log2 buckets: returns the inclusive
+  // upper bound of the bucket holding the p-th ranked value, clamped to
+  // [min, max] so single-bucket and saturating distributions stay sane.
+  // Empty histograms return 0; p <= 0 returns min, p >= 100 returns max.
+  uint64_t Percentile(double p) const;
 };
 
 // Point-in-time copy of every metric in a registry.

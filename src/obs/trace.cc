@@ -87,7 +87,7 @@ void TraceRecorder::AppendChromeTrace(std::string* out) const {
   }
   out->append("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock_mhz\":25,"
               "\"dropped_events\":");
-  out->append(JsonNumber(dropped_events_));
+  out->append(JsonNumber(dropped_events_.value()));
   out->append("}}");
 }
 

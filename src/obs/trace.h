@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/obs/metrics.h"
 
 namespace lvm {
 namespace obs {
@@ -137,12 +138,22 @@ class TraceRecorder {
 
   size_t size() const { return events_.size(); }
   size_t capacity() const { return capacity_; }
-  uint64_t dropped_events() const { return dropped_events_; }
+  uint64_t dropped_events() const { return dropped_events_.value(); }
+  uint64_t recorded_events() const { return recorded_events_.value(); }
   const TraceEvent& event(size_t i) const { return events_[i]; }
 
   void Clear() {
     events_.clear();
-    dropped_events_ = 0;
+    dropped_events_.Reset();
+    recorded_events_.Reset();
+  }
+
+  // Registers "trace.events_recorded" / "trace.events_dropped" so silent
+  // event loss shows up in GetStats() and bench JSON. Call at most once
+  // per registry; the recorder must outlive it.
+  void RegisterMetrics(MetricsRegistry* registry) const {
+    registry->RegisterCounter("trace.events_recorded", &recorded_events_);
+    registry->RegisterCounter("trace.events_dropped", &dropped_events_);
   }
 
   // Serializes all events (plus metadata) as a {"traceEvents":[...]} object.
@@ -154,15 +165,19 @@ class TraceRecorder {
  private:
   void Push(const TraceEvent& e) {
     if (events_.size() >= capacity_) {
-      ++dropped_events_;
+      dropped_events_.Increment();
       return;
     }
     events_.push_back(e);
+    recorded_events_.Increment();
   }
 
   bool enabled_ = false;
   size_t capacity_ = 0;
-  uint64_t dropped_events_ = 0;
+  // Counters (not plain uint64) so a metrics snapshot taken while another
+  // thread records stays a data-race-free read.
+  Counter dropped_events_;
+  Counter recorded_events_;
   std::vector<TraceEvent> events_;
   std::map<uint32_t, std::string> thread_names_;
 };

@@ -1,9 +1,11 @@
 #include "src/par/engine.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/base/check.h"
 #include "src/base/rng.h"
+#include "src/obs/flight_recorder.h"
 
 namespace lvm {
 namespace par {
@@ -77,6 +79,10 @@ void ParallelEngine::Start() {
   LVM_CHECK_MSG(!workers_.empty(), "no workers registered");
   started_ = true;
   active_workers_ = static_cast<int>(workers_.size());
+  obs::FlightRecorder& flight = system_->flight();
+  flight.Record(flight.kernel_ring(), obs::FlightEventKind::kEngineStart,
+                system_->cpu(0).now(), config_.mode == Mode::kParallel ? "parallel" : "deterministic",
+                workers_.size(), 0, 0);
   // Launching the workers is a synchronization point: setup-phase accesses
   // (TouchRegion pre-faulting, initialization writes) happen-before every
   // worker's first step.
@@ -120,6 +126,15 @@ void ParallelEngine::Join() {
     scheduler_.join();
   }
   joined_ = true;
+  {
+    Cycles max_now = 0;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      max_now = std::max(max_now, system_->cpu(static_cast<int>(i)).now());
+    }
+    obs::FlightRecorder& flight = system_->flight();
+    flight.Record(flight.kernel_ring(), obs::FlightEventKind::kEngineJoin, max_now, "join",
+                  workers_.size(), 0, 0);
+  }
   // Thread join is the converse edge: every worker's last step
   // happens-before anything the caller does after Join.
   if (system_->race_detector() != nullptr) {

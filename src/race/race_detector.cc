@@ -101,6 +101,10 @@ void RaceDetector::Report(RaceKind kind, uint32_t word_index, const RaceReport& 
   dedup_[key] = reports_.size();
   reports_.push_back(std::move(report));
   races_reported_.Increment();
+  if (flight_ != nullptr) {
+    flight_->Record(prototype.cpu_b, obs::FlightEventKind::kRaceReport, prototype.cycle_b,
+                    ToString(kind), prototype.paddr, prototype.cpu_a, prototype.cpu_b);
+  }
 }
 
 void RaceDetector::OnMemoryAccess(int cpu_id, AccessKind kind, VirtAddr va, PhysAddr paddr,

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/race/vector_clock.h"
 #include "src/sim/interfaces.h"
@@ -129,6 +130,10 @@ class RaceDetector : public MemoryAccessObserver {
   // Registers "race.*" counters. Call at most once per registry.
   void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
+  // Each new deduplicated report also lands in the flight recorder (ring of
+  // the detecting CPU) so the black-box timeline shows when races surfaced.
+  void SetFlightRecorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
   uint64_t accesses_observed() const { return accesses_observed_.value(); }
   uint64_t races_deduped() const { return races_deduped_.value(); }
   uint64_t shadow_evictions() const { return shadow_evictions_.value(); }
@@ -191,6 +196,7 @@ class RaceDetector : public MemoryAccessObserver {
   const RaceConfig config_;
   const int num_cpus_;
   const size_t stripe_budget_;  // Max cells per stripe.
+  obs::FlightRecorder* flight_ = nullptr;
 
   std::vector<std::unique_ptr<CpuState>> cpus_;
   Stripe stripes_[kStripes];

@@ -114,6 +114,7 @@ void Cpu::RegisterMetrics(obs::MetricsRegistry* registry) const {
   registry->RegisterCounter(prefix + "logged_writes", &logged_writes_);
   registry->RegisterCounter(prefix + "stall_cycles", &stall_cycles_);
   registry->RegisterCounter(prefix + "page_faults", &page_faults_);
+  registry->RegisterCounter(prefix + "compute_cycles", &compute_cycles_);
 }
 
 void Cpu::InvalidateL1Page(PhysAddr page_base) {

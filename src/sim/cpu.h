@@ -55,7 +55,10 @@ class Cpu {
 
   // Spends `cycles` of pure computation. Buffered write-throughs drain in
   // the background during this time.
-  void Compute(Cycles cycles) { Bump(cycles); }
+  void Compute(Cycles cycles) {
+    compute_cycles_.Add(cycles);
+    Bump(cycles);
+  }
 
   // Advances the clock to `time` if it is in the future (used by the kernel
   // to model suspensions and interrupt handling).
@@ -87,6 +90,7 @@ class Cpu {
   uint64_t logged_writes() const { return logged_writes_.value(); }
   uint64_t stall_cycles() const { return stall_cycles_.value(); }
   uint64_t page_faults() const { return page_faults_.value(); }
+  uint64_t compute_cycles() const { return compute_cycles_.value(); }
 
   // Registers this CPU's counters as "cpu<id>.<counter>" externals. The
   // registry must not outlive the CPU.
@@ -124,6 +128,7 @@ class Cpu {
   obs::Counter logged_writes_;
   obs::Counter stall_cycles_;
   obs::Counter page_faults_;
+  obs::Counter compute_cycles_;
 };
 
 }  // namespace lvm

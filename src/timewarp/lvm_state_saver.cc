@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "src/base/check.h"
+#include "src/obs/flight_recorder.h"
 
 namespace lvm {
 
@@ -95,6 +96,8 @@ void LvmStateSaver::Rollback(Cpu* cpu, VirtualTime to) {
   system_->SyncLog(cpu, log_);
   LogReader reader(system_->memory(), *log_);
   size_t cut = FindCut(reader, to);
+  system_->flight().Record(cpu->id(), obs::FlightEventKind::kTimeWarpRollback, cpu->now(),
+                           "rollback", to, cut, reader.size() - cut);
   // Reset the working segment to the checkpoint, then roll forward the
   // updates that belong to times before `to` (Section 2.4).
   system_->ResetDeferredCopy(cpu, as_, working_base_, working_base_ + bytes_);

@@ -1,0 +1,446 @@
+// Tests of the flight recorder and the black-box crash-dump pipeline: ring
+// bounding and drop accounting, event capture at the kernel call sites, the
+// lvm.blackbox.v1 writer/reader round trip, auto-dump on an invariant
+// violation, the crash-handler hooks, and the post-mortem tail replay
+// cross-check.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/check/fault_injection.h"
+#include "src/check/invariant_checker.h"
+#include "src/check/log_replay_verifier.h"
+#include "src/lvm/lvm_system.h"
+#include "src/obs/blackbox_reader.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json.h"
+#include "src/par/engine.h"
+
+namespace lvm {
+namespace {
+
+using obs::BlackBoxDump;
+using obs::FlightEvent;
+using obs::FlightEventKind;
+using obs::FlightRecorder;
+
+// A temp path unique to the current test, removed on destruction.
+class ScopedDumpPath {
+ public:
+  ScopedDumpPath() {
+    const testing::TestInfo* info = testing::UnitTest::GetInstance()->current_test_info();
+    path_ = std::string(testing::TempDir()) + info->test_suite_name() + "_" + info->name() +
+            ".blackbox.json";
+  }
+  ~ScopedDumpPath() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --- FlightRecorder unit behaviour ---
+
+TEST(FlightRecorderTest, BoundedRingOverwritesOldestAndCountsDrops) {
+  obs::FlightConfig config;
+  config.ring_capacity = 4;
+  config.sync_interval = 0;  // No sync events: counts below are exact.
+  FlightRecorder flight(1, config);
+  for (uint64_t i = 0; i < 10; ++i) {
+    flight.Record(0, FlightEventKind::kMarker, /*ts=*/i, "m", i, 0, 0);
+  }
+  EXPECT_EQ(flight.events_recorded(), 10u);
+  EXPECT_EQ(flight.events_dropped(), 6u);
+  EXPECT_EQ(flight.occupancy(), 4u);
+
+  // The survivors are the newest four, oldest first.
+  std::vector<FlightEvent> events = flight.MergedEvents();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a0, 6 + i);
+    if (i > 0) {
+      EXPECT_GT(events[i].seq, events[i - 1].seq);
+    }
+  }
+}
+
+TEST(FlightRecorderTest, MergeOrdersAcrossRingsBySequence) {
+  FlightRecorder flight(2, obs::FlightConfig{});
+  flight.Record(0, FlightEventKind::kMarker, 5, "a", 0, 0, 0);
+  flight.Record(flight.kernel_ring(), FlightEventKind::kMarker, 1, "b", 0, 0, 0);
+  flight.Record(1, FlightEventKind::kMarker, 9, "c", 0, 0, 0);
+  std::vector<FlightEvent> events = flight.MergedEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Merged order is recording order (seq), not timestamp order.
+  EXPECT_STREQ(events[0].detail, "a");
+  EXPECT_STREQ(events[1].detail, "b");
+  EXPECT_STREQ(events[2].detail, "c");
+}
+
+TEST(FlightRecorderTest, SyncSamplerInjectsMetricsSyncEvents) {
+  obs::FlightConfig config;
+  config.sync_interval = 8;
+  FlightRecorder flight(1, config);
+  uint64_t sampled = 0;
+  flight.SetSyncSampler([&sampled](uint64_t* a0, uint64_t* a1, uint64_t* a2) {
+    *a0 = ++sampled;
+    *a1 = 2 * sampled;
+    *a2 = 0;
+  });
+  for (int i = 0; i < 32; ++i) {
+    flight.Record(0, FlightEventKind::kMarker, 0, "m", 0, 0, 0);
+  }
+  size_t syncs = 0;
+  for (const FlightEvent& e : flight.MergedEvents()) {
+    if (e.kind == FlightEventKind::kMetricsSync) {
+      ++syncs;
+      EXPECT_EQ(e.a1, 2 * e.a0);
+    }
+  }
+  EXPECT_EQ(syncs, sampled);
+  EXPECT_GE(syncs, 3u);  // 32 markers at interval 8.
+}
+
+// --- capture at the system call sites ---
+
+// Writes `count` paced words through a fresh logged region; returns the
+// system's dump JSON.
+struct LoggedRun {
+  explicit LoggedRun(LvmSystem* system, uint32_t size = 4 * kPageSize) : system_(system) {
+    segment = system->CreateSegment(size);
+    region = system->CreateRegion(segment);
+    log = system->CreateLogSegment();
+    as = system->CreateAddressSpace();
+    base = as->BindRegion(region);
+    system->AttachLog(region, log, LogMode::kNormal);
+    system->Activate(as);
+  }
+  void Write(uint32_t count, uint32_t pace = 300) {
+    Cpu& cpu = system_->cpu();
+    for (uint32_t i = 0; i < count; ++i) {
+      cpu.Write(base + 4 * (i % (kPageSize / 4)), 0xbeef0000u + i);
+      cpu.Compute(pace);
+    }
+    system_->SyncLog(&cpu, log);
+  }
+  LvmSystem* system_;
+  StdSegment* segment = nullptr;
+  Region* region = nullptr;
+  LogSegment* log = nullptr;
+  AddressSpace* as = nullptr;
+  VirtAddr base = 0;
+};
+
+TEST(FlightCaptureTest, LoggingActivityLandsInTheKernelRing) {
+  LvmSystem system;
+  LoggedRun run(&system);
+  run.Write(600);  // Crosses log pages: mapping fault + tail faults.
+
+  bool saw_fault = false;
+  bool saw_tail = false;
+  for (const FlightEvent& e : system.flight().MergedEvents()) {
+    if (e.kind == FlightEventKind::kLoggingFault) {
+      saw_fault = true;
+      EXPECT_EQ(e.ring, system.flight().kernel_ring());
+    }
+    if (e.kind == FlightEventKind::kLogTailAdvance) {
+      saw_tail = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_tail);
+  EXPECT_GT(system.GetStats().flight_events_recorded, 0u);
+}
+
+TEST(FlightCaptureTest, FlightMetricsAppearInRegistryAndStats) {
+  LvmSystem system;
+  LoggedRun run(&system);
+  run.Write(50);
+  obs::Snapshot snapshot = system.metrics().TakeSnapshot();
+  EXPECT_GT(snapshot.counter("flight.events_recorded"), 0u);
+  EXPECT_EQ(snapshot.counter("flight.events_recorded"), system.GetStats().flight_events_recorded);
+  EXPECT_TRUE(snapshot.counters().contains("trace.events_recorded"));
+  EXPECT_TRUE(snapshot.counters().contains("trace.events_dropped"));
+  EXPECT_TRUE(snapshot.counters().contains("cpu.compute_cycles"));
+}
+
+// --- dump writer / reader round trip ---
+
+TEST(BlackBoxTest, DumpRoundTripsThroughReader) {
+  ScopedDumpPath dump_path;
+  LvmSystem system;
+  LoggedRun run(&system);
+  run.Write(300);
+
+  ASSERT_TRUE(system.DumpBlackBox(dump_path.path(), "manual", "round-trip test",
+                                  {{"test-kind", "test-message"}}));
+
+  BlackBoxDump dump;
+  std::string error;
+  ASSERT_TRUE(obs::LoadBlackBoxDump(dump_path.path(), &dump, &error)) << error;
+  EXPECT_EQ(dump.cause, "manual");
+  EXPECT_EQ(dump.cause_detail, "round-trip test");
+  EXPECT_EQ(dump.rings, 2);  // 1 CPU + kernel.
+  EXPECT_GT(dump.events_recorded, 0u);
+  ASSERT_EQ(dump.violations.size(), 1u);
+  EXPECT_EQ(dump.violations[0].kind, "test-kind");
+
+  // The dumped counters match the live registry.
+  obs::Snapshot snapshot = system.metrics().TakeSnapshot();
+  EXPECT_EQ(dump.Counter("logger.records_logged"), snapshot.counter("logger.records_logged"));
+  EXPECT_EQ(dump.Param("page_fault_cycles", 0), system.machine().params().page_fault_cycles);
+
+  // The dumped log tail is the newest slice of the real log.
+  ASSERT_EQ(dump.logs.size(), 1u);
+  EXPECT_EQ(dump.logs[0].records, system.GetStats().records_logged);
+  EXPECT_LE(dump.logs[0].tail_records.size(), 64u);
+  EXPECT_FALSE(dump.logs[0].memory.empty());
+
+  // Rendering works on the parsed dump and names the faulting component.
+  EXPECT_NE(obs::RenderSummary(dump).find("manual"), std::string::npos);
+  std::string timeline = obs::RenderTimeline(dump);
+  EXPECT_NE(timeline.find("kernel"), std::string::npos);
+  EXPECT_NE(obs::RenderAttribution(dump).find("logger"), std::string::npos);
+}
+
+TEST(BlackBoxTest, DumpIsStrictJson) {
+  LvmSystem system;
+  LoggedRun run(&system);
+  run.Write(100);
+  std::string json = system.BlackBoxJson("manual", "", {});
+  EXPECT_TRUE(obs::ValidateJson(json));
+}
+
+// --- invariant-violation auto dump (the acceptance scenario) ---
+
+TEST(BlackBoxTest, InvariantViolationTriggersSchemaValidDump) {
+  ScopedDumpPath dump_path;
+  LvmConfig config;
+  config.seed = 7;
+  LvmSystem system(config);
+  InvariantChecker checker(&system);
+  checker.ArmBlackBox(dump_path.path());
+  LoggedRun run(&system);
+
+  // Corrupt the 10th record's value: the checker catches the retirement
+  // mismatch mid-run and dumps on that first violation, while the flight
+  // rings still hold the events leading up to it.
+  ScriptedFaultInjector injector;
+  injector.ArmCorruption(run.log->log_index, 10,
+                         [](LogRecord* record) { record->value ^= 0xdead; });
+  system.bus_logger()->set_fault_injector(&injector);
+  run.Write(200);
+  checker.CheckDrained();
+  ASSERT_FALSE(checker.ok());
+
+  BlackBoxDump dump;
+  std::string error;
+  ASSERT_TRUE(obs::LoadBlackBoxDump(dump_path.path(), &dump, &error)) << error;
+  EXPECT_EQ(dump.cause, "invariant_violation");
+  ASSERT_FALSE(dump.violations.empty());
+
+  // The timeline's newest events include the violation, attributed to the
+  // logger component.
+  bool saw_violation = false;
+  for (const obs::BlackBoxEvent& e : dump.events) {
+    if (e.kind == "invariant_violation") {
+      saw_violation = true;
+      EXPECT_EQ(e.component, "logger");
+    }
+  }
+  EXPECT_TRUE(saw_violation);
+  EXPECT_NE(obs::RenderTimeline(dump).find("invariant_violation"), std::string::npos);
+}
+
+TEST(BlackBoxTest, ViolationEventsRecordedEvenWhenUnarmed) {
+  LvmSystem system;
+  InvariantChecker checker(&system);  // No ArmBlackBox.
+  LoggedRun run(&system);
+  ScriptedFaultInjector injector;
+  injector.ArmCorruption(run.log->log_index, 5,
+                         [](LogRecord* record) { record->value ^= 0xbad; });
+  system.bus_logger()->set_fault_injector(&injector);
+  run.Write(50);
+  checker.CheckDrained();
+  ASSERT_FALSE(checker.ok());
+  bool saw = false;
+  for (const FlightEvent& e : system.flight().MergedEvents()) {
+    saw = saw || e.kind == FlightEventKind::kInvariantViolation;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// --- post-mortem tail replay cross-check ---
+
+// Converts a dumped log section to the verifier's input types.
+std::pair<std::vector<LogRecord>, std::vector<std::pair<PhysAddr, std::vector<uint8_t>>>>
+ConvertLog(const obs::BlackBoxLog& log) {
+  std::vector<LogRecord> records;
+  for (const obs::BlackBoxRecord& r : log.tail_records) {
+    LogRecord record;
+    record.addr = static_cast<uint32_t>(r.addr);
+    record.value = static_cast<uint32_t>(r.value);
+    record.size = static_cast<uint16_t>(r.size);
+    record.flags = static_cast<uint16_t>(r.flags);
+    record.timestamp = static_cast<uint32_t>(r.timestamp);
+    records.push_back(record);
+  }
+  std::vector<std::pair<PhysAddr, std::vector<uint8_t>>> memory;
+  for (const obs::BlackBoxMemoryExtent& extent : log.memory) {
+    memory.emplace_back(static_cast<PhysAddr>(extent.addr), extent.bytes);
+  }
+  return {std::move(records), std::move(memory)};
+}
+
+TEST(BlackBoxTest, CleanRunTailReplayMatchesMemory) {
+  LvmSystem system;
+  LoggedRun run(&system);
+  run.Write(200);
+  std::string json = system.BlackBoxJson("manual", "", {});
+  BlackBoxDump dump;
+  ASSERT_TRUE(obs::ParseBlackBoxDump(json, &dump));
+  ASSERT_EQ(dump.logs.size(), 1u);
+  auto [records, memory] = ConvertLog(dump.logs[0]);
+  ASSERT_FALSE(memory.empty());
+  EXPECT_TRUE(LogReplayVerifier::CrossCheckTail(records, memory).empty());
+}
+
+TEST(BlackBoxTest, DroppedRecordSurfacesAsTailReplayMismatch) {
+  LvmSystem system;
+  LoggedRun run(&system);
+  ScriptedFaultInjector injector;
+  // Write the same word twice; drop the record of the *second* write. The
+  // tail then replays the first value while memory holds the second.
+  injector.Arm(run.log->log_index, 1, LogFaultInjector::Action::kDropRecord);
+  system.bus_logger()->set_fault_injector(&injector);
+  Cpu& cpu = system.cpu();
+  cpu.Write(run.base, 0x11111111u);
+  cpu.Compute(300);
+  cpu.Write(run.base, 0x22222222u);
+  cpu.Compute(300);
+  system.SyncLog(&cpu, run.log);
+
+  BlackBoxDump dump;
+  ASSERT_TRUE(obs::ParseBlackBoxDump(system.BlackBoxJson("manual", "", {}), &dump));
+  ASSERT_EQ(dump.logs.size(), 1u);
+  auto [records, memory] = ConvertLog(dump.logs[0]);
+  std::vector<ReplayMismatch> mismatches = LogReplayVerifier::CrossCheckTail(records, memory);
+  ASSERT_FALSE(mismatches.empty());
+  EXPECT_EQ(mismatches[0].replayed, 0x11);
+  EXPECT_EQ(mismatches[0].actual, 0x22);
+}
+
+TEST(BlackBoxTest, CrossCheckSkipsBytesOutsideExtents) {
+  LogRecord record;
+  record.addr = 0x1000;
+  record.value = 0xdeadbeef;
+  record.size = 4;
+  // Extent covers a different range: nothing checkable, no mismatch.
+  std::vector<std::pair<PhysAddr, std::vector<uint8_t>>> memory;
+  memory.emplace_back(0x2000, std::vector<uint8_t>(16, 0));
+  EXPECT_TRUE(LogReplayVerifier::CrossCheckTail({record}, memory).empty());
+}
+
+// --- crash handler ---
+
+using BlackBoxDeathTest = ::testing::Test;
+
+TEST(BlackBoxDeathTest, CheckFailureWritesDumpBeforeAbort) {
+  ScopedDumpPath dump_path;
+  EXPECT_DEATH(
+      {
+        LvmSystem system;
+        LoggedRun run(&system);
+        run.Write(20);
+        system.InstallCrashHandler(dump_path.path());
+        LVM_CHECK_MSG(false, "blackbox death test");
+      },
+      "blackbox death test");
+  // The child dumped before aborting.
+  BlackBoxDump dump;
+  std::string error;
+  ASSERT_TRUE(obs::LoadBlackBoxDump(dump_path.path(), &dump, &error)) << error;
+  EXPECT_EQ(dump.cause, "check_failure");
+  EXPECT_GT(dump.events_recorded, 0u);
+}
+
+TEST(BlackBoxDeathTest, FatalSignalWritesDumpBeforeDying) {
+#if defined(__SANITIZE_THREAD__)
+  // TSan installs its own fatal-signal handlers and flags the dump's
+  // allocations as signal-unsafe, racing our handler nondeterministically.
+  GTEST_SKIP() << "fatal-signal capture is not testable under TSan";
+#endif
+  ScopedDumpPath dump_path;
+  EXPECT_DEATH(
+      {
+        LvmSystem system;
+        LoggedRun run(&system);
+        run.Write(20);
+        system.InstallCrashHandler(dump_path.path());
+        std::raise(SIGSEGV);
+      },
+      "");
+  BlackBoxDump dump;
+  std::string error;
+  ASSERT_TRUE(obs::LoadBlackBoxDump(dump_path.path(), &dump, &error)) << error;
+  EXPECT_EQ(dump.cause, "signal");
+  EXPECT_EQ(dump.cause_detail, "SIGSEGV");
+}
+
+// --- parallel engine events land in the dump ---
+
+TEST(BlackBoxTest, EngineStartAndJoinAppearOnKernelRing) {
+  LvmConfig config;
+  config.num_cpus = 2;
+  LvmSystem system(config);
+  AddressSpace* as = system.CreateAddressSpace();
+  std::vector<Region*> regions;
+  std::vector<LogSegment*> logs;
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < 2; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(kPageSize));
+    bases.push_back(as->BindRegion(region));
+    LogSegment* log = system.CreateLogSegment(4);
+    system.AttachLog(region, log);
+    regions.push_back(region);
+    logs.push_back(log);
+  }
+  for (int i = 0; i < 2; ++i) {
+    system.Activate(as, i);
+    system.TouchRegion(&system.cpu(i), regions[static_cast<size_t>(i)]);
+  }
+
+  par::EngineConfig engine_config;
+  engine_config.mode = par::Mode::kParallel;
+  par::ParallelEngine engine(&system, engine_config);
+  for (int i = 0; i < 2; ++i) {
+    VirtAddr base = bases[static_cast<size_t>(i)];
+    engine.AddWorker(logs[static_cast<size_t>(i)], [base](Cpu& cpu, uint64_t step) {
+      cpu.Write(base + 4 * (step % (kPageSize / 4)), static_cast<uint32_t>(step));
+      cpu.Compute(100);
+      return step + 1 < 100;
+    });
+  }
+  engine.Start();
+  engine.Join();
+
+  bool saw_start = false;
+  bool saw_join = false;
+  for (const FlightEvent& e : system.flight().MergedEvents()) {
+    if (e.kind == FlightEventKind::kEngineStart) {
+      saw_start = true;
+      EXPECT_EQ(e.ring, system.flight().kernel_ring());
+      EXPECT_EQ(e.a0, 2u);
+    }
+    saw_join = saw_join || e.kind == FlightEventKind::kEngineJoin;
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_join);
+}
+
+}  // namespace
+}  // namespace lvm

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <new>
 #include <string>
+#include <vector>
 
 #include "src/logger/hardware_logger.h"
 #include "src/obs/json.h"
@@ -218,6 +219,179 @@ TEST(MetricsRegistryTest, ExternalAndCallbackMetrics) {
   obs::Snapshot snap2 = registry.TakeSnapshot();
   EXPECT_EQ(snap2.Delta(snap).counter("component.events"), 1u);
   EXPECT_EQ(snap2.Delta(snap).counter("derived.value"), 8u);
+}
+
+TEST(MetricsRegistryTest, DeltaClampsWhenCounterResets) {
+  // A counter that went backwards (component reset, restarted run) must
+  // delta to 0, not wrap to a huge unsigned value.
+  obs::MetricsRegistry registry;
+  obs::Counter component_counter;
+  registry.RegisterCounter("component.events", &component_counter);
+  component_counter.Add(100);
+  obs::Snapshot before = registry.TakeSnapshot();
+  component_counter.Reset();
+  component_counter.Add(30);
+  obs::Snapshot after = registry.TakeSnapshot();
+  EXPECT_EQ(after.Delta(before).counter("component.events"), 0u);
+}
+
+TEST(MetricsRegistryTest, DeltaHistogramClampsCountAndSum) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* latency = registry.histogram("latency");
+  latency->Record(8);
+  latency->Record(8);
+  obs::Snapshot earlier = registry.TakeSnapshot();
+  latency->Record(1);
+  obs::Snapshot later = registry.TakeSnapshot();
+  // Deltas taken the wrong way round (before from a later point) clamp at
+  // zero instead of wrapping.
+  obs::Snapshot reversed = earlier.Delta(later);
+  const obs::HistogramSnapshot* hist = reversed.histogram("latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 0u);
+  EXPECT_EQ(hist->sum, 0u);
+  obs::Snapshot forward_delta = later.Delta(earlier);
+  const obs::HistogramSnapshot* forward = forward_delta.histogram("latency");
+  ASSERT_NE(forward, nullptr);
+  EXPECT_EQ(forward->count, 1u);
+  EXPECT_EQ(forward->sum, 1u);
+}
+
+TEST(MetricsRegistryTest, DeltaNearUint64MaxDoesNotOverflow) {
+  obs::MetricsRegistry registry;
+  obs::Counter big;
+  registry.RegisterCounter("big", &big);
+  big.Add(UINT64_MAX - 10);
+  obs::Snapshot before = registry.TakeSnapshot();
+  big.Add(7);
+  obs::Snapshot after = registry.TakeSnapshot();
+  EXPECT_EQ(after.Delta(before).counter("big"), 7u);
+  EXPECT_EQ(before.Delta(after).counter("big"), 0u);  // Reversed: clamp, no wrap.
+}
+
+// --- HistogramSnapshot::Percentile ---
+
+// Records into a registry histogram and returns its snapshot.
+obs::HistogramSnapshot Snap(const std::vector<uint64_t>& values) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* hist = registry.histogram("h");
+  for (uint64_t v : values) {
+    hist->Record(v);
+  }
+  obs::Snapshot registry_snap = registry.TakeSnapshot();
+  const obs::HistogramSnapshot* snap = registry_snap.histogram("h");
+  EXPECT_NE(snap, nullptr);
+  return *snap;
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramReturnsZero) {
+  obs::HistogramSnapshot snap = Snap({});
+  EXPECT_EQ(snap.Percentile(0), 0u);
+  EXPECT_EQ(snap.Percentile(50), 0u);
+  EXPECT_EQ(snap.Percentile(100), 0u);
+}
+
+TEST(HistogramPercentileTest, SingleBucketClampsToObservedRange) {
+  // One sample, alone in bucket [4, 8): every percentile is that sample —
+  // min == max == 5 beats the bucket's upper bound of 7.
+  obs::HistogramSnapshot snap = Snap({5});
+  EXPECT_EQ(snap.Percentile(0), 5u);
+  EXPECT_EQ(snap.Percentile(50), 5u);
+  EXPECT_EQ(snap.Percentile(99), 5u);
+  EXPECT_EQ(snap.Percentile(100), 5u);
+}
+
+TEST(HistogramPercentileTest, RanksSelectBuckets) {
+  std::vector<uint64_t> values(90, 1);       // Bucket [1, 2).
+  values.insert(values.end(), 10, 1000);     // Bucket [512, 1024).
+  obs::HistogramSnapshot snap = Snap(values);
+  EXPECT_EQ(snap.Percentile(50), 1u);
+  EXPECT_EQ(snap.Percentile(90), 1u);     // Rank 90 is the last small sample.
+  EXPECT_EQ(snap.Percentile(99), 1000u);  // Upper bound clamped to max.
+  EXPECT_LE(snap.Percentile(95), 1000u);
+  EXPECT_EQ(snap.Percentile(-5), snap.min);
+  EXPECT_EQ(snap.Percentile(250), snap.max);
+}
+
+TEST(HistogramPercentileTest, SaturatingValuesStayInTopBucket) {
+  // Upper bounds saturate instead of overflowing; clamped to observed max.
+  obs::HistogramSnapshot snap = Snap({UINT64_MAX, uint64_t{1} << 40});
+  EXPECT_EQ(snap.Percentile(50), uint64_t{1} << 40);
+  EXPECT_EQ(snap.Percentile(100), UINT64_MAX);
+}
+
+// --- JsonValue DOM parser ---
+
+TEST(JsonDomTest, ParsesScalarsArraysAndObjects) {
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(
+      "{\"n\":null,\"b\":true,\"i\":42,\"f\":2.5,\"neg\":-7,\"s\":\"hi\","
+      "\"a\":[1,2,3],\"o\":{\"k\":\"v\"}}",
+      &doc, &error))
+      << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.Find("n") != nullptr && doc.Find("n")->is_null());
+  EXPECT_EQ(doc.GetBool("b", false), true);
+  EXPECT_EQ(doc.GetUint64("i", 0), 42u);
+  EXPECT_EQ(doc.GetDouble("f", 0), 2.5);
+  EXPECT_EQ(doc.GetInt64("neg", 0), -7);
+  EXPECT_EQ(doc.GetString("s", ""), "hi");
+  const obs::JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->Items()[2].AsUint64(0), 3u);
+  const obs::JsonValue* o = doc.Find("o");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->GetString("k", ""), "v");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_EQ(doc.GetUint64("missing", 9), 9u);
+}
+
+TEST(JsonDomTest, RejectsWhatTheAcceptorRejects) {
+  obs::JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(obs::ParseJson("", &doc, &error));
+  EXPECT_FALSE(obs::ParseJson("[1,]", &doc, &error));
+  EXPECT_FALSE(obs::ParseJson("{\"a\":01}", &doc, &error));
+  EXPECT_FALSE(obs::ParseJson("{} x", &doc, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonDomTest, DecodesEscapes) {
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::ParseJson("[\"a\\\"b\\\\c\\n\\u0041\"]", &doc));
+  ASSERT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.Items()[0].AsString(), "a\"b\\c\nA");
+}
+
+TEST(JsonDomTest, RoundTripsWriterOutput) {
+  // What AppendJsonString/JsonNumber emit, ParseJson reads back.
+  std::string out = "{";
+  obs::AppendJsonString(&out, "key with \"quotes\"\n");
+  out += ":";
+  out += obs::JsonNumber(uint64_t{1234567890123});
+  out += "}";
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(out, &doc, &error)) << error;
+  EXPECT_EQ(doc.GetUint64("key with \"quotes\"\n", 0), 1234567890123u);
+}
+
+// --- TraceRecorder metrics export ---
+
+TEST(TraceRecorderTest, RegistersDropAndRecordCountersAsMetrics) {
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder trace;
+  trace.RegisterMetrics(&registry);
+  trace.Enable(4);
+  for (uint32_t i = 0; i < 10; ++i) {
+    trace.Instant("cat", "x", 0, i);
+  }
+  obs::Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counter("trace.events_recorded"), 4u);
+  EXPECT_EQ(snap.counter("trace.events_dropped"), 6u);
 }
 
 // --- Allocation freedom ---

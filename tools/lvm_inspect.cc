@@ -1,0 +1,237 @@
+// lvm-inspect: post-mortem CLI over lvm.blackbox.v1 crash dumps.
+//
+// Default mode renders a dump for humans — summary, merged flight-recorder
+// timeline, component cycle attribution — and cross-checks each dumped log
+// tail against the captured memory extents by replay
+// (LogReplayVerifier::CrossCheckTail), the same verification the live
+// system runs, re-run from the dump alone.
+//
+// Modes:
+//   lvm-inspect DUMP...                   render each dump (exit 1 on parse
+//                                         failure, 2 on replay mismatch)
+//   lvm-inspect --validate FILE...        strict-JSON check of any emitted
+//                                         artifact (dumps, RACE_REPORT.json,
+//                                         BENCH_*.json); exit 1 on failure
+//   lvm-inspect --demo-crash PATH         seeded run that injects a record
+//                                         drop, trips the invariant checker,
+//                                         and writes a dump to PATH
+//   --events N                            cap the timeline at the newest N
+//   --no-replay-check                     skip the tail replay cross-check
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/check/fault_injection.h"
+#include "src/check/invariant_checker.h"
+#include "src/check/log_replay_verifier.h"
+#include "src/lvm/lvm_system.h"
+#include "src/obs/blackbox_reader.h"
+#include "src/obs/json.h"
+
+namespace lvm {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lvm-inspect [--events N] [--no-replay-check] DUMP...\n"
+               "       lvm-inspect --validate FILE...\n"
+               "       lvm-inspect --demo-crash PATH\n");
+  return 64;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// --validate: every artifact the toolchain emits claims to be strict JSON;
+// hold it to that.
+int Validate(const std::vector<std::string>& paths) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "lvm-inspect: cannot read %s\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    if (!obs::ValidateJson(text)) {
+      std::fprintf(stderr, "lvm-inspect: %s: not strict JSON\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok (%zu bytes)\n", path.c_str(), text.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// The dump's tail records replayed against its memory extents. Returns the
+// number of logs whose tail failed to reproduce memory.
+int ReplayCheck(const obs::BlackBoxDump& dump) {
+  int failed = 0;
+  for (const obs::BlackBoxLog& log : dump.logs) {
+    if (log.memory.empty()) {
+      std::printf("log %d: no memory extents captured; replay check skipped\n", log.log_index);
+      continue;
+    }
+    std::vector<LogRecord> records;
+    records.reserve(log.tail_records.size());
+    for (const obs::BlackBoxRecord& r : log.tail_records) {
+      LogRecord record;
+      record.addr = static_cast<uint32_t>(r.addr);
+      record.value = static_cast<uint32_t>(r.value);
+      record.size = static_cast<uint16_t>(r.size);
+      record.flags = static_cast<uint16_t>(r.flags);
+      record.timestamp = static_cast<uint32_t>(r.timestamp);
+      records.push_back(record);
+    }
+    std::vector<std::pair<PhysAddr, std::vector<uint8_t>>> memory;
+    memory.reserve(log.memory.size());
+    for (const obs::BlackBoxMemoryExtent& extent : log.memory) {
+      memory.emplace_back(static_cast<PhysAddr>(extent.addr), extent.bytes);
+    }
+    std::vector<ReplayMismatch> mismatches =
+        LogReplayVerifier::CrossCheckTail(records, memory);
+    if (mismatches.empty()) {
+      std::printf("log %d: tail replay matches memory (%zu records, %zu extents)\n",
+                  log.log_index, records.size(), memory.size());
+    } else {
+      ++failed;
+      std::printf("log %d: TAIL REPLAY MISMATCH (%zu bytes differ)\n", log.log_index,
+                  mismatches.size());
+      std::printf("%s", LogReplayVerifier::Describe(mismatches).c_str());
+    }
+  }
+  return failed;
+}
+
+int Inspect(const std::vector<std::string>& paths, size_t max_events, bool replay_check) {
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    obs::BlackBoxDump dump;
+    std::string error;
+    if (!obs::LoadBlackBoxDump(path, &dump, &error)) {
+      std::fprintf(stderr, "lvm-inspect: %s: %s\n", path.c_str(), error.c_str());
+      exit_code = exit_code == 0 ? 1 : exit_code;
+      continue;
+    }
+    std::printf("=== %s ===\n", path.c_str());
+    std::printf("%s", obs::RenderSummary(dump).c_str());
+    std::printf("\n%s", obs::RenderTimeline(dump, max_events).c_str());
+    std::printf("\n%s", obs::RenderAttribution(dump).c_str());
+    if (replay_check) {
+      std::printf("\n");
+      if (ReplayCheck(dump) > 0) {
+        exit_code = 2;
+      }
+    }
+  }
+  return exit_code;
+}
+
+// --demo-crash: a deliberately broken run, end to end. The injector
+// corrupts one hardware log record; the invariant checker catches the
+// retirement mismatch and, being armed, dumps the black box. Exercises the
+// same machinery a real crash would.
+int DemoCrash(const std::string& path) {
+  LvmConfig config;
+  config.seed = 42;
+  LvmSystem system(config);
+  InvariantChecker checker(&system);
+  checker.ArmBlackBox(path);
+
+  StdSegment* segment = system.CreateSegment(4 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment();
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log, LogMode::kNormal);
+  system.Activate(as);
+
+  ScriptedFaultInjector injector;
+  injector.ArmCorruption(log->log_index, 40,
+                         [](LogRecord* record) { record->value ^= 0xdead; });
+  system.bus_logger()->set_fault_injector(&injector);
+
+  Cpu& cpu = system.cpu();
+  for (uint32_t i = 0; i < 200; ++i) {
+    cpu.Write(base + 4 * (i % 256), 0xfeed0000u + i);
+    cpu.Compute(300);
+  }
+  system.SyncLog(&cpu, log);
+  checker.CheckDrained();
+
+  if (checker.ok()) {
+    std::fprintf(stderr, "demo-crash: injected fault was not detected\n");
+    return 1;
+  }
+  obs::BlackBoxDump dump;
+  std::string error;
+  if (!obs::LoadBlackBoxDump(path, &dump, &error)) {
+    std::fprintf(stderr, "demo-crash: dump unreadable: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("demo-crash: %zu violation(s) detected, dump written to %s (%zu events)\n",
+              checker.violations().size(), path.c_str(), dump.events.size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  size_t max_events = 40;
+  bool replay_check = true;
+  bool validate = false;
+  std::string demo_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--demo-crash") {
+      if (++i >= argc) {
+        return Usage();
+      }
+      demo_path = argv[i];
+    } else if (arg == "--events") {
+      if (++i >= argc) {
+        return Usage();
+      }
+      max_events = static_cast<size_t>(std::strtoull(argv[i], nullptr, 10));
+    } else if (arg == "--no-replay-check") {
+      replay_check = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lvm-inspect: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (!demo_path.empty()) {
+    return DemoCrash(demo_path);
+  }
+  if (validate) {
+    return paths.empty() ? Usage() : Validate(paths);
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+  return Inspect(paths, max_events, replay_check);
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main(int argc, char** argv) { return lvm::Main(argc, argv); }

@@ -8,9 +8,13 @@
 #   4. the threaded tests (parallel engine, race detector, stress) under
 #      ThreadSanitizer, selected by the `threaded` ctest label;
 #   5. (--racecheck-only) the guest race detector suite, exporting its
-#      JSON report to bench-results/RACE_REPORT.json for the CI artifact.
+#      JSON report to bench-results/RACE_REPORT.json for the CI artifact;
+#   6. (--static-only) the repo's own static checkers: build lvm-lint and run
+#      it over src/ with a JSON report at bench-results/LINT_REPORT.json, and
+#      -- when the compiler is clang -- a -Wthread-safety -Werror build of the
+#      whole tree (LVM_THREAD_SAFETY=ON).
 #
-# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only|--racecheck-only]
+# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only]
 # Build trees go under build-check/ (kept out of git by .gitignore).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -97,12 +101,34 @@ run_racecheck() {
   echo "racecheck: report at ${report}"
 }
 
+run_static() {
+  echo "== staticcheck: lvm-lint + thread-safety analysis =="
+  # Thread-safety analysis is a Clang feature; with GCC the annotations
+  # compile to nothing, so only a clang build actually checks them.
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-check/static -S . \
+      -DCMAKE_CXX_COMPILER=clang++ -DLVM_THREAD_SAFETY=ON -DLVM_WERROR=ON >/dev/null
+  else
+    echo "clang++ not installed; skipping -Wthread-safety (CI runs it)."
+    cmake -B build-check/static -S . -DLVM_WERROR=ON >/dev/null
+  fi
+  cmake --build build-check/static -j "${jobs}"
+  mkdir -p bench-results
+  local report="${PWD}/bench-results/LINT_REPORT.json"
+  # lvm-lint exits nonzero (per-rule codes, see tools/lvm_lint/lint.h) on any
+  # violation; `set -e` turns that into a failed pass.
+  ./build-check/static/tools/lvm-lint --json="${report}" src
+  ./build-check/static/tools/lvm-inspect --validate "${report}"
+  echo "staticcheck: report at ${report}"
+}
+
 case "${mode}" in
   --tidy-only) run_werror_build && run_tidy ;;
   --asan-only) run_asan_tests ;;
   --tsan-only) run_tsan_tests ;;
   --racecheck-only) run_racecheck ;;
-  all)         run_werror_build && run_tidy && run_asan_tests && run_tsan_tests ;;
-  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only|--racecheck-only]" >&2; exit 2 ;;
+  --static-only) run_static ;;
+  all)         run_werror_build && run_tidy && run_static && run_asan_tests && run_tsan_tests ;;
+  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only]" >&2; exit 2 ;;
 esac
 echo "check.sh: all requested passes clean"

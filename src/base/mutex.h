@@ -1,0 +1,80 @@
+// Annotated mutex primitives for the thread-safety analysis (DESIGN.md §13).
+//
+// std::mutex carries no capability attributes (libstdc++ ships none), so
+// Clang's -Wthread-safety cannot see through std::lock_guard/std::unique_lock.
+// These thin wrappers add zero runtime cost — every method is an inline
+// forward to the std primitive — and give the analysis the ACQUIRE/RELEASE
+// vocabulary it needs:
+//
+//   Mutex      an exclusive capability (LVM_CAPABILITY)
+//   MutexLock  std::lock_guard with a scoped-capability contract
+//   CondVar    std::condition_variable bound to Mutex; Wait() REQUIRES the
+//              mutex, so "while (!cond) cv.Wait(mu);" keeps the condition
+//              reads inside the capability — predicate lambdas (which the
+//              analysis cannot attribute) are deliberately not offered.
+#ifndef SRC_BASE_MUTEX_H_
+#define SRC_BASE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/base/thread_annotations.h"
+
+namespace lvm {
+
+class LVM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LVM_ACQUIRE() { mu_.lock(); }
+  void Unlock() LVM_RELEASE() { mu_.unlock(); }
+  // Returns true (holding the lock) or false (not holding it); callers on
+  // crash-time best-effort paths use this to avoid self-deadlock.
+  bool TryLock() LVM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for one scope, like std::lock_guard.
+class LVM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LVM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LVM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu` and blocks; re-acquires before returning. The
+  // adopt/release dance keeps std::condition_variable's unique_lock contract
+  // without ever double-locking — invisible to the analysis, hence the
+  // escape, but the REQUIRES contract keeps every caller honest.
+  void Wait(Mutex& mu) LVM_REQUIRES(mu) LVM_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_BASE_MUTEX_H_

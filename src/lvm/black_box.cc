@@ -286,7 +286,7 @@ std::string LvmSystem::BlackBoxJson(
   bool physical_records =
       config_.logger_kind == LoggerKind::kBusLogger && !config_.bus_logger_virtual_records;
   out.append(",\"logs\":[");
-  std::map<uint32_t, LogSegment*> ordered(logs_by_index_.begin(), logs_by_index_.end());
+  std::map<uint32_t, LogSegment*> ordered = SnapshotLogsForDump();
   bool first_log = true;
   for (const auto& [index, log] : ordered) {
     if (!first_log) {

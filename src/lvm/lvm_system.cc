@@ -178,8 +178,38 @@ std::vector<AddressSpace*> LvmSystem::AddressSpaces() const {
 }
 
 LogSegment* LvmSystem::FindLogByIndex(uint32_t index) const {
+  MutexLock lock(log_registry_mu_);
   auto it = logs_by_index_.find(index);
   return it == logs_by_index_.end() ? nullptr : it->second;
+}
+
+void LvmSystem::RegisterLogIndex(uint32_t index, LogSegment* log) {
+  MutexLock lock(log_registry_mu_);
+  logs_by_index_[index] = log;
+  absorbing_[index] = false;
+}
+
+bool LvmSystem::IsAbsorbing(uint32_t index) const {
+  MutexLock lock(log_registry_mu_);
+  auto it = absorbing_.find(index);
+  return it != absorbing_.end() && it->second;
+}
+
+void LvmSystem::SetAbsorbing(uint32_t index, bool absorbing) {
+  MutexLock lock(log_registry_mu_);
+  absorbing_[index] = absorbing;
+}
+
+std::map<uint32_t, LogSegment*> LvmSystem::SnapshotLogsForDump() const {
+  std::map<uint32_t, LogSegment*> ordered;
+  if (!log_registry_mu_.TryLock()) {
+    // The crash interrupted a kernel path mid-registration: dump whatever
+    // else is available rather than deadlocking on our own lock.
+    return ordered;
+  }
+  ordered.insert(logs_by_index_.begin(), logs_by_index_.end());
+  log_registry_mu_.Unlock();
+  return ordered;
 }
 
 AddressSpace* LvmSystem::CreateAddressSpace() {
@@ -303,8 +333,7 @@ void LvmSystem::RegisterLog(LogSegment* log, LogMode mode) {
   bool allocated = log_table().Allocate(mode, &index);
   LVM_CHECK_MSG(allocated, "hardware log table is full");
   log->log_index = index;
-  logs_by_index_[index] = log;
-  absorbing_[index] = false;
+  RegisterLogIndex(index, log);
 }
 
 void LvmSystem::AttachLog(Region* region, LogSegment* log, LogMode mode) {
@@ -353,8 +382,7 @@ void LvmSystem::AttachPerCpuLogs(Region* region, const std::vector<LogSegment*>&
     LVM_CHECK(logs[i] != nullptr &&
               logs[i]->log_index == LogSegment::kUnregistered);
     logs[i]->log_index = first + static_cast<uint32_t>(i);
-    logs_by_index_[logs[i]->log_index] = logs[i];
-    absorbing_[logs[i]->log_index] = false;
+    RegisterLogIndex(logs[i]->log_index, logs[i]);
     SetTailToAppendOffset(logs[i]);
   }
   region->SetLogSegment(logs[0], LogMode::kNormal);
@@ -504,12 +532,11 @@ bool LvmSystem::OnLogTailFault(uint32_t log_index, Cycles time) {
                   "logger_time", time);
   flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kLoggingFault, start,
                  "tail_fault", log_index, time);
-  auto it = logs_by_index_.find(log_index);
-  if (it == logs_by_index_.end()) {
+  LogSegment* log = FindLogByIndex(log_index);
+  if (log == nullptr) {
     return false;
   }
-  LogSegment* log = it->second;
-  if (absorbing_[log_index]) {
+  if (IsAbsorbing(log_index)) {
     // The absorb page filled up; those records are gone (Section 3.2).
     log->records_lost += kPageSize / kLogRecordSize;
   } else if (log->hw_tail_initialized) {
@@ -566,7 +593,7 @@ void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
     } else {
       // No frame available: absorb records into the default page.
       log_table().SetTail(log_index, absorb_frame_);
-      absorbing_[log_index] = true;
+      SetAbsorbing(log_index, true);
       flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kLogTailAdvance,
                      machine_.cpu(0).now(), "absorb", log_index, log->append_offset);
       return;
@@ -575,7 +602,7 @@ void LvmSystem::SetTailToAppendOffset(LogSegment* log) {
   log_table().SetTail(log_index, log->FrameAt(frame_index) + PageOffset(log->append_offset));
   log->active_frame = frame_index;
   log->hw_tail_initialized = true;
-  absorbing_[log_index] = false;
+  SetAbsorbing(log_index, false);
   flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kLogTailAdvance,
                  machine_.cpu(0).now(), "tail_advance", log_index, log->append_offset);
 }
@@ -585,7 +612,7 @@ void LvmSystem::RefreshAppendOffset(LogSegment* log) {
     return;
   }
   const LogTable::Entry& entry = log_table().at(log->log_index);
-  if (absorbing_[log->log_index]) {
+  if (IsAbsorbing(log->log_index)) {
     return;  // The real segment's append offset is frozen while absorbing.
   }
   if (entry.tail_valid) {
@@ -654,7 +681,7 @@ void LvmSystem::EnsureLogCapacity(LogSegment* log, uint32_t pages) {
   if (log->page_count() < needed) {
     log->Extend(needed - log->page_count());
   }
-  if (log->log_index != LogSegment::kUnregistered && absorbing_[log->log_index]) {
+  if (log->log_index != LogSegment::kUnregistered && IsAbsorbing(log->log_index)) {
     SetTailToAppendOffset(log);
   }
 }

@@ -22,10 +22,13 @@
 #define SRC_LVM_LVM_SYSTEM_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/types.h"
 #include "src/logger/hardware_logger.h"
 #include "src/logger/onchip_logger.h"
@@ -322,6 +325,18 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // Refreshes the append offset from the hardware tail.
   void RefreshAppendOffset(LogSegment* log);
 
+  // --- log registry (guarded by log_registry_mu_) ---
+  // Adds `log` under `index` with a clean absorb state.
+  void RegisterLogIndex(uint32_t index, LogSegment* log);
+  // Whether `index` is currently spilling into the absorb page.
+  bool IsAbsorbing(uint32_t index) const;
+  void SetAbsorbing(uint32_t index, bool absorbing);
+  // Best-effort ordered copy for the crash-time black-box dump: TryLock, so
+  // a crash taken while a kernel path holds the registry lock degrades to an
+  // empty log list instead of deadlocking the dumper. The conditional
+  // TryLock/Unlock pairing is invisible to the thread-safety analysis.
+  std::map<uint32_t, LogSegment*> SnapshotLogsForDump() const LVM_NO_THREAD_SAFETY_ANALYSIS;
+
   // Declared first so they are destroyed last: the registry holds non-owning
   // pointers to counters living in the machine and loggers below.
   obs::MetricsRegistry metrics_;
@@ -345,8 +360,12 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   std::vector<std::unique_ptr<Region>> regions_;
   std::vector<AddressSpace*> active_as_;
 
+  // Guards the log registry: registration and absorb-state flips happen on
+  // kernel paths, but the crash-time black-box dump (signal/abort context,
+  // possibly on another thread) walks logs_by_index_ concurrently.
+  mutable Mutex log_registry_mu_;
   // Logs by hardware log-table index.
-  std::unordered_map<uint32_t, LogSegment*> logs_by_index_;
+  std::unordered_map<uint32_t, LogSegment*> logs_by_index_ LVM_GUARDED_BY(log_registry_mu_);
   // Bus-logger mode: the single log attached to each segment.
   std::unordered_map<Segment*, LogSegment*> segment_log_;
   // Per-processor log groups by region (Section 3.1.2 extension).
@@ -354,7 +373,7 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // Physical page number -> log binding, for mapping-fault reloads.
   std::unordered_map<uint32_t, LoggedFrameBinding> logged_frames_;
   // Logs currently spilling into the absorb page.
-  std::unordered_map<uint32_t, bool> absorbing_;
+  std::unordered_map<uint32_t, bool> absorbing_ LVM_GUARDED_BY(log_registry_mu_);
 
   obs::Counter overload_suspensions_;
   obs::Counter logging_faults_handled_;

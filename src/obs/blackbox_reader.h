@@ -22,11 +22,14 @@
 #include <vector>
 
 #include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
 
 namespace lvm {
 namespace obs {
 
-inline constexpr char kBlackBoxFormat[] = "lvm.blackbox.v1";
+// Alias of the registered schema id (src/obs/schema_ids.h) under the
+// reader's historical name.
+inline constexpr const char* kBlackBoxFormat = kBlackBoxSchema;
 
 // One flight-recorder event as dumped (kind/component already stringified).
 struct BlackBoxEvent {

@@ -79,7 +79,7 @@ FlightRecorder::FlightRecorder(int num_cpus, const FlightConfig& config) : confi
 
 void FlightRecorder::Push(int ring_index, const FlightEvent& event) {
   Ring& ring = *rings_.at(static_cast<size_t>(ring_index));
-  std::lock_guard<std::mutex> lock(ring.mu);
+  MutexLock lock(ring.mu);
   ring.slots[ring.next] = event;
   ring.next = (ring.next + 1) % ring.slots.size();
   if (ring.size < ring.slots.size()) {
@@ -119,7 +119,7 @@ void FlightRecorder::Record(int ring, FlightEventKind kind, Cycles ts, const cha
 size_t FlightRecorder::occupancy() const {
   size_t total = 0;
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     total += ring->size;
   }
   return total;
@@ -128,7 +128,7 @@ size_t FlightRecorder::occupancy() const {
 std::vector<FlightEvent> FlightRecorder::MergedEvents() const {
   std::vector<FlightEvent> events;
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     // Oldest first: the slot after `next` when the ring has wrapped.
     size_t start = ring->size < ring->slots.size() ? 0 : ring->next;
     for (size_t i = 0; i < ring->size; ++i) {
@@ -142,7 +142,7 @@ std::vector<FlightEvent> FlightRecorder::MergedEvents() const {
 
 void FlightRecorder::Clear() {
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> lock(ring->mu);
+    MutexLock lock(ring->mu);
     ring->next = 0;
     ring->size = 0;
   }

@@ -29,9 +29,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/types.h"
 #include "src/obs/metrics.h"
 
@@ -123,10 +124,12 @@ class FlightRecorder {
 
  private:
   struct Ring {
-    mutable std::mutex mu;
-    std::vector<FlightEvent> slots;  // Fixed capacity, circular.
-    size_t next = 0;                 // Slot the next event lands in.
-    size_t size = 0;                 // Retained events (<= capacity).
+    mutable Mutex mu;
+    // Fixed capacity, circular. The slot vector is sized once at
+    // construction; only its elements are guarded.
+    std::vector<FlightEvent> slots LVM_GUARDED_BY(mu);
+    size_t next LVM_GUARDED_BY(mu) = 0;  // Slot the next event lands in.
+    size_t size LVM_GUARDED_BY(mu) = 0;  // Retained events (<= capacity).
   };
 
   void Push(int ring, const FlightEvent& event);

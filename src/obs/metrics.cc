@@ -90,6 +90,7 @@ Snapshot Snapshot::Delta(const Snapshot& before) const {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mu_);
   auto it = owned_counters_.find(name);
   if (it == owned_counters_.end()) {
     LVM_CHECK_MSG(!Contains(external_counters_, name) && !Contains(callbacks_, name),
@@ -100,6 +101,7 @@ Counter* MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mu_);
   auto it = owned_gauges_.find(name);
   if (it == owned_gauges_.end()) {
     LVM_CHECK_MSG(!Contains(external_gauges_, name), "metric name already registered");
@@ -109,6 +111,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(mu_);
   auto it = owned_histograms_.find(name);
   if (it == owned_histograms_.end()) {
     LVM_CHECK_MSG(!Contains(external_histograms_, name), "metric name already registered");
@@ -119,6 +122,7 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::RegisterCounter(const std::string& name, const Counter* external) {
   LVM_CHECK(external != nullptr);
+  MutexLock lock(mu_);
   LVM_CHECK_MSG(!Contains(owned_counters_, name) && !Contains(external_counters_, name) &&
                     !Contains(callbacks_, name),
                 "metric name already registered");
@@ -127,6 +131,7 @@ void MetricsRegistry::RegisterCounter(const std::string& name, const Counter* ex
 
 void MetricsRegistry::RegisterGauge(const std::string& name, const Gauge* external) {
   LVM_CHECK(external != nullptr);
+  MutexLock lock(mu_);
   LVM_CHECK_MSG(!Contains(owned_gauges_, name) && !Contains(external_gauges_, name),
                 "metric name already registered");
   external_gauges_.emplace(name, external);
@@ -134,6 +139,7 @@ void MetricsRegistry::RegisterGauge(const std::string& name, const Gauge* extern
 
 void MetricsRegistry::RegisterHistogram(const std::string& name, const Histogram* external) {
   LVM_CHECK(external != nullptr);
+  MutexLock lock(mu_);
   LVM_CHECK_MSG(!Contains(owned_histograms_, name) && !Contains(external_histograms_, name),
                 "metric name already registered");
   external_histograms_.emplace(name, external);
@@ -141,6 +147,7 @@ void MetricsRegistry::RegisterHistogram(const std::string& name, const Histogram
 
 void MetricsRegistry::RegisterCallback(const std::string& name, std::function<uint64_t()> fn) {
   LVM_CHECK(fn != nullptr);
+  MutexLock lock(mu_);
   LVM_CHECK_MSG(!Contains(owned_counters_, name) && !Contains(external_counters_, name) &&
                     !Contains(callbacks_, name),
                 "metric name already registered");
@@ -149,6 +156,7 @@ void MetricsRegistry::RegisterCallback(const std::string& name, std::function<ui
 
 Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot out;
+  MutexLock lock(mu_);
   for (const auto& [name, c] : owned_counters_) {
     out.counters_[name] = c->value();
   }

@@ -33,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+
 namespace lvm {
 namespace obs {
 
@@ -177,13 +180,18 @@ class MetricsRegistry {
   Snapshot TakeSnapshot() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Counter>> owned_counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> owned_gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> owned_histograms_;
-  std::map<std::string, const Counter*> external_counters_;
-  std::map<std::string, const Gauge*> external_gauges_;
-  std::map<std::string, const Histogram*> external_histograms_;
-  std::map<std::string, std::function<uint64_t()>> callbacks_;
+  // Guards the registration maps: registration is setup-phase, but
+  // TakeSnapshot may run from a monitor thread mid-run, and nothing stops a
+  // late RegisterMetrics from racing it. Recording never takes this lock —
+  // it goes through the stable metric pointers.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> owned_counters_ LVM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> owned_gauges_ LVM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> owned_histograms_ LVM_GUARDED_BY(mu_);
+  std::map<std::string, const Counter*> external_counters_ LVM_GUARDED_BY(mu_);
+  std::map<std::string, const Gauge*> external_gauges_ LVM_GUARDED_BY(mu_);
+  std::map<std::string, const Histogram*> external_histograms_ LVM_GUARDED_BY(mu_);
+  std::map<std::string, std::function<uint64_t()>> callbacks_ LVM_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

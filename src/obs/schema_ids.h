@@ -1,0 +1,27 @@
+// Registry of strict-JSON schema version literals (DESIGN.md §13).
+//
+// Every JSON document the repo emits carries a `"schema"` field naming its
+// format and version (`lvm.<doc>.v<N>`). Those literals live here — and only
+// here — so readers and writers cannot drift apart silently, and so the
+// lvm-lint schema-version rule can enforce that no `lvm.*.v<N>` string
+// appears anywhere else in src/. Bump a version by adding a new constant;
+// never reuse or edit an existing literal.
+#ifndef SRC_OBS_SCHEMA_IDS_H_
+#define SRC_OBS_SCHEMA_IDS_H_
+
+namespace lvm {
+namespace obs {
+
+// Black-box crash dump envelope (src/lvm/black_box.cc, blackbox_reader.h).
+inline constexpr const char kBlackBoxSchema[] = "lvm.blackbox.v1";
+
+// Happens-before race detector report (src/race/race_detector.cc).
+inline constexpr const char kRaceReportSchema[] = "lvm.race_report.v1";
+
+// lvm-lint --json report (tools/lvm_lint).
+inline constexpr const char kLintReportSchema[] = "lvm.lint_report.v1";
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_SCHEMA_IDS_H_

@@ -10,6 +10,14 @@
 // Event names and categories are `const char*` and must be string literals
 // (or otherwise outlive the recorder): nothing is copied.
 //
+// Threading contract (why there is no mutex here, unlike MetricsRegistry or
+// the flight-recorder rings): the recorder is confined to the simulation
+// thread that owns the Cpu whose cycles it timestamps — a lock on Push()
+// would put a syscall-capable wait on the logger write path it exists to
+// observe. The only members another thread may touch are the two Counters
+// below (atomic, snapshot-safe); `events_` and `thread_names_` must not be
+// read until the owning thread has quiesced (export happens after Run()).
+//
 // Export follows the Chrome trace-event format
 // (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
 // a {"traceEvents":[...]} object loadable in Perfetto (ui.perfetto.dev) or

@@ -78,7 +78,10 @@ void ParallelEngine::Start() {
   LVM_CHECK(!started_ && !joined_);
   LVM_CHECK_MSG(!workers_.empty(), "no workers registered");
   started_ = true;
-  active_workers_ = static_cast<int>(workers_.size());
+  {
+    MutexLock lk(mu_);
+    active_workers_ = static_cast<int>(workers_.size());
+  }
   obs::FlightRecorder& flight = system_->flight();
   flight.Record(flight.kernel_ring(), obs::FlightEventKind::kEngineStart,
                 system_->cpu(0).now(), config_.mode == Mode::kParallel ? "parallel" : "deterministic",
@@ -168,9 +171,9 @@ void ParallelEngine::ParallelWorkerBody(int worker_id) {
   for (;; ++step) {
     // Per-step checkpoint: park if an overload suspension is in progress.
     if (suspend_requested_.load(std::memory_order_acquire)) {
-      std::unique_lock<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (suspend_requested_.load(std::memory_order_relaxed)) {
-        ParkForOverload(lk, worker_id);
+        ParkForOverload(worker_id);
       }
     }
     if (!worker.fn(cpu, step)) {
@@ -178,17 +181,17 @@ void ParallelEngine::ParallelWorkerBody(int worker_id) {
     }
   }
   worker.stats.steps = step + 1;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   --active_workers_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ParallelEngine::OnShardOverload(int worker_id, Cycles now) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (suspend_requested_.load(std::memory_order_relaxed)) {
     // Another worker is already running the event; wait it out (our ring is
     // drained by that initiator).
-    ParkForOverload(lk, worker_id);
+    ParkForOverload(worker_id);
     return;
   }
   // Become the initiator: park every other active worker, then drain all
@@ -197,7 +200,9 @@ void ParallelEngine::OnShardOverload(int worker_id, Cycles now) {
   suspend_requested_.store(true, std::memory_order_release);
   overload_events_.Increment();
   workers_[static_cast<size_t>(worker_id)].stats.suspensions++;
-  cv_.wait(lk, [this] { return parked_ + 1 == active_workers_; });
+  while (parked_ + 1 != active_workers_) {
+    cv_.Wait(mu_);
+  }
   uint64_t pending = 0;
   for (Worker& worker : workers_) {
     pending += worker.shard->ring_occupancy();
@@ -220,16 +225,18 @@ void ParallelEngine::OnShardOverload(int worker_id, Cycles now) {
   workers_[static_cast<size_t>(worker_id)].stats.resumes++;
   suspend_requested_.store(false, std::memory_order_release);
   ++overload_generation_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
-void ParallelEngine::ParkForOverload(std::unique_lock<std::mutex>& lk, int worker_id) {
+void ParallelEngine::ParkForOverload(int worker_id) {
   WorkerStats& stats = workers_[static_cast<size_t>(worker_id)].stats;
   stats.suspensions++;
   ++parked_;
-  uint64_t generation = overload_generation_;
-  cv_.notify_all();
-  cv_.wait(lk, [this, generation] { return overload_generation_ != generation; });
+  const uint64_t generation = overload_generation_;
+  cv_.NotifyAll();
+  while (overload_generation_ == generation) {
+    cv_.Wait(mu_);
+  }
   --parked_;
   stats.resumes++;
 }
@@ -237,21 +244,24 @@ void ParallelEngine::ParkForOverload(std::unique_lock<std::mutex>& lk, int worke
 void ParallelEngine::DeterministicWorkerBody(int worker_id) {
   Worker& worker = workers_[static_cast<size_t>(worker_id)];
   Cpu& cpu = system_->cpu(worker_id);
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   for (;;) {
-    cv_.wait(lk, [this, worker_id] { return current_worker_ == worker_id; });
-    uint32_t quantum = quantum_;
-    lk.unlock();
+    while (current_worker_ != worker_id) {
+      cv_.Wait(mu_);
+    }
+    const uint32_t quantum = quantum_;
+    mu_.Unlock();
     bool alive = true;
     for (uint32_t i = 0; i < quantum && alive; ++i) {
       alive = worker.fn(cpu, worker.stats.steps);
       ++worker.stats.steps;
     }
-    lk.lock();
+    mu_.Lock();
     current_worker_ = -1;
     worker_done_ = !alive;
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (!alive) {
+      mu_.Unlock();
       return;
     }
   }
@@ -270,7 +280,7 @@ void ParallelEngine::SchedulerBody() {
   for (size_t i = 0; i < workers_.size(); ++i) {
     alive.push_back(static_cast<int>(i));
   }
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   while (!alive.empty()) {
     size_t pick = static_cast<size_t>(rng.Uniform(alive.size()));
     quantum_ = static_cast<uint32_t>(
@@ -287,8 +297,10 @@ void ParallelEngine::SchedulerBody() {
       }
       previous_worker = current_worker_;
     }
-    cv_.notify_all();
-    cv_.wait(lk, [this] { return current_worker_ == -1; });
+    cv_.NotifyAll();
+    while (current_worker_ != -1) {
+      cv_.Wait(mu_);
+    }
     if (worker_done_) {
       alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
     }

@@ -32,15 +32,16 @@
 #ifndef SRC_PAR_ENGINE_H_
 #define SRC_PAR_ENGINE_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/types.h"
 #include "src/lvm/lvm_system.h"
 #include "src/obs/metrics.h"
@@ -140,8 +141,8 @@ class ParallelEngine : public ShardOverloadPort {
   void DeterministicWorkerBody(int worker_id);
   void SchedulerBody();
   // Parks the calling worker until the in-progress overload event resolves.
-  // Requires `lk` held; `worker_id` is the parking worker.
-  void ParkForOverload(std::unique_lock<std::mutex>& lk, int worker_id);
+  // `worker_id` is the parking worker.
+  void ParkForOverload(int worker_id) LVM_REQUIRES(mu_);
 
   LvmSystem* const system_;
   const EngineConfig config_;
@@ -152,18 +153,21 @@ class ParallelEngine : public ShardOverloadPort {
   bool joined_ = false;
 
   // --- overload suspension protocol (parallel mode) ---
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   std::atomic<bool> suspend_requested_{false};
-  int active_workers_ = 0;   // Workers whose thread has not finished.
-  int parked_ = 0;           // Workers waiting out the current event.
-  uint64_t overload_generation_ = 0;
+  // Workers whose thread has not finished.
+  int active_workers_ LVM_GUARDED_BY(mu_) = 0;
+  // Workers waiting out the current event.
+  int parked_ LVM_GUARDED_BY(mu_) = 0;
+  uint64_t overload_generation_ LVM_GUARDED_BY(mu_) = 0;
 
-  // --- deterministic scheduler state (under mu_) ---
+  // --- deterministic scheduler state ---
   std::thread scheduler_;
-  int current_worker_ = -1;  // Token holder; -1 while the scheduler decides.
-  uint32_t quantum_ = 0;
-  bool worker_done_ = false;
+  // Token holder; -1 while the scheduler decides.
+  int current_worker_ LVM_GUARDED_BY(mu_) = -1;
+  uint32_t quantum_ LVM_GUARDED_BY(mu_) = 0;
+  bool worker_done_ LVM_GUARDED_BY(mu_) = false;
 
   obs::Counter overload_events_;
   obs::Histogram shard_occupancy_;       // Ring occupancy at each batch flush.

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
 
 namespace lvm {
 namespace race {
@@ -55,7 +56,7 @@ RaceDetector::Cell& RaceDetector::CellFor(Stripe& stripe, uint32_t word_index) {
 
 void RaceDetector::PushTrail(int cpu, VirtAddr va) {
   CpuState& state = *cpus_[static_cast<size_t>(cpu)];
-  std::lock_guard<std::mutex> lk(state.trail_mu);
+  MutexLock lk(state.trail_mu);
   state.trail[state.trail_next] = va;
   state.trail_next = (state.trail_next + 1) % kTrailMax;
   if (state.trail_len < kTrailMax) {
@@ -65,7 +66,7 @@ void RaceDetector::PushTrail(int cpu, VirtAddr va) {
 
 std::vector<VirtAddr> RaceDetector::SnapshotTrail(int cpu) const {
   const CpuState& state = *cpus_[static_cast<size_t>(cpu)];
-  std::lock_guard<std::mutex> lk(state.trail_mu);
+  MutexLock lk(state.trail_mu);
   const size_t depth = std::min({state.trail_len, config_.trail_depth, kTrailMax});
   std::vector<VirtAddr> trail;
   trail.reserve(depth);
@@ -83,7 +84,7 @@ void RaceDetector::Report(RaceKind kind, uint32_t word_index, const RaceReport& 
   const uint64_t key = (static_cast<uint64_t>(word_index) << 32) |
                        (static_cast<uint64_t>(kind) << 16) |
                        (static_cast<uint64_t>(lo) << 8) | hi;
-  std::lock_guard<std::mutex> lk(report_mu_);
+  MutexLock lk(report_mu_);
   auto it = dedup_.find(key);
   if (it != dedup_.end()) {
     ++reports_[it->second].count;
@@ -128,7 +129,7 @@ void RaceDetector::OnMemoryAccess(int cpu_id, AccessKind kind, VirtAddr va, Phys
   proto.cycle_b = time;
 
   Stripe& stripe = StripeFor(word_index);
-  std::lock_guard<std::mutex> lk(stripe.mu);
+  MutexLock lk(stripe.mu);
   Cell& cell = CellFor(stripe, word_index);
 
   if (kind == AccessKind::kWrite) {
@@ -211,7 +212,7 @@ void RaceDetector::OnMemoryAccess(int cpu_id, AccessKind kind, VirtAddr va, Phys
 void RaceDetector::Release(int cpu, uint64_t sync_id) {
   sync_releases_.Increment();
   CpuState& me = *cpus_[static_cast<size_t>(cpu)];
-  std::lock_guard<std::mutex> lk(sync_mu_);
+  MutexLock lk(sync_mu_);
   auto [it, inserted] =
       sync_objects_.try_emplace(sync_id, VectorClock(static_cast<size_t>(num_cpus_)));
   // Join rather than overwrite: a sync object accumulates every releaser's
@@ -225,7 +226,7 @@ void RaceDetector::Release(int cpu, uint64_t sync_id) {
 void RaceDetector::Acquire(int cpu, uint64_t sync_id) {
   sync_acquires_.Increment();
   CpuState& me = *cpus_[static_cast<size_t>(cpu)];
-  std::lock_guard<std::mutex> lk(sync_mu_);
+  MutexLock lk(sync_mu_);
   auto it = sync_objects_.find(sync_id);
   if (it != sync_objects_.end()) {
     me.vc.Join(it->second);
@@ -234,7 +235,7 @@ void RaceDetector::Acquire(int cpu, uint64_t sync_id) {
 
 void RaceDetector::GlobalBarrier() {
   barriers_.Increment();
-  std::lock_guard<std::mutex> lk(sync_mu_);
+  MutexLock lk(sync_mu_);
   VectorClock all(static_cast<size_t>(num_cpus_));
   for (const auto& state : cpus_) {
     all.Join(state->vc);
@@ -246,13 +247,15 @@ void RaceDetector::GlobalBarrier() {
 }
 
 std::vector<RaceReport> RaceDetector::Reports() const {
-  std::lock_guard<std::mutex> lk(report_mu_);
+  MutexLock lk(report_mu_);
   return reports_;
 }
 
 std::string RaceDetector::ReportsJson() const {
   const std::vector<RaceReport> reports = Reports();
-  std::string out = "{\"schema\":\"lvm.race_report.v1\",\"stats\":{";
+  std::string out = "{\"schema\":\"";
+  out += obs::kRaceReportSchema;
+  out += "\",\"stats\":{";
   out += "\"accesses_observed\":" + obs::JsonNumber(accesses_observed_.value());
   out += ",\"reports\":" + obs::JsonNumber(races_reported_.value());
   out += ",\"deduped\":" + obs::JsonNumber(races_deduped_.value());

@@ -38,11 +38,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/types.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
@@ -166,9 +167,11 @@ class RaceDetector : public MemoryAccessObserver {
   };
 
   struct Stripe {
-    std::mutex mu;
-    std::unordered_map<uint32_t, Cell> cells;  // Keyed by word index.
-    std::list<uint32_t> lru;                   // Front = most recently used.
+    Mutex mu;
+    // Keyed by word index.
+    std::unordered_map<uint32_t, Cell> cells LVM_GUARDED_BY(mu);
+    // Front = most recently used.
+    std::list<uint32_t> lru LVM_GUARDED_BY(mu);
   };
 
   // A CPU's clock plus its recent-access trail. The clock is written by
@@ -176,19 +179,21 @@ class RaceDetector : public MemoryAccessObserver {
   // owner is parked; the trail has its own lock so another CPU's report
   // can copy it.
   struct CpuState {
+    // Deliberately unannotated: thread-confined to the owning worker except
+    // for engine calls made while the owner is parked (ordered externally).
     VectorClock vc;
-    mutable std::mutex trail_mu;
-    VirtAddr trail[kTrailMax] = {};
-    size_t trail_len = 0;
-    size_t trail_next = 0;
+    mutable Mutex trail_mu;
+    VirtAddr trail[kTrailMax] LVM_GUARDED_BY(trail_mu) = {};
+    size_t trail_len LVM_GUARDED_BY(trail_mu) = 0;
+    size_t trail_next LVM_GUARDED_BY(trail_mu) = 0;
   };
 
   Stripe& StripeFor(uint32_t word_index) {
     return stripes_[(word_index >> (kPageShift - 2)) % kStripes];
   }
   // Looks up or creates the cell for `word_index`, evicting the stripe's
-  // LRU cell when the per-stripe budget is exhausted. Stripe lock held.
-  Cell& CellFor(Stripe& stripe, uint32_t word_index);
+  // LRU cell when the per-stripe budget is exhausted.
+  Cell& CellFor(Stripe& stripe, uint32_t word_index) LVM_REQUIRES(stripe.mu);
   void PushTrail(int cpu, VirtAddr va);
   std::vector<VirtAddr> SnapshotTrail(int cpu) const;
   void Report(RaceKind kind, uint32_t word_index, const RaceReport& prototype);
@@ -201,13 +206,13 @@ class RaceDetector : public MemoryAccessObserver {
   std::vector<std::unique_ptr<CpuState>> cpus_;
   Stripe stripes_[kStripes];
 
-  mutable std::mutex sync_mu_;
-  std::unordered_map<uint64_t, VectorClock> sync_objects_;
+  mutable Mutex sync_mu_;
+  std::unordered_map<uint64_t, VectorClock> sync_objects_ LVM_GUARDED_BY(sync_mu_);
 
-  mutable std::mutex report_mu_;
-  std::vector<RaceReport> reports_;
+  mutable Mutex report_mu_;
+  std::vector<RaceReport> reports_ LVM_GUARDED_BY(report_mu_);
   // (word_index, kind, cpu_lo, cpu_hi) -> index into reports_.
-  std::unordered_map<uint64_t, size_t> dedup_;
+  std::unordered_map<uint64_t, size_t> dedup_ LVM_GUARDED_BY(report_mu_);
 
   obs::Counter accesses_observed_;
   obs::Counter races_reported_;   // Distinct deduplicated reports.

@@ -7,10 +7,11 @@
 #define SRC_VM_FRAME_ALLOCATOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/base/types.h"
 #include "src/sim/phys_mem.h"
 
@@ -31,7 +32,7 @@ class FrameAllocator {
   // Allocates a zero-filled frame. Aborts when physical memory is exhausted
   // (the simulated experiments size memory generously).
   PhysAddr Allocate() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!free_list_.empty()) {
       PhysAddr frame = free_list_.back();
       free_list_.pop_back();
@@ -47,20 +48,20 @@ class FrameAllocator {
 
   void Free(PhysAddr frame) {
     LVM_DCHECK(PageOffset(frame) == 0);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     free_list_.push_back(frame);
   }
 
   uint32_t allocated_frames() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return (next_ / kPageSize) - 1 - static_cast<uint32_t>(free_list_.size());
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   PhysicalMemory* memory_;
-  PhysAddr next_;
-  std::vector<PhysAddr> free_list_;
+  PhysAddr next_ LVM_GUARDED_BY(mu_);
+  std::vector<PhysAddr> free_list_ LVM_GUARDED_BY(mu_);
 };
 
 }  // namespace lvm

@@ -1,0 +1,12 @@
+// Fixture: project invariants go through LVM_CHECK; static_assert is fine.
+#include "src/base/check.h"
+
+namespace lvm {
+
+void Validate(int occupancy, int capacity) {
+  LVM_CHECK(occupancy >= 0);
+  LVM_CHECK_MSG(occupancy <= capacity, "ring overfull");
+  static_assert(sizeof(int) >= 4, "assumed by the packing below");
+}
+
+}  // namespace lvm

@@ -1,0 +1,10 @@
+// Fixture: assert() in non-test code.
+#include <cassert>
+
+namespace lvm {
+
+void Validate(int occupancy, int capacity) {
+  assert(occupancy <= capacity);  // vanishes under NDEBUG, no black box
+}
+
+}  // namespace lvm

@@ -1,0 +1,17 @@
+// Fixture: paired flight-recorder events recorded in matched numbers.
+#include "src/obs/flight_recorder.h"
+
+namespace lvm {
+
+void ParkAndRelease(obs::FlightRecorder* flight, Cycles now, Cycles resume) {
+  flight->Record(0, obs::FlightEventKind::kOverloadSuspend, now, "park", 0, 0, 0);
+  // ... drain ...
+  flight->Record(0, obs::FlightEventKind::kOverloadResume, resume, "release", 0, 0, 0);
+}
+
+void RunEngine(obs::FlightRecorder* flight, Cycles now) {
+  flight->Record(0, obs::FlightEventKind::kEngineStart, now, "parallel", 2, 0, 0);
+  flight->Record(0, obs::FlightEventKind::kEngineJoin, now + 100, "join", 2, 0, 0);
+}
+
+}  // namespace lvm

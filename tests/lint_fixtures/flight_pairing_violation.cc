@@ -1,0 +1,12 @@
+// Fixture: an overload suspension recorded without its matching resume.
+#include "src/obs/flight_recorder.h"
+
+namespace lvm {
+
+void ParkWorkers(obs::FlightRecorder* flight, Cycles now) {
+  flight->Record(0, obs::FlightEventKind::kOverloadSuspend, now, "park", 0, 0, 0);
+  // ... drain ...
+  // BUG: never records kOverloadResume, leaving an open interval.
+}
+
+}  // namespace lvm

@@ -1,0 +1,18 @@
+// Fixture: conforming metric names, plus computed names (out of scope).
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace lvm {
+
+void RegisterGoodMetrics(obs::MetricsRegistry* registry, const obs::Counter* c,
+                         const obs::Histogram* h, const std::string& prefix) {
+  registry->RegisterCounter("par.overload_events", c);
+  registry->RegisterCounter("logger.shard0.appends", c);
+  registry->RegisterHistogram("par.shard_occupancy", h);
+  registry->RegisterCounter(prefix + "appends", c);  // computed: not checked
+  obs::Counter* owned = registry->counter("kernel.logging_faults");
+  (void)owned;
+}
+
+}  // namespace lvm

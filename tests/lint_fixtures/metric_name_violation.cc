@@ -1,0 +1,11 @@
+// Fixture: metric literals off the subsystem.name lowercase-dot convention.
+#include "src/obs/metrics.h"
+
+namespace lvm {
+
+void RegisterBadMetrics(obs::MetricsRegistry* registry, const obs::Counter* c) {
+  registry->RegisterCounter("OverloadEvents", c);  // no dot, CamelCase
+  registry->RegisterCounter("par.BadCase", c);     // uppercase atom
+}
+
+}  // namespace lvm

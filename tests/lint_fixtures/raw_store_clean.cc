@@ -1,0 +1,15 @@
+// Fixture: stores flow through the logged-write path (Cpu::Write).
+#include "src/sim/cpu.h"
+
+namespace lvm {
+
+void LoggedStore(Cpu& cpu, VirtAddr va, uint32_t value) {
+  cpu.Write(va, value, 4);  // the logger snoops this
+}
+
+// A free function named like a mutator is fine: only member calls count.
+void Zero(int* x) { *x = 0; }
+
+void NotAMemberCall(int* x) { Zero(x); }
+
+}  // namespace lvm

@@ -1,0 +1,16 @@
+// Fixture: a deliberate raw store silenced by an allow() comment.
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+void MeasuredBaselineCopy(PhysicalMemory& memory, PhysAddr dst, PhysAddr src) {
+  // This is the unlogged copying baseline an experiment measures against.
+  // lvm-lint: allow(raw-store)
+  memory.CopyBlock(dst, src, 4096);
+}
+
+void TrailingStyle(PhysicalMemory& memory, PhysAddr dst, const void* bytes) {
+  memory.WriteBlock(dst, bytes, 16);  // lvm-lint: allow(raw-store)
+}
+
+}  // namespace lvm

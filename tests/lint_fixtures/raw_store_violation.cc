@@ -1,0 +1,14 @@
+// Fixture: a raw physical-memory store outside the machine/kernel layers.
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+void SneakyCheckpoint(PhysicalMemory* memory, PhysAddr dst, const void* bytes) {
+  memory->WriteBlock(dst, bytes, 16);  // bypasses the logged-write path
+}
+
+void SneakyCopy(PhysicalMemory& memory, PhysAddr dst, PhysAddr src) {
+  memory.CopyBlock(dst, src, 16);
+}
+
+}  // namespace lvm

@@ -1,0 +1,18 @@
+// Fixture: schema ids referenced through the registry constants.
+#include <string>
+
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+
+std::string BuildReport() {
+  std::string out = "{\"schema\":\"";
+  out += obs::kLintReportSchema;
+  out += "\"}";
+  // Near-miss literals that must NOT trigger: wrong prefix, no version atom.
+  out += "vm.report.v1";
+  out += "lvm.report";
+  return out;
+}
+
+}  // namespace lvm

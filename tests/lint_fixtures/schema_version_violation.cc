@@ -1,0 +1,13 @@
+// Fixture: a schema version literal outside the registry header.
+#include <string>
+
+namespace lvm {
+
+std::string BuildReport() {
+  std::string out = "{\"schema\":\"";
+  out += "lvm.side_report.v1";  // must live in src/obs/schema_ids.h
+  out += "\"}";
+  return out;
+}
+
+}  // namespace lvm

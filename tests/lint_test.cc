@@ -1,0 +1,203 @@
+// lvm-lint engine tests: every rule against a violating and a clean fixture
+// (tests/lint_fixtures/), suppression comments, exit-code mapping, the
+// strict-JSON report, and — the check that matters — a clean run over the
+// repo's real src/ tree.
+#include "tools/lvm_lint/lint.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(LVM_SOURCE_ROOT) + "/tests/lint_fixtures/" + name;
+}
+
+LintResult LintFixture(const std::string& name) {
+  LintResult result;
+  std::string error;
+  EXPECT_TRUE(LintPaths({FixturePath(name)}, LintOptions{}, &result, &error)) << error;
+  return result;
+}
+
+// Violations of exactly one rule, reported with that rule's exit code.
+void ExpectOnlyRule(const LintResult& result, Rule rule) {
+  ASSERT_FALSE(result.violations.empty());
+  for (const Violation& v : result.violations) {
+    EXPECT_EQ(v.rule, rule) << v.file << ":" << v.line << ": " << v.message;
+    EXPECT_GT(v.line, 0);
+  }
+  EXPECT_EQ(ExitCodeFor(result), RuleExitCode(rule));
+}
+
+TEST(LintRules, RawStoreViolation) {
+  LintResult result = LintFixture("raw_store_violation.cc");
+  ExpectOnlyRule(result, Rule::kRawStore);
+  EXPECT_EQ(result.violations.size(), 2u);  // WriteBlock and CopyBlock
+  EXPECT_EQ(ExitCodeFor(result), 10);
+}
+
+TEST(LintRules, RawStoreClean) {
+  LintResult result = LintFixture("raw_store_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(ExitCodeFor(result), 0);
+}
+
+TEST(LintRules, RawStoreAllowedInMachineLayers) {
+  // The same source is clean when it lives under a whitelisted directory.
+  LintOptions options;
+  LintResult result;
+  LintSource("src/sim/fake_cache.cc", "void F(M* m) { m->WriteBlock(0, p, 16); }", options,
+             &result);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintRules, FlightPairingViolation) {
+  LintResult result = LintFixture("flight_pairing_violation.cc");
+  ExpectOnlyRule(result, Rule::kFlightPairing);
+  EXPECT_EQ(ExitCodeFor(result), 11);
+}
+
+TEST(LintRules, FlightPairingClean) {
+  LintResult result = LintFixture("flight_pairing_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintRules, MetricNameViolation) {
+  LintResult result = LintFixture("metric_name_violation.cc");
+  ExpectOnlyRule(result, Rule::kMetricName);
+  EXPECT_EQ(result.violations.size(), 2u);
+  EXPECT_EQ(ExitCodeFor(result), 12);
+}
+
+TEST(LintRules, MetricNameClean) {
+  LintResult result = LintFixture("metric_name_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintRules, SchemaVersionViolation) {
+  LintResult result = LintFixture("schema_version_violation.cc");
+  ExpectOnlyRule(result, Rule::kSchemaVersion);
+  EXPECT_EQ(ExitCodeFor(result), 13);
+}
+
+TEST(LintRules, SchemaVersionClean) {
+  LintResult result = LintFixture("schema_version_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintRules, SchemaVersionAllowedInRegistryHeader) {
+  LintOptions options;
+  LintResult result;
+  LintSource("src/obs/schema_ids.h",
+             "inline constexpr const char kFoo[] = \"lvm.foo.v1\";", options, &result);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintRules, CheckMacroViolation) {
+  LintResult result = LintFixture("check_macro_violation.cc");
+  ExpectOnlyRule(result, Rule::kCheckMacro);
+  EXPECT_EQ(ExitCodeFor(result), 14);
+}
+
+TEST(LintRules, CheckMacroClean) {
+  LintResult result = LintFixture("check_macro_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintSuppression, AllowCommentSilencesBothStyles) {
+  LintResult result = LintFixture("raw_store_suppressed.cc");
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.suppressions_used, 2u);  // preceding-line and same-line
+  EXPECT_EQ(ExitCodeFor(result), 0);
+}
+
+TEST(LintSuppression, AllowOfOtherRuleDoesNotSilence) {
+  LintOptions options;
+  LintResult result;
+  LintSource("fixture.cc",
+             "// lvm-lint: allow(metric-name)\n"
+             "void F(M* m) { m->CopyBlock(0, 1, 16); }\n",
+             options, &result);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].rule, Rule::kRawStore);
+  EXPECT_EQ(result.suppressions_used, 0u);
+}
+
+TEST(LintExitCodes, MixedRulesCollapseToGenericFailure) {
+  LintOptions options;
+  LintResult result;
+  LintSource("fixture.cc",
+             "void F(M* m) { m->CopyBlock(0, 1, 16); assert(true); }\n", options, &result);
+  ASSERT_EQ(result.violations.size(), 2u);
+  EXPECT_EQ(ExitCodeFor(result), 1);
+}
+
+TEST(LintExitCodes, RuleNamesRoundTrip) {
+  for (Rule rule : {Rule::kRawStore, Rule::kFlightPairing, Rule::kMetricName,
+                    Rule::kSchemaVersion, Rule::kCheckMacro}) {
+    Rule parsed;
+    ASSERT_TRUE(ParseRuleName(RuleName(rule), &parsed)) << RuleName(rule);
+    EXPECT_EQ(parsed, rule);
+  }
+  Rule unused;
+  EXPECT_FALSE(ParseRuleName("no-such-rule", &unused));
+}
+
+TEST(LintReport, StrictJsonWithSchemaAndViolations) {
+  LintResult result = LintFixture("metric_name_violation.cc");
+  const std::string json = ReportJson(result);
+  ASSERT_TRUE(obs::ValidateJson(json)) << json;
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(json, &root, &error)) << error;
+  EXPECT_EQ(root.GetString("schema"), obs::kLintReportSchema);
+  EXPECT_EQ(root.GetUint64("files_scanned"), 1u);
+  EXPECT_EQ(root.GetUint64("violation_count"), result.violations.size());
+  const obs::JsonValue* violations = root.Find("violations");
+  ASSERT_NE(violations, nullptr);
+  ASSERT_EQ(violations->Items().size(), result.violations.size());
+  const obs::JsonValue& first = violations->Items()[0];
+  EXPECT_EQ(first.GetString("rule"), "metric-name");
+  EXPECT_EQ(first.GetUint64("exit_code"), 12u);
+  EXPECT_GT(first.GetUint64("line"), 0u);
+}
+
+TEST(LintReport, EmptyReportIsStrictJson) {
+  LintResult result;
+  const std::string json = ReportJson(result);
+  EXPECT_TRUE(obs::ValidateJson(json)) << json;
+}
+
+TEST(LintPathsIo, MissingPathFails) {
+  LintResult result;
+  std::string error;
+  EXPECT_FALSE(LintPaths({FixturePath("no_such_fixture.cc")}, LintOptions{}, &result, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// The rules are not aspirational: the real tree must hold them (with its
+// deliberate, commented suppressions).
+TEST(LintTree, RepoSourcesAreClean) {
+  LintResult result;
+  std::string error;
+  ASSERT_TRUE(
+      LintPaths({std::string(LVM_SOURCE_ROOT) + "/src"}, LintOptions{}, &result, &error))
+      << error;
+  EXPECT_GT(result.files_scanned, 50u);
+  for (const Violation& v : result.violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << ": [" << RuleName(v.rule) << "] " << v.message;
+  }
+  // The Time Warp copy baseline carries the one deliberate allow().
+  EXPECT_GE(result.suppressions_used, 1u);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace lvm

@@ -1,0 +1,621 @@
+#include "tools/lvm_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+namespace lint {
+
+namespace {
+
+constexpr Rule kAllRules[] = {Rule::kRawStore, Rule::kFlightPairing, Rule::kMetricName,
+                              Rule::kSchemaVersion, Rule::kCheckMacro};
+
+// --- tokenizer -------------------------------------------------------------
+//
+// Just enough C++ lexing for convention checks: identifiers, string literal
+// contents, and punctuation, each with a 1-based line number. Comments are
+// consumed here and mined for lvm-lint: allow(...) suppressions; numbers and
+// character literals are skipped.
+
+struct Token {
+  enum class Kind : uint8_t { kIdentifier, kString, kPunct };
+  Kind kind;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> Tokens() && {
+    while (pos_ < src_.size()) {
+      Step();
+    }
+    return std::move(tokens_);
+  }
+
+  // line -> rules silenced by an allow() comment on that line.
+  const std::map<int, std::set<Rule>>& suppressions() const { return suppressions_; }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Take() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  void Step() {
+    char c = Peek();
+    if (c == '/' && Peek(1) == '/') {
+      LexLineComment();
+    } else if (c == '/' && Peek(1) == '*') {
+      LexBlockComment();
+    } else if (c == '"') {
+      LexString();
+    } else if (c == '\'') {
+      LexCharLiteral();
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      LexIdentifier();
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      LexNumber();
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      Take();
+    } else {
+      LexPunct();
+    }
+  }
+
+  void LexLineComment() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < src_.size() && Peek() != '\n') {
+      text.push_back(Take());
+    }
+    MineSuppressions(text, line);
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    std::string text;
+    Take();  // '/'
+    Take();  // '*'
+    while (pos_ < src_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+      text.push_back(Take());
+    }
+    if (pos_ < src_.size()) {
+      Take();
+      Take();
+    }
+    MineSuppressions(text, line);
+  }
+
+  // Recognizes every `lvm-lint: allow(<rule>)` in a comment's text.
+  void MineSuppressions(const std::string& text, int line) {
+    static constexpr std::string_view kTag = "lvm-lint: allow(";
+    size_t at = 0;
+    while ((at = text.find(kTag, at)) != std::string::npos) {
+      at += kTag.size();
+      size_t close = text.find(')', at);
+      if (close == std::string::npos) {
+        break;
+      }
+      Rule rule;
+      if (ParseRuleName(std::string_view(text).substr(at, close - at), &rule)) {
+        suppressions_[line].insert(rule);
+      }
+      at = close + 1;
+    }
+  }
+
+  void LexString() {
+    const int line = line_;
+    Take();  // opening quote
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = Take();
+      if (c == '\\' && pos_ < src_.size()) {
+        text.push_back(c);
+        text.push_back(Take());
+        continue;
+      }
+      if (c == '"') {
+        break;
+      }
+      text.push_back(c);
+    }
+    tokens_.push_back({Token::Kind::kString, std::move(text), line});
+  }
+
+  // R"delim( ... )delim" — the identifier ending in R was already consumed
+  // by LexIdentifier, which calls this when it sees the opening quote.
+  void LexRawString() {
+    const int line = line_;
+    Take();  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && Peek() != '(') {
+      delim.push_back(Take());
+    }
+    if (pos_ < src_.size()) {
+      Take();  // '('
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
+      text.push_back(Take());
+    }
+    for (size_t i = 0; i < closer.size() && pos_ < src_.size(); ++i) {
+      Take();
+    }
+    tokens_.push_back({Token::Kind::kString, std::move(text), line});
+  }
+
+  void LexCharLiteral() {
+    Take();  // opening quote
+    while (pos_ < src_.size()) {
+      char c = Take();
+      if (c == '\\' && pos_ < src_.size()) {
+        Take();
+        continue;
+      }
+      if (c == '\'') {
+        break;
+      }
+    }
+  }
+
+  void LexIdentifier() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        text.push_back(Take());
+      } else {
+        break;
+      }
+    }
+    // Raw-string prefix (R"..., u8R"..., LR"..., ...): hand off to the raw
+    // string lexer instead of emitting the prefix as an identifier.
+    if (Peek() == '"' && !text.empty() && text.back() == 'R' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
+      LexRawString();
+      return;
+    }
+    tokens_.push_back({Token::Kind::kIdentifier, std::move(text), line});
+  }
+
+  void LexNumber() {
+    // Swallow the full pp-number (hex digits, suffixes, exponents, digit
+    // separators); the checks never look at numeric values.
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '\'') {
+        Take();
+      } else if ((c == '+' || c == '-') && pos_ > 0 &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' || src_[pos_ - 1] == 'p' ||
+                  src_[pos_ - 1] == 'P')) {
+        Take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void LexPunct() {
+    const int line = line_;
+    char c = Take();
+    std::string text(1, c);
+    if (c == '-' && Peek() == '>') {
+      text.push_back(Take());
+    }
+    tokens_.push_back({Token::Kind::kPunct, std::move(text), line});
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<Token> tokens_;
+  std::map<int, std::set<Rule>> suppressions_;
+};
+
+// --- rule helpers ----------------------------------------------------------
+
+bool PathContains(const std::string& path, const std::string& fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+// subsystem.name: lowercase [a-z0-9_] atoms joined by dots, at least two.
+bool IsValidMetricName(std::string_view name) {
+  size_t atoms = 0;
+  size_t atom_len = 0;
+  for (char c : name) {
+    if (c == '.') {
+      if (atom_len == 0) {
+        return false;
+      }
+      ++atoms;
+      atom_len = 0;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      ++atom_len;
+    } else {
+      return false;
+    }
+  }
+  return atom_len > 0 && atoms >= 1;
+}
+
+// lvm.<doc>.v<digits>, the schema-id shape registered in schema_ids.h.
+bool IsSchemaVersionLiteral(std::string_view text) {
+  if (text.substr(0, 4) != "lvm.") {
+    return false;
+  }
+  size_t dot = text.rfind('.');
+  if (dot < 4 || dot == std::string::npos) {
+    return false;
+  }
+  std::string_view tail = text.substr(dot + 1);
+  if (tail.size() < 2 || tail[0] != 'v') {
+    return false;
+  }
+  for (size_t i = 1; i < tail.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tail[i]))) {
+      return false;
+    }
+  }
+  std::string_view middle = text.substr(4, dot - 4);
+  if (middle.empty()) {
+    return false;
+  }
+  for (char c : middle) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class FileLinter {
+ public:
+  FileLinter(const std::string& path, std::string_view contents, const LintOptions& options,
+             LintResult* result)
+      : path_(path), options_(options), result_(result) {
+    Lexer lexer(contents);
+    tokens_ = std::move(lexer).Tokens();
+    suppressions_map_ = lexer.suppressions();
+  }
+
+  void Run() {
+    CheckRawStores();
+    CheckFlightPairing();
+    CheckMetricNames();
+    CheckSchemaVersions();
+    CheckCheckMacro();
+  }
+
+ private:
+  bool Suppressed(Rule rule, int line) const {
+    for (int probe : {line, line - 1}) {
+      auto it = suppressions_map_.find(probe);
+      if (it != suppressions_map_.end() && it->second.count(rule) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Emit(Rule rule, int line, std::string message) {
+    if (Suppressed(rule, line)) {
+      ++result_->suppressions_used;
+      return;
+    }
+    result_->violations.push_back({rule, path_, line, std::move(message)});
+  }
+
+  bool IsIdent(size_t i, std::string_view text) const {
+    return i < tokens_.size() && tokens_[i].kind == Token::Kind::kIdentifier &&
+           tokens_[i].text == text;
+  }
+  bool IsPunct(size_t i, std::string_view text) const {
+    return i < tokens_.size() && tokens_[i].kind == Token::Kind::kPunct && tokens_[i].text == text;
+  }
+
+  // raw-store: member calls that mutate physical memory behind the logger's
+  // back, outside the layers that implement the logged-write path.
+  void CheckRawStores() {
+    for (const std::string& dir : options_.raw_store_allowed_dirs) {
+      if (PathContains(path_, dir)) {
+        return;
+      }
+    }
+    static constexpr std::string_view kMutators[] = {"raw_mutable", "WriteBlock", "CopyBlock",
+                                                     "Zero"};
+    for (size_t i = 1; i + 1 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind != Token::Kind::kIdentifier) {
+        continue;
+      }
+      bool mutator = false;
+      for (std::string_view name : kMutators) {
+        if (t.text == name) {
+          mutator = true;
+          break;
+        }
+      }
+      if (!mutator || !IsPunct(i + 1, "(")) {
+        continue;
+      }
+      if (!IsPunct(i - 1, ".") && !IsPunct(i - 1, "->")) {
+        continue;
+      }
+      Emit(Rule::kRawStore, t.line,
+           "raw physical-memory store `" + t.text +
+               "` outside the machine/kernel layers; recoverable-region writes must go "
+               "through the logged-write path (Cpu::Write or a kernel copy primitive)");
+    }
+  }
+
+  // flight-pairing: interval event kinds must be recorded in matched
+  // numbers within a file, or the post-mortem timeline has an open edge.
+  void CheckFlightPairing() {
+    struct Pair {
+      std::string_view begin;
+      std::string_view end;
+    };
+    static constexpr Pair kPairs[] = {
+        {"kOverloadSuspend", "kOverloadResume"},
+        {"kEngineStart", "kEngineJoin"},
+    };
+    for (const Pair& pair : kPairs) {
+      int begin_count = 0;
+      int end_count = 0;
+      int last_line = 0;
+      for (const Token& t : tokens_) {
+        if (t.kind != Token::Kind::kIdentifier) {
+          continue;
+        }
+        if (t.text == pair.begin) {
+          ++begin_count;
+          last_line = t.line;
+        } else if (t.text == pair.end) {
+          ++end_count;
+          last_line = t.line;
+        }
+      }
+      if (begin_count != end_count) {
+        Emit(Rule::kFlightPairing, last_line,
+             "unbalanced flight-recorder events: " + std::string(pair.begin) + " x" +
+                 std::to_string(begin_count) + " vs " + std::string(pair.end) + " x" +
+                 std::to_string(end_count) + " in this file");
+      }
+    }
+  }
+
+  // metric-name: literals registered with the metrics registry follow the
+  // subsystem.name lowercase-dot convention.
+  void CheckMetricNames() {
+    static constexpr std::string_view kRegistrars[] = {
+        "RegisterCounter", "RegisterGauge", "RegisterHistogram", "RegisterCallback",
+        "counter",         "gauge",         "histogram",
+    };
+    for (size_t i = 0; i + 2 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind != Token::Kind::kIdentifier) {
+        continue;
+      }
+      bool registrar = false;
+      for (std::string_view name : kRegistrars) {
+        if (t.text == name) {
+          registrar = true;
+          break;
+        }
+      }
+      if (!registrar || !IsPunct(i + 1, "(")) {
+        continue;
+      }
+      const Token& arg = tokens_[i + 2];
+      if (arg.kind != Token::Kind::kString) {
+        continue;  // Computed name (prefix + "suffix"): out of scope.
+      }
+      if (!IsValidMetricName(arg.text)) {
+        Emit(Rule::kMetricName, arg.line,
+             "metric name \"" + arg.text +
+                 "\" does not follow the subsystem.name convention "
+                 "(lowercase [a-z0-9_] atoms joined by dots)");
+      }
+    }
+  }
+
+  // schema-version: lvm.<doc>.v<N> literals live only in the registry
+  // header, where readers and writers share one definition.
+  void CheckSchemaVersions() {
+    if (!options_.schema_registry.empty() && PathContains(path_, options_.schema_registry)) {
+      return;
+    }
+    for (const Token& t : tokens_) {
+      if (t.kind == Token::Kind::kString && IsSchemaVersionLiteral(t.text)) {
+        Emit(Rule::kSchemaVersion, t.line,
+             "schema version literal \"" + t.text + "\" outside " + options_.schema_registry +
+                 "; reference the registered constant instead");
+      }
+    }
+  }
+
+  // check-macro: LVM_CHECK aborts through the flight recorder and black box;
+  // assert() vanishes under NDEBUG and leaves no trace when it fires.
+  void CheckCheckMacro() {
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (IsIdent(i, "assert") && IsPunct(i + 1, "(")) {
+        Emit(Rule::kCheckMacro, tokens_[i].line,
+             "assert() in non-test code; use LVM_CHECK / LVM_CHECK_MSG (always on, "
+             "flight-recorded, black-box dumping)");
+      }
+    }
+  }
+
+  const std::string path_;
+  const LintOptions& options_;
+  LintResult* result_;
+  std::vector<Token> tokens_;
+  std::map<int, std::set<Rule>> suppressions_map_;
+};
+
+bool IsLintableFile(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+}  // namespace
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kRawStore:
+      return "raw-store";
+    case Rule::kFlightPairing:
+      return "flight-pairing";
+    case Rule::kMetricName:
+      return "metric-name";
+    case Rule::kSchemaVersion:
+      return "schema-version";
+    case Rule::kCheckMacro:
+      return "check-macro";
+  }
+  return "unknown";
+}
+
+int RuleExitCode(Rule rule) {
+  switch (rule) {
+    case Rule::kRawStore:
+      return 10;
+    case Rule::kFlightPairing:
+      return 11;
+    case Rule::kMetricName:
+      return 12;
+    case Rule::kSchemaVersion:
+      return 13;
+    case Rule::kCheckMacro:
+      return 14;
+  }
+  return 1;
+}
+
+bool ParseRuleName(std::string_view name, Rule* out) {
+  for (Rule rule : kAllRules) {
+    if (name == RuleName(rule)) {
+      *out = rule;
+      return true;
+    }
+  }
+  return false;
+}
+
+void LintSource(const std::string& path, std::string_view contents, const LintOptions& options,
+                LintResult* result) {
+  ++result->files_scanned;
+  FileLinter linter(path, contents, options, result);
+  linter.Run();
+}
+
+bool LintPaths(const std::vector<std::string>& paths, const LintOptions& options,
+               LintResult* result, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    fs::file_status status = fs::status(path, ec);
+    if (ec || status.type() == fs::file_type::not_found) {
+      if (error != nullptr) {
+        *error = "no such file or directory: " + path;
+      }
+      return false;
+    }
+    if (fs::is_directory(status)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file() && IsLintableFile(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        if (error != nullptr) {
+          *error = "error walking " + path + ": " + ec.message();
+        }
+        return false;
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) {
+        *error = "cannot read " + file;
+      }
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    LintSource(file, buffer.str(), options, result);
+  }
+  return true;
+}
+
+std::string ReportJson(const LintResult& result) {
+  std::string out = "{\"schema\":\"";
+  out += obs::kLintReportSchema;
+  out += "\",\"files_scanned\":" + obs::JsonNumber(static_cast<uint64_t>(result.files_scanned));
+  out += ",\"suppressions_used\":" +
+         obs::JsonNumber(static_cast<uint64_t>(result.suppressions_used));
+  out += ",\"violation_count\":" +
+         obs::JsonNumber(static_cast<uint64_t>(result.violations.size()));
+  out += ",\"violations\":[";
+  bool first = true;
+  for (const Violation& v : result.violations) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"rule\":";
+    obs::AppendJsonString(&out, RuleName(v.rule));
+    out += ",\"exit_code\":" + obs::JsonNumber(static_cast<uint64_t>(RuleExitCode(v.rule)));
+    out += ",\"file\":";
+    obs::AppendJsonString(&out, v.file);
+    out += ",\"line\":" + obs::JsonNumber(static_cast<uint64_t>(v.line));
+    out += ",\"message\":";
+    obs::AppendJsonString(&out, v.message);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+int ExitCodeFor(const LintResult& result) {
+  if (result.violations.empty()) {
+    return 0;
+  }
+  const Rule first = result.violations.front().rule;
+  for (const Violation& v : result.violations) {
+    if (v.rule != first) {
+      return 1;  // Mixed rules: no single rule-specific code applies.
+    }
+  }
+  return RuleExitCode(first);
+}
+
+}  // namespace lint
+}  // namespace lvm

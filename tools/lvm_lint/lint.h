@@ -1,0 +1,107 @@
+// lvm-lint: the repo's own static checker (DESIGN.md §13).
+//
+// A dependency-free lexical analyzer over the C++ sources enforcing the
+// conventions the compiler cannot:
+//
+//   raw-store       (exit 10)  Direct physical-memory mutation (raw_mutable,
+//                              WriteBlock, CopyBlock, Zero) outside the
+//                              whitelisted machine/kernel layers. Recoverable-
+//                              region stores must flow through the logged
+//                              write path or the hardware would never see
+//                              them — a silent recovery hole.
+//   flight-pairing  (exit 11)  Paired flight-recorder event kinds recorded
+//                              unevenly within a file (a Suspend without its
+//                              Resume, a Start without its Join): the
+//                              post-mortem timeline would show an open
+//                              interval that never closes.
+//   metric-name     (exit 12)  A metric registered under a literal that does
+//                              not follow the `subsystem.name` lowercase-dot
+//                              convention every dashboard and test greps for.
+//   schema-version  (exit 13)  A `lvm.<doc>.v<N>` schema literal outside the
+//                              single registry header (src/obs/schema_ids.h),
+//                              where readers and writers could drift apart.
+//   check-macro     (exit 14)  `assert(...)` in non-test code; LVM_CHECK is
+//                              the project invariant macro (always on, flight
+//                              recorded, black-box dumping).
+//
+// A finding is silenced by `// lvm-lint: allow(<rule>)` on the same or the
+// preceding line. Exit codes: 0 clean, the rule's code when all violations
+// share one rule, 1 for a mix, 2 for usage/IO errors.
+#ifndef TOOLS_LVM_LINT_LINT_H_
+#define TOOLS_LVM_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lvm {
+namespace lint {
+
+enum class Rule : uint8_t {
+  kRawStore,
+  kFlightPairing,
+  kMetricName,
+  kSchemaVersion,
+  kCheckMacro,
+};
+
+inline constexpr int kUsageError = 2;
+
+// Stable rule slug ("raw-store", ...), used in reports and allow() comments.
+const char* RuleName(Rule rule);
+// The rule's dedicated process exit code (10..14).
+int RuleExitCode(Rule rule);
+// Parses a slug back to its rule; false if unknown.
+bool ParseRuleName(std::string_view name, Rule* out);
+
+struct Violation {
+  Rule rule = Rule::kRawStore;
+  std::string file;  // Path as passed to the linter.
+  int line = 0;      // 1-based.
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Violation> violations;
+  size_t files_scanned = 0;
+  // Violations silenced by lvm-lint: allow(...) comments.
+  size_t suppressions_used = 0;
+};
+
+struct LintOptions {
+  // Path fragments naming the layers allowed to mutate physical memory
+  // directly: the machine model itself, the logging hardware, and the
+  // kernel (whose fault/copy paths are the logged-write implementation).
+  std::vector<std::string> raw_store_allowed_dirs = {
+      "src/sim/",
+      "src/logger/",
+      "src/vm/",
+      "src/lvm/",
+  };
+  // The one header allowed to define schema version literals.
+  std::string schema_registry = "src/obs/schema_ids.h";
+};
+
+// Lints one translation unit. `path` is used for reporting and for the
+// path-scoped rules (raw-store whitelist, schema registry exemption).
+void LintSource(const std::string& path, std::string_view contents, const LintOptions& options,
+                LintResult* result);
+
+// Lints every .h/.cc file under `paths` (each a file or a directory,
+// directories walked recursively). Returns false and sets `error` on a
+// missing path or unreadable file.
+bool LintPaths(const std::vector<std::string>& paths, const LintOptions& options,
+               LintResult* result, std::string* error);
+
+// The result as a strict-JSON lvm.lint_report.v1 document.
+std::string ReportJson(const LintResult& result);
+
+// 0 when clean; RuleExitCode(r) when every violation is of rule r; 1 when
+// rules are mixed.
+int ExitCodeFor(const LintResult& result);
+
+}  // namespace lint
+}  // namespace lvm
+
+#endif  // TOOLS_LVM_LINT_LINT_H_

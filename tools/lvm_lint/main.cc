@@ -1,0 +1,83 @@
+// lvm-lint CLI: lint source trees against the repo conventions.
+//
+//   lvm-lint [--json=PATH] <file-or-dir>...
+//
+// Prints one line per violation (file:line: [rule] message) and a summary.
+// --json=PATH additionally writes the strict-JSON lvm.lint_report.v1 report.
+// Exit codes: 0 clean; a rule's dedicated code (10..14, see lint.h) when all
+// violations share that rule; 1 for mixed rules; 2 for usage or I/O errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lvm_lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lvm-lint [--json=PATH] <file-or-dir>...\n"
+               "rules (exit codes): raw-store(10) flight-pairing(11) metric-name(12) "
+               "schema-version(13) check-macro(14)\n"
+               "suppress with: // lvm-lint: allow(<rule>)\n");
+  return lvm::lint::kUsageError;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        return Usage();
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "lvm-lint: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+
+  lvm::lint::LintOptions options;
+  lvm::lint::LintResult result;
+  std::string error;
+  if (!lvm::lint::LintPaths(paths, options, &result, &error)) {
+    std::fprintf(stderr, "lvm-lint: %s\n", error.c_str());
+    return lvm::lint::kUsageError;
+  }
+
+  for (const lvm::lint::Violation& v : result.violations) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line, lvm::lint::RuleName(v.rule),
+                 v.message.c_str());
+  }
+  std::printf("lvm-lint: %zu files scanned, %zu violation(s), %zu suppressed\n",
+              result.files_scanned, result.violations.size(), result.suppressions_used);
+
+  if (!json_path.empty()) {
+    const std::string report = lvm::lint::ReportJson(result);
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "lvm-lint: cannot write %s\n", json_path.c_str());
+      return lvm::lint::kUsageError;
+    }
+    const size_t written = std::fwrite(report.data(), 1, report.size(), file);
+    const bool close_ok = std::fclose(file) == 0;
+    if (written != report.size() || !close_ok) {
+      std::fprintf(stderr, "lvm-lint: short write to %s\n", json_path.c_str());
+      return lvm::lint::kUsageError;
+    }
+  }
+
+  return lvm::lint::ExitCodeFor(result);
+}

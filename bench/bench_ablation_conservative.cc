@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/timewarp/models.h"
 #include "src/timewarp/simulation.h"
@@ -26,7 +27,8 @@ struct RunResult {
 };
 
 RunResult RunOne(bool conservative, StateSaving saving, double locality,
-                 const std::vector<Event>& bootstrap) {
+                 const std::vector<Event>& bootstrap,
+                 const std::string& profile_path = std::string()) {
   QueueingNetworkModel::Params params;
   params.compute_cycles = 1500;
   params.locality = locality;
@@ -36,6 +38,7 @@ RunResult RunOne(bool conservative, StateSaving saving, double locality,
   LvmConfig machine_config;
   machine_config.num_cpus = 4;
   LvmSystem system(machine_config);
+  bench::EnableProfilerIfRequested(profile_path, &system);
 
   TimeWarpConfig config;
   config.num_schedulers = 4;
@@ -50,7 +53,9 @@ RunResult RunOne(bool conservative, StateSaving saving, double locality,
     sim.Bootstrap(event);
   }
   sim.Run(2000);
-  return RunResult{sim.ElapsedCycles(), sim.total_events_processed(), sim.total_rollbacks()};
+  RunResult result{sim.ElapsedCycles(), sim.total_events_processed(), sim.total_rollbacks()};
+  bench::WriteProfileIfRequested(profile_path, system);
+  return result;
 }
 
 void Run(const bench::Options& opts) {
@@ -85,6 +90,11 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the rollback-heavy point: optimistic+LVM with no locality.
+    RunOne(false, StateSaving::kLvm, 0.0, bootstrap, opts.profile_path);
+  }
 }
 
 }  // namespace

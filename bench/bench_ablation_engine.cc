@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/timewarp/models.h"
 #include "src/timewarp/simulation.h"
@@ -24,7 +25,8 @@ struct RunResult {
 };
 
 RunResult RunOne(StateSaving saving, uint32_t object_size,
-                 const std::vector<Event>& bootstrap) {
+                 const std::vector<Event>& bootstrap,
+                 const std::string& profile_path = std::string()) {
   PholdModel::Params model_params;
   model_params.mean_delay = 8.0;
   model_params.compute_cycles = 1024;
@@ -36,6 +38,7 @@ RunResult RunOne(StateSaving saving, uint32_t object_size,
   LvmConfig machine_config;
   machine_config.num_cpus = 4;
   LvmSystem system(machine_config);
+  bench::EnableProfilerIfRequested(profile_path, &system);
 
   TimeWarpConfig config;
   config.num_schedulers = 4;
@@ -48,7 +51,9 @@ RunResult RunOne(StateSaving saving, uint32_t object_size,
     sim.Bootstrap(event);
   }
   sim.Run(3000);
-  return RunResult{sim.ElapsedCycles(), sim.total_rollbacks(), sim.Efficiency()};
+  RunResult result{sim.ElapsedCycles(), sim.total_rollbacks(), sim.Efficiency()};
+  bench::WriteProfileIfRequested(profile_path, system);
+  return result;
 }
 
 void Run(const bench::Options& opts) {
@@ -87,6 +92,12 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the LVM end-to-end run at 256-byte objects: rollback and
+    // CULT costs appear as timewarp/rollback and ckpt/log centers.
+    RunOne(StateSaving::kLvm, 256, bootstrap, opts.profile_path);
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // buffer in the processor would largely eliminate the difference").
 #include <cstdio>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/lvm/lvm_system.h"
 
@@ -18,10 +19,12 @@ struct Point {
   uint64_t overloads = 0;
 };
 
-Point Measure(const MachineParams& params, uint32_t compute, uint32_t cluster) {
+Point Measure(const MachineParams& params, uint32_t compute, uint32_t cluster,
+              const std::string& profile_path = std::string()) {
   LvmConfig config;
   config.params = params;
   LvmSystem system(config);
+  bench::EnableProfilerIfRequested(profile_path, &system);
   Cpu& cpu = system.cpu();
   uint32_t span = 64 * kPageSize;
   StdSegment* segment = system.CreateSegment(span);
@@ -48,6 +51,7 @@ Point Measure(const MachineParams& params, uint32_t compute, uint32_t cluster) {
   Point point;
   point.cycles_per_iteration = static_cast<double>(cpu.now() - start) / kIterations;
   point.overloads = system.overload_suspensions();
+  bench::WriteProfileIfRequested(profile_path, system);
   return point;
 }
 
@@ -88,6 +92,11 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the default-threshold point of the sustained-rate sweep.
+    Measure(MachineParams{}, 10, 1, opts.profile_path);
+  }
 }
 
 }  // namespace

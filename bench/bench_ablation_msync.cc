@@ -7,6 +7,7 @@
 // bytes. The crossover sits where updates approach the page size.
 #include <cstdio>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/mfile/mapped_file.h"
 
@@ -18,8 +19,10 @@ struct SyncResult {
   uint64_t device_bytes = 0;
 };
 
-SyncResult RunSync(bool log_based, uint32_t words_per_page) {
+SyncResult RunSync(bool log_based, uint32_t words_per_page,
+                   const std::string& profile_path = std::string()) {
   LvmSystem system;
+  bench::EnableProfilerIfRequested(profile_path, &system);
   FileSystem fs;
   constexpr uint32_t kPages = 256;  // 1 MB file.
   SimFile* file = fs.Create("volume.db", kPages * kPageSize);
@@ -45,7 +48,9 @@ SyncResult RunSync(bool log_based, uint32_t words_per_page) {
   } else {
     mapped.Msync(&cpu);
   }
-  return SyncResult{cpu.now() - t0, file->bytes_written() - device_before};
+  SyncResult result{cpu.now() - t0, file->bytes_written() - device_before};
+  bench::WriteProfileIfRequested(profile_path, system);
+  return result;
 }
 
 void Run(const bench::Options& opts) {
@@ -72,6 +77,11 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the log-based sync at a sparse density, its winning case.
+    RunSync(/*log_based=*/true, 8, opts.profile_path);
+  }
 }
 
 }  // namespace

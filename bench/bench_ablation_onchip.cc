@@ -7,6 +7,7 @@
 // record), at any write rate.
 #include <cstdio>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/lvm/lvm_system.h"
 
@@ -18,10 +19,12 @@ struct Point {
   uint64_t overloads = 0;
 };
 
-Point Measure(LoggerKind kind, bool logged, uint32_t compute) {
+Point Measure(LoggerKind kind, bool logged, uint32_t compute,
+              const std::string& profile_path = std::string()) {
   LvmConfig config;
   config.logger_kind = kind;
   LvmSystem system(config);
+  bench::EnableProfilerIfRequested(profile_path, &system);
   Cpu& cpu = system.cpu();
   uint32_t span = 64 * kPageSize;
   StdSegment* segment = system.CreateSegment(span);
@@ -50,6 +53,7 @@ Point Measure(LoggerKind kind, bool logged, uint32_t compute) {
       static_cast<double>(cpu.now() - start - static_cast<Cycles>(kIterations) * compute) /
       kIterations;
   point.overloads = system.overload_suspensions();
+  bench::WriteProfileIfRequested(profile_path, system);
   return point;
 }
 
@@ -78,6 +82,11 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the bus logger at c=0, the overload-dominated contrast case.
+    Measure(LoggerKind::kBusLogger, true, 0, opts.profile_path);
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 //   - instrumented application code (software write barrier)
 #include <cstdio>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/ckpt/page_protect.h"
 #include "src/lvm/lvm_system.h"
@@ -19,10 +20,12 @@ constexpr uint32_t kBytes = 64 * kPageSize;
 constexpr uint32_t kWrites = 5000;
 constexpr uint32_t kSpacing = 60;  // Compute cycles between writes.
 
-double LvmWriteCost(LoggerKind kind, bool logged) {
+double LvmWriteCost(LoggerKind kind, bool logged,
+                    const std::string& profile_path = std::string()) {
   LvmConfig config;
   config.logger_kind = kind;
   LvmSystem system(config);
+  bench::EnableProfilerIfRequested(profile_path, &system);
   Cpu& cpu = system.cpu();
   StdSegment* segment = system.CreateSegment(kBytes);
   Region* region = system.CreateRegion(segment);
@@ -41,8 +44,11 @@ double LvmWriteCost(LoggerKind kind, bool logged) {
     cpu.Compute(kSpacing);
   }
   cpu.DrainWriteBuffer();
-  return static_cast<double>(cpu.now() - t0 - static_cast<Cycles>(kWrites) * kSpacing) /
-         kWrites;
+  double per_write =
+      static_cast<double>(cpu.now() - t0 - static_cast<Cycles>(kWrites) * kSpacing) /
+      kWrites;
+  bench::WriteProfileIfRequested(profile_path, system);
+  return per_write;
 }
 
 double TrapWriteCost() {
@@ -122,6 +128,11 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the prototype mechanism the paper builds: the bus logger.
+    LvmWriteCost(LoggerKind::kBusLogger, true, opts.profile_path);
+  }
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/base/rng.h"
 #include "src/rvm/ram_disk.h"
@@ -22,8 +23,10 @@ namespace lvm {
 namespace {
 
 template <typename StoreT>
-Cycles PerTransactionCycles(uint32_t writes_per_tx) {
+Cycles PerTransactionCycles(uint32_t writes_per_tx,
+                            const std::string& profile_path = std::string()) {
   LvmSystem system;
+  bench::EnableProfilerIfRequested(profile_path, &system);
   RamDisk disk;
   AddressSpace* as = system.CreateAddressSpace();
   StoreT store(&system, as, &disk, 2u << 20);
@@ -50,7 +53,9 @@ Cycles PerTransactionCycles(uint32_t writes_per_tx) {
     store.Commit(&cpu);
     store.MaybeTruncate(&cpu);
   }
-  return (cpu.now() - t0) / kTransactions;
+  Cycles per_tx = (cpu.now() - t0) / kTransactions;
+  bench::WriteProfileIfRequested(profile_path, system);
+  return per_tx;
 }
 
 void Run(const bench::Options& opts) {
@@ -75,6 +80,11 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the long-transaction RLVM case the ablation argues for.
+    PerTransactionCycles<Rlvm>(256, opts.profile_path);
+  }
 }
 
 }  // namespace

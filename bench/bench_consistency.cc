@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/consistency/protocols.h"
 
@@ -21,8 +22,10 @@ using IntervalGenerator =
 
 template <typename Protocol>
 void Measure(const char* pattern_name, const IntervalGenerator& gen,
-             const char* protocol_name, bench::JsonTable* table) {
+             const char* protocol_name, bench::JsonTable* table,
+             const std::string& profile_path = std::string()) {
   LvmSystem system;
+  bench::EnableProfilerIfRequested(profile_path, &system);
   Protocol protocol(&system, kRegionBytes, ConsistencyCosts{});
   Cpu& cpu = system.cpu();
   // Warm one interval (page faults, twin state) then measure five.
@@ -46,6 +49,7 @@ void Measure(const char* pattern_name, const IntervalGenerator& gen,
   table->Value("protocol", protocol_name);
   table->Value("cycles_per_interval", per_interval);
   table->Value("bytes_per_interval", bytes_per_interval);
+  bench::WriteProfileIfRequested(profile_path, system);
 }
 
 void Run(const bench::Options& opts) {
@@ -84,7 +88,9 @@ void Run(const bench::Options& opts) {
   Measure<MuninTwinProtocol>("sparse", sparse, "munin", &table);
   Measure<LogBasedProtocol>("dense", dense, "lvm", &table);
   Measure<MuninTwinProtocol>("dense", dense, "munin", &table);
-  Measure<LogBasedProtocol>("hotspot", hotspot, "lvm", &table);
+  // The profiled run is the log-based hot spot: the caveat case, where
+  // every rewrite becomes a log record.
+  Measure<LogBasedProtocol>("hotspot", hotspot, "lvm", &table, opts.profile_path);
   Measure<MuninTwinProtocol>("hotspot", hotspot, "munin", &table);
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);

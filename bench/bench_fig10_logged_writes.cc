@@ -8,6 +8,7 @@
 // cost, growing with the cluster size the write buffer cannot absorb.
 #include <cstdio>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/lvm/lvm_system.h"
 
@@ -16,8 +17,10 @@ namespace {
 
 // Runs the measurement loop; returns cycles per write beyond the compute
 // time.
-double CyclesPerWrite(bool logged, uint32_t cluster, uint32_t compute) {
+double CyclesPerWrite(bool logged, uint32_t cluster, uint32_t compute,
+                      const std::string& profile_path = std::string()) {
   LvmSystem system;
+  bench::EnableProfilerIfRequested(profile_path, &system);
   Cpu& cpu = system.cpu();
   constexpr uint32_t kIterations = 4000;
   uint32_t span = 64 * kPageSize;
@@ -47,6 +50,7 @@ double CyclesPerWrite(bool logged, uint32_t cluster, uint32_t compute) {
   cpu.DrainWriteBuffer();
   Cycles elapsed = cpu.now() - start;
   Cycles write_cycles = elapsed - static_cast<Cycles>(kIterations) * compute;
+  bench::WriteProfileIfRequested(profile_path, system);
   return static_cast<double>(write_cycles) / (static_cast<double>(kIterations) * cluster);
 }
 
@@ -76,6 +80,13 @@ void Run(const bench::Options& opts) {
     std::printf("\n");
   }
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Profile the flat region of the cluster-of-8 curve: the logged/
+    // unlogged gap there is the write-through cost, visible as mem/write
+    // plus bus/contention the write buffer could not hide.
+    CyclesPerWrite(/*logged=*/true, 8, 200, opts.profile_path);
+  }
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // is dirty.
 #include <cstdio>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/lvm/lvm_system.h"
 
@@ -19,7 +20,12 @@ struct Sample {
   Cycles bcopy_cycles;
 };
 
-void RunSegment(uint32_t segment_bytes, bench::JsonTable* table) {
+// `profile_path`: profiles the half-dirty point of this segment size (the
+// most even reset/bcopy split) and writes the lvm.profile.v1 export —
+// vm/deferred_copy versus ckpt/copy is the figure's comparison, as cost
+// centers.
+void RunSegment(uint32_t segment_bytes, bench::JsonTable* table,
+                const std::string& profile_path = std::string()) {
   std::printf("--- %u KB segment ---\n", segment_bytes / 1024);
   std::printf("%-12s %-16s %-16s\n", "dirty KB", "reset (kcyc)", "bcopy (kcyc)");
 
@@ -33,6 +39,10 @@ void RunSegment(uint32_t segment_bytes, bench::JsonTable* table) {
     LvmConfig config;
     config.memory_size = 96u << 20;
     LvmSystem system(config);
+    const bool profiled = !profile_path.empty() && fraction == 0.5;
+    if (profiled) {
+      bench::EnableProfilerIfRequested(profile_path, &system);
+    }
     Cpu& cpu = system.cpu();
     StdSegment* checkpoint = system.CreateSegment(segment_bytes);
     StdSegment* working = system.CreateSegment(segment_bytes);
@@ -60,6 +70,9 @@ void RunSegment(uint32_t segment_bytes, bench::JsonTable* table) {
     t0 = cpu.now();
     system.CopySegment(&cpu, working, checkpoint);
     Cycles bcopy_cycles = cpu.now() - t0;
+    if (profiled) {
+      bench::WriteProfileIfRequested(profile_path, system);
+    }
 
     if (crossover < 0 && reset_cycles > bcopy_cycles && fraction > 0) {
       // Linear interpolation between the bracketing samples.
@@ -93,7 +106,7 @@ void Run(const bench::Options& opts) {
   bench::Header("Figure 9: Execution time of resetDeferredCopy() vs bcopy()", claim);
   bench::JsonTable table("fig9_deferred_copy", claim);
   RunSegment(32u << 10, &table);
-  RunSegment(512u << 10, &table);
+  RunSegment(512u << 10, &table, opts.profile_path);
   RunSegment(2u << 20, &table);
   bench::WriteJsonIfRequested(opts, table);
 }

@@ -9,12 +9,15 @@
 // paper argues for hardware logging support.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/base/types.h"
 #include "src/hostlvm/host_checkpoint.h"
+#include "src/obs/profiler.h"
 #include "src/hostlvm/host_transaction.h"
 #include "src/hostlvm/logged_value.h"
 #include "src/hostlvm/protected_region.h"
@@ -176,6 +179,20 @@ int main(int argc, char** argv) {
     if (arg.rfind("--json=", 0) == 0) {
       storage.emplace_back(std::string("--benchmark_out=").append(arg.substr(7)));
       storage.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      // The host benches measure wall clock, not simulated cycles — there
+      // is nothing to attribute. Still honour the repo-wide --profile=
+      // contract with an empty-but-valid lvm.profile.v1 artifact.
+      std::string path(arg.substr(10));
+      lvm::obs::ProfilerConfig config;
+      config.wall_sampling = false;
+      lvm::obs::Profiler profiler(1, config);
+      std::vector<lvm::Cycles> clocks(static_cast<size_t>(profiler.num_lanes()), 0);
+      if (!profiler.WriteJsonFile(path, clocks)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
     } else {
       storage.emplace_back(arg);
     }

@@ -16,10 +16,12 @@
 // simulated cycles, so racecheck_overhead_x must stay at 1.0 in simulated
 // time (the acceptance bound is 2.5x); the detector's real cost is host
 // wall time, reported per row.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/lvm/log_reader.h"
 #include "src/lvm/lvm_system.h"
@@ -42,10 +44,17 @@ struct ScalingPoint {
   uint64_t race_reports = 0;
 };
 
-ScalingPoint RunWorkers(int workers, bool racecheck) {
+ScalingPoint RunWorkers(int workers, bool racecheck,
+                        const std::string& profile_path = std::string(),
+                        uint32_t writes_per_worker = kWritesPerWorker) {
   LvmConfig config;
   config.num_cpus = workers;
   LvmSystem system(config);
+  if (!profile_path.empty()) {
+    // Default config, wall sampling included: this is the run the <=5%
+    // enabled-overhead acceptance bound is measured on.
+    system.EnableProfiler();
+  }
   if (racecheck) {
     system.EnableRaceDetection();
   }
@@ -69,10 +78,10 @@ ScalingPoint RunWorkers(int workers, bool racecheck) {
   for (int i = 0; i < workers; ++i) {
     system.TouchRegion(&system.cpu(i), regions[i]);
     VirtAddr base = bases[i];
-    engine.AddWorker(logs[i], [base](Cpu& cpu, uint64_t step) {
+    engine.AddWorker(logs[i], [base, writes_per_worker](Cpu& cpu, uint64_t step) {
       cpu.Write(base + 4 * (step % 4096), static_cast<uint32_t>(step));
       cpu.Compute(kComputeCycles);
-      return step + 1 < kWritesPerWorker;
+      return step + 1 < writes_per_worker;
     });
   }
 
@@ -96,6 +105,7 @@ ScalingPoint RunWorkers(int workers, bool racecheck) {
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - start)
           .count();
   point.race_reports = static_cast<uint64_t>(system.GetRaceReports().size());
+  bench::WriteProfileIfRequested(profile_path, system);
   return point;
 }
 
@@ -136,6 +146,44 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Dedicated profiled run at 4 workers, against an unprofiled twin.
+    // Charges never advance simulated clocks, so the makespans must be
+    // identical; the host wall-clock overhead is reported informationally
+    // (acceptance bound: <=5% at the default sampling config). The
+    // comparison runs a 4x-longer workload as six back-to-back
+    // plain/profiled pairs and reports the median per-pair ratio: host
+    // interference is bursty but temporally correlated, so it largely
+    // cancels within a pair, and the median discards pairs that straddled
+    // a burst. Pairs alternate ABBA order so a load ramp across the trial
+    // doesn't systematically penalize whichever side runs second.
+    constexpr uint32_t kOverheadWrites = 4 * kWritesPerWorker;
+    constexpr int kOverheadPairs = 6;
+    ScalingPoint plain, profiled;
+    std::vector<double> ratios;
+    for (int rep = 0; rep < kOverheadPairs; ++rep) {
+      if (rep % 2 == 0) {
+        plain = RunWorkers(4, /*racecheck=*/false, std::string(), kOverheadWrites);
+        profiled = RunWorkers(4, /*racecheck=*/false, opts.profile_path, kOverheadWrites);
+      } else {
+        profiled = RunWorkers(4, /*racecheck=*/false, opts.profile_path, kOverheadWrites);
+        plain = RunWorkers(4, /*racecheck=*/false, std::string(), kOverheadWrites);
+      }
+      if (plain.wall_ms > 0) {
+        ratios.push_back(profiled.wall_ms / plain.wall_ms);
+      }
+    }
+    std::sort(ratios.begin(), ratios.end());
+    double overhead_pct =
+        ratios.empty() ? 0.0 : 100.0 * (ratios[ratios.size() / 2] - 1.0);
+    std::printf("profiler: makespan %llu -> %llu cycles (%s), wall %.2f -> %.2f ms "
+                "(%+.1f%% median overhead over %d pairs)\n",
+                static_cast<unsigned long long>(plain.makespan),
+                static_cast<unsigned long long>(profiled.makespan),
+                plain.makespan == profiled.makespan ? "unperturbed" : "PERTURBED",
+                plain.wall_ms, profiled.wall_ms, overhead_pct, kOverheadPairs);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,54 @@
+// LvmSystem-side helpers for the benches' `--profile=PATH` option.
+//
+// Separate from bench_util.h on purpose: bench_hostlvm links only the
+// host-side libraries (lvm_hostlvm + lvm_obs) and must not pull in
+// src/lvm/lvm_system.h; everything here needs it.
+//
+// The sweeps tear through many short-lived systems, so the profile is a
+// *representative instrumented run*: each bench re-runs one characteristic
+// point of its own workload with the profiler enabled and writes the
+// lvm.profile.v1 export. Enabling the profiler never advances a simulated
+// clock (src/obs/profiler.h rule 1), so the profiled run's numbers are the
+// numbers the table showed.
+#ifndef BENCH_BENCH_PROFILE_H_
+#define BENCH_BENCH_PROFILE_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/lvm/lvm_system.h"
+
+namespace lvm {
+namespace bench {
+
+// Enables the profiler on `system` when the run is meant to be profiled
+// (`profile_path` non-empty). Wall sampling stays off: bench runs are
+// short, and the host-time census would only add noise to the artifact.
+inline void EnableProfilerIfRequested(const std::string& profile_path, LvmSystem* system) {
+  if (profile_path.empty()) {
+    return;
+  }
+  obs::ProfilerConfig config;
+  config.wall_sampling = false;
+  system->EnableProfiler(config);
+}
+
+// Writes the profile at the end of the instrumented run; exits nonzero on
+// I/O failure so scripts/bench.sh catches a broken emitter.
+inline void WriteProfileIfRequested(const std::string& profile_path, LvmSystem& system) {
+  if (profile_path.empty() || system.profiler() == nullptr) {
+    return;
+  }
+  if (!system.WriteProfile(profile_path)) {
+    std::fprintf(stderr, "failed to write %s\n", profile_path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", profile_path.c_str());
+}
+
+}  // namespace bench
+}  // namespace lvm
+
+#endif  // BENCH_BENCH_PROFILE_H_

@@ -10,6 +10,7 @@
 // the logger's per-record DMA rate observed during an overload drain.
 #include <cstdio>
 
+#include "bench/bench_profile.h"
 #include "bench/bench_util.h"
 #include "src/logger/hardware_logger.h"
 #include "src/lvm/lvm_system.h"
@@ -61,6 +62,9 @@ void Run(const bench::Options& opts) {
   bench::JsonTable table("table2_machine", claim);
 
   LvmSystem system;
+  // The bench's own system persists across the measurements, so it is its
+  // own representative profiled run (MeasureDmaRate's raw logger excepted).
+  bench::EnableProfilerIfRequested(opts.profile_path, &system);
   Cpu& cpu = system.cpu();
   const MachineParams& params = system.machine().params();
 
@@ -124,6 +128,7 @@ void Run(const bench::Options& opts) {
   table.Value("bus_cycles", params.log_record_dma_bus);
   table.Value("paper_total_cycles", 18);
   bench::WriteJsonIfRequested(opts, table);
+  bench::WriteProfileIfRequested(opts.profile_path, system);
 }
 
 }  // namespace

@@ -6,9 +6,12 @@
 // states what shape the paper reports.
 //
 // Every bench accepts `--json=PATH` to additionally write its table as
-// structured rows ({"bench":..., "claim":..., "rows":[...]}) and
+// structured rows ({"bench":..., "claim":..., "rows":[...]}),
 // `--trace=PATH` where supported to dump a Chrome trace of an instrumented
-// run. scripts/bench.sh drives the full set and collects BENCH_<name>.json.
+// run, and `--profile=PATH` to write an lvm.profile.v1 cycle-attribution
+// profile of a representative instrumented run (bench_profile.h has the
+// LvmSystem-side helpers). scripts/bench.sh drives the full set and
+// collects BENCH_<name>.json / PROFILE_<name>.json.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
@@ -52,8 +55,9 @@ inline void Row(const char* format, ...) {
 
 // Command-line options common to every bench binary.
 struct Options {
-  std::string json_path;   // --json=PATH: write the table as JSON rows.
-  std::string trace_path;  // --trace=PATH: write a Chrome trace (if supported).
+  std::string json_path;     // --json=PATH: write the table as JSON rows.
+  std::string trace_path;    // --trace=PATH: write a Chrome trace (if supported).
+  std::string profile_path;  // --profile=PATH: write an lvm.profile.v1 profile.
 };
 
 inline Options ParseOptions(int argc, char** argv) {
@@ -64,8 +68,11 @@ inline Options ParseOptions(int argc, char** argv) {
       opts.json_path = arg.substr(7);
     } else if (arg.rfind("--trace=", 0) == 0) {
       opts.trace_path = arg.substr(8);
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      opts.profile_path = arg.substr(10);
     } else {
-      std::fprintf(stderr, "usage: %s [--json=PATH] [--trace=PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json=PATH] [--trace=PATH] [--profile=PATH]\n",
+                   argv[0]);
       std::exit(2);
     }
   }

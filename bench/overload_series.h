@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bench/bench_profile.h"
 #include "src/lvm/lvm_system.h"
 
 namespace lvm {
@@ -19,14 +20,19 @@ struct OverloadSeries {
 // Runs one point of the series. When `trace_path` is non-empty the run is
 // traced (bounded event budget; overload interrupt/drain spans cluster at
 // low c, so the drop-new policy still captures them) and the Chrome trace
-// is written before the system is torn down.
+// is written before the system is torn down. When `profile_path` is
+// non-empty the run is profiled and the lvm.profile.v1 export written: at
+// low c the CPU lane is dominated by overload/park and the logger lane by
+// log/drain — the attribution of the paper's overload threshold.
 inline OverloadSeries RunOverloadSeries(bool logged, uint32_t compute,
                                         uint32_t iterations = 20000,
-                                        const std::string& trace_path = std::string()) {
+                                        const std::string& trace_path = std::string(),
+                                        const std::string& profile_path = std::string()) {
   LvmSystem system;
   if (!trace_path.empty()) {
     system.EnableTracing(1u << 16);
   }
+  EnableProfilerIfRequested(profile_path, &system);
   Cpu& cpu = system.cpu();
   uint32_t span = 64 * kPageSize;
   StdSegment* segment = system.CreateSegment(span);
@@ -57,6 +63,7 @@ inline OverloadSeries RunOverloadSeries(bool logged, uint32_t compute,
   if (!trace_path.empty()) {
     system.WriteTrace(trace_path);
   }
+  WriteProfileIfRequested(profile_path, system);
   return series;
 }
 

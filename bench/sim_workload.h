@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
+#include "bench/bench_profile.h"
 #include "src/lvm/lvm_system.h"
 #include "src/timewarp/copy_state_saver.h"
 #include "src/timewarp/lvm_state_saver.h"
@@ -34,8 +36,12 @@ struct ForwardResult {
   uint64_t overload_events = 0; // Logger overload suspensions (LVM only).
 };
 
-inline ForwardResult RunForward(StateSaving saving, const ForwardParams& params) {
+// `profile_path`: when non-empty, the run is profiled and the
+// lvm.profile.v1 export written before teardown (see bench_profile.h).
+inline ForwardResult RunForward(StateSaving saving, const ForwardParams& params,
+                                const std::string& profile_path = std::string()) {
   LvmSystem system;
+  EnableProfilerIfRequested(profile_path, &system);
   Cpu& cpu = system.cpu();
   std::unique_ptr<StateSaver> saver;
   if (saving == StateSaving::kLvm) {
@@ -88,6 +94,7 @@ inline ForwardResult RunForward(StateSaving saving, const ForwardParams& params)
   ForwardResult result;
   result.elapsed = cpu.now() - start - excluded;
   result.overload_events = system.overload_suspensions();
+  WriteProfileIfRequested(profile_path, system);
   return result;
 }
 

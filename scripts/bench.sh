@@ -2,19 +2,23 @@
 # Runs the reproduction benchmarks and collects machine-readable results.
 #
 # Each bench binary accepts --json=PATH (structured rows mirroring its
-# printed table); bench_fig11_overload additionally accepts --trace=PATH
-# and writes a Chrome trace of an instrumented overload run (load it at
-# ui.perfetto.dev or chrome://tracing).
+# printed table) and --profile=PATH (an lvm.profile.v1 cycle-attribution
+# profile of a representative instrumented run); bench_fig11_overload
+# additionally accepts --trace=PATH and writes a Chrome trace of an
+# instrumented overload run (load it at ui.perfetto.dev or
+# chrome://tracing).
 #
 # Usage: scripts/bench.sh [--all] [--out DIR]
 #   default: the paper's figures and tables (fig7-12, table2, table3)
 #   --all:   also the ablations, the consistency comparison, and the
 #            real-host google-benchmark suite
-#   --out:   output directory for BENCH_<name>.json / TRACE_<name>.json
-#            (default: bench-results/)
+#   --out:   output directory for BENCH_<name>.json / TRACE_<name>.json /
+#            PROFILE_<name>.json (default: bench-results/)
 #
-# Builds the bench binaries first if they are missing. Exits nonzero if
-# any bench fails.
+# Builds the bench binaries first if they are missing. A failing bench does
+# not stop the suite: its partial artifacts are removed, the remaining
+# benches still run, and the script exits nonzero listing every failure —
+# so CI never diffs a partial JSON as if it were a result.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,22 +78,38 @@ short_name() {
   esac
 }
 
+failures=()
 for bench in "${benches[@]}"; do
   short="$(short_name "${bench}")"
-  args=("--json=${out_dir}/BENCH_${short}.json")
+  args=("--json=${out_dir}/BENCH_${short}.json" "--profile=${out_dir}/PROFILE_${short}.json")
   if [[ "${bench}" == bench_fig11_overload ]]; then
     args+=("--trace=${out_dir}/TRACE_${short}.json")
   fi
   echo "== ${bench} =="
-  "./build/bench/${bench}" "${args[@]}"
-  # Also drop a copy at the repo root: CI diffing and the paper-claims
-  # tooling read BENCH_<name>.json from there.
+  if ! "./build/bench/${bench}" "${args[@]}"; then
+    # Partial artifacts from a failed bench must not survive: downstream
+    # diffing would mistake them for results.
+    rm -f "${out_dir}/BENCH_${short}.json" "${out_dir}/PROFILE_${short}.json" \
+          "${out_dir}/TRACE_${short}.json"
+    failures+=("${bench}")
+    continue
+  fi
+  # Also drop copies at the repo root: CI diffing and the paper-claims
+  # tooling read BENCH_<name>.json from there, and the profile artifact
+  # travels next to the table it attributes.
   cp "${out_dir}/BENCH_${short}.json" "BENCH_${short}.json"
+  cp "${out_dir}/PROFILE_${short}.json" "PROFILE_${short}.json"
 done
 
 # Every artifact this script emitted claims to be strict JSON; hold it to
 # that (lvm-inspect --validate exits nonzero on the first offender).
-./build/tools/lvm-inspect --validate "${out_dir}"/BENCH_*.json "${out_dir}"/TRACE_*.json
+./build/tools/lvm-inspect --validate "${out_dir}"/BENCH_*.json "${out_dir}"/TRACE_*.json \
+  "${out_dir}"/PROFILE_*.json
 
 echo "results in ${out_dir}/ (copies at repo root):"
 ls -l "${out_dir}"
+
+if [[ "${#failures[@]}" -gt 0 ]]; then
+  echo "FAILED benches: ${failures[*]}" >&2
+  exit 1
+fi

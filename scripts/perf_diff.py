@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json benchmark tables.
+
+Compares a directory of freshly produced bench results against the committed
+baselines at the repo root (or any other baseline directory). Rows are
+matched by index -- the benches are deterministic sweeps, so row order is
+part of the contract. Every numeric metric in a baseline row must match the
+fresh value within a relative tolerance; string fields must match exactly.
+
+Host wall-clock fields (any key ending in "wall_ms") are ignored: they
+measure the machine running the suite, not the simulated machine, and are
+the one legitimately noisy axis.
+
+Usage:
+  scripts/perf_diff.py --baseline-dir . --new-dir bench-results \
+      [--tolerance 0.02] [--metric-tolerance speedup=0.05] \
+      [--report perf_diff.json]
+
+Exit codes: 0 in tolerance, 1 regression (or missing/broken results),
+2 usage error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Mirrors src/obs/schema_ids.h kPerfDiffSchema (lvm-lint rule 13 scopes the
+# single-definition rule to the C++ tree; this is the Python mirror).
+PERF_DIFF_SCHEMA = "lvm.perfdiff.v1"
+
+DEFAULT_TOLERANCE = 0.02
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_table(path):
+    with open(path, "r", encoding="utf-8") as f:
+        table = json.load(f)
+    if not isinstance(table, dict) or not isinstance(table.get("rows"), list):
+        raise ValueError("not a bench table (missing rows array)")
+    return table
+
+
+def metric_tolerance(key, default, overrides):
+    return overrides.get(key, default)
+
+
+def compare_tables(name, baseline, fresh, default_tol, overrides):
+    """Returns a list of violation dicts (empty when in tolerance)."""
+    violations = []
+    base_rows = baseline["rows"]
+    new_rows = fresh["rows"]
+    if len(base_rows) != len(new_rows):
+        violations.append({
+            "kind": "row-count",
+            "message": f"{name}: {len(base_rows)} baseline rows vs {len(new_rows)} fresh rows",
+        })
+        return violations
+    for index, (base_row, new_row) in enumerate(zip(base_rows, new_rows)):
+        for key, base_value in base_row.items():
+            if key.endswith("wall_ms"):
+                continue  # Host time, not simulated time.
+            if key not in new_row:
+                violations.append({
+                    "kind": "missing-metric",
+                    "row": index,
+                    "metric": key,
+                    "message": f"{name} row {index}: metric {key} missing from fresh results",
+                })
+                continue
+            new_value = new_row[key]
+            if is_number(base_value) and is_number(new_value):
+                tol = metric_tolerance(key, default_tol, overrides)
+                if base_value == 0:
+                    in_tolerance = new_value == 0
+                    rel = None if in_tolerance else float("inf")
+                else:
+                    rel = abs(new_value - base_value) / abs(base_value)
+                    in_tolerance = rel <= tol
+                if not in_tolerance:
+                    violations.append({
+                        "kind": "regression",
+                        "row": index,
+                        "metric": key,
+                        "baseline": base_value,
+                        "fresh": new_value,
+                        "relative_delta": rel,
+                        "tolerance": tol,
+                        "message": (f"{name} row {index}: {key} moved "
+                                    f"{base_value} -> {new_value} "
+                                    f"(|delta| {rel:.4f} > tolerance {tol})"),
+                    })
+            elif base_value != new_value:
+                violations.append({
+                    "kind": "field-mismatch",
+                    "row": index,
+                    "metric": key,
+                    "message": (f"{name} row {index}: {key} changed "
+                                f"{base_value!r} -> {new_value!r}"),
+                })
+    return violations
+
+
+def parse_metric_tolerances(specs):
+    overrides = {}
+    for spec in specs:
+        key, sep, frac = spec.partition("=")
+        if not sep or not key:
+            raise argparse.ArgumentTypeError(
+                f"--metric-tolerance expects NAME=FRACTION, got {spec!r}")
+        overrides[key] = float(frac)
+    return overrides
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff fresh BENCH_*.json results against committed baselines.")
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--new-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="default relative tolerance per metric "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--metric-tolerance", action="append", default=[],
+                        metavar="NAME=FRACTION",
+                        help="per-metric tolerance override (repeatable)")
+    parser.add_argument("--report", help="write an lvm.perfdiff.v1 JSON report here")
+    args = parser.parse_args(argv)
+
+    try:
+        overrides = parse_metric_tolerances(args.metric_tolerance)
+    except (argparse.ArgumentTypeError, ValueError) as err:
+        parser.error(str(err))
+
+    baseline_paths = sorted(glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baseline_paths:
+        print(f"perf_diff: no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    benches = []
+    ok = True
+    for baseline_path in baseline_paths:
+        filename = os.path.basename(baseline_path)
+        fresh_path = os.path.join(args.new_dir, filename)
+        entry = {"file": filename, "violations": []}
+        try:
+            baseline = load_table(baseline_path)
+            entry["name"] = baseline.get("bench", filename)
+            if not os.path.exists(fresh_path):
+                entry["violations"].append({
+                    "kind": "missing-results",
+                    "message": f"{filename}: no fresh results in {args.new_dir}",
+                })
+            else:
+                fresh = load_table(fresh_path)
+                entry["violations"] = compare_tables(
+                    entry["name"], baseline, fresh, args.tolerance, overrides)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            entry.setdefault("name", filename)
+            entry["violations"].append({
+                "kind": "unreadable",
+                "message": f"{filename}: {err}",
+            })
+        entry["ok"] = not entry["violations"]
+        ok = ok and entry["ok"]
+        benches.append(entry)
+
+    for entry in benches:
+        status = "ok" if entry["ok"] else "FAIL"
+        print(f"[{status}] {entry['file']} ({entry['name']})")
+        for violation in entry["violations"]:
+            print(f"    {violation['message']}")
+
+    report = {
+        "schema": PERF_DIFF_SCHEMA,
+        "tolerance": args.tolerance,
+        "metric_tolerances": overrides,
+        "baseline_dir": args.baseline_dir,
+        "new_dir": args.new_dir,
+        "benches": benches,
+        "ok": ok,
+    }
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print(f"report written to {args.report}")
+
+    if ok:
+        print(f"perf_diff: {len(benches)} bench table(s) within tolerance")
+        return 0
+    failing = sum(1 for entry in benches if not entry["ok"])
+    print(f"perf_diff: {failing}/{len(benches)} bench table(s) regressed",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -58,6 +58,8 @@ const char* ToString(InvariantChecker::Violation::Kind kind) {
       return "stale-deferred-copy-line";
     case Kind::kUnorderedLoggedWrites:
       return "unordered-logged-writes";
+    case Kind::kProfilerCycleLeak:
+      return "profiler-cycle-leak";
   }
   return "unknown";
 }
@@ -413,6 +415,27 @@ void InvariantChecker::CheckRaceFree(const race::RaceDetector& detector) {
             std::to_string(report.clock_b) +
             ") are unordered by happens-before; replay order is undefined (" +
             std::to_string(report.count) + " occurrence(s))");
+  }
+}
+
+void InvariantChecker::CheckProfilerConservation() {
+  obs::Profiler* profiler = system_->profiler();
+  if (profiler == nullptr) {
+    return;
+  }
+  for (int i = 0; i < system_->machine().num_cpus(); ++i) {
+    Cycles attributed = profiler->LaneAttributed(i);
+    Cycles baseline = profiler->lane_baseline(i);
+    Cycles clock = system_->machine().cpu(i).now();
+    Cycles expected = clock - baseline;
+    if (attributed != expected) {
+      Add(Violation::Kind::kProfilerCycleLeak,
+          "cpu" + std::to_string(i) + " attributed " + std::to_string(attributed) +
+              " cycles but its clock advanced " + std::to_string(expected) +
+              " (baseline " + std::to_string(baseline) + ", now " + std::to_string(clock) +
+              "); " + std::to_string(profiler->dropped_charges()) +
+              " charge(s) dropped to pool exhaustion");
+    }
   }
 }
 

@@ -72,6 +72,10 @@ class InvariantChecker : public BusSnooper, public LoggerObserver, public LogTai
       // address whose source CPUs are unordered by happens-before — replay
       // and rollback order for that address is undefined.
       kUnorderedLoggedWrites,
+      // Profiler conservation (CheckProfilerConservation): a CPU lane's
+      // attributed cycles do not equal the cycles its clock advanced —
+      // some Bump/AdvanceTo site is missing its profiler charge.
+      kProfilerCycleLeak,
     };
     Kind kind;
     std::string message;
@@ -119,6 +123,14 @@ class InvariantChecker : public BusSnooper, public LoggerObserver, public LogTai
   // engine's sync edges and GuestSyncEvent annotations); this check turns
   // its verdict into a log-soundness violation.
   void CheckRaceFree(const race::RaceDetector& detector);
+
+  // Conservation cross-check for the cycle-attribution profiler: for every
+  // CPU lane, the cycles attributed to cost centers must equal the cycles
+  // the CPU clock advanced since the profiler's baseline. Attribution is
+  // charged at the same funnel that moves the clocks (Cpu::Bump /
+  // Cpu::AdvanceTo), so any mismatch means a charge site was bypassed
+  // (kProfilerCycleLeak). No-op when the system has no profiler enabled.
+  void CheckProfilerConservation();
 
   // Arms black-box capture: the first violation added after this call makes
   // the attached system dump `lvm.blackbox.v1` JSON to `path` (carrying the

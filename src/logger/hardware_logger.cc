@@ -30,7 +30,7 @@ void HardwareLogger::OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bo
     }
     size_t drained = fifo_.size();
     while (!fifo_.empty()) {
-      ProcessOne(params_->logger_service_drain_cycles);
+      ProcessOne(params_->logger_service_drain_cycles, obs::CostCenter::kLogDrain);
     }
     overload_drain_cycles_.Record(service_free_ - time);
     if (trace_ != nullptr) {
@@ -54,11 +54,11 @@ void HardwareLogger::DrainUpTo(Cycles time) {
     if (start + params_->logger_service_active_cycles > time) {
       return;
     }
-    ProcessOne(params_->logger_service_active_cycles);
+    ProcessOne(params_->logger_service_active_cycles, obs::CostCenter::kLogEmit);
   }
 }
 
-void HardwareLogger::ProcessOne(uint32_t service_cycles) {
+void HardwareLogger::ProcessOne(uint32_t service_cycles, obs::CostCenter center) {
   FifoEntry entry = fifo_.Pop();
   if (entry.time > service_free_) {
     service_free_ = entry.time;
@@ -79,6 +79,7 @@ void HardwareLogger::ProcessOne(uint32_t service_cycles) {
     }
   }
   service_free_ += service_cycles;
+  ChargeProf(center, service_cycles);
 }
 
 bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
@@ -86,6 +87,7 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
   if (mapping == nullptr) {
     mapping_faults_.Increment();
     service_free_ += params_->logging_fault_logger_stall;
+    ChargeProf(obs::CostCenter::kLogFault, params_->logging_fault_logger_stall);
     if (client_ == nullptr || !client_->OnMappingFault(entry.paddr, service_free_)) {
       NotifyRetired(RetiredWrite::Kind::kDropped, entry, 0, 0, 0, 0);
       return false;
@@ -120,6 +122,7 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
   if (!log.tail_valid) {
     tail_faults_.Increment();
     service_free_ += params_->logging_fault_logger_stall;
+    ChargeProf(obs::CostCenter::kLogFault, params_->logging_fault_logger_stall);
     if (client_ == nullptr || !client_->OnLogTailFault(log_index, service_free_)) {
       NotifyRetired(RetiredWrite::Kind::kDropped, entry, log_index, 0, 0, 0);
       return false;
@@ -206,7 +209,7 @@ void HardwareLogger::NotifyRetired(RetiredWrite::Kind kind, const FifoEntry& ent
 
 Cycles HardwareLogger::SyncDrain(Cycles now) {
   while (!fifo_.empty()) {
-    ProcessOne(params_->logger_service_active_cycles);
+    ProcessOne(params_->logger_service_active_cycles, obs::CostCenter::kLogEmit);
   }
   return service_free_ > now ? service_free_ : now;
 }

@@ -27,6 +27,7 @@
 #include "src/base/types.h"
 #include "src/logger/log_record.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/logger/tables.h"
 #include "src/sim/bus.h"
@@ -136,6 +137,13 @@ class HardwareLogger : public BusSnooper {
   // Optional trace sink; when unset (or disabled) the write path performs no
   // tracing work beyond a null/flag check.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  // Optional cycle-attribution profiler: service cycles charge `lane`
+  // (the dedicated logger lane, exempt from CPU-clock conservation since
+  // the service pipeline is not a single monotonic clock).
+  void set_profiler(obs::Profiler* profiler, int lane) {
+    profiler_ = profiler;
+    prof_lane_ = lane;
+  }
 
   PageMappingTable& page_mapping_table() { return page_mapping_table_; }
   LogTable& log_table() { return log_table_; }
@@ -173,8 +181,14 @@ class HardwareLogger : public BusSnooper {
 
   // Retires FIFO entries whose service completes by `time`.
   void DrainUpTo(Cycles time);
-  // Retires the head entry with the given per-record service time.
-  void ProcessOne(uint32_t service_cycles);
+  // Retires the head entry with the given per-record service time,
+  // attributing it to `center` (steady-state emit vs overload drain).
+  void ProcessOne(uint32_t service_cycles, obs::CostCenter center);
+  void ChargeProf(obs::CostCenter center, Cycles cycles) {
+    if (profiler_ != nullptr) {
+      profiler_->Charge(prof_lane_, center, cycles);
+    }
+  }
   // Emits the record for `entry` according to its log's mode. Returns false
   // if the record had to be dropped.
   bool EmitRecord(const FifoEntry& entry);
@@ -191,6 +205,8 @@ class HardwareLogger : public BusSnooper {
   LoggerObserver* observer_ = nullptr;
   LogFaultInjector* injector_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  int prof_lane_ = 0;
 
   PageMappingTable page_mapping_table_;
   LogTable log_table_;

@@ -145,6 +145,45 @@ race::RaceDetector* LvmSystem::EnableRaceDetection(const race::RaceConfig& confi
   return race_detector_.get();
 }
 
+obs::Profiler* LvmSystem::EnableProfiler(const obs::ProfilerConfig& config) {
+  LVM_CHECK_MSG(profiler_ == nullptr, "profiler already enabled");
+  profiler_ = std::make_unique<obs::Profiler>(machine_.num_cpus(), config);
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    // Baseline at the current clock: conservation is baseline + attributed
+    // == cpu.now(), so enabling mid-run starts a fresh attribution window.
+    profiler_->SetLaneBaseline(i, machine_.cpu(i).now());
+    machine_.cpu(i).set_profiler(profiler_.get());
+  }
+  if (bus_logger_ != nullptr) {
+    bus_logger_->set_profiler(profiler_.get(), profiler_->logger_lane());
+  }
+  profiler_->RegisterMetrics(&metrics_);
+  if (config.wall_sampling) {
+    profiler_->StartWallSampling();
+  }
+  return profiler_.get();
+}
+
+std::string LvmSystem::ProfileJson() const {
+  LVM_CHECK_MSG(profiler_ != nullptr, "EnableProfiler first");
+  std::vector<Cycles> clocks(static_cast<size_t>(profiler_->num_lanes()), 0);
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    clocks[static_cast<size_t>(i)] = machine_.cpu(i).now();
+  }
+  return profiler_->ExportJson(clocks);
+}
+
+bool LvmSystem::WriteProfile(const std::string& path) const {
+  if (profiler_ == nullptr) {
+    return false;
+  }
+  std::vector<Cycles> clocks(static_cast<size_t>(profiler_->num_lanes()), 0);
+  for (int i = 0; i < machine_.num_cpus(); ++i) {
+    clocks[static_cast<size_t>(i)] = machine_.cpu(i).now();
+  }
+  return profiler_->WriteJsonFile(path, clocks);
+}
+
 std::vector<race::RaceReport> LvmSystem::GetRaceReports() const {
   if (race_detector_ == nullptr) {
     return {};
@@ -297,6 +336,7 @@ void LvmSystem::DetachSource(Cpu* cpu, Segment* segment) {
     return;
   }
   Cycles span_start = cpu->now();
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kCheckpoint);
   const MachineParams& params = machine_.params();
   for (uint32_t page = 0; page < segment->page_count(); ++page) {
     if (!segment->HasFrame(page)) {
@@ -482,6 +522,7 @@ void LvmSystem::DisarmLoggedPage(Region* region, VirtAddr va, AddressSpace::Pte*
 bool LvmSystem::OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) {
   (void)access;
   Cycles fault_start = cpu->now();
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kVmFault);
   cpu->AddCycles(machine_.params().page_fault_cycles);
   AddressSpace* as = active_as_.at(static_cast<size_t>(cpu->id()));
   if (as == nullptr) {
@@ -509,6 +550,9 @@ bool LvmSystem::OnPageFault(Cpu* cpu, VirtAddr va, AccessKind access) {
 bool LvmSystem::OnMappingFault(PhysAddr paddr, Cycles time) {
   logging_faults_handled_.Increment();
   Cycles start = machine_.cpu(0).now();
+  // Logging faults are serviced on CPU 0 (the prototype fields logger
+  // interrupts there), so the scope lives on lane 0.
+  LVM_PROF_SCOPE(profiler_.get(), 0, obs::CostCenter::kLogFault);
   machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
   trace_.Complete("vm", "mapping_fault", 0, start, machine_.cpu(0).now(), "paddr", paddr,
                   "logger_time", time);
@@ -527,6 +571,7 @@ bool LvmSystem::OnMappingFault(PhysAddr paddr, Cycles time) {
 bool LvmSystem::OnLogTailFault(uint32_t log_index, Cycles time) {
   logging_faults_handled_.Increment();
   Cycles start = machine_.cpu(0).now();
+  LVM_PROF_SCOPE(profiler_.get(), 0, obs::CostCenter::kLogFault);
   machine_.cpu(0).AddCycles(machine_.params().logging_fault_cpu_cycles);
   trace_.Complete("vm", "tail_fault", 0, start, machine_.cpu(0).now(), "log_index", log_index,
                   "logger_time", time);
@@ -553,7 +598,7 @@ void LvmSystem::OnOverload(Cycles interrupt_time, Cycles drain_complete) {
   // drain, then pay the kernel's interrupt/suspend/resume overhead.
   Cycles resume = drain_complete + machine_.params().overload_kernel_cycles;
   for (int i = 0; i < machine_.num_cpus(); ++i) {
-    machine_.cpu(i).AdvanceTo(resume);
+    machine_.cpu(i).AdvanceTo(resume, obs::CostCenter::kOverloadPark);
   }
   trace_.Complete("kernel", "overload_suspend", 0, interrupt_time, resume, "drain_complete",
                   drain_complete);
@@ -574,7 +619,7 @@ void LvmSystem::AdoptAppendOffset(LogSegment* log, uint32_t append_offset) {
 void LvmSystem::NoteOverloadSuspension(Cycles interrupt_time, Cycles resume) {
   overload_suspensions_.Increment();
   for (int i = 0; i < machine_.num_cpus(); ++i) {
-    machine_.cpu(i).AdvanceTo(resume);
+    machine_.cpu(i).AdvanceTo(resume, obs::CostCenter::kOverloadPark);
   }
   trace_.Complete("kernel", "overload_suspend", 0, interrupt_time, resume);
   flight_.Record(flight_.kernel_ring(), obs::FlightEventKind::kOverloadSuspend, interrupt_time,
@@ -624,6 +669,9 @@ void LvmSystem::RefreshAppendOffset(LogSegment* log) {
 }
 
 void LvmSystem::SyncLog(Cpu* cpu, LogSegment* log) {
+  // Same-center nesting collapses, so the TruncateLog/CompactLog callers'
+  // scopes absorb this one instead of stacking log/maintenance twice.
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kLogMaintenance);
   cpu->DrainWriteBuffer();
   if (bus_logger_ != nullptr) {
     Cycles done = bus_logger_->SyncDrain(cpu->now());
@@ -633,6 +681,7 @@ void LvmSystem::SyncLog(Cpu* cpu, LogSegment* log) {
 }
 
 void LvmSystem::TruncateLog(Cpu* cpu, LogSegment* log) {
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kLogMaintenance);
   SyncLog(cpu, log);
   cpu->AddCycles(machine_.params().log_truncate_base_cycles);
   log->append_offset = 0;
@@ -643,6 +692,7 @@ void LvmSystem::TruncateLog(Cpu* cpu, LogSegment* log) {
 }
 
 void LvmSystem::TruncateLogTo(Cpu* cpu, LogSegment* log, size_t keep_records) {
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kLogMaintenance);
   SyncLog(cpu, log);
   uint32_t keep_bytes = static_cast<uint32_t>(keep_records) * kLogRecordSize;
   LVM_CHECK(keep_bytes <= log->append_offset);
@@ -654,6 +704,7 @@ void LvmSystem::TruncateLogTo(Cpu* cpu, LogSegment* log, size_t keep_records) {
 }
 
 void LvmSystem::CompactLog(Cpu* cpu, LogSegment* log, size_t first_record) {
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kLogMaintenance);
   SyncLog(cpu, log);
   const MachineParams& params = machine_.params();
   size_t total = log->append_offset / kLogRecordSize;
@@ -689,6 +740,7 @@ void LvmSystem::EnsureLogCapacity(LogSegment* log, uint32_t pages) {
 void LvmSystem::ResetDeferredCopy(Cpu* cpu, AddressSpace* as, VirtAddr start, VirtAddr end) {
   const MachineParams& params = machine_.params();
   Cycles span_start = cpu->now();
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kDeferredCopy);
   uint64_t pages_reset = 0;
   for (VirtAddr va = PageBase(start); va < end; va += kPageSize) {
     AddressSpace::Pte* pte = as->FindPte(va);
@@ -751,6 +803,7 @@ void LvmSystem::CopySegment(Cpu* cpu, Segment* dest, Segment* source) {
   uint32_t pages = dest->page_count() < source->page_count() ? dest->page_count()
                                                              : source->page_count();
   Cycles span_start = cpu->now();
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kCheckpoint);
   const MachineParams& params = machine_.params();
   uint8_t line[kLineSize];
   for (uint32_t i = 0; i < pages; ++i) {
@@ -776,6 +829,7 @@ void LvmSystem::CopySegment(Cpu* cpu, Segment* dest, Segment* source) {
 void LvmSystem::FlushSegment(Cpu* cpu, Segment* segment) {
   const MachineParams& params = machine_.params();
   Cycles span_start = cpu->now();
+  LVM_PROF_SCOPE(profiler_.get(), cpu->id(), obs::CostCenter::kCheckpoint);
   uint64_t dirty_lines = 0;
   for (uint32_t i = 0; i < segment->page_count(); ++i) {
     if (!segment->HasFrame(i)) {

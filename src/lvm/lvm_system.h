@@ -35,6 +35,7 @@
 #include "src/logger/tables.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/race/race_detector.h"
 #include "src/sim/machine.h"
@@ -118,6 +119,22 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // kernel ring, fed by the fault/overload/reset/rollback paths.
   obs::FlightRecorder& flight() { return flight_; }
   const obs::FlightRecorder& flight() const { return flight_; }
+
+  // --- cycle-attribution profiler (src/obs/profiler, DESIGN.md §14) ---
+  // Builds the profiler (one lane per CPU plus a logger lane), charges every
+  // CPU clock funnel and logger service step through it, baselines each lane
+  // at the CPU's current clock, and starts the wall sampler if configured.
+  // Charges never advance simulated clocks, so enabling this cannot change
+  // a single bench number. Call at most once. Returns the profiler (owned
+  // by the system).
+  obs::Profiler* EnableProfiler(const obs::ProfilerConfig& config = obs::ProfilerConfig{});
+  // Null until EnableProfiler.
+  obs::Profiler* profiler() { return profiler_.get(); }
+  const obs::Profiler* profiler() const { return profiler_.get(); }
+  // lvm.profile.v1 export with current lane clocks (cpu.now() per CPU lane).
+  std::string ProfileJson() const;
+  // Returns false if the file could not be written (or no profiler).
+  bool WriteProfile(const std::string& path) const;
 
   // --- black box (src/lvm/black_box.cc) ---
   // Serializes the lvm.blackbox.v1 bundle — config, flight-recorder
@@ -350,6 +367,7 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   std::unique_ptr<HardwareLogger> bus_logger_;
   std::unique_ptr<OnChipLogger> onchip_logger_;
   std::unique_ptr<race::RaceDetector> race_detector_;
+  std::unique_ptr<obs::Profiler> profiler_;
 
   // The default page that absorbs log records when a log segment has no
   // frames left (Section 3.2).

@@ -1,0 +1,430 @@
+#include "src/obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "src/base/check.h"
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+namespace obs {
+
+const char* ToString(CostCenter center) {
+  switch (center) {
+    case CostCenter::kRoot:
+      return "root";
+    case CostCenter::kCompute:
+      return "compute";
+    case CostCenter::kMemRead:
+      return "mem/read";
+    case CostCenter::kMemWrite:
+      return "mem/write";
+    case CostCenter::kBusContention:
+      return "bus/contention";
+    case CostCenter::kStall:
+      return "stall";
+    case CostCenter::kKernel:
+      return "kernel";
+    case CostCenter::kVmFault:
+      return "vm/page_fault";
+    case CostCenter::kLogFault:
+      return "log/fault";
+    case CostCenter::kOverloadPark:
+      return "overload/park";
+    case CostCenter::kDeferredCopy:
+      return "vm/deferred_copy";
+    case CostCenter::kCheckpoint:
+      return "ckpt/copy";
+    case CostCenter::kLogMaintenance:
+      return "log/maintenance";
+    case CostCenter::kRollback:
+      return "timewarp/rollback";
+    case CostCenter::kLogEmit:
+      return "log/emit";
+    case CostCenter::kLogDrain:
+      return "log/drain";
+    case CostCenter::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+Profiler::Profiler(int num_cpus, const ProfilerConfig& config) : config_(config) {
+  LVM_CHECK(num_cpus >= 1);
+  LVM_CHECK(config_.nodes_per_lane >= 2);
+  lanes_.reserve(static_cast<size_t>(num_cpus) + 1);
+  for (int i = 0; i <= num_cpus; ++i) {
+    auto lane = std::make_unique<Lane>();
+    if (i < num_cpus) {
+      lane->name = "cpu" + std::to_string(i);
+      lane->is_cpu = true;
+    } else {
+      lane->name = "logger";
+      lane->is_cpu = false;
+    }
+    lane->nodes = std::vector<Node>(config_.nodes_per_lane);
+    lane->stack.reserve(config_.max_depth + 4);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+Profiler::~Profiler() { StopWallSampling(); }
+
+void Profiler::SetLaneBaseline(int lane, Cycles baseline) {
+  LVM_CHECK(lane >= 0 && lane < num_lanes());
+  lanes_[static_cast<size_t>(lane)]->baseline = baseline;
+}
+
+Cycles Profiler::lane_baseline(int lane) const {
+  LVM_CHECK(lane >= 0 && lane < num_lanes());
+  return lanes_[static_cast<size_t>(lane)]->baseline;
+}
+
+int32_t Profiler::FindOrCreateChild(Lane& lane, int32_t parent, CostCenter center) {
+  Node& parent_node = lane.nodes[static_cast<size_t>(parent)];
+  // Walk the sibling chain; append at the tail if the center is absent.
+  // On CAS failure keep walking — the winner may be our center.
+  std::atomic<int32_t>* link = &parent_node.first_child;
+  int32_t allocated = -1;
+  for (;;) {
+    int32_t next = link->load(std::memory_order_acquire);
+    if (next >= 0) {
+      Node& node = lane.nodes[static_cast<size_t>(next)];
+      if (node.center == center) {
+        return next;  // An allocated-but-unlinked slot of ours is abandoned.
+      }
+      link = &node.next_sibling;
+      continue;
+    }
+    if (allocated < 0) {
+      uint32_t index = lane.node_count.fetch_add(1, std::memory_order_relaxed);
+      if (index >= lane.nodes.size()) {
+        dropped_charges_.Increment();
+        return parent;  // Pool exhausted: refinement stops, cycles stay conserved.
+      }
+      allocated = static_cast<int32_t>(index);
+      Node& node = lane.nodes[static_cast<size_t>(index)];
+      node.center = center;
+      node.parent = parent;
+    }
+    int32_t expected = -1;
+    if (link->compare_exchange_strong(expected, allocated, std::memory_order_release,
+                                      std::memory_order_acquire)) {
+      return allocated;
+    }
+  }
+}
+
+int32_t Profiler::ResolveTarget(Lane& lane, CostCenter center) {
+  const int32_t current = lane.current.load(std::memory_order_acquire);
+  const Node& current_node = lane.nodes[static_cast<size_t>(current)];
+  if (current_node.center == center || (center == CostCenter::kKernel && current != 0)) {
+    // Same-center charge, or generic kernel cost inside a named scope:
+    // charge the scope itself (AddCycles inside OnPageFault lands *in*
+    // vm/page_fault, not a "kernel" child).
+    return current;
+  }
+  return FindOrCreateChild(lane, current, center);
+}
+
+void Profiler::ChargeSlow(Lane& lane, CostCenter center, Cycles cycles) {
+  const int32_t target = ResolveTarget(lane, center);
+  if (!lane.is_cpu) {
+    lane.nodes[static_cast<size_t>(target)].cycles.fetch_add(cycles, std::memory_order_relaxed);
+    return;
+  }
+  // CPU-lane memo miss: start a pending run for this center under the
+  // current scope. The slot is zero here — FlushPending drained it when
+  // the epoch last changed.
+  const auto c = static_cast<size_t>(center);
+  lane.pending_node[c] = target;
+  lane.pending_epoch[c] = lane.scope_epoch;
+  lane.pending[c].store(lane.pending[c].load(std::memory_order_relaxed) + cycles,
+                        std::memory_order_relaxed);
+}
+
+void Profiler::FlushPending(Lane& lane) {
+  for (size_t c = 0; c < kNumCenters; ++c) {
+    const uint64_t cycles = lane.pending[c].load(std::memory_order_relaxed);
+    if (cycles == 0) {
+      continue;
+    }
+    lane.nodes[static_cast<size_t>(lane.pending_node[c])].cycles.fetch_add(
+        cycles, std::memory_order_relaxed);
+    lane.pending[c].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t Profiler::PendingFor(const Lane& lane, int32_t node) const {
+  uint64_t total = 0;
+  for (size_t c = 0; c < kNumCenters; ++c) {
+    if (lane.pending_node[c] == node) {
+      total += lane.pending[c].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+void Profiler::PushScope(int lane_index, CostCenter center) {
+  Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
+  // Scope change: drain the pending runs (they belong to the old scope's
+  // nodes) and invalidate the charge memos.
+  FlushPending(lane);
+  ++lane.scope_epoch;
+  const int32_t current = lane.current.load(std::memory_order_relaxed);
+  int32_t target;
+  if (lane.nodes[static_cast<size_t>(current)].center == center) {
+    // Same-center nesting collapses (TruncateLog -> SyncLog are both
+    // log/maintenance); re-pushing keeps pops balanced.
+    target = current;
+  } else if (lane.stack.size() >= config_.max_depth) {
+    target = current;
+  } else {
+    target = FindOrCreateChild(lane, current, center);
+  }
+  lane.stack.push_back(current);
+  lane.current.store(target, std::memory_order_release);
+}
+
+void Profiler::PopScope(int lane_index) {
+  Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
+  LVM_CHECK_MSG(!lane.stack.empty(), "PopScope on a lane with no open scope");
+  FlushPending(lane);
+  ++lane.scope_epoch;
+  lane.current.store(lane.stack.back(), std::memory_order_release);
+  lane.stack.pop_back();
+}
+
+Cycles Profiler::LaneAttributed(int lane_index) const {
+  const Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
+  const size_t count = std::min<size_t>(lane.node_count.load(std::memory_order_acquire),
+                                        lane.nodes.size());
+  Cycles total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += lane.nodes[i].cycles.load(std::memory_order_relaxed);
+  }
+  // Cycles still in the pending accumulators are attributed too: the sum is
+  // conserved at every instant, not just at scope boundaries.
+  for (size_t c = 0; c < kNumCenters; ++c) {
+    total += lane.pending[c].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Cycles Profiler::CenterCycles(int lane_index, CostCenter center) const {
+  const Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
+  const size_t count = std::min<size_t>(lane.node_count.load(std::memory_order_acquire),
+                                        lane.nodes.size());
+  Cycles total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (lane.nodes[i].center == center) {
+      total += lane.nodes[i].cycles.load(std::memory_order_relaxed);
+      total += PendingFor(lane, static_cast<int32_t>(i));
+    }
+  }
+  return total;
+}
+
+void Profiler::StartWallSampling() {
+  if (sampling_.exchange(true)) {
+    return;
+  }
+  sampler_ = std::thread([this] {
+    const auto interval = std::chrono::microseconds(config_.wall_sample_interval_us);
+    while (sampling_.load(std::memory_order_relaxed)) {
+      for (const std::unique_ptr<Lane>& lane : lanes_) {
+        const int32_t current = lane->current.load(std::memory_order_acquire);
+        lane->nodes[static_cast<size_t>(current)].wall_samples.fetch_add(
+            1, std::memory_order_relaxed);
+        wall_samples_.Increment();
+      }
+      std::this_thread::sleep_for(interval);
+    }
+  });
+}
+
+void Profiler::StopWallSampling() {
+  if (!sampling_.exchange(false)) {
+    return;
+  }
+  if (sampler_.joinable()) {
+    sampler_.join();
+  }
+}
+
+void Profiler::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("prof.dropped_charges", &dropped_charges_);
+  registry->RegisterCounter("prof.wall_samples", &wall_samples_);
+}
+
+void Profiler::AppendNodePath(std::string* out, const Lane& lane, int32_t index) const {
+  // Collect root->node frame names; the chain is short (max_depth-bounded).
+  std::vector<const char*> frames;
+  for (int32_t i = index; i > 0; i = lane.nodes[static_cast<size_t>(i)].parent) {
+    frames.push_back(ToString(lane.nodes[static_cast<size_t>(i)].center));
+  }
+  for (size_t i = frames.size(); i > 0; --i) {
+    out->append(frames[i - 1]);
+    if (i > 1) {
+      out->push_back(';');
+    }
+  }
+}
+
+void Profiler::AppendLaneJson(std::string* out, const Lane& lane, Cycles clock) const {
+  Cycles attributed = 0;
+  const size_t count = std::min<size_t>(lane.node_count.load(std::memory_order_acquire),
+                                        lane.nodes.size());
+  for (size_t i = 0; i < count; ++i) {
+    attributed += lane.nodes[i].cycles.load(std::memory_order_relaxed);
+  }
+  for (size_t c = 0; c < kNumCenters; ++c) {
+    attributed += lane.pending[c].load(std::memory_order_relaxed);
+  }
+  out->append("{\"name\":");
+  AppendJsonString(out, lane.name);
+  out->append(",\"kind\":");
+  AppendJsonString(out, lane.is_cpu ? "cpu" : "logger");
+  out->append(",\"baseline\":");
+  out->append(JsonNumber(static_cast<uint64_t>(lane.baseline)));
+  out->append(",\"clock\":");
+  out->append(JsonNumber(static_cast<uint64_t>(clock)));
+  out->append(",\"attributed\":");
+  out->append(JsonNumber(static_cast<uint64_t>(attributed)));
+  out->append(",\"conserved\":");
+  const bool conserved = !lane.is_cpu || lane.baseline + attributed == clock;
+  out->append(conserved ? "true" : "false");
+  out->append(",\"nodes\":[");
+  // Depth-first over the linked tree so parent paths precede children.
+  // Abandoned (unlinked) slots from lost CAS races are invisible here and
+  // hold zero cycles, so `attributed` above still matches the tree sum.
+  std::vector<int32_t> pending;
+  for (int32_t child = lane.nodes[0].first_child.load(std::memory_order_acquire); child >= 0;
+       child = lane.nodes[static_cast<size_t>(child)].next_sibling.load(
+           std::memory_order_acquire)) {
+    pending.push_back(child);
+  }
+  // pending is a stack; reverse the root's children to keep DFS in
+  // insertion order.
+  std::reverse(pending.begin(), pending.end());
+  bool first = true;
+  uint64_t root_samples = lane.nodes[0].wall_samples.load(std::memory_order_relaxed);
+  if (root_samples != 0) {
+    out->append("{\"path\":\"root\",\"center\":\"root\",\"cycles\":0,\"wall_samples\":");
+    out->append(JsonNumber(root_samples));
+    out->append("}");
+    first = false;
+  }
+  while (!pending.empty()) {
+    const int32_t index = pending.back();
+    pending.pop_back();
+    const Node& node = lane.nodes[static_cast<size_t>(index)];
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    out->append("{\"path\":\"");
+    AppendNodePath(out, lane, index);
+    out->append("\",\"center\":");
+    AppendJsonString(out, ToString(node.center));
+    out->append(",\"cycles\":");
+    out->append(JsonNumber(node.cycles.load(std::memory_order_relaxed) +
+                           PendingFor(lane, index)));
+    out->append(",\"wall_samples\":");
+    out->append(JsonNumber(node.wall_samples.load(std::memory_order_relaxed)));
+    out->append("}");
+    std::vector<int32_t> children;
+    for (int32_t child = node.first_child.load(std::memory_order_acquire); child >= 0;
+         child = lane.nodes[static_cast<size_t>(child)].next_sibling.load(
+             std::memory_order_acquire)) {
+      children.push_back(child);
+    }
+    for (size_t i = children.size(); i > 0; --i) {
+      pending.push_back(children[i - 1]);
+    }
+  }
+  out->append("]}");
+}
+
+std::string Profiler::ExportJson(const std::vector<Cycles>& lane_clocks) const {
+  LVM_CHECK(lane_clocks.size() == lanes_.size());
+  std::string out;
+  out.reserve(4096);
+  out.append("{\"schema\":");
+  AppendJsonString(&out, kProfileSchema);
+  out.append(",\"cycles_per_second\":25000000,\"lanes\":[");
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (i != 0) {
+      out.push_back(',');
+    }
+    AppendLaneJson(&out, *lanes_[i], lane_clocks[i]);
+  }
+  out.append("],\"dropped_charges\":");
+  out.append(JsonNumber(dropped_charges_.value()));
+  out.append(",\"wall_samples\":");
+  out.append(JsonNumber(wall_samples_.value()));
+  out.append("}");
+  return out;
+}
+
+bool Profiler::WriteJsonFile(const std::string& path,
+                             const std::vector<Cycles>& lane_clocks) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return false;
+  }
+  file << ExportJson(lane_clocks) << "\n";
+  return static_cast<bool>(file);
+}
+
+std::string Profiler::FlameText() const {
+  std::string out;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    std::vector<int32_t> pending;
+    for (int32_t child = lane->nodes[0].first_child.load(std::memory_order_acquire); child >= 0;
+         child = lane->nodes[static_cast<size_t>(child)].next_sibling.load(
+             std::memory_order_acquire)) {
+      pending.push_back(child);
+    }
+    std::reverse(pending.begin(), pending.end());
+    while (!pending.empty()) {
+      const int32_t index = pending.back();
+      pending.pop_back();
+      const Node& node = lane->nodes[static_cast<size_t>(index)];
+      const uint64_t cycles =
+          node.cycles.load(std::memory_order_relaxed) + PendingFor(*lane, index);
+      if (cycles != 0) {
+        out.append(lane->name);
+        out.push_back(';');
+        AppendNodePath(&out, *lane, index);
+        out.push_back(' ');
+        out.append(JsonNumber(cycles));
+        out.push_back('\n');
+      }
+      std::vector<int32_t> children;
+      for (int32_t child = node.first_child.load(std::memory_order_acquire); child >= 0;
+           child = lane->nodes[static_cast<size_t>(child)].next_sibling.load(
+               std::memory_order_acquire)) {
+        children.push_back(child);
+      }
+      for (size_t i = children.size(); i > 0; --i) {
+        pending.push_back(children[i - 1]);
+      }
+    }
+  }
+  return out;
+}
+
+bool Profiler::WriteFlameFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return false;
+  }
+  file << FlameText();
+  return static_cast<bool>(file);
+}
+
+}  // namespace obs
+}  // namespace lvm

@@ -1,0 +1,276 @@
+// Simulated-cycle cost-attribution profiler (DESIGN.md §14).
+//
+// GetStats() gives totals and the flight recorder gives events; neither says
+// *where* simulated time goes. The profiler answers that with hierarchical
+// cost centers charged in simulated cycles, one attribution lane per CPU
+// plus one for the hardware logger, exported as strict JSON
+// (`lvm.profile.v1`) and as collapsed-stack flamegraph text.
+//
+// Design rules (these are what make the conservation invariant cheap):
+//
+//  1. Charges NEVER advance a simulated clock. Every Cpu clock mutation
+//     funnels through Cpu::Bump/AdvanceTo, and those funnels are the only
+//     charge sites on CPU lanes — so per-lane attributed cycles equal
+//     `cpu.now() - baseline` by construction, and enabling the profiler
+//     cannot perturb a single bench number.
+//  2. Hierarchy comes from kernel-side RAII scopes (LVM_PROF_SCOPE): a
+//     page-fault scope makes the fault's stall cycles children of
+//     "vm/page_fault" instead of toplevel "stall". Scopes are per-lane and
+//     owned by the simulation thread driving that lane; charges into a lane
+//     may come from any thread (the node tree uses lock-free CAS insertion,
+//     counters are relaxed atomics).
+//  3. Generic kernel cycles (CostCenter::kKernel) charge the innermost open
+//     scope directly rather than a "kernel" child, so AddCycles() calls
+//     inside OnPageFault land *in* vm/page_fault.
+//  4. Disabled means a null pointer check per funnel — zero overhead — and
+//     the wall sampler (host-thread profile of the par-engine workers) is a
+//     separate opt-in thread that only reads atomics.
+//
+// Node pools are bounded (ProfilerConfig::nodes_per_lane); overflow charges
+// the parent node and bumps `dropped_charges` instead of allocating, so the
+// recording path never takes a lock or touches the heap.
+#ifndef SRC_OBS_PROFILER_H_
+#define SRC_OBS_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/obs/metrics.h"
+
+namespace lvm {
+namespace obs {
+
+// Where a simulated cycle is spent. Kept small and closed: call sites name
+// a center, the tree shape comes from which scopes are open, not from
+// free-form strings.
+enum class CostCenter : uint8_t {
+  kRoot = 0,         // Lane root; never charged directly.
+  kCompute,          // Cpu::Compute application work.
+  kMemRead,          // Read path: L1/L2/memory access cycles.
+  kMemWrite,         // Unlogged writes + logged write issue cost.
+  kBusContention,    // Write-buffer-full stalls waiting on bus grants.
+  kStall,            // Generic AdvanceTo stalls (drains, barriers).
+  kKernel,           // Generic kernel cost; charges the open scope.
+  kVmFault,          // Page-fault handling (vm/page_fault).
+  kLogFault,         // Logging faults: mapping + log-tail.
+  kOverloadPark,     // Parked while the overloaded FIFO/shards drain.
+  kDeferredCopy,     // resetDeferredCopy processing.
+  kCheckpoint,       // Checkpoint copies/flushes, deferred-copy detach.
+  kLogMaintenance,   // SyncLog / truncate / compact.
+  kRollback,         // Time Warp rollback.
+  kLogEmit,          // Logger lane: steady-state record emission.
+  kLogDrain,         // Logger lane: overload drain processing.
+  kCount,
+};
+
+// Stable flamegraph/JSON frame name ("vm/page_fault", "log/drain", ...).
+const char* ToString(CostCenter center);
+
+struct ProfilerConfig {
+  // Node pool per lane; overflow charges the parent and counts a drop.
+  uint32_t nodes_per_lane = 256;
+  // Scope nesting beyond this re-pushes the current node (pops stay
+  // balanced, attribution just stops refining).
+  uint32_t max_depth = 16;
+  // Wall-clock sampler period. The sampler bumps the current node of every
+  // lane, building a host-time census next to the simulated-cycle one.
+  // 100 Hz: on core-starved hosts every sampler wakeup preempts a worker,
+  // so a 1 kHz default would cost several percent of wall time by itself.
+  uint32_t wall_sample_interval_us = 10000;
+  // Start the sampler thread from LvmSystem::EnableProfiler.
+  bool wall_sampling = true;
+};
+
+class Profiler {
+ public:
+  // One lane per simulated CPU plus one logger lane (`logger_lane()`).
+  explicit Profiler(int num_cpus, const ProfilerConfig& config = ProfilerConfig{});
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  int logger_lane() const { return num_lanes() - 1; }
+
+  // The clock value attribution starts from; conservation on a CPU lane is
+  // `baseline + attributed == cpu.now()`.
+  void SetLaneBaseline(int lane, Cycles baseline);
+  Cycles lane_baseline(int lane) const;
+
+  // Charges `cycles` to `center` under the lane's open scope. Thread-safe
+  // for any lane (the parallel engine charges the logger lane from every
+  // worker). Zero-cycle charges are dropped without touching the tree.
+  //
+  // CPU lanes are charged only by the thread driving that CPU (the
+  // Bump/AdvanceTo funnels), so they take an owner-thread fast path: the
+  // charge lands in a per-center pending accumulator (two relaxed loads
+  // and a store on an owned cache line — no RMW, no tree walk) and drains
+  // into the node tree on the next scope change. The logger lane has many
+  // concurrent writers and always takes the shared atomic path.
+  void Charge(int lane, CostCenter center, Cycles cycles) {
+    if (cycles == 0) {
+      return;
+    }
+    Lane& l = *lanes_[static_cast<size_t>(lane)];
+    const auto c = static_cast<size_t>(center);
+    if (l.is_cpu && l.pending_epoch[c] == l.scope_epoch) {
+      l.pending[c].store(l.pending[c].load(std::memory_order_relaxed) + cycles,
+                         std::memory_order_relaxed);
+      return;
+    }
+    ChargeSlow(l, center, cycles);
+  }
+
+  // Scope stack — owner-thread only (the thread simulating the lane).
+  void PushScope(int lane, CostCenter center);
+  void PopScope(int lane);
+
+  // Sum of every node's cycles in the lane.
+  Cycles LaneAttributed(int lane) const;
+  // Sum of the lane's cycles charged to `center` across all tree positions.
+  Cycles CenterCycles(int lane, CostCenter center) const;
+
+  uint64_t dropped_charges() const { return dropped_charges_.value(); }
+  uint64_t wall_samples() const { return wall_samples_.value(); }
+
+  // Host wall-clock sampler over the lanes' current scopes. Idempotent
+  // start; Stop joins the thread (also called by the destructor).
+  void StartWallSampling();
+  void StopWallSampling();
+
+  // Registers "prof.dropped_charges" / "prof.wall_samples". Call at most
+  // once per registry; the profiler must outlive it.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
+  // Strict-JSON lvm.profile.v1 export. `lane_clocks[i]` is lane i's current
+  // clock (cpu.now() for CPU lanes; pass 0 for the logger lane, whose
+  // service pipeline has no single clock and is exempt from conservation).
+  std::string ExportJson(const std::vector<Cycles>& lane_clocks) const;
+  bool WriteJsonFile(const std::string& path, const std::vector<Cycles>& lane_clocks) const;
+
+  // Collapsed-stack flamegraph text: "lane;frame;frame <cycles>" per line.
+  std::string FlameText() const;
+  bool WriteFlameFile(const std::string& path) const;
+
+ private:
+  struct Node {
+    CostCenter center = CostCenter::kRoot;
+    int32_t parent = -1;
+    std::atomic<int32_t> first_child{-1};
+    std::atomic<int32_t> next_sibling{-1};
+    std::atomic<uint64_t> cycles{0};
+    std::atomic<uint64_t> wall_samples{0};
+  };
+
+  static constexpr size_t kNumCenters = static_cast<size_t>(CostCenter::kCount);
+
+  struct Lane {
+    std::string name;
+    bool is_cpu = true;
+    Cycles baseline = 0;
+    // Fixed pool; nodes_[0] is the root. node_count is the allocation
+    // cursor (CAS-free fetch_add; slots past the pool are abandoned).
+    std::vector<Node> nodes;
+    std::atomic<uint32_t> node_count{1};
+    // Innermost open scope; read by Charge() from any thread, written only
+    // by the owner thread via Push/PopScope.
+    std::atomic<int32_t> current{0};
+    // Owner-thread scope stack (current's history); not synchronized.
+    std::vector<int32_t> stack;
+    // CPU-lane fast path: per-center cycles not yet drained into the tree.
+    // Written only by the owner thread (plain load/store pairs, never RMW);
+    // atomic so mid-run readers (telemetry's LaneAttributed) see whole
+    // values. Drained by FlushPending on every scope change, so each slot
+    // always belongs to the node memoized in pending_node under the
+    // current scope_epoch.
+    std::array<std::atomic<uint64_t>, kNumCenters> pending{};
+    // Owner-thread memo: the resolved tree node for each center (valid
+    // while pending_epoch matches scope_epoch) and the epoch counter that
+    // Push/PopScope bump to invalidate it.
+    std::array<int32_t, kNumCenters> pending_node{};
+    std::array<uint64_t, kNumCenters> pending_epoch{};
+    uint64_t scope_epoch = 1;
+  };
+
+  // Finds `center` under `parent`, inserting lock-free if absent. Returns
+  // the parent itself when the pool is exhausted (and counts a drop).
+  int32_t FindOrCreateChild(Lane& lane, int32_t parent, CostCenter center);
+  // Resolves the target node for a charge under the lane's open scope.
+  int32_t ResolveTarget(Lane& lane, CostCenter center);
+  // Charge's out-of-line tail: the logger lane's shared atomic path, and
+  // the CPU-lane memo miss (resolve the node, start a new pending run).
+  void ChargeSlow(Lane& lane, CostCenter center, Cycles cycles);
+  // Owner-thread: drains every pending accumulator into the node tree.
+  void FlushPending(Lane& lane);
+  // Pending cycles destined for `node` (owner-thread / post-run readers).
+  uint64_t PendingFor(const Lane& lane, int32_t node) const;
+  void AppendLaneJson(std::string* out, const Lane& lane, Cycles clock) const;
+  void AppendNodePath(std::string* out, const Lane& lane, int32_t index) const;
+
+  const ProfilerConfig config_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  Counter dropped_charges_;
+  Counter wall_samples_;
+
+  std::thread sampler_;
+  std::atomic<bool> sampling_{false};
+};
+
+// RAII scope: pushes `center` on `lane` for the lifetime of the object.
+// Null-profiler safe, so call sites need no enabled-check of their own.
+class ScopedCostCenter {
+ public:
+  ScopedCostCenter(Profiler* profiler, int lane, CostCenter center)
+      : profiler_(profiler), lane_(lane) {
+    if (profiler_ != nullptr) {
+      profiler_->PushScope(lane_, center);
+    }
+  }
+  ~ScopedCostCenter() {
+    if (profiler_ != nullptr) {
+      profiler_->PopScope(lane_);
+    }
+  }
+
+  ScopedCostCenter(const ScopedCostCenter&) = delete;
+  ScopedCostCenter& operator=(const ScopedCostCenter&) = delete;
+
+ private:
+  Profiler* profiler_;
+  int lane_;
+};
+
+// Lexically scoped cost center. `profiler` may be null.
+#define LVM_PROF_SCOPE_CAT2(a, b) a##b
+#define LVM_PROF_SCOPE_CAT(a, b) LVM_PROF_SCOPE_CAT2(a, b)
+#define LVM_PROF_SCOPE(profiler, lane, center) \
+  ::lvm::obs::ScopedCostCenter LVM_PROF_SCOPE_CAT(lvm_prof_scope_, __LINE__)(profiler, lane, center)
+
+// Non-lexical begin/end pair for scopes that cross statement boundaries.
+// lvm-lint rule 15 (prof-scope) checks these stay balanced per file.
+#define LVM_PROF_BEGIN(profiler, lane, center)  \
+  do {                                          \
+    ::lvm::obs::Profiler* p_ = (profiler);      \
+    if (p_ != nullptr) {                        \
+      p_->PushScope((lane), (center));          \
+    }                                           \
+  } while (0)
+#define LVM_PROF_END(profiler, lane)       \
+  do {                                     \
+    ::lvm::obs::Profiler* p_ = (profiler); \
+    if (p_ != nullptr) {                   \
+      p_->PopScope((lane));                \
+    }                                      \
+  } while (0)
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_PROFILER_H_

@@ -21,6 +21,17 @@ inline constexpr const char kRaceReportSchema[] = "lvm.race_report.v1";
 // lvm-lint --json report (tools/lvm_lint).
 inline constexpr const char kLintReportSchema[] = "lvm.lint_report.v1";
 
+// Cycle-attribution profiler export (src/obs/profiler.cc, tools/lvm_prof).
+inline constexpr const char kProfileSchema[] = "lvm.profile.v1";
+
+// Live telemetry NDJSON stream lines (src/obs/telemetry.cc).
+inline constexpr const char kTelemetrySchema[] = "lvm.telemetry.v1";
+
+// scripts/perf_diff.py machine-readable report. The Python gate mirrors
+// this literal (lint only scans src/ C++, so the registry entry here is
+// the single C++-side source of truth for readers).
+inline constexpr const char kPerfDiffSchema[] = "lvm.perfdiff.v1";
+
 }  // namespace obs
 }  // namespace lvm
 

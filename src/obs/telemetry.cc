@@ -1,0 +1,154 @@
+#include "src/obs/telemetry.h"
+
+#include <unistd.h>
+
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+namespace obs {
+
+TelemetryStream::TelemetryStream(const MetricsRegistry* registry, const Profiler* profiler)
+    : registry_(registry), profiler_(profiler) {}
+
+TelemetryStream::~TelemetryStream() { Stop(); }
+
+bool TelemetryStream::Start(const std::string& path, const TelemetryConfig& config) {
+  if (running_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::FILE* sink = std::fopen(path.c_str(), "wb");
+  if (sink == nullptr) {
+    return false;
+  }
+  return StartWithSink(sink, config);
+}
+
+bool TelemetryStream::StartFd(int fd, const TelemetryConfig& config) {
+  if (running_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const int dup_fd = ::dup(fd);
+  if (dup_fd < 0) {
+    return false;
+  }
+  std::FILE* sink = ::fdopen(dup_fd, "w");
+  if (sink == nullptr) {
+    ::close(dup_fd);
+    return false;
+  }
+  return StartWithSink(sink, config);
+}
+
+bool TelemetryStream::StartWithSink(std::FILE* sink, const TelemetryConfig& config) {
+  sink_ = sink;
+  config_ = config;
+  stop_.store(false, std::memory_order_release);
+  prev_ = Snapshot{};
+  seq_ = 0;
+  start_time_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  monitor_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void TelemetryStream::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) {
+    monitor_.join();
+  }
+  std::fclose(sink_);
+  sink_ = nullptr;
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetryStream::Run() {
+  const auto interval = std::chrono::milliseconds(config_.interval_ms);
+  auto next_tick = std::chrono::steady_clock::now() + interval;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_tick) {
+      // Short naps keep Stop() responsive without a timed condvar.
+      const auto remaining = next_tick - now;
+      std::this_thread::sleep_for(
+          remaining < std::chrono::milliseconds(5) ? remaining : std::chrono::milliseconds(5));
+      continue;
+    }
+    EmitLine();
+    next_tick += interval;
+  }
+  // Final sample so short runs still stream at least one line.
+  EmitLine();
+}
+
+void TelemetryStream::EmitLine() {
+  const Snapshot snapshot = registry_->TakeSnapshot();
+  const Snapshot delta = snapshot.Delta(prev_);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start_time_)
+                           .count();
+
+  std::string line;
+  line.reserve(512);
+  line.append("{\"schema\":");
+  AppendJsonString(&line, kTelemetrySchema);
+  line.append(",\"seq\":");
+  line.append(JsonNumber(seq_));
+  line.append(",\"wall_ms\":");
+  line.append(JsonNumber(static_cast<int64_t>(wall_ms)));
+  line.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : delta.counters()) {
+    if (value == 0) {
+      continue;  // Idle counters would drown the interesting ones.
+    }
+    if (!first) {
+      line.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&line, name);
+    line.push_back(':');
+    line.append(JsonNumber(value));
+  }
+  line.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges()) {
+    if (!first) {
+      line.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&line, name);
+    line.push_back(':');
+    line.append(JsonNumber(value));
+  }
+  line.append("}");
+  if (profiler_ != nullptr) {
+    line.append(",\"profile\":{\"lanes\":[");
+    for (int lane = 0; lane < profiler_->num_lanes(); ++lane) {
+      if (lane != 0) {
+        line.push_back(',');
+      }
+      line.append("{\"lane\":");
+      line.append(JsonNumber(static_cast<uint64_t>(lane)));
+      line.append(",\"attributed\":");
+      line.append(JsonNumber(static_cast<uint64_t>(profiler_->LaneAttributed(lane))));
+      line.append("}");
+    }
+    line.append("],\"dropped_charges\":");
+    line.append(JsonNumber(profiler_->dropped_charges()));
+    line.append("}");
+  }
+  line.append("}\n");
+
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+  lines_emitted_.Increment();
+  prev_ = snapshot;
+  ++seq_;
+}
+
+}  // namespace obs
+}  // namespace lvm

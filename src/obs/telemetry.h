@@ -1,0 +1,85 @@
+// Live telemetry: a monitor thread streaming NDJSON metric deltas.
+//
+// Long benches and the future serving layer need to be watchable *in
+// flight*, not just post-mortem. A TelemetryStream takes a periodic
+// MetricsRegistry snapshot, diffs it against the previous tick, and writes
+// one `lvm.telemetry.v1` JSON object per line (NDJSON) to a file or an
+// inherited fd — counters as per-tick deltas (zero deltas elided), gauges
+// as current values, plus per-lane attributed cycles from an optional
+// Profiler. `tail -f` the file, or point a collector at the fd.
+//
+// The monitor thread only reads atomics through TakeSnapshot() and the
+// profiler's lane sums, both documented mid-run-safe, so the stream can run
+// while the parallel engine's workers are hot. A final line is always
+// emitted on Stop() so short runs still produce at least one sample.
+#ifndef SRC_OBS_TELEMETRY_H_
+#define SRC_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
+
+namespace lvm {
+namespace obs {
+
+struct TelemetryConfig {
+  // Snapshot-and-emit period. The stop path never waits longer than a few
+  // milliseconds regardless of this value.
+  uint32_t interval_ms = 100;
+};
+
+class TelemetryStream {
+ public:
+  // `registry` must outlive the stream; `profiler` may be null (no
+  // "profile" member in the emitted lines then).
+  explicit TelemetryStream(const MetricsRegistry* registry, const Profiler* profiler = nullptr);
+  ~TelemetryStream();
+
+  TelemetryStream(const TelemetryStream&) = delete;
+  TelemetryStream& operator=(const TelemetryStream&) = delete;
+
+  // Starts the monitor thread writing to `path` (truncates). Returns false
+  // (and stays stopped) if the file cannot be opened or already running.
+  bool Start(const std::string& path, const TelemetryConfig& config = TelemetryConfig{});
+  // Same, writing to a duplicate of `fd` (the caller keeps ownership of the
+  // original descriptor).
+  bool StartFd(int fd, const TelemetryConfig& config = TelemetryConfig{});
+
+  // Emits one final line, joins the monitor thread, closes the sink.
+  // Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint64_t lines_emitted() const { return lines_emitted_.value(); }
+
+ private:
+  bool StartWithSink(std::FILE* sink, const TelemetryConfig& config);
+  void Run();
+  void EmitLine();
+
+  const MetricsRegistry* registry_;
+  const Profiler* profiler_;
+  TelemetryConfig config_;
+
+  std::FILE* sink_ = nullptr;
+  std::thread monitor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  Counter lines_emitted_;
+
+  // Monitor-thread state (owner: Run()).
+  Snapshot prev_;
+  uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_TELEMETRY_H_

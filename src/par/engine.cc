@@ -106,6 +106,10 @@ void ParallelEngine::Start() {
       Cpu& cpu = system_->cpu(static_cast<int>(i));
       cpu.set_log_sink(workers_[i].shard.get());
       cpu.set_fault_handler(&forbid_faults_);
+      if (system_->profiler() != nullptr) {
+        workers_[i].shard->set_profiler(system_->profiler(),
+                                        system_->profiler()->logger_lane());
+      }
     }
     for (size_t i = 0; i < workers_.size(); ++i) {
       workers_[i].thread = std::thread(&ParallelEngine::ParallelWorkerBody, this,
@@ -209,7 +213,8 @@ void ParallelEngine::OnShardOverload(int worker_id, Cycles now) {
   }
   Cycles drain_complete = now;
   for (Worker& worker : workers_) {
-    Cycles done = worker.shard->DrainAll(now, shard_config_.service_drain_cycles);
+    Cycles done = worker.shard->DrainAll(now, shard_config_.service_drain_cycles,
+                                         obs::CostCenter::kLogDrain);
     if (done > drain_complete) {
       drain_complete = done;
     }

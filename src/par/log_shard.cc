@@ -42,6 +42,7 @@ void LogShard::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t val
 }
 
 void LogShard::DrainReady(Cycles now) {
+  uint32_t retired = 0;
   while (!ring_.empty()) {
     const Entry& front = ring_.Front();
     Cycles start = front.time > service_free_ ? front.time : service_free_;
@@ -53,18 +54,46 @@ void LogShard::DrainReady(Cycles now) {
     Entry entry;
     ring_.TryPop(&entry);
     Stage(entry);
+    ++retired;
+  }
+  if (profiler_ != nullptr && retired != 0) {
+    prof_pending_emit_ += static_cast<Cycles>(retired) * config_.service_active_cycles;
   }
 }
 
-Cycles LogShard::DrainAll(Cycles now, uint32_t per_record_cycles) {
+Cycles LogShard::DrainAll(Cycles now, uint32_t per_record_cycles, obs::CostCenter center) {
   Entry entry;
+  uint32_t retired = 0;
   while (ring_.TryPop(&entry)) {
     Cycles start = entry.time > service_free_ ? entry.time : service_free_;
     service_free_ = start + per_record_cycles;
     Stage(entry);
+    ++retired;
   }
   FlushBatch();
+  if (profiler_ != nullptr && retired != 0) {
+    if (center == obs::CostCenter::kLogDrain) {
+      prof_pending_drain_ += static_cast<Cycles>(retired) * per_record_cycles;
+    } else {
+      prof_pending_emit_ += static_cast<Cycles>(retired) * per_record_cycles;
+    }
+  }
+  FlushProf();  // A full drain is a sync point: publish the attribution.
   return service_free_ > now ? service_free_ : now;
+}
+
+void LogShard::FlushProf() {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  if (prof_pending_emit_ != 0) {
+    profiler_->Charge(prof_lane_, obs::CostCenter::kLogEmit, prof_pending_emit_);
+    prof_pending_emit_ = 0;
+  }
+  if (prof_pending_drain_ != 0) {
+    profiler_->Charge(prof_lane_, obs::CostCenter::kLogDrain, prof_pending_drain_);
+    prof_pending_drain_ = 0;
+  }
 }
 
 void LogShard::Stage(const Entry& entry) {

@@ -31,6 +31,7 @@
 #include "src/base/types.h"
 #include "src/logger/log_record.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/par/spsc_ring.h"
 #include "src/sim/interfaces.h"
 #include "src/sim/phys_mem.h"
@@ -81,8 +82,9 @@ class LogShard : public LoggedWriteSink {
   // Drains the ring completely at `per_record_cycles` per record and
   // flushes the staging batch. Returns the drain completion time (>= the
   // running service_free horizon). Used by the engine for overload drains
-  // (drain rate) and after Join (active rate).
-  Cycles DrainAll(Cycles now, uint32_t per_record_cycles);
+  // (drain rate, attributed kLogDrain) and after Join (active rate).
+  Cycles DrainAll(Cycles now, uint32_t per_record_cycles,
+                  obs::CostCenter center = obs::CostCenter::kLogEmit);
 
   int worker_id() const { return worker_id_; }
   LogSegment* log() const { return log_; }
@@ -103,6 +105,14 @@ class LogShard : public LoggedWriteSink {
   // (the contention pressure on the sharded log path). Optional.
   void set_occupancy_histogram(obs::Histogram* histogram) { occupancy_histogram_ = histogram; }
 
+  // Optional cycle-attribution profiler: per-record service cycles charge
+  // `lane` (the shared logger lane; Charge is thread-safe so every worker's
+  // shard may charge it concurrently).
+  void set_profiler(obs::Profiler* profiler, int lane) {
+    profiler_ = profiler;
+    prof_lane_ = lane;
+  }
+
  private:
   struct Entry {
     PhysAddr paddr = 0;
@@ -113,6 +123,11 @@ class LogShard : public LoggedWriteSink {
 
   void Stage(const Entry& entry);
   void FlushBatch();
+  // Pushes the accumulated service cycles to the profiler's logger lane.
+  // Charges batch here rather than per retired record: the logger lane is
+  // shared by every worker, so per-record Charge calls would contend on
+  // one node's counter from all threads at once.
+  void FlushProf();
 
   const int worker_id_;
   LogSegment* const log_;
@@ -128,6 +143,12 @@ class LogShard : public LoggedWriteSink {
   uint32_t append_offset_ = 0;
 
   obs::Histogram* occupancy_histogram_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  int prof_lane_ = 0;
+  // Service cycles retired but not yet charged (same thread model as
+  // service_free_: the drain paths are serialized by the engine).
+  Cycles prof_pending_emit_ = 0;
+  Cycles prof_pending_drain_ = 0;
   obs::Counter records_appended_;
   obs::Counter batches_;
   obs::Counter ring_full_stalls_;

@@ -35,7 +35,9 @@ Translation Cpu::TranslateOrFault(VirtAddr va, AccessKind access) {
 uint32_t Cpu::Read(VirtAddr va, uint8_t size) {
   reads_.Increment();
   Translation translation = TranslateOrFault(va, AccessKind::kRead);
-  Bump(ChargeRead(translation.paddr));
+  Cycles cost = ChargeRead(translation.paddr);
+  Bump(cost);
+  ChargeProf(obs::CostCenter::kMemRead, cost);
   if (access_observer_ != nullptr) {
     access_observer_->OnMemoryAccess(id_, AccessKind::kRead, va, translation.paddr, size,
                                      translation.logged, now());
@@ -70,6 +72,7 @@ void Cpu::Write(VirtAddr va, uint32_t value, uint8_t size) {
     WriteThrough(translation.paddr, value, size, translation.logged);
   } else {
     Bump(params_->unlogged_write_cycles);
+    ChargeProf(obs::CostCenter::kMemWrite, params_->unlogged_write_cycles);
   }
   if (translation.logged && log_sink_ != nullptr) {
     log_sink_->OnLoggedWrite(this, va, translation.paddr, value, size);
@@ -89,12 +92,14 @@ void Cpu::WriteThrough(PhysAddr paddr, uint32_t value, uint8_t size, bool logged
   // Stall when the buffer is full (Section 4.5.2: the write-through penalty
   // grows with the burst size the buffer cannot absorb).
   if (write_buffer_.size() >= params_->write_buffer_depth) {
-    AdvanceTo(write_buffer_.front());
+    AdvanceTo(write_buffer_.front(), obs::CostCenter::kBusContention);
     write_buffer_.pop_front();
   }
   // CPU-side cost of issuing the buffered write, then the bus transfer
   // drains in the background (Table 2: 6 cycles total, 5 of them bus).
-  Bump(params_->word_write_through_total - params_->word_write_through_bus);
+  Cycles issue = params_->word_write_through_total - params_->word_write_through_bus;
+  Bump(issue);
+  ChargeProf(obs::CostCenter::kMemWrite, issue);
   Cycles grant = bus_->Write(now(), params_->word_write_through_bus, paddr, value, size, logged,
                              id_);
   write_buffer_.push_back(grant + params_->word_write_through_bus);

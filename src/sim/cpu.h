@@ -24,6 +24,7 @@
 #include "src/base/check.h"
 #include "src/base/types.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/sim/bus.h"
 #include "src/sim/interfaces.h"
 #include "src/sim/l2_cache.h"
@@ -52,25 +53,35 @@ class Cpu {
   void set_log_sink(LoggedWriteSink* sink) { log_sink_ = sink; }
   // Optional analysis hook observing every translated access (src/race).
   void set_access_observer(MemoryAccessObserver* observer) { access_observer_ = observer; }
+  // Optional cycle-attribution profiler; this CPU charges lane `id()`.
+  // Charges never advance the clock, so attribution cannot perturb timing.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
   // Spends `cycles` of pure computation. Buffered write-throughs drain in
   // the background during this time.
   void Compute(Cycles cycles) {
     compute_cycles_.Add(cycles);
     Bump(cycles);
+    ChargeProf(obs::CostCenter::kCompute, cycles);
   }
 
   // Advances the clock to `time` if it is in the future (used by the kernel
-  // to model suspensions and interrupt handling).
-  void AdvanceTo(Cycles time) {
+  // to model suspensions and interrupt handling). The stalled-for cycles
+  // are attributed to `center` (overload park, drain waits, ...).
+  void AdvanceTo(Cycles time, obs::CostCenter center = obs::CostCenter::kStall) {
     Cycles current = now();
     if (time > current) {
       stall_cycles_.Add(time - current);
       now_.store(time, std::memory_order_relaxed);
+      ChargeProf(center, time - current);
     }
   }
-  // Charges `cycles` of kernel overhead to this CPU.
-  void AddCycles(Cycles cycles) { Bump(cycles); }
+  // Charges `cycles` of kernel overhead to this CPU, attributed to `center`
+  // (kKernel charges the innermost open profiler scope).
+  void AddCycles(Cycles cycles, obs::CostCenter center = obs::CostCenter::kKernel) {
+    Bump(cycles);
+    ChargeProf(center, cycles);
+  }
 
   // Loads `size` (1, 2, or 4) bytes at virtual address `va`.
   uint32_t Read(VirtAddr va, uint8_t size = 4);
@@ -105,6 +116,14 @@ class Cpu {
     now_.store(now_.load(std::memory_order_relaxed) + cycles, std::memory_order_relaxed);
   }
 
+  // Every clock mutation pairs with a charge through here (or AdvanceTo),
+  // which is what makes per-lane attribution conserve cpu.now() - baseline.
+  void ChargeProf(obs::CostCenter center, Cycles cycles) {
+    if (profiler_ != nullptr) {
+      profiler_->Charge(id_, center, cycles);
+    }
+  }
+
   const int id_;
   const MachineParams* params_;
   Bus* bus_;
@@ -114,6 +133,7 @@ class Cpu {
   PageFaultHandler* fault_handler_ = nullptr;
   LoggedWriteSink* log_sink_ = nullptr;
   MemoryAccessObserver* access_observer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 
   std::atomic<Cycles> now_{0};
 

@@ -93,6 +93,9 @@ void LvmStateSaver::Rollback(Cpu* cpu, VirtualTime to) {
   LVM_CHECK_MSG(to >= checkpoint_time_,
                 "cannot roll back before the checkpoint (GVT guarantee violated)");
   ++rollbacks_;
+  // Nested kernel scopes (SyncLog, ResetDeferredCopy, TruncateLogTo) become
+  // children of timewarp/rollback in the profile tree.
+  LVM_PROF_SCOPE(system_->profiler(), cpu->id(), obs::CostCenter::kRollback);
   system_->SyncLog(cpu, log_);
   LogReader reader(system_->memory(), *log_);
   size_t cut = FindCut(reader, to);

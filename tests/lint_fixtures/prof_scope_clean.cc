@@ -1,0 +1,18 @@
+// Fixture: explicit profiler scopes opened and closed in matched numbers,
+// plus the RAII form, which cannot unbalance.
+#include "src/obs/profiler.h"
+
+namespace lvm {
+
+void FaultPath(obs::Profiler* profiler, int lane) {
+  LVM_PROF_BEGIN(profiler, lane, obs::CostCenter::kVmFault);
+  // ... handle the fault ...
+  LVM_PROF_END(profiler, lane);
+}
+
+void CheckpointPath(obs::Profiler* profiler, int lane) {
+  LVM_PROF_SCOPE(profiler, lane, obs::CostCenter::kCheckpoint);
+  // ... checkpoint ...
+}
+
+}  // namespace lvm

@@ -1,0 +1,13 @@
+// Fixture: an explicit profiler scope opened without its matching close.
+#include "src/obs/profiler.h"
+
+namespace lvm {
+
+void FaultPath(obs::Profiler* profiler, int lane) {
+  LVM_PROF_BEGIN(profiler, lane, obs::CostCenter::kVmFault);
+  // ... handle the fault ...
+  // BUG: never calls LVM_PROF_END, so every later cycle on this lane is
+  // charged to vm/page_fault.
+}
+
+}  // namespace lvm

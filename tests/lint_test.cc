@@ -111,6 +111,28 @@ TEST(LintRules, CheckMacroClean) {
   EXPECT_TRUE(result.violations.empty());
 }
 
+TEST(LintRules, ProfScopeViolation) {
+  LintResult result = LintFixture("prof_scope_violation.cc");
+  ExpectOnlyRule(result, Rule::kProfScope);
+  EXPECT_EQ(ExitCodeFor(result), 15);
+}
+
+TEST(LintRules, ProfScopeClean) {
+  LintResult result = LintFixture("prof_scope_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintRules, ProfScopeDefinitionHeaderIsBalanced) {
+  // The profiler header defines each marker macro exactly once, so the
+  // counting rule must see the definitions themselves as balanced.
+  LintResult result;
+  std::string error;
+  ASSERT_TRUE(LintPaths({std::string(LVM_SOURCE_ROOT) + "/src/obs/profiler.h"}, LintOptions{},
+                        &result, &error))
+      << error;
+  EXPECT_TRUE(result.violations.empty());
+}
+
 TEST(LintSuppression, AllowCommentSilencesBothStyles) {
   LintResult result = LintFixture("raw_store_suppressed.cc");
   EXPECT_TRUE(result.violations.empty());
@@ -141,7 +163,7 @@ TEST(LintExitCodes, MixedRulesCollapseToGenericFailure) {
 
 TEST(LintExitCodes, RuleNamesRoundTrip) {
   for (Rule rule : {Rule::kRawStore, Rule::kFlightPairing, Rule::kMetricName,
-                    Rule::kSchemaVersion, Rule::kCheckMacro}) {
+                    Rule::kSchemaVersion, Rule::kCheckMacro, Rule::kProfScope}) {
     Rule parsed;
     ASSERT_TRUE(ParseRuleName(RuleName(rule), &parsed)) << RuleName(rule);
     EXPECT_EQ(parsed, rule);

@@ -1,0 +1,323 @@
+// Tests of the cycle-attribution profiler (DESIGN.md §14): conservation
+// (per-CPU attributed cycles == clock advance) across serial, overload,
+// deferred-copy, and parallel-engine runs; zero perturbation of simulated
+// time; the strict-JSON lvm.profile.v1 export and flamegraph text; the
+// drain-path attribution of the overload threshold; the live telemetry
+// stream; and the flight-recorder ring wraparound drop accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/check/invariant_checker.h"
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json.h"
+#include "src/obs/profiler.h"
+#include "src/obs/schema_ids.h"
+#include "src/obs/telemetry.h"
+#include "src/par/engine.h"
+
+namespace lvm {
+namespace {
+
+using obs::CostCenter;
+
+// Bench profiles disable wall sampling for determinism; tests do the same.
+obs::ProfilerConfig QuietConfig() {
+  obs::ProfilerConfig config;
+  config.wall_sampling = false;
+  return config;
+}
+
+// A paced logged-write workload: `count` writes through an attached log.
+void RunLoggedWrites(LvmSystem* system, uint32_t count, uint32_t pace) {
+  Cpu& cpu = system->cpu();
+  StdSegment* segment = system->CreateSegment(16 * kPageSize);
+  Region* region = system->CreateRegion(segment);
+  LogSegment* log = system->CreateLogSegment(128);
+  AddressSpace* as = system->CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system->AttachLog(region, log);
+  system->Activate(as);
+  system->TouchRegion(&cpu, region);
+  for (uint32_t i = 0; i < count; ++i) {
+    cpu.Write(base + 4 * (i % 4096), i);
+    cpu.Compute(pace);
+  }
+  cpu.DrainWriteBuffer();
+  system->SyncLog(&cpu, log);
+}
+
+TEST(ProfilerConservation, SerialLoggedRun) {
+  LvmSystem system;
+  obs::Profiler* profiler = system.EnableProfiler(QuietConfig());
+  InvariantChecker checker(&system);
+  RunLoggedWrites(&system, 2000, 300);
+
+  checker.CheckProfilerConservation();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_EQ(profiler->LaneAttributed(0),
+            system.cpu().now() - profiler->lane_baseline(0));
+  EXPECT_GT(profiler->CenterCycles(0, CostCenter::kCompute), 0u);
+  EXPECT_GT(profiler->CenterCycles(0, CostCenter::kMemWrite), 0u);
+}
+
+TEST(ProfilerConservation, OverloadRunAttributesDrainPath) {
+  // Figure 11's c=0 point: back-to-back logged writes overload the FIFO.
+  LvmSystem system;
+  obs::Profiler* profiler = system.EnableProfiler(QuietConfig());
+  InvariantChecker checker(&system);
+  Cpu& cpu = system.cpu();
+  uint32_t span = 64 * kPageSize;
+  StdSegment* segment = system.CreateSegment(span);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment(128);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as);
+  system.TouchRegion(&cpu, region);
+  cpu.DrainWriteBuffer();
+  uint32_t address = 0;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    cpu.Write(base + address, i);
+    address = (address + 4) % span;
+  }
+  cpu.DrainWriteBuffer();
+  ASSERT_GT(system.overload_suspensions(), 0u);
+
+  checker.CheckProfilerConservation();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+
+  // The attribution the paper's overload threshold demands on sight: the
+  // CPU's time goes to parking, the logger's to the overload drain.
+  Cycles park = profiler->CenterCycles(0, CostCenter::kOverloadPark);
+  EXPECT_GT(park, profiler->CenterCycles(0, CostCenter::kCompute));
+  EXPECT_GT(park, profiler->CenterCycles(0, CostCenter::kMemWrite));
+  EXPECT_GT(park, profiler->CenterCycles(0, CostCenter::kStall));
+  int logger = profiler->logger_lane();
+  EXPECT_GT(profiler->CenterCycles(logger, CostCenter::kLogDrain),
+            profiler->CenterCycles(logger, CostCenter::kLogEmit));
+}
+
+TEST(ProfilerConservation, DeferredCopyRun) {
+  LvmSystem system;
+  obs::Profiler* profiler = system.EnableProfiler(QuietConfig());
+  InvariantChecker checker(&system);
+  Cpu& cpu = system.cpu();
+  constexpr uint32_t kSize = 8 * kPageSize;
+  StdSegment* checkpoint = system.CreateSegment(kSize);
+  StdSegment* working = system.CreateSegment(kSize);
+  working->SetSourceSegment(checkpoint);
+  AddressSpace* as = system.CreateAddressSpace();
+  Region* working_region = system.CreateRegion(working);
+  system.CreateRegion(checkpoint);
+  VirtAddr working_base = as->BindRegion(working_region);
+  system.Activate(as);
+  for (uint32_t i = 0; i < kSize / 4; i += 64) {
+    cpu.Write(working_base + 4 * i, i);
+  }
+  system.ResetDeferredCopy(&cpu, as, working_base, working_base + kSize);
+
+  checker.CheckProfilerConservation();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_GT(profiler->CenterCycles(0, CostCenter::kDeferredCopy), 0u);
+}
+
+TEST(ProfilerConservation, ParallelEngineWorkers) {
+  constexpr int kWorkers = 4;
+  LvmConfig config;
+  config.num_cpus = kWorkers;
+  LvmSystem system(config);
+  system.EnableProfiler(QuietConfig());
+  AddressSpace* as = system.CreateAddressSpace();
+  std::vector<Region*> regions;
+  std::vector<LogSegment*> logs;
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < kWorkers; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(4 * kPageSize));
+    bases.push_back(as->BindRegion(region));
+    LogSegment* log = system.CreateLogSegment(8);
+    system.AttachLog(region, log);
+    regions.push_back(region);
+    logs.push_back(log);
+  }
+  for (int i = 0; i < kWorkers; ++i) {
+    system.Activate(as, i);
+  }
+  par::ParallelEngine engine(&system, par::EngineConfig{});
+  for (int i = 0; i < kWorkers; ++i) {
+    system.TouchRegion(&system.cpu(i), regions[i]);
+    VirtAddr base = bases[i];
+    engine.AddWorker(logs[i], [base](Cpu& cpu, uint64_t step) {
+      cpu.Write(base + 4 * (step % 4096), static_cast<uint32_t>(step));
+      cpu.Compute(32);
+      return step + 1 < 2000;
+    });
+  }
+  engine.Run();
+
+  InvariantChecker checker(&system);
+  checker.CheckProfilerConservation();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+TEST(ProfilerPerturbation, EnabledRunMatchesDisabledCycleForCycle) {
+  LvmSystem plain;
+  RunLoggedWrites(&plain, 1500, 50);
+
+  LvmSystem profiled;
+  profiled.EnableProfiler(QuietConfig());
+  RunLoggedWrites(&profiled, 1500, 50);
+
+  // Charges never advance a clock: identical workload, identical timeline.
+  EXPECT_EQ(plain.cpu().now(), profiled.cpu().now());
+  EXPECT_EQ(plain.GetStats().records_logged, profiled.GetStats().records_logged);
+  EXPECT_EQ(plain.profiler(), nullptr);
+}
+
+TEST(ProfilerExport, StrictJsonWithConservedLanes) {
+  LvmSystem system;
+  system.EnableProfiler(QuietConfig());
+  RunLoggedWrites(&system, 500, 100);
+
+  const std::string json = system.ProfileJson();
+  ASSERT_TRUE(obs::ValidateJson(json)) << json;
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(json, &root, &error)) << error;
+  EXPECT_EQ(root.GetString("schema"), obs::kProfileSchema);
+  const obs::JsonValue* lanes = root.Find("lanes");
+  ASSERT_NE(lanes, nullptr);
+  ASSERT_EQ(lanes->Items().size(), 2u);  // cpu0 + logger
+  const obs::JsonValue& cpu0 = lanes->Items()[0];
+  EXPECT_EQ(cpu0.GetString("kind"), "cpu");
+  EXPECT_TRUE(cpu0.GetBool("conserved"));
+  EXPECT_EQ(cpu0.GetUint64("attributed"),
+            cpu0.GetUint64("clock") - cpu0.GetUint64("baseline"));
+  EXPECT_FALSE(cpu0.Find("nodes")->Items().empty());
+  EXPECT_EQ(lanes->Items()[1].GetString("kind"), "logger");
+}
+
+TEST(ProfilerExport, ScopedHierarchyAndFlameText) {
+  obs::Profiler profiler(1, QuietConfig());
+  profiler.PushScope(0, CostCenter::kVmFault);
+  profiler.Charge(0, CostCenter::kStall, 7);
+  // Generic kernel cycles land in the innermost open scope, not a child.
+  profiler.Charge(0, CostCenter::kKernel, 3);
+  profiler.PopScope(0);
+  profiler.Charge(0, CostCenter::kCompute, 5);
+
+  const std::string json = profiler.ExportJson({15, 0});
+  ASSERT_TRUE(obs::ValidateJson(json)) << json;
+  EXPECT_NE(json.find("vm/page_fault;stall"), std::string::npos) << json;
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(json, &root, &error)) << error;
+  EXPECT_TRUE(root.Find("lanes")->Items()[0].GetBool("conserved"));
+  EXPECT_EQ(profiler.CenterCycles(0, CostCenter::kVmFault), 3u);
+
+  const std::string flame = profiler.FlameText();
+  EXPECT_NE(flame.find("cpu0;vm/page_fault;stall 7"), std::string::npos) << flame;
+}
+
+TEST(ProfilerExport, PoolExhaustionChargesParentAndStaysConserved) {
+  obs::ProfilerConfig config = QuietConfig();
+  config.nodes_per_lane = 2;  // Root plus one child.
+  obs::Profiler profiler(1, config);
+  profiler.Charge(0, CostCenter::kCompute, 5);
+  profiler.Charge(0, CostCenter::kMemRead, 3);   // Pool full: charges root.
+  profiler.Charge(0, CostCenter::kMemWrite, 0);  // Zero charges are dropped.
+
+  EXPECT_GT(profiler.dropped_charges(), 0u);
+  EXPECT_EQ(profiler.LaneAttributed(0), 8u);  // Nothing lost, just coarser.
+}
+
+TEST(TelemetryStream, EmitsValidNdjsonLines) {
+  LvmSystem system;
+  system.EnableProfiler(QuietConfig());
+  const std::string path = ::testing::TempDir() + "/telemetry_test.ndjson";
+  obs::TelemetryStream stream(&system.metrics(), system.profiler());
+  obs::TelemetryConfig config;
+  config.interval_ms = 5;
+  ASSERT_TRUE(stream.Start(path, config));
+  RunLoggedWrites(&system, 1000, 100);
+  stream.Stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ASSERT_TRUE(obs::ValidateJson(line)) << line;
+    obs::JsonValue root;
+    std::string error;
+    ASSERT_TRUE(obs::ParseJson(line, &root, &error)) << error;
+    EXPECT_EQ(root.GetString("schema"), obs::kTelemetrySchema);
+    EXPECT_NE(root.Find("profile"), nullptr);
+    ++lines;
+  }
+  EXPECT_GE(lines, 1u);  // Stop() always emits a final sample.
+  EXPECT_EQ(stream.lines_emitted(), lines);
+  std::remove(path.c_str());
+}
+
+// Satellite: flight-recorder ring wraparound under concurrent per-CPU
+// writers at capacity — drop counters must be exact, not approximate.
+TEST(FlightRingWraparound, ExactDropAccountingUnderConcurrency) {
+  constexpr int kCpus = 4;
+  constexpr size_t kCapacity = 64;
+  constexpr uint64_t kEvents = 200;
+  obs::FlightConfig config;
+  config.ring_capacity = kCapacity;
+  config.sync_interval = 0;  // No interleaved sync events: counts are exact.
+  obs::FlightRecorder recorder(kCpus, config);
+
+  std::vector<std::thread> writers;
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    writers.emplace_back([&recorder, cpu] {
+      for (uint64_t i = 0; i < kEvents; ++i) {
+        recorder.Record(cpu, obs::FlightEventKind::kMarker, i, "wrap",
+                        static_cast<uint64_t>(cpu), i);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+
+  EXPECT_EQ(recorder.events_recorded(), kCpus * kEvents);
+  EXPECT_EQ(recorder.events_dropped(), kCpus * (kEvents - kCapacity));
+  EXPECT_EQ(recorder.occupancy(), kCpus * kCapacity);
+
+  std::vector<obs::FlightEvent> merged = recorder.MergedEvents();
+  ASSERT_EQ(merged.size(), kCpus * kCapacity);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GT(merged[i].seq, merged[i - 1].seq);
+  }
+  // Overwrite-oldest: each ring retains exactly its most recent kCapacity
+  // events, in order.
+  std::vector<std::vector<uint64_t>> per_ring(kCpus);
+  for (const obs::FlightEvent& e : merged) {
+    per_ring[e.ring].push_back(e.a1);
+  }
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    ASSERT_EQ(per_ring[cpu].size(), kCapacity);
+    std::sort(per_ring[cpu].begin(), per_ring[cpu].end());
+    for (size_t i = 0; i < kCapacity; ++i) {
+      EXPECT_EQ(per_ring[cpu][i], kEvents - kCapacity + i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lvm

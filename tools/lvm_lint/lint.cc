@@ -16,8 +16,8 @@ namespace lint {
 
 namespace {
 
-constexpr Rule kAllRules[] = {Rule::kRawStore, Rule::kFlightPairing, Rule::kMetricName,
-                              Rule::kSchemaVersion, Rule::kCheckMacro};
+constexpr Rule kAllRules[] = {Rule::kRawStore,      Rule::kFlightPairing, Rule::kMetricName,
+                              Rule::kSchemaVersion, Rule::kCheckMacro,    Rule::kProfScope};
 
 // --- tokenizer -------------------------------------------------------------
 //
@@ -305,6 +305,7 @@ class FileLinter {
     CheckMetricNames();
     CheckSchemaVersions();
     CheckCheckMacro();
+    CheckProfScope();
   }
 
  private:
@@ -467,6 +468,38 @@ class FileLinter {
     }
   }
 
+  // prof-scope: explicit profiler scope markers must balance within a file.
+  // An unmatched LVM_PROF_BEGIN leaves a scope open and silently charges
+  // every later cycle to the wrong cost center; an unmatched LVM_PROF_END
+  // pops a scope someone else opened. (The RAII LVM_PROF_SCOPE cannot
+  // unbalance and is exempt.) Same lexical shape as flight-pairing: the
+  // profiler's own header defines each macro exactly once, so it stays
+  // balanced by construction.
+  void CheckProfScope() {
+    int begin_count = 0;
+    int end_count = 0;
+    int last_line = 0;
+    for (const Token& t : tokens_) {
+      if (t.kind != Token::Kind::kIdentifier) {
+        continue;
+      }
+      if (t.text == "LVM_PROF_BEGIN") {
+        ++begin_count;
+        last_line = t.line;
+      } else if (t.text == "LVM_PROF_END") {
+        ++end_count;
+        last_line = t.line;
+      }
+    }
+    if (begin_count != end_count) {
+      Emit(Rule::kProfScope, last_line,
+           "unbalanced profiler scopes: LVM_PROF_BEGIN x" + std::to_string(begin_count) +
+               " vs LVM_PROF_END x" + std::to_string(end_count) +
+               " in this file; an open scope mis-attributes every cycle charged after it "
+               "(prefer the RAII LVM_PROF_SCOPE)");
+    }
+  }
+
   const std::string path_;
   const LintOptions& options_;
   LintResult* result_;
@@ -493,6 +526,8 @@ const char* RuleName(Rule rule) {
       return "schema-version";
     case Rule::kCheckMacro:
       return "check-macro";
+    case Rule::kProfScope:
+      return "prof-scope";
   }
   return "unknown";
 }
@@ -509,6 +544,8 @@ int RuleExitCode(Rule rule) {
       return 13;
     case Rule::kCheckMacro:
       return 14;
+    case Rule::kProfScope:
+      return 15;
   }
   return 1;
 }

@@ -23,6 +23,11 @@
 //   check-macro     (exit 14)  `assert(...)` in non-test code; LVM_CHECK is
 //                              the project invariant macro (always on, flight
 //                              recorded, black-box dumping).
+//   prof-scope      (exit 15)  LVM_PROF_BEGIN and LVM_PROF_END used in
+//                              unmatched numbers within a file: an open
+//                              profiler scope mis-attributes every cycle
+//                              charged after it (prefer the RAII
+//                              LVM_PROF_SCOPE, which cannot unbalance).
 //
 // A finding is silenced by `// lvm-lint: allow(<rule>)` on the same or the
 // preceding line. Exit codes: 0 clean, the rule's code when all violations
@@ -44,13 +49,14 @@ enum class Rule : uint8_t {
   kMetricName,
   kSchemaVersion,
   kCheckMacro,
+  kProfScope,
 };
 
 inline constexpr int kUsageError = 2;
 
 // Stable rule slug ("raw-store", ...), used in reports and allow() comments.
 const char* RuleName(Rule rule);
-// The rule's dedicated process exit code (10..14).
+// The rule's dedicated process exit code (10..15).
 int RuleExitCode(Rule rule);
 // Parses a slug back to its rule; false if unknown.
 bool ParseRuleName(std::string_view name, Rule* out);

@@ -1,0 +1,290 @@
+// lvm-prof: reader CLI over lvm.profile.v1 cycle-attribution profiles.
+//
+// Default mode renders, per lane, the top-N cost-center paths by attributed
+// cycles with their share of the lane and their wall-clock sample counts,
+// plus the lane conservation verdict (attributed == clock - baseline).
+//
+// Modes:
+//   lvm-prof [--top=N] PROFILE...      render each profile (exit 1 on parse
+//                                      failure or a non-conserved CPU lane)
+//   lvm-prof --flame PROFILE           collapsed-stack output on stdout,
+//                                      one "lane;path cycles" line per node,
+//                                      ready for flamegraph.pl
+//   lvm-prof --diff OLD NEW            per-(lane,path) cycle deltas between
+//                                      two profiles, sorted by |delta|
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lvm-prof [--top=N] PROFILE...\n"
+               "       lvm-prof --flame PROFILE\n"
+               "       lvm-prof --diff OLD NEW\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool LoadProfile(const std::string& path, obs::JsonValue* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "lvm-prof: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!obs::ParseJson(text, out, &error)) {
+    std::fprintf(stderr, "lvm-prof: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  std::string schema = out->GetString("schema");
+  if (schema != obs::kProfileSchema) {
+    std::fprintf(stderr, "lvm-prof: %s: schema \"%s\" is not %s\n", path.c_str(),
+                 schema.c_str(), obs::kProfileSchema);
+    return false;
+  }
+  return true;
+}
+
+struct NodeRow {
+  std::string path;
+  uint64_t cycles = 0;
+  uint64_t wall_samples = 0;
+};
+
+std::vector<NodeRow> LaneNodes(const obs::JsonValue& lane) {
+  std::vector<NodeRow> rows;
+  const obs::JsonValue* nodes = lane.Find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    return rows;
+  }
+  rows.reserve(nodes->size());
+  for (const obs::JsonValue& node : nodes->Items()) {
+    rows.push_back(NodeRow{node.GetString("path"), node.GetUint64("cycles"),
+                           node.GetUint64("wall_samples")});
+  }
+  return rows;
+}
+
+// Default mode: per-lane top-N table. A CPU lane that fails conservation
+// flips the exit code — the profile itself is evidence of a charge leak.
+int Render(const obs::JsonValue& profile, const std::string& path, size_t top) {
+  std::printf("=== %s ===\n", path.c_str());
+  double hz = profile.GetDouble("cycles_per_second", 0.0);
+  if (hz > 0) {
+    std::printf("clock: %.0f cycles/s\n", hz);
+  }
+  int exit_code = 0;
+  const obs::JsonValue* lanes = profile.Find("lanes");
+  if (lanes == nullptr || !lanes->is_array()) {
+    std::fprintf(stderr, "lvm-prof: %s: no lanes\n", path.c_str());
+    return 1;
+  }
+  for (const obs::JsonValue& lane : lanes->Items()) {
+    std::string name = lane.GetString("name");
+    uint64_t attributed = lane.GetUint64("attributed");
+    bool conserved = lane.GetBool("conserved", true);
+    bool is_cpu = lane.GetString("kind") == "cpu";
+    std::printf("\nlane %s: %" PRIu64 " cycles attributed%s\n", name.c_str(), attributed,
+                conserved ? "" : "  ** NOT CONSERVED **");
+    if (is_cpu && !conserved) {
+      exit_code = 1;
+    }
+    std::vector<NodeRow> rows = LaneNodes(lane);
+    std::sort(rows.begin(), rows.end(),
+              [](const NodeRow& a, const NodeRow& b) { return a.cycles > b.cycles; });
+    size_t shown = std::min(top, rows.size());
+    for (size_t i = 0; i < shown; ++i) {
+      double pct = attributed > 0 ? 100.0 * static_cast<double>(rows[i].cycles) /
+                                        static_cast<double>(attributed)
+                                  : 0.0;
+      std::printf("  %12" PRIu64 "  %5.1f%%  %-40s", rows[i].cycles, pct,
+                  rows[i].path.c_str());
+      if (rows[i].wall_samples > 0) {
+        std::printf("  (%" PRIu64 " wall samples)", rows[i].wall_samples);
+      }
+      std::printf("\n");
+    }
+    if (rows.size() > shown) {
+      std::printf("  ... %zu more path(s)\n", rows.size() - shown);
+    }
+  }
+  uint64_t dropped = profile.GetUint64("dropped_charges");
+  if (dropped > 0) {
+    std::printf("\ndropped_charges: %" PRIu64 " (node pool exhausted; charges folded "
+                "into parents)\n",
+                dropped);
+  }
+  return exit_code;
+}
+
+// --flame: collapsed stacks, the same format Profiler::FlameText emits, but
+// reconstructed from the JSON so archived profiles can be flamed too.
+int Flame(const obs::JsonValue& profile) {
+  const obs::JsonValue* lanes = profile.Find("lanes");
+  if (lanes == nullptr || !lanes->is_array()) {
+    return 1;
+  }
+  for (const obs::JsonValue& lane : lanes->Items()) {
+    std::string name = lane.GetString("name");
+    for (const NodeRow& row : LaneNodes(lane)) {
+      if (row.cycles == 0) {
+        continue;
+      }
+      std::printf("%s;%s %" PRIu64 "\n", name.c_str(), row.path.c_str(), row.cycles);
+    }
+  }
+  return 0;
+}
+
+// --diff: (lane, path) -> cycles from both profiles, rendered as signed
+// deltas sorted by magnitude. Paths present on only one side diff against
+// zero, so regressions that introduce a whole new cost center surface too.
+int Diff(const obs::JsonValue& old_profile, const obs::JsonValue& new_profile) {
+  std::map<std::string, std::pair<uint64_t, uint64_t>> cycles;  // key -> (old, new)
+  for (int side = 0; side < 2; ++side) {
+    const obs::JsonValue& profile = side == 0 ? old_profile : new_profile;
+    const obs::JsonValue* lanes = profile.Find("lanes");
+    if (lanes == nullptr || !lanes->is_array()) {
+      continue;
+    }
+    for (const obs::JsonValue& lane : lanes->Items()) {
+      std::string name = lane.GetString("name");
+      for (const NodeRow& row : LaneNodes(lane)) {
+        auto& slot = cycles[name + ";" + row.path];
+        (side == 0 ? slot.first : slot.second) += row.cycles;
+      }
+    }
+  }
+  struct DiffRow {
+    std::string key;
+    uint64_t old_cycles;
+    uint64_t new_cycles;
+  };
+  std::vector<DiffRow> rows;
+  rows.reserve(cycles.size());
+  for (const auto& [key, pair] : cycles) {
+    if (pair.first != pair.second) {
+      rows.push_back(DiffRow{key, pair.first, pair.second});
+    }
+  }
+  auto magnitude = [](const DiffRow& row) {
+    return row.new_cycles > row.old_cycles ? row.new_cycles - row.old_cycles
+                                           : row.old_cycles - row.new_cycles;
+  };
+  std::sort(rows.begin(), rows.end(), [&](const DiffRow& a, const DiffRow& b) {
+    return magnitude(a) > magnitude(b);
+  });
+  if (rows.empty()) {
+    std::printf("profiles are identical\n");
+    return 0;
+  }
+  for (const DiffRow& row : rows) {
+    int64_t delta = static_cast<int64_t>(row.new_cycles) - static_cast<int64_t>(row.old_cycles);
+    double pct = row.old_cycles > 0 ? 100.0 * static_cast<double>(delta) /
+                                          static_cast<double>(row.old_cycles)
+                                    : 0.0;
+    std::printf("  %+12" PRId64 "  %12" PRIu64 " -> %-12" PRIu64, delta, row.old_cycles,
+                row.new_cycles);
+    if (row.old_cycles > 0) {
+      std::printf("  %+7.1f%%", pct);
+    } else {
+      std::printf("      new");
+    }
+    std::printf("  %s\n", row.key.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  size_t top = 10;
+  bool flame = false;
+  bool diff = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) {
+      top = static_cast<size_t>(std::strtoull(arg.c_str() + 6, nullptr, 10));
+      if (top == 0) {
+        top = 1;
+      }
+    } else if (arg == "--flame") {
+      flame = true;
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lvm-prof: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (diff) {
+    if (flame || paths.size() != 2) {
+      return Usage();
+    }
+    obs::JsonValue old_profile;
+    obs::JsonValue new_profile;
+    if (!LoadProfile(paths[0], &old_profile) || !LoadProfile(paths[1], &new_profile)) {
+      return 1;
+    }
+    return Diff(old_profile, new_profile);
+  }
+  if (flame) {
+    if (paths.size() != 1) {
+      return Usage();
+    }
+    obs::JsonValue profile;
+    if (!LoadProfile(paths[0], &profile)) {
+      return 1;
+    }
+    return Flame(profile);
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    obs::JsonValue profile;
+    if (!LoadProfile(path, &profile)) {
+      exit_code = 1;
+      continue;
+    }
+    int rc = Render(profile, path, top);
+    if (rc != 0) {
+      exit_code = rc;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main(int argc, char** argv) { return lvm::Main(argc, argv); }

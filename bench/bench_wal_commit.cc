@@ -1,0 +1,155 @@
+// Durable-WAL commit throughput versus the group-commit window (real host,
+// wall clock — the durability companion to ablation A5).
+//
+// Sweeps WalOptions::group_commit_window over a fixed commit workload: each
+// run appends the same sequence of framed commits to a fresh arena, then
+// reopens and replays it like a recovering process would. A window of 1
+// msyncs every commit (the conventional synchronous WAL); wider windows
+// amortize the sync over the group, which is where group commit earns its
+// keep. The framing work (checksums, block chaining) is identical across
+// windows, so the sweep isolates the sync cost.
+//
+// The deterministic columns (flushes, bytes appended, recovered commits)
+// are exact functions of the workload and land in the JSON for regression
+// diffing; wall-clock timings use *_wall_ms keys, which scripts/perf_diff.py
+// ignores by convention.
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hostlvm/wal_arena.h"
+#include "src/hostlvm/wal_layout.h"
+#include "src/obs/profiler.h"
+
+namespace lvm {
+namespace {
+
+constexpr uint64_t kCommits = 2000;
+constexpr uint32_t kRecordsPerCommit = 16;
+constexpr uint64_t kBlocks = 512;  // Holds the whole workload untruncated.
+
+struct RunResult {
+  double append_wall_ms = 0;
+  double replay_wall_ms = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t flushes = 0;
+  uint64_t recovered_commits = 0;
+};
+
+std::string ArenaPath() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/bench_wal_commit.wal";
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+RunResult RunWindow(uint32_t window) {
+  const std::string path = ArenaPath();
+  WalOptions options;
+  options.blocks = kBlocks;
+  options.group_commit_window = window;
+  options.group_commit_bytes = ~uint64_t{0};  // The window is the only bound.
+  std::string error;
+  RunResult result;
+  {
+    auto wal = WalArena::Create(path, options, &error);
+    if (wal == nullptr) {
+      std::fprintf(stderr, "WalArena::Create: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::vector<WalRecord> records(kRecordsPerCommit);
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kCommits; ++i) {
+      for (uint32_t j = 0; j < kRecordsPerCommit; ++j) {
+        records[j].offset = (i * 52 + j * 28) % 4096 & ~uint64_t{3};
+        records[j].value = static_cast<uint32_t>(i * kRecordsPerCommit + j + 1);
+        records[j].size = 4;
+      }
+      uint64_t seq = wal->Append(records, /*timestamp_ns=*/i);
+      if (seq == 0) {
+        std::fprintf(stderr, "WAL arena out of space at commit %llu\n",
+                     static_cast<unsigned long long>(i));
+        std::exit(1);
+      }
+    }
+    if (!wal->Flush()) {
+      std::fprintf(stderr, "final flush failed\n");
+      std::exit(1);
+    }
+    result.append_wall_ms = MsSince(start);
+    result.bytes_appended = wal->bytes_appended();
+    result.flushes = wal->flushes();
+  }
+  {
+    auto wal = WalArena::Open(path, &error);
+    if (wal == nullptr) {
+      std::fprintf(stderr, "WalArena::Open: %s\n", error.c_str());
+      std::exit(1);
+    }
+    auto start = std::chrono::steady_clock::now();
+    WalRecoveryStats stats = wal->Replay([](const WalRecoveredCommit&) {});
+    result.replay_wall_ms = MsSince(start);
+    result.recovered_commits = stats.commits_applied;
+  }
+  std::remove(path.c_str());
+  return result;
+}
+
+void Run(const bench::Options& opts) {
+  const char* claim =
+      "group commit amortizes the per-flush msync: throughput rises with the "
+      "window while the framed bytes stay constant";
+  bench::Header("WAL commit throughput vs group-commit window", claim);
+  bench::JsonTable table("wal_commit", claim);
+
+  std::printf("%-10s %-14s %-14s %-12s %-14s %-14s\n", "window", "append (ms)", "commits/s",
+              "flushes", "bytes", "replay (ms)");
+  for (uint32_t window : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    RunResult r = RunWindow(window);
+    const double commits_per_sec =
+        r.append_wall_ms > 0 ? kCommits * 1000.0 / r.append_wall_ms : 0;
+    bench::Row("%-10u %-14.2f %-14.0f %-12llu %-14llu %-14.2f", window, r.append_wall_ms,
+               commits_per_sec, static_cast<unsigned long long>(r.flushes),
+               static_cast<unsigned long long>(r.bytes_appended), r.replay_wall_ms);
+    table.BeginRow();
+    table.Value("window", window);
+    table.Value("commits", kCommits);
+    table.Value("records_per_commit", kRecordsPerCommit);
+    table.Value("flushes", r.flushes);
+    table.Value("bytes_appended", r.bytes_appended);
+    table.Value("recovered_commits", r.recovered_commits);
+    table.Value("append_wall_ms", r.append_wall_ms);
+    table.Value("replay_wall_ms", r.replay_wall_ms);
+  }
+  std::printf("\n");
+  bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.profile_path.empty()) {
+    // Wall-clock bench: no simulated cycles to attribute. Honour the
+    // repo-wide --profile= contract with an empty-but-valid profile.
+    obs::ProfilerConfig config;
+    config.wall_sampling = false;
+    obs::Profiler profiler(1, config);
+    std::vector<Cycles> clocks(static_cast<size_t>(profiler.num_lanes()), 0);
+    if (!profiler.WriteJsonFile(opts.profile_path, clocks)) {
+      std::fprintf(stderr, "failed to write %s\n", opts.profile_path.c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s\n", opts.profile_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main(int argc, char** argv) {
+  lvm::Run(lvm::bench::ParseOptions(argc, argv));
+  return 0;
+}

@@ -43,6 +43,7 @@ benches=(
   bench_fig10_logged_writes
   bench_fig11_overload
   bench_fig12_overload_events
+  bench_wal_commit
 )
 if [[ "${run_all}" -eq 1 ]]; then
   benches+=(

@@ -12,9 +12,12 @@
 #   6. (--static-only) the repo's own static checkers: build lvm-lint and run
 #      it over src/ with a JSON report at bench-results/LINT_REPORT.json, and
 #      -- when the compiler is clang -- a -Wthread-safety -Werror build of the
-#      whole tree (LVM_THREAD_SAFETY=ON).
+#      whole tree (LVM_THREAD_SAFETY=ON);
+#   7. (--wal-only) the durable-WAL suite (crash matrix + property test)
+#      under ASan+UBSan, collecting every cell's lvm.walbox.v1 post-mortem
+#      dump to bench-results/walbox/ and validating each as strict JSON.
 #
-# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only]
+# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only|--wal-only]
 # Build trees go under build-check/ (kept out of git by .gitignore).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -101,6 +104,35 @@ run_racecheck() {
   echo "racecheck: report at ${report}"
 }
 
+run_walcheck() {
+  echo "== walcheck: durable-WAL crash matrix + property test (ASan+UBSan) =="
+  # The crash matrix forks and kills children mid-flush; running it under
+  # ASan proves the recovery path is clean even on the torn images the
+  # children leave behind. Reuses the asan tree when it already exists.
+  cmake -B build-check/asan -S . \
+    -DLVM_SANITIZE=address,undefined -DLVM_WERROR=ON >/dev/null
+  cmake --build build-check/asan -j "${jobs}" \
+    --target wal_crash_matrix_test wal_property_test lvm-inspect
+  local walbox_dir="${PWD}/bench-results/walbox"
+  rm -rf "${walbox_dir}"
+  mkdir -p "${walbox_dir}"
+  ( cd build-check/asan &&
+    UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ASAN_OPTIONS=detect_leaks=1 \
+    LVM_WAL_ARTIFACT_DIR="${walbox_dir}" \
+    ctest --output-on-failure -j "${jobs}" -R '^Wal' )
+  # Every crash cell leaves a post-mortem dump; hold each to strict JSON.
+  local dumps
+  dumps="$(find "${walbox_dir}" -name '*.walbox.json' | wc -l | tr -d ' ')"
+  if [ "${dumps}" -eq 0 ]; then
+    echo "walcheck: no walbox dumps collected in ${walbox_dir}" >&2
+    return 1
+  fi
+  find "${walbox_dir}" -name '*.walbox.json' -print0 |
+    xargs -0 ./build-check/asan/tools/lvm-inspect --validate
+  echo "walcheck: ${dumps} walbox dumps validated at ${walbox_dir}"
+}
+
 run_static() {
   echo "== staticcheck: lvm-lint + thread-safety analysis =="
   # Thread-safety analysis is a Clang feature; with GCC the annotations
@@ -128,7 +160,8 @@ case "${mode}" in
   --tsan-only) run_tsan_tests ;;
   --racecheck-only) run_racecheck ;;
   --static-only) run_static ;;
+  --wal-only) run_walcheck ;;
   all)         run_werror_build && run_tidy && run_static && run_asan_tests && run_tsan_tests ;;
-  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only|--wal-only]" >&2; exit 2 ;;
 esac
 echo "check.sh: all requested passes clean"

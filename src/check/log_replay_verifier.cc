@@ -121,6 +121,14 @@ std::vector<ReplayMismatch> LogReplayVerifier::CrossCheckTail(
   return mismatches;
 }
 
+std::vector<ReplayMismatch> LogReplayVerifier::CrossCheckImage(
+    const std::vector<LogRecord>& tail_records, PhysAddr base, const uint8_t* bytes,
+    size_t length, size_t max_mismatches) {
+  std::vector<std::pair<PhysAddr, std::vector<uint8_t>>> memory;
+  memory.emplace_back(base, std::vector<uint8_t>(bytes, bytes + length));
+  return CrossCheckTail(tail_records, memory, max_mismatches);
+}
+
 std::string LogReplayVerifier::Describe(const std::vector<ReplayMismatch>& mismatches) {
   std::ostringstream out;
   for (const ReplayMismatch& m : mismatches) {

@@ -74,6 +74,13 @@ class LogReplayVerifier {
       const std::vector<std::pair<PhysAddr, std::vector<uint8_t>>>& memory,
       size_t max_mismatches = 16);
 
+  // CrossCheckTail over one contiguous image starting at `base`: the shape
+  // recovered durable regions come in (tests/wal_crash_matrix_test.cc
+  // replays the WAL's records against the recovered region bytes).
+  static std::vector<ReplayMismatch> CrossCheckImage(const std::vector<LogRecord>& tail_records,
+                                                     PhysAddr base, const uint8_t* bytes,
+                                                     size_t length, size_t max_mismatches = 16);
+
  private:
   // Shadow page bytes by page index; pages missing from the map were not
   // materialized at snapshot time and start as the zero image their frame

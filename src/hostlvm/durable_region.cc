@@ -1,0 +1,110 @@
+#include "src/hostlvm/durable_region.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+std::unique_ptr<DurableTransactionalRegion> DurableTransactionalRegion::Open(
+    const std::string& dir, const DurableRegionOptions& options, std::string* error) {
+  LVM_CHECK_MSG(options.pages >= 1, "a durable region needs at least one page");
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (error != nullptr) {
+      *error = "mkdir " + dir + ": " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+
+  auto region = std::unique_ptr<DurableTransactionalRegion>(new DurableTransactionalRegion());
+  bool image_created = false;
+  region->image_ = HostMappedFile::OpenOrCreate(
+      ImagePath(dir), options.pages * ProtectedRegion::kHostPageSize, &image_created, error);
+  if (region->image_ == nullptr) {
+    return nullptr;
+  }
+  const size_t image_bytes = region->image_->size();
+  if (image_bytes % ProtectedRegion::kHostPageSize != 0 || image_bytes == 0) {
+    if (error != nullptr) {
+      *error = ImagePath(dir) + ": image size is not a whole number of pages";
+    }
+    return nullptr;
+  }
+
+  region->wal_ = WalArena::OpenOrCreate(WalPath(dir), options.wal, nullptr, error);
+  if (region->wal_ == nullptr) {
+    return nullptr;
+  }
+
+  region->region_ =
+      std::make_unique<HostTransactionalRegion>(image_bytes / ProtectedRegion::kHostPageSize);
+  std::memcpy(region->region_->data(), region->image_->data(), image_bytes);
+
+  // Replay every commit past the checkpoint over the image bytes. Records
+  // carry absolute values, so commits the image already absorbed (a crash
+  // between the image sync and the WAL truncation) reapply harmlessly.
+  uint8_t* base = region->region_->data();
+  region->recovery_stats_ = region->wal_->Replay(
+      [base, image_bytes](const WalRecoveredCommit& commit) {
+        for (const WalRecord& record : commit.records) {
+          LVM_CHECK_MSG(record.size >= 1 && record.size <= sizeof(record.value),
+                        "WAL record size out of range");
+          LVM_CHECK_MSG(record.offset + record.size <= image_bytes,
+                        "WAL record points outside the region");
+          std::memcpy(base + record.offset, &record.value, record.size);
+        }
+      },
+      options.recover);
+  return region;
+}
+
+DurableTransactionalRegion::~DurableTransactionalRegion() = default;
+
+uint64_t DurableTransactionalRegion::Commit(uint64_t timestamp_ns) {
+  const std::vector<HostWordUpdate> updates = region_->Commit();
+  if (updates.empty()) {
+    return 0;  // Read-only transaction: nothing to make durable.
+  }
+  std::vector<WalRecord> records;
+  records.reserve(updates.size());
+  for (const HostWordUpdate& update : updates) {
+    WalRecord record;
+    record.offset = update.offset;
+    record.value = update.value;
+    record.size = 4;
+    records.push_back(record);
+  }
+  uint64_t seq = wal_->Append(records, timestamp_ns);
+  if (seq == 0) {
+    // Out of log space. Memory already holds the committed bytes, so a
+    // checkpoint absorbs them into the image and empties the log; the
+    // append then lands in a fresh chain. (Replaying it over the image is
+    // idempotent even though the image already contains these bytes.)
+    Checkpoint();
+    seq = wal_->Append(records, timestamp_ns);
+    LVM_CHECK_MSG(seq != 0, "one commit larger than the whole WAL arena");
+  }
+  return seq;
+}
+
+void DurableTransactionalRegion::Checkpoint() {
+  // Order is the crash-safety argument (see the header comment):
+  //  1. flush the WAL — every commit memory contains is now replayable;
+  //  2. write + sync the image — may tear, replay repairs it;
+  //  3. truncate the WAL — only after the image is durable.
+  LVM_CHECK(wal_->Flush());
+  std::memcpy(image_->data(), region_->data(), image_->size());
+  LVM_CHECK(image_->SyncAll());
+  wal_->Truncate(wal_->next_seq() - 1);
+  checkpoints_.Increment();
+}
+
+void DurableTransactionalRegion::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  wal_->RegisterMetrics(registry);
+  registry->RegisterCounter("wal.checkpoints", &checkpoints_);
+}
+
+}  // namespace lvm

@@ -1,0 +1,113 @@
+// Durable transactional memory on the real host (DESIGN.md §15).
+//
+// DurableTransactionalRegion composes the two halves this layer already
+// has — HostTransactionalRegion (mprotect/SIGSEGV transactions with
+// word-level redo diffs) and WalArena (the persistent BEGIN/END-framed
+// log) — into a region whose commits survive the death of the process:
+//
+//   auto region = DurableTransactionalRegion::Open("/data/acct", {});
+//   region->Begin();
+//   region->data<Accounts>()->balance[7] += 100;   // Plain stores.
+//   region->Commit();    // Word diff -> WAL append (group-committed).
+//   ...crash...
+//   auto again = DurableTransactionalRegion::Open("/data/acct", {});
+//   // again->data() holds every committed byte; uncommitted stores are gone.
+//
+// On disk the region is a directory of two files:
+//   region.img — the checkpoint image (one byte per region byte);
+//   region.wal — the WAL arena holding every commit since the checkpoint.
+//
+// Open() loads the image, then replays the WAL over it. Checkpoint() folds
+// memory into the image (image write, msync, then WAL truncation — in that
+// order). A crash at any point is safe: a torn image is always repaired by
+// replay, because until Truncate() runs the log still describes, with
+// absolute values, every byte by which memory had diverged from the old
+// image; and replaying a commit the image already contains is idempotent.
+//
+// Thread safety: none — one owning thread, like the pieces it composes.
+#ifndef SRC_HOSTLVM_DURABLE_REGION_H_
+#define SRC_HOSTLVM_DURABLE_REGION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+
+#include "src/hostlvm/host_transaction.h"
+#include "src/hostlvm/wal_arena.h"
+#include "src/mfile/host_mapped_file.h"
+#include "src/obs/metrics.h"
+
+namespace lvm {
+
+struct DurableRegionOptions {
+  size_t pages = 16;  // Region size when creating; ignored on reopen.
+  WalOptions wal;
+  // Recovery knobs passed through to WalArena::Replay(). The crash matrix
+  // turns verify_checksums off to prove the checksum is load-bearing.
+  WalRecoverOptions recover;
+};
+
+class DurableTransactionalRegion {
+ public:
+  // Opens (or creates) the region directory `dir`. On reopen the region
+  // size comes from the existing image file and `options.pages` is ignored.
+  // Returns nullptr with `*error` set on I/O failure or a corrupt arena.
+  static std::unique_ptr<DurableTransactionalRegion> Open(const std::string& dir,
+                                                          const DurableRegionOptions& options,
+                                                          std::string* error = nullptr);
+
+  ~DurableTransactionalRegion();  // Flushes staged WAL commits.
+
+  DurableTransactionalRegion(const DurableTransactionalRegion&) = delete;
+  DurableTransactionalRegion& operator=(const DurableTransactionalRegion&) = delete;
+
+  template <typename T = uint8_t>
+  T* data() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return region_->data<T>();
+  }
+  size_t size_bytes() const { return region_->size_bytes(); }
+
+  void Begin() { region_->Begin(); }
+  void Abort() { region_->Abort(); }
+
+  // Commits the transaction: the word-level redo diff becomes one WAL
+  // commit. Returns the commit's WAL sequence, or 0 for a read-only
+  // transaction (nothing to log). If the log is out of space the commit
+  // checkpoints first (memory already holds the committed bytes, so the
+  // image absorbs them) and then appends to the fresh log.
+  uint64_t Commit(uint64_t timestamp_ns = 0);
+
+  // Durability barrier: forces any group-commit-staged WAL entries to disk.
+  void Sync() { LVM_CHECK(wal_->Flush()); }
+
+  // Folds memory into the checkpoint image and truncates the WAL. No
+  // transaction may be active.
+  void Checkpoint();
+
+  WalArena* wal() { return wal_.get(); }
+  HostTransactionalRegion* region() { return region_.get(); }
+  const WalRecoveryStats& recovery_stats() const { return recovery_stats_; }
+  uint64_t checkpoints() const { return checkpoints_.value(); }
+
+  // Registers the WAL's wal.* metrics plus wal.checkpoints.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
+
+  // The image/arena paths inside a region directory.
+  static std::string ImagePath(const std::string& dir) { return dir + "/region.img"; }
+  static std::string WalPath(const std::string& dir) { return dir + "/region.wal"; }
+
+ private:
+  DurableTransactionalRegion() = default;
+
+  std::unique_ptr<HostMappedFile> image_;
+  std::unique_ptr<WalArena> wal_;
+  std::unique_ptr<HostTransactionalRegion> region_;
+  WalRecoveryStats recovery_stats_;
+  obs::Counter checkpoints_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_DURABLE_REGION_H_

@@ -1,0 +1,240 @@
+// Durable write-ahead log arena for the host-native LVM (DESIGN.md §15).
+//
+// A WalArena is a persistent log on a real mapped file (mfile::HostMappedFile):
+// one superblock page followed by fixed-size log blocks chained by explicit
+// next-pointers, carrying BEGIN/END-framed commits with per-commit
+// timestamps and checksums (wal_layout.h). It turns the hostlvm layer's
+// in-memory redo records into something that survives the death of the
+// process:
+//
+//   - Append() stages one commit (a group of absolute-value records);
+//   - group commit: staged commits are written and msync'd together once
+//     the group window (commits) or byte bound fills — a bounded flush
+//     interval — or when Flush() is called explicitly;
+//   - Replay() is the recovery path: walk the chain from the superblock's
+//     head, validate every frame signature and END checksum, apply each
+//     complete commit, and stop at the first torn or missing frame. The
+//     superblock's append cursor is a hint only — a commit whose END
+//     reached the device replays even if the crash hit before the cursor
+//     advanced. Records carry absolute values, so replay is idempotent:
+//     applying a commit twice (or over a checkpoint image that already
+//     contains it) yields the same bytes.
+//
+// Crash injection: SetCrashHook() installs a callback invoked at every
+// enumerated persist point of the flush path. The crash-matrix test
+// (tests/wal_crash_matrix_test.cc) kills a forked child inside these hooks
+// and proves recovery is byte-exact from every one of them.
+//
+// Observability: wal.* counters and histograms register with a
+// MetricsRegistry; group flushes, commits and recovery emit flight-recorder
+// events; WriteWalBox() dumps the arena's post-mortem state as strict JSON
+// (lvm.walbox.v1) — the black box a dying process leaves behind.
+//
+// Thread safety: none. The arena is owned by one committing thread, like
+// the HostTransactionalRegion it serves.
+#ifndef SRC_HOSTLVM_WAL_ARENA_H_
+#define SRC_HOSTLVM_WAL_ARENA_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hostlvm/wal_layout.h"
+#include "src/mfile/host_mapped_file.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace lvm {
+
+// The persist steps of one flush, in execution order. The crash matrix
+// enumerates all of them.
+enum class WalPersistPoint : uint8_t {
+  kBeforeBlockWrite,   // Nothing of this commit has touched the file.
+  kMidBlockWrite,      // Half the commit's payload bytes are in the file.
+  kAfterPayloadWrite,  // BEGIN + records written, END not yet.
+  kAfterEndWrite,      // END written; superblock cursor not yet advanced.
+  kAfterCommitAdvance, // Superblock cursor advanced and synced.
+};
+const char* ToString(WalPersistPoint point);
+
+struct WalOptions {
+  uint64_t blocks = 256;  // Log blocks; the file is (blocks + 1) pages.
+  // Group commit: staged commits flush together once either bound fills.
+  uint32_t group_commit_window = 8;
+  uint64_t group_commit_bytes = 64 * 1024;
+};
+
+struct WalRecoverOptions {
+  // The crash matrix proves this flag has teeth: with it off, a commit
+  // with a corrupted payload but intact END frame replays garbage.
+  bool verify_checksums = true;
+};
+
+struct WalRecoveredCommit {
+  uint64_t seq = 0;
+  uint64_t timestamp_ns = 0;
+  std::vector<WalRecord> records;
+};
+
+struct WalRecoveryStats {
+  uint64_t commits_applied = 0;
+  uint64_t records_applied = 0;
+  uint64_t last_seq = 0;           // Highest sequence applied (0 if none).
+  uint64_t checksum_failures = 0;  // END checksums that did not match.
+  bool tail_torn = false;  // Walk ended on a torn/incomplete frame, not clean zeros.
+};
+
+class WalArena {
+ public:
+  using ApplyFn = std::function<void(const WalRecoveredCommit&)>;
+  using CrashHook = std::function<void(WalPersistPoint, uint64_t seq)>;
+
+  // Creates a fresh arena file at `path` (truncating any existing file).
+  static std::unique_ptr<WalArena> Create(const std::string& path, const WalOptions& options,
+                                          std::string* error = nullptr);
+  // Maps an existing arena and validates its superblock. The arena is not
+  // ready for Append() until Replay() has walked the log and repaired the
+  // append cursor.
+  static std::unique_ptr<WalArena> Open(const std::string& path, std::string* error = nullptr);
+  static std::unique_ptr<WalArena> OpenOrCreate(const std::string& path,
+                                                const WalOptions& options,
+                                                bool* created = nullptr,
+                                                std::string* error = nullptr);
+
+  ~WalArena();  // Flushes staged commits.
+
+  WalArena(const WalArena&) = delete;
+  WalArena& operator=(const WalArena&) = delete;
+
+  // Stages one commit and returns its sequence number. Flushes the group
+  // when a bound fills. `timestamp_ns` is the caller's commit timestamp
+  // (stored in the BEGIN/END frames). Must not be called with `records`
+  // empty. Fails (returns 0, nothing staged) only when the arena is out
+  // of log space — checkpoint + Truncate() reclaims it.
+  uint64_t Append(const std::vector<WalRecord>& records, uint64_t timestamp_ns = 0);
+
+  // Writes every staged commit to the chained blocks, msyncs the touched
+  // range, then advances and syncs the superblock cursor. False when the
+  // staged bytes do not fit in the remaining chain (nothing is written).
+  bool Flush();
+
+  // Recovery: replays complete, valid commits from the superblock head in
+  // order, calling `apply` for each with seq > superblock().checkpoint_seq.
+  // Repairs the append cursor to the end of the valid stream, making the
+  // arena ready for Append(). Safe to call again (idempotent).
+  WalRecoveryStats Replay(const ApplyFn& apply, const WalRecoverOptions& options = {});
+
+  // Log truncation after a checkpoint: everything with seq <= checkpoint_seq
+  // is now redundant with the caller's checkpoint image, so the chain
+  // restarts at block 0 and replay begins after `checkpoint_seq`.
+  void Truncate(uint64_t checkpoint_seq);
+
+  // --- crash injection (tests only) ---
+  void SetCrashHook(CrashHook hook) { crash_hook_ = std::move(hook); }
+
+  // --- introspection ---
+  const WalSuperblock& superblock() const { return superblock_; }
+  const std::string& path() const { return file_->path(); }
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t pending_commits() const { return staged_.size(); }
+  uint64_t blocks_used() const { return cursor_.block + 1; }
+  uint64_t block_count() const { return superblock_.block_count; }
+  bool recovered() const { return recovered_; }
+
+  // Mutable views of the mapped log bytes, for post-mortem tooling and
+  // fault injection. Writing WAL memory through these bypasses the framed
+  // append API; the lvm-lint wal-raw-store rule flags any such call
+  // outside src/hostlvm (tests are exempt — the crash matrix tears blocks
+  // through exactly this).
+  uint8_t* raw_block_bytes(uint64_t block);
+  uint8_t* raw_superblock_bytes();
+
+  // --- observability ---
+  // Registers wal.commits / wal.records / wal.bytes_appended / wal.flushes
+  // / wal.syncs / wal.blocks_chained / wal.recovered_commits /
+  // wal.recovery_checksum_failures / wal.recovery_torn_tails counters and
+  // the wal.commit_records / wal.flush_commits / wal.flush_bytes
+  // histograms under `prefix` (default "wal").
+  void RegisterMetrics(obs::MetricsRegistry* registry, const std::string& prefix = "wal") const;
+  // Routes kWalCommit / kWalGroupFlush / kWalRecovery events to `ring` of
+  // `flight` (pass nullptr to detach).
+  void SetFlightRecorder(obs::FlightRecorder* flight, int ring = 0);
+
+  // The lvm.walbox.v1 post-mortem dump: superblock state, append cursor,
+  // counters, staged-commit count, and the cause. Strict JSON.
+  std::string WalBoxJson(const std::string& cause, const std::string& detail = "") const;
+  bool WriteWalBox(const std::string& path, const std::string& cause,
+                   const std::string& detail = "") const;
+
+  // --- counters (plain members; RegisterMetrics exposes them) ---
+  uint64_t commits() const { return commits_.value(); }
+  uint64_t bytes_appended() const { return bytes_appended_.value(); }
+  uint64_t flushes() const { return flushes_.value(); }
+
+ private:
+  struct StagedCommit {
+    uint64_t seq = 0;
+    uint64_t timestamp_ns = 0;
+    std::vector<WalRecord> records;
+  };
+
+  // Stream cursor: a payload byte position inside a block of the chain.
+  struct Cursor {
+    uint64_t block = 0;
+    uint64_t offset = 0;  // Within the block's payload area.
+  };
+
+  WalArena(std::unique_ptr<HostMappedFile> file, bool fresh);
+
+  WalBlockHeader* BlockHeader(uint64_t block);
+  uint8_t* BlockPayload(uint64_t block);
+  // Serialized size of one staged commit.
+  static uint64_t CommitBytes(const StagedCommit& commit);
+  // Payload bytes still available from `cursor` to the end of the chain.
+  uint64_t BytesAvailable(const Cursor& cursor) const;
+  // Appends `bytes` to the stream at cursor_, chaining fresh blocks as
+  // needed; fires `mid_hook_seq` at the halfway byte if nonzero.
+  void StreamWrite(const uint8_t* bytes, uint64_t length, uint64_t mid_hook_seq);
+  // Reads `length` stream bytes at `cursor` (advancing it); false if the
+  // chain ends first.
+  bool StreamRead(Cursor* cursor, uint8_t* out, uint64_t length) const;
+  void EnterBlock(uint64_t block, uint64_t first_seq);
+  void PersistSuperblock();
+  void Hook(WalPersistPoint point, uint64_t seq);
+  void SyncTouched();
+
+  std::unique_ptr<HostMappedFile> file_;
+  WalSuperblock superblock_;
+  Cursor cursor_;          // Append position (valid once recovered_).
+  uint64_t next_seq_ = 1;  // Sequence the next Append() hands out.
+  bool recovered_ = false;
+  std::vector<StagedCommit> staged_;
+  uint64_t staged_bytes_ = 0;
+  // Touched-range accumulator for the per-flush msync.
+  uint64_t touch_lo_ = 0;
+  uint64_t touch_hi_ = 0;
+
+  WalOptions options_;
+  CrashHook crash_hook_;
+  obs::FlightRecorder* flight_ = nullptr;
+  int flight_ring_ = 0;
+
+  obs::Counter commits_;
+  obs::Counter records_;
+  obs::Counter bytes_appended_;
+  obs::Counter flushes_;
+  obs::Counter syncs_;
+  obs::Counter blocks_chained_;
+  obs::Counter recovered_commits_;
+  obs::Counter recovery_checksum_failures_;
+  obs::Counter recovery_torn_tails_;
+  obs::Histogram commit_records_;
+  obs::Histogram flush_commits_;
+  obs::Histogram flush_bytes_;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_WAL_ARENA_H_

@@ -1,0 +1,132 @@
+// On-disk layout of the hostlvm write-ahead log (DESIGN.md §15).
+//
+// The shape follows the DudeTM-style persistent log (tinystm-p's
+// nv_log_block / nv_log_begin / nv_log_end): a superblock page followed by
+// fixed-size log blocks chained by explicit next-pointers, carrying a
+// byte stream of BEGIN/END-framed commits. Every struct here is written
+// verbatim into the mapped file, so all fields are fixed-width,
+// little-endian-as-stored, and trivially copyable; versioned by
+// kWalVersion in the superblock.
+//
+// Stream grammar (offsets within the chained block payload area):
+//
+//   commit   := begin record* end
+//   begin    := WalBeginFrame   (sig kWalBeginSig, seq, record_count, ts)
+//   record   := WalRecord       (region byte offset, value, size)
+//   end      := WalEndFrame     (sig kWalEndSig, seq, checksum, ts)
+//
+// The END checksum covers the BEGIN frame and every record, so a torn
+// block anywhere inside the commit — including a missing or half-written
+// END — invalidates exactly that commit and nothing before it. Replay is
+// idempotent: records carry absolute new values, so applying a commit
+// twice produces the same bytes as applying it once.
+#ifndef SRC_HOSTLVM_WAL_LAYOUT_H_
+#define SRC_HOSTLVM_WAL_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace lvm {
+
+inline constexpr uint64_t kWalMagic = 0x31304c41574d564cull;  // "LVMWAL01"
+inline constexpr uint32_t kWalVersion = 1;
+
+// Frame signatures, after the exemplar's BEGIN_SIG / END_SIG: values no
+// record offset or datum can collide with by accident, and distinct from
+// the zero fill of an unused block tail.
+inline constexpr uint64_t kWalBeginSig = 0xffffffffffffffffull;
+inline constexpr uint64_t kWalEndSig = 0xfffffffffffffffeull;
+
+// Fixed log-block size; the superblock occupies one block-sized header
+// page in front of block 0.
+inline constexpr uint32_t kWalBlockSize = 4096;
+
+// Marks a block whose next-pointer has not been chained yet.
+inline constexpr uint64_t kWalNoBlock = ~uint64_t{0};
+
+// First page of the arena file. `head_*` is the replay start (advanced by
+// checkpoint truncation); `commit_*` is a durable append cursor *hint* —
+// recovery trusts frames and checksums, not the hint, so a crash after an
+// END reached the device but before this page was rewritten still replays
+// that commit (persist point kAfterEndWrite in the crash matrix).
+struct WalSuperblock {
+  uint64_t magic = kWalMagic;
+  uint32_t version = kWalVersion;
+  uint32_t block_size = kWalBlockSize;
+  uint64_t block_count = 0;
+  uint64_t head_block = 0;      // Block index replay starts at.
+  uint64_t head_offset = 0;     // Payload byte offset within head_block.
+  uint64_t head_seq = 1;        // First commit sequence expected there.
+  uint64_t checkpoint_seq = 0;  // Last commit folded into the data image.
+  uint64_t commit_block = 0;    // Append cursor hint (not trusted).
+  uint64_t commit_offset = 0;
+  uint64_t commit_seq = 0;      // Last sequence known flushed (hint).
+  uint64_t checksum = 0;        // WalChecksum over the fields above.
+};
+static_assert(std::is_trivially_copyable_v<WalSuperblock>);
+static_assert(sizeof(WalSuperblock) <= kWalBlockSize);
+
+// Every log block leads with its chain pointer. `first_seq` names the
+// first commit whose BEGIN frame lies in this block (0 if none does), as
+// a post-mortem aid; replay follows the stream, not this field.
+struct WalBlockHeader {
+  uint64_t next = kWalNoBlock;  // Next block in the chain.
+  uint64_t first_seq = 0;
+};
+static_assert(std::is_trivially_copyable_v<WalBlockHeader>);
+
+inline constexpr uint32_t kWalBlockPayload =
+    kWalBlockSize - static_cast<uint32_t>(sizeof(WalBlockHeader));
+
+struct WalBeginFrame {
+  uint64_t sig = kWalBeginSig;
+  uint64_t seq = 0;
+  uint32_t record_count = 0;
+  uint32_t reserved = 0;
+  uint64_t timestamp_ns = 0;  // Caller-supplied commit timestamp.
+};
+static_assert(sizeof(WalBeginFrame) == 32);
+
+// One logged write: an absolute new value for `size` bytes (1..8) at a
+// byte offset inside the durable region.
+struct WalRecord {
+  uint64_t offset = 0;
+  uint64_t value = 0;
+  uint32_t size = 4;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WalRecord) == 24);
+
+struct WalEndFrame {
+  uint64_t sig = kWalEndSig;
+  uint64_t seq = 0;
+  uint64_t checksum = 0;  // WalChecksum over the BEGIN frame + records.
+  uint64_t timestamp_ns = 0;
+};
+static_assert(sizeof(WalEndFrame) == 32);
+
+// FNV-1a as a running hash: dependency-free, deterministic across builds,
+// and plenty to catch torn sectors and scribbles (this is corruption
+// *detection* for crash recovery, not an adversarial MAC). Feed
+// WalChecksumSeed() into the first call and chain the result, so hashing
+// a commit's BEGIN frame then its records equals hashing the concatenated
+// bytes in one pass.
+inline constexpr uint64_t WalChecksumSeed() { return 0xcbf29ce484222325ull; }
+
+inline uint64_t WalChecksum(uint64_t hash, const void* bytes, size_t length) {
+  const auto* p = static_cast<const uint8_t*>(bytes);
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+inline uint64_t WalSuperblockChecksum(const WalSuperblock& sb) {
+  return WalChecksum(WalChecksumSeed() ^ kWalMagic, &sb, offsetof(WalSuperblock, checksum));
+}
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_WAL_LAYOUT_H_

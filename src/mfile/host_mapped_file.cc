@@ -1,0 +1,111 @@
+#include "src/mfile/host_mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lvm {
+
+namespace {
+
+constexpr size_t kHostPage = 4096;
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<HostMappedFile> HostMappedFile::MapFd(const std::string& path, int fd,
+                                                      size_t size, std::string* error) {
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    SetError(error, "mmap " + path);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<HostMappedFile>(
+      new HostMappedFile(path, fd, static_cast<uint8_t*>(base), size));
+}
+
+std::unique_ptr<HostMappedFile> HostMappedFile::Create(const std::string& path,
+                                                       size_t size_bytes, std::string* error) {
+  if (size_bytes == 0) {
+    if (error != nullptr) {
+      *error = "cannot map an empty file: " + path;
+    }
+    return nullptr;
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, "open " + path);
+    return nullptr;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size_bytes)) != 0) {
+    SetError(error, "ftruncate " + path);
+    ::close(fd);
+    return nullptr;
+  }
+  return MapFd(path, fd, size_bytes, error);
+}
+
+std::unique_ptr<HostMappedFile> HostMappedFile::Open(const std::string& path,
+                                                     std::string* error) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    SetError(error, "open " + path);
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    SetError(error, "fstat " + path);
+    ::close(fd);
+    return nullptr;
+  }
+  return MapFd(path, fd, static_cast<size_t>(st.st_size), error);
+}
+
+std::unique_ptr<HostMappedFile> HostMappedFile::OpenOrCreate(const std::string& path,
+                                                             size_t size_bytes, bool* created,
+                                                             std::string* error) {
+  struct stat st;
+  const bool exists = ::stat(path.c_str(), &st) == 0;
+  if (created != nullptr) {
+    *created = !exists;
+  }
+  return exists ? Open(path, error) : Create(path, size_bytes, error);
+}
+
+HostMappedFile::~HostMappedFile() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool HostMappedFile::Sync(size_t offset, size_t length) {
+  if (length == 0) {
+    return true;
+  }
+  if (offset > size_ || length > size_ - offset) {
+    return false;
+  }
+  // msync requires a page-aligned start; widen to the page cover.
+  const size_t start = offset & ~(kHostPage - 1);
+  const size_t end = offset + length;
+  if (::msync(base_ + start, end - start, MS_SYNC) != 0) {
+    return false;
+  }
+  ++syncs_;
+  return true;
+}
+
+}  // namespace lvm

@@ -1,0 +1,73 @@
+// A real memory-mapped file on the host (mmap(2), MAP_SHARED, msync(2)).
+//
+// The simulated MappedFile above it models the paper's mapped-file story
+// inside the simulator; HostMappedFile is its real-hardware counterpart and
+// the durability primitive under the hostlvm write-ahead log (DESIGN.md
+// §15): bytes stored through data() land in the kernel page cache, survive
+// the death of this process, and Sync() forces them to the device with a
+// synchronous msync. Nothing in here knows about log framing — it is a
+// named, fixed-size, crash-persistent byte array.
+#ifndef SRC_MFILE_HOST_MAPPED_FILE_H_
+#define SRC_MFILE_HOST_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace lvm {
+
+class HostMappedFile {
+ public:
+  // Creates `path` (truncating an existing file) with exactly `size_bytes`
+  // bytes of zeros and maps it shared + read/write. Returns nullptr and
+  // fills `error` (if non-null) on any I/O failure.
+  static std::unique_ptr<HostMappedFile> Create(const std::string& path, size_t size_bytes,
+                                                std::string* error = nullptr);
+
+  // Maps an existing file read/write at its current size.
+  static std::unique_ptr<HostMappedFile> Open(const std::string& path,
+                                              std::string* error = nullptr);
+
+  // Open() if `path` exists, Create(path, size_bytes) otherwise. `created`
+  // (if non-null) reports which happened.
+  static std::unique_ptr<HostMappedFile> OpenOrCreate(const std::string& path,
+                                                      size_t size_bytes, bool* created = nullptr,
+                                                      std::string* error = nullptr);
+
+  ~HostMappedFile();
+
+  HostMappedFile(const HostMappedFile&) = delete;
+  HostMappedFile& operator=(const HostMappedFile&) = delete;
+
+  uint8_t* data() { return base_; }
+  const uint8_t* data() const { return base_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  // Synchronously writes the touched range back to the device (msync
+  // MS_SYNC over the page-aligned cover of [offset, offset + length)).
+  // Returns false on failure; a zero-length sync is a successful no-op.
+  bool Sync(size_t offset, size_t length);
+  bool SyncAll() { return Sync(0, size_); }
+
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  HostMappedFile(std::string path, int fd, uint8_t* base, size_t size)
+      : path_(std::move(path)), fd_(fd), base_(base), size_(size) {}
+
+  // Maps `fd` (taking ownership; closed on failure) and wraps it.
+  static std::unique_ptr<HostMappedFile> MapFd(const std::string& path, int fd, size_t size,
+                                               std::string* error);
+
+  std::string path_;
+  int fd_ = -1;
+  uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace lvm
+
+#endif  // SRC_MFILE_HOST_MAPPED_FILE_H_

@@ -33,6 +33,12 @@ const char* ToString(FlightEventKind kind) {
       return "engine_join";
     case FlightEventKind::kMetricsSync:
       return "metrics_sync";
+    case FlightEventKind::kWalCommit:
+      return "wal_commit";
+    case FlightEventKind::kWalGroupFlush:
+      return "wal_group_flush";
+    case FlightEventKind::kWalRecovery:
+      return "wal_recovery";
     case FlightEventKind::kMarker:
       return "marker";
   }
@@ -60,6 +66,10 @@ const char* ComponentOf(FlightEventKind kind) {
       return "engine";
     case FlightEventKind::kMetricsSync:
       return "obs";
+    case FlightEventKind::kWalCommit:
+    case FlightEventKind::kWalGroupFlush:
+    case FlightEventKind::kWalRecovery:
+      return "wal";
     case FlightEventKind::kMarker:
       return "app";
   }

@@ -52,6 +52,9 @@ enum class FlightEventKind : uint8_t {
   kEngineStart,        // Parallel engine launched its workers.
   kEngineJoin,         // Parallel engine joined and republished state.
   kMetricsSync,        // Periodic metrics-delta sync point.
+  kWalCommit,          // A commit was staged in the durable WAL arena.
+  kWalGroupFlush,      // A WAL group flush persisted staged commits.
+  kWalRecovery,        // WAL replay-on-open finished (a0 commits, a2 torn).
   kMarker,             // Application-defined annotation.
 };
 

@@ -27,6 +27,10 @@ inline constexpr const char kProfileSchema[] = "lvm.profile.v1";
 // Live telemetry NDJSON stream lines (src/obs/telemetry.cc).
 inline constexpr const char kTelemetrySchema[] = "lvm.telemetry.v1";
 
+// Durable-WAL post-mortem dump from a dying process
+// (src/hostlvm/wal_arena.cc, tests/wal_crash_matrix_test.cc).
+inline constexpr const char kWalBoxSchema[] = "lvm.walbox.v1";
+
 // scripts/perf_diff.py machine-readable report. The Python gate mirrors
 // this literal (lint only scans src/ C++, so the registry entry here is
 // the single C++-side source of truth for readers).

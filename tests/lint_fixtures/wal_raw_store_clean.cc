@@ -1,0 +1,15 @@
+// Fixture: WAL writes flow through the framed append path.
+#include "src/hostlvm/wal_arena.h"
+
+namespace lvm {
+
+uint64_t FramedCommit(WalArena* wal, const std::vector<WalRecord>& records) {
+  return wal->Append(records, /*timestamp_ns=*/0);  // framed, checksummed
+}
+
+// A free function named like the accessor is fine: only member calls count.
+const uint8_t* raw_block_bytes(const uint8_t* base) { return base; }
+
+const uint8_t* NotAMemberCall(const uint8_t* base) { return raw_block_bytes(base); }
+
+}  // namespace lvm

@@ -1,0 +1,17 @@
+// Fixture: raw writes into the WAL arena's mapped bytes from outside
+// src/hostlvm/ — they bypass the framed append path.
+#include <cstring>
+
+#include "src/hostlvm/wal_arena.h"
+
+namespace lvm {
+
+void ScribbleOnBlock(WalArena* wal, const void* bytes) {
+  std::memcpy(wal->raw_block_bytes(0), bytes, 16);  // skips BEGIN/END framing
+}
+
+void ScribbleOnSuperblock(WalArena& wal, const void* bytes) {
+  std::memcpy(wal.raw_superblock_bytes(), bytes, 8);
+}
+
+}  // namespace lvm

@@ -122,6 +122,41 @@ TEST(LintRules, ProfScopeClean) {
   EXPECT_TRUE(result.violations.empty());
 }
 
+TEST(LintRules, WalRawStoreViolation) {
+  LintResult result = LintFixture("wal_raw_store_violation.cc");
+  ExpectOnlyRule(result, Rule::kWalRawStore);
+  EXPECT_EQ(result.violations.size(), 2u);  // raw_block_bytes and raw_superblock_bytes
+  EXPECT_EQ(ExitCodeFor(result), 16);
+}
+
+TEST(LintRules, WalRawStoreClean) {
+  LintResult result = LintFixture("wal_raw_store_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(ExitCodeFor(result), 0);
+}
+
+TEST(LintRules, WalRawStoreAllowedInHostlvm) {
+  // The arena's own implementation IS the framed append path.
+  LintOptions options;
+  LintResult result;
+  LintSource("src/hostlvm/wal_arena.cc",
+             "void F(WalArena* w) { w->raw_block_bytes(0)[0] = 1; }", options, &result);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(LintRules, WalRawStoreSuppressible) {
+  // Crash-injection tests corrupt WAL bytes on purpose; the allow() comment
+  // is their sanctioned escape hatch.
+  LintOptions options;
+  LintResult result;
+  LintSource("tests/fault_injector.cc",
+             "// lvm-lint: allow(wal-raw-store)\n"
+             "void F(WalArena* w) { w->raw_block_bytes(0)[0] ^= 0xff; }\n",
+             options, &result);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.suppressions_used, 1u);
+}
+
 TEST(LintRules, ProfScopeDefinitionHeaderIsBalanced) {
   // The profiler header defines each marker macro exactly once, so the
   // counting rule must see the definitions themselves as balanced.
@@ -163,7 +198,8 @@ TEST(LintExitCodes, MixedRulesCollapseToGenericFailure) {
 
 TEST(LintExitCodes, RuleNamesRoundTrip) {
   for (Rule rule : {Rule::kRawStore, Rule::kFlightPairing, Rule::kMetricName,
-                    Rule::kSchemaVersion, Rule::kCheckMacro, Rule::kProfScope}) {
+                    Rule::kSchemaVersion, Rule::kCheckMacro, Rule::kProfScope,
+                    Rule::kWalRawStore}) {
     Rule parsed;
     ASSERT_TRUE(ParseRuleName(RuleName(rule), &parsed)) << RuleName(rule);
     EXPECT_EQ(parsed, rule);

@@ -16,8 +16,9 @@ namespace lint {
 
 namespace {
 
-constexpr Rule kAllRules[] = {Rule::kRawStore,      Rule::kFlightPairing, Rule::kMetricName,
-                              Rule::kSchemaVersion, Rule::kCheckMacro,    Rule::kProfScope};
+constexpr Rule kAllRules[] = {Rule::kRawStore,   Rule::kFlightPairing, Rule::kMetricName,
+                              Rule::kSchemaVersion, Rule::kCheckMacro, Rule::kProfScope,
+                              Rule::kWalRawStore};
 
 // --- tokenizer -------------------------------------------------------------
 //
@@ -306,6 +307,7 @@ class FileLinter {
     CheckSchemaVersions();
     CheckCheckMacro();
     CheckProfScope();
+    CheckWalRawStores();
   }
 
  private:
@@ -500,6 +502,42 @@ class FileLinter {
     }
   }
 
+  // wal-raw-store: member calls exposing the WAL arena's mapped bytes for
+  // direct mutation, outside the layer that implements the framed append
+  // path. Raw writes there skip the BEGIN/END framing and checksums, so
+  // recovery either discards them or replays garbage.
+  void CheckWalRawStores() {
+    for (const std::string& dir : options_.wal_raw_store_allowed_dirs) {
+      if (PathContains(path_, dir)) {
+        return;
+      }
+    }
+    static constexpr std::string_view kAccessors[] = {"raw_block_bytes", "raw_superblock_bytes"};
+    for (size_t i = 1; i + 1 < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind != Token::Kind::kIdentifier) {
+        continue;
+      }
+      bool accessor = false;
+      for (std::string_view name : kAccessors) {
+        if (t.text == name) {
+          accessor = true;
+          break;
+        }
+      }
+      if (!accessor || !IsPunct(i + 1, "(")) {
+        continue;
+      }
+      if (!IsPunct(i - 1, ".") && !IsPunct(i - 1, "->")) {
+        continue;
+      }
+      Emit(Rule::kWalRawStore, t.line,
+           "raw mapped-WAL access `" + t.text +
+               "` outside src/hostlvm/; WAL bytes must flow through the framed "
+               "append path (WalArena::Append / Flush) or recovery cannot trust them");
+    }
+  }
+
   const std::string path_;
   const LintOptions& options_;
   LintResult* result_;
@@ -528,6 +566,8 @@ const char* RuleName(Rule rule) {
       return "check-macro";
     case Rule::kProfScope:
       return "prof-scope";
+    case Rule::kWalRawStore:
+      return "wal-raw-store";
   }
   return "unknown";
 }
@@ -546,6 +586,8 @@ int RuleExitCode(Rule rule) {
       return 14;
     case Rule::kProfScope:
       return 15;
+    case Rule::kWalRawStore:
+      return 16;
   }
   return 1;
 }

@@ -28,6 +28,12 @@
 //                              profiler scope mis-attributes every cycle
 //                              charged after it (prefer the RAII
 //                              LVM_PROF_SCOPE, which cannot unbalance).
+//   wal-raw-store   (exit 16)  A raw_block_bytes()/raw_superblock_bytes()
+//                              call outside src/hostlvm/: writing mapped WAL
+//                              memory directly bypasses the framed append
+//                              path (BEGIN/END signatures, checksums, the
+//                              commit cursor), so recovery would either
+//                              discard the bytes or replay garbage.
 //
 // A finding is silenced by `// lvm-lint: allow(<rule>)` on the same or the
 // preceding line. Exit codes: 0 clean, the rule's code when all violations
@@ -50,13 +56,14 @@ enum class Rule : uint8_t {
   kSchemaVersion,
   kCheckMacro,
   kProfScope,
+  kWalRawStore,
 };
 
 inline constexpr int kUsageError = 2;
 
 // Stable rule slug ("raw-store", ...), used in reports and allow() comments.
 const char* RuleName(Rule rule);
-// The rule's dedicated process exit code (10..15).
+// The rule's dedicated process exit code (10..16).
 int RuleExitCode(Rule rule);
 // Parses a slug back to its rule; false if unknown.
 bool ParseRuleName(std::string_view name, Rule* out);
@@ -87,6 +94,11 @@ struct LintOptions {
   };
   // The one header allowed to define schema version literals.
   std::string schema_registry = "src/obs/schema_ids.h";
+  // The layer that owns the WAL arena's mapped bytes; only it may write
+  // them raw (it is the framed append path).
+  std::vector<std::string> wal_raw_store_allowed_dirs = {
+      "src/hostlvm/",
+  };
 };
 
 // Lints one translation unit. `path` is used for reporting and for the

@@ -15,9 +15,14 @@
 #      whole tree (LVM_THREAD_SAFETY=ON);
 #   7. (--wal-only) the durable-WAL suite (crash matrix + property test)
 #      under ASan+UBSan, collecting every cell's lvm.walbox.v1 post-mortem
-#      dump to bench-results/walbox/ and validating each as strict JSON.
+#      dump to bench-results/walbox/ and validating each as strict JSON;
+#   8. (--analyze-only) lvm-analyze's whole-program lock-order, blocking-
+#      context, and WAL persist-ordering analysis over src/, exporting
+#      bench-results/ANALYSIS_REPORT.json + LOCKGRAPH.json (+ .dot), then
+#      the runtime witness cross-check proving static ⊇ dynamic.
 #
-# Usage: scripts/check.sh [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only|--wal-only]
+# Usage: scripts/check.sh [mode]; modes are listed in the table at the
+# bottom of this file — usage text and dispatch are both generated from it.
 # Build trees go under build-check/ (kept out of git by .gitignore).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -154,14 +159,58 @@ run_static() {
   echo "staticcheck: report at ${report}"
 }
 
-case "${mode}" in
-  --tidy-only) run_werror_build && run_tidy ;;
-  --asan-only) run_asan_tests ;;
-  --tsan-only) run_tsan_tests ;;
-  --racecheck-only) run_racecheck ;;
-  --static-only) run_static ;;
-  --wal-only) run_walcheck ;;
-  all)         run_werror_build && run_tidy && run_static && run_asan_tests && run_tsan_tests ;;
-  *) echo "usage: $0 [--tidy-only|--asan-only|--tsan-only|--racecheck-only|--static-only|--wal-only]" >&2; exit 2 ;;
-esac
+run_analyze() {
+  echo "== deadlockcheck: lvm-analyze + lock-order witness cross-check =="
+  cmake -B build-check/analyze -S . -DLVM_WERROR=ON >/dev/null
+  cmake --build build-check/analyze -j "${jobs}" \
+    --target lvm-analyze lvm-inspect lockgraph_witness_test
+  mkdir -p bench-results
+  local report="${PWD}/bench-results/ANALYSIS_REPORT.json"
+  local lockgraph="${PWD}/bench-results/LOCKGRAPH.json"
+  # lvm-analyze exits nonzero (per-rule codes, see tools/lvm_analyze/
+  # analyze.h) on any finding; `set -e` turns that into a failed pass.
+  ./build-check/analyze/tools/lvm-analyze \
+    --json="${report}" --lockgraph="${lockgraph}" \
+    --graph-dot="${PWD}/bench-results/LOCKGRAPH.dot" src
+  ./build-check/analyze/tools/lvm-inspect --validate "${report}" "${lockgraph}"
+  # The dynamic half: drive real concurrency with the witness enabled and
+  # prove every observed edge is in the static graph.
+  ( cd build-check/analyze &&
+    ctest --output-on-failure -j "${jobs}" -R '^LockGraphWitness' )
+  echo "deadlockcheck: reports at ${report} and ${lockgraph}"
+}
+
+# Mode table: flag, command, one-line summary. The usage message and the
+# dispatch below are both generated from this table, so adding a pass is one
+# row here (plus its run_* function above) and nothing else.
+mode_table() {
+  cat <<'EOF'
+--tidy-only|run_werror_build && run_tidy|-Werror build + clang-tidy over src/
+--asan-only|run_asan_tests|full test suite under ASan+UBSan
+--tsan-only|run_tsan_tests|threaded tests under TSan
+--racecheck-only|run_racecheck|guest race-detector suite + RACE_REPORT.json
+--static-only|run_static|lvm-lint + clang -Wthread-safety
+--wal-only|run_walcheck|durable-WAL crash matrix + walbox dumps
+--analyze-only|run_analyze|lvm-analyze lock/WAL analysis + witness cross-check
+all|run_werror_build && run_tidy && run_static && run_analyze && run_asan_tests && run_tsan_tests|every pass above (except racecheck/walcheck, which CI runs)
+EOF
+}
+
+usage() {
+  echo "usage: $0 [mode]" >&2
+  while IFS='|' read -r flag _ summary; do
+    printf '  %-17s %s\n' "${flag}" "${summary}" >&2
+  done < <(mode_table)
+  exit 2
+}
+
+dispatch=""
+while IFS='|' read -r flag cmd _; do
+  if [ "${mode}" = "${flag}" ]; then
+    dispatch="${cmd}"
+    break
+  fi
+done < <(mode_table)
+[ -n "${dispatch}" ] || usage
+eval "${dispatch}"
 echo "check.sh: all requested passes clean"

@@ -1,0 +1,73 @@
+// The global lock order (DESIGN.md §16).
+//
+// Every long-lived mutex in the system is assigned a rank here, and locks
+// may only be acquired in strictly ascending rank order. The table is the
+// single source of truth three enforcement layers share:
+//
+//   - lvm-analyze reads this header lexically: the ORDER OF DECLARATION of
+//     the kRank* constants below is the declared total order, and any
+//     statically discovered lock-order edge that runs against it is a
+//     lock-decl finding. Keep the constants sorted by value.
+//   - The runtime LockOrderWitness (src/base/lock_witness.h) records each
+//     named Mutex's rank at acquisition and flags out-of-order acquisition
+//     on real executions.
+//   - Clang's -Wthread-safety (when LVM_THREAD_SAFETY=ON) checks the
+//     LVM_ACQUIRED_AFTER annotations on the mutex declarations, which name
+//     the LockLevel anchors below.
+//
+// Adding a lock: pick the position its acquisition context dictates, insert
+// a kRank* constant (renumber freely — only the order matters, and gaps
+// leave room), add a LockLevel anchor, and construct the Mutex as
+// `Mutex mu_{"Class::mu_", lockorder::kRankX}` with the canonical
+// <Class>::<member> id lvm-analyze derives — the witness cross-check test
+// fails on any drift.
+#ifndef SRC_BASE_LOCK_ORDER_H_
+#define SRC_BASE_LOCK_ORDER_H_
+
+#include "src/base/thread_annotations.h"
+
+namespace lvm {
+namespace lockorder {
+
+// Ranks, ascending == outermost first. ParallelEngine::mu_ is the root: it
+// is held while draining shards, parking workers, and running barriers, so
+// everything else must nest inside it.
+inline constexpr int kRankParEngine = 10;    // ParallelEngine::mu_
+inline constexpr int kRankLogRegistry = 20;  // LvmSystem::log_registry_mu_
+inline constexpr int kRankWalRegion = 30;    // DurableTransactionalRegion::mu_
+inline constexpr int kRankRaceStripe = 40;   // RaceDetector::Stripe::mu
+inline constexpr int kRankRaceSync = 50;     // RaceDetector::sync_mu_
+inline constexpr int kRankRaceReport = 60;   // RaceDetector::report_mu_
+inline constexpr int kRankRaceTrail = 70;    // RaceDetector::CpuState::trail_mu
+inline constexpr int kRankMetrics = 80;      // MetricsRegistry::mu_
+inline constexpr int kRankFlightRing = 90;   // FlightRecorder::Ring::mu
+inline constexpr int kRankL2Stripe = 100;    // L2Cache::Stripe::mu
+inline constexpr int kRankFrame = 110;       // FrameAllocator::mu_
+
+// Anchors for the clang thread-safety analysis. A mutex declared
+// LVM_ACQUIRED_AFTER(lockorder::kLevel<X>) may only be acquired while no
+// lock of level <X> or later is wanted first; chaining each level after its
+// predecessor encodes the same total order as the ranks above.
+class LVM_CAPABILITY("lock_order") LockLevel {
+ public:
+  constexpr LockLevel() = default;
+  LockLevel(const LockLevel&) = delete;
+  LockLevel& operator=(const LockLevel&) = delete;
+};
+
+inline constexpr LockLevel kLevelParEngine;
+inline constexpr LockLevel kLevelLogRegistry;
+inline constexpr LockLevel kLevelWalRegion;
+inline constexpr LockLevel kLevelRaceStripe;
+inline constexpr LockLevel kLevelRaceSync;
+inline constexpr LockLevel kLevelRaceReport;
+inline constexpr LockLevel kLevelRaceTrail;
+inline constexpr LockLevel kLevelMetrics;
+inline constexpr LockLevel kLevelFlightRing;
+inline constexpr LockLevel kLevelL2Stripe;
+inline constexpr LockLevel kLevelFrame;
+
+}  // namespace lockorder
+}  // namespace lvm
+
+#endif  // SRC_BASE_LOCK_ORDER_H_

@@ -1,0 +1,195 @@
+#include "src/base/lock_witness.h"
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct HeldLock {
+  const void* mu = nullptr;
+  const char* name = nullptr;
+  int rank = 0;
+};
+
+// The per-thread acquisition stack. A plain vector: depth is tiny (the rank
+// table is ~a dozen locks) and pops are almost always from the back.
+thread_local std::vector<HeldLock> t_held;
+
+// Process-wide graph state. A std::mutex, deliberately not lvm::Mutex: the
+// witness must not recurse into itself.
+std::mutex& GraphMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct Graph {
+  std::map<std::string, int> locks;                               // name -> rank
+  std::map<std::pair<std::string, std::string>, uint64_t> edges;  // (from, to)
+  std::map<std::pair<std::string, std::string>, uint64_t> violations;
+};
+
+Graph& TheGraph() {
+  static Graph* graph = new Graph;  // Leaked: usable during static teardown.
+  return *graph;
+}
+
+// Minimal strict-JSON string emitter (lock names are identifiers, but stay
+// correct for arbitrary bytes). Local so lvm_base does not depend on the
+// obs JSON library.
+void AppendJson(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void LockOrderWitness::Enable() { g_enabled.store(true, std::memory_order_relaxed); }
+void LockOrderWitness::Disable() { g_enabled.store(false, std::memory_order_relaxed); }
+bool LockOrderWitness::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void LockOrderWitness::Reset() {
+  std::lock_guard<std::mutex> lk(GraphMu());
+  TheGraph().locks.clear();
+  TheGraph().edges.clear();
+  TheGraph().violations.clear();
+}
+
+void LockOrderWitness::OnAcquire(const void* mu, const char* name, int rank, bool is_try) {
+  if (name != nullptr) {
+    std::lock_guard<std::mutex> lk(GraphMu());
+    Graph& graph = TheGraph();
+    graph.locks.emplace(name, rank);
+    for (const HeldLock& held : t_held) {
+      if (held.name == nullptr) {
+        continue;
+      }
+      if (!is_try) {
+        ++graph.edges[{held.name, name}];
+        // Equal ranks are a violation too: two locks that can be held
+        // together must be strictly ordered.
+        if (held.rank > 0 && rank > 0 && held.rank >= rank) {
+          ++graph.violations[{held.name, name}];
+        }
+      }
+    }
+  }
+  t_held.push_back(HeldLock{mu, name, rank});
+}
+
+void LockOrderWitness::OnRelease(const void* mu) {
+  for (size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i].mu == mu) {
+      t_held.erase(t_held.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+std::vector<LockOrderWitness::NamedLock> LockOrderWitness::Locks() {
+  std::lock_guard<std::mutex> lk(GraphMu());
+  std::vector<NamedLock> out;
+  for (const auto& [name, rank] : TheGraph().locks) {
+    out.push_back(NamedLock{name, rank});
+  }
+  return out;
+}
+
+std::vector<LockOrderWitness::Edge> LockOrderWitness::Edges() {
+  std::lock_guard<std::mutex> lk(GraphMu());
+  std::vector<Edge> out;
+  for (const auto& [key, count] : TheGraph().edges) {
+    out.push_back(Edge{key.first, key.second, count});
+  }
+  return out;
+}
+
+std::vector<LockOrderWitness::Violation> LockOrderWitness::Violations() {
+  std::lock_guard<std::mutex> lk(GraphMu());
+  std::vector<Violation> out;
+  for (const auto& [key, count] : TheGraph().violations) {
+    out.push_back(Violation{key.first, key.second, count});
+  }
+  return out;
+}
+
+std::string LockOrderWitness::LockGraphJson() {
+  std::string out = "{\"schema\":\"";
+  out += obs::kLockGraphSchema;
+  out += "\",\"source\":\"witness\",\"locks\":[";
+  bool first = true;
+  for (const NamedLock& lock : Locks()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":";
+    AppendJson(&out, lock.name);
+    out += ",\"rank\":" + std::to_string(lock.rank) + "}";
+  }
+  out += "],\"edges\":[";
+  first = true;
+  for (const Edge& edge : Edges()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"from\":";
+    AppendJson(&out, edge.from);
+    out += ",\"to\":";
+    AppendJson(&out, edge.to);
+    out += ",\"count\":" + std::to_string(edge.count) + "}";
+  }
+  out += "],\"violations\":[";
+  first = true;
+  for (const Violation& v : Violations()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"held\":";
+    AppendJson(&out, v.held);
+    out += ",\"acquired\":";
+    AppendJson(&out, v.acquired);
+    out += ",\"count\":" + std::to_string(v.count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lvm

@@ -1,0 +1,70 @@
+// Runtime lock-order witness (DESIGN.md §16).
+//
+// The dynamic counterpart to lvm-analyze's static lock-order graph: when
+// enabled, every named Mutex acquisition is pushed on a per-thread stack,
+// and each (held, acquired) pair of named locks becomes an edge in a
+// process-wide graph. A test then asserts containment — every edge the
+// witness observed under real concurrency must appear in the static graph,
+// proving the analyzer's call-resolution heuristics did not miss a path —
+// and that no acquisition ran against the declared rank order
+// (src/base/lock_order.h).
+//
+// Disabled (the default) the witness costs one relaxed atomic load and a
+// predicted-untaken branch per Lock/Unlock; nothing is recorded. Enable()
+// is meant for tests and diagnostics, not steady-state production.
+//
+// TryLock acquisitions are pushed on the stack (their outgoing edges are
+// real ordering constraints) but record no incoming edge and no rank
+// violation: TryLock is the sanctioned out-of-order primitive — crash-time
+// best-effort paths use it precisely because it cannot deadlock.
+#ifndef SRC_BASE_LOCK_WITNESS_H_
+#define SRC_BASE_LOCK_WITNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lvm {
+
+class LockOrderWitness {
+ public:
+  struct Edge {
+    std::string from;
+    std::string to;
+    uint64_t count = 0;
+  };
+  struct Violation {
+    std::string held;      // The lock whose rank should have come later.
+    std::string acquired;  // The lock acquired against the order.
+    uint64_t count = 0;
+  };
+  struct NamedLock {
+    std::string name;
+    int rank = 0;
+  };
+
+  static void Enable();
+  static void Disable();
+  static bool enabled();
+
+  // Drops every recorded edge, violation, and lock (not the enabled flag).
+  static void Reset();
+
+  // Hooks called by Mutex; `name` is nullptr for anonymous mutexes, which
+  // participate in the held stack but never in the graph.
+  static void OnAcquire(const void* mu, const char* name, int rank, bool is_try);
+  static void OnRelease(const void* mu);
+
+  static std::vector<NamedLock> Locks();
+  static std::vector<Edge> Edges();
+  static std::vector<Violation> Violations();
+
+  // The observed graph as a strict-JSON lvm.lockgraph.v1 document with
+  // source "witness" — the same schema lvm-analyze emits for the static
+  // graph, so the two are directly comparable.
+  static std::string LockGraphJson();
+};
+
+}  // namespace lvm
+
+#endif  // SRC_BASE_LOCK_WITNESS_H_

@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "src/base/lock_witness.h"
 #include "src/base/thread_annotations.h"
 
 namespace lvm {
@@ -25,18 +26,47 @@ namespace lvm {
 class LVM_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  // A named, ranked mutex participating in the lock-order discipline:
+  // `name` must be the canonical <Class>::<member> id lvm-analyze derives
+  // for this declaration, `rank` a lockorder::kRank* constant
+  // (src/base/lock_order.h). The LockOrderWitness records acquisition
+  // edges and rank violations for named mutexes when enabled.
+  Mutex(const char* name, int rank) : name_(name), rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() LVM_ACQUIRE() { mu_.lock(); }
-  void Unlock() LVM_RELEASE() { mu_.unlock(); }
+  void Lock() LVM_ACQUIRE() {
+    mu_.lock();
+    if (LockOrderWitness::enabled()) {
+      LockOrderWitness::OnAcquire(this, name_, rank_, /*is_try=*/false);
+    }
+  }
+  void Unlock() LVM_RELEASE() {
+    if (LockOrderWitness::enabled()) {
+      LockOrderWitness::OnRelease(this);
+    }
+    mu_.unlock();
+  }
   // Returns true (holding the lock) or false (not holding it); callers on
   // crash-time best-effort paths use this to avoid self-deadlock.
-  bool TryLock() LVM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  bool TryLock() LVM_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    if (LockOrderWitness::enabled()) {
+      LockOrderWitness::OnAcquire(this, name_, rank_, /*is_try=*/true);
+    }
+    return true;
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* name_ = nullptr;
+  int rank_ = 0;
 };
 
 // RAII lock for one scope, like std::lock_guard.

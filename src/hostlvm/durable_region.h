@@ -24,7 +24,12 @@
 // absolute values, every byte by which memory had diverged from the old
 // image; and replaying a commit the image already contains is idempotent.
 //
-// Thread safety: none — one owning thread, like the pieces it composes.
+// Thread safety: transactions themselves are single-owner (Begin/store/
+// Commit run on the owning thread, like HostTransactionalRegion), but the
+// durability tail is serialized by mu_ (rank kRankWalRegion): Commit's WAL
+// append, Sync, and Checkpoint may be called while a monitor thread forces
+// durability or folds the image, and the WAL-append/truncate ordering that
+// recovery depends on must not interleave.
 #ifndef SRC_HOSTLVM_DURABLE_REGION_H_
 #define SRC_HOSTLVM_DURABLE_REGION_H_
 
@@ -33,6 +38,9 @@
 #include <string>
 #include <type_traits>
 
+#include "src/base/lock_order.h"
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/hostlvm/host_transaction.h"
 #include "src/hostlvm/wal_arena.h"
 #include "src/mfile/host_mapped_file.h"
@@ -80,7 +88,12 @@ class DurableTransactionalRegion {
   uint64_t Commit(uint64_t timestamp_ns = 0);
 
   // Durability barrier: forces any group-commit-staged WAL entries to disk.
-  void Sync() { LVM_CHECK(wal_->Flush()); }
+  // Holding mu_ across the flush is the point — a concurrent Checkpoint must
+  // not truncate entries a caller is waiting to see durable.
+  void Sync() {
+    MutexLock lock(mu_);
+    LVM_CHECK(wal_->Flush());  // lvm-analyze: allow(lock-blocking)
+  }
 
   // Folds memory into the checkpoint image and truncates the WAL. No
   // transaction may be active.
@@ -101,6 +114,11 @@ class DurableTransactionalRegion {
  private:
   DurableTransactionalRegion() = default;
 
+  void CheckpointLocked() LVM_REQUIRES(mu_);
+
+  // Serializes the durability tail: WAL append, flush, image fold, truncate.
+  mutable Mutex mu_ LVM_ACQUIRED_AFTER(lockorder::kLevelLogRegistry){
+      "DurableTransactionalRegion::mu_", lockorder::kRankWalRegion};
   std::unique_ptr<HostMappedFile> image_;
   std::unique_ptr<WalArena> wal_;
   std::unique_ptr<HostTransactionalRegion> region_;

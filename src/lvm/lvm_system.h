@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/lock_order.h"
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/base/types.h"
@@ -381,7 +382,8 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   // Guards the log registry: registration and absorb-state flips happen on
   // kernel paths, but the crash-time black-box dump (signal/abort context,
   // possibly on another thread) walks logs_by_index_ concurrently.
-  mutable Mutex log_registry_mu_;
+  mutable Mutex log_registry_mu_ LVM_ACQUIRED_AFTER(lockorder::kLevelParEngine){
+      "LvmSystem::log_registry_mu_", lockorder::kRankLogRegistry};
   // Logs by hardware log-table index.
   std::unordered_map<uint32_t, LogSegment*> logs_by_index_ LVM_GUARDED_BY(log_registry_mu_);
   // Bus-logger mode: the single log attached to each segment.

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/lock_order.h"
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/base/types.h"
@@ -127,7 +128,8 @@ class FlightRecorder {
 
  private:
   struct Ring {
-    mutable Mutex mu;
+    mutable Mutex mu LVM_ACQUIRED_AFTER(lockorder::kLevelMetrics){
+        "FlightRecorder::Ring::mu", lockorder::kRankFlightRing};
     // Fixed capacity, circular. The slot vector is sized once at
     // construction; only its elements are guarded.
     std::vector<FlightEvent> slots LVM_GUARDED_BY(mu);

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/lock_order.h"
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 
@@ -184,7 +185,8 @@ class MetricsRegistry {
   // TakeSnapshot may run from a monitor thread mid-run, and nothing stops a
   // late RegisterMetrics from racing it. Recording never takes this lock —
   // it goes through the stable metric pointers.
-  mutable Mutex mu_;
+  mutable Mutex mu_ LVM_ACQUIRED_AFTER(lockorder::kLevelRaceTrail){
+      "MetricsRegistry::mu_", lockorder::kRankMetrics};
   std::map<std::string, std::unique_ptr<Counter>> owned_counters_ LVM_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> owned_gauges_ LVM_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> owned_histograms_ LVM_GUARDED_BY(mu_);

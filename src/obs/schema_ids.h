@@ -36,6 +36,15 @@ inline constexpr const char kWalBoxSchema[] = "lvm.walbox.v1";
 // the single C++-side source of truth for readers).
 inline constexpr const char kPerfDiffSchema[] = "lvm.perfdiff.v1";
 
+// lvm-analyze --json report: lock-order, blocking-context, and WAL
+// persist-ordering findings (tools/lvm_analyze).
+inline constexpr const char kAnalysisReportSchema[] = "lvm.analysis.v1";
+
+// Lock-order graph, emitted both by lvm-analyze (source "static") and by
+// the runtime LockOrderWitness (source "witness", src/base/lock_witness.cc)
+// so the deadlock-check test can assert static ⊇ dynamic.
+inline constexpr const char kLockGraphSchema[] = "lvm.lockgraph.v1";
+
 }  // namespace obs
 }  // namespace lvm
 

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/lock_order.h"
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/base/types.h"
@@ -153,7 +154,9 @@ class ParallelEngine : public ShardOverloadPort {
   bool joined_ = false;
 
   // --- overload suspension protocol (parallel mode) ---
-  Mutex mu_;
+  // Root of the lock order (kRankParEngine): held while draining shards,
+  // parking workers, and running barriers, so every other lock nests inside.
+  Mutex mu_{"ParallelEngine::mu_", lockorder::kRankParEngine};
   CondVar cv_;
   std::atomic<bool> suspend_requested_{false};
   // Workers whose thread has not finished.

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/lock_order.h"
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/base/types.h"
@@ -167,7 +168,8 @@ class RaceDetector : public MemoryAccessObserver {
   };
 
   struct Stripe {
-    Mutex mu;
+    Mutex mu LVM_ACQUIRED_AFTER(lockorder::kLevelWalRegion){
+        "RaceDetector::Stripe::mu", lockorder::kRankRaceStripe};
     // Keyed by word index.
     std::unordered_map<uint32_t, Cell> cells LVM_GUARDED_BY(mu);
     // Front = most recently used.
@@ -182,7 +184,8 @@ class RaceDetector : public MemoryAccessObserver {
     // Deliberately unannotated: thread-confined to the owning worker except
     // for engine calls made while the owner is parked (ordered externally).
     VectorClock vc;
-    mutable Mutex trail_mu;
+    mutable Mutex trail_mu LVM_ACQUIRED_AFTER(lockorder::kLevelRaceReport){
+        "RaceDetector::CpuState::trail_mu", lockorder::kRankRaceTrail};
     VirtAddr trail[kTrailMax] LVM_GUARDED_BY(trail_mu) = {};
     size_t trail_len LVM_GUARDED_BY(trail_mu) = 0;
     size_t trail_next LVM_GUARDED_BY(trail_mu) = 0;
@@ -206,10 +209,12 @@ class RaceDetector : public MemoryAccessObserver {
   std::vector<std::unique_ptr<CpuState>> cpus_;
   Stripe stripes_[kStripes];
 
-  mutable Mutex sync_mu_;
+  mutable Mutex sync_mu_ LVM_ACQUIRED_AFTER(lockorder::kLevelRaceStripe){
+      "RaceDetector::sync_mu_", lockorder::kRankRaceSync};
   std::unordered_map<uint64_t, VectorClock> sync_objects_ LVM_GUARDED_BY(sync_mu_);
 
-  mutable Mutex report_mu_;
+  mutable Mutex report_mu_ LVM_ACQUIRED_AFTER(lockorder::kLevelRaceSync){
+      "RaceDetector::report_mu_", lockorder::kRankRaceReport};
   std::vector<RaceReport> reports_ LVM_GUARDED_BY(report_mu_);
   // (word_index, kind, cpu_lo, cpu_hi) -> index into reports_.
   std::unordered_map<uint64_t, size_t> dedup_ LVM_GUARDED_BY(report_mu_);

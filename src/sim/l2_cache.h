@@ -42,6 +42,7 @@
 #include <unordered_map>
 
 #include "src/base/check.h"
+#include "src/base/lock_order.h"
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/base/types.h"
@@ -124,7 +125,8 @@ class L2Cache {
   // A page's line states and its dirty-line count live in the same stripe,
   // so every page-scoped operation takes exactly one lock.
   struct Stripe {
-    mutable Mutex mu;
+    mutable Mutex mu LVM_ACQUIRED_AFTER(lockorder::kLevelFlightRing){
+        "L2Cache::Stripe::mu", lockorder::kRankL2Stripe};
     // keyed by LineBase
     std::unordered_map<PhysAddr, LineState> lines LVM_GUARDED_BY(mu);
     // keyed by PageBase

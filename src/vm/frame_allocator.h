@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/lock_order.h"
 #include "src/base/mutex.h"
 #include "src/base/thread_annotations.h"
 #include "src/base/types.h"
@@ -58,7 +59,8 @@ class FrameAllocator {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_ LVM_ACQUIRED_AFTER(lockorder::kLevelL2Stripe){
+      "FrameAllocator::mu_", lockorder::kRankFrame};
   PhysicalMemory* memory_;
   PhysAddr next_ LVM_GUARDED_BY(mu_);
   std::vector<PhysAddr> free_list_ LVM_GUARDED_BY(mu_);

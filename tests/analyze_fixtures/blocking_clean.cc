@@ -1,0 +1,24 @@
+// Fixture: blocking done right — CondVar::Wait is exempt with respect to
+// the mutex it releases, and the fsync runs with nothing held.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Queue {
+ public:
+  void WaitNotEmpty() {
+    MutexLock lock(mu_);
+    while (empty_) {
+      cv_.Wait(mu_);
+    }
+  }
+
+  void FlushUnlocked(int fd) { fsync(fd); }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  bool empty_ = true;
+};
+
+}  // namespace lvm

@@ -1,0 +1,20 @@
+// Fixture: a deliberate block-under-lock fenced with an allow() comment —
+// durability under the lock is this function's contract.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Store {
+ public:
+  void FlushHoldingLock(int fd) {
+    MutexLock lock(mu_);
+    ++flushes_;
+    fsync(fd);  // lvm-analyze: allow(lock-blocking)
+  }
+
+ private:
+  Mutex mu_;
+  int flushes_ = 0;
+};
+
+}  // namespace lvm

@@ -1,0 +1,19 @@
+// Fixture: a mutex held across fsync — a blocking syscall under a lock.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Store {
+ public:
+  void FlushHoldingLock(int fd) {
+    MutexLock lock(mu_);
+    ++flushes_;
+    fsync(fd);
+  }
+
+ private:
+  Mutex mu_;
+  int flushes_ = 0;
+};
+
+}  // namespace lvm

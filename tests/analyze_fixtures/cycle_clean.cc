@@ -1,0 +1,26 @@
+// Fixture: both paths acquire the pair in the same order — no cycle.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Pair {
+ public:
+  void Forward() {
+    MutexLock lock(a_);
+    MutexLock inner(b_);
+    ++touches_;
+  }
+
+  void AlsoForward() {
+    MutexLock lock(a_);
+    MutexLock inner(b_);
+    --touches_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  int touches_ = 0;
+};
+
+}  // namespace lvm

@@ -1,0 +1,32 @@
+// Fixture: the deadlock only exists across a call — Outer holds first_ while
+// a callee takes second_, and Reversed nests them the other way around.
+// Catching it requires the interprocedural held-set propagation.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Chain {
+ public:
+  void Outer() {
+    MutexLock lock(first_);
+    Inner();
+  }
+
+  void Inner() {
+    MutexLock lock(second_);
+    ++steps_;
+  }
+
+  void Reversed() {
+    MutexLock lock(second_);
+    MutexLock inner(first_);
+    ++steps_;
+  }
+
+ private:
+  Mutex first_;
+  Mutex second_;
+  int steps_ = 0;
+};
+
+}  // namespace lvm

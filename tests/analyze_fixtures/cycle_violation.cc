@@ -1,0 +1,27 @@
+// Fixture: two methods acquire the same pair of locks in opposite orders —
+// the canonical static deadlock.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Pair {
+ public:
+  void Forward() {
+    MutexLock lock(a_);
+    MutexLock inner(b_);
+    ++touches_;
+  }
+
+  void Backward() {
+    MutexLock lock(b_);
+    MutexLock inner(a_);
+    ++touches_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  int touches_ = 0;
+};
+
+}  // namespace lvm

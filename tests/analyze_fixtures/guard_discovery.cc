@@ -1,0 +1,35 @@
+// Fixture: a custom RAII guard discovered through its LVM_ACQUIRE(mu)
+// constructor annotation. The opposite-order acquisitions below are only
+// visible if the analyzer learned SpinGuard is a guard.
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+
+namespace lvm {
+
+class LVM_SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(Mutex& mu) LVM_ACQUIRE(mu);
+  ~SpinGuard() LVM_RELEASE();
+};
+
+class Pair {
+ public:
+  void Forward() {
+    SpinGuard lock(a_);
+    SpinGuard inner(b_);
+    ++touches_;
+  }
+
+  void Backward() {
+    SpinGuard lock(b_);
+    SpinGuard inner(a_);
+    ++touches_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  int touches_ = 0;
+};
+
+}  // namespace lvm

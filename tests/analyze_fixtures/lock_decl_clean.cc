@@ -1,0 +1,20 @@
+// Fixture: named, ranked locks whose acquisitions follow the declared order.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Registry {
+ public:
+  void InOrder() {
+    MutexLock lock(first_);
+    MutexLock inner(second_);
+    ++entries_;
+  }
+
+ private:
+  Mutex first_{"Registry::first_", kRankFirst};
+  Mutex second_{"Registry::second_", kRankSecond};
+  int entries_ = 0;
+};
+
+}  // namespace lvm

@@ -1,0 +1,26 @@
+// Fixture: lock declarations contradicting the global order, three ways —
+// a runtime name that differs from the canonical id, a rank naming no
+// constant in the rank header, and an acquisition running against the
+// declared rank order. The test supplies a virtual rank header declaring
+// kRankFirst before kRankSecond.
+#include "src/base/mutex.h"
+
+namespace lvm {
+
+class Registry {
+ public:
+  void AgainstOrder() {
+    MutexLock lock(second_);
+    MutexLock inner(first_);
+    ++entries_;
+  }
+
+ private:
+  Mutex first_{"Registry::first_", kRankFirst};
+  Mutex second_{"Registry::second_", kRankSecond};
+  Mutex misnamed_{"Registry::wrong_", kRankFirst};
+  Mutex unranked_{"Registry::unranked_", kRankBogus};
+  int entries_ = 0;
+};
+
+}  // namespace lvm

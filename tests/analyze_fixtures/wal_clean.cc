@@ -1,0 +1,28 @@
+// Fixture: persistent mutations correctly ordered behind flush barriers —
+// one function syncs itself, the other is a dirty helper whose caller
+// orders the barrier after the call.
+#include <cstring>
+
+namespace lvm {
+
+class MiniArena {
+ public:
+  void WriteHeaderDurable(const void* bytes) {
+    std::memcpy(raw_block_bytes(0), bytes, 16);
+    Sync();
+  }
+
+  void StageHeader(const void* bytes) {
+    std::memcpy(raw_block_bytes(1), bytes, 16);
+  }
+
+  void CommitStaged(const void* bytes) {
+    StageHeader(bytes);
+    Sync();
+  }
+
+  unsigned char* raw_block_bytes(int block);
+  void Sync();
+};
+
+}  // namespace lvm

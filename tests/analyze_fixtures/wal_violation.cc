@@ -1,0 +1,17 @@
+// Fixture: a WAL-scope function mutates persistent bytes and returns without
+// a flush barrier — and no caller orders one after it. Loaded with a virtual
+// src/hostlvm/ path so the persist-ordering rule applies.
+#include <cstring>
+
+namespace lvm {
+
+class MiniArena {
+ public:
+  void WriteHeaderTorn(const void* bytes) {
+    std::memcpy(raw_block_bytes(0), bytes, 16);
+  }
+
+  unsigned char* raw_block_bytes(int block);
+};
+
+}  // namespace lvm

@@ -1,0 +1,225 @@
+// lvm-analyze engine tests: every rule against a violating and a clean
+// fixture (tests/analyze_fixtures/), interprocedural propagation, custom
+// guard discovery, suppression comments, declared-edge comments, exit-code
+// mapping, the JSON exports, and — the check that matters — a clean run
+// over the repo's real src/ tree.
+#include "tools/lvm_analyze/analyze.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+namespace analyze {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(LVM_SOURCE_ROOT) + "/tests/analyze_fixtures/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// A miniature rank header: the declaration order (kRankFirst before
+// kRankSecond) is the declared total order the decl checks enforce.
+constexpr char kRankHeader[] =
+    "inline constexpr int kRankFirst = 1;\n"
+    "inline constexpr int kRankSecond = 2;\n";
+
+// Analyzes one fixture as if it lived at `virtual_path`, with the miniature
+// rank header installed at the default rank-header path.
+AnalysisResult AnalyzeFixture(const std::string& name,
+                              const std::string& virtual_path = "src/fixture.cc") {
+  Analyzer analyzer;
+  analyzer.AddSource(AnalyzeOptions{}.rank_header, kRankHeader);
+  analyzer.AddSource(virtual_path, ReadFixture(name));
+  return analyzer.Run();
+}
+
+void ExpectOnlyRule(const AnalysisResult& result, Rule rule) {
+  ASSERT_FALSE(result.findings.empty());
+  for (const Finding& f : result.findings) {
+    EXPECT_EQ(f.rule, rule) << f.file << ":" << f.line << ": " << f.message;
+    EXPECT_GT(f.line, 0);
+  }
+  EXPECT_EQ(ExitCodeFor(result), RuleExitCode(rule));
+}
+
+bool HasEdge(const AnalysisResult& result, const std::string& from, const std::string& to) {
+  for (const LockEdge& e : result.edges) {
+    if (e.from == from && e.to == to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(AnalyzeRules, CycleViolation) {
+  AnalysisResult result = AnalyzeFixture("cycle_violation.cc");
+  ExpectOnlyRule(result, Rule::kLockCycle);
+  EXPECT_EQ(ExitCodeFor(result), 20);
+  EXPECT_TRUE(HasEdge(result, "Pair::a_", "Pair::b_"));
+  EXPECT_TRUE(HasEdge(result, "Pair::b_", "Pair::a_"));
+  // The finding prints both conflicting acquisition paths.
+  EXPECT_NE(result.findings[0].message.find("Forward"), std::string::npos);
+  EXPECT_NE(result.findings[0].message.find("Backward"), std::string::npos);
+}
+
+TEST(AnalyzeRules, CycleClean) {
+  AnalysisResult result = AnalyzeFixture("cycle_clean.cc");
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(ExitCodeFor(result), 0);
+  EXPECT_TRUE(HasEdge(result, "Pair::a_", "Pair::b_"));
+  EXPECT_FALSE(HasEdge(result, "Pair::b_", "Pair::a_"));
+}
+
+TEST(AnalyzeRules, CycleAcrossCalls) {
+  // Outer holds first_ while Inner takes second_; the edge only exists
+  // through the interprocedural held-set propagation.
+  AnalysisResult result = AnalyzeFixture("cycle_interprocedural.cc");
+  ExpectOnlyRule(result, Rule::kLockCycle);
+  EXPECT_TRUE(HasEdge(result, "Chain::first_", "Chain::second_"));
+  EXPECT_TRUE(HasEdge(result, "Chain::second_", "Chain::first_"));
+}
+
+TEST(AnalyzeRules, CycleThroughDiscoveredGuard) {
+  // SpinGuard is only known to acquire through its LVM_ACQUIRE(mu)
+  // constructor annotation; the cycle proves the discovery worked.
+  AnalysisResult result = AnalyzeFixture("guard_discovery.cc");
+  ExpectOnlyRule(result, Rule::kLockCycle);
+  EXPECT_TRUE(HasEdge(result, "Pair::a_", "Pair::b_"));
+  EXPECT_TRUE(HasEdge(result, "Pair::b_", "Pair::a_"));
+}
+
+TEST(AnalyzeRules, BlockingViolation) {
+  AnalysisResult result = AnalyzeFixture("blocking_violation.cc");
+  ExpectOnlyRule(result, Rule::kLockBlocking);
+  EXPECT_EQ(ExitCodeFor(result), 21);
+  EXPECT_NE(result.findings[0].message.find("fsync"), std::string::npos);
+}
+
+TEST(AnalyzeRules, BlockingClean) {
+  // CondVar::Wait against its own mutex and an unlocked fsync: both fine.
+  AnalysisResult result = AnalyzeFixture("blocking_clean.cc");
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(ExitCodeFor(result), 0);
+}
+
+TEST(AnalyzeRules, BlockingSuppressed) {
+  AnalysisResult result = AnalyzeFixture("blocking_suppressed.cc");
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.suppressions_used, 1u);
+  EXPECT_EQ(ExitCodeFor(result), 0);
+}
+
+TEST(AnalyzeRules, WalPersistOrderViolation) {
+  // Only applies under a WAL path, hence the virtual location.
+  AnalysisResult result = AnalyzeFixture("wal_violation.cc", "src/hostlvm/fixture.cc");
+  ExpectOnlyRule(result, Rule::kWalPersistOrder);
+  EXPECT_EQ(ExitCodeFor(result), 22);
+}
+
+TEST(AnalyzeRules, WalPersistOrderClean) {
+  // Self-syncing writer plus a dirty helper whose caller orders the barrier.
+  AnalysisResult result = AnalyzeFixture("wal_clean.cc", "src/hostlvm/fixture.cc");
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(AnalyzeRules, WalRuleScopedToWalPaths) {
+  // The same torn write outside src/hostlvm/ is not this rule's business.
+  AnalysisResult result = AnalyzeFixture("wal_violation.cc", "src/sim/fixture.cc");
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(AnalyzeRules, LockDeclViolation) {
+  AnalysisResult result = AnalyzeFixture("lock_decl_violation.cc");
+  ExpectOnlyRule(result, Rule::kLockDecl);
+  EXPECT_EQ(ExitCodeFor(result), 23);
+  // Three distinct contradictions: name mismatch, unknown rank constant,
+  // and an edge against the declared rank order.
+  EXPECT_EQ(result.findings.size(), 3u);
+}
+
+TEST(AnalyzeRules, LockDeclClean) {
+  AnalysisResult result = AnalyzeFixture("lock_decl_clean.cc");
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.lock_ranks.at("Registry::first_"), 1);
+  EXPECT_EQ(result.lock_ranks.at("Registry::second_"), 2);
+}
+
+TEST(AnalyzeFacts, DeclaredEdgeComment) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/fixture.cc",
+                     "// lvm-analyze: edge(Widget::mu_, Gadget::mu_)\n"
+                     "namespace lvm {\n"
+                     "class Widget { Mutex mu_; };\n"
+                     "class Gadget { Mutex mu_; };\n"
+                     "}  // namespace lvm\n");
+  AnalysisResult result = analyzer.Run();
+  EXPECT_TRUE(HasEdge(result, "Widget::mu_", "Gadget::mu_"));
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(AnalyzeExitCodes, MixedRulesCollapseToGenericFailure) {
+  Analyzer analyzer;
+  analyzer.AddSource("src/fixture.cc", ReadFixture("cycle_violation.cc"));
+  analyzer.AddSource("src/hostlvm/fixture.cc", ReadFixture("wal_violation.cc"));
+  AnalysisResult result = analyzer.Run();
+  EXPECT_GE(result.findings.size(), 2u);
+  EXPECT_EQ(ExitCodeFor(result), 1);
+}
+
+TEST(AnalyzeReport, JsonIsStrictAndCarriesSchema) {
+  AnalysisResult result = AnalyzeFixture("cycle_violation.cc");
+  const std::string report = ReportJson(result);
+  EXPECT_TRUE(obs::ValidateJson(report)) << report;
+  EXPECT_NE(report.find(obs::kAnalysisReportSchema), std::string::npos);
+
+  const std::string graph = LockGraphJson(result);
+  EXPECT_TRUE(obs::ValidateJson(graph)) << graph;
+  EXPECT_NE(graph.find(obs::kLockGraphSchema), std::string::npos);
+  EXPECT_NE(graph.find("\"source\":\"static\""), std::string::npos);
+}
+
+TEST(AnalyzeReport, GraphDotListsEveryEdge) {
+  AnalysisResult result = AnalyzeFixture("cycle_clean.cc");
+  const std::string dot = GraphDot(result);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"Pair::a_\" -> \"Pair::b_\""), std::string::npos);
+}
+
+TEST(AnalyzePaths, MissingPathFails) {
+  AnalysisResult result;
+  std::string error;
+  EXPECT_FALSE(AnalyzePaths({"no/such/path"}, AnalyzeOptions{}, &result, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// The check that matters: the repo's own src/ tree is clean, and the static
+// graph knows every long-lived lock by its canonical name.
+TEST(AnalyzeRepo, SrcTreeIsClean) {
+  AnalysisResult result;
+  std::string error;
+  ASSERT_TRUE(
+      AnalyzePaths({std::string(LVM_SOURCE_ROOT) + "/src"}, AnalyzeOptions{}, &result, &error))
+      << error;
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << RuleName(f.rule) << "] " << f.message;
+  }
+  EXPECT_GE(result.lock_ids.size(), 11u);
+  EXPECT_GE(result.edges.size(), 10u);
+  // Spot-check the hierarchy the system is built around.
+  EXPECT_TRUE(HasEdge(result, "ParallelEngine::mu_", "RaceDetector::sync_mu_"));
+  EXPECT_TRUE(HasEdge(result, "RaceDetector::Stripe::mu", "RaceDetector::report_mu_"));
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace lvm

@@ -1,0 +1,14 @@
+// Fixture: stale allow() comments that silence nothing.
+#include "src/sim/phys_mem.h"
+
+namespace lvm {
+
+// The raw store this once fenced was refactored away; the comment stayed.
+// lvm-lint: allow(raw-store)
+void FormerlyRawCopy(PhysicalMemory& memory) { (void)memory; }
+
+// A slug that never named a rule — the typo could never match anything.
+// lvm-lint: allow(raw-stores)
+void TypoedSuppression() {}
+
+}  // namespace lvm

@@ -168,6 +168,19 @@ TEST(LintRules, ProfScopeDefinitionHeaderIsBalanced) {
   EXPECT_TRUE(result.violations.empty());
 }
 
+TEST(LintRules, DeadSuppressionViolation) {
+  LintResult result = LintFixture("dead_suppression_violation.cc");
+  ExpectOnlyRule(result, Rule::kDeadSuppression);
+  EXPECT_EQ(result.violations.size(), 2u);  // stale rule and unknown slug
+  EXPECT_EQ(ExitCodeFor(result), 17);
+}
+
+TEST(LintRules, DeadSuppressionClean) {
+  LintResult result = LintFixture("dead_suppression_clean.cc");
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(ExitCodeFor(result), 0);
+}
+
 TEST(LintSuppression, AllowCommentSilencesBothStyles) {
   LintResult result = LintFixture("raw_store_suppressed.cc");
   EXPECT_TRUE(result.violations.empty());
@@ -182,9 +195,61 @@ TEST(LintSuppression, AllowOfOtherRuleDoesNotSilence) {
              "// lvm-lint: allow(metric-name)\n"
              "void F(M* m) { m->CopyBlock(0, 1, 16); }\n",
              options, &result);
-  ASSERT_EQ(result.violations.size(), 1u);
+  // The raw store still fires, and the allow() that matched nothing is now
+  // itself a dead-suppression finding.
+  ASSERT_EQ(result.violations.size(), 2u);
   EXPECT_EQ(result.violations[0].rule, Rule::kRawStore);
+  EXPECT_EQ(result.violations[1].rule, Rule::kDeadSuppression);
   EXPECT_EQ(result.suppressions_used, 0u);
+}
+
+TEST(LintDeadSuppression, StaleAllowIsAFinding) {
+  LintOptions options;
+  LintResult result;
+  LintSource("fixture.cc",
+             "// lvm-lint: allow(raw-store)\n"
+             "void F() {}\n",
+             options, &result);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].rule, Rule::kDeadSuppression);
+  EXPECT_EQ(result.violations[0].line, 1);
+  EXPECT_EQ(ExitCodeFor(result), 17);
+}
+
+TEST(LintDeadSuppression, UnknownSlugIsAFinding) {
+  LintOptions options;
+  LintResult result;
+  LintSource("fixture.cc",
+             "// lvm-lint: allow(not-a-rule)\n"
+             "void F() {}\n",
+             options, &result);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].rule, Rule::kDeadSuppression);
+}
+
+TEST(LintDeadSuppression, UsedAllowIsNotAFinding) {
+  LintOptions options;
+  LintResult result;
+  LintSource("fixture.cc",
+             "// lvm-lint: allow(raw-store)\n"
+             "void F(M* m) { m->CopyBlock(0, 1, 16); }\n",
+             options, &result);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.suppressions_used, 1u);
+}
+
+TEST(LintDeadSuppression, FencedKeeperIsSilenced) {
+  LintOptions options;
+  LintResult result;
+  LintSource("fixture.cc",
+             "// Kept for a generated include below. lvm-lint: allow(dead-suppression)\n"
+             "// lvm-lint: allow(raw-store)\n"
+             "void F() {}\n",
+             options, &result);
+  EXPECT_TRUE(result.violations.empty());
+  // Two suppression events: the fence silences the stale allow(raw-store),
+  // and (being on its own otherwise-unmatched line) it also fences itself.
+  EXPECT_EQ(result.suppressions_used, 2u);
 }
 
 TEST(LintExitCodes, MixedRulesCollapseToGenericFailure) {

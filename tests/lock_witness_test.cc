@@ -1,0 +1,144 @@
+// LockOrderWitness unit tests: edge recording, rank-violation detection on a
+// provoked out-of-order acquisition, the TryLock exemption, and the strict
+// lvm.lockgraph.v1 export.
+#include "src/base/lock_witness.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/base/mutex.h"
+
+namespace lvm {
+namespace {
+
+class WitnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LockOrderWitness::Reset();
+    LockOrderWitness::Enable();
+  }
+  void TearDown() override {
+    LockOrderWitness::Disable();
+    LockOrderWitness::Reset();
+  }
+};
+
+bool HasEdge(const std::string& from, const std::string& to) {
+  for (const auto& e : LockOrderWitness::Edges()) {
+    if (e.from == from && e.to == to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST_F(WitnessTest, NestedAcquisitionRecordsAnEdge) {
+  Mutex outer("T::outer", 10);
+  Mutex inner("T::inner", 20);
+  {
+    MutexLock lock(outer);
+    MutexLock nested(inner);
+  }
+  EXPECT_TRUE(HasEdge("T::outer", "T::inner"));
+  EXPECT_FALSE(HasEdge("T::inner", "T::outer"));
+  EXPECT_TRUE(LockOrderWitness::Violations().empty());
+}
+
+TEST_F(WitnessTest, OutOfOrderAcquisitionIsAViolation) {
+  Mutex outer("T::outer", 10);
+  Mutex inner("T::inner", 20);
+  {
+    MutexLock lock(inner);  // Rank 20 first...
+    MutexLock nested(outer);  // ...then 10: against the declared order.
+  }
+  const auto violations = LockOrderWitness::Violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].held, "T::inner");
+  EXPECT_EQ(violations[0].acquired, "T::outer");
+  EXPECT_EQ(violations[0].count, 1u);
+}
+
+TEST_F(WitnessTest, EqualRanksAreAViolation) {
+  // Two locks that can be held together must be strictly ordered.
+  Mutex a("T::a", 10);
+  Mutex b("T::b", 10);
+  {
+    MutexLock lock(a);
+    MutexLock nested(b);
+  }
+  EXPECT_EQ(LockOrderWitness::Violations().size(), 1u);
+}
+
+TEST_F(WitnessTest, TryLockIsExemptFromIncomingEdges) {
+  // TryLock is the sanctioned out-of-order primitive (crash-dump paths):
+  // no incoming edge, no violation — but its outgoing constraints are real.
+  Mutex outer("T::outer", 10);
+  Mutex inner("T::inner", 20);
+  {
+    MutexLock lock(inner);
+    ASSERT_TRUE(outer.TryLock());
+    outer.Unlock();
+  }
+  EXPECT_FALSE(HasEdge("T::inner", "T::outer"));
+  EXPECT_TRUE(LockOrderWitness::Violations().empty());
+
+  // Outgoing: a normal acquisition under a TryLock-held lock still edges.
+  {
+    ASSERT_TRUE(outer.TryLock());
+    MutexLock nested(inner);
+    outer.Unlock();
+  }
+  EXPECT_TRUE(HasEdge("T::outer", "T::inner"));
+}
+
+TEST_F(WitnessTest, AnonymousMutexesStayOutOfTheGraph) {
+  Mutex named("T::named", 10);
+  Mutex anonymous;
+  {
+    MutexLock lock(anonymous);
+    MutexLock nested(named);
+  }
+  EXPECT_TRUE(LockOrderWitness::Edges().empty());
+  EXPECT_EQ(LockOrderWitness::Locks().size(), 1u);
+}
+
+TEST_F(WitnessTest, DisabledWitnessRecordsNothing) {
+  LockOrderWitness::Disable();
+  Mutex outer("T::outer", 10);
+  Mutex inner("T::inner", 20);
+  {
+    MutexLock lock(inner);
+    MutexLock nested(outer);
+  }
+  EXPECT_TRUE(LockOrderWitness::Edges().empty());
+  EXPECT_TRUE(LockOrderWitness::Violations().empty());
+}
+
+TEST_F(WitnessTest, RepeatedEdgesCount) {
+  Mutex outer("T::outer", 10);
+  Mutex inner("T::inner", 20);
+  for (int i = 0; i < 3; ++i) {
+    MutexLock lock(outer);
+    MutexLock nested(inner);
+  }
+  const auto edges = LockOrderWitness::Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].count, 3u);
+}
+
+TEST_F(WitnessTest, JsonExportCarriesSchemaAndEdges) {
+  Mutex outer("T::outer", 10);
+  Mutex inner("T::inner", 20);
+  {
+    MutexLock lock(outer);
+    MutexLock nested(inner);
+  }
+  const std::string json = LockOrderWitness::LockGraphJson();
+  EXPECT_NE(json.find("\"schema\":\"lvm.lockgraph.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\":\"witness\""), std::string::npos);
+  EXPECT_NE(json.find("\"from\":\"T::outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"violations\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lvm

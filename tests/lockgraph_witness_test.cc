@@ -1,0 +1,175 @@
+// The static ⊇ dynamic cross-check (DESIGN.md §16): drive real concurrency —
+// a free-running parallel engine through overload events, a deterministic
+// race-provoking run, metrics snapshots mid-flight, and a durable-WAL
+// commit/checkpoint workload — with the LockOrderWitness enabled, then run
+// the lvm-analyze engine over the repo's real src/ tree and assert that
+// every lock-order edge the witness observed is present in the static
+// graph, and that no acquisition ran against the declared rank order.
+//
+// This is the test that keeps the analyzer honest: a call-resolution
+// heuristic that drops a real nesting path shows up here as a dynamic edge
+// with no static counterpart.
+#include <atomic>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/base/lock_witness.h"
+#include "src/lvm/lvm_system.h"
+#include "src/par/engine.h"
+#include "src/hostlvm/durable_region.h"
+#include "tools/lvm_analyze/analyze.h"
+
+namespace lvm {
+namespace {
+
+// Free-running parallel engine pushed through overload suspensions: the
+// initiator drains shards, charges the kernel overhead, and runs the race
+// detector's global barrier — the deepest lock nesting the engine has.
+void RunParallelOverloadWorkload() {
+  constexpr int kWorkers = 3;
+  constexpr uint32_t kWrites = 4000;
+  LvmConfig config;
+  config.num_cpus = kWorkers;
+  LvmSystem system(config);
+  system.EnableRaceDetection();
+  AddressSpace* as = system.CreateAddressSpace();
+  std::vector<Region*> regions;
+  std::vector<LogSegment*> logs;
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < kWorkers; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(kPageSize));
+    bases.push_back(as->BindRegion(region));
+    LogSegment* log = system.CreateLogSegment(4);
+    system.AttachLog(region, log);
+    regions.push_back(region);
+    logs.push_back(log);
+  }
+  for (int i = 0; i < kWorkers; ++i) {
+    system.Activate(as, i);
+  }
+
+  par::EngineConfig engine_config;
+  engine_config.mode = par::Mode::kParallel;
+  par::ShardConfig shard;
+  shard.ring_capacity = 128;
+  shard.overload_threshold = 64;
+  engine_config.shard = shard;
+  par::ParallelEngine engine(&system, engine_config);
+  engine.RegisterMetrics();
+  for (int i = 0; i < kWorkers; ++i) {
+    system.TouchRegion(&system.cpu(i), regions[i]);
+    VirtAddr base = bases[i];
+    engine.AddWorker(logs[i], [base](Cpu& cpu, uint64_t step) {
+      cpu.Write(base + 4 * (step % 1024), static_cast<uint32_t>(step));
+      return step + 1 < kWrites;
+    });
+  }
+  engine.Start();
+  // Snapshot mid-run: the registry lock nests the flight-ring occupancy
+  // callback — the declared edge the static graph carries by comment.
+  for (int i = 0; i < 50; ++i) {
+    (void)system.metrics().TakeSnapshot();
+  }
+  engine.Join();
+  ASSERT_GT(engine.overload_events(), 0u);
+}
+
+// Deterministic two-worker run racing on a shared word: the report path
+// exercises the race detector's full stripe → report → trail nesting.
+void RunRaceReportWorkload() {
+  LvmConfig config;
+  config.num_cpus = 2;
+  LvmSystem system(config);
+  system.EnableRaceDetection();
+  StdSegment* segment = system.CreateSegment(2 * kPageSize);
+  Region* region = system.CreateRegion(segment);
+  LogSegment* log = system.CreateLogSegment(16);
+  AddressSpace* as = system.CreateAddressSpace();
+  VirtAddr base = as->BindRegion(region);
+  system.AttachLog(region, log);
+  system.Activate(as, 0);
+  system.Activate(as, 1);
+
+  par::EngineConfig engine_config;
+  engine_config.mode = par::Mode::kDeterministic;
+  engine_config.seed = 42;
+  engine_config.publish_token_sync = false;
+  par::ParallelEngine engine(&system, engine_config);
+  const VirtAddr shared = base + 8;
+  for (int worker = 0; worker < 2; ++worker) {
+    VirtAddr mine = base + kPageSize + 64u * static_cast<VirtAddr>(worker);
+    engine.AddWorker(nullptr, [shared, mine](Cpu& cpu, uint64_t step) {
+      cpu.Write(shared, static_cast<uint32_t>(step));
+      cpu.Write(mine, static_cast<uint32_t>(step));
+      cpu.Compute(50);
+      return step + 1 < 40;
+    });
+  }
+  engine.Run();
+  ASSERT_FALSE(system.GetRaceReports().empty());
+}
+
+// Durable-WAL workload: transactional commits, durability barriers, and a
+// checkpoint — the serialized flush-under-lock tail.
+void RunWalWorkload() {
+  const std::string dir = testing::TempDir() + "lockgraph_witness_wal";
+  DurableRegionOptions options;
+  std::string error;
+  auto region = DurableTransactionalRegion::Open(dir, options, &error);
+  ASSERT_NE(region, nullptr) << error;
+  for (uint32_t i = 0; i < 32; ++i) {
+    region->Begin();
+    // += so the word diff is never empty, even over a reopened image.
+    region->data<uint32_t>()[i % 64] += i + 1;
+    ASSERT_NE(region->Commit(), 0u);
+  }
+  region->Sync();
+  region->Checkpoint();
+}
+
+TEST(LockGraphWitness, EveryDynamicEdgeIsInTheStaticGraph) {
+  LockOrderWitness::Reset();
+  LockOrderWitness::Enable();
+  RunParallelOverloadWorkload();
+  RunRaceReportWorkload();
+  RunWalWorkload();
+  LockOrderWitness::Disable();
+
+  // No acquisition ran against the declared rank order.
+  for (const auto& v : LockOrderWitness::Violations()) {
+    ADD_FAILURE() << "rank violation: " << v.held << " held while acquiring " << v.acquired
+                  << " (" << v.count << "x)";
+  }
+
+  const std::vector<LockOrderWitness::Edge> dynamic = LockOrderWitness::Edges();
+  ASSERT_GE(dynamic.size(), 3u) << "workloads exercised too little nesting to mean anything";
+
+  analyze::AnalysisResult result;
+  std::string error;
+  ASSERT_TRUE(analyze::AnalyzePaths({std::string(LVM_SOURCE_ROOT) + "/src"}, analyze::AnalyzeOptions{},
+                                    &result, &error))
+      << error;
+  std::set<std::pair<std::string, std::string>> static_edges;
+  for (const analyze::LockEdge& e : result.edges) {
+    static_edges.insert({e.from, e.to});
+  }
+  std::set<std::string> static_locks(result.lock_ids.begin(), result.lock_ids.end());
+
+  for (const LockOrderWitness::Edge& e : dynamic) {
+    EXPECT_TRUE(static_edges.count({e.from, e.to}))
+        << "witness saw " << e.from << " -> " << e.to << " (" << e.count
+        << "x) but the static graph has no such edge: the analyzer missed a path";
+  }
+  // Every named runtime lock must be a lock the analyzer knows, under the
+  // exact canonical id — otherwise edges could never be compared.
+  for (const auto& lock : LockOrderWitness::Locks()) {
+    EXPECT_TRUE(static_locks.count(lock.name))
+        << "runtime lock " << lock.name << " is not a statically known lock id";
+  }
+}
+
+}  // namespace
+}  // namespace lvm

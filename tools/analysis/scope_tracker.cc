@@ -1,0 +1,354 @@
+#include "tools/analysis/scope_tracker.h"
+
+#include <algorithm>
+
+namespace lvm {
+namespace analysis {
+
+namespace {
+
+bool IsPunct(const std::vector<Token>& tokens, size_t i, std::string_view text) {
+  return i < tokens.size() && tokens[i].kind == Token::Kind::kPunct && tokens[i].text == text;
+}
+
+bool IsIdent(const std::vector<Token>& tokens, size_t i) {
+  return i < tokens.size() && tokens[i].kind == Token::Kind::kIdentifier;
+}
+
+// Index of the token matching the opener at `i` (same nesting level), or
+// tokens.size() when unbalanced.
+size_t MatchForward(const std::vector<Token>& tokens, size_t i, std::string_view open,
+                    std::string_view close) {
+  int depth = 0;
+  for (size_t j = i; j < tokens.size(); ++j) {
+    if (IsPunct(tokens, j, open)) {
+      ++depth;
+    } else if (IsPunct(tokens, j, close)) {
+      if (--depth == 0) {
+        return j;
+      }
+    }
+  }
+  return tokens.size();
+}
+
+// Skips a preprocessor directive starting at the '#' token: the rest of its
+// line, plus backslash-continued lines (multi-line macro definitions).
+size_t SkipPreprocessor(const std::vector<Token>& tokens, size_t i) {
+  int line = tokens[i].line;
+  size_t j = i + 1;
+  while (j < tokens.size()) {
+    if (tokens[j].line > line) {
+      if (IsPunct(tokens, j - 1, "\\") && tokens[j - 1].line == line) {
+        line = tokens[j].line;
+        continue;
+      }
+      break;
+    }
+    ++j;
+  }
+  return j;
+}
+
+class Builder {
+ public:
+  explicit Builder(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  std::pair<std::vector<FunctionDef>, std::vector<std::pair<size_t, std::string>>> Run() && {
+    MarkClass(0);
+    size_t i = 0;
+    while (i < tokens_.size()) {
+      i = Dispatch(i);
+    }
+    return {std::move(functions_), std::move(class_marks_)};
+  }
+
+ private:
+  struct Scope {
+    enum class Kind : uint8_t { kNamespace, kClass, kEnum, kOther };
+    Kind kind;
+    std::string name;  // Class name for kClass.
+  };
+
+  std::string ClassPath() const {
+    std::string path;
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::Kind::kClass) {
+        if (!path.empty()) {
+          path += "::";
+        }
+        path += s.name;
+      }
+    }
+    return path;
+  }
+
+  void MarkClass(size_t token_index) {
+    class_marks_.emplace_back(token_index, ClassPath());
+  }
+
+  void Push(Scope::Kind kind, std::string name, size_t token_index) {
+    scopes_.push_back({kind, std::move(name)});
+    if (kind == Scope::Kind::kClass) {
+      MarkClass(token_index);
+    }
+  }
+
+  void Pop(size_t token_index) {
+    if (scopes_.empty()) {
+      return;
+    }
+    const bool was_class = scopes_.back().kind == Scope::Kind::kClass;
+    scopes_.pop_back();
+    if (was_class) {
+      MarkClass(token_index + 1);
+    }
+  }
+
+  // Handles the token at `i`; returns the index to continue from.
+  size_t Dispatch(size_t i) {
+    const Token& t = tokens_[i];
+    if (t.kind == Token::Kind::kIdentifier) {
+      if (t.text == "template") {
+        return SkipTemplateHead(i);
+      }
+      if (t.text == "namespace") {
+        return EnterNamespace(i);
+      }
+      if (t.text == "class" || t.text == "struct" || t.text == "union") {
+        return EnterClass(i);
+      }
+      if (t.text == "enum") {
+        return EnterEnum(i);
+      }
+      return ParseDeclaration(i);
+    }
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "{") {
+        Push(Scope::Kind::kOther, "", i);
+        return i + 1;
+      }
+      if (t.text == "}") {
+        Pop(i);
+        return i + 1;
+      }
+      if (t.text == "#") {
+        return SkipPreprocessor(tokens_, i);
+      }
+    }
+    return ParseDeclaration(i);
+  }
+
+  size_t SkipTemplateHead(size_t i) {
+    size_t j = i + 1;
+    if (!IsPunct(tokens_, j, "<")) {
+      return i + 1;
+    }
+    int depth = 0;
+    for (; j < tokens_.size(); ++j) {
+      if (IsPunct(tokens_, j, "<")) {
+        ++depth;
+      } else if (IsPunct(tokens_, j, ">")) {
+        if (--depth == 0) {
+          return j + 1;
+        }
+      }
+    }
+    return tokens_.size();
+  }
+
+  size_t EnterNamespace(size_t i) {
+    for (size_t j = i + 1; j < tokens_.size(); ++j) {
+      if (IsPunct(tokens_, j, "{")) {
+        Push(Scope::Kind::kNamespace, "", j);
+        return j + 1;
+      }
+      if (IsPunct(tokens_, j, ";") || IsPunct(tokens_, j, "=")) {
+        return j + 1;  // Alias or using-directive tail.
+      }
+    }
+    return tokens_.size();
+  }
+
+  size_t EnterClass(size_t i) {
+    // Name: the first identifier after the keyword that is not an attribute
+    // macro — either one with arguments (identifier immediately followed by
+    // '(') or an argless LVM_* one (the repo's macro vocabulary, e.g.
+    // `class LVM_SCOPED_CAPABILITY MutexLock`).
+    std::string name;
+    size_t j = i + 1;
+    for (; j < tokens_.size(); ++j) {
+      if (IsPunct(tokens_, j, "{") || IsPunct(tokens_, j, ";")) {
+        break;
+      }
+      if (IsPunct(tokens_, j, "(")) {
+        j = MatchForward(tokens_, j, "(", ")");
+        continue;
+      }
+      if (name.empty() && IsIdent(tokens_, j) && !IsPunct(tokens_, j + 1, "(") &&
+          IsNameCandidate(tokens_[j]) && tokens_[j].text != "final" &&
+          tokens_[j].text != "alignas") {
+        name = tokens_[j].text;
+      }
+    }
+    // Scan to the body '{' (skipping the base clause) or a terminating ';'
+    // (forward declaration / `friend class X;`).
+    for (; j < tokens_.size(); ++j) {
+      if (IsPunct(tokens_, j, "{")) {
+        Push(Scope::Kind::kClass, name, j);
+        return j + 1;
+      }
+      if (IsPunct(tokens_, j, ";")) {
+        return j + 1;
+      }
+      if (IsPunct(tokens_, j, "(")) {
+        j = MatchForward(tokens_, j, "(", ")");
+      }
+    }
+    return tokens_.size();
+  }
+
+  size_t EnterEnum(size_t i) {
+    for (size_t j = i + 1; j < tokens_.size(); ++j) {
+      if (IsPunct(tokens_, j, "{")) {
+        Push(Scope::Kind::kEnum, "", j);
+        return j + 1;
+      }
+      if (IsPunct(tokens_, j, ";")) {
+        return j + 1;
+      }
+    }
+    return tokens_.size();
+  }
+
+  // Candidate function names: plain identifiers that are not annotation or
+  // convention macros (the repo's macro vocabulary is all LVM_-prefixed).
+  static bool IsNameCandidate(const Token& t) {
+    return t.kind == Token::Kind::kIdentifier && t.text.rfind("LVM_", 0) != 0;
+  }
+
+  // Consumes one declaration/definition starting at `i`: ends at its ';' or
+  // past its body '}'. Records a FunctionDef when the statement contains an
+  // `ident (` declarator.
+  size_t ParseDeclaration(size_t i) {
+    FunctionDef def;
+    bool named = false;
+    size_t j = i;
+    while (j < tokens_.size()) {
+      const Token& t = tokens_[j];
+      if (t.kind == Token::Kind::kIdentifier && !named &&
+          (t.text == "namespace" || t.text == "template" || t.text == "class" ||
+           t.text == "struct" || t.text == "union" || t.text == "enum")) {
+        // A structural keyword before any declarator: not a function
+        // declaration after all — let Dispatch handle it. (Unreachable at
+        // j == i: Dispatch routes those keywords before calling here.)
+        return j;
+      }
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "#") {
+          if (!named) {
+            return j;
+          }
+          j = SkipPreprocessor(tokens_, j);
+          continue;
+        }
+        if (t.text == ";") {
+          if (named) {
+            def.sig_end = j;
+            Record(std::move(def));
+          }
+          return j + 1;
+        }
+        if (t.text == "}") {
+          // End of the enclosing scope before any ';' — leave it for the
+          // outer loop (malformed or macro-heavy input).
+          return j;
+        }
+        if (t.text == "(") {
+          if (!named && j > i && IsNameCandidate(tokens_[j - 1])) {
+            named = true;
+            def.name = tokens_[j - 1].text;
+            def.line = tokens_[j - 1].line;
+            def.params_begin = j;
+            def.params_end = MatchForward(tokens_, j, "(", ")");
+            CollectQualifiers(j - 1, &def);
+            j = def.params_end + 1;
+            continue;
+          }
+          j = MatchForward(tokens_, j, "(", ")") + 1;
+          continue;
+        }
+        if (t.text == "{") {
+          if (named) {
+            def.sig_end = j;
+            def.body_begin = j;
+            def.body_end = MatchForward(tokens_, j, "{", "}");
+            def.has_body = true;
+            size_t next = def.body_end + 1;
+            Record(std::move(def));
+            return next;
+          }
+          // Brace initializer (`Mutex mu_{...};`): skip it, keep scanning
+          // for the declaration's ';'.
+          j = MatchForward(tokens_, j, "{", "}") + 1;
+          continue;
+        }
+      }
+      ++j;
+    }
+    return tokens_.size();
+  }
+
+  // Walks `A::B::name` qualifiers backwards from the name token and builds
+  // the full class path: enclosing scope classes plus explicit qualifiers.
+  void CollectQualifiers(size_t name_index, FunctionDef* def) {
+    std::vector<std::string> quals;
+    size_t k = name_index;
+    while (k >= 2 && IsPunct(tokens_, k - 1, "::") && IsIdent(tokens_, k - 2)) {
+      quals.push_back(tokens_[k - 2].text);
+      k -= 2;
+    }
+    std::reverse(quals.begin(), quals.end());
+    std::string path = ClassPath();
+    for (const std::string& q : quals) {
+      if (!path.empty()) {
+        path += "::";
+      }
+      path += q;
+    }
+    def->class_path = std::move(path);
+    def->qualified = def->class_path.empty() ? def->name : def->class_path + "::" + def->name;
+  }
+
+  void Record(FunctionDef def) { functions_.push_back(std::move(def)); }
+
+  const std::vector<Token>& tokens_;
+  std::vector<Scope> scopes_;
+  std::vector<FunctionDef> functions_;
+  std::vector<std::pair<size_t, std::string>> class_marks_;
+};
+
+}  // namespace
+
+const std::string& ScopeInfo::ClassAt(size_t index) const {
+  static const std::string kEmpty;
+  const std::string* best = &kEmpty;
+  for (const auto& [at, path] : class_marks_) {
+    if (at > index) {
+      break;
+    }
+    best = &path;
+  }
+  return *best;
+}
+
+ScopeInfo BuildScopes(const std::vector<Token>& tokens) {
+  ScopeInfo info;
+  auto [functions, marks] = Builder(tokens).Run();
+  info.functions_ = std::move(functions);
+  info.class_marks_ = std::move(marks);
+  return info;
+}
+
+}  // namespace analysis
+}  // namespace lvm

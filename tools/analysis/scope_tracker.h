@@ -1,0 +1,71 @@
+// Scope tracker: class/function structure over the shared token stream
+// (DESIGN.md §16).
+//
+// A single forward pass over a tokenized translation unit that recovers just
+// enough structure for whole-program convention checks without a real C++
+// frontend:
+//
+//   - the innermost class path at any token ("RaceDetector::Stripe" for a
+//     token inside the nested struct), namespaces excluded;
+//   - every function definition with its qualified name (enclosing class
+//     path plus any explicit A::B:: qualifiers on an out-of-line
+//     definition), parameter-list and body token ranges, and the signature
+//     tail between ')' and '{' where the thread-safety annotation macros
+//     (LVM_REQUIRES, LVM_ACQUIRE, ...) live;
+//   - member declarations that carry annotations but no body, so contracts
+//     stated only in a header (e.g. `void ParkForOverload(int)
+//     LVM_REQUIRES(mu_);`) are visible to the analyzer too.
+//
+// Heuristics, deliberately: a brace-balanced scan that distinguishes
+// namespace / class / enum / initializer braces from function bodies. It is
+// tuned to the repo's style (clang-format, no function-try-blocks, no K&R)
+// and over-approximates gracefully — a statement misread as a declaration
+// records a harmless empty entry.
+#ifndef TOOLS_ANALYSIS_SCOPE_TRACKER_H_
+#define TOOLS_ANALYSIS_SCOPE_TRACKER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/analysis/tokenizer.h"
+
+namespace lvm {
+namespace analysis {
+
+// A function definition (has a body) or annotated declaration (ends in ';').
+struct FunctionDef {
+  std::string name;        // Unqualified: "Report".
+  std::string qualified;   // Class path + name: "RaceDetector::Report".
+  std::string class_path;  // "" for a free function.
+  int line = 0;
+  size_t params_begin = 0;  // Token index of the '('.
+  size_t params_end = 0;    // Token index of the matching ')'.
+  size_t sig_end = 0;       // Token index of the body '{' or the ';'.
+  size_t body_begin = 0;    // Token index of '{'; 0 for a declaration.
+  size_t body_end = 0;      // Token index of the matching '}'; 0 for a decl.
+  bool has_body = false;
+};
+
+class ScopeInfo {
+ public:
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+
+  // Innermost class path containing token `index` ("" at namespace scope).
+  const std::string& ClassAt(size_t index) const;
+
+ private:
+  friend ScopeInfo BuildScopes(const std::vector<Token>& tokens);
+
+  std::vector<FunctionDef> functions_;
+  // (first token index, class path) transitions, ascending.
+  std::vector<std::pair<size_t, std::string>> class_marks_;
+};
+
+ScopeInfo BuildScopes(const std::vector<Token>& tokens);
+
+}  // namespace analysis
+}  // namespace lvm
+
+#endif  // TOOLS_ANALYSIS_SCOPE_TRACKER_H_

@@ -1,0 +1,219 @@
+#include "tools/analysis/tokenizer.h"
+
+#include <cctype>
+
+namespace lvm {
+namespace analysis {
+
+namespace {
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, std::string_view allow_tag) : src_(src), allow_tag_(allow_tag) {}
+
+  TokenizedSource Run() && {
+    while (pos_ < src_.size()) {
+      Step();
+    }
+    TokenizedSource out;
+    out.tokens = std::move(tokens_);
+    out.suppressions = std::move(suppressions_);
+    return out;
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Take() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  void Step() {
+    char c = Peek();
+    if (c == '/' && Peek(1) == '/') {
+      LexLineComment();
+    } else if (c == '/' && Peek(1) == '*') {
+      LexBlockComment();
+    } else if (c == '"') {
+      LexString();
+    } else if (c == '\'') {
+      LexCharLiteral();
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      LexIdentifier();
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      LexNumber();
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      Take();
+    } else {
+      LexPunct();
+    }
+  }
+
+  void LexLineComment() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < src_.size() && Peek() != '\n') {
+      text.push_back(Take());
+    }
+    MineSuppressions(text, line);
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    std::string text;
+    Take();  // '/'
+    Take();  // '*'
+    while (pos_ < src_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+      text.push_back(Take());
+    }
+    if (pos_ < src_.size()) {
+      Take();
+      Take();
+    }
+    MineSuppressions(text, line);
+  }
+
+  // Recognizes every `<allow_tag><rule>)` in a comment's text.
+  void MineSuppressions(const std::string& text, int line) {
+    if (allow_tag_.empty()) {
+      return;
+    }
+    size_t at = 0;
+    while ((at = text.find(allow_tag_, at)) != std::string::npos) {
+      at += allow_tag_.size();
+      size_t close = text.find(')', at);
+      if (close == std::string::npos) {
+        break;
+      }
+      suppressions_[line].insert(text.substr(at, close - at));
+      at = close + 1;
+    }
+  }
+
+  void LexString() {
+    const int line = line_;
+    Take();  // opening quote
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = Take();
+      if (c == '\\' && pos_ < src_.size()) {
+        text.push_back(c);
+        text.push_back(Take());
+        continue;
+      }
+      if (c == '"') {
+        break;
+      }
+      text.push_back(c);
+    }
+    tokens_.push_back({Token::Kind::kString, std::move(text), line});
+  }
+
+  // R"delim( ... )delim" — the identifier ending in R was already consumed
+  // by LexIdentifier, which calls this when it sees the opening quote.
+  void LexRawString() {
+    const int line = line_;
+    Take();  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && Peek() != '(') {
+      delim.push_back(Take());
+    }
+    if (pos_ < src_.size()) {
+      Take();  // '('
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
+      text.push_back(Take());
+    }
+    for (size_t i = 0; i < closer.size() && pos_ < src_.size(); ++i) {
+      Take();
+    }
+    tokens_.push_back({Token::Kind::kString, std::move(text), line});
+  }
+
+  void LexCharLiteral() {
+    Take();  // opening quote
+    while (pos_ < src_.size()) {
+      char c = Take();
+      if (c == '\\' && pos_ < src_.size()) {
+        Take();
+        continue;
+      }
+      if (c == '\'') {
+        break;
+      }
+    }
+  }
+
+  void LexIdentifier() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        text.push_back(Take());
+      } else {
+        break;
+      }
+    }
+    // Raw-string prefix (R"..., u8R"..., LR"..., ...): hand off to the raw
+    // string lexer instead of emitting the prefix as an identifier.
+    if (Peek() == '"' && !text.empty() && text.back() == 'R' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
+      LexRawString();
+      return;
+    }
+    tokens_.push_back({Token::Kind::kIdentifier, std::move(text), line});
+  }
+
+  void LexNumber() {
+    // Swallow the full pp-number (hex digits, suffixes, exponents, digit
+    // separators); the checks never look at numeric values.
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '\'') {
+        Take();
+      } else if ((c == '+' || c == '-') && pos_ > 0 &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' || src_[pos_ - 1] == 'p' ||
+                  src_[pos_ - 1] == 'P')) {
+        Take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void LexPunct() {
+    const int line = line_;
+    char c = Take();
+    std::string text(1, c);
+    if (c == '-' && Peek() == '>') {
+      text.push_back(Take());
+    } else if (c == ':' && Peek() == ':') {
+      text.push_back(Take());
+    }
+    tokens_.push_back({Token::Kind::kPunct, std::move(text), line});
+  }
+
+  std::string_view src_;
+  std::string_view allow_tag_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<Token> tokens_;
+  std::map<int, std::set<std::string>> suppressions_;
+};
+
+}  // namespace
+
+TokenizedSource Tokenize(std::string_view src, std::string_view allow_tag) {
+  return Lexer(src, allow_tag).Run();
+}
+
+}  // namespace analysis
+}  // namespace lvm

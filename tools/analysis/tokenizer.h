@@ -1,0 +1,45 @@
+// Shared C++ tokenizer for the repo's own static checkers (DESIGN.md §13, §16).
+//
+// Just enough lexing for convention and structure checks: identifiers, string
+// literal contents, and punctuation, each with a 1-based line number. Comments
+// are consumed here and mined for `<tool>: allow(<rule>)` suppressions, so
+// every checker built on this library shares one suppression syntax; numbers
+// and character literals are skipped. Lifted out of tools/lvm_lint so
+// tools/lvm_analyze (the lock-order analyzer) parses sources identically.
+#ifndef TOOLS_ANALYSIS_TOKENIZER_H_
+#define TOOLS_ANALYSIS_TOKENIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lvm {
+namespace analysis {
+
+struct Token {
+  enum class Kind : uint8_t { kIdentifier, kString, kPunct };
+  Kind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct TokenizedSource {
+  std::vector<Token> tokens;
+  // line -> rule slugs silenced by an allow() comment on that line. Slugs are
+  // kept verbatim (including unknown ones) so a checker can report allow()
+  // comments that name no real rule.
+  std::map<int, std::set<std::string>> suppressions;
+};
+
+// Tokenizes `src`. `allow_tag` is the suppression-comment prefix to mine,
+// e.g. "lvm-lint: allow(" — everything between it and the closing ')' is
+// recorded as a suppression slug for the comment's first line.
+TokenizedSource Tokenize(std::string_view src, std::string_view allow_tag);
+
+}  // namespace analysis
+}  // namespace lvm
+
+#endif  // TOOLS_ANALYSIS_TOKENIZER_H_

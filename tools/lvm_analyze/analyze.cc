@@ -1,0 +1,1583 @@
+#include "tools/lvm_analyze/analyze.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+#include "tools/analysis/scope_tracker.h"
+#include "tools/analysis/tokenizer.h"
+
+namespace lvm {
+namespace analyze {
+
+namespace {
+
+using analysis::FunctionDef;
+using analysis::ScopeInfo;
+using analysis::Token;
+using analysis::TokenizedSource;
+
+constexpr Rule kAllRules[] = {Rule::kLockCycle, Rule::kLockBlocking, Rule::kWalPersistOrder,
+                              Rule::kLockDecl};
+
+// Suppression / directive comment prefixes mined from the sources.
+constexpr std::string_view kAllowTag = "lvm-analyze: allow(";
+constexpr std::string_view kEdgeTag = "lvm-analyze: edge(";
+
+// --- token helpers ---------------------------------------------------------
+
+bool IsPunct(const std::vector<Token>& t, size_t i, std::string_view text) {
+  return i < t.size() && t[i].kind == Token::Kind::kPunct && t[i].text == text;
+}
+
+bool IsIdent(const std::vector<Token>& t, size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdentifier;
+}
+
+bool IsIdent(const std::vector<Token>& t, size_t i, std::string_view text) {
+  return IsIdent(t, i) && t[i].text == text;
+}
+
+size_t MatchForward(const std::vector<Token>& t, size_t i, std::string_view open,
+                    std::string_view close) {
+  int depth = 0;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (IsPunct(t, j, open)) {
+      ++depth;
+    } else if (IsPunct(t, j, close)) {
+      if (--depth == 0) {
+        return j;
+      }
+    }
+  }
+  return t.size();
+}
+
+size_t MatchBackward(const std::vector<Token>& t, size_t i, std::string_view open,
+                     std::string_view close) {
+  int depth = 0;
+  for (size_t j = i + 1; j-- > 0;) {
+    if (IsPunct(t, j, close)) {
+      ++depth;
+    } else if (IsPunct(t, j, open)) {
+      if (--depth == 0) {
+        return j;
+      }
+    }
+  }
+  return 0;
+}
+
+// Splits the argument list between `open` ('(' or '{') and its matching
+// closer into depth-0 comma-separated token ranges [begin, end).
+std::vector<std::pair<size_t, size_t>> SplitArgs(const std::vector<Token>& t, size_t open,
+                                                 size_t close) {
+  std::vector<std::pair<size_t, size_t>> args;
+  size_t begin = open + 1;
+  int depth = 0;
+  for (size_t j = open + 1; j < close; ++j) {
+    if (IsPunct(t, j, "(") || IsPunct(t, j, "[") || IsPunct(t, j, "{")) {
+      ++depth;
+    } else if (IsPunct(t, j, ")") || IsPunct(t, j, "]") || IsPunct(t, j, "}")) {
+      --depth;
+    } else if (depth == 0 && IsPunct(t, j, ",")) {
+      args.emplace_back(begin, j);
+      begin = j + 1;
+    }
+  }
+  if (begin < close) {
+    args.emplace_back(begin, close);
+  }
+  return args;
+}
+
+std::vector<std::string> IdentsIn(const std::vector<Token>& t, size_t begin, size_t end) {
+  std::vector<std::string> out;
+  for (size_t j = begin; j < end; ++j) {
+    if (IsIdent(t, j)) {
+      out.push_back(t[j].text);
+    }
+  }
+  return out;
+}
+
+std::string LowerCore(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c != '_') {
+      out.push_back(static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+    }
+  }
+  return out;
+}
+
+std::string LastComponent(const std::string& path) {
+  const size_t at = path.rfind("::");
+  return at == std::string::npos ? path : path.substr(at + 2);
+}
+
+bool Unresolved(const std::string& id) { return !id.empty() && id[0] == '?'; }
+
+const std::set<std::string>& CallExcludedKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",     "for",       "while",    "switch",   "return", "sizeof",  "alignof",
+      "decltype", "noexcept", "catch",    "throw",    "new",    "delete",  "not",
+      "and",    "or",        "defined",  "static_assert",      "co_await", "co_return",
+      "co_yield", "else",    "do",       "case",     "goto",   "using",   "operator",
+      "typeid", "assert",    "this"};
+  return kSet;
+}
+
+// Primitives that can block the calling thread for an unbounded or
+// device-speed interval. CondVar waits are handled separately (they carry an
+// exempt mutex).
+const std::set<std::string>& BlockingPrims() {
+  static const std::set<std::string> kSet = {"join",  "msync",  "fsync", "fdatasync", "ftruncate",
+                                             "fopen", "fwrite", "fread", "fclose",    "fflush"};
+  return kSet;
+}
+
+// Direct flush-barrier spellings inside the WAL layer.
+const std::set<std::string>& WalBarrierIdents() {
+  static const std::set<std::string> kSet = {"Sync", "SyncAll", "msync", "fsync", "fdatasync"};
+  return kSet;
+}
+
+// Identifier markers whose presence in a memcpy/memset destination argument
+// means persistent (mapped WAL / image) bytes are being written.
+bool IsPersistentDest(const std::vector<std::string>& idents) {
+  bool has_data = false;
+  bool has_mapping = false;
+  for (const std::string& id : idents) {
+    if (id == "raw_block_bytes" || id == "raw_superblock_bytes" || id == "BlockPayload" ||
+        id == "BlockHeader") {
+      return true;
+    }
+    if (id == "data") {
+      has_data = true;
+    }
+    if (id == "file_" || id == "image_") {
+      has_mapping = true;
+    }
+  }
+  return has_data && has_mapping;
+}
+
+// --- fact structures -------------------------------------------------------
+
+struct LockDecl {
+  std::string id;          // Canonical "<ClassPath>::<member>" (member alone at file scope).
+  std::string member;
+  std::string class_path;
+  std::string file;
+  int line = 0;
+  std::string name_literal;  // First string in the brace initializer, if any.
+  std::string rank_ident;    // kRank* identifier in the initializer, if any.
+};
+
+// A scoped-guard class whose constructor acquires a lock: `arg_index`-th
+// constructor argument, then the member path `suffix` appended to it.
+struct GuardSpec {
+  size_t arg_index = 0;
+  std::vector<std::string> suffix;
+};
+
+struct AcqSite {
+  std::string lock;
+  int line = 0;
+  bool is_try = false;
+  std::vector<std::string> held;  // Resolved ids held at the acquire.
+};
+
+struct FuncFacts;
+
+struct CallSite {
+  std::string name;
+  std::string receiver;  // Base identifier before '.'/'->' ("" if none).
+  int line = 0;
+  std::vector<std::string> held;
+  std::vector<FuncFacts*> resolved;
+};
+
+struct DirectBlock {
+  std::string kind;    // "CondVar::Wait" or the primitive name.
+  std::string exempt;  // Lock id a wait releases while blocked ("" otherwise).
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct WalEvent {
+  enum class Kind : uint8_t { kMutation, kBarrier, kCall };
+  Kind kind = Kind::kMutation;
+  size_t call_index = 0;  // Into FuncFacts::calls for kCall.
+  int line = 0;
+};
+
+// How a function reaches a lock: a direct acquire site, or through `via`.
+struct AcqPath {
+  int line = 0;
+  FuncFacts* via = nullptr;
+};
+
+// A way a function can block: directly or through callees.
+struct BlockSpec {
+  std::string kind;
+  std::string exempt;
+  std::string through;  // Callee chain head ("" when direct).
+
+  bool operator<(const BlockSpec& o) const {
+    return std::tie(kind, exempt, through) < std::tie(o.kind, o.exempt, o.through);
+  }
+};
+
+struct FuncFacts {
+  std::string qualified;
+  std::string class_path;
+  std::string file;
+  int line = 0;
+  bool wal_scope = false;
+  std::vector<std::string> entry_held;
+  std::vector<AcqSite> acquires;
+  std::vector<CallSite> calls;
+  std::vector<DirectBlock> blocks;
+  std::vector<WalEvent> wal_events;
+  // Fixpoint state.
+  std::map<std::string, AcqPath> acq_star;
+  std::set<BlockSpec> block_star;
+  int wal_effect = 0;  // 0 none, 1 ends-clean-with-barrier, 2 ends-dirty.
+};
+
+struct DeclaredEdge {
+  std::string from;
+  std::string to;
+  int line = 0;
+};
+
+}  // namespace
+
+// --- rule helpers ----------------------------------------------------------
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kLockCycle:
+      return "lock-cycle";
+    case Rule::kLockBlocking:
+      return "lock-blocking";
+    case Rule::kWalPersistOrder:
+      return "wal-persist-order";
+    case Rule::kLockDecl:
+      return "lock-decl";
+  }
+  return "unknown";
+}
+
+int RuleExitCode(Rule rule) {
+  switch (rule) {
+    case Rule::kLockCycle:
+      return 20;
+    case Rule::kLockBlocking:
+      return 21;
+    case Rule::kWalPersistOrder:
+      return 22;
+    case Rule::kLockDecl:
+      return 23;
+  }
+  return 1;
+}
+
+bool ParseRuleName(std::string_view name, Rule* out) {
+  for (Rule rule : kAllRules) {
+    if (name == RuleName(rule)) {
+      *out = rule;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- analyzer --------------------------------------------------------------
+
+struct Analyzer::Impl {
+  struct SourceFile {
+    std::string path;
+    TokenizedSource ts;
+    ScopeInfo scopes;
+    std::vector<DeclaredEdge> declared_edges;
+    bool primitive = false;
+    bool wal = false;
+    bool rank_header = false;
+  };
+
+  explicit Impl(AnalyzeOptions opts) : options(std::move(opts)) {}
+
+  AnalyzeOptions options;
+  std::vector<std::unique_ptr<SourceFile>> files;
+};
+
+Analyzer::Analyzer(AnalyzeOptions options) : impl_(new Impl(std::move(options))) {}
+Analyzer::~Analyzer() = default;
+
+void Analyzer::AddSource(const std::string& path, std::string_view contents) {
+  auto sf = std::make_unique<Impl::SourceFile>();
+  sf->path = path;
+  sf->ts = analysis::Tokenize(contents, kAllowTag);
+  sf->scopes = analysis::BuildScopes(sf->ts.tokens);
+  for (const std::string& fragment : impl_->options.primitive_paths) {
+    if (path.find(fragment) != std::string::npos) {
+      sf->primitive = true;
+    }
+  }
+  for (const std::string& fragment : impl_->options.wal_paths) {
+    if (path.find(fragment) != std::string::npos) {
+      sf->wal = true;
+    }
+  }
+  sf->rank_header = path.find(impl_->options.rank_header) != std::string::npos;
+
+  // Mine `lvm-analyze: edge(From, To)` declarations from the raw text (they
+  // live in comments, which the tokenizer consumes).
+  size_t at = 0;
+  while ((at = contents.find(kEdgeTag, at)) != std::string_view::npos) {
+    const int line =
+        1 + static_cast<int>(std::count(contents.begin(), contents.begin() + at, '\n'));
+    at += kEdgeTag.size();
+    const size_t close = contents.find(')', at);
+    if (close == std::string_view::npos) {
+      break;
+    }
+    std::string inside(contents.substr(at, close - at));
+    const size_t comma = inside.find(',');
+    if (comma != std::string::npos) {
+      auto trim = [](std::string s) {
+        const size_t b = s.find_first_not_of(" \t");
+        const size_t e = s.find_last_not_of(" \t");
+        return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+      };
+      DeclaredEdge edge;
+      edge.from = trim(inside.substr(0, comma));
+      edge.to = trim(inside.substr(comma + 1));
+      edge.line = line;
+      if (!edge.from.empty() && !edge.to.empty()) {
+        sf->declared_edges.push_back(std::move(edge));
+      }
+    }
+    at = close + 1;
+  }
+
+  impl_->files.push_back(std::move(sf));
+}
+
+namespace {
+
+// The whole-program pass over every added source.
+class Engine {
+ public:
+  explicit Engine(Analyzer::Impl* impl) : impl_(impl) {}
+
+  AnalysisResult Run() {
+    ScanRanks();
+    ScanLockDecls();
+    ScanGuards();
+    CollectFunctions();
+    MergeDeclRequires();
+    WalkBodies();
+    ResolveCalls();
+    AcquireFixpoint();
+    BuildEdges();
+    CheckBlocking();
+    CheckWalOrder();
+    CheckDecls();
+    CheckCycles();
+    Finalize();
+    return std::move(result_);
+  }
+
+ private:
+  using SourceFile = Analyzer::Impl::SourceFile;
+
+  // Rank constants, in declaration order in the rank header. The ordinal of
+  // appearance there IS the declared total order.
+  void ScanRanks() {
+    for (const auto& sf : impl_->files) {
+      if (!sf->rank_header) {
+        continue;
+      }
+      for (const Token& t : sf->ts.tokens) {
+        if (t.kind == Token::Kind::kIdentifier && t.text.rfind("kRank", 0) == 0 &&
+            rank_ordinal_.find(t.text) == rank_ordinal_.end()) {
+          rank_ordinal_[t.text] = static_cast<int>(rank_ordinal_.size()) + 1;
+        }
+      }
+    }
+  }
+
+  // `Mutex <member> [annotations...] [{"name", kRank...}];` declarations.
+  void ScanLockDecls() {
+    for (const auto& sf : impl_->files) {
+      const auto& t = sf->ts.tokens;
+      for (size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!IsIdent(t, i, "Mutex")) {
+          continue;
+        }
+        if (i > 0 && (IsIdent(t, i - 1, "class") || IsIdent(t, i - 1, "struct") ||
+                      IsIdent(t, i - 1, "friend") || IsIdent(t, i - 1, "using"))) {
+          continue;
+        }
+        if (!IsIdent(t, i + 1)) {
+          continue;  // `Mutex&`, `Mutex*`, `Mutex>` ...: not an owning member.
+        }
+        LockDecl decl;
+        decl.member = t[i + 1].text;
+        decl.class_path = sf->scopes.ClassAt(i);
+        decl.id = decl.class_path.empty() ? decl.member : decl.class_path + "::" + decl.member;
+        decl.file = sf->path;
+        decl.line = t[i + 1].line;
+        // Walk the declaration tail: annotation macros, then an optional
+        // brace initializer, then ';'. Anything else means this was not a
+        // member declaration (e.g. a function returning Mutex).
+        size_t j = i + 2;
+        bool ok = false;
+        while (j < t.size()) {
+          if (IsIdent(t, j) && t[j].text.rfind("LVM_", 0) == 0 && IsPunct(t, j + 1, "(")) {
+            j = MatchForward(t, j + 1, "(", ")") + 1;
+            continue;
+          }
+          if (IsPunct(t, j, ";")) {
+            ok = true;
+            break;
+          }
+          if (IsPunct(t, j, "{")) {
+            const size_t close = MatchForward(t, j, "{", "}");
+            for (size_t k = j + 1; k < close; ++k) {
+              if (t[k].kind == Token::Kind::kString && decl.name_literal.empty()) {
+                decl.name_literal = t[k].text;
+              } else if (IsIdent(t, k) && t[k].text.rfind("kRank", 0) == 0) {
+                decl.rank_ident = t[k].text;
+              }
+            }
+            j = close + 1;
+            continue;
+          }
+          break;
+        }
+        if (ok) {
+          locks_by_member_[decl.member].push_back(lock_decls_.size());
+          lock_ids_.insert(decl.id);
+          lock_decls_.push_back(std::move(decl));
+        }
+      }
+    }
+  }
+
+  // Scoped-guard discovery: a constructor (function whose name equals its
+  // innermost class) carrying LVM_ACQUIRE(<param>[.member...]).
+  void ScanGuards() {
+    guards_["MutexLock"] = GuardSpec{0, {}};  // The built-in RAII guard.
+    for (const auto& sf : impl_->files) {
+      const auto& t = sf->ts.tokens;
+      for (const FunctionDef& def : sf->scopes.functions()) {
+        if (def.class_path.empty() || def.name != LastComponent(def.class_path)) {
+          continue;
+        }
+        // Find LVM_ACQUIRE in the signature tail.
+        for (size_t j = def.params_end; j < def.sig_end; ++j) {
+          if (!IsIdent(t, j, "LVM_ACQUIRE") || !IsPunct(t, j + 1, "(")) {
+            continue;
+          }
+          const size_t close = MatchForward(t, j + 1, "(", ")");
+          const std::vector<std::string> expr = IdentsIn(t, j + 2, close);
+          if (expr.empty()) {
+            continue;
+          }
+          // Parameter names: the identifier right before ',' / ')' / '='.
+          std::vector<std::string> params;
+          for (const auto& [b, e] : SplitArgs(t, def.params_begin, def.params_end)) {
+            std::string name;
+            for (size_t k = b; k < e; ++k) {
+              if (IsIdent(t, k) &&
+                  (k + 1 == e || IsPunct(t, k + 1, "=") || IsPunct(t, k + 1, "["))) {
+                name = t[k].text;
+              }
+            }
+            params.push_back(std::move(name));
+          }
+          for (size_t p = 0; p < params.size(); ++p) {
+            if (!params[p].empty() && params[p] == expr.front()) {
+              GuardSpec spec;
+              spec.arg_index = p;
+              spec.suffix.assign(expr.begin() + 1, expr.end());
+              guards_.emplace(def.name, std::move(spec));
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Lock-expression resolution: map `stripe.mu` / `mu_` / `s->mu` to a
+  // canonical declared lock id, using the enclosing class for narrowing and
+  // the receiver identifier as a tiebreaker. Unresolvable or ambiguous
+  // expressions yield a "?member" id that tracks held/released pairing but
+  // is excluded from edges and findings.
+  std::string ResolveLock(const std::vector<std::string>& expr, const std::string& class_path) {
+    if (expr.empty()) {
+      return "?";
+    }
+    const std::string& member = expr.back();
+    auto it = locks_by_member_.find(member);
+    if (it == locks_by_member_.end()) {
+      return "?" + member;
+    }
+    std::vector<const LockDecl*> cands;
+    for (size_t index : it->second) {
+      cands.push_back(&lock_decls_[index]);
+    }
+    // Same-class-family narrowing.
+    std::vector<const LockDecl*> close;
+    for (const LockDecl* d : cands) {
+      if (d->class_path == class_path ||
+          (!class_path.empty() && d->class_path.rfind(class_path + "::", 0) == 0) ||
+          (!d->class_path.empty() && class_path.rfind(d->class_path + "::", 0) == 0)) {
+        close.push_back(d);
+      }
+    }
+    if (!close.empty()) {
+      cands = std::move(close);
+    }
+    if (cands.size() > 1 && expr.size() > 1) {
+      // Receiver tiebreak: `ring->mu` prefers a lock declared in a class
+      // whose name resembles "ring".
+      const std::string recv = LowerCore(expr[expr.size() - 2]);
+      std::vector<const LockDecl*> matched;
+      for (const LockDecl* d : cands) {
+        const std::string cls = LowerCore(LastComponent(d->class_path));
+        if (!recv.empty() && !cls.empty() &&
+            (cls.find(recv) != std::string::npos || recv.find(cls) != std::string::npos)) {
+          matched.push_back(d);
+        }
+      }
+      if (!matched.empty()) {
+        cands = std::move(matched);
+      }
+    }
+    std::set<std::string> ids;
+    for (const LockDecl* d : cands) {
+      ids.insert(d->id);
+    }
+    if (ids.size() == 1) {
+      return *ids.begin();
+    }
+    return "?" + member;
+  }
+
+  bool SigHas(const SourceFile& sf, const FunctionDef& def, std::string_view macro) {
+    for (size_t j = def.params_end; j < def.sig_end; ++j) {
+      if (IsIdent(sf.ts.tokens, j) && sf.ts.tokens[j].text == macro) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void ParseRequires(const SourceFile& sf, const FunctionDef& def, FuncFacts* f) {
+    const auto& t = sf.ts.tokens;
+    for (size_t j = def.params_end; j < def.sig_end; ++j) {
+      if (!IsIdent(t, j, "LVM_REQUIRES") || !IsPunct(t, j + 1, "(")) {
+        continue;
+      }
+      const size_t close = MatchForward(t, j + 1, "(", ")");
+      for (const auto& [b, e] : SplitArgs(t, j + 1, close)) {
+        const std::string id = ResolveLock(IdentsIn(t, b, e), def.class_path);
+        if (!Unresolved(id) &&
+            std::find(f->entry_held.begin(), f->entry_held.end(), id) == f->entry_held.end()) {
+          f->entry_held.push_back(id);
+        }
+      }
+      j = close;
+    }
+  }
+
+  void CollectFunctions() {
+    for (const auto& sf : impl_->files) {
+      for (const FunctionDef& def : sf->scopes.functions()) {
+        if (!def.has_body) {
+          decls_by_qualified_[def.qualified].emplace_back(sf.get(), &def);
+          continue;
+        }
+        if (sf->primitive) {
+          continue;  // The locking primitives themselves produce no facts.
+        }
+        auto f = std::make_unique<FuncFacts>();
+        f->qualified = def.qualified;
+        f->class_path = def.class_path;
+        f->file = sf->path;
+        f->line = def.line;
+        f->wal_scope = sf->wal;
+        if (!SigHas(*sf, def, "LVM_NO_THREAD_SAFETY_ANALYSIS")) {
+          ParseRequires(*sf, def, f.get());
+          bodies_.emplace_back(sf.get(), &def, f.get());
+        }
+        funcs_by_name_[def.name].push_back(f.get());
+        funcs_.push_back(std::move(f));
+      }
+    }
+    result_.functions = funcs_.size();
+  }
+
+  // Contracts stated only on a declaration (usually in the header) apply to
+  // the definition too.
+  void MergeDeclRequires() {
+    for (auto& [sf, def, f] : bodies_) {
+      auto it = decls_by_qualified_.find(f->qualified);
+      if (it == decls_by_qualified_.end()) {
+        continue;
+      }
+      for (const auto& [decl_sf, decl_def] : it->second) {
+        ParseRequires(*decl_sf, *decl_def, f);
+      }
+    }
+  }
+
+  void WalkBodies() {
+    for (auto& [sf, def, f] : bodies_) {
+      WalkBody(*sf, *def, f);
+    }
+  }
+
+  struct Held {
+    std::string id;
+    int depth = 0;     // Brace depth of a scoped guard; -1 for manual Lock().
+    bool scoped = false;
+  };
+
+  static std::vector<std::string> Snapshot(const FuncFacts& f, const std::vector<Held>& held) {
+    std::vector<std::string> out;
+    auto add = [&out](const std::string& id) {
+      if (!Unresolved(id) && std::find(out.begin(), out.end(), id) == out.end()) {
+        out.push_back(id);
+      }
+    };
+    for (const std::string& id : f.entry_held) {
+      add(id);
+    }
+    for (const Held& h : held) {
+      add(h.id);
+    }
+    return out;
+  }
+
+  // Base identifier of the receiver chain ending just before token `i`
+  // (which is preceded by '.' or '->'): `flight_.Record` -> "flight_",
+  // `race_detector()->GlobalBarrier` -> "race_detector".
+  static std::string ReceiverBase(const std::vector<Token>& t, size_t i) {
+    if (i < 2) {
+      return "";
+    }
+    size_t k = i - 2;
+    if (IsPunct(t, k, ")")) {
+      const size_t open = MatchBackward(t, k, "(", ")");
+      if (open == 0) {
+        return "";
+      }
+      k = open - 1;
+    } else if (IsPunct(t, k, "]")) {
+      const size_t open = MatchBackward(t, k, "[", "]");
+      if (open == 0) {
+        return "";
+      }
+      k = open - 1;
+    }
+    return IsIdent(t, k) ? t[k].text : "";
+  }
+
+  // Tokens of the object expression before a `.Lock()` / `->Wait(...)`:
+  // walks back over a contiguous identifier/member chain.
+  static std::vector<std::string> ReceiverExpr(const std::vector<Token>& t, size_t i) {
+    std::vector<std::string> out;
+    size_t k = i - 1;  // The '.' or '->'.
+    while (k > 0) {
+      const size_t prev = k - 1;
+      if (IsIdent(t, prev)) {
+        out.push_back(t[prev].text);
+        if (prev == 0) {
+          break;
+        }
+        const Token& before = t[prev - 1];
+        if (before.kind == Token::Kind::kPunct &&
+            (before.text == "." || before.text == "->" || before.text == "::")) {
+          k = prev - 1;
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(t, prev, "]")) {
+        k = MatchBackward(t, prev, "[", "]");
+        continue;
+      }
+      break;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  void RecordAcquire(FuncFacts* f, std::vector<Held>* held, int depth, bool scoped,
+                     const std::string& lock, int line, bool is_try) {
+    AcqSite site;
+    site.lock = lock;
+    site.line = line;
+    site.is_try = is_try;
+    site.held = Snapshot(*f, *held);
+    f->acquires.push_back(std::move(site));
+    held->push_back(Held{lock, scoped ? depth : -1, scoped});
+  }
+
+  void WalkBody(const SourceFile& sf, const FunctionDef& def, FuncFacts* f) {
+    const auto& t = sf.ts.tokens;
+    std::vector<Held> held;
+    int depth = 0;
+    for (size_t i = def.body_begin + 1; i < def.body_end; ++i) {
+      const Token& tok = t[i];
+      if (tok.kind == Token::Kind::kPunct) {
+        if (tok.text == "{") {
+          ++depth;
+        } else if (tok.text == "}") {
+          held.erase(std::remove_if(held.begin(), held.end(),
+                                    [depth](const Held& h) { return h.scoped && h.depth == depth; }),
+                     held.end());
+          --depth;
+        }
+        continue;
+      }
+      if (tok.kind != Token::Kind::kIdentifier) {
+        continue;
+      }
+      const std::string& id = tok.text;
+      const bool next_open = IsPunct(t, i + 1, "(");
+      const bool after_member =
+          i > 0 && t[i - 1].kind == Token::Kind::kPunct &&
+          (t[i - 1].text == "." || t[i - 1].text == "->");
+
+      // Scoped guard construction: `MutexLock lk(mu_);` / `G g{expr};`.
+      auto git = guards_.find(id);
+      if (git != guards_.end() && !after_member && IsIdent(t, i + 1) &&
+          (IsPunct(t, i + 2, "(") || IsPunct(t, i + 2, "{")) &&
+          !(i > 0 && (IsIdent(t, i - 1, "class") || IsIdent(t, i - 1, "struct") ||
+                      IsIdent(t, i - 1, "friend")))) {
+        const bool paren = IsPunct(t, i + 2, "(");
+        const size_t close =
+            paren ? MatchForward(t, i + 2, "(", ")") : MatchForward(t, i + 2, "{", "}");
+        const auto args = SplitArgs(t, i + 2, close);
+        const GuardSpec& spec = git->second;
+        if (spec.arg_index < args.size()) {
+          std::vector<std::string> expr =
+              IdentsIn(t, args[spec.arg_index].first, args[spec.arg_index].second);
+          expr.insert(expr.end(), spec.suffix.begin(), spec.suffix.end());
+          RecordAcquire(f, &held, depth, /*scoped=*/true, ResolveLock(expr, f->class_path),
+                        tok.line, /*is_try=*/false);
+        }
+        continue;
+      }
+
+      // Manual `x.Lock()` / `x->Unlock()` / `x.TryLock()`.
+      if (next_open && after_member && (id == "Lock" || id == "Unlock" || id == "TryLock")) {
+        const std::string lock = ResolveLock(ReceiverExpr(t, i), f->class_path);
+        if (id == "Unlock") {
+          for (size_t h = held.size(); h-- > 0;) {
+            if (held[h].id == lock) {
+              held.erase(held.begin() + static_cast<long>(h));
+              break;
+            }
+          }
+        } else {
+          RecordAcquire(f, &held, depth, /*scoped=*/false, lock, tok.line, id == "TryLock");
+        }
+        continue;
+      }
+
+      // `cv.Wait(mu)`: blocks, releasing (only) its own mutex.
+      if (next_open && after_member && id == "Wait") {
+        const size_t close = MatchForward(t, i + 1, "(", ")");
+        const auto args = SplitArgs(t, i + 1, close);
+        DirectBlock block;
+        block.kind = "CondVar::Wait";
+        block.line = tok.line;
+        block.held = Snapshot(*f, held);
+        if (!args.empty()) {
+          const std::string lock =
+              ResolveLock(IdentsIn(t, args[0].first, args[0].second), f->class_path);
+          if (!Unresolved(lock)) {
+            block.exempt = lock;
+          }
+        }
+        f->blocks.push_back(std::move(block));
+        continue;
+      }
+
+      // Blocking primitives (thread join, flush/file I/O syscalls).
+      if (next_open && BlockingPrims().count(id) > 0) {
+        DirectBlock block;
+        block.kind = id;
+        block.line = tok.line;
+        block.held = Snapshot(*f, held);
+        f->blocks.push_back(std::move(block));
+        if (sf.wal && WalBarrierIdents().count(id) > 0) {
+          f->wal_events.push_back(WalEvent{WalEvent::Kind::kBarrier, 0, tok.line});
+        }
+        continue;
+      }
+
+      // WAL mutation / barrier events.
+      if (sf.wal && next_open && (id == "memcpy" || id == "memset")) {
+        const size_t close = MatchForward(t, i + 1, "(", ")");
+        const auto args = SplitArgs(t, i + 1, close);
+        if (!args.empty() && IsPersistentDest(IdentsIn(t, args[0].first, args[0].second))) {
+          f->wal_events.push_back(WalEvent{WalEvent::Kind::kMutation, 0, tok.line});
+        }
+        continue;
+      }
+      if (sf.wal && next_open && id == "BlockHeader") {
+        // `BlockHeader(...)->field = ...`: a raw header store.
+        const size_t close = MatchForward(t, i + 1, "(", ")");
+        if (IsPunct(t, close + 1, "->") && IsIdent(t, close + 2) && IsPunct(t, close + 3, "=") &&
+            !IsPunct(t, close + 4, "=")) {
+          f->wal_events.push_back(WalEvent{WalEvent::Kind::kMutation, 0, tok.line});
+        }
+        // Fall through: BlockHeader(...) is also an ordinary accessor call.
+      }
+
+      // General call.
+      if (next_open && id.rfind("LVM_", 0) != 0 && CallExcludedKeywords().count(id) == 0 &&
+          id != "memcpy" && id != "memset") {
+        CallSite call;
+        call.name = id;
+        call.receiver = after_member ? ReceiverBase(t, i) : "";
+        call.line = tok.line;
+        call.held = Snapshot(*f, held);
+        if (sf.wal && WalBarrierIdents().count(id) > 0) {
+          f->wal_events.push_back(WalEvent{WalEvent::Kind::kBarrier, 0, tok.line});
+        } else if (sf.wal) {
+          f->wal_events.push_back(WalEvent{WalEvent::Kind::kCall, f->calls.size(), tok.line});
+        }
+        f->calls.push_back(std::move(call));
+      }
+    }
+  }
+
+  void ResolveCalls() {
+    for (auto& f : funcs_) {
+      for (CallSite& call : f->calls) {
+        auto it = funcs_by_name_.find(call.name);
+        if (it == funcs_by_name_.end()) {
+          continue;
+        }
+        std::vector<FuncFacts*> cands = it->second;
+        if (call.receiver.empty()) {
+          // Unqualified call: prefer the enclosing class's own method, then
+          // free functions (the only other thing an unqualified name can
+          // denote — another class's non-static method is unreachable
+          // without a receiver). Keeping every candidate only when neither
+          // exists covers the rare inherited-method call.
+          std::vector<FuncFacts*> same;
+          std::vector<FuncFacts*> free_fns;
+          for (FuncFacts* g : cands) {
+            if (g->class_path == f->class_path) {
+              same.push_back(g);
+            } else if (g->class_path.empty()) {
+              free_fns.push_back(g);
+            }
+          }
+          if (!same.empty()) {
+            cands = std::move(same);
+          } else if (!free_fns.empty()) {
+            cands = std::move(free_fns);
+          }
+        } else {
+          // Method call through a receiver: keep only candidates whose class
+          // name resembles the receiver identifier (`flight_->Record` ->
+          // FlightRecorder::Record, `logs_[i]->Append` -> TraceLog::Append).
+          // No resemblance at all means the receiver is a std:: container or
+          // an out-of-repo object — resolving such generic names (`size`,
+          // `Join`, ...) against every same-named repo method would flood
+          // the graph with phantom chains, so the call resolves to nothing.
+          const std::string recv = LowerCore(call.receiver);
+          std::string singular = recv;
+          if (!singular.empty() && singular.back() == 's') {
+            singular.pop_back();
+          }
+          // Resemblance, strictest first: exact name, prefix/suffix
+          // (`flight_` -> FlightRecorder, `memory_` -> PhysicalMemory), and
+          // substring only for receivers long enough that an accidental hit
+          // (`all` inside ParALLelEngine) is unlikely.
+          auto resembles = [&](const std::string& cls) {
+            for (const std::string& r : {recv, singular}) {
+              if (r.empty()) {
+                continue;
+              }
+              if (cls == r || cls.rfind(r, 0) == 0 ||
+                  (cls.size() >= r.size() &&
+                   cls.compare(cls.size() - r.size(), r.size(), r) == 0)) {
+                return true;
+              }
+              if (r.size() >= 4 && cls.find(r) != std::string::npos) {
+                return true;
+              }
+              if (r.rfind(cls, 0) == 0) {
+                return true;
+              }
+            }
+            return false;
+          };
+          std::vector<FuncFacts*> matched;
+          for (FuncFacts* g : cands) {
+            const std::string cls = LowerCore(LastComponent(g->class_path));
+            if (!cls.empty() && resembles(cls)) {
+              matched.push_back(g);
+            }
+          }
+          cands = std::move(matched);
+        }
+        call.resolved = std::move(cands);
+      }
+    }
+  }
+
+  // Transitive may-acquire sets. AcqPath remembers the first discovery (a
+  // direct site or the callee it came through) so cycle findings can print
+  // the full acquisition chain.
+  void AcquireFixpoint() {
+    for (auto& f : funcs_) {
+      for (const AcqSite& a : f->acquires) {
+        if (!a.is_try && !Unresolved(a.lock) && f->acq_star.find(a.lock) == f->acq_star.end()) {
+          f->acq_star[a.lock] = AcqPath{a.line, nullptr};
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& f : funcs_) {
+        for (const CallSite& call : f->calls) {
+          for (FuncFacts* g : call.resolved) {
+            for (const auto& [lock, path] : g->acq_star) {
+              if (f->acq_star.find(lock) == f->acq_star.end()) {
+                f->acq_star[lock] = AcqPath{call.line, g};
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::string PathFor(FuncFacts* f, const std::string& lock, int depth = 0) {
+    auto it = f->acq_star.find(lock);
+    if (it == f->acq_star.end()) {
+      return f->qualified + " -> ? " + lock;
+    }
+    std::string site = f->qualified + " (" + f->file + ":" + std::to_string(it->second.line) + ")";
+    if (it->second.via == nullptr) {
+      return site + " acquires " + lock;
+    }
+    if (depth > 8) {
+      return site + " -> ...";
+    }
+    return site + " -> " + PathFor(it->second.via, lock, depth + 1);
+  }
+
+  void AddEdge(const std::string& from, const std::string& to, const std::string& function,
+               const std::string& file, int line, std::string path) {
+    if (Unresolved(from) || Unresolved(to)) {
+      return;
+    }
+    auto key = std::make_pair(from, to);
+    if (edges_.find(key) != edges_.end()) {
+      return;
+    }
+    LockEdge edge;
+    edge.from = from;
+    edge.to = to;
+    edge.function = function;
+    edge.file = file;
+    edge.line = line;
+    edge.path = std::move(path);
+    edges_.emplace(std::move(key), std::move(edge));
+  }
+
+  void BuildEdges() {
+    for (auto& f : funcs_) {
+      for (const AcqSite& a : f->acquires) {
+        if (a.is_try || Unresolved(a.lock)) {
+          continue;
+        }
+        for (const std::string& h : a.held) {
+          AddEdge(h, a.lock, f->qualified, f->file, a.line,
+                  f->qualified + " (" + f->file + ":" + std::to_string(a.line) + ") acquires " +
+                      a.lock + " while holding " + h);
+        }
+      }
+      for (const CallSite& call : f->calls) {
+        if (call.held.empty()) {
+          continue;
+        }
+        for (FuncFacts* g : call.resolved) {
+          for (const auto& [lock, path] : g->acq_star) {
+            if (std::find(call.held.begin(), call.held.end(), lock) != call.held.end()) {
+              continue;  // Already held: no new edge (and re-entry is g's bug).
+            }
+            for (const std::string& h : call.held) {
+              AddEdge(h, lock, f->qualified, f->file, call.line,
+                      f->qualified + " (" + f->file + ":" + std::to_string(call.line) +
+                          ") holding " + h + " -> " + PathFor(g, lock));
+            }
+          }
+        }
+      }
+    }
+    for (const auto& sf : impl_->files) {
+      for (const DeclaredEdge& d : sf->declared_edges) {
+        AddEdge(d.from, d.to, "(declared)", sf->path, d.line,
+                "declared by comment at " + sf->path + ":" + std::to_string(d.line));
+      }
+    }
+  }
+
+  void CheckBlocking() {
+    // Transitive blocking reachability.
+    for (auto& f : funcs_) {
+      for (const DirectBlock& b : f->blocks) {
+        f->block_star.insert(BlockSpec{b.kind, b.exempt, ""});
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& f : funcs_) {
+        for (const CallSite& call : f->calls) {
+          for (FuncFacts* g : call.resolved) {
+            for (const BlockSpec& spec : g->block_star) {
+              if (f->block_star.size() >= 8) {
+                break;
+              }
+              BlockSpec lifted{spec.kind, spec.exempt,
+                               spec.through.empty() ? g->qualified : spec.through};
+              if (f->block_star.insert(lifted).second) {
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+    // Direct findings.
+    for (auto& f : funcs_) {
+      for (const DirectBlock& b : f->blocks) {
+        std::vector<std::string> offending;
+        for (const std::string& h : b.held) {
+          if (h != b.exempt) {
+            offending.push_back(h);
+          }
+        }
+        if (!offending.empty()) {
+          Emit(Rule::kLockBlocking, f->file, b.line,
+               f->qualified + " holds " + Join(offending) + " across blocking " + b.kind +
+                   (b.exempt.empty() ? "" : " (which releases only " + b.exempt + ")"));
+        }
+      }
+      // Transitive findings at the call site.
+      for (const CallSite& call : f->calls) {
+        if (call.held.empty()) {
+          continue;
+        }
+        std::vector<std::string> offending;
+        std::string reason;
+        for (FuncFacts* g : call.resolved) {
+          for (const BlockSpec& spec : g->block_star) {
+            for (const std::string& h : call.held) {
+              if (h != spec.exempt &&
+                  std::find(offending.begin(), offending.end(), h) == offending.end()) {
+                offending.push_back(h);
+                if (reason.empty()) {
+                  reason = (spec.through.empty() ? g->qualified : spec.through) +
+                           " reaches blocking " + spec.kind;
+                }
+              }
+            }
+          }
+        }
+        if (!offending.empty()) {
+          Emit(Rule::kLockBlocking, f->file, call.line,
+               f->qualified + " holds " + Join(offending) + " across call to " + call.name +
+                   ": " + reason);
+        }
+      }
+    }
+  }
+
+  void CheckWalOrder() {
+    // Effect fixpoint: does a function end with dirty (unflushed) persistent
+    // bytes, end clean behind a barrier, or touch nothing?
+    bool changed = true;
+    size_t passes = 0;
+    while (changed && passes++ <= funcs_.size() + 1) {
+      changed = false;
+      for (auto& f : funcs_) {
+        if (!f->wal_scope) {
+          continue;
+        }
+        bool dirty = false;
+        bool barrier = false;
+        for (const WalEvent& ev : f->wal_events) {
+          switch (ev.kind) {
+            case WalEvent::Kind::kMutation:
+              dirty = true;
+              break;
+            case WalEvent::Kind::kBarrier:
+              dirty = false;
+              barrier = true;
+              break;
+            case WalEvent::Kind::kCall: {
+              int effect = 0;
+              for (FuncFacts* g : f->calls[ev.call_index].resolved) {
+                if (g->wal_scope) {
+                  effect = std::max(effect, g->wal_effect);
+                }
+              }
+              if (effect == 2) {
+                dirty = true;
+              } else if (effect == 1) {
+                dirty = false;
+                barrier = true;
+              }
+              break;
+            }
+          }
+        }
+        const int effect = dirty ? 2 : (barrier ? 1 : 0);
+        if (effect != f->wal_effect) {
+          f->wal_effect = effect;
+          changed = true;
+        }
+      }
+    }
+    // A dirty function is exempt when some caller orders a barrier after the
+    // call (the helper-plus-flushing-caller pattern); otherwise it is an API
+    // that can return with unpersisted WAL/image bytes.
+    for (auto& f : funcs_) {
+      if (!f->wal_scope || f->wal_effect != 2) {
+        continue;
+      }
+      bool called = false;
+      bool barriered = false;
+      for (auto& g : funcs_) {
+        if (!g->wal_scope || g.get() == f.get()) {
+          continue;
+        }
+        for (size_t e = 0; e < g->wal_events.size(); ++e) {
+          const WalEvent& ev = g->wal_events[e];
+          if (ev.kind != WalEvent::Kind::kCall) {
+            continue;
+          }
+          const CallSite& call = g->calls[ev.call_index];
+          if (std::find(call.resolved.begin(), call.resolved.end(), f.get()) ==
+              call.resolved.end()) {
+            continue;
+          }
+          called = true;
+          for (size_t later = e + 1; later < g->wal_events.size() && !barriered; ++later) {
+            const WalEvent& lev = g->wal_events[later];
+            if (lev.kind == WalEvent::Kind::kBarrier) {
+              barriered = true;
+            } else if (lev.kind == WalEvent::Kind::kCall) {
+              for (FuncFacts* h : g->calls[lev.call_index].resolved) {
+                if (h->wal_scope && h->wal_effect == 1) {
+                  barriered = true;
+                }
+              }
+            }
+          }
+        }
+      }
+      if (!barriered) {
+        Emit(Rule::kWalPersistOrder, f->file, f->line,
+             f->qualified + " mutates persistent WAL/image bytes but ends without a flush "
+                            "barrier, and " +
+                 (called ? "no caller orders a barrier after the call"
+                         : "it has no caller that could order one"));
+      }
+    }
+  }
+
+  void CheckDecls() {
+    for (const LockDecl& d : lock_decls_) {
+      if (!d.name_literal.empty() && d.name_literal != d.id) {
+        Emit(Rule::kLockDecl, d.file, d.line,
+             "lock " + d.id + " is constructed with runtime name \"" + d.name_literal +
+                 "\"; the witness cross-check needs the canonical id \"" + d.id + "\"");
+      }
+      if (!d.rank_ident.empty()) {
+        auto it = rank_ordinal_.find(d.rank_ident);
+        if (it == rank_ordinal_.end()) {
+          Emit(Rule::kLockDecl, d.file, d.line,
+               "lock " + d.id + " uses rank " + d.rank_ident + ", which is not declared in " +
+                   impl_->options.rank_header);
+        } else {
+          lock_rank_[d.id] = it->second;
+        }
+      }
+    }
+    for (const auto& [key, edge] : edges_) {
+      auto from = lock_rank_.find(edge.from);
+      auto to = lock_rank_.find(edge.to);
+      if (from != lock_rank_.end() && to != lock_rank_.end() && from->second >= to->second) {
+        Emit(Rule::kLockDecl, edge.file, edge.line,
+             "edge " + edge.from + " -> " + edge.to + " contradicts the declared rank order (" +
+                 std::to_string(from->second) + " >= " + std::to_string(to->second) + " in " +
+                 impl_->options.rank_header + "): " + edge.path);
+      }
+    }
+  }
+
+  // Tarjan SCC over the lock-order graph; any SCC with more than one lock,
+  // or a self-edge, is a static deadlock.
+  void CheckCycles() {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [key, edge] : edges_) {
+      adj[edge.from].push_back(edge.to);
+      adj[edge.to];
+    }
+    std::map<std::string, int> index;
+    std::map<std::string, int> low;
+    std::map<std::string, bool> on_stack;
+    std::vector<std::string> stack;
+    std::vector<std::vector<std::string>> sccs;
+    int next = 0;
+    std::function<void(const std::string&)> strongconnect = [&](const std::string& v) {
+      index[v] = low[v] = next++;
+      stack.push_back(v);
+      on_stack[v] = true;
+      for (const std::string& w : adj[v]) {
+        if (index.find(w) == index.end()) {
+          strongconnect(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+      if (low[v] == index[v]) {
+        std::vector<std::string> scc;
+        while (true) {
+          const std::string w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        sccs.push_back(std::move(scc));
+      }
+    };
+    for (const auto& [v, unused] : adj) {
+      if (index.find(v) == index.end()) {
+        strongconnect(v);
+      }
+    }
+    for (std::vector<std::string>& scc : sccs) {
+      const bool self_loop =
+          scc.size() == 1 && edges_.find(std::make_pair(scc[0], scc[0])) != edges_.end();
+      if (scc.size() < 2 && !self_loop) {
+        continue;
+      }
+      std::sort(scc.begin(), scc.end());
+      const std::set<std::string> members(scc.begin(), scc.end());
+      std::string message = "lock-order cycle among {" + Join(scc) + "}:";
+      const LockEdge* site = nullptr;
+      size_t listed = 0;
+      for (const auto& [key, edge] : edges_) {
+        if (members.count(edge.from) == 0 || members.count(edge.to) == 0) {
+          continue;
+        }
+        if (site == nullptr) {
+          site = &edge;
+        }
+        if (listed++ < 6) {
+          message += " [" + edge.from + " -> " + edge.to + " via " + edge.path + "]";
+        }
+      }
+      if (site != nullptr) {
+        Emit(Rule::kLockCycle, site->file, site->line, message);
+      }
+    }
+  }
+
+  void Finalize() {
+    result_.lock_ids.assign(lock_ids_.begin(), lock_ids_.end());
+    result_.lock_ranks = lock_rank_;
+    for (auto& [key, edge] : edges_) {
+      result_.edges.push_back(std::move(edge));
+    }
+    std::sort(result_.edges.begin(), result_.edges.end(),
+              [](const LockEdge& a, const LockEdge& b) {
+                return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+              });
+    result_.files_scanned = impl_->files.size();
+  }
+
+  static std::string Join(const std::vector<std::string>& items) {
+    std::string out;
+    for (const std::string& item : items) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += item;
+    }
+    return out;
+  }
+
+  void Emit(Rule rule, const std::string& file, int line, std::string message) {
+    auto sup = suppressions_cache_.find(file);
+    if (sup == suppressions_cache_.end()) {
+      for (const auto& sf : impl_->files) {
+        if (sf->path == file) {
+          sup = suppressions_cache_.emplace(file, &sf->ts.suppressions).first;
+          break;
+        }
+      }
+    }
+    if (sup != suppressions_cache_.end()) {
+      for (int probe = line; probe >= line - 1; --probe) {
+        auto it = sup->second->find(probe);
+        if (it != sup->second->end() && it->second.count(RuleName(rule)) > 0) {
+          ++result_.suppressions_used;
+          return;
+        }
+      }
+    }
+    Finding finding;
+    finding.rule = rule;
+    finding.file = file;
+    finding.line = line;
+    finding.message = std::move(message);
+    result_.findings.push_back(std::move(finding));
+  }
+
+  Analyzer::Impl* impl_;
+  AnalysisResult result_;
+
+  std::vector<LockDecl> lock_decls_;
+  std::map<std::string, std::vector<size_t>> locks_by_member_;
+  std::set<std::string> lock_ids_;
+  std::map<std::string, GuardSpec> guards_;
+  std::map<std::string, int> rank_ordinal_;
+  std::map<std::string, int> lock_rank_;
+  std::vector<std::unique_ptr<FuncFacts>> funcs_;
+  std::map<std::string, std::vector<FuncFacts*>> funcs_by_name_;
+  std::map<std::string, std::vector<std::pair<const SourceFile*, const FunctionDef*>>>
+      decls_by_qualified_;
+  std::vector<std::tuple<const SourceFile*, const FunctionDef*, FuncFacts*>> bodies_;
+  std::map<std::pair<std::string, std::string>, LockEdge> edges_;
+  std::map<std::string, const std::map<int, std::set<std::string>>*> suppressions_cache_;
+};
+
+bool IsSourceFile(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+}  // namespace
+
+AnalysisResult Analyzer::Run() { return Engine(impl_.get()).Run(); }
+
+bool AnalyzePaths(const std::vector<std::string>& paths, const AnalyzeOptions& options,
+                  AnalysisResult* result, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    fs::file_status status = fs::status(path, ec);
+    if (ec || status.type() == fs::file_type::not_found) {
+      if (error != nullptr) {
+        *error = "no such file or directory: " + path;
+      }
+      return false;
+    }
+    if (fs::is_directory(status)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        if (error != nullptr) {
+          *error = "error walking " + path + ": " + ec.message();
+        }
+        return false;
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  Analyzer analyzer(options);
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) {
+        *error = "cannot read " + file;
+      }
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    analyzer.AddSource(file, buffer.str());
+  }
+  *result = analyzer.Run();
+  return true;
+}
+
+std::string ReportJson(const AnalysisResult& result) {
+  std::string out = "{\"schema\":\"";
+  out += obs::kAnalysisReportSchema;
+  out += "\",\"files_scanned\":" + obs::JsonNumber(static_cast<uint64_t>(result.files_scanned));
+  out += ",\"functions\":" + obs::JsonNumber(static_cast<uint64_t>(result.functions));
+  out += ",\"suppressions_used\":" +
+         obs::JsonNumber(static_cast<uint64_t>(result.suppressions_used));
+  out += ",\"locks\":[";
+  bool first = true;
+  for (const std::string& id : result.lock_ids) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"id\":";
+    obs::AppendJsonString(&out, id);
+    auto rank = result.lock_ranks.find(id);
+    out += ",\"rank\":" +
+           obs::JsonNumber(static_cast<uint64_t>(rank == result.lock_ranks.end() ? 0
+                                                                                 : rank->second));
+    out += "}";
+  }
+  out += "],\"edges\":[";
+  first = true;
+  for (const LockEdge& edge : result.edges) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"from\":";
+    obs::AppendJsonString(&out, edge.from);
+    out += ",\"to\":";
+    obs::AppendJsonString(&out, edge.to);
+    out += ",\"function\":";
+    obs::AppendJsonString(&out, edge.function);
+    out += ",\"file\":";
+    obs::AppendJsonString(&out, edge.file);
+    out += ",\"line\":" + obs::JsonNumber(static_cast<uint64_t>(edge.line));
+    out += ",\"path\":";
+    obs::AppendJsonString(&out, edge.path);
+    out += "}";
+  }
+  out += "],\"finding_count\":" + obs::JsonNumber(static_cast<uint64_t>(result.findings.size()));
+  out += ",\"findings\":[";
+  first = true;
+  for (const Finding& f : result.findings) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"rule\":";
+    obs::AppendJsonString(&out, RuleName(f.rule));
+    out += ",\"exit_code\":" + obs::JsonNumber(static_cast<uint64_t>(RuleExitCode(f.rule)));
+    out += ",\"file\":";
+    obs::AppendJsonString(&out, f.file);
+    out += ",\"line\":" + obs::JsonNumber(static_cast<uint64_t>(f.line));
+    out += ",\"message\":";
+    obs::AppendJsonString(&out, f.message);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string LockGraphJson(const AnalysisResult& result) {
+  std::string out = "{\"schema\":\"";
+  out += obs::kLockGraphSchema;
+  out += "\",\"source\":\"static\",\"locks\":[";
+  bool first = true;
+  for (const std::string& id : result.lock_ids) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":";
+    obs::AppendJsonString(&out, id);
+    auto rank = result.lock_ranks.find(id);
+    out += ",\"rank\":" +
+           obs::JsonNumber(static_cast<uint64_t>(rank == result.lock_ranks.end() ? 0
+                                                                                 : rank->second));
+    out += "}";
+  }
+  out += "],\"edges\":[";
+  first = true;
+  for (const LockEdge& edge : result.edges) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"from\":";
+    obs::AppendJsonString(&out, edge.from);
+    out += ",\"to\":";
+    obs::AppendJsonString(&out, edge.to);
+    out += ",\"file\":";
+    obs::AppendJsonString(&out, edge.file);
+    out += ",\"line\":" + obs::JsonNumber(static_cast<uint64_t>(edge.line));
+    out += "}";
+  }
+  out += "],\"violations\":[]}";
+  return out;
+}
+
+std::string GraphDot(const AnalysisResult& result) {
+  std::string out = "digraph lvm_lockorder {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const std::string& id : result.lock_ids) {
+    auto rank = result.lock_ranks.find(id);
+    out += "  \"" + id + "\"";
+    if (rank != result.lock_ranks.end()) {
+      out += " [label=\"" + id + "\\nrank " + std::to_string(rank->second) + "\"]";
+    }
+    out += ";\n";
+  }
+  for (const LockEdge& edge : result.edges) {
+    out += "  \"" + edge.from + "\" -> \"" + edge.to + "\" [label=\"" + edge.file + ":" +
+           std::to_string(edge.line) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+int ExitCodeFor(const AnalysisResult& result) {
+  if (result.findings.empty()) {
+    return 0;
+  }
+  const Rule first = result.findings.front().rule;
+  for (const Finding& f : result.findings) {
+    if (f.rule != first) {
+      return 1;  // Mixed rules: no single rule-specific code applies.
+    }
+  }
+  return RuleExitCode(first);
+}
+
+}  // namespace analyze
+}  // namespace lvm

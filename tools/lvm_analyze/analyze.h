@@ -1,0 +1,156 @@
+// lvm-analyze: whole-program lock-order & blocking-context analyzer
+// (DESIGN.md §16).
+//
+// A dependency-free analyzer over the C++ sources, built on the shared
+// tools/analysis tokenizer + scope tracker. It extracts per-function
+// lock-acquisition facts from lvm::MutexLock / Mutex::Lock() / scoped-guard
+// sites and a call graph, propagates held-lock sets interprocedurally, and
+// enforces:
+//
+//   lock-cycle        (exit 20)  The global lock-order graph has a cycle:
+//                                two code paths acquire the same locks in
+//                                opposite orders — a static deadlock. The
+//                                finding prints every edge's acquisition
+//                                path.
+//   lock-blocking     (exit 21)  A mutex is held across a blocking call
+//                                (CondVar::Wait on another lock, thread
+//                                join, msync/fsync, file I/O): a latency
+//                                cliff and, for waits, a deadlock hazard.
+//                                CondVar::Wait is exempt w.r.t. its own
+//                                mutex (it releases it while blocked).
+//   wal-persist-order (exit 22)  A src/hostlvm function mutates persistent
+//                                WAL/image bytes (mapped-memory writes) but
+//                                ends without a flush barrier, and no caller
+//                                orders a barrier after it — the crash
+//                                matrix's persist discipline, enforced
+//                                statically.
+//   lock-decl         (exit 23)  A lock declaration contradicts the global
+//                                order: its runtime name literal differs
+//                                from the canonical <Class>::<member> id the
+//                                analyzer derives (so witness edges could
+//                                not be matched to static edges), its rank
+//                                names no constant in src/base/lock_order.h,
+//                                or an observed edge runs against the
+//                                declared rank order.
+//
+// Beyond checking, the analyzer exports its artifacts: the lvm.analysis.v1
+// JSON report and the static lock-order graph as lvm.lockgraph.v1 — the
+// same schema the runtime LockOrderWitness (src/base/lock_witness.h) emits,
+// so a test can assert static-graph ⊇ dynamic-edges.
+//
+// Known blind spots, by design of a lexical tool: calls through
+// std::function/function pointers are invisible (declare those edges with a
+// `// lvm-analyze: edge(From::mu, To::mu)` comment), and fatal crash-dump
+// paths running under LVM_CHECK failure are exempt (they use TryLock).
+//
+// A finding is silenced by `// lvm-analyze: allow(<rule>)` on the same or
+// the preceding line of the reported site. Exit codes: 0 clean, the rule's
+// code when all findings share one rule, 1 for a mix, 2 for usage/IO errors.
+#ifndef TOOLS_LVM_ANALYZE_ANALYZE_H_
+#define TOOLS_LVM_ANALYZE_ANALYZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lvm {
+namespace analyze {
+
+enum class Rule : uint8_t {
+  kLockCycle,
+  kLockBlocking,
+  kWalPersistOrder,
+  kLockDecl,
+};
+
+inline constexpr int kUsageError = 2;
+
+const char* RuleName(Rule rule);
+// The rule's dedicated process exit code (20..23).
+int RuleExitCode(Rule rule);
+bool ParseRuleName(std::string_view name, Rule* out);
+
+struct Finding {
+  Rule rule = Rule::kLockCycle;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+// One lock-order edge: `from` was held while `to` was acquired. `path` is
+// the human-readable acquisition chain that witnesses the edge (function and
+// call sites down to the acquire).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string function;  // Where the edge materializes.
+  std::string file;
+  int line = 0;
+  std::string path;
+};
+
+struct AnalysisResult {
+  std::vector<std::string> lock_ids;       // Every declared lock, sorted.
+  std::map<std::string, int> lock_ranks;   // id -> declared rank ordinal (1-based).
+  std::vector<LockEdge> edges;             // Deduped by (from, to); first witness.
+  std::vector<Finding> findings;
+  size_t files_scanned = 0;
+  size_t functions = 0;
+  size_t suppressions_used = 0;
+};
+
+struct AnalyzeOptions {
+  // Path fragments selecting the WAL persist-ordering scope.
+  std::vector<std::string> wal_paths = {"src/hostlvm/"};
+  // Files implementing the locking primitives themselves: scanned for lock
+  // and guard declarations, but their bodies (which manipulate the raw
+  // std primitives) produce no acquisition facts.
+  std::vector<std::string> primitive_paths = {"src/base/mutex.h", "src/base/lock_witness"};
+  // The header whose kRank* constants define the global order; the order of
+  // their appearance there is the declared rank order.
+  std::string rank_header = "src/base/lock_order.h";
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzeOptions options = {});
+  ~Analyzer();
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+
+  // Adds one translation unit. `path` scopes the path-based rules.
+  void AddSource(const std::string& path, std::string_view contents);
+
+  // Runs the whole-program analysis over every added source.
+  AnalysisResult Run();
+
+  struct Impl;  // Internal state; public only for the implementation file.
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+// Analyzes every .h/.cc under `paths` (files or directories). Returns false
+// and sets `error` on a missing path or unreadable file.
+bool AnalyzePaths(const std::vector<std::string>& paths, const AnalyzeOptions& options,
+                  AnalysisResult* result, std::string* error);
+
+// The result as a strict-JSON lvm.analysis.v1 document.
+std::string ReportJson(const AnalysisResult& result);
+// The static lock-order graph as a strict-JSON lvm.lockgraph.v1 document
+// (source "static"), the same schema LockOrderWitness exports.
+std::string LockGraphJson(const AnalysisResult& result);
+// The lock-order graph as Graphviz dot.
+std::string GraphDot(const AnalysisResult& result);
+
+// 0 when clean; RuleExitCode(r) when every finding is of rule r; 1 mixed.
+int ExitCodeFor(const AnalysisResult& result);
+
+}  // namespace analyze
+}  // namespace lvm
+
+#endif  // TOOLS_LVM_ANALYZE_ANALYZE_H_

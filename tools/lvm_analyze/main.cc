@@ -1,0 +1,121 @@
+// lvm-analyze CLI: whole-program lock-order and blocking-context analysis.
+//
+//   lvm-analyze [--json=PATH] [--lockgraph=PATH] [--graph-dot[=PATH]] <file-or-dir>...
+//
+// Prints one line per finding (file:line: [rule] message) and a summary of
+// the lock-order graph. --json writes the strict-JSON lvm.analysis.v1
+// report; --lockgraph writes the static lock-order graph as
+// lvm.lockgraph.v1 (the schema the runtime LockOrderWitness also emits);
+// --graph-dot emits Graphviz (stdout without =PATH). Exit codes: 0 clean; a
+// rule's dedicated code (20..23, see analyze.h) when all findings share that
+// rule; 1 for mixed rules; 2 for usage or I/O errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lvm_analyze/analyze.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lvm-analyze [--json=PATH] [--lockgraph=PATH] [--graph-dot[=PATH]] "
+               "<file-or-dir>...\n"
+               "rules (exit codes): lock-cycle(20) lock-blocking(21) wal-persist-order(22) "
+               "lock-decl(23)\n"
+               "suppress with: // lvm-analyze: allow(<rule>)\n"
+               "declare an invisible edge with: // lvm-analyze: edge(From::mu, To::mu)\n");
+  return lvm::analyze::kUsageError;
+}
+
+bool WriteFileOrDie(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "lvm-analyze: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != contents.size() || !close_ok) {
+    std::fprintf(stderr, "lvm-analyze: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string json_path;
+  std::string lockgraph_path;
+  std::string dot_path;
+  bool dot_stdout = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        return Usage();
+      }
+    } else if (arg.rfind("--lockgraph=", 0) == 0) {
+      lockgraph_path = arg.substr(12);
+      if (lockgraph_path.empty()) {
+        return Usage();
+      }
+    } else if (arg.rfind("--graph-dot=", 0) == 0) {
+      dot_path = arg.substr(12);
+      if (dot_path.empty()) {
+        return Usage();
+      }
+    } else if (arg == "--graph-dot") {
+      dot_stdout = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "lvm-analyze: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+
+  lvm::analyze::AnalyzeOptions options;
+  lvm::analyze::AnalysisResult result;
+  std::string error;
+  if (!lvm::analyze::AnalyzePaths(paths, options, &result, &error)) {
+    std::fprintf(stderr, "lvm-analyze: %s\n", error.c_str());
+    return lvm::analyze::kUsageError;
+  }
+
+  for (const lvm::analyze::Finding& f : result.findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 lvm::analyze::RuleName(f.rule), f.message.c_str());
+  }
+  std::printf(
+      "lvm-analyze: %zu files, %zu functions, %zu locks, %zu lock-order edges, "
+      "%zu finding(s), %zu suppressed\n",
+      result.files_scanned, result.functions, result.lock_ids.size(), result.edges.size(),
+      result.findings.size(), result.suppressions_used);
+
+  if (!json_path.empty() && !WriteFileOrDie(json_path, lvm::analyze::ReportJson(result))) {
+    return lvm::analyze::kUsageError;
+  }
+  if (!lockgraph_path.empty() &&
+      !WriteFileOrDie(lockgraph_path, lvm::analyze::LockGraphJson(result))) {
+    return lvm::analyze::kUsageError;
+  }
+  if (!dot_path.empty() && !WriteFileOrDie(dot_path, lvm::analyze::GraphDot(result))) {
+    return lvm::analyze::kUsageError;
+  }
+  if (dot_stdout) {
+    const std::string dot = lvm::analyze::GraphDot(result);
+    std::fwrite(dot.data(), 1, dot.size(), stdout);
+  }
+
+  return lvm::analyze::ExitCodeFor(result);
+}

@@ -10,229 +10,21 @@
 
 #include "src/obs/json.h"
 #include "src/obs/schema_ids.h"
+#include "tools/analysis/tokenizer.h"
 
 namespace lvm {
 namespace lint {
 
 namespace {
 
+using analysis::Token;
+
 constexpr Rule kAllRules[] = {Rule::kRawStore,   Rule::kFlightPairing, Rule::kMetricName,
                               Rule::kSchemaVersion, Rule::kCheckMacro, Rule::kProfScope,
-                              Rule::kWalRawStore};
+                              Rule::kWalRawStore, Rule::kDeadSuppression};
 
-// --- tokenizer -------------------------------------------------------------
-//
-// Just enough C++ lexing for convention checks: identifiers, string literal
-// contents, and punctuation, each with a 1-based line number. Comments are
-// consumed here and mined for lvm-lint: allow(...) suppressions; numbers and
-// character literals are skipped.
-
-struct Token {
-  enum class Kind : uint8_t { kIdentifier, kString, kPunct };
-  Kind kind;
-  std::string text;
-  int line = 0;
-};
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view src) : src_(src) {}
-
-  std::vector<Token> Tokens() && {
-    while (pos_ < src_.size()) {
-      Step();
-    }
-    return std::move(tokens_);
-  }
-
-  // line -> rules silenced by an allow() comment on that line.
-  const std::map<int, std::set<Rule>>& suppressions() const { return suppressions_; }
-
- private:
-  char Peek(size_t ahead = 0) const {
-    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-  }
-  char Take() {
-    char c = src_[pos_++];
-    if (c == '\n') {
-      ++line_;
-    }
-    return c;
-  }
-
-  void Step() {
-    char c = Peek();
-    if (c == '/' && Peek(1) == '/') {
-      LexLineComment();
-    } else if (c == '/' && Peek(1) == '*') {
-      LexBlockComment();
-    } else if (c == '"') {
-      LexString();
-    } else if (c == '\'') {
-      LexCharLiteral();
-    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      LexIdentifier();
-    } else if (std::isdigit(static_cast<unsigned char>(c))) {
-      LexNumber();
-    } else if (std::isspace(static_cast<unsigned char>(c))) {
-      Take();
-    } else {
-      LexPunct();
-    }
-  }
-
-  void LexLineComment() {
-    const int line = line_;
-    std::string text;
-    while (pos_ < src_.size() && Peek() != '\n') {
-      text.push_back(Take());
-    }
-    MineSuppressions(text, line);
-  }
-
-  void LexBlockComment() {
-    const int line = line_;
-    std::string text;
-    Take();  // '/'
-    Take();  // '*'
-    while (pos_ < src_.size() && !(Peek() == '*' && Peek(1) == '/')) {
-      text.push_back(Take());
-    }
-    if (pos_ < src_.size()) {
-      Take();
-      Take();
-    }
-    MineSuppressions(text, line);
-  }
-
-  // Recognizes every `lvm-lint: allow(<rule>)` in a comment's text.
-  void MineSuppressions(const std::string& text, int line) {
-    static constexpr std::string_view kTag = "lvm-lint: allow(";
-    size_t at = 0;
-    while ((at = text.find(kTag, at)) != std::string::npos) {
-      at += kTag.size();
-      size_t close = text.find(')', at);
-      if (close == std::string::npos) {
-        break;
-      }
-      Rule rule;
-      if (ParseRuleName(std::string_view(text).substr(at, close - at), &rule)) {
-        suppressions_[line].insert(rule);
-      }
-      at = close + 1;
-    }
-  }
-
-  void LexString() {
-    const int line = line_;
-    Take();  // opening quote
-    std::string text;
-    while (pos_ < src_.size()) {
-      char c = Take();
-      if (c == '\\' && pos_ < src_.size()) {
-        text.push_back(c);
-        text.push_back(Take());
-        continue;
-      }
-      if (c == '"') {
-        break;
-      }
-      text.push_back(c);
-    }
-    tokens_.push_back({Token::Kind::kString, std::move(text), line});
-  }
-
-  // R"delim( ... )delim" — the identifier ending in R was already consumed
-  // by LexIdentifier, which calls this when it sees the opening quote.
-  void LexRawString() {
-    const int line = line_;
-    Take();  // opening quote
-    std::string delim;
-    while (pos_ < src_.size() && Peek() != '(') {
-      delim.push_back(Take());
-    }
-    if (pos_ < src_.size()) {
-      Take();  // '('
-    }
-    const std::string closer = ")" + delim + "\"";
-    std::string text;
-    while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
-      text.push_back(Take());
-    }
-    for (size_t i = 0; i < closer.size() && pos_ < src_.size(); ++i) {
-      Take();
-    }
-    tokens_.push_back({Token::Kind::kString, std::move(text), line});
-  }
-
-  void LexCharLiteral() {
-    Take();  // opening quote
-    while (pos_ < src_.size()) {
-      char c = Take();
-      if (c == '\\' && pos_ < src_.size()) {
-        Take();
-        continue;
-      }
-      if (c == '\'') {
-        break;
-      }
-    }
-  }
-
-  void LexIdentifier() {
-    const int line = line_;
-    std::string text;
-    while (pos_ < src_.size()) {
-      char c = Peek();
-      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
-        text.push_back(Take());
-      } else {
-        break;
-      }
-    }
-    // Raw-string prefix (R"..., u8R"..., LR"..., ...): hand off to the raw
-    // string lexer instead of emitting the prefix as an identifier.
-    if (Peek() == '"' && !text.empty() && text.back() == 'R' &&
-        (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
-      LexRawString();
-      return;
-    }
-    tokens_.push_back({Token::Kind::kIdentifier, std::move(text), line});
-  }
-
-  void LexNumber() {
-    // Swallow the full pp-number (hex digits, suffixes, exponents, digit
-    // separators); the checks never look at numeric values.
-    while (pos_ < src_.size()) {
-      char c = Peek();
-      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '\'') {
-        Take();
-      } else if ((c == '+' || c == '-') && pos_ > 0 &&
-                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' || src_[pos_ - 1] == 'p' ||
-                  src_[pos_ - 1] == 'P')) {
-        Take();
-      } else {
-        break;
-      }
-    }
-  }
-
-  void LexPunct() {
-    const int line = line_;
-    char c = Take();
-    std::string text(1, c);
-    if (c == '-' && Peek() == '>') {
-      text.push_back(Take());
-    }
-    tokens_.push_back({Token::Kind::kPunct, std::move(text), line});
-  }
-
-  std::string_view src_;
-  size_t pos_ = 0;
-  int line_ = 1;
-  std::vector<Token> tokens_;
-  std::map<int, std::set<Rule>> suppressions_;
-};
+// The suppression-comment prefix the shared tokenizer mines for this tool.
+constexpr std::string_view kAllowTag = "lvm-lint: allow(";
 
 // --- rule helpers ----------------------------------------------------------
 
@@ -295,9 +87,9 @@ class FileLinter {
   FileLinter(const std::string& path, std::string_view contents, const LintOptions& options,
              LintResult* result)
       : path_(path), options_(options), result_(result) {
-    Lexer lexer(contents);
-    tokens_ = std::move(lexer).Tokens();
-    suppressions_map_ = lexer.suppressions();
+    analysis::TokenizedSource source = analysis::Tokenize(contents, kAllowTag);
+    tokens_ = std::move(source.tokens);
+    suppressions_map_ = std::move(source.suppressions);
   }
 
   void Run() {
@@ -308,13 +100,20 @@ class FileLinter {
     CheckCheckMacro();
     CheckProfScope();
     CheckWalRawStores();
+    // Last: every other rule has consumed its suppressions by now, so
+    // whatever allow() entries remain unused are dead.
+    CheckDeadSuppressions();
   }
 
  private:
-  bool Suppressed(Rule rule, int line) const {
+  // Consumes a matching allow() entry (same or preceding line), marking it
+  // used so the dead-suppression pass can report the leftovers.
+  bool Suppressed(Rule rule, int line) {
+    const std::string slug = RuleName(rule);
     for (int probe : {line, line - 1}) {
       auto it = suppressions_map_.find(probe);
-      if (it != suppressions_map_.end() && it->second.count(rule) != 0) {
+      if (it != suppressions_map_.end() && it->second.count(slug) != 0) {
+        used_suppressions_[probe].insert(slug);
         return true;
       }
     }
@@ -538,11 +337,39 @@ class FileLinter {
     }
   }
 
+  // dead-suppression: an allow() that silenced nothing is itself a finding,
+  // so suppressions cannot accumulate after the code they fenced changes.
+  // Two shapes: a slug naming no known rule (typo — it never could match),
+  // and a known rule whose finding is gone. An intentional keeper is fenced
+  // with `allow(dead-suppression)` on the same or preceding line (that
+  // fence, when consulted, is marked used by Suppressed() like any other).
+  void CheckDeadSuppressions() {
+    for (const auto& [line, slugs] : suppressions_map_) {
+      for (const std::string& slug : slugs) {
+        auto used_it = used_suppressions_.find(line);
+        if (used_it != used_suppressions_.end() && used_it->second.count(slug) != 0) {
+          continue;
+        }
+        Rule rule;
+        if (!ParseRuleName(slug, &rule)) {
+          Emit(Rule::kDeadSuppression, line,
+               "allow(" + slug + ") names no lvm-lint rule; the suppression can never match");
+        } else {
+          Emit(Rule::kDeadSuppression, line,
+               "allow(" + slug +
+                   ") no longer matches any finding; remove the stale suppression "
+                   "(or fence it with allow(dead-suppression) and a justification)");
+        }
+      }
+    }
+  }
+
   const std::string path_;
   const LintOptions& options_;
   LintResult* result_;
   std::vector<Token> tokens_;
-  std::map<int, std::set<Rule>> suppressions_map_;
+  std::map<int, std::set<std::string>> suppressions_map_;
+  std::map<int, std::set<std::string>> used_suppressions_;
 };
 
 bool IsLintableFile(const std::filesystem::path& path) {
@@ -568,6 +395,8 @@ const char* RuleName(Rule rule) {
       return "prof-scope";
     case Rule::kWalRawStore:
       return "wal-raw-store";
+    case Rule::kDeadSuppression:
+      return "dead-suppression";
   }
   return "unknown";
 }
@@ -588,6 +417,8 @@ int RuleExitCode(Rule rule) {
       return 15;
     case Rule::kWalRawStore:
       return 16;
+    case Rule::kDeadSuppression:
+      return 17;
   }
   return 1;
 }

@@ -34,6 +34,11 @@
 //                              path (BEGIN/END signatures, checksums, the
 //                              commit cursor), so recovery would either
 //                              discard the bytes or replay garbage.
+//   dead-suppression (exit 17) An `allow()` comment that silences nothing:
+//                              either it names no known rule, or the finding
+//                              it once fenced is gone. Stale suppressions
+//                              accumulate silently and would hide the next
+//                              real finding on that line.
 //
 // A finding is silenced by `// lvm-lint: allow(<rule>)` on the same or the
 // preceding line. Exit codes: 0 clean, the rule's code when all violations
@@ -57,13 +62,14 @@ enum class Rule : uint8_t {
   kCheckMacro,
   kProfScope,
   kWalRawStore,
+  kDeadSuppression,
 };
 
 inline constexpr int kUsageError = 2;
 
 // Stable rule slug ("raw-store", ...), used in reports and allow() comments.
 const char* RuleName(Rule rule);
-// The rule's dedicated process exit code (10..16).
+// The rule's dedicated process exit code (10..17).
 int RuleExitCode(Rule rule);
 // Parses a slug back to its rule; false if unknown.
 bool ParseRuleName(std::string_view name, Rule* out);

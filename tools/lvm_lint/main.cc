@@ -4,7 +4,7 @@
 //
 // Prints one line per violation (file:line: [rule] message) and a summary.
 // --json=PATH additionally writes the strict-JSON lvm.lint_report.v1 report.
-// Exit codes: 0 clean; a rule's dedicated code (10..16, see lint.h) when all
+// Exit codes: 0 clean; a rule's dedicated code (10..17, see lint.h) when all
 // violations share that rule; 1 for mixed rules; 2 for usage or I/O errors.
 #include <cstdio>
 #include <string>
@@ -18,7 +18,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: lvm-lint [--json=PATH] <file-or-dir>...\n"
                "rules (exit codes): raw-store(10) flight-pairing(11) metric-name(12) "
-               "schema-version(13) check-macro(14) prof-scope(15) wal-raw-store(16)\n"
+               "schema-version(13) check-macro(14) prof-scope(15) wal-raw-store(16) "
+               "dead-suppression(17)\n"
                "suppress with: // lvm-lint: allow(<rule>)\n");
   return lvm::lint::kUsageError;
 }

@@ -28,7 +28,8 @@ struct RunResult {
 
 RunResult RunOne(bool conservative, StateSaving saving, double locality,
                  const std::vector<Event>& bootstrap,
-                 const std::string& profile_path = std::string()) {
+                 const std::string& profile_path = std::string(),
+                 const std::string& waterfall_path = std::string()) {
   QueueingNetworkModel::Params params;
   params.compute_cycles = 1500;
   params.locality = locality;
@@ -39,6 +40,7 @@ RunResult RunOne(bool conservative, StateSaving saving, double locality,
   machine_config.num_cpus = 4;
   LvmSystem system(machine_config);
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
 
   TimeWarpConfig config;
   config.num_schedulers = 4;
@@ -55,6 +57,7 @@ RunResult RunOne(bool conservative, StateSaving saving, double locality,
   sim.Run(2000);
   RunResult result{sim.ElapsedCycles(), sim.total_events_processed(), sim.total_rollbacks()};
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return result;
 }
 
@@ -91,9 +94,10 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the rollback-heavy point: optimistic+LVM with no locality.
-    RunOne(false, StateSaving::kLvm, 0.0, bootstrap, opts.profile_path);
+    RunOne(false, StateSaving::kLvm, 0.0, bootstrap, opts.profile_path,
+           opts.waterfall_path);
   }
 }
 

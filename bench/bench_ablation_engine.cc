@@ -26,7 +26,8 @@ struct RunResult {
 
 RunResult RunOne(StateSaving saving, uint32_t object_size,
                  const std::vector<Event>& bootstrap,
-                 const std::string& profile_path = std::string()) {
+                 const std::string& profile_path = std::string(),
+                 const std::string& waterfall_path = std::string()) {
   PholdModel::Params model_params;
   model_params.mean_delay = 8.0;
   model_params.compute_cycles = 1024;
@@ -39,6 +40,7 @@ RunResult RunOne(StateSaving saving, uint32_t object_size,
   machine_config.num_cpus = 4;
   LvmSystem system(machine_config);
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
 
   TimeWarpConfig config;
   config.num_schedulers = 4;
@@ -53,6 +55,7 @@ RunResult RunOne(StateSaving saving, uint32_t object_size,
   sim.Run(3000);
   RunResult result{sim.ElapsedCycles(), sim.total_rollbacks(), sim.Efficiency()};
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return result;
 }
 
@@ -93,10 +96,10 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the LVM end-to-end run at 256-byte objects: rollback and
     // CULT costs appear as timewarp/rollback and ckpt/log centers.
-    RunOne(StateSaving::kLvm, 256, bootstrap, opts.profile_path);
+    RunOne(StateSaving::kLvm, 256, bootstrap, opts.profile_path, opts.waterfall_path);
   }
 }
 

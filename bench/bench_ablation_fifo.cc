@@ -20,11 +20,13 @@ struct Point {
 };
 
 Point Measure(const MachineParams& params, uint32_t compute, uint32_t cluster,
-              const std::string& profile_path = std::string()) {
+              const std::string& profile_path = std::string(),
+              const std::string& waterfall_path = std::string()) {
   LvmConfig config;
   config.params = params;
   LvmSystem system(config);
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   Cpu& cpu = system.cpu();
   uint32_t span = 64 * kPageSize;
   StdSegment* segment = system.CreateSegment(span);
@@ -52,6 +54,7 @@ Point Measure(const MachineParams& params, uint32_t compute, uint32_t cluster,
   point.cycles_per_iteration = static_cast<double>(cpu.now() - start) / kIterations;
   point.overloads = system.overload_suspensions();
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return point;
 }
 
@@ -93,9 +96,9 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the default-threshold point of the sustained-rate sweep.
-    Measure(MachineParams{}, 10, 1, opts.profile_path);
+    Measure(MachineParams{}, 10, 1, opts.profile_path, opts.waterfall_path);
   }
 }
 

@@ -20,9 +20,11 @@ struct SyncResult {
 };
 
 SyncResult RunSync(bool log_based, uint32_t words_per_page,
-                   const std::string& profile_path = std::string()) {
+                   const std::string& profile_path = std::string(),
+                   const std::string& waterfall_path = std::string()) {
   LvmSystem system;
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   FileSystem fs;
   constexpr uint32_t kPages = 256;  // 1 MB file.
   SimFile* file = fs.Create("volume.db", kPages * kPageSize);
@@ -50,6 +52,7 @@ SyncResult RunSync(bool log_based, uint32_t words_per_page,
   }
   SyncResult result{cpu.now() - t0, file->bytes_written() - device_before};
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return result;
 }
 
@@ -78,9 +81,9 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the log-based sync at a sparse density, its winning case.
-    RunSync(/*log_based=*/true, 8, opts.profile_path);
+    RunSync(/*log_based=*/true, 8, opts.profile_path, opts.waterfall_path);
   }
 }
 

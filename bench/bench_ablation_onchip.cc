@@ -20,11 +20,13 @@ struct Point {
 };
 
 Point Measure(LoggerKind kind, bool logged, uint32_t compute,
-              const std::string& profile_path = std::string()) {
+              const std::string& profile_path = std::string(),
+              const std::string& waterfall_path = std::string()) {
   LvmConfig config;
   config.logger_kind = kind;
   LvmSystem system(config);
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   Cpu& cpu = system.cpu();
   uint32_t span = 64 * kPageSize;
   StdSegment* segment = system.CreateSegment(span);
@@ -54,6 +56,7 @@ Point Measure(LoggerKind kind, bool logged, uint32_t compute,
       kIterations;
   point.overloads = system.overload_suspensions();
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return point;
 }
 
@@ -83,9 +86,9 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the bus logger at c=0, the overload-dominated contrast case.
-    Measure(LoggerKind::kBusLogger, true, 0, opts.profile_path);
+    Measure(LoggerKind::kBusLogger, true, 0, opts.profile_path, opts.waterfall_path);
   }
 }
 

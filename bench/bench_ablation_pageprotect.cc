@@ -21,11 +21,13 @@ constexpr uint32_t kWrites = 5000;
 constexpr uint32_t kSpacing = 60;  // Compute cycles between writes.
 
 double LvmWriteCost(LoggerKind kind, bool logged,
-                    const std::string& profile_path = std::string()) {
+                    const std::string& profile_path = std::string(),
+                    const std::string& waterfall_path = std::string()) {
   LvmConfig config;
   config.logger_kind = kind;
   LvmSystem system(config);
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   Cpu& cpu = system.cpu();
   StdSegment* segment = system.CreateSegment(kBytes);
   Region* region = system.CreateRegion(segment);
@@ -48,6 +50,7 @@ double LvmWriteCost(LoggerKind kind, bool logged,
       static_cast<double>(cpu.now() - t0 - static_cast<Cycles>(kWrites) * kSpacing) /
       kWrites;
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return per_write;
 }
 
@@ -129,9 +132,9 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the prototype mechanism the paper builds: the bus logger.
-    LvmWriteCost(LoggerKind::kBusLogger, true, opts.profile_path);
+    LvmWriteCost(LoggerKind::kBusLogger, true, opts.profile_path, opts.waterfall_path);
   }
 }
 

@@ -24,9 +24,11 @@ namespace {
 
 template <typename StoreT>
 Cycles PerTransactionCycles(uint32_t writes_per_tx,
-                            const std::string& profile_path = std::string()) {
+                            const std::string& profile_path = std::string(),
+                            const std::string& waterfall_path = std::string()) {
   LvmSystem system;
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   RamDisk disk;
   AddressSpace* as = system.CreateAddressSpace();
   StoreT store(&system, as, &disk, 2u << 20);
@@ -55,6 +57,7 @@ Cycles PerTransactionCycles(uint32_t writes_per_tx,
   }
   Cycles per_tx = (cpu.now() - t0) / kTransactions;
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return per_tx;
 }
 
@@ -81,9 +84,9 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the long-transaction RLVM case the ablation argues for.
-    PerTransactionCycles<Rlvm>(256, opts.profile_path);
+    PerTransactionCycles<Rlvm>(256, opts.profile_path, opts.waterfall_path);
   }
 }
 

@@ -23,9 +23,11 @@ using IntervalGenerator =
 template <typename Protocol>
 void Measure(const char* pattern_name, const IntervalGenerator& gen,
              const char* protocol_name, bench::JsonTable* table,
-             const std::string& profile_path = std::string()) {
+             const std::string& profile_path = std::string(),
+             const std::string& waterfall_path = std::string()) {
   LvmSystem system;
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   Protocol protocol(&system, kRegionBytes, ConsistencyCosts{});
   Cpu& cpu = system.cpu();
   // Warm one interval (page faults, twin state) then measure five.
@@ -50,6 +52,7 @@ void Measure(const char* pattern_name, const IntervalGenerator& gen,
   table->Value("cycles_per_interval", per_interval);
   table->Value("bytes_per_interval", bytes_per_interval);
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
 }
 
 void Run(const bench::Options& opts) {
@@ -90,7 +93,8 @@ void Run(const bench::Options& opts) {
   Measure<MuninTwinProtocol>("dense", dense, "munin", &table);
   // The profiled run is the log-based hot spot: the caveat case, where
   // every rewrite becomes a log record.
-  Measure<LogBasedProtocol>("hotspot", hotspot, "lvm", &table, opts.profile_path);
+  Measure<LogBasedProtocol>("hotspot", hotspot, "lvm", &table, opts.profile_path,
+                            opts.waterfall_path);
   Measure<MuninTwinProtocol>("hotspot", hotspot, "munin", &table);
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);

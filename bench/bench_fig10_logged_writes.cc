@@ -18,9 +18,11 @@ namespace {
 // Runs the measurement loop; returns cycles per write beyond the compute
 // time.
 double CyclesPerWrite(bool logged, uint32_t cluster, uint32_t compute,
-                      const std::string& profile_path = std::string()) {
+                      const std::string& profile_path = std::string(),
+                      const std::string& waterfall_path = std::string()) {
   LvmSystem system;
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   Cpu& cpu = system.cpu();
   constexpr uint32_t kIterations = 4000;
   uint32_t span = 64 * kPageSize;
@@ -51,6 +53,7 @@ double CyclesPerWrite(bool logged, uint32_t cluster, uint32_t compute,
   Cycles elapsed = cpu.now() - start;
   Cycles write_cycles = elapsed - static_cast<Cycles>(kIterations) * compute;
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return static_cast<double>(write_cycles) / (static_cast<double>(kIterations) * cluster);
 }
 
@@ -81,11 +84,11 @@ void Run(const bench::Options& opts) {
   }
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the flat region of the cluster-of-8 curve: the logged/
     // unlogged gap there is the write-through cost, visible as mem/write
     // plus bus/contention the write buffer could not hide.
-    CyclesPerWrite(/*logged=*/true, 8, 200, opts.profile_path);
+    CyclesPerWrite(/*logged=*/true, 8, 200, opts.profile_path, opts.waterfall_path);
   }
 }
 

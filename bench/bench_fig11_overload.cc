@@ -41,11 +41,12 @@ void Run(const bench::Options& opts) {
     bench::RunOverloadSeries(true, 0, 4000, opts.trace_path);
     std::printf("wrote %s\n", opts.trace_path.c_str());
   }
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // A dedicated profiled run at c=0: the profile attributes the overload
     // threshold on sight — overload/park dominates the CPU lane and
     // log/drain dwarfs log/emit on the logger lane.
-    bench::RunOverloadSeries(true, 0, 20000, std::string(), opts.profile_path);
+    bench::RunOverloadSeries(true, 0, 20000, std::string(), opts.profile_path,
+                             opts.waterfall_path);
   }
 }
 

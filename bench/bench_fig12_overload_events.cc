@@ -28,9 +28,10 @@ void Run(const bench::Options& opts) {
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the overload-dominated end of the series (c=0).
-    bench::RunOverloadSeries(/*logged=*/true, 0, 20000, std::string(), opts.profile_path);
+    bench::RunOverloadSeries(/*logged=*/true, 0, 20000, std::string(), opts.profile_path,
+                             opts.waterfall_path);
   }
 }
 

@@ -57,12 +57,12 @@ void Run(const bench::Options& opts) {
   std::printf("(* = logger overload occurred: the prototype artifact the paper notes)\n\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the paper's middle curve (w=2, s=64) at c=512: checkpoint
     // maintenance and the logging path show up as ckpt/* and log/* centers.
     bench::ForwardParams params;
     params.events = 8000;
-    bench::RunForward(StateSaving::kLvm, params, opts.profile_path);
+    bench::RunForward(StateSaving::kLvm, params, opts.profile_path, opts.waterfall_path);
   }
 }
 

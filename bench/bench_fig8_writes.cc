@@ -62,7 +62,7 @@ void Run(const bench::Options& opts) {
   std::printf("(* = logger overload occurred)\n\n");
   bench::WriteJsonIfRequested(opts, table);
 
-  if (!opts.profile_path.empty()) {
+  if (!opts.profile_path.empty() || !opts.waterfall_path.empty()) {
     // Profile the fraction=1 point of the s=64 curve, where the
     // write-through overhead is at its most visible.
     bench::ForwardParams params;
@@ -70,7 +70,7 @@ void Run(const bench::Options& opts) {
     params.compute_cycles = 512;
     params.writes = 16;
     params.events = 8000;
-    bench::RunForward(StateSaving::kLvm, params, opts.profile_path);
+    bench::RunForward(StateSaving::kLvm, params, opts.profile_path, opts.waterfall_path);
   }
 }
 

@@ -25,7 +25,8 @@ struct Sample {
 // vm/deferred_copy versus ckpt/copy is the figure's comparison, as cost
 // centers.
 void RunSegment(uint32_t segment_bytes, bench::JsonTable* table,
-                const std::string& profile_path = std::string()) {
+                const std::string& profile_path = std::string(),
+                const std::string& waterfall_path = std::string()) {
   std::printf("--- %u KB segment ---\n", segment_bytes / 1024);
   std::printf("%-12s %-16s %-16s\n", "dirty KB", "reset (kcyc)", "bcopy (kcyc)");
 
@@ -39,9 +40,11 @@ void RunSegment(uint32_t segment_bytes, bench::JsonTable* table,
     LvmConfig config;
     config.memory_size = 96u << 20;
     LvmSystem system(config);
-    const bool profiled = !profile_path.empty() && fraction == 0.5;
+    const bool profiled = (!profile_path.empty() || !waterfall_path.empty()) &&
+                          fraction == 0.5;
     if (profiled) {
       bench::EnableProfilerIfRequested(profile_path, &system);
+      bench::EnableWaterfallIfRequested(waterfall_path, &system);
     }
     Cpu& cpu = system.cpu();
     StdSegment* checkpoint = system.CreateSegment(segment_bytes);
@@ -72,6 +75,7 @@ void RunSegment(uint32_t segment_bytes, bench::JsonTable* table,
     Cycles bcopy_cycles = cpu.now() - t0;
     if (profiled) {
       bench::WriteProfileIfRequested(profile_path, system);
+      bench::WriteWaterfallIfRequested(waterfall_path, system);
     }
 
     if (crossover < 0 && reset_cycles > bcopy_cycles && fraction > 0) {
@@ -106,7 +110,7 @@ void Run(const bench::Options& opts) {
   bench::Header("Figure 9: Execution time of resetDeferredCopy() vs bcopy()", claim);
   bench::JsonTable table("fig9_deferred_copy", claim);
   RunSegment(32u << 10, &table);
-  RunSegment(512u << 10, &table, opts.profile_path);
+  RunSegment(512u << 10, &table, opts.profile_path, opts.waterfall_path);
   RunSegment(2u << 20, &table);
   bench::WriteJsonIfRequested(opts, table);
 }

@@ -46,7 +46,8 @@ struct ScalingPoint {
 
 ScalingPoint RunWorkers(int workers, bool racecheck,
                         const std::string& profile_path = std::string(),
-                        uint32_t writes_per_worker = kWritesPerWorker) {
+                        uint32_t writes_per_worker = kWritesPerWorker,
+                        const std::string& waterfall_path = std::string()) {
   LvmConfig config;
   config.num_cpus = workers;
   LvmSystem system(config);
@@ -55,6 +56,7 @@ ScalingPoint RunWorkers(int workers, bool racecheck,
     // enabled-overhead acceptance bound is measured on.
     system.EnableProfiler();
   }
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   if (racecheck) {
     system.EnableRaceDetection();
   }
@@ -106,6 +108,7 @@ ScalingPoint RunWorkers(int workers, bool racecheck,
           .count();
   point.race_reports = static_cast<uint64_t>(system.GetRaceReports().size());
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return point;
 }
 
@@ -183,6 +186,13 @@ void Run(const bench::Options& opts) {
                 static_cast<unsigned long long>(profiled.makespan),
                 plain.makespan == profiled.makespan ? "unperturbed" : "PERTURBED",
                 plain.wall_ms, profiled.wall_ms, overhead_pct, kOverheadPairs);
+  }
+
+  if (!opts.waterfall_path.empty()) {
+    // Dedicated traced run at 4 workers: the per-CPU shard path is the
+    // hop sequence this bench exists to exercise.
+    RunWorkers(4, /*racecheck=*/false, std::string(), kWritesPerWorker,
+               opts.waterfall_path);
   }
 }
 

@@ -48,6 +48,36 @@ inline void WriteProfileIfRequested(const std::string& profile_path, LvmSystem& 
   std::printf("wrote %s\n", profile_path.c_str());
 }
 
+// Enables the provenance waterfall on `system` when the run is meant to be
+// traced (`waterfall_path` non-empty). A dense 1/16 sampling stride: bench
+// runs are short and the artifact exists so scripts/bench.sh can validate
+// the export and lvm-trace has real records to render. Like the profiler,
+// the tracer never advances a simulated clock, so the instrumented run's
+// table numbers are unchanged.
+inline void EnableWaterfallIfRequested(const std::string& waterfall_path, LvmSystem* system) {
+  if (waterfall_path.empty()) {
+    return;
+  }
+  obs::WaterfallConfig config;
+  config.sample_shift = 4;
+  system->EnableWaterfall(config);
+}
+
+// Writes the waterfall export at the end of the instrumented run
+// (completing any still-in-flight records at their last stamped hop);
+// exits nonzero on I/O failure so scripts/bench.sh catches a broken
+// emitter.
+inline void WriteWaterfallIfRequested(const std::string& waterfall_path, LvmSystem& system) {
+  if (waterfall_path.empty() || system.waterfall() == nullptr) {
+    return;
+  }
+  if (!system.WriteWaterfall(waterfall_path)) {
+    std::fprintf(stderr, "failed to write %s\n", waterfall_path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", waterfall_path.c_str());
+}
+
 }  // namespace bench
 }  // namespace lvm
 

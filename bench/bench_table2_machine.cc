@@ -65,6 +65,7 @@ void Run(const bench::Options& opts) {
   // The bench's own system persists across the measurements, so it is its
   // own representative profiled run (MeasureDmaRate's raw logger excepted).
   bench::EnableProfilerIfRequested(opts.profile_path, &system);
+  bench::EnableWaterfallIfRequested(opts.waterfall_path, &system);
   Cpu& cpu = system.cpu();
   const MachineParams& params = system.machine().params();
 
@@ -129,6 +130,7 @@ void Run(const bench::Options& opts) {
   table.Value("paper_total_cycles", 18);
   bench::WriteJsonIfRequested(opts, table);
   bench::WriteProfileIfRequested(opts.profile_path, system);
+  bench::WriteWaterfallIfRequested(opts.waterfall_path, system);
 }
 
 }  // namespace

@@ -56,9 +56,11 @@ Cycles SingleWriteCycles() {
 }
 
 template <typename StoreT>
-double TpcAThroughput(const std::string& profile_path = std::string()) {
+double TpcAThroughput(const std::string& profile_path = std::string(),
+                      const std::string& waterfall_path = std::string()) {
   LvmSystem system;
   bench::EnableProfilerIfRequested(profile_path, &system);
+  bench::EnableWaterfallIfRequested(waterfall_path, &system);
   RamDisk disk;
   AddressSpace* as = system.CreateAddressSpace();
   StoreT store(&system, as, &disk, 2u << 20);
@@ -78,6 +80,7 @@ double TpcAThroughput(const std::string& profile_path = std::string()) {
   }
   double seconds = bench::CyclesToSeconds(cpu.now() - t0);
   bench::WriteProfileIfRequested(profile_path, system);
+  bench::WriteWaterfallIfRequested(waterfall_path, system);
   return kTransactions / seconds;
 }
 
@@ -93,7 +96,7 @@ void Run(const bench::Options& opts) {
   double rvm_tps = TpcAThroughput<Rvm>();
   // The profiled run is the RLVM TPC-A workload: the interesting cycle mix
   // (logged write-through + commit + truncation) is the LVM-backed one.
-  double rlvm_tps = TpcAThroughput<Rlvm>(opts.profile_path);
+  double rlvm_tps = TpcAThroughput<Rlvm>(opts.profile_path, opts.waterfall_path);
 
   std::printf("%-22s %-16s %-16s %s\n", "Benchmark", "RVM", "RLVM", "Paper (RVM / RLVM)");
   bench::Row("%-22s %-16llu %-16llu %s", "Single write (cycles)",

@@ -8,10 +8,12 @@
 // Every bench accepts `--json=PATH` to additionally write its table as
 // structured rows ({"bench":..., "claim":..., "rows":[...]}),
 // `--trace=PATH` where supported to dump a Chrome trace of an instrumented
-// run, and `--profile=PATH` to write an lvm.profile.v1 cycle-attribution
-// profile of a representative instrumented run (bench_profile.h has the
-// LvmSystem-side helpers). scripts/bench.sh drives the full set and
-// collects BENCH_<name>.json / PROFILE_<name>.json.
+// run, `--profile=PATH` to write an lvm.profile.v1 cycle-attribution
+// profile of a representative instrumented run, and `--waterfall=PATH` to
+// write an lvm.waterfall.v1 per-record provenance trace of the same run
+// (bench_profile.h has the LvmSystem-side helpers). scripts/bench.sh
+// drives the full set and collects BENCH_<name>.json / PROFILE_<name>.json
+// / WATERFALL_<name>.json.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
@@ -55,9 +57,10 @@ inline void Row(const char* format, ...) {
 
 // Command-line options common to every bench binary.
 struct Options {
-  std::string json_path;     // --json=PATH: write the table as JSON rows.
-  std::string trace_path;    // --trace=PATH: write a Chrome trace (if supported).
-  std::string profile_path;  // --profile=PATH: write an lvm.profile.v1 profile.
+  std::string json_path;       // --json=PATH: write the table as JSON rows.
+  std::string trace_path;      // --trace=PATH: write a Chrome trace (if supported).
+  std::string profile_path;    // --profile=PATH: write an lvm.profile.v1 profile.
+  std::string waterfall_path;  // --waterfall=PATH: write an lvm.waterfall.v1 trace.
 };
 
 inline Options ParseOptions(int argc, char** argv) {
@@ -70,8 +73,12 @@ inline Options ParseOptions(int argc, char** argv) {
       opts.trace_path = arg.substr(8);
     } else if (arg.rfind("--profile=", 0) == 0) {
       opts.profile_path = arg.substr(10);
+    } else if (arg.rfind("--waterfall=", 0) == 0) {
+      opts.waterfall_path = arg.substr(12);
     } else {
-      std::fprintf(stderr, "usage: %s [--json=PATH] [--trace=PATH] [--profile=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json=PATH] [--trace=PATH] [--profile=PATH] "
+                   "[--waterfall=PATH]\n",
                    argv[0]);
       std::exit(2);
     }

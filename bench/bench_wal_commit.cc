@@ -24,6 +24,7 @@
 #include "src/hostlvm/wal_arena.h"
 #include "src/hostlvm/wal_layout.h"
 #include "src/obs/profiler.h"
+#include "src/obs/waterfall.h"
 
 namespace lvm {
 namespace {
@@ -130,6 +131,66 @@ void Run(const bench::Options& opts) {
   }
   std::printf("\n");
   bench::WriteJsonIfRequested(opts, table);
+
+  if (!opts.waterfall_path.empty()) {
+    // Provenance trace of a *separate* small instrumented WAL phase, run
+    // after the sweep so sampling never touches the measured loops above.
+    // Host-only path: a record's waterfall here is record -> wal_commit ->
+    // replay (no simulated log stages).
+    obs::WaterfallConfig config;
+    config.sample_shift = 4;
+    obs::WaterfallTracer waterfall(/*lanes=*/1, config);
+    const std::string path = ArenaPath();
+    WalOptions options;
+    options.blocks = kBlocks;
+    std::string error;
+    {
+      auto wal = WalArena::Create(path, options, &error);
+      if (wal == nullptr) {
+        std::fprintf(stderr, "WalArena::Create: %s\n", error.c_str());
+        std::exit(1);
+      }
+      wal->set_waterfall(&waterfall);
+      std::vector<WalRecord> records(kRecordsPerCommit);
+      for (uint64_t i = 0; i < 64; ++i) {
+        std::vector<uint64_t> tokens;
+        for (uint32_t j = 0; j < kRecordsPerCommit; ++j) {
+          records[j].offset = (i * 52 + j * 28) % 4096 & ~uint64_t{3};
+          records[j].value = static_cast<uint32_t>(i * kRecordsPerCommit + j + 1);
+          records[j].size = 4;
+          uint64_t token = waterfall.SampleRecord(/*lane=*/0, /*sim_now=*/0,
+                                                  /*queue_depth=*/j);
+          if (token != 0) {
+            tokens.push_back(token);
+          }
+        }
+        if (wal->Append(records, /*timestamp_ns=*/i, std::move(tokens)) == 0) {
+          std::fprintf(stderr, "WAL arena out of space in traced phase\n");
+          std::exit(1);
+        }
+      }
+      if (!wal->Flush()) {
+        std::fprintf(stderr, "traced-phase flush failed\n");
+        std::exit(1);
+      }
+    }
+    {
+      auto wal = WalArena::Open(path, &error);
+      if (wal == nullptr) {
+        std::fprintf(stderr, "WalArena::Open: %s\n", error.c_str());
+        std::exit(1);
+      }
+      wal->set_waterfall(&waterfall);
+      wal->Replay([](const WalRecoveredCommit&) {});
+    }
+    std::remove(path.c_str());
+    waterfall.FinishInFlight();
+    if (!waterfall.WriteJsonFile(opts.waterfall_path)) {
+      std::fprintf(stderr, "failed to write %s\n", opts.waterfall_path.c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s\n", opts.waterfall_path.c_str());
+  }
 
   if (!opts.profile_path.empty()) {
     // Wall-clock bench: no simulated cycles to attribute. Honour the

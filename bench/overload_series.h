@@ -27,12 +27,14 @@ struct OverloadSeries {
 inline OverloadSeries RunOverloadSeries(bool logged, uint32_t compute,
                                         uint32_t iterations = 20000,
                                         const std::string& trace_path = std::string(),
-                                        const std::string& profile_path = std::string()) {
+                                        const std::string& profile_path = std::string(),
+                                        const std::string& waterfall_path = std::string()) {
   LvmSystem system;
   if (!trace_path.empty()) {
     system.EnableTracing(1u << 16);
   }
   EnableProfilerIfRequested(profile_path, &system);
+  EnableWaterfallIfRequested(waterfall_path, &system);
   Cpu& cpu = system.cpu();
   uint32_t span = 64 * kPageSize;
   StdSegment* segment = system.CreateSegment(span);
@@ -64,6 +66,7 @@ inline OverloadSeries RunOverloadSeries(bool logged, uint32_t compute,
     system.WriteTrace(trace_path);
   }
   WriteProfileIfRequested(profile_path, system);
+  WriteWaterfallIfRequested(waterfall_path, system);
   return series;
 }
 

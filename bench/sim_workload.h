@@ -38,10 +38,13 @@ struct ForwardResult {
 
 // `profile_path`: when non-empty, the run is profiled and the
 // lvm.profile.v1 export written before teardown (see bench_profile.h).
+// `waterfall_path`: same contract for the lvm.waterfall.v1 trace.
 inline ForwardResult RunForward(StateSaving saving, const ForwardParams& params,
-                                const std::string& profile_path = std::string()) {
+                                const std::string& profile_path = std::string(),
+                                const std::string& waterfall_path = std::string()) {
   LvmSystem system;
   EnableProfilerIfRequested(profile_path, &system);
+  EnableWaterfallIfRequested(waterfall_path, &system);
   Cpu& cpu = system.cpu();
   std::unique_ptr<StateSaver> saver;
   if (saving == StateSaving::kLvm) {
@@ -95,6 +98,7 @@ inline ForwardResult RunForward(StateSaving saving, const ForwardParams& params,
   result.elapsed = cpu.now() - start - excluded;
   result.overload_events = system.overload_suspensions();
   WriteProfileIfRequested(profile_path, system);
+  WriteWaterfallIfRequested(waterfall_path, system);
   return result;
 }
 

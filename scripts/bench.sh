@@ -2,18 +2,20 @@
 # Runs the reproduction benchmarks and collects machine-readable results.
 #
 # Each bench binary accepts --json=PATH (structured rows mirroring its
-# printed table) and --profile=PATH (an lvm.profile.v1 cycle-attribution
-# profile of a representative instrumented run); bench_fig11_overload
-# additionally accepts --trace=PATH and writes a Chrome trace of an
-# instrumented overload run (load it at ui.perfetto.dev or
-# chrome://tracing).
+# printed table), --profile=PATH (an lvm.profile.v1 cycle-attribution
+# profile of a representative instrumented run), and --waterfall=PATH (an
+# lvm.waterfall.v1 per-record provenance trace of the same run, rendered
+# with tools/lvm-trace); bench_fig11_overload additionally accepts
+# --trace=PATH and writes a Chrome trace of an instrumented overload run
+# (load it at ui.perfetto.dev or chrome://tracing).
 #
 # Usage: scripts/bench.sh [--all] [--out DIR]
 #   default: the paper's figures and tables (fig7-12, table2, table3)
 #   --all:   also the ablations, the consistency comparison, and the
 #            real-host google-benchmark suite
 #   --out:   output directory for BENCH_<name>.json / TRACE_<name>.json /
-#            PROFILE_<name>.json (default: bench-results/)
+#            PROFILE_<name>.json / WATERFALL_<name>.json
+#            (default: bench-results/)
 #
 # Builds the bench binaries first if they are missing. A failing bench does
 # not stop the suite: its partial artifacts are removed, the remaining
@@ -82,7 +84,8 @@ short_name() {
 failures=()
 for bench in "${benches[@]}"; do
   short="$(short_name "${bench}")"
-  args=("--json=${out_dir}/BENCH_${short}.json" "--profile=${out_dir}/PROFILE_${short}.json")
+  args=("--json=${out_dir}/BENCH_${short}.json" "--profile=${out_dir}/PROFILE_${short}.json"
+        "--waterfall=${out_dir}/WATERFALL_${short}.json")
   if [[ "${bench}" == bench_fig11_overload ]]; then
     args+=("--trace=${out_dir}/TRACE_${short}.json")
   fi
@@ -91,7 +94,7 @@ for bench in "${benches[@]}"; do
     # Partial artifacts from a failed bench must not survive: downstream
     # diffing would mistake them for results.
     rm -f "${out_dir}/BENCH_${short}.json" "${out_dir}/PROFILE_${short}.json" \
-          "${out_dir}/TRACE_${short}.json"
+          "${out_dir}/TRACE_${short}.json" "${out_dir}/WATERFALL_${short}.json"
     failures+=("${bench}")
     continue
   fi
@@ -103,9 +106,11 @@ for bench in "${benches[@]}"; do
 done
 
 # Every artifact this script emitted claims to be strict JSON; hold it to
-# that (lvm-inspect --validate exits nonzero on the first offender).
+# that (lvm-inspect --validate exits nonzero on the first offender). The
+# waterfall traces stay in ${out_dir} — unlike BENCH_/PROFILE_ they carry
+# wall-clock latencies and are not regression-diffed, so no root copies.
 ./build/tools/lvm-inspect --validate "${out_dir}"/BENCH_*.json "${out_dir}"/TRACE_*.json \
-  "${out_dir}"/PROFILE_*.json
+  "${out_dir}"/PROFILE_*.json "${out_dir}"/WATERFALL_*.json
 
 echo "results in ${out_dir}/ (copies at repo root):"
 ls -l "${out_dir}"

@@ -19,7 +19,11 @@
 #   8. (--analyze-only) lvm-analyze's whole-program lock-order, blocking-
 #      context, and WAL persist-ordering analysis over src/, exporting
 #      bench-results/ANALYSIS_REPORT.json + LOCKGRAPH.json (+ .dot), then
-#      the runtime witness cross-check proving static ⊇ dynamic.
+#      the runtime witness cross-check proving static ⊇ dynamic;
+#   9. (--trace-only) the provenance-waterfall pass: the waterfall suite,
+#      a sampled instrumented bench run plus lvm-trace's durable demo, each
+#      export validated as strict JSON and rendered (telescoping checked)
+#      by lvm-trace, collected under bench-results/.
 #
 # Usage: scripts/check.sh [mode]; modes are listed in the table at the
 # bottom of this file — usage text and dispatch are both generated from it.
@@ -180,6 +184,28 @@ run_analyze() {
   echo "deadlockcheck: reports at ${report} and ${lockgraph}"
 }
 
+run_tracecheck() {
+  echo "== tracecheck: provenance waterfall suite + sampled artifacts =="
+  cmake -B build-check/trace -S . -DLVM_WERROR=ON >/dev/null
+  cmake --build build-check/trace -j "${jobs}" \
+    --target waterfall_test bench_fig10_logged_writes lvm-trace lvm-inspect
+  ( cd build-check/trace &&
+    ctest --output-on-failure -j "${jobs}" -R '^Waterfall' )
+  mkdir -p bench-results
+  local bench_trace="${PWD}/bench-results/WATERFALL_fig10.json"
+  local demo_trace="${PWD}/bench-results/WATERFALL_demo.json"
+  # A sampled instrumented bench run (sim log path) and lvm-trace's own
+  # durable demo (all six stages through WAL commit + replay-on-open).
+  ./build-check/trace/bench/bench_fig10_logged_writes --waterfall="${bench_trace}" \
+    >/dev/null
+  ./build-check/trace/tools/lvm-trace --demo-export "${demo_trace}"
+  ./build-check/trace/tools/lvm-inspect --validate "${bench_trace}" "${demo_trace}"
+  # Render both: lvm-trace exits nonzero if any record's per-stage deltas
+  # fail to telescope to its end-to-end latency.
+  ./build-check/trace/tools/lvm-trace --top=3 "${bench_trace}" "${demo_trace}" >/dev/null
+  echo "tracecheck: traces at ${bench_trace} and ${demo_trace}"
+}
+
 # Mode table: flag, command, one-line summary. The usage message and the
 # dispatch below are both generated from this table, so adding a pass is one
 # row here (plus its run_* function above) and nothing else.
@@ -192,6 +218,7 @@ mode_table() {
 --static-only|run_static|lvm-lint + clang -Wthread-safety
 --wal-only|run_walcheck|durable-WAL crash matrix + walbox dumps
 --analyze-only|run_analyze|lvm-analyze lock/WAL analysis + witness cross-check
+--trace-only|run_tracecheck|waterfall suite + validated lvm.waterfall.v1 artifacts
 all|run_werror_build && run_tidy && run_static && run_analyze && run_asan_tests && run_tsan_tests|every pass above (except racecheck/walcheck, which CI runs)
 EOF
 }

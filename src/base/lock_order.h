@@ -40,6 +40,7 @@ inline constexpr int kRankRaceSync = 50;     // RaceDetector::sync_mu_
 inline constexpr int kRankRaceReport = 60;   // RaceDetector::report_mu_
 inline constexpr int kRankRaceTrail = 70;    // RaceDetector::CpuState::trail_mu
 inline constexpr int kRankMetrics = 80;      // MetricsRegistry::mu_
+inline constexpr int kRankWaterfall = 85;    // WaterfallTracer::mu_
 inline constexpr int kRankFlightRing = 90;   // FlightRecorder::Ring::mu
 inline constexpr int kRankL2Stripe = 100;    // L2Cache::Stripe::mu
 inline constexpr int kRankFrame = 110;       // FrameAllocator::mu_
@@ -63,6 +64,7 @@ inline constexpr LockLevel kLevelRaceSync;
 inline constexpr LockLevel kLevelRaceReport;
 inline constexpr LockLevel kLevelRaceTrail;
 inline constexpr LockLevel kLevelMetrics;
+inline constexpr LockLevel kLevelWaterfall;
 inline constexpr LockLevel kLevelFlightRing;
 inline constexpr LockLevel kLevelL2Stripe;
 inline constexpr LockLevel kLevelFrame;

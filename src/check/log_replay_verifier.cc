@@ -42,8 +42,18 @@ std::vector<ReplayMismatch> LogReplayVerifier::Verify(Cpu* cpu, size_t max_misma
 
   // Replay the appended records over the shadow.
   Shadow replayed = shadow_;
+  obs::WaterfallTracer* waterfall = system_->waterfall();
   for (size_t i = snapshot_records_; i < reader.size(); ++i) {
     LogRecord record = reader.At(i);
+    if (waterfall != nullptr && (record.flags & kRecordFlagSampled) != 0) {
+      // A sampled record reached replay: close its waterfall.
+      uint64_t token = waterfall->MatchToken(record.addr, record.value, record.timestamp);
+      if (token != 0) {
+        waterfall->Complete(token, obs::WaterfallStage::kReplay, cpu != nullptr ? cpu->id() : 0,
+                            cpu != nullptr ? cpu->now() : 0,
+                            static_cast<uint32_t>(reader.size() - i));
+      }
+    }
     int32_t page = segment_->PageIndexOfFrame(PageBase(record.addr));
     if (page < 0 && region != nullptr && region->Contains(record.addr)) {
       // Virtually-addressed record (reverse translation / on-chip logger).

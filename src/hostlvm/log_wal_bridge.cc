@@ -1,0 +1,59 @@
+#include "src/hostlvm/log_wal_bridge.h"
+
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace lvm {
+
+LogWalBridgeStats BridgeLogToWal(const LogReader& reader, size_t first_record,
+                                 size_t record_count, uint32_t records_per_commit,
+                                 uint64_t timestamp_ns, WalArena* arena,
+                                 obs::WaterfallTracer* waterfall) {
+  LVM_CHECK(arena != nullptr);
+  LVM_CHECK(records_per_commit > 0);
+  LogWalBridgeStats stats;
+  size_t end = first_record + record_count;
+  LVM_CHECK_MSG(end <= reader.size(), "bridge range beyond the log's append offset");
+
+  std::vector<WalRecord> batch;
+  std::vector<uint64_t> tokens;
+  batch.reserve(records_per_commit);
+  auto flush_batch = [&] {
+    if (batch.empty()) {
+      return;
+    }
+    uint64_t seq = arena->Append(batch, timestamp_ns, std::move(tokens));
+    if (seq == 0) {
+      stats.rejected += batch.size();
+    } else {
+      ++stats.commits;
+      stats.records += batch.size();
+    }
+    batch.clear();
+    tokens = {};
+  };
+
+  for (size_t i = first_record; i < end; ++i) {
+    LogRecord record = reader.At(i);
+    WalRecord wal;
+    wal.offset = record.addr;
+    wal.value = record.value;
+    wal.size = record.size;
+    batch.push_back(wal);
+    if (waterfall != nullptr && (record.flags & kRecordFlagSampled) != 0) {
+      uint64_t token = waterfall->MatchToken(record.addr, record.value, record.timestamp);
+      if (token != 0) {
+        tokens.push_back(token);
+        ++stats.tokens;
+      }
+    }
+    if (batch.size() >= records_per_commit) {
+      flush_batch();
+    }
+  }
+  flush_batch();
+  return stats;
+}
+
+}  // namespace lvm

@@ -1,0 +1,49 @@
+// Bridges a simulated log segment into a durable WAL arena.
+//
+// The simulator's LogSegment holds 16-byte LogRecords in simulated memory;
+// the WalArena persists WalRecords on a real mapped file. BridgeLogToWal
+// reads a record range through a LogReader, converts each record
+// (record.addr becomes the WAL offset), groups them into commits of
+// `records_per_commit`, and appends them to the arena — the durable half
+// of a logged region's life.
+//
+// Provenance: records flagged kRecordFlagSampled have an in-flight
+// waterfall token recovered by identity (WaterfallTracer::MatchToken) and
+// passed to WalArena::Append, so a sampled write's waterfall continues
+// through kWalCommit at group flush and closes at kReplay on the next
+// replay-on-open. Pass a null tracer to bridge without tracing.
+//
+// Built as its own target (lvm_walbridge): it is the only code that needs
+// both lvm_core (LogReader) and lvm_hostlvm (WalArena).
+#ifndef SRC_HOSTLVM_LOG_WAL_BRIDGE_H_
+#define SRC_HOSTLVM_LOG_WAL_BRIDGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/hostlvm/wal_arena.h"
+#include "src/lvm/log_reader.h"
+#include "src/obs/waterfall.h"
+
+namespace lvm {
+
+struct LogWalBridgeStats {
+  uint64_t commits = 0;  // WAL commits appended.
+  uint64_t records = 0;  // Log records bridged.
+  uint64_t tokens = 0;   // Waterfall tokens recovered and attached.
+  // Records that could not be staged (arena out of log space).
+  uint64_t rejected = 0;
+};
+
+// Bridges records [first_record, first_record + record_count) of `reader`
+// into `arena` as commits of at most `records_per_commit` records each,
+// stamped with `timestamp_ns`. The caller must have synchronized with the
+// end of the log (LvmSystem::SyncLog) first.
+LogWalBridgeStats BridgeLogToWal(const LogReader& reader, size_t first_record,
+                                 size_t record_count, uint32_t records_per_commit,
+                                 uint64_t timestamp_ns, WalArena* arena,
+                                 obs::WaterfallTracer* waterfall);
+
+}  // namespace lvm
+
+#endif  // SRC_HOSTLVM_LOG_WAL_BRIDGE_H_

@@ -152,12 +152,14 @@ uint64_t WalArena::BytesAvailable(const Cursor& cursor) const {
   return (kWalBlockPayload - cursor.offset) + whole_blocks * kWalBlockPayload;
 }
 
-uint64_t WalArena::Append(const std::vector<WalRecord>& records, uint64_t timestamp_ns) {
+uint64_t WalArena::Append(const std::vector<WalRecord>& records, uint64_t timestamp_ns,
+                          std::vector<uint64_t> tokens) {
   LVM_CHECK_MSG(recovered_, "WalArena: Replay() must run before Append()");
   LVM_CHECK_MSG(!records.empty(), "WalArena: a commit needs at least one record");
   StagedCommit commit;
   commit.timestamp_ns = timestamp_ns;
   commit.records = records;
+  commit.tokens = std::move(tokens);
   const uint64_t bytes = CommitBytes(commit);
   if (staged_bytes_ + bytes > BytesAvailable(cursor_)) {
     return 0;  // Out of log space; checkpoint + Truncate() reclaims it.
@@ -353,6 +355,18 @@ bool WalArena::Flush() {
     flight_->Record(flight_ring_, obs::FlightEventKind::kWalGroupFlush, last_seq,
                     "wal group flush", staged_.size(), total, first_seq);
   }
+  if (waterfall_ != nullptr) {
+    // The whole group is durable now (END frames synced, cursor advanced):
+    // stamp every riding token and bind it to its commit sequence so
+    // replay-on-open can find it again.
+    for (const StagedCommit& commit : staged_) {
+      for (uint64_t token : commit.tokens) {
+        waterfall_->BindSeq(token, commit.seq);
+        waterfall_->Stamp(token, obs::WaterfallStage::kWalCommit, /*lane=*/0, /*sim_now=*/0,
+                          static_cast<uint32_t>(staged_.size()));
+      }
+    }
+  }
   staged_.clear();
   staged_bytes_ = 0;
   return true;
@@ -427,6 +441,14 @@ WalRecoveryStats WalArena::Replay(const ApplyFn& apply, const WalRecoverOptions&
       ++stats.commits_applied;
       stats.records_applied += commit.records.size();
       recovered_commits_.Increment();
+      if (waterfall_ != nullptr) {
+        std::vector<uint64_t> tokens;
+        waterfall_->TokensForSeq(commit.seq, &tokens);
+        for (uint64_t token : tokens) {
+          waterfall_->Complete(token, obs::WaterfallStage::kReplay, /*lane=*/0, /*sim_now=*/0,
+                               static_cast<uint32_t>(tokens.size()));
+        }
+      }
     }
     stats.last_seq = begin.seq;
     expected = begin.seq + 1;

@@ -45,6 +45,7 @@
 #include "src/mfile/host_mapped_file.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/waterfall.h"
 
 namespace lvm {
 
@@ -112,8 +113,12 @@ class WalArena {
   // when a bound fills. `timestamp_ns` is the caller's commit timestamp
   // (stored in the BEGIN/END frames). Must not be called with `records`
   // empty. Fails (returns 0, nothing staged) only when the arena is out
-  // of log space — checkpoint + Truncate() reclaims it.
-  uint64_t Append(const std::vector<WalRecord>& records, uint64_t timestamp_ns = 0);
+  // of log space — checkpoint + Truncate() reclaims it. `tokens` are the
+  // waterfall provenance tokens riding this commit (see set_waterfall):
+  // each is stamped kWalCommit when the commit's group flush persists and
+  // completed at kReplay when replay-on-open applies the commit.
+  uint64_t Append(const std::vector<WalRecord>& records, uint64_t timestamp_ns = 0,
+                  std::vector<uint64_t> tokens = {});
 
   // Writes every staged commit to the chained blocks, msyncs the touched
   // range, then advances and syncs the superblock cursor. False when the
@@ -161,6 +166,11 @@ class WalArena {
   // Routes kWalCommit / kWalGroupFlush / kWalRecovery events to `ring` of
   // `flight` (pass nullptr to detach).
   void SetFlightRecorder(obs::FlightRecorder* flight, int ring = 0);
+  // Optional provenance waterfall: tokens passed to Append() are bound to
+  // their commit sequence at flush and completed on replay. The tracer
+  // must outlive the arena (it usually outlives a close/reopen pair, so a
+  // record's waterfall spans both processes' arenas).
+  void set_waterfall(obs::WaterfallTracer* waterfall) { waterfall_ = waterfall; }
 
   // The lvm.walbox.v1 post-mortem dump: superblock state, append cursor,
   // counters, staged-commit count, and the cause. Strict JSON.
@@ -178,6 +188,8 @@ class WalArena {
     uint64_t seq = 0;
     uint64_t timestamp_ns = 0;
     std::vector<WalRecord> records;
+    // Waterfall tokens riding this commit (empty when tracing is off).
+    std::vector<uint64_t> tokens;
   };
 
   // Stream cursor: a payload byte position inside a block of the chain.
@@ -220,6 +232,7 @@ class WalArena {
   CrashHook crash_hook_;
   obs::FlightRecorder* flight_ = nullptr;
   int flight_ring_ = 0;
+  obs::WaterfallTracer* waterfall_ = nullptr;
 
   obs::Counter commits_;
   obs::Counter records_;

@@ -17,7 +17,15 @@ void HardwareLogger::OnBusWrite(PhysAddr paddr, uint32_t value, uint8_t size, bo
     records_dropped_.Increment();
     return;
   }
-  fifo_.Push(FifoEntry{paddr, value, size, static_cast<uint8_t>(cpu_id), time});
+  uint64_t prov = 0;
+  if (waterfall_ != nullptr) {
+    prov = waterfall_->SampleRecord(cpu_id, time, static_cast<uint32_t>(fifo_.size()));
+  }
+  fifo_.Push(FifoEntry{paddr, value, size, static_cast<uint8_t>(cpu_id), time, prov});
+  if (prov != 0) {
+    waterfall_->Stamp(prov, obs::WaterfallStage::kShardEnqueue, cpu_id, time,
+                      static_cast<uint32_t>(fifo_.size()));
+  }
   if (trace_ != nullptr) {
     trace_->CounterValue("logger", "fifo_occupancy", kLoggerTraceTid, time, fifo_.size());
   }
@@ -63,6 +71,10 @@ void HardwareLogger::ProcessOne(uint32_t service_cycles, obs::CostCenter center)
   if (entry.time > service_free_) {
     service_free_ = entry.time;
   }
+  if (entry.prov != 0) {
+    waterfall_->Stamp(entry.prov, obs::WaterfallStage::kDrain, entry.cpu_id, service_free_,
+                      static_cast<uint32_t>(fifo_.size()));
+  }
   if (EmitRecord(entry)) {
     records_logged_.Increment();
     if (params_->dma_contends_bus && bus_ != nullptr) {
@@ -73,6 +85,9 @@ void HardwareLogger::ProcessOne(uint32_t service_cycles, obs::CostCenter center)
     }
   } else {
     records_dropped_.Increment();
+    if (entry.prov != 0) {
+      waterfall_->Abandon(entry.prov);
+    }
     if (trace_ != nullptr) {
       trace_->Instant("logger", "record_drop", kLoggerTraceTid, service_free_, "paddr",
                       entry.paddr);
@@ -111,6 +126,11 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
       // tail, no boundary faults.
       PhysAddr stored_at = mapping->direct_frame + PageOffset(entry.paddr);
       memory_->Write(stored_at, entry.value, entry.size);
+      if (entry.prov != 0) {
+        // No record framing, so the journey ends at the store.
+        waterfall_->Complete(entry.prov, obs::WaterfallStage::kSegmentAppend, entry.cpu_id,
+                             service_free_, 0);
+      }
       NotifyRetired(RetiredWrite::Kind::kDirectMapped, entry, log_index, stored_at, 0, 0);
       return true;
     }
@@ -143,7 +163,7 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
         .addr = record_addr,
         .value = entry.value,
         .size = entry.size,
-        .flags = 0,
+        .flags = entry.prov != 0 ? kRecordFlagSampled : uint16_t{0},
         .timestamp = static_cast<uint32_t>(entry.time / params_->timestamp_divider),
     };
     LogFaultInjector::Action action = LogFaultInjector::Action::kNone;
@@ -168,6 +188,13 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
         StoreLogRecord(memory_, log.tail, record);
         break;
     }
+    if (entry.prov != 0) {
+      // Identity is the post-injector record: MatchToken must find the
+      // bytes that actually landed in the segment.
+      waterfall_->SetIdentity(entry.prov, record.addr, record.value, record.timestamp);
+      waterfall_->Stamp(entry.prov, obs::WaterfallStage::kSegmentAppend, entry.cpu_id,
+                        service_free_, 0);
+    }
     // The observer report describes the emission the logger believes it
     // performed; an injected fault is visible only through its effects.
     NotifyRetired(RetiredWrite::Kind::kRecord, entry, log_index, tail_before, tail_before,
@@ -175,6 +202,10 @@ bool HardwareLogger::EmitRecord(const FifoEntry& entry) {
   } else {  // LogMode::kIndexed: just the data values, back to back.
     memory_->Write(log.tail, entry.value, entry.size);
     log.tail += entry.size;
+    if (entry.prov != 0) {
+      waterfall_->Complete(entry.prov, obs::WaterfallStage::kSegmentAppend, entry.cpu_id,
+                           service_free_, 0);
+    }
     NotifyRetired(RetiredWrite::Kind::kIndexed, entry, log_index, tail_before, tail_before,
                   log.tail);
   }

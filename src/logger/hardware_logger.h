@@ -29,6 +29,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
+#include "src/obs/waterfall.h"
 #include "src/logger/tables.h"
 #include "src/sim/bus.h"
 #include "src/sim/interfaces.h"
@@ -144,6 +145,9 @@ class HardwareLogger : public BusSnooper {
     profiler_ = profiler;
     prof_lane_ = lane;
   }
+  // Optional provenance waterfall: sampled writes carry a token from FIFO
+  // entry to record emission (stage stamps never advance simulated time).
+  void set_waterfall(obs::WaterfallTracer* waterfall) { waterfall_ = waterfall; }
 
   PageMappingTable& page_mapping_table() { return page_mapping_table_; }
   LogTable& log_table() { return log_table_; }
@@ -177,6 +181,8 @@ class HardwareLogger : public BusSnooper {
     // Writing processor, for per-processor logs (Section 3.1.2 extension).
     uint8_t cpu_id = 0;
     Cycles time = 0;
+    // Waterfall provenance token (0 = unsampled).
+    uint64_t prov = 0;
   };
 
   // Retires FIFO entries whose service completes by `time`.
@@ -207,6 +213,7 @@ class HardwareLogger : public BusSnooper {
   obs::TraceRecorder* trace_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
   int prof_lane_ = 0;
+  obs::WaterfallTracer* waterfall_ = nullptr;
 
   PageMappingTable page_mapping_table_;
   LogTable log_table_;

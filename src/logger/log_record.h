@@ -23,6 +23,12 @@ namespace lvm {
 // immediately precedes the new-value record of the same write.
 inline constexpr uint16_t kRecordFlagOldValue = 0x1;
 
+// The record was sampled by the provenance waterfall tracer
+// (src/obs/waterfall.h): downstream consumers (replay verification, the
+// WAL bridge) recover its in-flight token by identity and stamp their
+// stage. Purely observational — replay semantics ignore it.
+inline constexpr uint16_t kRecordFlagSampled = 0x2;
+
 struct LogRecord {
   uint32_t addr = 0;
   uint32_t value = 0;

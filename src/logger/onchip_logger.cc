@@ -26,17 +26,23 @@ void OnChipLogger::ClearCpu(int cpu_id) {
   descriptors_.at(static_cast<size_t>(cpu_id)).clear();
 }
 
-bool OnChipLogger::EmitRecord(Cpu* cpu, uint32_t log_index, const LogRecord& record) {
+bool OnChipLogger::EmitRecord(Cpu* cpu, uint32_t log_index, LogRecord record, uint64_t prov) {
   LogTable::Entry& log = log_table_.at(log_index);
   if (!log.tail_valid) {
     tail_faults_.Increment();
     // Synchronous kernel fixup; the fault client charges the CPU cost.
     if (client_ == nullptr || !client_->OnLogTailFault(log_index, cpu->now())) {
       records_dropped_.Increment();
+      if (prov != 0) {
+        waterfall_->Abandon(prov);
+      }
       return false;
     }
     if (!log.tail_valid) {
       records_dropped_.Increment();
+      if (prov != 0) {
+        waterfall_->Abandon(prov);
+      }
       return false;
     }
   }
@@ -52,15 +58,34 @@ bool OnChipLogger::EmitRecord(Cpu* cpu, uint32_t log_index, const LogRecord& rec
     cpu->AdvanceTo(buffer.front());
     buffer.pop_front();
   }
+  if (prov != 0) {
+    waterfall_->Stamp(prov, obs::WaterfallStage::kShardEnqueue, cpu->id(), cpu->now(),
+                      static_cast<uint32_t>(buffer.size()));
+  }
   Cycles grant = bus_->Acquire(cpu->now(), params_->log_record_dma_bus);
   buffer.push_back(grant + params_->log_record_dma_bus);
+  if (prov != 0) {
+    waterfall_->Stamp(prov, obs::WaterfallStage::kDrain, cpu->id(), grant,
+                      static_cast<uint32_t>(buffer.size()));
+  }
 
   if (log.mode == LogMode::kNormal) {
+    if (prov != 0) {
+      record.flags |= kRecordFlagSampled;
+    }
     StoreLogRecord(memory_, log.tail, record);
     log.tail += kLogRecordSize;
+    if (prov != 0) {
+      waterfall_->SetIdentity(prov, record.addr, record.value, record.timestamp);
+      waterfall_->Stamp(prov, obs::WaterfallStage::kSegmentAppend, cpu->id(), cpu->now(), 0);
+    }
   } else {
     memory_->Write(log.tail, record.value, static_cast<uint8_t>(record.size));
     log.tail += record.size;
+    if (prov != 0) {
+      // No record framing: the journey ends at the indexed append.
+      waterfall_->Complete(prov, obs::WaterfallStage::kSegmentAppend, cpu->id(), cpu->now(), 0);
+    }
   }
   records_logged_.Increment();
   if (trace_ != nullptr) {
@@ -107,7 +132,13 @@ void OnChipLogger::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t
       .flags = 0,
       .timestamp = timestamp,
   };
-  EmitRecord(cpu, log_index, record);
+  uint64_t prov = 0;
+  if (waterfall_ != nullptr) {
+    prov = waterfall_->SampleRecord(
+        cpu->id(), cpu->now(),
+        static_cast<uint32_t>(record_buffers_.at(static_cast<size_t>(cpu->id())).size()));
+  }
+  EmitRecord(cpu, log_index, record, prov);
 }
 
 void OnChipLogger::RegisterMetrics(obs::MetricsRegistry* registry) const {

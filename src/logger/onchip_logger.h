@@ -42,6 +42,9 @@ class OnChipLogger : public LoggedWriteSink {
   void set_fault_client(LoggerFaultClient* client) { client_ = client; }
   // Optional trace sink (instant events per emitted record).
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  // Optional provenance waterfall (sampled new-value records only; the
+  // old-value companion record rides unsampled).
+  void set_waterfall(obs::WaterfallTracer* waterfall) { waterfall_ = waterfall; }
 
   // Section 4.6 extension: also log the memory data *before* each write
   // (an extra record flagged kRecordFlagOldValue preceding the new-value
@@ -79,7 +82,8 @@ class OnChipLogger : public LoggedWriteSink {
  private:
   // Emits one record into `log_index` (tail fault handling, store-buffer
   // rate limiting, DMA). Returns false if the record had to be dropped.
-  bool EmitRecord(Cpu* cpu, uint32_t log_index, const LogRecord& record);
+  // `prov` is the record's waterfall token (0 = unsampled).
+  bool EmitRecord(Cpu* cpu, uint32_t log_index, LogRecord record, uint64_t prov = 0);
 
   const MachineParams* params_;
   PhysicalMemory* memory_;
@@ -87,6 +91,7 @@ class OnChipLogger : public LoggedWriteSink {
   LoggerFaultClient* client_ = nullptr;
   L2Cache* l2_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::WaterfallTracer* waterfall_ = nullptr;
   bool capture_old_values_ = false;
 
   LogTable log_table_;

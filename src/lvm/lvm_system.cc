@@ -164,6 +164,33 @@ obs::Profiler* LvmSystem::EnableProfiler(const obs::ProfilerConfig& config) {
   return profiler_.get();
 }
 
+obs::WaterfallTracer* LvmSystem::EnableWaterfall(const obs::WaterfallConfig& config) {
+  LVM_CHECK_MSG(waterfall_ == nullptr, "waterfall already enabled");
+  waterfall_ = std::make_unique<obs::WaterfallTracer>(machine_.num_cpus(), config);
+  if (bus_logger_ != nullptr) {
+    bus_logger_->set_waterfall(waterfall_.get());
+  }
+  if (onchip_logger_ != nullptr) {
+    onchip_logger_->set_waterfall(waterfall_.get());
+  }
+  waterfall_->RegisterMetrics(&metrics_);
+  waterfall_->SetFlightRecorder(&flight_);
+  return waterfall_.get();
+}
+
+std::string LvmSystem::WaterfallJson() const {
+  LVM_CHECK_MSG(waterfall_ != nullptr, "EnableWaterfall first");
+  return waterfall_->Json();
+}
+
+bool LvmSystem::WriteWaterfall(const std::string& path) {
+  if (waterfall_ == nullptr) {
+    return false;
+  }
+  waterfall_->FinishInFlight();
+  return waterfall_->WriteJsonFile(path);
+}
+
 std::string LvmSystem::ProfileJson() const {
   LVM_CHECK_MSG(profiler_ != nullptr, "EnableProfiler first");
   std::vector<Cycles> clocks(static_cast<size_t>(profiler_->num_lanes()), 0);

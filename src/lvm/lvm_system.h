@@ -38,6 +38,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
+#include "src/obs/waterfall.h"
 #include "src/race/race_detector.h"
 #include "src/sim/machine.h"
 #include "src/vm/address_space.h"
@@ -136,6 +137,25 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   std::string ProfileJson() const;
   // Returns false if the file could not be written (or no profiler).
   bool WriteProfile(const std::string& path) const;
+
+  // --- provenance waterfall (src/obs/waterfall, DESIGN.md §17) ---
+  // Builds the per-record provenance tracer (one lane per CPU) and wires
+  // it into whichever logger variant is active; the parallel engine wires
+  // its shards at Start(). Stage stamps never advance simulated clocks,
+  // so enabling this cannot change a simulation result. Call at most
+  // once. Returns the tracer (owned by the system).
+  obs::WaterfallTracer* EnableWaterfall(
+      const obs::WaterfallConfig& config = obs::WaterfallConfig{});
+  // Null until EnableWaterfall.
+  obs::WaterfallTracer* waterfall() { return waterfall_.get(); }
+  const obs::WaterfallTracer* waterfall() const { return waterfall_.get(); }
+  // lvm.waterfall.v1 export of whatever has completed so far.
+  std::string WaterfallJson() const;
+  // End-of-run export: finishes still-in-flight waterfalls at their last
+  // stamped hop first (so call it after any WAL bridge / replay pass that
+  // needs live tokens). Returns false if the file could not be written
+  // (or no tracer).
+  bool WriteWaterfall(const std::string& path);
 
   // --- black box (src/lvm/black_box.cc) ---
   // Serializes the lvm.blackbox.v1 bundle — config, flight-recorder
@@ -369,6 +389,7 @@ class LvmSystem : public PageFaultHandler, public LoggerFaultClient {
   std::unique_ptr<OnChipLogger> onchip_logger_;
   std::unique_ptr<race::RaceDetector> race_detector_;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::WaterfallTracer> waterfall_;
 
   // The default page that absorbs log records when a log segment has no
   // frames left (Section 3.2).

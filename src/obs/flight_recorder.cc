@@ -39,6 +39,10 @@ const char* ToString(FlightEventKind kind) {
       return "wal_group_flush";
     case FlightEventKind::kWalRecovery:
       return "wal_recovery";
+    case FlightEventKind::kWaterfallSampled:
+      return "waterfall_sampled";
+    case FlightEventKind::kWaterfallDropped:
+      return "waterfall_dropped";
     case FlightEventKind::kMarker:
       return "marker";
   }
@@ -70,6 +74,9 @@ const char* ComponentOf(FlightEventKind kind) {
     case FlightEventKind::kWalGroupFlush:
     case FlightEventKind::kWalRecovery:
       return "wal";
+    case FlightEventKind::kWaterfallSampled:
+    case FlightEventKind::kWaterfallDropped:
+      return "waterfall";
     case FlightEventKind::kMarker:
       return "app";
   }

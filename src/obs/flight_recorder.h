@@ -56,6 +56,8 @@ enum class FlightEventKind : uint8_t {
   kWalCommit,          // A commit was staged in the durable WAL arena.
   kWalGroupFlush,      // A WAL group flush persisted staged commits.
   kWalRecovery,        // WAL replay-on-open finished (a0 commits, a2 torn).
+  kWaterfallSampled,   // The waterfall tracer sampled a logged write.
+  kWaterfallDropped,   // A sampled write was dropped: no free staging slot.
   kMarker,             // Application-defined annotation.
 };
 

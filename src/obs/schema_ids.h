@@ -36,6 +36,10 @@ inline constexpr const char kWalBoxSchema[] = "lvm.walbox.v1";
 // the single C++-side source of truth for readers).
 inline constexpr const char kPerfDiffSchema[] = "lvm.perfdiff.v1";
 
+// Per-record provenance waterfall export (src/obs/waterfall.cc,
+// tools/lvm_trace).
+inline constexpr const char kWaterfallSchema[] = "lvm.waterfall.v1";
+
 // lvm-analyze --json report: lock-order, blocking-context, and WAL
 // persist-ordering findings (tools/lvm_analyze).
 inline constexpr const char kAnalysisReportSchema[] = "lvm.analysis.v1";

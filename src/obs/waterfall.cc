@@ -1,0 +1,422 @@
+#include "src/obs/waterfall.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/base/check.h"
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+
+namespace lvm {
+namespace obs {
+namespace {
+
+// splitmix64: decorrelates each lane's sampling phase from the seed.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+constexpr size_t kNumStages = static_cast<size_t>(WaterfallStage::kCount);
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Token layout: [63:48] lane, [47:32] slot, [31:0] odd generation.
+uint64_t MakeToken(int lane, size_t slot, uint32_t gen) {
+  return (static_cast<uint64_t>(lane) << 48) | (static_cast<uint64_t>(slot) << 32) |
+         static_cast<uint64_t>(gen);
+}
+
+}  // namespace
+
+const char* ToString(WaterfallStage stage) {
+  switch (stage) {
+    case WaterfallStage::kRecord:
+      return "record";
+    case WaterfallStage::kShardEnqueue:
+      return "shard_enqueue";
+    case WaterfallStage::kDrain:
+      return "drain";
+    case WaterfallStage::kSegmentAppend:
+      return "segment_append";
+    case WaterfallStage::kWalCommit:
+      return "wal_commit";
+    case WaterfallStage::kReplay:
+      return "replay";
+    case WaterfallStage::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+WaterfallTracer::WaterfallTracer(int lanes, const WaterfallConfig& config)
+    : config_(config),
+      sample_mask_((config.sample_shift >= 63 ? ~uint64_t{0}
+                                              : (uint64_t{1} << config.sample_shift) - 1)),
+      epoch_ns_(SteadyNowNs()) {
+  LVM_CHECK(lanes >= 1 && lanes < (1 << 16));
+  LVM_CHECK(config.inflight_slots >= 1 && config.inflight_slots < (1u << 16));
+  lanes_.reserve(static_cast<size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->phase = Mix64(config.seed ^ static_cast<uint64_t>(i)) & sample_mask_;
+    lane->slots = std::vector<Slot>(config.inflight_slots);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+uint64_t WaterfallTracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+void WaterfallTracer::RecordFlight(FlightEventKind kind, int lane, Cycles ts, uint64_t a0,
+                                   uint64_t a1) {
+  if (flight_ == nullptr) {
+    return;
+  }
+  int ring = lane < flight_->kernel_ring() ? lane : flight_->kernel_ring();
+  flight_->Record(ring, kind, ts, "waterfall", a0, a1, static_cast<uint64_t>(lane));
+}
+
+uint64_t WaterfallTracer::SampleRecord(int lane_id, Cycles sim_now, uint32_t queue_depth) {
+  Lane& lane = *lanes_[static_cast<size_t>(lane_id)];
+  if (((lane.counter++ + lane.phase) & sample_mask_) != 0) {
+    return 0;
+  }
+  // Find a free slot (even generation). Only the lane owner allocates, but
+  // Complete may free concurrently from another thread; the CAS makes the
+  // claim race-free either way.
+  for (size_t i = 0; i < lane.slots.size(); ++i) {
+    Slot& slot = lane.slots[i];
+    uint32_t gen = slot.gen.load(std::memory_order_relaxed);
+    if ((gen & 1u) != 0) {
+      continue;
+    }
+    if (!slot.gen.compare_exchange_strong(gen, gen + 1, std::memory_order_acquire)) {
+      continue;
+    }
+    slot.id = (static_cast<uint64_t>(lane_id) << 32) | lane.next_ordinal++;
+    slot.has_identity = false;
+    slot.seq = 0;
+    slot.hop_count = 1;
+    slot.hops[0] = WaterfallHop{WaterfallStage::kRecord, static_cast<uint16_t>(lane_id),
+                                queue_depth, sim_now, NowNs()};
+    AtomicMax(&queue_peak_[static_cast<size_t>(WaterfallStage::kRecord)], queue_depth);
+    sampled_.Increment();
+    uint64_t token = MakeToken(lane_id, i, gen + 1);
+    RecordFlight(FlightEventKind::kWaterfallSampled, lane_id, sim_now, slot.id, queue_depth);
+    return token;
+  }
+  dropped_.Increment();
+  RecordFlight(FlightEventKind::kWaterfallDropped, lane_id, sim_now, lane.counter - 1,
+               queue_depth);
+  return 0;
+}
+
+WaterfallTracer::Slot* WaterfallTracer::Resolve(uint64_t token) {
+  if (token == 0) {
+    return nullptr;
+  }
+  size_t lane = token >> 48;
+  size_t slot_index = (token >> 32) & 0xffffu;
+  auto gen = static_cast<uint32_t>(token & 0xffffffffu);
+  if (lane >= lanes_.size() || slot_index >= lanes_[lane]->slots.size()) {
+    return nullptr;
+  }
+  Slot& slot = lanes_[lane]->slots[slot_index];
+  if (slot.gen.load(std::memory_order_relaxed) != gen) {
+    return nullptr;  // Recycled or never issued: a stale token.
+  }
+  return &slot;
+}
+
+const WaterfallTracer::Slot* WaterfallTracer::Resolve(uint64_t token) const {
+  return const_cast<WaterfallTracer*>(this)->Resolve(token);
+}
+
+void WaterfallTracer::Stamp(uint64_t token, WaterfallStage stage, int lane, Cycles sim_now,
+                            uint32_t queue_depth) {
+  Slot* slot = Resolve(token);
+  if (slot == nullptr) {
+    return;
+  }
+  AtomicMax(&queue_peak_[static_cast<size_t>(stage)], queue_depth);
+  if (slot->hop_count >= kMaxHops) {
+    return;
+  }
+  slot->hops[slot->hop_count++] = WaterfallHop{stage, static_cast<uint16_t>(lane), queue_depth,
+                                               sim_now, NowNs()};
+}
+
+void WaterfallTracer::SetIdentity(uint64_t token, uint32_t addr, uint32_t value,
+                                  uint32_t timestamp) {
+  Slot* slot = Resolve(token);
+  if (slot == nullptr) {
+    return;
+  }
+  slot->addr = addr;
+  slot->value = value;
+  slot->timestamp = timestamp;
+  slot->has_identity = true;
+}
+
+uint64_t WaterfallTracer::MatchToken(uint32_t addr, uint32_t value, uint32_t timestamp) const {
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    const std::vector<Slot>& slots = lanes_[lane]->slots;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const Slot& slot = slots[i];
+      uint32_t gen = slot.gen.load(std::memory_order_acquire);
+      if ((gen & 1u) == 0 || !slot.has_identity) {
+        continue;
+      }
+      if (slot.addr == addr && slot.value == value && slot.timestamp == timestamp) {
+        return MakeToken(static_cast<int>(lane), i, gen);
+      }
+    }
+  }
+  return 0;
+}
+
+void WaterfallTracer::BindSeq(uint64_t token, uint64_t seq) {
+  Slot* slot = Resolve(token);
+  if (slot == nullptr) {
+    return;
+  }
+  slot->seq = seq;
+}
+
+void WaterfallTracer::TokensForSeq(uint64_t seq, std::vector<uint64_t>* out) const {
+  if (seq == 0) {
+    return;
+  }
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    const std::vector<Slot>& slots = lanes_[lane]->slots;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const Slot& slot = slots[i];
+      uint32_t gen = slot.gen.load(std::memory_order_acquire);
+      if ((gen & 1u) != 0 && slot.seq == seq) {
+        out->push_back(MakeToken(static_cast<int>(lane), i, gen));
+      }
+    }
+  }
+}
+
+void WaterfallTracer::Retire(Slot* slot, uint16_t origin_lane) {
+  // Fold: each hop after the first charges its stage with the wall-ns
+  // delta from the previous hop, so per-stage latencies telescope exactly
+  // to end-to-end.
+  uint64_t prev = slot->hops[0].wall_ns;
+  for (uint32_t i = 1; i < slot->hop_count; ++i) {
+    const WaterfallHop& hop = slot->hops[i];
+    stage_ns_[static_cast<size_t>(hop.stage)].Record(hop.wall_ns - prev);
+    if (hop.stage == WaterfallStage::kDrain && i >= 1 &&
+        slot->hops[i - 1].stage == WaterfallStage::kShardEnqueue) {
+      AtomicMax(&queue_age_peak_ns_, hop.wall_ns - prev);
+    }
+    prev = hop.wall_ns;
+  }
+  CompletedWaterfall done;
+  done.id = slot->id;
+  done.lane = origin_lane;
+  done.addr = slot->addr;
+  done.value = slot->value;
+  done.timestamp = slot->timestamp;
+  done.end_to_end_ns = slot->hops[slot->hop_count - 1].wall_ns - slot->hops[0].wall_ns;
+  done.hops.assign(slot->hops.begin(), slot->hops.begin() + slot->hop_count);
+  completed_count_.Increment();
+  {
+    MutexLock lock(mu_);
+    if (completed_.size() < config_.completed_capacity) {
+      completed_.push_back(std::move(done));
+    } else {
+      truncated_.Increment();
+    }
+  }
+  // Free last: the release pairs with SampleRecord's acquire CAS so the
+  // next owner sees a fully retired slot.
+  slot->gen.fetch_add(1, std::memory_order_release);
+}
+
+void WaterfallTracer::Complete(uint64_t token, WaterfallStage stage, int lane, Cycles sim_now,
+                               uint32_t queue_depth) {
+  Slot* slot = Resolve(token);
+  if (slot == nullptr) {
+    return;
+  }
+  AtomicMax(&queue_peak_[static_cast<size_t>(stage)], queue_depth);
+  if (slot->hop_count < kMaxHops) {
+    slot->hops[slot->hop_count++] = WaterfallHop{stage, static_cast<uint16_t>(lane), queue_depth,
+                                                 sim_now, NowNs()};
+  }
+  Retire(slot, static_cast<uint16_t>(token >> 48));
+}
+
+void WaterfallTracer::Abandon(uint64_t token) {
+  Slot* slot = Resolve(token);
+  if (slot == nullptr) {
+    return;
+  }
+  abandoned_.Increment();
+  slot->gen.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t WaterfallTracer::FinishInFlight() {
+  uint64_t finished = 0;
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    std::vector<Slot>& slots = lanes_[lane]->slots;
+    for (Slot& slot : slots) {
+      if ((slot.gen.load(std::memory_order_acquire) & 1u) != 0) {
+        Retire(&slot, static_cast<uint16_t>(lane));
+        ++finished;
+      }
+    }
+  }
+  return finished;
+}
+
+uint64_t WaterfallTracer::inflight() const {
+  uint64_t active = 0;
+  for (const auto& lane : lanes_) {
+    for (const Slot& slot : lane->slots) {
+      active += slot.gen.load(std::memory_order_relaxed) & 1u;
+    }
+  }
+  return active;
+}
+
+std::vector<CompletedWaterfall> WaterfallTracer::Completed() const {
+  MutexLock lock(mu_);
+  return completed_;
+}
+
+void WaterfallTracer::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("waterfall.sampled", &sampled_);
+  registry->RegisterCounter("waterfall.completed", &completed_count_);
+  registry->RegisterCounter("waterfall.dropped", &dropped_);
+  registry->RegisterCounter("waterfall.abandoned", &abandoned_);
+  registry->RegisterCounter("waterfall.truncated", &truncated_);
+  for (size_t i = 0; i < kNumStages; ++i) {
+    auto stage = static_cast<WaterfallStage>(i);
+    registry->RegisterHistogram(std::string("waterfall.stage_ns.") + ToString(stage),
+                                &stage_ns_[i]);
+    const std::atomic<uint64_t>* peak = &queue_peak_[i];
+    registry->RegisterCallback(std::string("waterfall.queue_peak.") + ToString(stage),
+                               [peak] { return peak->load(std::memory_order_relaxed); });
+  }
+  const std::atomic<uint64_t>* age = &queue_age_peak_ns_;
+  registry->RegisterCallback("waterfall.queue_age_peak_ns",
+                             [age] { return age->load(std::memory_order_relaxed); });
+}
+
+std::string WaterfallTracer::Json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":";
+  AppendJsonString(&out, kWaterfallSchema);
+  out += ",\"config\":{\"lanes\":" + JsonNumber(static_cast<uint64_t>(lanes_.size()));
+  out += ",\"sample_shift\":" + JsonNumber(static_cast<uint64_t>(config_.sample_shift));
+  out += ",\"inflight_slots\":" + JsonNumber(static_cast<uint64_t>(config_.inflight_slots));
+  out += ",\"completed_capacity\":" +
+         JsonNumber(static_cast<uint64_t>(config_.completed_capacity));
+  out += ",\"seed\":" + JsonNumber(config_.seed);
+  out += "},\"counters\":{\"sampled\":" + JsonNumber(sampled());
+  out += ",\"completed\":" + JsonNumber(completed());
+  out += ",\"dropped\":" + JsonNumber(dropped());
+  out += ",\"abandoned\":" + JsonNumber(abandoned());
+  out += ",\"truncated\":" + JsonNumber(truncated_.value());
+  out += ",\"inflight\":" + JsonNumber(inflight());
+  out += "},\"queue_age_peak_ns\":" +
+         JsonNumber(queue_age_peak_ns_.load(std::memory_order_relaxed));
+  out += ",\"stages\":[";
+  bool first = true;
+  for (size_t i = 0; i < kNumStages; ++i) {
+    const Histogram& h = stage_ns_[i];
+    if (h.count() == 0) {
+      continue;
+    }
+    HistogramSnapshot snap;
+    snap.count = h.count();
+    snap.sum = h.sum();
+    snap.min = h.min();
+    snap.max = h.max();
+    snap.buckets.resize(Histogram::kBuckets);
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      snap.buckets[b] = h.bucket(b);
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"stage\":";
+    AppendJsonString(&out, ToString(static_cast<WaterfallStage>(i)));
+    out += ",\"count\":" + JsonNumber(snap.count);
+    out += ",\"min_ns\":" + JsonNumber(snap.min);
+    out += ",\"max_ns\":" + JsonNumber(snap.max);
+    out += ",\"mean_ns\":" + JsonNumber(snap.Mean());
+    out += ",\"p50_ns\":" + JsonNumber(snap.Percentile(50));
+    out += ",\"p99_ns\":" + JsonNumber(snap.Percentile(99));
+    out += ",\"queue_peak\":" + JsonNumber(queue_peak_[i].load(std::memory_order_relaxed));
+    out += "}";
+  }
+  out += "],\"waterfalls\":[";
+  {
+    MutexLock lock(mu_);
+    for (size_t w = 0; w < completed_.size(); ++w) {
+      const CompletedWaterfall& done = completed_[w];
+      if (w != 0) {
+        out += ",";
+      }
+      out += "{\"id\":" + JsonNumber(done.id);
+      out += ",\"lane\":" + JsonNumber(static_cast<uint64_t>(done.lane));
+      out += ",\"addr\":" + JsonNumber(static_cast<uint64_t>(done.addr));
+      out += ",\"value\":" + JsonNumber(static_cast<uint64_t>(done.value));
+      out += ",\"timestamp\":" + JsonNumber(static_cast<uint64_t>(done.timestamp));
+      out += ",\"end_to_end_ns\":" + JsonNumber(done.end_to_end_ns);
+      out += ",\"hops\":[";
+      uint64_t base = done.hops.empty() ? 0 : done.hops[0].wall_ns;
+      for (size_t h = 0; h < done.hops.size(); ++h) {
+        const WaterfallHop& hop = done.hops[h];
+        if (h != 0) {
+          out += ",";
+        }
+        out += "{\"stage\":";
+        AppendJsonString(&out, ToString(hop.stage));
+        out += ",\"lane\":" + JsonNumber(static_cast<uint64_t>(hop.lane));
+        out += ",\"queue_depth\":" + JsonNumber(static_cast<uint64_t>(hop.queue_depth));
+        out += ",\"sim_cycle\":" + JsonNumber(static_cast<uint64_t>(hop.sim_cycle));
+        out += ",\"wall_ns\":" + JsonNumber(hop.wall_ns - base);
+        out += "}";
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool WaterfallTracer::WriteJsonFile(const std::string& path) const {
+  std::string json = Json();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  int closed = std::fclose(file);
+  return written == json.size() && closed == 0;
+}
+
+}  // namespace obs
+}  // namespace lvm

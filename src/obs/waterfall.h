@@ -1,0 +1,229 @@
+// Sampled per-record provenance tracing: the log-path waterfall.
+//
+// The profiler (DESIGN.md §14) says how many cycles each subsystem burned;
+// the waterfall says where one *logged write* spent its life between the CPU
+// store and durability. A configurable fraction of logged writes (1 in
+// 2^sample_shift, per lane) is assigned a provenance token at record-creation
+// time; every hop of the log path — FIFO/shard enqueue, DMA drain, segment
+// append, WAL group commit, replay — stamps a (stage, sim-cycle, wall-ns,
+// queue-depth) tuple into the token's staging slot. A completed waterfall
+// folds its per-stage wall-ns deltas into log2 histograms and is retained
+// (bounded) for the strict-JSON lvm.waterfall.v1 export that tools/lvm_trace
+// renders.
+//
+// Design rules (mirrors the profiler's):
+//   1. Stamps NEVER advance simulated clocks or mutate records beyond the
+//      kRecordFlagSampled bit, so enabling the tracer cannot change a
+//      simulation result.
+//   2. Disabled means absent: call sites hold a WaterfallTracer* that is
+//      null until LvmSystem::EnableWaterfall, so the off cost is one
+//      pointer test. An enabled tracer charges unsampled writes one
+//      per-lane counter increment and a mask test.
+//   3. Sampling is deterministic: each lane samples on a fixed stride of
+//      its own logged-write sequence (phase derived from the seed), so the
+//      seeded token-scheduler mode samples the identical record set on
+//      every run with the same seed.
+//
+// Token lifecycle and threading: SampleRecord allocates a slot in the
+// origin lane's fixed table and returns a nonzero token (lane, slot,
+// generation); 0 means "not sampled" and every API ignores it. Between
+// SampleRecord and Complete the token is owned by one thread at a time —
+// hand-offs ride the log path's existing synchronization (SPSC rings,
+// engine join), exactly like the records themselves. Complete (and the
+// bounded completed store behind it) is safe from concurrent lanes; the
+// identity scans (MatchToken / TokensForSeq) and the export run on
+// quiesced logs, after drain/join.
+#ifndef SRC_OBS_WATERFALL_H_
+#define SRC_OBS_WATERFALL_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/lock_order.h"
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+#include "src/base/types.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace lvm {
+namespace obs {
+
+// The hops of the log path, in pipeline order. A waterfall's hop sequence
+// is a subsequence of this enum (e.g. non-durable runs have no kWalCommit).
+enum class WaterfallStage : uint8_t {
+  kRecord,         // Provenance assigned at record creation (bus/on-chip).
+  kShardEnqueue,   // Entered the write FIFO or a per-CPU shard ring.
+  kDrain,          // The modeled DMA engine retired it from the queue.
+  kSegmentAppend,  // The 16-byte LogRecord landed in a LogSegment frame.
+  kWalCommit,      // Its WAL commit group was persisted (durable runs).
+  kReplay,         // Replay (verifier or WAL replay-on-open) consumed it.
+  kCount,
+};
+
+// Stable identifier for exports and tests (e.g. "segment_append").
+const char* ToString(WaterfallStage stage);
+
+struct WaterfallHop {
+  WaterfallStage stage = WaterfallStage::kRecord;
+  uint16_t lane = 0;         // Lane that stamped the hop (CPU/worker id).
+  uint32_t queue_depth = 0;  // Occupancy of the queue the hop observed.
+  Cycles sim_cycle = 0;      // Simulated time at the hop (0 host-side).
+  uint64_t wall_ns = 0;      // Host wall clock, relative to tracer epoch.
+};
+
+struct WaterfallConfig {
+  // Sample 1 in 2^sample_shift logged writes per lane (0 = every write).
+  uint32_t sample_shift = 10;
+  // In-flight staging slots per lane; an exhausted lane drops the sample
+  // (counted, flight-recorded) rather than blocking the log path.
+  uint32_t inflight_slots = 64;
+  // Completed waterfalls retained for the export; excess completions still
+  // feed the stage histograms and are counted as truncated.
+  uint32_t completed_capacity = 256;
+  // Perturbs each lane's sampling phase (not its stride), so different
+  // seeds sample different-but-equally-spaced record sets.
+  uint64_t seed = 0;
+};
+
+// One finished record journey, retained for the export.
+struct CompletedWaterfall {
+  uint64_t id = 0;       // (origin lane << 32) | per-lane ordinal.
+  uint16_t lane = 0;     // Origin lane.
+  uint32_t addr = 0;     // Record identity, as SetIdentity saw it.
+  uint32_t value = 0;
+  uint32_t timestamp = 0;
+  uint64_t end_to_end_ns = 0;
+  std::vector<WaterfallHop> hops;
+};
+
+class WaterfallTracer {
+ public:
+  // Hops per waterfall; the 6 stages plus slack for a repeated stage.
+  static constexpr size_t kMaxHops = 8;
+
+  // One lane per simulated CPU / parallel worker.
+  WaterfallTracer(int lanes, const WaterfallConfig& config = WaterfallConfig{});
+
+  WaterfallTracer(const WaterfallTracer&) = delete;
+  WaterfallTracer& operator=(const WaterfallTracer&) = delete;
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  const WaterfallConfig& config() const { return config_; }
+
+  // --- the record path (lane-owner thread) ---
+  // Decides whether this logged write is sampled. Returns 0 (not sampled,
+  // or no free slot: a counted drop) or a token whose kRecord hop is
+  // already stamped.
+  uint64_t SampleRecord(int lane, Cycles sim_now, uint32_t queue_depth);
+  // Stamps one hop. Token 0 and unknown/stale tokens are ignored; hops
+  // beyond kMaxHops are dropped (the waterfall still completes).
+  void Stamp(uint64_t token, WaterfallStage stage, int lane, Cycles sim_now,
+             uint32_t queue_depth);
+  // Attaches the emitted record's identity so post-append consumers can
+  // recover the token from log bytes (MatchToken).
+  void SetIdentity(uint64_t token, uint32_t addr, uint32_t value, uint32_t timestamp);
+  // Stamps the final hop, folds per-stage latencies into the histograms
+  // and retires the slot into the bounded completed store.
+  void Complete(uint64_t token, WaterfallStage stage, int lane, Cycles sim_now,
+                uint32_t queue_depth);
+  // Releases a token whose record was dropped by the logger (mapping/tail
+  // fault): nothing is folded or retained.
+  void Abandon(uint64_t token);
+
+  // --- identity recovery (quiesced logs) ---
+  // Finds the in-flight token whose SetIdentity matches; 0 if none.
+  uint64_t MatchToken(uint32_t addr, uint32_t value, uint32_t timestamp) const;
+  // WAL hand-off: tags `token` with a commit sequence number at group
+  // flush; replay-on-open recovers the group's tokens by sequence.
+  void BindSeq(uint64_t token, uint64_t seq);
+  void TokensForSeq(uint64_t seq, std::vector<uint64_t>* out) const;
+
+  // Completes every still-in-flight waterfall at its last stamped hop, so
+  // an export taken at the end of a run (a bench without replay) covers
+  // the hops that did happen. Returns how many were finished.
+  uint64_t FinishInFlight();
+
+  // --- accounting ---
+  uint64_t sampled() const { return sampled_.value(); }
+  uint64_t completed() const { return completed_count_.value(); }
+  uint64_t dropped() const { return dropped_.value(); }
+  uint64_t abandoned() const { return abandoned_.value(); }
+  uint64_t inflight() const;
+  std::vector<CompletedWaterfall> Completed() const;
+
+  // Registers waterfall.sampled / waterfall.completed / waterfall.dropped /
+  // waterfall.abandoned / waterfall.truncated, the per-stage
+  // waterfall.stage_ns.<stage> histograms, the waterfall.queue_peak.<stage>
+  // callbacks and waterfall.queue_age_peak_ns. Call at most once per
+  // registry; the tracer must outlive it.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+  // Routes kWaterfallSampled / kWaterfallDropped events to `flight`; the
+  // origin lane selects the ring (clamped to the kernel ring).
+  void SetFlightRecorder(FlightRecorder* flight) { flight_ = flight; }
+
+  // Strict-JSON lvm.waterfall.v1 export.
+  std::string Json() const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Slot {
+    // Even = free, odd = active; the token carries the odd generation so
+    // stale tokens fail validation after the slot is recycled.
+    std::atomic<uint32_t> gen{0};
+    uint64_t id = 0;
+    uint32_t addr = 0;
+    uint32_t value = 0;
+    uint32_t timestamp = 0;
+    bool has_identity = false;
+    uint64_t seq = 0;  // WAL commit sequence (0 = unbound).
+    uint32_t hop_count = 0;
+    std::array<WaterfallHop, kMaxHops> hops{};
+  };
+
+  struct Lane {
+    // Owner-thread sampling state.
+    uint64_t counter = 0;
+    uint64_t phase = 0;
+    uint64_t next_ordinal = 0;
+    std::vector<Slot> slots;
+  };
+
+  // Wall clock in ns since the tracer's construction epoch.
+  uint64_t NowNs() const;
+  // Decodes and validates a token; null if stale/malformed.
+  Slot* Resolve(uint64_t token);
+  const Slot* Resolve(uint64_t token) const;
+  // Folds a finished slot into histograms + completed store and frees it.
+  void Retire(Slot* slot, uint16_t origin_lane);
+  void RecordFlight(FlightEventKind kind, int lane, Cycles ts, uint64_t a0, uint64_t a1);
+
+  const WaterfallConfig config_;
+  const uint64_t sample_mask_;
+  const uint64_t epoch_ns_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  FlightRecorder* flight_ = nullptr;
+
+  Counter sampled_;
+  Counter completed_count_;
+  Counter dropped_;
+  Counter abandoned_;
+  Counter truncated_;
+  std::array<Histogram, static_cast<size_t>(WaterfallStage::kCount)> stage_ns_;
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(WaterfallStage::kCount)> queue_peak_{};
+  std::atomic<uint64_t> queue_age_peak_ns_{0};
+
+  // Guards only the bounded completed store; the stamp path never takes it.
+  mutable Mutex mu_ LVM_ACQUIRED_AFTER(lockorder::kLevelMetrics){
+      "WaterfallTracer::mu_", lockorder::kRankWaterfall};
+  std::vector<CompletedWaterfall> completed_ LVM_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace lvm
+
+#endif  // SRC_OBS_WATERFALL_H_

@@ -110,6 +110,9 @@ void ParallelEngine::Start() {
         workers_[i].shard->set_profiler(system_->profiler(),
                                         system_->profiler()->logger_lane());
       }
+      if (system_->waterfall() != nullptr) {
+        workers_[i].shard->set_waterfall(system_->waterfall());
+      }
     }
     for (size_t i = 0; i < workers_.size(); ++i) {
       workers_[i].thread = std::thread(&ParallelEngine::ParallelWorkerBody, this,

@@ -20,13 +20,18 @@ LogShard::LogShard(int worker_id, LogSegment* log, PhysicalMemory* memory,
                 "overload threshold beyond ring capacity");
   LVM_CHECK(config.batch_records > 0);
   staging_.reserve(config.batch_records);
+  staging_prov_.reserve(config.batch_records);
 }
 
 void LogShard::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t value,
                              uint8_t size) {
   (void)va;  // Records carry physical addresses, like the bus logger's.
   Cycles now = cpu->now();
-  Entry entry{paddr, value, now, size};
+  uint64_t prov = 0;
+  if (waterfall_ != nullptr) {
+    prov = waterfall_->SampleRecord(worker_id_, now, static_cast<uint32_t>(ring_.size()));
+  }
+  Entry entry{paddr, value, now, size, prov};
   if (!ring_.TryPush(entry)) {
     // Only reachable when the threshold equals the capacity (or the port is
     // detached): forced synchronous drain, the FIFO-full stall.
@@ -34,6 +39,10 @@ void LogShard::OnLoggedWrite(Cpu* cpu, VirtAddr va, PhysAddr paddr, uint32_t val
     DrainAll(now, config_.service_active_cycles);
     bool pushed = ring_.TryPush(entry);
     LVM_CHECK(pushed);
+  }
+  if (prov != 0) {
+    waterfall_->Stamp(prov, obs::WaterfallStage::kShardEnqueue, worker_id_, now,
+                      static_cast<uint32_t>(ring_.size()));
   }
   DrainReady(now);
   if (port_ != nullptr && ring_.size() >= config_.overload_threshold) {
@@ -53,6 +62,10 @@ void LogShard::DrainReady(Cycles now) {
     service_free_ = done;
     Entry entry;
     ring_.TryPop(&entry);
+    if (entry.prov != 0) {
+      waterfall_->Stamp(entry.prov, obs::WaterfallStage::kDrain, worker_id_, done,
+                        static_cast<uint32_t>(ring_.size()));
+    }
     Stage(entry);
     ++retired;
   }
@@ -67,6 +80,10 @@ Cycles LogShard::DrainAll(Cycles now, uint32_t per_record_cycles, obs::CostCente
   while (ring_.TryPop(&entry)) {
     Cycles start = entry.time > service_free_ ? entry.time : service_free_;
     service_free_ = start + per_record_cycles;
+    if (entry.prov != 0) {
+      waterfall_->Stamp(entry.prov, obs::WaterfallStage::kDrain, worker_id_, service_free_,
+                        static_cast<uint32_t>(ring_.size()));
+    }
     Stage(entry);
     ++retired;
   }
@@ -101,9 +118,10 @@ void LogShard::Stage(const Entry& entry) {
   record.addr = entry.paddr;
   record.value = entry.value;
   record.size = entry.size;
-  record.flags = 0;
+  record.flags = entry.prov != 0 ? kRecordFlagSampled : uint16_t{0};
   record.timestamp = static_cast<uint32_t>(entry.time / config_.timestamp_divider);
   staging_.push_back(record);
+  staging_prov_.push_back(entry.prov);
   if (staging_.size() >= config_.batch_records) {
     FlushBatch();
   }
@@ -119,18 +137,25 @@ void LogShard::FlushBatch() {
   // Batched append: one frame lookup per record but a single bookkeeping
   // advance per batch; the kernel-visible tail moves only at publish time.
   uint32_t offset = append_offset_;
-  for (const LogRecord& record : staging_) {
+  for (size_t i = 0; i < staging_.size(); ++i) {
+    const LogRecord& record = staging_[i];
     uint32_t frame_index = offset / kPageSize;
     while (frame_index >= log_->page_count()) {
       log_->Extend(1);  // Thread-safe: only this shard grows this segment.
     }
     StoreLogRecord(memory_, log_->FrameAt(frame_index) + PageOffset(offset), record);
     offset += kLogRecordSize;
+    if (staging_prov_[i] != 0) {
+      waterfall_->SetIdentity(staging_prov_[i], record.addr, record.value, record.timestamp);
+      waterfall_->Stamp(staging_prov_[i], obs::WaterfallStage::kSegmentAppend, worker_id_,
+                        service_free_, static_cast<uint32_t>(staging_.size() - 1 - i));
+    }
   }
   records_appended_.Add(staging_.size());
   batches_.Increment();
   append_offset_ = offset;
   staging_.clear();
+  staging_prov_.clear();
 }
 
 void LogShard::RegisterMetrics(obs::MetricsRegistry* registry, const std::string& prefix) const {

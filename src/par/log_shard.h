@@ -32,6 +32,7 @@
 #include "src/logger/log_record.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
+#include "src/obs/waterfall.h"
 #include "src/par/spsc_ring.h"
 #include "src/sim/interfaces.h"
 #include "src/sim/phys_mem.h"
@@ -113,12 +114,20 @@ class LogShard : public LoggedWriteSink {
     prof_lane_ = lane;
   }
 
+  // Optional provenance waterfall: sampled writes carry a token from ring
+  // push to batched segment append. The shard samples on its own lane
+  // (worker id), so the sampled set matches the deterministic mode's
+  // per-CPU stride for the same seed.
+  void set_waterfall(obs::WaterfallTracer* waterfall) { waterfall_ = waterfall; }
+
  private:
   struct Entry {
     PhysAddr paddr = 0;
     uint32_t value = 0;
     Cycles time = 0;
     uint8_t size = 0;
+    // Waterfall provenance token (0 = unsampled).
+    uint64_t prov = 0;
   };
 
   void Stage(const Entry& entry);
@@ -137,6 +146,8 @@ class LogShard : public LoggedWriteSink {
 
   SpscRing<Entry> ring_;
   std::vector<LogRecord> staging_;
+  // Tokens of the staged records, index-parallel with staging_.
+  std::vector<uint64_t> staging_prov_;
   // DMA engine availability: the service completion time of the last
   // retired record (the hardware logger's service_free_).
   Cycles service_free_ = 0;
@@ -144,6 +155,7 @@ class LogShard : public LoggedWriteSink {
 
   obs::Histogram* occupancy_histogram_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::WaterfallTracer* waterfall_ = nullptr;
   int prof_lane_ = 0;
   // Service cycles retired but not yet charged (same thread model as
   // service_free_: the drain paths are serialized by the engine).

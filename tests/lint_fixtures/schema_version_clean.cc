@@ -9,6 +9,10 @@ std::string BuildReport() {
   std::string out = "{\"schema\":\"";
   out += obs::kLintReportSchema;
   out += "\"}";
+  // The waterfall export goes through the registry constant too.
+  out += "{\"schema\":\"";
+  out += obs::kWaterfallSchema;
+  out += "\"}";
   // Near-miss literals that must NOT trigger: wrong prefix, no version atom.
   out += "vm.report.v1";
   out += "lvm.report";

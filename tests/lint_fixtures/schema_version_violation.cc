@@ -7,6 +7,9 @@ std::string BuildReport() {
   std::string out = "{\"schema\":\"";
   out += "lvm.side_report.v1";  // must live in src/obs/schema_ids.h
   out += "\"}";
+  // A registered id spelled as a literal is still a violation: consumers
+  // must reference obs::kWaterfallSchema, not restate it.
+  out += "lvm.waterfall.v1";
   return out;
 }
 

@@ -84,6 +84,7 @@ TEST(LintRules, MetricNameClean) {
 TEST(LintRules, SchemaVersionViolation) {
   LintResult result = LintFixture("schema_version_violation.cc");
   ExpectOnlyRule(result, Rule::kSchemaVersion);
+  EXPECT_EQ(result.violations.size(), 2u);  // side_report + waterfall literal
   EXPECT_EQ(ExitCodeFor(result), 13);
 }
 

@@ -1,0 +1,362 @@
+// Tests for the log-path provenance waterfall (src/obs/waterfall).
+//
+// Covers the tracer's unit contract (deterministic stride sampling, token
+// staleness, exact drop accounting under concurrency), the integrated
+// six-stage durable flow (parallel shards -> drain -> segment append ->
+// WAL group commit -> reopen replay) with the telescoping-latency
+// invariant, and the lvm.waterfall.v1 export. The binary is labeled
+// `threaded`: several tests hammer real host threads through the tracer,
+// which is exactly what the TSan pass should see.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/hostlvm/log_wal_bridge.h"
+#include "src/hostlvm/wal_arena.h"
+#include "src/logger/log_record.h"
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/schema_ids.h"
+#include "src/obs/waterfall.h"
+#include "src/par/engine.h"
+
+namespace lvm {
+namespace {
+
+using obs::WaterfallConfig;
+using obs::WaterfallStage;
+using obs::WaterfallTracer;
+
+// Samples `events` writes on `lane`, abandoning every token immediately so
+// slot occupancy never perturbs the decision sequence. Returns the sampled
+// indices.
+std::vector<uint64_t> SampleDecisions(WaterfallTracer* tracer, int lane, uint64_t events) {
+  std::vector<uint64_t> sampled;
+  for (uint64_t i = 0; i < events; ++i) {
+    uint64_t token = tracer->SampleRecord(lane, /*sim_now=*/i, /*queue_depth=*/0);
+    if (token != 0) {
+      sampled.push_back(i);
+      tracer->Abandon(token);
+    }
+  }
+  return sampled;
+}
+
+TEST(WaterfallSampling, SameSeedSamplesIdenticalSetOnEveryLane) {
+  WaterfallConfig config;
+  config.sample_shift = 4;
+  config.seed = 42;
+  constexpr uint64_t kEvents = 500;
+  WaterfallTracer a(2, config);
+  WaterfallTracer b(2, config);
+  for (int lane = 0; lane < 2; ++lane) {
+    std::vector<uint64_t> first = SampleDecisions(&a, lane, kEvents);
+    std::vector<uint64_t> second = SampleDecisions(&b, lane, kEvents);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second) << "lane " << lane;
+    // Stride sampling: consecutive sampled indices are exactly 2^shift
+    // apart, whatever the seed-derived phase.
+    for (size_t i = 1; i < first.size(); ++i) {
+      EXPECT_EQ(first[i] - first[i - 1], uint64_t{1} << config.sample_shift);
+    }
+  }
+}
+
+TEST(WaterfallSampling, SeedShiftsThePhaseNotTheStride) {
+  WaterfallConfig a_config;
+  a_config.sample_shift = 5;
+  a_config.seed = 1;
+  WaterfallConfig b_config = a_config;
+  b_config.seed = 2;
+  WaterfallTracer a(1, a_config);
+  WaterfallTracer b(1, b_config);
+  std::vector<uint64_t> first = SampleDecisions(&a, 0, 256);
+  std::vector<uint64_t> second = SampleDecisions(&b, 0, 256);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  EXPECT_EQ(first.size(), second.size());
+  // Different seeds land on different phases of the same stride (the two
+  // chosen seeds differ for shift 5; equal phases would be a mixing bug).
+  EXPECT_NE(first[0], second[0]);
+}
+
+TEST(WaterfallToken, StaleTokensFailResolutionAfterRecycle) {
+  WaterfallConfig config;
+  config.sample_shift = 0;
+  config.inflight_slots = 1;
+  WaterfallTracer tracer(1, config);
+  uint64_t first = tracer.SampleRecord(0, 0, 0);
+  ASSERT_NE(first, 0u);
+  tracer.Abandon(first);
+  uint64_t second = tracer.SampleRecord(0, 0, 0);
+  ASSERT_NE(second, 0u);  // Recycled the same slot with a new generation.
+  EXPECT_NE(first, second);
+  // The stale token must be ignored everywhere, not corrupt the new owner.
+  tracer.Stamp(first, WaterfallStage::kDrain, 0, 0, 0);
+  tracer.Complete(first, WaterfallStage::kReplay, 0, 0, 0);
+  EXPECT_EQ(tracer.completed(), 0u);
+  EXPECT_EQ(tracer.inflight(), 1u);
+  tracer.Abandon(second);
+}
+
+// Satellite: drop accounting must be exact under concurrent lane-owner
+// threads at slot capacity, mirroring the flight ring's wraparound test
+// (tests/profiler_test.cc FlightRingWraparound.ExactDropAccounting...).
+TEST(WaterfallDropAccounting, ExactDropAccountingUnderConcurrency) {
+  constexpr int kLanes = 4;
+  constexpr uint32_t kSlots = 8;
+  constexpr uint64_t kEvents = 200;
+  WaterfallConfig config;
+  config.sample_shift = 0;  // Every write sampled: counts are exact.
+  config.inflight_slots = kSlots;
+  WaterfallTracer tracer(kLanes, config);
+  obs::FlightConfig flight_config;
+  flight_config.sync_interval = 0;
+  obs::FlightRecorder flight(kLanes, flight_config);
+  tracer.SetFlightRecorder(&flight);
+
+  std::vector<std::thread> writers;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    writers.emplace_back([&tracer, lane] {
+      for (uint64_t i = 0; i < kEvents; ++i) {
+        // Tokens are never completed, so each lane's slots fill and stay
+        // full: every sample after the first kSlots is a drop.
+        tracer.SampleRecord(lane, i, 0);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+
+  EXPECT_EQ(tracer.sampled(), uint64_t{kLanes} * kSlots);
+  EXPECT_EQ(tracer.dropped(), uint64_t{kLanes} * (kEvents - kSlots));
+  EXPECT_EQ(tracer.inflight(), uint64_t{kLanes} * kSlots);
+
+  // The flight ring saw the same split, kind by kind.
+  uint64_t sampled_events = 0;
+  uint64_t dropped_events = 0;
+  for (const obs::FlightEvent& e : flight.MergedEvents()) {
+    if (e.kind == obs::FlightEventKind::kWaterfallSampled) {
+      ++sampled_events;
+    } else if (e.kind == obs::FlightEventKind::kWaterfallDropped) {
+      ++dropped_events;
+    }
+  }
+  EXPECT_EQ(flight.events_recorded(), uint64_t{kLanes} * kEvents);
+  EXPECT_LE(sampled_events + dropped_events, uint64_t{kLanes} * kEvents);
+}
+
+// `threaded` heart of the binary: concurrent sample/stamp/complete across
+// lanes, with completions racing into the shared bounded store.
+TEST(WaterfallConcurrency, ConcurrentCompletionAccountsEveryToken) {
+  constexpr int kLanes = 4;
+  constexpr uint64_t kEvents = 5000;
+  WaterfallConfig config;
+  config.sample_shift = 2;
+  config.inflight_slots = 32;
+  config.completed_capacity = 64;  // Force truncation traffic too.
+  WaterfallTracer tracer(kLanes, config);
+
+  std::vector<std::thread> workers;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    workers.emplace_back([&tracer, lane] {
+      for (uint64_t i = 0; i < kEvents; ++i) {
+        uint64_t token = tracer.SampleRecord(lane, i, 1);
+        if (token == 0) {
+          continue;
+        }
+        tracer.Stamp(token, WaterfallStage::kShardEnqueue, lane, i, 2);
+        tracer.Stamp(token, WaterfallStage::kDrain, lane, i, 1);
+        tracer.Complete(token, WaterfallStage::kSegmentAppend, lane, i, 0);
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+
+  EXPECT_EQ(tracer.sampled(), uint64_t{kLanes} * (kEvents >> config.sample_shift));
+  EXPECT_EQ(tracer.completed(), tracer.sampled());
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.inflight(), 0u);
+  // The bounded store kept its cap; the overflow is accounted, not lost.
+  EXPECT_EQ(tracer.Completed().size(), config.completed_capacity);
+}
+
+// The tentpole acceptance flow: a durable two-worker parallel run whose
+// sampled records flow through all six stages, with per-stage deltas
+// telescoping exactly to the end-to-end latency.
+class WaterfallDurableFlow : public ::testing::Test {
+ protected:
+  static constexpr int kWorkers = 2;
+  static constexpr uint32_t kSteps = 400;
+
+  std::string WalPath() {
+    return ::testing::TempDir() + "waterfall_durable_flow.wal";
+  }
+};
+
+TEST_F(WaterfallDurableFlow, SixStagesTelescopeEndToEnd) {
+  LvmConfig config;
+  config.num_cpus = kWorkers;
+  LvmSystem system(config);
+  WaterfallConfig wconfig;
+  wconfig.sample_shift = 4;
+  wconfig.completed_capacity = 1024;
+  obs::WaterfallTracer* waterfall = system.EnableWaterfall(wconfig);
+
+  AddressSpace* as = system.CreateAddressSpace();
+  std::vector<Region*> regions;
+  std::vector<LogSegment*> logs;
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < kWorkers; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(256 * 4));
+    bases.push_back(as->BindRegion(region));
+    LogSegment* log = system.CreateLogSegment(8);
+    system.AttachLog(region, log);
+    regions.push_back(region);
+    logs.push_back(log);
+  }
+  for (int i = 0; i < kWorkers; ++i) {
+    system.Activate(as, i);
+    system.TouchRegion(&system.cpu(i), regions[i]);
+  }
+
+  par::ParallelEngine engine(&system, par::EngineConfig{});
+  for (int i = 0; i < kWorkers; ++i) {
+    VirtAddr base = bases[i];
+    engine.AddWorker(logs[i], [base](Cpu& cpu, uint64_t step) {
+      cpu.Write(base + 4 * (step % 256), static_cast<uint32_t>(step * 2654435761u + 1));
+      cpu.Compute(30);
+      return step + 1 < kSteps;
+    });
+  }
+  engine.Run();
+  for (int i = 0; i < kWorkers; ++i) {
+    system.SyncLog(&system.cpu(i), logs[i]);
+  }
+  EXPECT_GT(waterfall->sampled(), 0u);
+
+  const std::string wal_path = WalPath();
+  std::string error;
+  auto arena = WalArena::Create(wal_path, WalOptions{}, &error);
+  ASSERT_NE(arena, nullptr) << error;
+  arena->set_waterfall(waterfall);
+  uint64_t tokens_carried = 0;
+  for (int i = 0; i < kWorkers; ++i) {
+    LogReader reader(system.memory(), *logs[i]);
+    ASSERT_EQ(reader.size(), kSteps);
+    LogWalBridgeStats stats = BridgeLogToWal(reader, 0, reader.size(),
+                                             /*records_per_commit=*/32,
+                                             /*timestamp_ns=*/7, arena.get(), waterfall);
+    EXPECT_EQ(stats.records, kSteps);
+    EXPECT_EQ(stats.rejected, 0u);
+    tokens_carried += stats.tokens;
+  }
+  EXPECT_GT(tokens_carried, 0u);
+  ASSERT_TRUE(arena->Flush());
+  arena.reset();
+
+  arena = WalArena::Open(wal_path, &error);
+  ASSERT_NE(arena, nullptr) << error;
+  arena->set_waterfall(waterfall);
+  WalRecoveryStats recovery = arena->Replay([](const WalRecoveredCommit&) {});
+  EXPECT_GT(recovery.commits_applied, 0u);
+  arena.reset();
+  std::remove(wal_path.c_str());
+
+  // Every token the bridge carried finished the full journey.
+  EXPECT_EQ(waterfall->completed(), tokens_carried);
+  std::vector<obs::CompletedWaterfall> done = waterfall->Completed();
+  ASSERT_EQ(done.size(), tokens_carried);
+  const WaterfallStage kExpected[] = {
+      WaterfallStage::kRecord,       WaterfallStage::kShardEnqueue,
+      WaterfallStage::kDrain,        WaterfallStage::kSegmentAppend,
+      WaterfallStage::kWalCommit,    WaterfallStage::kReplay,
+  };
+  for (const obs::CompletedWaterfall& w : done) {
+    ASSERT_EQ(w.hops.size(), 6u) << "waterfall " << w.id;
+    uint64_t telescoped = 0;
+    for (size_t h = 0; h < w.hops.size(); ++h) {
+      EXPECT_EQ(w.hops[h].stage, kExpected[h]) << "waterfall " << w.id << " hop " << h;
+      if (h > 0) {
+        ASSERT_GE(w.hops[h].wall_ns, w.hops[h - 1].wall_ns);
+        telescoped += w.hops[h].wall_ns - w.hops[h - 1].wall_ns;
+      }
+    }
+    // The per-stage deltas are differences of one monotonic series, so
+    // they must sum to the end-to-end latency exactly — not just within
+    // rounding.
+    EXPECT_EQ(telescoped, w.end_to_end_ns) << "waterfall " << w.id;
+  }
+
+  // The export is strict JSON under the registered schema id, and its
+  // stage table covers all six stages.
+  std::string json = waterfall->Json();
+  ASSERT_TRUE(obs::ValidateJson(json));
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::ParseJson(json, &root, &error)) << error;
+  EXPECT_EQ(root.GetString("schema"), obs::kWaterfallSchema);
+  const obs::JsonValue* stages = root.Find("stages");
+  ASSERT_NE(stages, nullptr);
+  std::set<std::string> seen;
+  for (const obs::JsonValue& stage : stages->Items()) {
+    seen.insert(stage.GetString("stage"));
+  }
+  for (WaterfallStage stage : kExpected) {
+    if (stage == WaterfallStage::kRecord) {
+      continue;  // Hop 0 is the origin; it opens no interval to charge.
+    }
+    EXPECT_EQ(seen.count(obs::ToString(stage)), 1u) << obs::ToString(stage);
+  }
+}
+
+TEST(WaterfallExport, MetricsRegisterAndCountersMatch) {
+  WaterfallConfig config;
+  config.sample_shift = 0;
+  WaterfallTracer tracer(1, config);
+  obs::MetricsRegistry registry;
+  tracer.RegisterMetrics(&registry);
+
+  uint64_t token = tracer.SampleRecord(0, 0, 3);
+  ASSERT_NE(token, 0u);
+  tracer.Stamp(token, WaterfallStage::kShardEnqueue, 0, 1, 2);
+  tracer.Complete(token, WaterfallStage::kSegmentAppend, 0, 2, 0);
+
+  obs::Snapshot snapshot = registry.TakeSnapshot();
+  EXPECT_EQ(snapshot.counters().at("waterfall.sampled"), 1u);
+  EXPECT_EQ(snapshot.counters().at("waterfall.completed"), 1u);
+  EXPECT_EQ(snapshot.counters().at("waterfall.dropped"), 0u);
+  auto hist = snapshot.histograms().find("waterfall.stage_ns.segment_append");
+  ASSERT_NE(hist, snapshot.histograms().end());
+  EXPECT_EQ(hist->second.count, 1u);
+}
+
+TEST(WaterfallExport, FinishInFlightCoversPartialJourneys) {
+  WaterfallConfig config;
+  config.sample_shift = 0;
+  WaterfallTracer tracer(1, config);
+  uint64_t token = tracer.SampleRecord(0, 0, 1);
+  ASSERT_NE(token, 0u);
+  tracer.Stamp(token, WaterfallStage::kShardEnqueue, 0, 1, 1);
+  EXPECT_EQ(tracer.inflight(), 1u);
+  EXPECT_EQ(tracer.FinishInFlight(), 1u);
+  EXPECT_EQ(tracer.inflight(), 0u);
+  std::vector<obs::CompletedWaterfall> done = tracer.Completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].hops.back().stage, WaterfallStage::kShardEnqueue);
+  ASSERT_TRUE(obs::ValidateJson(tracer.Json()));
+}
+
+}  // namespace
+}  // namespace lvm

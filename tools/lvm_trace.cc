@@ -1,0 +1,405 @@
+// lvm-trace: reader CLI over lvm.waterfall.v1 per-record provenance traces.
+//
+// Default mode renders each export: the per-stage latency table (count,
+// p50/p99/max, queue-depth peak) followed by per-record ASCII waterfalls —
+// one bar per hop, scaled to the record's end-to-end latency. Every
+// rendered waterfall is checked for the telescoping invariant (hop deltas
+// sum exactly to end_to_end_ns); a violated record flips the exit code,
+// because the export itself is then evidence of a broken stamp path.
+//
+// Modes:
+//   lvm-trace [--top=N] TRACE...    render each trace (default N=10 records)
+//   lvm-trace --diff OLD NEW        per-stage p50/p99 deltas between exports
+//   lvm-trace --demo-export PATH    run a small durable two-worker parallel
+//                                   workload end to end (shards -> drain ->
+//                                   segment append -> WAL commit -> reopen
+//                                   replay) and write its trace to PATH
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/hostlvm/log_wal_bridge.h"
+#include "src/hostlvm/wal_arena.h"
+#include "src/lvm/log_reader.h"
+#include "src/lvm/lvm_system.h"
+#include "src/obs/json.h"
+#include "src/obs/schema_ids.h"
+#include "src/obs/waterfall.h"
+#include "src/par/engine.h"
+
+namespace lvm {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lvm-trace [--top=N] TRACE...\n"
+               "       lvm-trace --diff OLD NEW\n"
+               "       lvm-trace --demo-export PATH\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool LoadTrace(const std::string& path, obs::JsonValue* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "lvm-trace: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!obs::ParseJson(text, out, &error)) {
+    std::fprintf(stderr, "lvm-trace: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  std::string schema = out->GetString("schema");
+  if (schema != obs::kWaterfallSchema) {
+    std::fprintf(stderr, "lvm-trace: %s: schema \"%s\" is not %s\n", path.c_str(),
+                 schema.c_str(), obs::kWaterfallSchema);
+    return false;
+  }
+  return true;
+}
+
+// --- default mode -----------------------------------------------------------
+
+void RenderStageTable(const obs::JsonValue& trace) {
+  const obs::JsonValue* stages = trace.Find("stages");
+  if (stages == nullptr || !stages->is_array() || stages->size() == 0) {
+    std::printf("no stage samples\n");
+    return;
+  }
+  std::printf("%-15s %10s %12s %12s %12s %8s\n", "stage", "count", "p50_ns", "p99_ns",
+              "max_ns", "q_peak");
+  for (const obs::JsonValue& stage : stages->Items()) {
+    std::printf("%-15s %10" PRIu64 " %12" PRIu64 " %12" PRIu64 " %12" PRIu64 " %8" PRIu64 "\n",
+                stage.GetString("stage").c_str(), stage.GetUint64("count"),
+                stage.GetUint64("p50_ns"), stage.GetUint64("p99_ns"), stage.GetUint64("max_ns"),
+                stage.GetUint64("queue_peak"));
+  }
+}
+
+// One record's waterfall: each hop is a bar whose left edge is the hop's
+// arrival offset and whose width is the time spent reaching it, both scaled
+// to the record's end-to-end latency across `kBarWidth` columns.
+constexpr int kBarWidth = 40;
+
+// Returns false if the record violates the telescoping invariant.
+bool RenderWaterfall(const obs::JsonValue& record) {
+  uint64_t end_to_end = record.GetUint64("end_to_end_ns");
+  std::printf("record %#" PRIx64 "  lane %" PRIu64 "  addr %#" PRIx64 "  value %#" PRIx64
+              "  ts %" PRIu64 "  e2e %" PRIu64 "ns\n",
+              record.GetUint64("id"), record.GetUint64("lane"), record.GetUint64("addr"),
+              record.GetUint64("value"), record.GetUint64("timestamp"), end_to_end);
+  const obs::JsonValue* hops = record.Find("hops");
+  if (hops == nullptr || !hops->is_array() || hops->size() == 0) {
+    std::printf("  (no hops)\n");
+    return false;
+  }
+  uint64_t prev_ns = 0;
+  bool ok = true;
+  for (const obs::JsonValue& hop : hops->Items()) {
+    uint64_t at = hop.GetUint64("wall_ns");
+    uint64_t delta = at >= prev_ns ? at - prev_ns : 0;
+    int start = 0;
+    int width = 0;
+    if (end_to_end > 0) {
+      start = static_cast<int>(prev_ns * kBarWidth / end_to_end);
+      width = static_cast<int>(at * kBarWidth / end_to_end) - start;
+    }
+    std::string bar(static_cast<size_t>(start), ' ');
+    bar.append(std::max(width, 1), '#');
+    std::printf("  %-15s +%-10" PRIu64 " q=%-6" PRIu64 " |%s\n",
+                hop.GetString("stage").c_str(), delta, hop.GetUint64("queue_depth"),
+                bar.c_str());
+    prev_ns = at;
+  }
+  // Telescoping: the last hop's relative wall time IS the end-to-end
+  // latency, so the per-hop deltas sum to it exactly.
+  if (prev_ns != end_to_end) {
+    std::printf("  ** hop deltas sum to %" PRIu64 "ns, not end_to_end %" PRIu64 "ns **\n",
+                prev_ns, end_to_end);
+    ok = false;
+  }
+  return ok;
+}
+
+int Render(const obs::JsonValue& trace, const std::string& path, size_t top) {
+  std::printf("=== %s ===\n", path.c_str());
+  const obs::JsonValue* counters = trace.Find("counters");
+  if (counters != nullptr) {
+    std::printf("sampled %" PRIu64 "  completed %" PRIu64 "  dropped %" PRIu64
+                "  abandoned %" PRIu64 "  truncated %" PRIu64 "  inflight %" PRIu64 "\n",
+                counters->GetUint64("sampled"), counters->GetUint64("completed"),
+                counters->GetUint64("dropped"), counters->GetUint64("abandoned"),
+                counters->GetUint64("truncated"), counters->GetUint64("inflight"));
+  }
+  uint64_t queue_age = trace.GetUint64("queue_age_peak_ns");
+  if (queue_age > 0) {
+    std::printf("queue_age_peak: %" PRIu64 "ns (oldest enqueue-to-drain wait seen)\n",
+                queue_age);
+  }
+  std::printf("\n");
+  RenderStageTable(trace);
+  int exit_code = 0;
+  const obs::JsonValue* waterfalls = trace.Find("waterfalls");
+  if (waterfalls == nullptr || !waterfalls->is_array()) {
+    return exit_code;
+  }
+  size_t shown = std::min(top, waterfalls->size());
+  for (size_t i = 0; i < shown; ++i) {
+    std::printf("\n");
+    if (!RenderWaterfall(waterfalls->Items()[i])) {
+      exit_code = 1;
+    }
+  }
+  if (waterfalls->size() > shown) {
+    std::printf("\n... %zu more record(s); rerun with --top=%zu to see all\n",
+                waterfalls->size() - shown, waterfalls->size());
+  }
+  return exit_code;
+}
+
+// --- --diff -----------------------------------------------------------------
+
+struct StageRow {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+};
+
+std::map<std::string, StageRow> StageRows(const obs::JsonValue& trace) {
+  std::map<std::string, StageRow> rows;
+  const obs::JsonValue* stages = trace.Find("stages");
+  if (stages == nullptr || !stages->is_array()) {
+    return rows;
+  }
+  for (const obs::JsonValue& stage : stages->Items()) {
+    rows[stage.GetString("stage")] = StageRow{stage.GetUint64("count"),
+                                              stage.GetUint64("p50_ns"),
+                                              stage.GetUint64("p99_ns")};
+  }
+  return rows;
+}
+
+int Diff(const obs::JsonValue& old_trace, const obs::JsonValue& new_trace) {
+  std::map<std::string, StageRow> old_rows = StageRows(old_trace);
+  std::map<std::string, StageRow> new_rows = StageRows(new_trace);
+  std::map<std::string, std::pair<StageRow, StageRow>> merged;
+  for (const auto& [stage, row] : old_rows) {
+    merged[stage].first = row;
+  }
+  for (const auto& [stage, row] : new_rows) {
+    merged[stage].second = row;
+  }
+  if (merged.empty()) {
+    std::printf("no stages on either side\n");
+    return 0;
+  }
+  std::printf("%-15s %14s %14s %14s\n", "stage", "d_count", "d_p50_ns", "d_p99_ns");
+  for (const auto& [stage, pair] : merged) {
+    const StageRow& a = pair.first;
+    const StageRow& b = pair.second;
+    std::printf("%-15s %+14" PRId64 " %+14" PRId64 " %+14" PRId64 "\n", stage.c_str(),
+                static_cast<int64_t>(b.count) - static_cast<int64_t>(a.count),
+                static_cast<int64_t>(b.p50) - static_cast<int64_t>(a.p50),
+                static_cast<int64_t>(b.p99) - static_cast<int64_t>(a.p99));
+  }
+  return 0;
+}
+
+// --- --demo-export ----------------------------------------------------------
+//
+// A self-contained durable run that exercises every waterfall stage: two
+// parallel workers stream logged writes through per-CPU shards, the shard
+// logs bridge into a WAL arena that is flushed, closed, reopened, and
+// replayed — all against one tracer, so a single sampled write's waterfall
+// spans record -> shard_enqueue -> drain -> segment_append -> wal_commit ->
+// replay.
+
+constexpr int kDemoWorkers = 2;
+constexpr uint32_t kDemoSteps = 600;
+constexpr uint32_t kDemoRegionWords = 256;
+
+uint32_t DemoMix(uint32_t worker, uint32_t step) {
+  uint32_t z = worker * 0x9e3779b9u + step * 0x85ebca6bu + 1;
+  z ^= z >> 16;
+  z *= 0x7feb352du;
+  z ^= z >> 15;
+  return z;
+}
+
+int DemoExport(const std::string& path) {
+  LvmConfig config;
+  config.num_cpus = kDemoWorkers;
+  LvmSystem system(config);
+  obs::WaterfallConfig wconfig;
+  wconfig.sample_shift = 4;  // 1/16: dense enough to see, sparse enough to finish.
+  obs::WaterfallTracer* waterfall = system.EnableWaterfall(wconfig);
+
+  AddressSpace* as = system.CreateAddressSpace();
+  std::vector<Region*> regions;
+  std::vector<LogSegment*> logs;
+  std::vector<VirtAddr> bases;
+  for (int i = 0; i < kDemoWorkers; ++i) {
+    Region* region = system.CreateRegion(system.CreateSegment(kDemoRegionWords * 4));
+    bases.push_back(as->BindRegion(region));
+    LogSegment* log = system.CreateLogSegment(8);
+    system.AttachLog(region, log);
+    regions.push_back(region);
+    logs.push_back(log);
+  }
+  for (int i = 0; i < kDemoWorkers; ++i) {
+    system.Activate(as, i);
+    system.TouchRegion(&system.cpu(i), regions[i]);
+  }
+
+  par::EngineConfig engine_config;
+  engine_config.mode = par::Mode::kParallel;
+  par::ParallelEngine engine(&system, engine_config);
+  for (int i = 0; i < kDemoWorkers; ++i) {
+    VirtAddr base = bases[i];
+    engine.AddWorker(logs[i], [base, i](Cpu& cpu, uint64_t step) {
+      cpu.Write(base + 4 * (step % kDemoRegionWords),
+                DemoMix(static_cast<uint32_t>(i), static_cast<uint32_t>(step)));
+      cpu.Compute(40);
+      return step + 1 < kDemoSteps;
+    });
+  }
+  engine.Run();
+  for (int i = 0; i < kDemoWorkers; ++i) {
+    system.SyncLog(&system.cpu(i), logs[i]);
+  }
+
+  // Durable leg: bridge both shard logs into a WAL arena, flush, then
+  // reopen and replay against the same tracer.
+  std::string wal_path = path + ".wal";
+  std::string error;
+  std::unique_ptr<WalArena> arena = WalArena::Create(wal_path, WalOptions{}, &error);
+  if (arena == nullptr) {
+    std::fprintf(stderr, "lvm-trace: cannot create %s: %s\n", wal_path.c_str(), error.c_str());
+    return 1;
+  }
+  arena->set_waterfall(waterfall);
+  LogWalBridgeStats bridged;
+  for (int i = 0; i < kDemoWorkers; ++i) {
+    LogReader reader(system.memory(), *logs[i]);
+    LogWalBridgeStats stats =
+        BridgeLogToWal(reader, 0, reader.size(), /*records_per_commit=*/64,
+                       /*timestamp_ns=*/1, arena.get(), waterfall);
+    bridged.commits += stats.commits;
+    bridged.records += stats.records;
+    bridged.tokens += stats.tokens;
+    bridged.rejected += stats.rejected;
+  }
+  arena->Flush();
+  arena.reset();  // Close; the reopen below is the recovery path.
+
+  arena = WalArena::Open(wal_path, &error);
+  if (arena == nullptr) {
+    std::fprintf(stderr, "lvm-trace: cannot reopen %s: %s\n", wal_path.c_str(), error.c_str());
+    return 1;
+  }
+  arena->set_waterfall(waterfall);
+  WalRecoveryStats recovery = arena->Replay([](const WalRecoveredCommit&) {});
+  arena.reset();
+  std::remove(wal_path.c_str());
+
+  if (!system.WriteWaterfall(path)) {
+    std::fprintf(stderr, "lvm-trace: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("demo: %" PRIu64 " records bridged in %" PRIu64 " commits, %" PRIu64
+              " tokens carried, %" PRIu64 " commits replayed\n",
+              bridged.records, bridged.commits, bridged.tokens, recovery.commits_applied);
+  std::printf("demo: %" PRIu64 " sampled, %" PRIu64 " completed -> %s\n",
+              waterfall->sampled(), waterfall->completed(), path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  size_t top = 10;
+  bool diff = false;
+  std::string demo_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) {
+      top = static_cast<size_t>(std::strtoull(arg.c_str() + 6, nullptr, 10));
+      if (top == 0) {
+        top = 1;
+      }
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (arg.rfind("--demo-export=", 0) == 0) {
+      demo_path = arg.substr(14);
+    } else if (arg == "--demo-export") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      demo_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "lvm-trace: unknown option %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (!demo_path.empty()) {
+    if (diff || !paths.empty()) {
+      return Usage();
+    }
+    return DemoExport(demo_path);
+  }
+  if (diff) {
+    if (paths.size() != 2) {
+      return Usage();
+    }
+    obs::JsonValue old_trace;
+    obs::JsonValue new_trace;
+    if (!LoadTrace(paths[0], &old_trace) || !LoadTrace(paths[1], &new_trace)) {
+      return 1;
+    }
+    return Diff(old_trace, new_trace);
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+  int exit_code = 0;
+  for (const std::string& path : paths) {
+    obs::JsonValue trace;
+    if (!LoadTrace(path, &trace)) {
+      exit_code = 1;
+      continue;
+    }
+    int rc = Render(trace, path, top);
+    if (rc != 0) {
+      exit_code = rc;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace lvm
+
+int main(int argc, char** argv) { return lvm::Main(argc, argv); }
